@@ -1,0 +1,107 @@
+// E1 — Figure 1: non-deterministic choice with root-unwinding.
+//
+// Report: rebuilds the paper's example — the choice of two cyclic nets —
+// and demonstrates the property the figure illustrates: after a loop
+// iteration returns to the (non-root) initial place, the unchosen branch
+// stays disabled. Verifies Proposition 4.4 (L(N1+N2) = L(N1) ∪ L(N2))
+// against the automata oracle.
+//
+// Benchmarks: cost of root-unwinding and of k-way choice over cycle nets.
+
+#include "algebra/choice.h"
+#include "bench_util.h"
+#include "lang/ops.h"
+#include "models/figures.h"
+#include "reach/reachability.h"
+
+namespace cipnet {
+namespace {
+
+using benchutil::cycle_chain;
+
+void report() {
+  benchutil::header("E1 bench_fig1_choice", "Figure 1 (choice operator)");
+  PetriNet left = models::fig1_left();
+  PetriNet right = models::fig1_right();
+  PetriNet sum = choice(left, right);
+  std::printf("operand (a.b)* : %s\n", left.summary().c_str());
+  std::printf("operand (c.d)* : %s\n", right.summary().c_str());
+  std::printf("N1 + N2        : %s\n", sum.summary().c_str());
+
+  Dfa dfa = canonical_language(sum);
+  struct Row {
+    const char* word;
+    std::vector<std::string> trace;
+    bool expected;
+  };
+  const std::vector<Row> rows = {
+      {"a.b.a (loop in left branch)", {"a", "b", "a"}, true},
+      {"c.d.c (loop in right branch)", {"c", "d", "c"}, true},
+      {"a.b.c (switch after loop)", {"a", "b", "c"}, false},
+      {"a.c   (interleave branches)", {"a", "c"}, false},
+  };
+  std::printf("\n%-32s expected  got\n", "word");
+  for (const Row& row : rows) {
+    bool got = dfa.accepts(row.trace);
+    std::printf("%-32s %-9s %-9s %s\n", row.word, row.expected ? "in" : "out",
+                got ? "in" : "out", got == row.expected ? "OK" : "MISMATCH");
+  }
+
+  // Proposition 4.4 against the language-level union.
+  Dfa oracle =
+      minimize(determinize(union_nfa(nfa_of_net(left), nfa_of_net(right))));
+  std::printf("\nProposition 4.4  L(N1+N2) = L(N1) u L(N2): %s\n",
+              equivalent(dfa, oracle) ? "verified" : "VIOLATED");
+}
+
+void BM_RootUnwinding(benchmark::State& state) {
+  PetriNet net = cycle_chain(static_cast<std::size_t>(state.range(0)), "c");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(root_unwinding(net));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RootUnwinding)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_BinaryChoice(benchmark::State& state) {
+  PetriNet left = cycle_chain(static_cast<std::size_t>(state.range(0)), "l");
+  PetriNet right = cycle_chain(static_cast<std::size_t>(state.range(0)), "r");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(choice(left, right));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BinaryChoice)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_KWayChoice(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  std::vector<PetriNet> operands;
+  for (std::size_t i = 0; i < k; ++i) {
+    operands.push_back(cycle_chain(3, "op" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    PetriNet sum = operands[0];
+    for (std::size_t i = 1; i < k; ++i) sum = choice(sum, operands[i]);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_KWayChoice)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_ChoiceStateSpace(benchmark::State& state) {
+  PetriNet left = cycle_chain(static_cast<std::size_t>(state.range(0)), "l");
+  PetriNet right = cycle_chain(static_cast<std::size_t>(state.range(0)), "r");
+  PetriNet sum = choice(left, right);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explore(sum).state_count());
+  }
+}
+BENCHMARK(BM_ChoiceStateSpace)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+}  // namespace cipnet
+
+int main(int argc, char** argv) {
+  cipnet::report();
+  std::printf("\n");
+  return cipnet::benchutil::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,149 @@
+// E7 — Figure 9: compositional simplification with the restricted sender.
+//
+// Report: regenerates the paper's result rows — the restricted sender of
+// Figure 9(a) never issues `rec`, so projecting sender||translator onto the
+// translator's interface (Theorem 5.1) and removing dead transitions yields
+// the simplified translator of Figure 9(b); the simplified receiver of
+// Figure 9(c) follows the same way. Prints before/after sizes and checks
+// the behavioral facts the figure encodes (no DATA/STROBE sampling, no
+// mute command).
+//
+// Benchmarks: simplification cost, and the dead-transition removal on
+// marked graphs (structural, polynomial) vs general nets (reachability).
+
+#include "bench_util.h"
+#include "circuit/simplify.h"
+#include "lang/ops.h"
+#include "models/translator.h"
+#include "reach/dead.h"
+
+namespace cipnet {
+namespace {
+
+void report() {
+  benchutil::header("E7 bench_fig9_simplification",
+                    "Figure 9 (compositional simplification)");
+  const Circuit translator = models::translator();
+  const Circuit receiver = models::receiver();
+  const Circuit restricted = models::sender_restricted();
+
+  auto tr = simplify_against(translator, restricted);
+  auto env = compose(restricted, translator);
+  auto rc = simplify_against(receiver, env.circuit);
+
+  std::printf("%-12s %8s %8s %8s %8s %8s\n", "block", "P before", "T before",
+              "P after", "T after", "dead rm");
+  auto row = [](const char* name, const SimplifyStats& s) {
+    std::printf("%-12s %8zu %8zu %8zu %8zu %8zu\n", name, s.places_before,
+                s.transitions_before, s.places_after, s.transitions_after,
+                s.dead_transitions_removed);
+  };
+  row("translator", tr.stats);
+  row("receiver", rc.stats);
+
+  Dfa tr_lang = canonical_language(tr.simplified.net(),
+                                   {std::string(kEpsilonLabel)});
+  Dfa rc_lang = canonical_language(rc.simplified.net(),
+                                   {std::string(kEpsilonLabel)});
+  std::printf("\nbehavioral facts of Figure 9:\n");
+  std::printf("  simplified translator samples DATA/STROBE:   %s\n",
+              tr_lang.accepts({"d="}) ? "yes (WRONG)" : "no (as in 9(b))");
+  std::printf("  simplified translator can send mute (p0,q1): %s\n",
+              tr_lang.accepts({"p0+", "q1+"}) || tr_lang.accepts({"q1+", "p0+"})
+                  ? "yes (WRONG)"
+                  : "no (as in 9(b))");
+  std::printf("  simplified receiver still handles start:     %s\n",
+              rc_lang.accepts({"p0+", "q0+", "start~"}) ? "yes" : "NO (wrong)");
+  std::printf("  simplified receiver still handles mute:      %s\n",
+              rc_lang.accepts({"p0+", "q1+", "mute~"}) ? "yes (WRONG)"
+                                                        : "no (as in 9(c))");
+
+  // Theorem 5.1 on the design: the simplified behavior is a subset.
+  const Circuit original = models::translator();
+  Dfa orig_lang = canonical_language(original.net(),
+                                     {std::string(kEpsilonLabel)});
+  auto witness = subset_witness(tr_lang, orig_lang);
+  std::printf("  Theorem 5.1 L(simplified) subset of L(original): %s\n",
+              witness ? "VIOLATED" : "verified");
+}
+
+void BM_SimplifyTranslator(benchmark::State& state) {
+  const Circuit translator = models::translator();
+  const Circuit restricted = models::sender_restricted();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simplify_against(translator, restricted));
+  }
+}
+BENCHMARK(BM_SimplifyTranslator);
+
+void BM_SimplifyReceiver(benchmark::State& state) {
+  const Circuit receiver = models::receiver();
+  auto env = compose(models::sender_restricted(), models::translator());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simplify_against(receiver, env.circuit));
+  }
+}
+BENCHMARK(BM_SimplifyReceiver);
+
+void BM_DeadRemovalMarkedGraph(benchmark::State& state) {
+  // Marked-graph chain with a dead (token-free) tail of length n: the
+  // structural fixpoint is polynomial.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  net.add_transition({p0}, "live0", {p1});
+  net.add_transition({p1}, "live1", {p0});
+  PlaceId z0 = net.add_place("z0", 0);
+  PlaceId prev = z0;
+  for (std::size_t i = 0; i < n; ++i) {
+    PlaceId zi = net.add_place("z" + std::to_string(i + 1), 0);
+    net.add_transition({prev}, "dead" + std::to_string(i), {zi});
+    prev = zi;
+  }
+  net.add_transition({prev}, "deadloop", {z0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(remove_dead_transitions(net));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DeadRemovalMarkedGraph)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity();
+
+void BM_DeadRemovalGeneralNet(benchmark::State& state) {
+  // The same chain plus one conflict place: forces the reachability path.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  PlaceId p2 = net.add_place("p2", 0);
+  net.add_transition({p0}, "pick1", {p1});
+  net.add_transition({p0}, "pick2", {p2});
+  net.add_transition({p1}, "back1", {p0});
+  net.add_transition({p2}, "back2", {p0});
+  PlaceId prev = net.add_place("z0", 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    PlaceId zi = net.add_place("z" + std::to_string(i + 1), 0);
+    net.add_transition({prev}, "dead" + std::to_string(i), {zi});
+    prev = zi;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(remove_dead_transitions(net));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DeadRemovalGeneralNet)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity();
+
+}  // namespace
+}  // namespace cipnet
+
+int main(int argc, char** argv) {
+  cipnet::report();
+  std::printf("\n");
+  return cipnet::benchutil::run_benchmarks(argc, argv);
+}

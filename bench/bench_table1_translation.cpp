@@ -1,0 +1,113 @@
+// E4 — Table 1: the sender/receiver command translation tables.
+//
+// Report: prints both tables and machine-checks them — for every sender
+// command, the 4-phase rail pattern of Table 1(a) is a trace of the sender
+// STG (and wrong rail pairs are not); dually for the receiver with Table
+// 1(b). Also validates the delay-insensitive encodings of Section 3 that
+// generalize this fixed 2-wire scheme (one-hot, dual-rail, m-of-n).
+//
+// Benchmarks: encoding construction/validation and sender/receiver model
+// construction + language extraction.
+
+#include "bench_util.h"
+#include "cip/encoding.h"
+#include "lang/ops.h"
+#include "models/translator.h"
+
+namespace cipnet {
+namespace {
+
+void report() {
+  benchutil::header("E4 bench_table1_translation", "Table 1 (translation tables)");
+
+  const Circuit sender = models::sender();
+  Dfa sender_lang = canonical_language(sender.net());
+  std::printf("(a) sender:    command  ->  rails     round-trip trace check\n");
+  for (const auto& row : models::sender_translation_table()) {
+    std::vector<std::string> good{row.command + "~", row.rail_a + "+",
+                                  row.rail_b + "+", "n+",  row.rail_a + "-",
+                                  row.rail_b + "-", "n-"};
+    // Swap in the wrong b-rail: must be rejected.
+    std::string wrong_b = row.rail_b == "b0" ? "b1" : "b0";
+    std::vector<std::string> bad{row.command + "~", row.rail_a + "+",
+                                 wrong_b + "+"};
+    bool ok = sender_lang.accepts(good) && !sender_lang.accepts(bad);
+    std::printf("    %-6s~  ->  %s+ %s+   %s\n", row.command.c_str(),
+                row.rail_a.c_str(), row.rail_b.c_str(),
+                ok ? "OK" : "MISMATCH");
+  }
+
+  const Circuit receiver = models::receiver();
+  Dfa receiver_lang = canonical_language(receiver.net());
+  std::printf("(b) receiver:  rails    ->  command   round-trip trace check\n");
+  for (const auto& row : models::receiver_translation_table()) {
+    std::vector<std::string> good{row.rail_a + "+", row.rail_b + "+",
+                                  row.command + "~", "r+", row.rail_a + "-",
+                                  row.rail_b + "-", "r-"};
+    std::vector<std::string> bad{row.rail_a + "+", row.command + "~"};
+    bool ok = receiver_lang.accepts(good) && !receiver_lang.accepts(bad);
+    std::printf("    %s+ %s+  ->  %-6s~   %s\n", row.rail_a.c_str(),
+                row.rail_b.c_str(), row.command.c_str(),
+                ok ? "OK" : "MISMATCH");
+  }
+
+  std::printf("\ndelay-insensitive encodings (Section 3, antichain check):\n");
+  struct EncRow {
+    const char* name;
+    DataEncoding enc;
+  };
+  const std::vector<EncRow> encodings = {
+      {"one-hot(4)", DataEncoding::one_hot(4, "oh_")},
+      {"dual-rail(2 bits)", DataEncoding::dual_rail(2, "dr_")},
+      {"2-of-4", DataEncoding::m_of_n(2, 4, "m24_")},
+      {"3-of-6", DataEncoding::m_of_n(3, 6, "m36_")},
+  };
+  std::printf("    %-18s values  wires  valid\n", "encoding");
+  for (const auto& row : encodings) {
+    std::printf("    %-18s %-7zu %-6zu %s\n", row.name, row.enc.value_count(),
+                row.enc.wire_count(), row.enc.is_valid() ? "yes" : "NO");
+  }
+}
+
+void BM_BuildSenderModel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::sender());
+  }
+}
+BENCHMARK(BM_BuildSenderModel);
+
+void BM_SenderLanguage(benchmark::State& state) {
+  const Circuit sender = models::sender();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(canonical_language(sender.net()));
+  }
+}
+BENCHMARK(BM_SenderLanguage);
+
+void BM_MOfNEncoding(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    DataEncoding e = DataEncoding::m_of_n(n / 2, n, "w");
+    benchmark::DoNotOptimize(e.is_valid());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MOfNEncoding)->DenseRange(4, 12, 2)->Complexity();
+
+void BM_DualRailEncoding(benchmark::State& state) {
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    DataEncoding e = DataEncoding::dual_rail(bits, "d");
+    benchmark::DoNotOptimize(e.is_valid());
+  }
+}
+BENCHMARK(BM_DualRailEncoding)->DenseRange(1, 8);
+
+}  // namespace
+}  // namespace cipnet
+
+int main(int argc, char** argv) {
+  cipnet::report();
+  std::printf("\n");
+  return cipnet::benchutil::run_benchmarks(argc, argv);
+}

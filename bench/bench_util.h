@@ -1,0 +1,80 @@
+#pragma once
+
+// Shared helpers for the benchmark harness: scaling net families and the
+// report preamble every bench binary prints before running its
+// google-benchmark timings. Each binary regenerates one artifact of the
+// paper (see DESIGN.md's per-experiment index) — the report section prints
+// the paper-shaped rows, the benchmarks measure how the implementation
+// scales.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace cipnet::benchutil {
+
+/// A cyclic chain net a0.a1...a(k-1) repeated forever; labels optionally
+/// prefixed.
+inline PetriNet cycle_chain(std::size_t k, const std::string& prefix) {
+  PetriNet net;
+  std::vector<PlaceId> places;
+  for (std::size_t i = 0; i < k; ++i) {
+    places.push_back(
+        net.add_place(prefix + "p" + std::to_string(i), i == 0 ? 1 : 0));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    net.add_transition({places[i]}, prefix + "a" + std::to_string(i),
+                       {places[(i + 1) % k]});
+  }
+  return net;
+}
+
+/// An N-stage synchronized pipeline: stage i is a cycle
+/// (s_i . s_{i+1})* sharing label s_{i+1} with the next stage; composing
+/// all stages yields one net whose state space grows with N while the net
+/// itself grows linearly.
+inline PetriNet pipeline_stage(std::size_t i) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("st" + std::to_string(i) + "_p0", 1);
+  PlaceId p1 = net.add_place("st" + std::to_string(i) + "_p1", 0);
+  net.add_transition({p0}, "s" + std::to_string(i), {p1});
+  net.add_transition({p1}, "s" + std::to_string(i + 1), {p0});
+  return net;
+}
+
+/// Chain with one hideable internal label per stage:
+/// (v_i . h_i)* — hiding all h_i exercises repeated contraction.
+inline PetriNet hideable_chain(std::size_t stages) {
+  PetriNet net;
+  std::vector<PlaceId> places;
+  for (std::size_t i = 0; i < 2 * stages; ++i) {
+    places.push_back(net.add_place("c" + std::to_string(i), i == 0 ? 1 : 0));
+  }
+  for (std::size_t i = 0; i < stages; ++i) {
+    net.add_transition({places[2 * i]}, "v" + std::to_string(i),
+                       {places[2 * i + 1]});
+    net.add_transition({places[2 * i + 1]}, "h" + std::to_string(i),
+                       {places[(2 * i + 2) % (2 * stages)]});
+  }
+  return net;
+}
+
+inline void header(const char* experiment, const char* artifact) {
+  std::printf("================================================================\n");
+  std::printf("%s — reproduces %s\n", experiment, artifact);
+  std::printf("================================================================\n");
+}
+
+inline int run_benchmarks(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace cipnet::benchutil

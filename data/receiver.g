@@ -1,0 +1,56 @@
+.model receiver
+.inputs p0 p1 q0 q1
+.outputs mute one r start zero
+.graph
+p0+ rc_vp0
+p1+ rc_vp1
+q0+ rc_vq0
+q1+ rc_vq1
+start~ rc_start_c
+r+ rc_start_f1 rc_start_f2
+p0- rc_start_g1
+q0- rc_start_g2
+r- rc_xa rc_xb
+mute~ rc_mute_c
+r+/1 rc_mute_f1 rc_mute_f2
+p0-/1 rc_mute_g1
+q1- rc_mute_g2
+r-/1 rc_xa rc_xb
+zero~ rc_zero_c
+r+/2 rc_zero_f1 rc_zero_f2
+p1- rc_zero_g1
+q0-/1 rc_zero_g2
+r-/2 rc_xa rc_xb
+one~ rc_one_c
+r+/3 rc_one_f1 rc_one_f2
+p1-/1 rc_one_g1
+q1-/1 rc_one_g2
+r-/3 rc_xa rc_xb
+rc_xa p0+ p1+
+rc_xb q0+ q1+
+rc_vp0 start~ mute~
+rc_vp1 zero~ one~
+rc_vq0 start~ zero~
+rc_vq1 mute~ one~
+rc_start_c r+
+rc_start_f1 p0-
+rc_start_f2 q0-
+rc_start_g1 r-
+rc_start_g2 r-
+rc_mute_c r+/1
+rc_mute_f1 p0-/1
+rc_mute_f2 q1-
+rc_mute_g1 r-/1
+rc_mute_g2 r-/1
+rc_zero_c r+/2
+rc_zero_f1 p1-
+rc_zero_f2 q0-/1
+rc_zero_g1 r-/2
+rc_zero_g2 r-/2
+rc_one_c r+/3
+rc_one_f1 p1-/1
+rc_one_f2 q1-/1
+rc_one_g1 r-/3
+rc_one_g2 r-/3
+.marking { rc_xa rc_xb }
+.end

@@ -1,0 +1,67 @@
+.model sender
+.inputs n rec reset send0 send1
+.outputs a0 a1 b0 b1
+.graph
+rec~ sn_rec_f1 sn_rec_f2
+a0+ sn_rec_g1
+b0+ sn_rec_g2
+n+ sn_rec_h1 sn_rec_h2
+a0- sn_rec_i1
+b0- sn_rec_i2
+n- sn_idle
+reset~ sn_reset_f1 sn_reset_f2
+a0+/1 sn_reset_g1
+b1+ sn_reset_g2
+n+/1 sn_reset_h1 sn_reset_h2
+a0-/1 sn_reset_i1
+b1- sn_reset_i2
+n-/1 sn_idle
+send0~ sn_send0_f1 sn_send0_f2
+a1+ sn_send0_g1
+b0+/1 sn_send0_g2
+n+/2 sn_send0_h1 sn_send0_h2
+a1- sn_send0_i1
+b0-/1 sn_send0_i2
+n-/2 sn_idle
+send1~ sn_send1_f1 sn_send1_f2
+a1+/1 sn_send1_g1
+b1+/1 sn_send1_g2
+n+/3 sn_send1_h1 sn_send1_h2
+a1-/1 sn_send1_i1
+b1-/1 sn_send1_i2
+n-/3 sn_idle
+sn_idle rec~ reset~ send0~ send1~
+sn_rec_f1 a0+
+sn_rec_f2 b0+
+sn_rec_g1 n+
+sn_rec_g2 n+
+sn_rec_h1 a0-
+sn_rec_h2 b0-
+sn_rec_i1 n-
+sn_rec_i2 n-
+sn_reset_f1 a0+/1
+sn_reset_f2 b1+
+sn_reset_g1 n+/1
+sn_reset_g2 n+/1
+sn_reset_h1 a0-/1
+sn_reset_h2 b1-
+sn_reset_i1 n-/1
+sn_reset_i2 n-/1
+sn_send0_f1 a1+
+sn_send0_f2 b0+/1
+sn_send0_g1 n+/2
+sn_send0_g2 n+/2
+sn_send0_h1 a1-
+sn_send0_h2 b0-/1
+sn_send0_i1 n-/2
+sn_send0_i2 n-/2
+sn_send1_f1 a1+/1
+sn_send1_f2 b1+/1
+sn_send1_g1 n+/3
+sn_send1_g2 n+/3
+sn_send1_h1 a1-/1
+sn_send1_h2 b1-/1
+sn_send1_i1 n-/3
+sn_send1_i2 n-/3
+.marking { sn_idle }
+.end

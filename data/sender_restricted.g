@@ -1,0 +1,52 @@
+.model sender_restricted
+.inputs n reset send0 send1
+.outputs a0 a1 b0 b1
+.graph
+reset~ sn_reset_f1 sn_reset_f2
+a0+ sn_reset_g1
+b1+ sn_reset_g2
+n+ sn_reset_h1 sn_reset_h2
+a0- sn_reset_i1
+b1- sn_reset_i2
+n- sn_idle
+send0~ sn_send0_f1 sn_send0_f2
+a1+ sn_send0_g1
+b0+ sn_send0_g2
+n+/1 sn_send0_h1 sn_send0_h2
+a1- sn_send0_i1
+b0- sn_send0_i2
+n-/1 sn_idle
+send1~ sn_send1_f1 sn_send1_f2
+a1+/1 sn_send1_g1
+b1+/1 sn_send1_g2
+n+/2 sn_send1_h1 sn_send1_h2
+a1-/1 sn_send1_i1
+b1-/1 sn_send1_i2
+n-/2 sn_idle
+sn_idle reset~ send0~ send1~
+sn_reset_f1 a0+
+sn_reset_f2 b1+
+sn_reset_g1 n+
+sn_reset_g2 n+
+sn_reset_h1 a0-
+sn_reset_h2 b1-
+sn_reset_i1 n-
+sn_reset_i2 n-
+sn_send0_f1 a1+
+sn_send0_f2 b0+
+sn_send0_g1 n+/1
+sn_send0_g2 n+/1
+sn_send0_h1 a1-
+sn_send0_h2 b0-
+sn_send0_i1 n-/1
+sn_send0_i2 n-/1
+sn_send1_f1 a1+/1
+sn_send1_f2 b1+/1
+sn_send1_g1 n+/2
+sn_send1_g2 n+/2
+sn_send1_h1 a1-/1
+sn_send1_h2 b1-/1
+sn_send1_i1 n-/2
+sn_send1_i2 n-/2
+.marking { sn_idle }
+.end

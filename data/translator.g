@@ -1,0 +1,201 @@
+.model translator
+.inputs a0 a1 b0 b1 d r s
+.outputs n p0 p1 q0 q1
+.dummy eps eps/1 eps/2 eps/3 eps/4 eps/5 eps/6 eps/7
+.graph
+p0+ tr_init_v1
+q0+ tr_init_v2
+r+ tr_init_w1 tr_init_w2
+p0- tr_init_x1
+q0- tr_init_x2
+r- tr_init_done
+eps tr_ch
+a0+ tr_va0
+a1+ tr_va1
+b0+ tr_vb0
+b1+ tr_vb1
+n+ tr_reset_ha tr_reset_hb
+a0- tr_reset_ka
+b1- tr_reset_kb
+eps/1 tr_reset_ua tr_reset_ub
+p0+/1 tr_reset_fw_v1
+q0+/1 tr_reset_fw_v2
+r+/1 tr_reset_fw_w1 tr_reset_fw_w2
+p0-/1 tr_reset_fw_x1
+q0-/1 tr_reset_fw_x2
+r-/1 tr_reset_fw_done
+n- tr_wa tr_wb tr_ch
+n+/1 tr_send0_ha tr_send0_hb
+a1- tr_send0_ka
+b0- tr_send0_kb
+eps/2 tr_send0_ua tr_send0_ub
+p1+ tr_send0_fw_v1
+q0+/2 tr_send0_fw_v2
+r+/2 tr_send0_fw_w1 tr_send0_fw_w2
+p1- tr_send0_fw_x1
+q0-/2 tr_send0_fw_x2
+r-/2 tr_send0_fw_done
+n-/1 tr_wa tr_wb tr_ch
+n+/2 tr_send1_ha tr_send1_hb
+a1-/1 tr_send1_ka
+b1-/1 tr_send1_kb
+eps/3 tr_send1_ua tr_send1_ub
+p1+/1 tr_send1_fw_v1
+q1+ tr_send1_fw_v2
+r+/3 tr_send1_fw_w1 tr_send1_fw_w2
+p1-/1 tr_send1_fw_x1
+q1- tr_send1_fw_x2
+r-/3 tr_send1_fw_done
+n-/2 tr_wa tr_wb tr_ch
+n+/3 tr_rec_ha tr_rec_hb
+a0-/1 tr_rec_ka
+b0-/1 tr_rec_kb
+d= tr_rec_st1
+s= tr_rec_st2
+eps/4 tr_rec_start_ua tr_rec_start_ub
+p0+/2 tr_rec_start_v1
+q0+/3 tr_rec_start_v2
+r+/4 tr_rec_start_w1 tr_rec_start_w2
+p0-/2 tr_rec_start_x1
+q0-/3 tr_rec_start_x2
+r-/4 tr_rec_start_done
+d# tr_rec_start_rel1
+s# tr_rec_start_rel2
+n-/3 tr_wa tr_wb tr_ch
+eps/5 tr_rec_mute_ua tr_rec_mute_ub
+p0+/3 tr_rec_mute_v1
+q1+/1 tr_rec_mute_v2
+r+/5 tr_rec_mute_w1 tr_rec_mute_w2
+p0-/3 tr_rec_mute_x1
+q1-/1 tr_rec_mute_x2
+r-/5 tr_rec_mute_done
+d#/1 tr_rec_mute_rel1
+s#/1 tr_rec_mute_rel2
+n-/4 tr_wa tr_wb tr_ch
+eps/6 tr_rec_zero_ua tr_rec_zero_ub
+p1+/2 tr_rec_zero_v1
+q0+/4 tr_rec_zero_v2
+r+/6 tr_rec_zero_w1 tr_rec_zero_w2
+p1-/2 tr_rec_zero_x1
+q0-/4 tr_rec_zero_x2
+r-/6 tr_rec_zero_done
+d#/2 tr_rec_zero_rel1
+s#/2 tr_rec_zero_rel2
+n-/5 tr_wa tr_wb tr_ch
+eps/7 tr_rec_one_ua tr_rec_one_ub
+p1+/3 tr_rec_one_v1
+q1+/2 tr_rec_one_v2
+r+/7 tr_rec_one_w1 tr_rec_one_w2
+p1-/3 tr_rec_one_x1
+q1-/2 tr_rec_one_x2
+r-/7 tr_rec_one_done
+d#/3 tr_rec_one_rel1
+s#/3 tr_rec_one_rel2
+n-/6 tr_wa tr_wb tr_ch
+tr_wa a0+ a1+
+tr_wb b0+ b1+
+tr_ch eps/1 eps/2 eps/3 eps/4 eps/5 eps/6 eps/7
+tr_ia p0+
+tr_ib q0+
+tr_init_v1 r+
+tr_init_v2 r+
+tr_init_w1 p0-
+tr_init_w2 q0-
+tr_init_x1 r-
+tr_init_x2 r-
+tr_init_done eps
+tr_va0 n+ n+/3
+tr_va1 n+/1 n+/2
+tr_vb0 n+/1 n+/3
+tr_vb1 n+ n+/2
+tr_reset_ha a0-
+tr_reset_hb b1-
+tr_reset_ka eps/1
+tr_reset_kb eps/1
+tr_reset_ua p0+/1
+tr_reset_ub q0+/1
+tr_reset_fw_v1 r+/1
+tr_reset_fw_v2 r+/1
+tr_reset_fw_w1 p0-/1
+tr_reset_fw_w2 q0-/1
+tr_reset_fw_x1 r-/1
+tr_reset_fw_x2 r-/1
+tr_reset_fw_done n-
+tr_send0_ha a1-
+tr_send0_hb b0-
+tr_send0_ka eps/2
+tr_send0_kb eps/2
+tr_send0_ua p1+
+tr_send0_ub q0+/2
+tr_send0_fw_v1 r+/2
+tr_send0_fw_v2 r+/2
+tr_send0_fw_w1 p1-
+tr_send0_fw_w2 q0-/2
+tr_send0_fw_x1 r-/2
+tr_send0_fw_x2 r-/2
+tr_send0_fw_done n-/1
+tr_send1_ha a1-/1
+tr_send1_hb b1-/1
+tr_send1_ka eps/3
+tr_send1_kb eps/3
+tr_send1_ua p1+/1
+tr_send1_ub q1+
+tr_send1_fw_v1 r+/3
+tr_send1_fw_v2 r+/3
+tr_send1_fw_w1 p1-/1
+tr_send1_fw_w2 q1-
+tr_send1_fw_x1 r-/3
+tr_send1_fw_x2 r-/3
+tr_send1_fw_done n-/2
+tr_rec_ha a0-/1
+tr_rec_hb b0-/1
+tr_rec_ka d=
+tr_rec_kb d=
+tr_rec_st1 s=
+tr_rec_st2 eps/4 eps/5 eps/6 eps/7
+tr_rec_start_ua p0+/2
+tr_rec_start_ub q0+/3
+tr_rec_start_v1 r+/4
+tr_rec_start_v2 r+/4
+tr_rec_start_w1 p0-/2
+tr_rec_start_w2 q0-/3
+tr_rec_start_x1 r-/4
+tr_rec_start_x2 r-/4
+tr_rec_start_done d#
+tr_rec_start_rel1 s#
+tr_rec_start_rel2 n-/3
+tr_rec_mute_ua p0+/3
+tr_rec_mute_ub q1+/1
+tr_rec_mute_v1 r+/5
+tr_rec_mute_v2 r+/5
+tr_rec_mute_w1 p0-/3
+tr_rec_mute_w2 q1-/1
+tr_rec_mute_x1 r-/5
+tr_rec_mute_x2 r-/5
+tr_rec_mute_done d#/1
+tr_rec_mute_rel1 s#/1
+tr_rec_mute_rel2 n-/4
+tr_rec_zero_ua p1+/2
+tr_rec_zero_ub q0+/4
+tr_rec_zero_v1 r+/6
+tr_rec_zero_v2 r+/6
+tr_rec_zero_w1 p1-/2
+tr_rec_zero_w2 q0-/4
+tr_rec_zero_x1 r-/6
+tr_rec_zero_x2 r-/6
+tr_rec_zero_done d#/2
+tr_rec_zero_rel1 s#/2
+tr_rec_zero_rel2 n-/5
+tr_rec_one_ua p1+/3
+tr_rec_one_ub q1+/2
+tr_rec_one_v1 r+/7
+tr_rec_one_v2 r+/7
+tr_rec_one_w1 p1-/3
+tr_rec_one_w2 q1-/2
+tr_rec_one_x1 r-/7
+tr_rec_one_x2 r-/7
+tr_rec_one_done d#/3
+tr_rec_one_rel1 s#/3
+tr_rec_one_rel2 n-/6
+.marking { tr_wa tr_wb tr_ia tr_ib }
+.end

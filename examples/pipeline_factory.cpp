@@ -1,0 +1,99 @@
+// A scalable CIP application: an N-stage processing pipeline where
+// neighbouring stages communicate over abstract control channels. Shows
+// how the communicating-net view composes many modules, how the automatic
+// handshake expansion scales, and that the end-to-end behavior (tokens
+// flow stage by stage) survives expansion.
+//
+// Run: ./build/examples/example_pipeline_factory [stages]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cip/cip.h"
+#include "lang/ops.h"
+#include "reach/properties.h"
+#include "reach/reachability.h"
+
+using namespace cipnet;
+
+namespace {
+
+/// Stage i: receive a job from channel ch(i-1), work, pass it on ch(i).
+CipNetwork build_pipeline(std::size_t stages) {
+  CipNetwork cip;
+  std::vector<ModuleId> modules;
+  for (std::size_t i = 0; i < stages; ++i) {
+    PetriNet stage;
+    PlaceId idle = stage.add_place("m" + std::to_string(i) + "_idle", 1);
+    PlaceId busy = stage.add_place("m" + std::to_string(i) + "_busy", 0);
+    PlaceId done = stage.add_place("m" + std::to_string(i) + "_done", 0);
+    std::string work = "work" + std::to_string(i);
+    if (i == 0) {
+      // The first stage generates jobs spontaneously.
+      stage.add_transition({idle}, work + "~", {busy});
+    } else {
+      stage.add_transition({idle},
+                           receive_label("ch" + std::to_string(i - 1)),
+                           {busy});
+    }
+    stage.add_transition({busy}, work + "+", {done});
+    if (i + 1 == stages) {
+      stage.add_transition({done}, "ship~", {idle});
+      modules.push_back(cip.add_module("stage" + std::to_string(i), stage, {},
+                                       {work, "ship"}));
+    } else {
+      stage.add_transition({done}, send_label("ch" + std::to_string(i)),
+                           {idle});
+      modules.push_back(
+          cip.add_module("stage" + std::to_string(i), stage, {}, {work}));
+    }
+  }
+  for (std::size_t i = 0; i + 1 < stages; ++i) {
+    cip.add_channel("ch" + std::to_string(i), modules[i], modules[i + 1]);
+  }
+  return cip;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t stages = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  if (stages < 2) stages = 2;
+  std::printf("building a %zu-stage pipeline over abstract channels...\n\n",
+              stages);
+
+  CipNetwork cip = build_pipeline(stages);
+  cip.validate();
+
+  PetriNet abstract = cip.abstract_composition();
+  std::printf("abstract composition: %s\n", abstract.summary().c_str());
+
+  Stg expanded = cip.expanded_composition();
+  std::printf("expanded composition: %s\n", expanded.net().summary().c_str());
+
+  ReachabilityGraph rg = explore(expanded.net());
+  std::printf("expanded state space: %zu states, safe: %s, deadlocks: %zu\n",
+              rg.state_count(), is_safe(rg) ? "yes" : "no",
+              deadlock_states(rg).size());
+
+  // End-to-end property: a job must pass through every stage before
+  // shipping. Project onto the work pulses and the ship event.
+  std::vector<std::string> observable{"ship~"};
+  for (std::size_t i = 0; i < stages; ++i) {
+    observable.push_back("work" + std::to_string(i) + "+");
+  }
+  Dfa lang = minimize(
+      determinize(project_labels(nfa_of_net(expanded.net()), observable)));
+  std::vector<std::string> in_order;
+  for (std::size_t i = 0; i < stages; ++i) {
+    in_order.push_back("work" + std::to_string(i) + "+");
+  }
+  in_order.push_back("ship~");
+  std::vector<std::string> skip_stage{"work0+", "ship~"};
+  std::printf("\njob passes all stages then ships: %s\n",
+              lang.accepts(in_order) ? "yes" : "NO");
+  std::printf("shipping after skipping stages:   %s\n",
+              stages > 1 && lang.accepts(skip_stage) ? "POSSIBLE (bug)"
+                                                      : "impossible");
+  return 0;
+}

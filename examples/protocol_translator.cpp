@@ -1,0 +1,94 @@
+// The complete Section 6 design example: the I2C-style protocol translation
+// module of Figure 4 — sender, protocol translator, receiver — built as
+// circuits, composed, verified for receptiveness, and compositionally
+// simplified against the restricted sender of Figure 9(a).
+//
+// Run: ./build/examples/example_protocol_translator
+
+#include <cstdio>
+
+#include "circuit/receptive.h"
+#include "circuit/simplify.h"
+#include "models/translator.h"
+#include "reach/properties.h"
+#include "reach/reachability.h"
+
+using namespace cipnet;
+
+namespace {
+
+void print_circuit(const Circuit& c) {
+  std::printf("%-20s %s  inputs:", c.name().c_str(),
+              c.net().summary().c_str());
+  for (const auto& s : c.inputs()) std::printf(" %s", s.c_str());
+  std::printf("  outputs:");
+  for (const auto& s : c.outputs()) std::printf(" %s", s.c_str());
+  std::printf("\n");
+}
+
+void print_table(const char* title,
+                 const std::vector<models::TranslationRow>& rows) {
+  std::printf("%s\n", title);
+  for (const auto& row : rows) {
+    std::printf("  %-6s~  ->  %s+ %s+\n", row.command.c_str(),
+                row.rail_a.c_str(), row.rail_b.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 1: translation tables ==\n");
+  print_table("(a) sender", models::sender_translation_table());
+  print_table("(b) receiver", models::receiver_translation_table());
+
+  std::printf("\n== Figures 5-7: the three blocks ==\n");
+  Circuit sender = models::sender();
+  Circuit translator = models::translator();
+  Circuit receiver = models::receiver();
+  print_circuit(sender);
+  print_circuit(translator);
+  print_circuit(receiver);
+
+  std::printf("\n== Composition of the full stack ==\n");
+  auto st = compose(sender, translator);
+  auto full = compose(st.circuit, receiver);
+  print_circuit(full.circuit);
+  ReachabilityGraph rg = explore(full.circuit.net());
+  std::printf("reachable states: %zu, safe: %s\n", rg.state_count(),
+              is_safe(rg) ? "yes" : "no");
+
+  std::printf("\n== Receptiveness (Propositions 5.5/5.6) ==\n");
+  auto r1 = check_receptiveness(sender, translator);
+  std::printf("sender     || translator : %s (%zu sync transitions)\n",
+              r1.receptive() ? "consistent" : "FAILS",
+              r1.checked_transitions);
+  auto r2 = check_receptiveness(translator, receiver);
+  std::printf("translator || receiver   : %s (%zu sync transitions)\n",
+              r2.receptive() ? "consistent" : "FAILS",
+              r2.checked_transitions);
+
+  std::printf("\n== Figure 9: compositional simplification ==\n");
+  Circuit restricted = models::sender_restricted();
+  print_circuit(restricted);
+  auto simplified_tr = simplify_against(translator, restricted);
+  std::printf(
+      "translator: %zu places / %zu transitions  ->  %zu places / %zu "
+      "transitions (%zu dead removed)\n",
+      simplified_tr.stats.places_before, simplified_tr.stats.transitions_before,
+      simplified_tr.stats.places_after, simplified_tr.stats.transitions_after,
+      simplified_tr.stats.dead_transitions_removed);
+
+  auto env = compose(restricted, translator);
+  auto simplified_rc = simplify_against(receiver, env.circuit);
+  std::printf(
+      "receiver:   %zu places / %zu transitions  ->  %zu places / %zu "
+      "transitions (%zu dead removed)\n",
+      simplified_rc.stats.places_before, simplified_rc.stats.transitions_before,
+      simplified_rc.stats.places_after, simplified_rc.stats.transitions_after,
+      simplified_rc.stats.dead_transitions_removed);
+  std::printf(
+      "\nThe rec command and the mute forwarding are gone, exactly as in "
+      "Figures 9(b)/(c).\n");
+  return 0;
+}

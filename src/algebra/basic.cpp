@@ -1,0 +1,128 @@
+#include "algebra/basic.h"
+
+#include "util/error.h"
+
+namespace cipnet {
+
+PetriNet nil() {
+  PetriNet net;
+  net.add_place("nil", 1);
+  return net;
+}
+
+std::string fresh_place_name(const PetriNet& net, std::string base) {
+  while (net.find_place(base)) base += "'";
+  return base;
+}
+
+namespace {
+
+/// Copy places (with the given initial tokens), alphabet and transitions of
+/// `src` into `dst`; returns the place map.
+std::vector<PlaceId> copy_net_into(const PetriNet& src, PetriNet& dst,
+                                   bool keep_initial_tokens) {
+  std::vector<PlaceId> place_map;
+  place_map.reserve(src.place_count());
+  for (PlaceId p : src.all_places()) {
+    Token tokens = keep_initial_tokens ? src.initial_marking()[p] : 0;
+    place_map.push_back(
+        dst.add_place(fresh_place_name(dst, src.place(p).name), tokens));
+  }
+  for (std::size_t a = 0; a < src.action_count(); ++a) {
+    dst.add_action(src.label(ActionId(static_cast<std::uint32_t>(a))));
+  }
+  for (TransitionId t : src.all_transitions()) {
+    const auto& tr = src.transition(t);
+    std::vector<PlaceId> preset, postset;
+    for (PlaceId p : tr.preset) preset.push_back(place_map[p.index()]);
+    for (PlaceId p : tr.postset) postset.push_back(place_map[p.index()]);
+    dst.add_transition(std::move(preset), dst.add_action(src.label(tr.action)),
+                       std::move(postset), tr.guard);
+  }
+  return place_map;
+}
+
+}  // namespace
+
+PetriNet action_prefix(const std::string& action, const PetriNet& net) {
+  if (!net.initial_marking().is_safe()) {
+    throw SemanticError(
+        "action_prefix requires a safe initial marking (use "
+        "action_prefix_general)");
+  }
+  PetriNet out;
+  auto place_map = copy_net_into(net, out, /*keep_initial_tokens=*/false);
+  PlaceId m0 = out.add_place(fresh_place_name(out, "m0"), 1);
+  std::vector<PlaceId> targets;
+  for (PlaceId p : net.all_places()) {
+    if (net.initial_marking()[p] > 0) targets.push_back(place_map[p.index()]);
+  }
+  out.add_transition({m0}, action, std::move(targets));
+  return out;
+}
+
+PetriNet action_prefix_general(const std::string& action,
+                               const PetriNet& net) {
+  // Keep the original initial marking; gate every initially enabled
+  // transition behind an unmarked sentinel place in a self-loop. The prefix
+  // transition consumes a fresh marked gate place and fills the sentinels,
+  // so nothing can fire before `action` (the remark after Proposition 4.2).
+  PetriNet out;
+  std::vector<PlaceId> place_map;
+  for (PlaceId p : net.all_places()) {
+    place_map.push_back(
+        out.add_place(net.place(p).name, net.initial_marking()[p]));
+  }
+  for (std::size_t a = 0; a < net.action_count(); ++a) {
+    out.add_action(net.label(ActionId(static_cast<std::uint32_t>(a))));
+  }
+  PlaceId gate = out.add_place(fresh_place_name(out, "m0"), 1);
+  std::vector<PlaceId> sentinels;
+  for (TransitionId t : net.all_transitions()) {
+    const auto& tr = net.transition(t);
+    std::vector<PlaceId> preset, postset;
+    for (PlaceId p : tr.preset) preset.push_back(place_map[p.index()]);
+    for (PlaceId p : tr.postset) postset.push_back(place_map[p.index()]);
+    if (net.is_enabled(net.initial_marking(), t)) {
+      PlaceId sentinel = out.add_place(
+          fresh_place_name(out, "sent" + std::to_string(sentinels.size())), 0);
+      sentinels.push_back(sentinel);
+      preset.push_back(sentinel);
+      postset.push_back(sentinel);
+    }
+    out.add_transition(std::move(preset),
+                       out.add_action(net.label(tr.action)),
+                       std::move(postset), tr.guard);
+  }
+  out.add_transition({gate}, action, std::move(sentinels));
+  return out;
+}
+
+PetriNet rename(const PetriNet& net,
+                const std::map<std::string, std::string>& renames) {
+  PetriNet out;
+  std::vector<PlaceId> place_map;
+  for (PlaceId p : net.all_places()) {
+    place_map.push_back(
+        out.add_place(net.place(p).name, net.initial_marking()[p]));
+  }
+  for (std::size_t a = 0; a < net.action_count(); ++a) {
+    const std::string& label = net.label(ActionId(static_cast<std::uint32_t>(a)));
+    auto it = renames.find(label);
+    out.add_action(it == renames.end() ? label : it->second);
+  }
+  for (TransitionId t : net.all_transitions()) {
+    const auto& tr = net.transition(t);
+    const std::string& label = net.label(tr.action);
+    auto it = renames.find(label);
+    std::vector<PlaceId> preset, postset;
+    for (PlaceId p : tr.preset) preset.push_back(place_map[p.index()]);
+    for (PlaceId p : tr.postset) postset.push_back(place_map[p.index()]);
+    out.add_transition(std::move(preset),
+                       it == renames.end() ? label : it->second,
+                       std::move(postset), tr.guard);
+  }
+  return out;
+}
+
+}  // namespace cipnet

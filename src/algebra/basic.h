@@ -1,0 +1,42 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// Basic action operators of the Petri net algebra (Section 4.1).
+
+/// The deadlock action `nil` (Definition 4.2): a single marked place, no
+/// transitions, empty alphabet. `L(nil) = {<>}` — only the empty trace
+/// (Proposition 4.1 writes ∅ for the language of *non-empty* traces).
+[[nodiscard]] PetriNet nil();
+
+/// Action prefix `a.N` (Definition 4.3): a fresh initial place `m0` and a
+/// fresh transition `(m0, a, M)` targeting the originally marked places.
+/// Requires a safe initial marking (the paper's precondition); throws
+/// `SemanticError` otherwise. `L(a.N) = {<>, a} ∪ a·L(N)` (Proposition 4.2).
+[[nodiscard]] PetriNet action_prefix(const std::string& action,
+                                     const PetriNet& net);
+
+/// General-net action prefix (the remark after Proposition 4.2): keeps the
+/// original initial marking in place and adds, per original initial
+/// transition, a sentinel place in a self-loop so nothing can fire before
+/// the prefix action. Works for non-safe initial markings.
+[[nodiscard]] PetriNet action_prefix_general(const std::string& action,
+                                             const PetriNet& net);
+
+/// Renaming (Definition 4.4), extended to sets of names: every transition
+/// labeled `b` is relabeled `renames[b]`; the alphabet drops the renamed
+/// labels and gains the targets. Renaming onto an existing label merges the
+/// two actions. `L(rename(N, r)) = rename(L(N), r)` (Proposition 4.3).
+[[nodiscard]] PetriNet rename(const PetriNet& net,
+                              const std::map<std::string, std::string>& renames);
+
+/// A place name not yet used in `net`: `base`, else `base'`, `base''`, ...
+[[nodiscard]] std::string fresh_place_name(const PetriNet& net,
+                                           std::string base);
+
+}  // namespace cipnet

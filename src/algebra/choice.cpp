@@ -1,0 +1,189 @@
+#include "algebra/choice.h"
+
+#include "algebra/basic.h"
+#include "util/error.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+namespace {
+
+void require_safe_initial(const PetriNet& net, const char* op) {
+  if (!net.initial_marking().is_safe()) {
+    throw SemanticError(std::string(op) +
+                        " requires a safe initial marking");
+  }
+}
+
+std::vector<PlaceId> initial_places(const PetriNet& net) {
+  return net.initial_marking().marked_places();
+}
+
+/// Enumerate the non-empty subsets of `items` (|items| is bounded by the
+/// preset size, so this stays tiny).
+std::vector<std::vector<PlaceId>> nonempty_subsets(
+    const std::vector<PlaceId>& items) {
+  std::vector<std::vector<PlaceId>> out;
+  const std::size_t n = items.size();
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<PlaceId> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) subset.push_back(items[i]);
+    }
+    out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+}  // namespace
+
+PetriNet root_unwinding(const PetriNet& net) {
+  require_safe_initial(net, "root_unwinding");
+  const auto init = initial_places(net);
+
+  PetriNet out;
+  std::vector<PlaceId> place_map;
+  for (PlaceId p : net.all_places()) {
+    place_map.push_back(out.add_place(net.place(p).name, 0));
+  }
+  // P0: one fresh copy per initial place, carrying the initial tokens.
+  std::vector<PlaceId> root_map(net.place_count(), PlaceId(0));
+  for (PlaceId p : init) {
+    root_map[p.index()] = out.add_place(
+        fresh_place_name(out, net.place(p).name + "0"),
+        net.initial_marking()[p]);
+  }
+  for (std::size_t a = 0; a < net.action_count(); ++a) {
+    out.add_action(net.label(ActionId(static_cast<std::uint32_t>(a))));
+  }
+  for (TransitionId t : net.all_transitions()) {
+    const auto& tr = net.transition(t);
+    std::vector<PlaceId> preset, postset;
+    for (PlaceId p : tr.preset) preset.push_back(place_map[p.index()]);
+    for (PlaceId p : tr.postset) postset.push_back(place_map[p.index()]);
+    out.add_transition(preset, out.add_action(net.label(tr.action)), postset,
+                       tr.guard);
+    // Definition 4.5 duplicates transitions whose whole preset lies in the
+    // initial places. We generalize: for every non-empty subset S of
+    // (preset ∩ initial places), add a variant consuming the root copies for
+    // S and the originals elsewhere. This also covers presets that mix
+    // initial and later-produced places (e.g. a loop refills one initial
+    // input while the root token of another is still unspent), which the
+    // literal definition silently deadlocks on. For presets fully inside the
+    // initial places, the S = full-set variant is exactly the paper's copy.
+    auto on_roots = sorted_set::set_intersection(tr.preset, init);
+    for (const auto& subset : nonempty_subsets(on_roots)) {
+      std::vector<PlaceId> variant;
+      for (PlaceId p : tr.preset) {
+        variant.push_back(sorted_set::contains(subset, p)
+                              ? root_map[p.index()]
+                              : place_map[p.index()]);
+      }
+      out.add_transition(std::move(variant),
+                         out.add_action(net.label(tr.action)), postset,
+                         tr.guard);
+    }
+  }
+  return out;
+}
+
+PetriNet choice(const PetriNet& n1, const PetriNet& n2) {
+  require_safe_initial(n1, "choice");
+  require_safe_initial(n2, "choice");
+  const auto init1 = initial_places(n1);
+  const auto init2 = initial_places(n2);
+  if (init1.empty() || init2.empty()) {
+    // With an empty root, the product P0_1 × P0_2 would be empty and the
+    // other branch's initial transitions would get empty presets (always
+    // enabled) — Definition 4.6 implicitly assumes marked roots.
+    throw SemanticError("choice requires non-empty initial markings");
+  }
+
+  PetriNet out;
+  // Copy P1 and P2, zeroed.
+  std::vector<PlaceId> map1, map2;
+  for (PlaceId p : n1.all_places()) {
+    map1.push_back(out.add_place(fresh_place_name(out, n1.place(p).name), 0));
+  }
+  for (PlaceId p : n2.all_places()) {
+    map2.push_back(out.add_place(fresh_place_name(out, n2.place(p).name), 0));
+  }
+  // Product root places P0_1 × P0_2, each initially marked:
+  // product[i][j] pairs init1[i] with init2[j].
+  std::vector<std::vector<PlaceId>> product(init1.size());
+  for (std::size_t i = 0; i < init1.size(); ++i) {
+    for (std::size_t j = 0; j < init2.size(); ++j) {
+      product[i].push_back(out.add_place(
+          fresh_place_name(out, "(" + n1.place(init1[i]).name + "," +
+                                    n2.place(init2[j]).name + ")"),
+          1));
+    }
+  }
+
+  for (std::size_t a = 0; a < n1.action_count(); ++a) {
+    out.add_action(n1.label(ActionId(static_cast<std::uint32_t>(a))));
+  }
+  for (std::size_t a = 0; a < n2.action_count(); ++a) {
+    out.add_action(n2.label(ActionId(static_cast<std::uint32_t>(a))));
+  }
+
+  auto emit = [&](const PetriNet& src, const std::vector<PlaceId>& map,
+                  const std::vector<PlaceId>& init, bool left) {
+    auto row_index = [&](PlaceId p) {
+      for (std::size_t i = 0; i < init.size(); ++i) {
+        if (init[i] == p) return i;
+      }
+      throw SemanticError("internal: place not initial");
+    };
+    // Root token of init[i]: the full row (left) / column (right) of the
+    // product — p × P0_2 resp. P0_1 × p in Definition 4.6.
+    auto root_cells = [&](PlaceId p) {
+      std::vector<PlaceId> cells;
+      if (left) {
+        std::size_t i = row_index(p);
+        for (std::size_t j = 0; j < init2.size(); ++j) {
+          cells.push_back(product[i][j]);
+        }
+      } else {
+        std::size_t j = row_index(p);
+        for (std::size_t i = 0; i < init1.size(); ++i) {
+          cells.push_back(product[i][j]);
+        }
+      }
+      return cells;
+    };
+
+    for (TransitionId t : src.all_transitions()) {
+      const auto& tr = src.transition(t);
+      std::vector<PlaceId> preset, postset;
+      for (PlaceId p : tr.preset) preset.push_back(map[p.index()]);
+      for (PlaceId p : tr.postset) postset.push_back(map[p.index()]);
+      // Original transition on the (initially un-marked) original places.
+      out.add_transition(preset, out.add_action(src.label(tr.action)), postset,
+                         tr.guard);
+      // Root variants, generalized exactly as in root_unwinding: each
+      // initial preset place consumed from the root is consumed as its full
+      // product row/column, committing the choice to this branch.
+      auto on_roots = sorted_set::set_intersection(tr.preset, init);
+      for (const auto& subset : nonempty_subsets(on_roots)) {
+        std::vector<PlaceId> variant;
+        for (PlaceId p : tr.preset) {
+          if (sorted_set::contains(subset, p)) {
+            auto cells = root_cells(p);
+            variant.insert(variant.end(), cells.begin(), cells.end());
+          } else {
+            variant.push_back(map[p.index()]);
+          }
+        }
+        out.add_transition(std::move(variant),
+                           out.add_action(src.label(tr.action)), postset,
+                           tr.guard);
+      }
+    }
+  };
+  emit(n1, map1, init1, /*left=*/true);
+  emit(n2, map2, init2, /*left=*/false);
+  return out;
+}
+
+}  // namespace cipnet

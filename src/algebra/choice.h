@@ -1,0 +1,23 @@
+#pragma once
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// Root-unwinding (Definition 4.5): duplicates the initial places into fresh
+/// copies `P0`, duplicates every transition whose whole preset lies in the
+/// initial places so that it can also consume the copies, and moves the
+/// initial tokens onto `P0`. Needed so that in a choice, a loop back to the
+/// initial places of the chosen branch cannot re-enable the other branch
+/// (Figure 1). Requires a safe initial marking.
+[[nodiscard]] PetriNet root_unwinding(const PetriNet& net);
+
+/// Non-deterministic choice `N1 + N2` (Definition 4.6): the union of both
+/// nets with the root places of the two unwindings replaced by product
+/// places `P0_1 × P0_2`; each initial transition of either branch consumes
+/// a full "row"/"column" of the product, thereby disabling the other branch
+/// forever. `L(N1 + N2) = L(N1) ∪ L(N2)` (Proposition 4.4). Requires safe
+/// initial markings.
+[[nodiscard]] PetriNet choice(const PetriNet& n1, const PetriNet& n2);
+
+}  // namespace cipnet

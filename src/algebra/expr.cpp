@@ -1,0 +1,119 @@
+#include "algebra/expr.h"
+
+#include <cctype>
+
+#include "algebra/basic.h"
+#include "algebra/choice.h"
+#include "algebra/parallel.h"
+#include "util/error.h"
+
+namespace cipnet {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  PetriNet parse() {
+    PetriNet net = expr();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing input");
+    return net;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("expression, offset " + std::to_string(pos_) + ": " +
+                     message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_parallel() {
+    skip_ws();
+    if (pos_ + 1 < text_.size() && text_[pos_] == '|' &&
+        text_[pos_ + 1] == '|') {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  std::string action() {
+    skip_ws();
+    std::size_t start = pos_;
+    auto is_head = [](char c) {
+      return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+    };
+    auto is_tail = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) ||
+             std::string_view("_+~#*=!?-").find(c) != std::string_view::npos;
+    };
+    if (pos_ >= text_.size() || !is_head(text_[pos_])) return "";
+    ++pos_;
+    while (pos_ < text_.size() && is_tail(text_[pos_])) ++pos_;
+    return text_.substr(start, pos_ - start);
+  }
+
+  PetriNet expr() {
+    PetriNet net = term();
+    while (eat('+')) {
+      net = choice(net, term());
+    }
+    return net;
+  }
+
+  PetriNet term() {
+    PetriNet net = factor();
+    while (eat_parallel()) {
+      net = parallel_net(net, factor());
+    }
+    return net;
+  }
+
+  PetriNet factor() {
+    skip_ws();
+    if (eat('0')) return nil();
+    if (eat('(')) {
+      PetriNet inner = expr();
+      if (!eat(')')) fail("expected )");
+      if (eat('.')) {
+        fail("sequential composition is not in the algebra: only an action "
+             "can prefix (Definition 4.3)");
+      }
+      return inner;
+    }
+    std::string name = action();
+    if (name.empty()) fail("expected action, 0 or (");
+    if (eat('.')) {
+      return action_prefix(name, factor());
+    }
+    return action_prefix(name, nil());
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PetriNet net_from_expression(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace cipnet

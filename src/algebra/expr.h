@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// Build a net from a CCS/CSP-style process expression using exactly the
+/// paper's operators (Section 4):
+///
+///   expr   := term ('+' term)*            non-deterministic choice
+///   term   := factor ('||' factor)*       parallel composition
+///   factor := action '.' factor           action prefix
+///           | action                      sugar for action.0
+///           | '0'                         nil (deadlock)
+///           | '(' expr ')'
+///
+/// Actions are `[A-Za-z_][A-Za-z0-9_+~#*=!?-]*`. Note the algebra has no
+/// general sequential composition: only an *action* can prefix (the paper
+/// defines `a.N`, not `N1;N2`), so `(a||b).c` is rejected.
+///
+/// Example: `coin.(tea + coffee) || coin.slot`
+[[nodiscard]] PetriNet net_from_expression(const std::string& text);
+
+}  // namespace cipnet

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+struct HideOptions {
+  /// Use the fast path of Section 4.4's last paragraph (collapse the two
+  /// places) when the hidden transition has a single conflict-free input
+  /// place and a single choice-free output place. Turning this off forces
+  /// the general product construction everywhere (ablation benchmarks).
+  bool allow_simple_collapse = true;
+  /// Successive transition hiding can duplicate other hidden-label
+  /// transitions; this bounds the total number of single-transition
+  /// contractions per `hide` call (LimitError beyond).
+  std::size_t max_contractions = 10000;
+  /// Abort (or fall back to eps) when the intermediate net grows beyond
+  /// this many transitions — contraction can grow nets multiplicatively, so
+  /// a contraction budget alone does not bound the work.
+  std::size_t max_intermediate_transitions = 100000;
+  /// Same guard for places — the |p|·|q| product construction can grow the
+  /// place count much faster than the transition count.
+  std::size_t max_intermediate_places = 100000;
+  /// When a transition cannot be contracted in an ordinary net (self-loop,
+  /// empty postset, or a neighbor consuming from both its preset and
+  /// postset), relabel it to the dummy `eps` instead of throwing. The trace
+  /// language is preserved modulo eps, which callers hide at the language
+  /// level; used by `project` in compositional synthesis where a few
+  /// residual dummies are harmless (STGs allow them). Off by default so the
+  /// algebraic laws are exercised strictly.
+  bool epsilon_fallback = false;
+  /// Run the trace-preserving place reduction (`simplify_places`) after
+  /// every contraction. Repeated contraction creates rows of structurally
+  /// duplicate product places whose merge keeps the cascade linear instead
+  /// of exponential; off by default so the algebraic laws are exercised on
+  /// the raw construction.
+  bool simplify_places_between_contractions = false;
+};
+
+/// Contract a single transition `t = (p, a, q)` out of the net
+/// (Definition 4.10): the input places `p` are replaced by product places
+/// `p × q`, producers/consumers of `p` are re-wired through the renaming
+/// `H` (a token in `p_i` is represented as one token in every `(p_i, q_j)`),
+/// and every successor of `t` gains a *combined* duplicate that consumes all
+/// product places — firing `t` silently and the successor in one step — and
+/// regenerates the unconsumed outputs `q \ p'` as real tokens. The label of
+/// `t` remains in the alphabet (only `hide_action` drops it).
+///
+/// Preconditions (SemanticError): `t` has no self-loop (`p ∩ q = ∅`,
+/// divergence/livelock per the paper); `q` is non-empty; no other transition
+/// consumes from both `p` and `q` (that re-wiring needs arc weights > 1,
+/// which ordinary nets cannot express).
+[[nodiscard]] PetriNet hide_transition(const PetriNet& net, TransitionId t,
+                                       const HideOptions& options = {});
+
+/// Hide an action label (Section 4.4): successively contract every
+/// transition carrying it — Proposition 4.6: the order does not matter —
+/// then remove the label from the alphabet.
+/// `L(hide(N, a)) = hide(L(N), a)` (Theorem 4.7).
+[[nodiscard]] PetriNet hide_action(const PetriNet& net,
+                                   const std::string& label,
+                                   const HideOptions& options = {});
+
+/// Hide a set of labels.
+[[nodiscard]] PetriNet hide_actions(const PetriNet& net,
+                                    const std::vector<std::string>& labels,
+                                    const HideOptions& options = {});
+
+/// Projection: hide everything *not* in `kept` ("Hiding is opposite to
+/// projection", Section 4.4). Used for compositional synthesis
+/// (Section 5.2 / 6: project(N_send || N_tr, A_tr)).
+[[nodiscard]] PetriNet project(const PetriNet& net,
+                               const std::vector<std::string>& kept,
+                               const HideOptions& options = {});
+
+/// The refined hiding `hide'` of Section 5.3: instead of contracting,
+/// relabel the hidden transitions to the dummy `eps` and contract only
+/// epsilon transitions all of whose successors are themselves epsilon —
+/// leaving (at least) one dummy transition on every internal path into a
+/// visible transition, which is exactly the information the receptiveness
+/// check needs to keep.
+[[nodiscard]] PetriNet hide_keep_epsilon(const PetriNet& net,
+                                         const std::vector<std::string>& labels,
+                                         const HideOptions& options = {});
+
+}  // namespace cipnet

@@ -1,0 +1,113 @@
+#include "algebra/parallel.h"
+
+#include "algebra/basic.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+std::vector<PlaceId> ParallelResult::left_preset(TransitionId t,
+                                                 const PetriNet& n1) const {
+  const auto& info = transitions[t.index()];
+  std::vector<PlaceId> out;
+  if (info.left) {
+    for (PlaceId p : n1.transition(*info.left).preset) {
+      out.push_back(place_map1[p.index()]);
+    }
+  }
+  sorted_set::normalize(out);
+  return out;
+}
+
+std::vector<PlaceId> ParallelResult::right_preset(TransitionId t,
+                                                  const PetriNet& n2) const {
+  const auto& info = transitions[t.index()];
+  std::vector<PlaceId> out;
+  if (info.right) {
+    for (PlaceId p : n2.transition(*info.right).preset) {
+      out.push_back(place_map2[p.index()]);
+    }
+  }
+  sorted_set::normalize(out);
+  return out;
+}
+
+ParallelResult parallel(const PetriNet& n1, const PetriNet& n2) {
+  ParallelResult result;
+  PetriNet& out = result.net;
+
+  for (PlaceId p : n1.all_places()) {
+    result.place_map1.push_back(out.add_place(
+        fresh_place_name(out, n1.place(p).name), n1.initial_marking()[p]));
+  }
+  for (PlaceId p : n2.all_places()) {
+    result.place_map2.push_back(out.add_place(
+        fresh_place_name(out, n2.place(p).name), n2.initial_marking()[p]));
+  }
+
+  // Alphabet: A1 ∪ A2; shared labels are synchronized.
+  result.shared_labels =
+      sorted_set::set_intersection(n1.alphabet(), n2.alphabet());
+  for (const std::string& label : n1.alphabet()) out.add_action(label);
+  for (const std::string& label : n2.alphabet()) out.add_action(label);
+
+  auto is_shared = [&](const std::string& label) {
+    return sorted_set::contains(result.shared_labels, label);
+  };
+  auto mapped = [](const std::vector<PlaceId>& places,
+                   const std::vector<PlaceId>& map) {
+    std::vector<PlaceId> out_places;
+    out_places.reserve(places.size());
+    for (PlaceId p : places) out_places.push_back(map[p.index()]);
+    return out_places;
+  };
+
+  // Unshared transitions are copied as-is.
+  for (TransitionId t : n1.all_transitions()) {
+    const auto& tr = n1.transition(t);
+    if (is_shared(n1.label(tr.action))) continue;
+    out.add_transition(mapped(tr.preset, result.place_map1),
+                       out.add_action(n1.label(tr.action)),
+                       mapped(tr.postset, result.place_map1), tr.guard);
+    result.transitions.push_back(
+        {ParallelResult::Origin::kLeft, t, std::nullopt});
+  }
+  for (TransitionId t : n2.all_transitions()) {
+    const auto& tr = n2.transition(t);
+    if (is_shared(n2.label(tr.action))) continue;
+    out.add_transition(mapped(tr.preset, result.place_map2),
+                       out.add_action(n2.label(tr.action)),
+                       mapped(tr.postset, result.place_map2), tr.guard);
+    result.transitions.push_back(
+        {ParallelResult::Origin::kRight, std::nullopt, t});
+  }
+
+  // Shared labels: join every pair of equally-labeled transitions.
+  for (const std::string& label : result.shared_labels) {
+    auto a1 = n1.find_action(label);
+    auto a2 = n2.find_action(label);
+    if (!a1 || !a2) continue;  // both exist by construction of shared set
+    for (TransitionId t1 : n1.transitions_with_action(*a1)) {
+      for (TransitionId t2 : n2.transitions_with_action(*a2)) {
+        const auto& tr1 = n1.transition(t1);
+        const auto& tr2 = n2.transition(t2);
+        auto preset =
+            sorted_set::set_union(mapped(tr1.preset, result.place_map1),
+                                  mapped(tr2.preset, result.place_map2));
+        auto postset =
+            sorted_set::set_union(mapped(tr1.postset, result.place_map1),
+                                  mapped(tr2.postset, result.place_map2));
+        out.add_transition(std::move(preset), out.add_action(label),
+                           std::move(postset), tr1.guard.conjoin(tr2.guard));
+        result.transitions.push_back(
+            {ParallelResult::Origin::kJoined, t1, t2});
+      }
+    }
+  }
+  return result;
+}
+
+PetriNet parallel_net(const PetriNet& n1, const PetriNet& n2) {
+  return parallel(n1, n2).net;
+}
+
+}  // namespace cipnet

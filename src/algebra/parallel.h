@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// Result of parallel composition `N1 || N2` (Definition 4.7), with full
+/// provenance: the receptiveness check of Section 5.3 needs to know, for
+/// every joined synchronization transition, which preset places came from
+/// which operand.
+struct ParallelResult {
+  enum class Origin { kLeft, kRight, kJoined };
+
+  struct TransitionInfo {
+    Origin origin = Origin::kLeft;
+    /// Source transition in N1 / N2 (set according to `origin`).
+    std::optional<TransitionId> left;
+    std::optional<TransitionId> right;
+  };
+
+  PetriNet net;
+  /// Old place id -> new place id.
+  std::vector<PlaceId> place_map1;
+  std::vector<PlaceId> place_map2;
+  /// Indexed by new transition id.
+  std::vector<TransitionInfo> transitions;
+  /// A1 ∩ A2 — the synchronized labels.
+  std::vector<std::string> shared_labels;
+
+  /// Preset of the N1 (resp. N2) part of transition `t`, in new place ids.
+  [[nodiscard]] std::vector<PlaceId> left_preset(TransitionId t,
+                                                 const PetriNet& n1) const;
+  [[nodiscard]] std::vector<PlaceId> right_preset(TransitionId t,
+                                                  const PetriNet& n2) const;
+};
+
+/// Parallel composition with rendez-vous on the common alphabet
+/// (Definition 4.7): transitions whose label is not shared are copied;
+/// for each shared label every pair of equally-labeled transitions is joined
+/// into one transition with the union of presets/postsets (guards conjoined).
+/// A shared label with transitions in only one operand yields *no*
+/// transition for it — the other side blocks it, exactly as the definition
+/// prescribes. `L(N1||N2) = L(N1) || L(N2)` (Theorem 4.5).
+[[nodiscard]] ParallelResult parallel(const PetriNet& n1, const PetriNet& n2);
+
+/// Convenience returning only the net.
+[[nodiscard]] PetriNet parallel_net(const PetriNet& n1, const PetriNet& n2);
+
+}  // namespace cipnet

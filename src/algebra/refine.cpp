@@ -1,0 +1,106 @@
+#include "algebra/refine.h"
+
+#include "algebra/basic.h"
+#include "util/error.h"
+
+namespace cipnet {
+
+Fragment Fragment::sequence(const std::vector<std::string>& labels) {
+  Fragment fragment;
+  if (labels.empty()) {
+    throw SemanticError("Fragment::sequence needs at least one label");
+  }
+  for (std::size_t i = 0; i + 1 < labels.size(); ++i) {
+    fragment.places.push_back(Place{"seq" + std::to_string(i), 0});
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    Transition tr;
+    tr.label = labels[i];
+    tr.entry = (i == 0);
+    tr.exit = (i + 1 == labels.size());
+    if (i > 0) tr.preset.push_back(i - 1);
+    if (i + 1 < labels.size()) tr.postset.push_back(i);
+    fragment.transitions.push_back(std::move(tr));
+  }
+  return fragment;
+}
+
+PetriNet refine_transition(const PetriNet& net, TransitionId t,
+                           const Fragment& fragment) {
+  bool has_entry = false, has_exit = false;
+  for (const auto& tr : fragment.transitions) {
+    has_entry = has_entry || tr.entry;
+    has_exit = has_exit || tr.exit;
+  }
+  if (!has_entry || !has_exit) {
+    throw SemanticError("fragment needs at least one entry and one exit");
+  }
+
+  PetriNet out;
+  std::vector<PlaceId> place_map;
+  for (PlaceId p : net.all_places()) {
+    place_map.push_back(
+        out.add_place(net.place(p).name, net.initial_marking()[p]));
+  }
+  for (std::size_t a = 0; a < net.action_count(); ++a) {
+    out.add_action(net.label(ActionId(static_cast<std::uint32_t>(a))));
+  }
+  const auto& refined = net.transition(t);
+
+  // Copy all other transitions unchanged.
+  for (TransitionId u : net.all_transitions()) {
+    if (u == t) continue;
+    const auto& ur = net.transition(u);
+    std::vector<PlaceId> preset, postset;
+    for (PlaceId p : ur.preset) preset.push_back(place_map[p.index()]);
+    for (PlaceId p : ur.postset) postset.push_back(place_map[p.index()]);
+    out.add_transition(std::move(preset),
+                       out.add_action(net.label(ur.action)),
+                       std::move(postset), ur.guard);
+  }
+
+  // Fragment places, freshly named.
+  std::vector<PlaceId> frag_places;
+  for (const auto& place : fragment.places) {
+    frag_places.push_back(
+        out.add_place(fresh_place_name(out, place.name), place.initial));
+  }
+  for (const auto& tr : fragment.transitions) {
+    std::vector<PlaceId> preset, postset;
+    for (std::size_t i : tr.preset) preset.push_back(frag_places[i]);
+    for (std::size_t i : tr.postset) postset.push_back(frag_places[i]);
+    if (tr.entry) {
+      for (PlaceId p : refined.preset) preset.push_back(place_map[p.index()]);
+    }
+    if (tr.exit) {
+      for (PlaceId p : refined.postset) {
+        postset.push_back(place_map[p.index()]);
+      }
+    }
+    Guard guard = tr.entry ? tr.guard.conjoin(refined.guard) : tr.guard;
+    out.add_transition(std::move(preset), out.add_action(tr.label),
+                       std::move(postset), std::move(guard));
+  }
+  return out;
+}
+
+PetriNet refine_label(const PetriNet& net, const std::string& label,
+                      const Fragment& fragment) {
+  // Transition ids shift after each refinement; re-search each round. The
+  // fragment must not reuse `label` or this would not terminate.
+  for (const auto& tr : fragment.transitions) {
+    if (tr.label == label) {
+      throw SemanticError("fragment reuses the refined label: " + label);
+    }
+  }
+  PetriNet current = net;
+  while (true) {
+    auto action = current.find_action(label);
+    if (!action || current.transitions_with_action(*action).empty()) break;
+    current = refine_transition(
+        current, current.transitions_with_action(*action).front(), fragment);
+  }
+  return current;
+}
+
+}  // namespace cipnet

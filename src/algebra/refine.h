@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// A refinement fragment: a small acyclic net with a distinguished entry
+/// and exit. `refine_transition` replaces a transition `t = (p, a, q)` by
+/// the fragment — the entry transition consumes `p` (plus the fragment's
+/// internal preset), the exit transition produces `q`. This is the
+/// mechanism behind the automatic expansion of abstract communication
+/// events into handshake protocols (Section 3): `c!` is one transition at
+/// the CIP level and a 4-phase sequence after refinement.
+struct Fragment {
+  /// Internal places, by name; names are made fresh in the host net.
+  struct Place {
+    std::string name;
+    Token initial = 0;
+  };
+  struct Transition {
+    std::vector<std::size_t> preset;   // indexes into `places`
+    std::string label;
+    std::vector<std::size_t> postset;  // indexes into `places`
+    Guard guard;
+    /// Entry transitions additionally consume the refined transition's
+    /// preset; exit transitions additionally produce its postset.
+    bool entry = false;
+    bool exit = false;
+  };
+
+  std::vector<Place> places;
+  std::vector<Transition> transitions;
+
+  /// A straight-line fragment label0 -> label1 -> ... -> labelN.
+  [[nodiscard]] static Fragment sequence(const std::vector<std::string>& labels);
+};
+
+/// Replace `t` by `fragment`. At least one entry and one exit transition
+/// are required (SemanticError otherwise); the refined transition's guard
+/// is conjoined onto the entry transitions.
+[[nodiscard]] PetriNet refine_transition(const PetriNet& net, TransitionId t,
+                                         const Fragment& fragment);
+
+/// Refine every transition carrying `label` with the same fragment.
+[[nodiscard]] PetriNet refine_label(const PetriNet& net,
+                                    const std::string& label,
+                                    const Fragment& fragment);
+
+}  // namespace cipnet

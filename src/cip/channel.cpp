@@ -1,0 +1,39 @@
+#include "cip/channel.h"
+
+#include <cctype>
+
+namespace cipnet {
+
+std::string channel_action_label(const ChannelAction& action) {
+  std::string out = action.channel + (action.send ? "!" : "?");
+  if (action.value) out += std::to_string(*action.value);
+  return out;
+}
+
+std::string send_label(const std::string& channel,
+                       std::optional<std::size_t> value) {
+  return channel_action_label(ChannelAction{channel, true, value});
+}
+
+std::string receive_label(const std::string& channel,
+                          std::optional<std::size_t> value) {
+  return channel_action_label(ChannelAction{channel, false, value});
+}
+
+std::optional<ChannelAction> parse_channel_action(const std::string& label) {
+  auto mark = label.find_first_of("!?");
+  if (mark == std::string::npos || mark == 0) return std::nullopt;
+  ChannelAction action;
+  action.channel = label.substr(0, mark);
+  action.send = label[mark] == '!';
+  std::string rest = label.substr(mark + 1);
+  if (!rest.empty()) {
+    for (char c : rest) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    }
+    action.value = static_cast<std::size_t>(std::stoul(rest));
+  }
+  return action;
+}
+
+}  // namespace cipnet

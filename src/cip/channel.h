@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cip/encoding.h"
+#include "util/strong_id.h"
+
+namespace cipnet {
+
+/// How an abstract synchronization event is expanded into low-level
+/// signalling (Section 3): the classical return-to-zero 4-phase handshake
+/// `r+ -> a+ -> r- -> a-`, or 2-phase transition signalling `r~ -> a~`.
+enum class HandshakeStyle { kFourPhase, kTwoPhase };
+
+/// An edge of the CIP graph (Definition 3.1) carrying rendez-vous events:
+/// control-only channels synchronize, data channels additionally transfer a
+/// value from a finite domain under a delay-insensitive encoding.
+struct Channel {
+  std::string name;
+  ModuleId sender;
+  ModuleId receiver;
+  /// nullopt = pure synchronization channel.
+  std::optional<DataEncoding> data;
+  HandshakeStyle style = HandshakeStyle::kFourPhase;
+
+  /// Request wire name (control channels) and acknowledge wire name.
+  [[nodiscard]] std::string request_wire() const { return name + "_r"; }
+  [[nodiscard]] std::string ack_wire() const { return name + "_a"; }
+};
+
+/// A parsed abstract communication action `A_Σ = Σ × {!, ?}`:
+/// `c!` / `c?` for control, `c!2` / `c?2` for value 2; a receive without a
+/// value (`c?`) accepts any value.
+struct ChannelAction {
+  std::string channel;
+  bool send = false;
+  std::optional<std::size_t> value;
+
+  friend bool operator==(const ChannelAction& a,
+                         const ChannelAction& b) = default;
+};
+
+[[nodiscard]] std::string channel_action_label(const ChannelAction& action);
+[[nodiscard]] std::string send_label(const std::string& channel,
+                                     std::optional<std::size_t> value = {});
+[[nodiscard]] std::string receive_label(const std::string& channel,
+                                        std::optional<std::size_t> value = {});
+
+/// Parses "c!v" / "c?v"; nullopt if the label is not a channel action.
+[[nodiscard]] std::optional<ChannelAction> parse_channel_action(
+    const std::string& label);
+
+}  // namespace cipnet

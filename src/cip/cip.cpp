@@ -1,0 +1,332 @@
+#include "cip/cip.h"
+
+#include "algebra/parallel.h"
+#include "algebra/basic.h"
+#include "util/error.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+ModuleId CipNetwork::add_module(std::string name, PetriNet net,
+                                std::vector<std::string> inputs,
+                                std::vector<std::string> outputs) {
+  ModuleId id(static_cast<std::uint32_t>(modules_.size()));
+  modules_.push_back(CipModule{std::move(name), std::move(net),
+                               sorted_set::make(std::move(inputs)),
+                               sorted_set::make(std::move(outputs))});
+  return id;
+}
+
+ChannelId CipNetwork::add_channel(std::string name, ModuleId sender,
+                                  ModuleId receiver,
+                                  std::optional<DataEncoding> data,
+                                  HandshakeStyle style) {
+  if (sender.index() >= modules_.size() ||
+      receiver.index() >= modules_.size()) {
+    throw SemanticError("channel endpoints must be existing modules");
+  }
+  ChannelId id(static_cast<std::uint32_t>(channels_.size()));
+  channels_.push_back(
+      Channel{std::move(name), sender, receiver, std::move(data), style});
+  return id;
+}
+
+std::vector<ModuleId> CipNetwork::all_modules() const {
+  std::vector<ModuleId> out;
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    out.push_back(ModuleId(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+const Channel& CipNetwork::channel_by_name(const std::string& name) const {
+  for (const Channel& c : channels_) {
+    if (c.name == name) return c;
+  }
+  throw SemanticError("unknown channel: " + name);
+}
+
+void CipNetwork::validate() const {
+  for (const Channel& c : channels_) {
+    if (c.data && !c.data->is_valid()) {
+      throw SemanticError("channel " + c.name +
+                          " has an invalid (non-antichain) data encoding");
+    }
+  }
+  for (std::size_t mi = 0; mi < modules_.size(); ++mi) {
+    const CipModule& mod = modules_[mi];
+    for (const std::string& label : mod.net.alphabet()) {
+      auto action = parse_channel_action(label);
+      if (!action) continue;
+      const Channel& ch = channel_by_name(action->channel);
+      ModuleId self(static_cast<std::uint32_t>(mi));
+      if (action->send && ch.sender != self) {
+        throw SemanticError("module " + mod.name + " sends on channel " +
+                            ch.name + " but is not its sender");
+      }
+      if (!action->send && ch.receiver != self) {
+        throw SemanticError("module " + mod.name + " receives on channel " +
+                            ch.name + " but is not its receiver");
+      }
+      if (!ch.data) {
+        if (action->value) {
+          throw SemanticError("control channel " + ch.name +
+                              " used with a data value");
+        }
+      } else {
+        if (action->send && !action->value) {
+          throw SemanticError("data channel " + ch.name +
+                              " requires a value on send");
+        }
+        if (action->value && *action->value >= ch.data->value_count()) {
+          throw SemanticError("channel " + ch.name + " value out of range");
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Helper accumulating the expanded net.
+struct Expander {
+  PetriNet out;
+  std::vector<PlaceId> place_map;
+  std::size_t fresh_counter = 0;
+
+  PlaceId fresh_place(const std::string& hint) {
+    return out.add_place(
+        fresh_place_name(out, "x" + std::to_string(fresh_counter++) + hint),
+        0);
+  }
+
+  std::vector<PlaceId> mapped(const std::vector<PlaceId>& places) {
+    std::vector<PlaceId> res;
+    for (PlaceId p : places) res.push_back(place_map[p.index()]);
+    return res;
+  }
+
+  /// Sequential 4-phase control handshake between pre and post.
+  void control_handshake(const std::vector<PlaceId>& pre,
+                         const std::vector<PlaceId>& post,
+                         const Channel& ch, const Guard& guard) {
+    const std::string r = ch.request_wire();
+    const std::string a = ch.ack_wire();
+    if (ch.style == HandshakeStyle::kTwoPhase) {
+      PlaceId s1 = fresh_place("_" + ch.name);
+      out.add_transition(pre, r + "~", {s1}, guard);
+      out.add_transition({s1}, a + "~", post);
+      return;
+    }
+    PlaceId s1 = fresh_place("_" + ch.name);
+    PlaceId s2 = fresh_place("_" + ch.name);
+    PlaceId s3 = fresh_place("_" + ch.name);
+    out.add_transition(pre, r + "+", {s1}, guard);
+    out.add_transition({s1}, a + "+", {s2});
+    out.add_transition({s2}, r + "-", {s3});
+    out.add_transition({s3}, a + "-", post);
+  }
+
+  /// Data transfer of one value: concurrent rise of the code wires, ack+,
+  /// concurrent return to zero, ack- (the sequence of Section 3:
+  /// (..., r_j+, ...) -> a+ -> (..., r_j-, ...) -> a-).
+  void data_handshake(const std::vector<PlaceId>& pre,
+                      const std::vector<PlaceId>& post, const Channel& ch,
+                      std::size_t value, const Guard& guard) {
+    const std::string a = ch.ack_wire();
+    const auto wires = ch.data->code_wires(value);
+    if (ch.style == HandshakeStyle::kTwoPhase) {
+      // Transition signalling: each wire toggles once, then the ack toggles.
+      std::vector<PlaceId> gathered;
+      std::vector<PlaceId> forks;
+      for (std::size_t i = 0; i < wires.size(); ++i) {
+        forks.push_back(fresh_place("_" + ch.name + "f"));
+      }
+      out.add_transition(pre, std::string(kEpsilonLabel), forks, guard);
+      for (std::size_t i = 0; i < wires.size(); ++i) {
+        PlaceId g = fresh_place("_" + ch.name + "g");
+        out.add_transition({forks[i]}, wires[i] + "~", {g});
+        gathered.push_back(g);
+      }
+      out.add_transition(gathered, a + "~", post);
+      return;
+    }
+    std::vector<PlaceId> forks, gathered, lowered, done;
+    for (std::size_t i = 0; i < wires.size(); ++i) {
+      forks.push_back(fresh_place("_" + ch.name + "f"));
+    }
+    out.add_transition(pre, std::string(kEpsilonLabel), forks, guard);
+    for (std::size_t i = 0; i < wires.size(); ++i) {
+      PlaceId g = fresh_place("_" + ch.name + "g");
+      out.add_transition({forks[i]}, wires[i] + "+", {g});
+      gathered.push_back(g);
+    }
+    for (std::size_t i = 0; i < wires.size(); ++i) {
+      lowered.push_back(fresh_place("_" + ch.name + "l"));
+    }
+    out.add_transition(gathered, a + "+", lowered);
+    for (std::size_t i = 0; i < wires.size(); ++i) {
+      PlaceId m = fresh_place("_" + ch.name + "m");
+      out.add_transition({lowered[i]}, wires[i] + "-", {m});
+      done.push_back(m);
+    }
+    out.add_transition(done, a + "-", post);
+  }
+};
+
+}  // namespace
+
+Stg CipNetwork::expand_module(ModuleId m) const {
+  validate();
+  const CipModule& mod = modules_[m.index()];
+
+  Expander ex;
+  for (PlaceId p : mod.net.all_places()) {
+    ex.place_map.push_back(
+        ex.out.add_place(mod.net.place(p).name, mod.net.initial_marking()[p]));
+  }
+  // Keep all non-channel labels of the alphabet.
+  for (const std::string& label : mod.net.alphabet()) {
+    if (!parse_channel_action(label)) ex.out.add_action(label);
+  }
+
+  for (TransitionId t : mod.net.all_transitions()) {
+    const auto& tr = mod.net.transition(t);
+    const std::string& label = mod.net.transition_label(t);
+    auto action = parse_channel_action(label);
+    if (!action) {
+      ex.out.add_transition(ex.mapped(tr.preset), label,
+                            ex.mapped(tr.postset), tr.guard);
+      continue;
+    }
+    const Channel& ch = channel_by_name(action->channel);
+    auto pre = ex.mapped(tr.preset);
+    auto post = ex.mapped(tr.postset);
+    if (!ch.data) {
+      ex.control_handshake(pre, post, ch, tr.guard);
+    } else if (action->value) {
+      ex.data_handshake(pre, post, ch, *action->value, tr.guard);
+    } else {
+      // Value-less receive: a choice over every channel value.
+      for (std::size_t v = 0; v < ch.data->value_count(); ++v) {
+        ex.data_handshake(pre, post, ch, v, tr.guard);
+      }
+    }
+  }
+
+  // Signal directions: module's own signals plus the adjacent channels'
+  // wires; the sender drives request/data, the receiver drives the ack.
+  // Every wire edge of an adjacent channel also enters the *alphabet* even
+  // when this module never produces it — composition must synchronize on
+  // it, so an undriven wire blocks rather than fires freely.
+  std::vector<std::string> inputs = mod.inputs;
+  std::vector<std::string> outputs = mod.outputs;
+  for (const Channel& ch : channels_) {
+    const bool is_sender = ch.sender == m;
+    const bool is_receiver = ch.receiver == m;
+    if (!is_sender && !is_receiver) continue;
+    std::vector<std::string> driven;
+    if (!ch.data) {
+      driven.push_back(ch.request_wire());
+    } else {
+      driven = ch.data->wires();
+    }
+    auto& driver_side = is_sender ? outputs : inputs;
+    auto& other_side = is_sender ? inputs : outputs;
+    for (const std::string& w : driven) sorted_set::insert(driver_side, w);
+    sorted_set::insert(other_side, ch.ack_wire());
+
+    std::vector<std::string> all_wires = driven;
+    all_wires.push_back(ch.ack_wire());
+    for (const std::string& w : all_wires) {
+      if (ch.style == HandshakeStyle::kTwoPhase) {
+        ex.out.add_action(w + "~");
+      } else {
+        ex.out.add_action(w + "+");
+        ex.out.add_action(w + "-");
+      }
+    }
+  }
+  return Stg::from_net(std::move(ex.out), inputs, outputs);
+}
+
+Stg CipNetwork::expanded_composition() const {
+  if (modules_.empty()) {
+    throw SemanticError("empty CIP network");
+  }
+  std::vector<Stg> expanded;
+  for (ModuleId m : all_modules()) expanded.push_back(expand_module(m));
+
+  PetriNet net = expanded[0].net();
+  for (std::size_t i = 1; i < expanded.size(); ++i) {
+    net = parallel_net(net, expanded[i].net());
+  }
+  // A signal driven by any module is an output of the composite; the rest
+  // stay inputs (Section 5.1's composition of circuits).
+  std::vector<std::string> inputs, outputs;
+  for (const Stg& stg : expanded) {
+    for (const auto& [name, kind] : stg.signals()) {
+      if (kind == SignalKind::kOutput || kind == SignalKind::kInternal) {
+        sorted_set::insert(outputs, name);
+      } else {
+        sorted_set::insert(inputs, name);
+      }
+    }
+  }
+  inputs = sorted_set::set_difference(inputs, outputs);
+  return Stg::from_net(std::move(net), inputs, outputs);
+}
+
+PetriNet CipNetwork::abstract_composition() const {
+  validate();
+  if (modules_.empty()) {
+    throw SemanticError("empty CIP network");
+  }
+  // Rewrite each module: receives meet sends on the send label. A
+  // value-less receive duplicates into one transition per channel value.
+  std::vector<PetriNet> rewritten;
+  for (const CipModule& mod : modules_) {
+    PetriNet out;
+    for (PlaceId p : mod.net.all_places()) {
+      out.add_place(mod.net.place(p).name, mod.net.initial_marking()[p]);
+    }
+    for (const std::string& label : mod.net.alphabet()) {
+      auto action = parse_channel_action(label);
+      if (!action) {
+        out.add_action(label);
+      } else if (action->value || !channel_by_name(action->channel).data) {
+        out.add_action(send_label(action->channel, action->value));
+      } else {
+        const Channel& ch = channel_by_name(action->channel);
+        for (std::size_t v = 0; v < ch.data->value_count(); ++v) {
+          out.add_action(send_label(ch.name, v));
+        }
+      }
+    }
+    for (TransitionId t : mod.net.all_transitions()) {
+      const auto& tr = mod.net.transition(t);
+      const std::string& label = mod.net.transition_label(t);
+      auto action = parse_channel_action(label);
+      if (!action) {
+        out.add_transition(tr.preset, label, tr.postset, tr.guard);
+      } else if (action->value || !channel_by_name(action->channel).data) {
+        out.add_transition(tr.preset, send_label(action->channel, action->value),
+                           tr.postset, tr.guard);
+      } else {
+        const Channel& ch = channel_by_name(action->channel);
+        for (std::size_t v = 0; v < ch.data->value_count(); ++v) {
+          out.add_transition(tr.preset, send_label(ch.name, v), tr.postset,
+                             tr.guard);
+        }
+      }
+    }
+    rewritten.push_back(std::move(out));
+  }
+  PetriNet net = rewritten[0];
+  for (std::size_t i = 1; i < rewritten.size(); ++i) {
+    net = parallel_net(net, rewritten[i]);
+  }
+  return net;
+}
+
+}  // namespace cipnet

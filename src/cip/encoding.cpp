@@ -1,0 +1,93 @@
+#include "cip/encoding.h"
+
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+DataEncoding::DataEncoding(std::vector<std::string> wires,
+                           std::vector<std::vector<std::size_t>> codes)
+    : wires_(std::move(wires)), codes_(std::move(codes)) {
+  for (auto& code : codes_) sorted_set::normalize(code);
+}
+
+DataEncoding DataEncoding::one_hot(std::size_t values,
+                                   const std::string& prefix) {
+  std::vector<std::string> wires;
+  std::vector<std::vector<std::size_t>> codes;
+  for (std::size_t v = 0; v < values; ++v) {
+    wires.push_back(prefix + "w" + std::to_string(v));
+    codes.push_back({v});
+  }
+  return DataEncoding(std::move(wires), std::move(codes));
+}
+
+DataEncoding DataEncoding::dual_rail(std::size_t bits,
+                                     const std::string& prefix) {
+  std::vector<std::string> wires;
+  for (std::size_t b = 0; b < bits; ++b) {
+    wires.push_back(prefix + "b" + std::to_string(b) + "f");  // index 2b
+    wires.push_back(prefix + "b" + std::to_string(b) + "t");  // index 2b+1
+  }
+  std::vector<std::vector<std::size_t>> codes;
+  for (std::size_t v = 0; v < (std::size_t{1} << bits); ++v) {
+    std::vector<std::size_t> code;
+    for (std::size_t b = 0; b < bits; ++b) {
+      code.push_back(2 * b + ((v >> b) & 1));
+    }
+    codes.push_back(std::move(code));
+  }
+  return DataEncoding(std::move(wires), std::move(codes));
+}
+
+DataEncoding DataEncoding::m_of_n(std::size_t m, std::size_t n,
+                                  const std::string& prefix) {
+  std::vector<std::string> wires;
+  for (std::size_t i = 0; i < n; ++i) {
+    wires.push_back(prefix + "w" + std::to_string(i));
+  }
+  std::vector<std::vector<std::size_t>> codes;
+  if (m == 0 || m > n) {
+    return DataEncoding(std::move(wires), std::move(codes));
+  }
+  // Enumerate all m-subsets of {0..n-1} lexicographically.
+  std::vector<std::size_t> subset(m);
+  for (std::size_t i = 0; i < m; ++i) subset[i] = i;
+  while (true) {
+    codes.push_back(subset);
+    // Rightmost position that can still be incremented.
+    std::size_t i = m;
+    bool found = false;
+    while (i-- > 0) {
+      if (subset[i] < i + n - m) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    ++subset[i];
+    for (std::size_t j = i + 1; j < m; ++j) subset[j] = subset[j - 1] + 1;
+  }
+  return DataEncoding(std::move(wires), std::move(codes));
+}
+
+std::vector<std::string> DataEncoding::code_wires(std::size_t value) const {
+  std::vector<std::string> out;
+  for (std::size_t w : codes_[value]) out.push_back(wires_[w]);
+  return out;
+}
+
+bool DataEncoding::is_valid() const {
+  for (std::size_t i = 0; i < codes_.size(); ++i) {
+    if (codes_[i].empty()) return false;
+    for (std::size_t w : codes_[i]) {
+      if (w >= wires_.size()) return false;
+    }
+    for (std::size_t j = 0; j < codes_.size(); ++j) {
+      if (i == j) continue;
+      if (sorted_set::is_subset(codes_[i], codes_[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cipnet {
+
+/// A delay-insensitive data encoding for an abstract channel (Section 3):
+/// each value is represented by the set of wires that go high. "Such an
+/// encoding is correct when no encoding covers another" — `is_valid` checks
+/// that antichain property.
+class DataEncoding {
+ public:
+  DataEncoding() = default;
+  DataEncoding(std::vector<std::string> wires,
+               std::vector<std::vector<std::size_t>> codes);
+
+  /// n values on n wires, value v = wire v high.
+  [[nodiscard]] static DataEncoding one_hot(std::size_t values,
+                                            const std::string& prefix);
+
+  /// 2^bits values on 2*bits wires (a true and false rail per bit) — the
+  /// paper's dual-rail example.
+  [[nodiscard]] static DataEncoding dual_rail(std::size_t bits,
+                                              const std::string& prefix);
+
+  /// All C(n, m) ways to raise m of n wires, enumerated in lexicographic
+  /// order — the paper's "encoding with m wires" generalization.
+  [[nodiscard]] static DataEncoding m_of_n(std::size_t m, std::size_t n,
+                                           const std::string& prefix);
+
+  [[nodiscard]] std::size_t value_count() const { return codes_.size(); }
+  [[nodiscard]] std::size_t wire_count() const { return wires_.size(); }
+  [[nodiscard]] const std::vector<std::string>& wires() const {
+    return wires_;
+  }
+  /// Wire indexes that go high for `value`, sorted.
+  [[nodiscard]] const std::vector<std::size_t>& code(std::size_t value) const {
+    return codes_[value];
+  }
+  [[nodiscard]] std::vector<std::string> code_wires(std::size_t value) const;
+
+  /// The antichain property: no code is a subset of another (and codes are
+  /// non-empty and distinct).
+  [[nodiscard]] bool is_valid() const;
+
+ private:
+  std::vector<std::string> wires_;
+  std::vector<std::vector<std::size_t>> codes_;
+};
+
+}  // namespace cipnet

@@ -1,0 +1,104 @@
+#include "circuit/circuit.h"
+
+#include "stg/signal.h"
+#include "util/error.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+Circuit::Circuit(std::string name, std::vector<std::string> inputs,
+                 std::vector<std::string> outputs, PetriNet net)
+    : name_(std::move(name)),
+      inputs_(sorted_set::make(std::move(inputs))),
+      outputs_(sorted_set::make(std::move(outputs))),
+      net_(std::move(net)) {
+  if (sorted_set::intersects(inputs_, outputs_)) {
+    throw SemanticError("circuit " + name_ +
+                        ": a signal cannot be both input and output");
+  }
+  for (const std::string& label : net_.alphabet()) {
+    if (is_epsilon_label(label)) continue;
+    auto edge = parse_edge(label);
+    if (!edge) {
+      throw SemanticError("circuit " + name_ +
+                          ": label is not a signal edge: " + label);
+    }
+    if (!sorted_set::contains(inputs_, edge->signal) &&
+        !sorted_set::contains(outputs_, edge->signal)) {
+      throw SemanticError("circuit " + name_ +
+                          ": label uses undeclared signal: " + label);
+    }
+  }
+}
+
+Circuit Circuit::from_stg(std::string name, const Stg& stg) {
+  std::vector<std::string> inputs = stg.signal_names(SignalKind::kInput);
+  std::vector<std::string> outputs = stg.signal_names(SignalKind::kOutput);
+  for (const std::string& s : stg.signal_names(SignalKind::kInternal)) {
+    outputs.push_back(s);
+  }
+  return Circuit(std::move(name), std::move(inputs), std::move(outputs),
+                 stg.net());
+}
+
+std::vector<std::string> Circuit::signals() const {
+  return sorted_set::set_union(inputs_, outputs_);
+}
+
+std::vector<std::string> Circuit::labels_of_signal(
+    const std::string& signal) const {
+  std::vector<std::string> out;
+  for (const std::string& label : net_.alphabet()) {
+    auto edge = parse_edge(label);
+    if (edge && edge->signal == signal) out.push_back(label);
+  }
+  return out;
+}
+
+std::vector<std::string> Circuit::labels_of_signals(
+    const std::vector<std::string>& signals) const {
+  std::vector<std::string> out;
+  for (const std::string& s : signals) {
+    auto labels = labels_of_signal(s);
+    out.insert(out.end(), labels.begin(), labels.end());
+  }
+  sorted_set::normalize(out);
+  return out;
+}
+
+Stg Circuit::to_stg() const {
+  return Stg::from_net(net_, inputs_, outputs_);
+}
+
+ComposeResult compose(const Circuit& c1, const Circuit& c2) {
+  auto common_outputs =
+      sorted_set::set_intersection(c1.outputs(), c2.outputs());
+  if (!common_outputs.empty()) {
+    throw SemanticError("compose(" + c1.name() + ", " + c2.name() +
+                        "): common output signal " + common_outputs.front());
+  }
+  ComposeResult result;
+  result.parallel = parallel(c1.net(), c2.net());
+  result.shared_signals =
+      sorted_set::set_intersection(c1.signals(), c2.signals());
+  auto outputs = sorted_set::set_union(c1.outputs(), c2.outputs());
+  auto inputs = sorted_set::set_difference(
+      sorted_set::set_union(c1.inputs(), c2.inputs()), outputs);
+  result.circuit = Circuit(c1.name() + "||" + c2.name(), std::move(inputs),
+                           std::move(outputs), result.parallel.net);
+  return result;
+}
+
+Circuit hide_signals(const Circuit& c, const std::vector<std::string>& signals,
+                     const HideOptions& options) {
+  auto to_hide = sorted_set::make(signals);
+  if (!sorted_set::is_subset(to_hide, c.outputs())) {
+    throw SemanticError("hide_signals: only output signals may be hidden");
+  }
+  PetriNet net = hide_actions(c.net(), c.labels_of_signals(to_hide), options);
+  return Circuit(c.name(), c.inputs(),
+                 sorted_set::set_difference(c.outputs(), to_hide),
+                 std::move(net));
+}
+
+}  // namespace cipnet

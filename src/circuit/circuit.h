@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/hide.h"
+#include "algebra/parallel.h"
+#include "petri/net.h"
+#include "stg/stg.h"
+
+namespace cipnet {
+
+/// The circuit algebra of Section 5.1: `C = (I, O, N)` — input and output
+/// *signal* names plus a labeled Petri net describing the behavior. Net
+/// labels are signal edges of those signals (or eps). Composition
+/// synchronizes on common signals; hiding removes output signals (all their
+/// edge transitions are contracted, Section 5.1: "To hide a signal s means
+/// to hide all signal transitions for this signal").
+class Circuit {
+ public:
+  Circuit() = default;
+  Circuit(std::string name, std::vector<std::string> inputs,
+          std::vector<std::string> outputs, PetriNet net);
+
+  /// From an STG: inputs/outputs taken from the signal table (internals
+  /// count as outputs, per Section 5.1 "Internal signals are considered as
+  /// outputs, which may be hidden").
+  [[nodiscard]] static Circuit from_stg(std::string name, const Stg& stg);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::string>& inputs() const {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<std::string>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] const PetriNet& net() const { return net_; }
+  [[nodiscard]] std::vector<std::string> signals() const;
+
+  /// All edge labels of `signal` occurring in the net alphabet.
+  [[nodiscard]] std::vector<std::string> labels_of_signal(
+      const std::string& signal) const;
+  /// Edge labels of a set of signals.
+  [[nodiscard]] std::vector<std::string> labels_of_signals(
+      const std::vector<std::string>& signals) const;
+
+  [[nodiscard]] Stg to_stg() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> inputs_;   // sorted
+  std::vector<std::string> outputs_;  // sorted
+  PetriNet net_;
+};
+
+/// Composition result with the provenance needed for the receptiveness
+/// check of Section 5.3.
+struct ComposeResult {
+  Circuit circuit;
+  ParallelResult parallel;
+  /// Signals on which the two operands synchronized.
+  std::vector<std::string> shared_signals;
+};
+
+/// `C1 || C2 = (I1 ∪ I2 \ (O1 ∪ O2), O1 ∪ O2, N1 || N2)` (Section 5.1).
+/// Common *output* signals are rejected (SemanticError): at most one module
+/// drives a wire.
+[[nodiscard]] ComposeResult compose(const Circuit& c1, const Circuit& c2);
+
+/// `hide(C, A) = (I, O \ A, hide(N, A))` with `A ⊆ O` (SemanticError
+/// otherwise): contracts every edge transition of the hidden signals.
+[[nodiscard]] Circuit hide_signals(const Circuit& c,
+                                   const std::vector<std::string>& signals,
+                                   const HideOptions& options = {});
+
+}  // namespace cipnet

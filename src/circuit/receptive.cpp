@@ -1,0 +1,213 @@
+#include "circuit/receptive.h"
+
+#include "algebra/hide.h"
+#include "graph/digraph.h"
+#include "petri/marked_graph.h"
+#include "petri/structure.h"
+#include "reach/properties.h"
+#include "stg/signal.h"
+#include "util/error.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+namespace {
+
+/// One check unit: an output-side transition versus all equally-labeled
+/// input-side alternatives, with presets mapped into composed-net place
+/// ids. A failure for this unit is a reachable marking enabling the output
+/// preset while enabling *none* of the input presets — then the producer
+/// would emit the edge and the consumer is not ready (Proposition 5.5,
+/// generalized to several equally-labeled transitions).
+struct SyncCheck {
+  std::string label;
+  bool output_on_left = false;
+  TransitionId output_transition;  // id in the output-side operand's net
+  std::vector<PlaceId> output_preset;
+  std::vector<std::vector<PlaceId>> input_presets;
+};
+
+std::vector<PlaceId> mapped_preset(const PetriNet& net, TransitionId t,
+                                   const std::vector<PlaceId>& place_map) {
+  std::vector<PlaceId> out;
+  for (PlaceId p : net.transition(t).preset) {
+    out.push_back(place_map[p.index()]);
+  }
+  sorted_set::normalize(out);
+  return out;
+}
+
+std::vector<SyncCheck> collect_sync_checks(const ComposeResult& composed,
+                                           const Circuit& c1,
+                                           const Circuit& c2) {
+  std::vector<SyncCheck> checks;
+  for (const std::string& label : composed.parallel.shared_labels) {
+    auto edge = parse_edge(label);
+    if (!edge) continue;  // eps or non-signal label: no direction semantics
+    const bool out1 = sorted_set::contains(c1.outputs(), edge->signal);
+    const bool out2 = sorted_set::contains(c2.outputs(), edge->signal);
+    if (!out1 && !out2) continue;  // input/input synchronization: no check
+    const Circuit& out_side = out1 ? c1 : c2;
+    const Circuit& in_side = out1 ? c2 : c1;
+    const auto& out_map =
+        out1 ? composed.parallel.place_map1 : composed.parallel.place_map2;
+    const auto& in_map =
+        out1 ? composed.parallel.place_map2 : composed.parallel.place_map1;
+
+    auto out_action = out_side.net().find_action(label);
+    auto in_action = in_side.net().find_action(label);
+    std::vector<std::vector<PlaceId>> input_presets;
+    if (in_action) {
+      for (TransitionId t : in_side.net().transitions_with_action(*in_action)) {
+        input_presets.push_back(mapped_preset(in_side.net(), t, in_map));
+      }
+    }
+    if (!out_action) continue;
+    for (TransitionId t :
+         out_side.net().transitions_with_action(*out_action)) {
+      SyncCheck check;
+      check.label = label;
+      check.output_on_left = out1;
+      check.output_transition = t;
+      check.output_preset = mapped_preset(out_side.net(), t, out_map);
+      check.input_presets = input_presets;
+      checks.push_back(std::move(check));
+    }
+  }
+  return checks;
+}
+
+bool all_marked(const Marking& m, const std::vector<PlaceId>& places) {
+  for (PlaceId p : places) {
+    if (m[p] == 0) return false;
+  }
+  return true;
+}
+
+bool is_failure_marking(const Marking& m, const SyncCheck& check) {
+  if (!all_marked(m, check.output_preset)) return false;
+  for (const auto& preset : check.input_presets) {
+    if (all_marked(m, preset)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ReceptivenessReport check_receptiveness(const Circuit& c1, const Circuit& c2,
+                                        const ReachOptions& options) {
+  ComposeResult composed = compose(c1, c2);
+  auto checks = collect_sync_checks(composed, c1, c2);
+
+  ReceptivenessReport report;
+  report.checked_transitions = checks.size();
+  if (checks.empty()) return report;
+
+  ReachabilityGraph rg = explore(composed.circuit.net(), options);
+  for (const SyncCheck& check : checks) {
+    for (StateId s : rg.all_states()) {
+      const Marking& m = rg.marking(s);
+      if (is_failure_marking(m, check)) {
+        ReceptivenessFailure failure;
+        failure.label = check.label;
+        failure.output_on_left = check.output_on_left;
+        failure.output_transition = check.output_transition;
+        failure.witness = m;
+        failure.firing_sequence = firing_sequence_to(rg, s);
+        report.failures.push_back(std::move(failure));
+        break;  // one witness per output transition (Proposition 5.6)
+      }
+    }
+  }
+  return report;
+}
+
+ReceptivenessReport check_receptiveness_reduced(const Circuit& c1,
+                                                const Circuit& c2,
+                                                const HideOptions& hide,
+                                                const ReachOptions& options) {
+  auto shared = sorted_set::set_intersection(c1.signals(), c2.signals());
+  auto reduce = [&](const Circuit& c) {
+    auto internal = sorted_set::set_difference(c.signals(), shared);
+    PetriNet net = hide_keep_epsilon(c.net(), c.labels_of_signals(internal),
+                                     hide);
+    // The reduced module's interface keeps only the shared signals.
+    return Circuit(c.name() + "'",
+                   sorted_set::set_intersection(c.inputs(), shared),
+                   sorted_set::set_intersection(c.outputs(), shared),
+                   std::move(net));
+  };
+  return check_receptiveness(reduce(c1), reduce(c2), options);
+}
+
+ReceptivenessReport check_receptiveness_structural(const Circuit& c1,
+                                                   const Circuit& c2) {
+  ComposeResult composed = compose(c1, c2);
+  const PetriNet& net = composed.circuit.net();
+
+  auto tg = transition_graph(net);
+  if (!tg) {
+    throw SemanticError(
+        "structural receptiveness check requires a marked-graph composition "
+        "(every place with exactly one producer and consumer)");
+  }
+  if (!mg_is_live(net)) {
+    throw SemanticError(
+        "structural receptiveness check requires a live composition (the "
+        "state-equation characterization needs liveness)");
+  }
+
+  auto checks = collect_sync_checks(composed, c1, c2);
+  ReceptivenessReport report;
+  report.checked_transitions = checks.size();
+
+  for (const SyncCheck& check : checks) {
+    if (check.input_presets.size() != 1) {
+      // A marked-graph composition cannot have several equally-labeled
+      // consumers of a shared place set (transition_graph would have
+      // failed); with zero input transitions the output is blocked forever
+      // and reported directly.
+      if (check.input_presets.empty()) {
+        ReceptivenessFailure failure;
+        failure.label = check.label;
+        failure.output_on_left = check.output_on_left;
+        failure.output_transition = check.output_transition;
+        report.failures.push_back(std::move(failure));
+      }
+      continue;
+    }
+    const auto& input_preset = check.input_presets.front();
+    for (PlaceId x : input_preset) {
+      if (sorted_set::contains(check.output_preset, x)) continue;
+      // Difference constraints over transition potentials sigma (state
+      // equation of a live marked graph):
+      //   M(e) = M0(e) + sigma(producer) - sigma(consumer)
+      //   M(e) >= 1 for e in output_preset -> sig(v)-sig(u) <= M0(e)-1
+      //   M(e) >= 0 elsewhere              -> sig(v)-sig(u) <= M0(e)
+      //   M(x) <= 0                        -> sig(u)-sig(v) <= -M0(x)
+      // Feasible (= failure marking reachable) iff no negative cycle.
+      Digraph constraints(tg->graph.node_count());
+      for (int e = 0; e < tg->graph.edge_count(); ++e) {
+        const auto& edge = tg->graph.edge(e);
+        PlaceId place = tg->edge_place[e];
+        std::int64_t lower =
+            sorted_set::contains(check.output_preset, place) ? 1 : 0;
+        constraints.add_edge(edge.from, edge.to, edge.weight - lower);
+        if (place == x) {
+          constraints.add_edge(edge.to, edge.from, -edge.weight);
+        }
+      }
+      if (!has_negative_cycle(constraints)) {
+        ReceptivenessFailure failure;
+        failure.label = check.label;
+        failure.output_on_left = check.output_on_left;
+        failure.output_transition = check.output_transition;
+        report.failures.push_back(std::move(failure));
+        break;  // one failing input place suffices for this transition
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cipnet

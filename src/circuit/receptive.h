@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "reach/reachability.h"
+
+namespace cipnet {
+
+/// One receptiveness failure (Propositions 5.5 / 5.6): a reachable marking
+/// of the composed net in which the output side of a synchronization
+/// transition is fully enabled but the input side is not — the producer can
+/// emit a signal edge its consumer is not ready to accept.
+struct ReceptivenessFailure {
+  std::string label;
+  /// True when the output half belongs to the first operand.
+  bool output_on_left = false;
+  /// The offending transition in the *output-side operand's* net: the one
+  /// that is enabled while no equally-labeled input-side transition is.
+  TransitionId output_transition;
+  /// Witness marking (of the composed net) and a firing sequence reaching
+  /// it (reachability-based check only; the structural check proves
+  /// existence without producing a path).
+  std::optional<Marking> witness;
+  std::optional<std::vector<TransitionId>> firing_sequence;
+};
+
+struct ReceptivenessReport {
+  std::vector<ReceptivenessFailure> failures;
+  /// Synchronization transitions that were checked.
+  std::size_t checked_transitions = 0;
+
+  [[nodiscard]] bool receptive() const { return failures.empty(); }
+};
+
+/// Reachability-based check (Proposition 5.5): exact for any bounded
+/// composition, exponential in the worst case. Composition must not share
+/// output signals (compose() enforces it).
+[[nodiscard]] ReceptivenessReport check_receptiveness(
+    const Circuit& c1, const Circuit& c2, const ReachOptions& options = {});
+
+/// Section 5.3's reduced check: instead of the full composition, check
+/// `hide'(N1, A1\A2) || hide'(N2, A2\A1)` — each side's private signals are
+/// contracted except that (at least) one `eps` dummy remains on every
+/// internal path into a synchronization transition, which is exactly the
+/// information the check needs ("we may not do it on hide(...) since then
+/// information is lost whether the synchronization transitions are reached
+/// via internal transitions or not"). Same verdicts as
+/// `check_receptiveness` on smaller nets; witnesses refer to the reduced
+/// composition.
+[[nodiscard]] ReceptivenessReport check_receptiveness_reduced(
+    const Circuit& c1, const Circuit& c2, const HideOptions& hide = {},
+    const ReachOptions& options = {});
+
+/// Structural polynomial check (Theorem 5.7) for compositions that are
+/// strongly-connected live-safe marked graphs: for a live marked graph the
+/// reachable markings are exactly the solutions of the state equation, so
+/// "all of p1 marked while some place of p2 is empty" reduces to a
+/// difference-constraint system solved by Bellman-Ford negative-cycle
+/// detection — polynomial time and space, no state enumeration. Throws
+/// SemanticError when the composition is not a live marked graph.
+[[nodiscard]] ReceptivenessReport check_receptiveness_structural(
+    const Circuit& c1, const Circuit& c2);
+
+}  // namespace cipnet

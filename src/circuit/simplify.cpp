@@ -1,0 +1,64 @@
+#include "circuit/simplify.h"
+
+#include "util/error.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+SimplifyResult simplify_against(const Circuit& target,
+                                const Circuit& environment,
+                                const SimplifyOptions& options) {
+  SimplifyResult result;
+  result.stats.places_before = target.net().place_count();
+  result.stats.transitions_before = target.net().transition_count();
+
+  ComposeResult composed = compose(target, environment);
+
+  PetriNet net = composed.circuit.net();
+  auto prune = [&](PetriNet& n) {
+    if (!options.remove_dead) return;
+    try {
+      DeadRemovalResult dead = remove_dead_transitions(
+          n, /*drop_isolated_places=*/true, options.reach);
+      result.stats.dead_transitions_removed += dead.removed;
+      result.stats.dead_method = dead.method;
+      n = std::move(dead.slice.net);
+    } catch (const LimitError&) {
+      // state space too large to prune right now; keep going
+    }
+  };
+  prune(net);
+
+  // Keep exactly the target's interface labels; contract everything else
+  // (project(N_target || N_env, A_target), Section 6). Pruning is
+  // interleaved with the per-label hiding: the contraction duplicates
+  // transitions and "many of them will be dead and can be eliminated"
+  // (Section 5.2) — eliminating them early keeps the cascade small.
+  auto keep = sorted_set::make([&] {
+    Circuit composite("tmp", composed.circuit.inputs(),
+                      composed.circuit.outputs(), net);
+    auto labels = composite.labels_of_signals(target.signals());
+    labels.push_back(std::string(kEpsilonLabel));
+    return labels;
+  }());
+  PetriNet projected = net;
+  for (const std::string& label : net.alphabet()) {
+    if (sorted_set::contains(keep, label)) continue;
+    projected = hide_action(projected, label, options.hide);
+    prune(projected);
+  }
+  // Residual eps dummies are left in place: contracting them duplicates
+  // their successors faster than it removes places, and STGs allow dummies.
+  // (The paper makes the matching caveat in Section 5.2: the behavior
+  // shrinks, "the STG itself is not necessarily smaller".)
+
+  result.stats.places_after = projected.place_count();
+  result.stats.transitions_after = projected.transition_count();
+  // The simplified module keeps the target's interface: signals of the
+  // environment that were inputs of the target remain inputs.
+  result.simplified = Circuit(target.name() + "_simplified", target.inputs(),
+                              target.outputs(), std::move(projected));
+  return result;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "algebra/hide.h"
+#include "circuit/circuit.h"
+#include "reach/dead.h"
+
+namespace cipnet {
+
+/// Size bookkeeping for the compositional-synthesis story of Sections 5.2
+/// and 6 (Figure 9): how much smaller did the module get.
+struct SimplifyStats {
+  std::size_t places_before = 0;
+  std::size_t transitions_before = 0;
+  std::size_t places_after = 0;
+  std::size_t transitions_after = 0;
+  std::size_t dead_transitions_removed = 0;
+  DeadCheckMethod dead_method = DeadCheckMethod::kReachability;
+};
+
+struct SimplifyResult {
+  Circuit simplified;
+  SimplifyStats stats;
+};
+
+struct SimplifyOptions {
+  SimplifyOptions() {
+    hide.epsilon_fallback = true;
+    // Keep the projection cheap: a label whose contraction cascades beyond
+    // this budget stays behind as dummies instead (language-equivalent),
+    // and duplicate product places are merged after every contraction.
+    hide.max_contractions = 64;
+    hide.simplify_places_between_contractions = true;
+  }
+
+  HideOptions hide;
+  ReachOptions reach;
+  /// Remove transitions that can never fire in the composition ("due to the
+  /// cross-product and the duplication of the synchronizing transitions,
+  /// many of them will be dead and can be eliminated", Section 5.2).
+  bool remove_dead = true;
+};
+
+/// Compositional synthesis (Theorem 5.1): instead of synthesizing `target`
+/// against its declared environment assumptions, synthesize
+/// `project(target || environment, A_target)` — same interface signals,
+/// smaller behavior (more don't-care freedom), with the dead transitions of
+/// the composition removed. This is exactly the derivation of the
+/// simplified protocol translator of Figure 9(b).
+[[nodiscard]] SimplifyResult simplify_against(const Circuit& target,
+                                              const Circuit& environment,
+                                              const SimplifyOptions& options = {});
+
+}  // namespace cipnet

@@ -1,0 +1,44 @@
+#include "circuit/verify.h"
+
+#include "reach/properties.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+std::string CompositionVerdict::to_string() const {
+  std::string out;
+  out += "receptive: " + std::string(receptive ? "yes" : "NO") + "\n";
+  out += "safe: " + std::string(safe ? "yes" : "NO") + "\n";
+  out += "deadlock-free: " + std::string(deadlock_free ? "yes" : "NO") + "\n";
+  out += "states: " + std::to_string(states) + "\n";
+  if (!dead_labels.empty()) {
+    out += "dead labels (expected duplicates):";
+    for (const auto& label : dead_labels) out += " " + label;
+    out += "\n";
+  }
+  return out;
+}
+
+CompositionVerdict verify_composition(const Circuit& c1, const Circuit& c2,
+                                      const ReachOptions& options) {
+  CompositionVerdict verdict;
+
+  auto report = check_receptiveness(c1, c2, options);
+  verdict.receptive = report.receptive();
+  verdict.receptiveness_failures = report.failures;
+
+  ComposeResult composed = compose(c1, c2);
+  ReachabilityGraph rg = explore(composed.circuit.net(), options);
+  verdict.states = rg.state_count();
+  verdict.safe = is_safe(rg);
+  verdict.deadlock_free = deadlock_states(rg).empty();
+
+  std::vector<std::string> dead;
+  for (TransitionId t : dead_transitions(composed.circuit.net(), rg)) {
+    dead.push_back(composed.circuit.net().transition_label(t));
+  }
+  verdict.dead_labels = sorted_set::make(std::move(dead));
+  return verdict;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/receptive.h"
+
+namespace cipnet {
+
+/// One-call verification of a composed pair of interface modules — the
+/// checklist Section 5.3 prescribes before trusting a composition:
+///  * receptiveness (Propositions 5.5/5.6), with witnesses;
+///  * safety of the composed state space;
+///  * deadlock-freedom;
+///  * which synchronization labels went dead (Section 5.2 expects dead
+///    duplicates after composition — they are reported, not failed).
+struct CompositionVerdict {
+  bool receptive = true;
+  bool safe = true;
+  bool deadlock_free = true;
+  std::vector<ReceptivenessFailure> receptiveness_failures;
+  std::vector<std::string> dead_labels;
+  std::size_t states = 0;
+
+  [[nodiscard]] bool ok() const {
+    return receptive && safe && deadlock_free;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] CompositionVerdict verify_composition(
+    const Circuit& c1, const Circuit& c2, const ReachOptions& options = {});
+
+}  // namespace cipnet

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace cipnet {
+
+/// A small weighted directed multigraph used by the structural analyses
+/// (SCC / liveness / safeness of marked graphs, cycle checks). Nodes are dense
+/// indices `0..node_count-1`; edges carry a non-negative integer weight (token
+/// counts when modelling marked graphs).
+class Digraph {
+ public:
+  struct Edge {
+    int from = 0;
+    int to = 0;
+    std::int64_t weight = 0;
+  };
+
+  Digraph() = default;
+  explicit Digraph(int node_count) : out_(node_count), in_(node_count) {}
+
+  // Edge weights may be negative (difference-constraint graphs); the
+  // Dijkstra-based queries below require non-negative weights and check it.
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(out_.size()); }
+  [[nodiscard]] int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  int add_node();
+  /// Returns the edge index.
+  int add_edge(int from, int to, std::int64_t weight = 0);
+
+  [[nodiscard]] const Edge& edge(int e) const { return edges_[e]; }
+  [[nodiscard]] const std::vector<int>& out_edges(int node) const {
+    return out_[node];
+  }
+  [[nodiscard]] const std::vector<int>& in_edges(int node) const {
+    return in_[node];
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_;  // node -> edge indices
+  std::vector<std::vector<int>> in_;   // node -> edge indices
+};
+
+/// Result of Tarjan's algorithm: `component[v]` is the SCC index of node `v`;
+/// components are numbered in reverse topological order (an edge between
+/// distinct SCCs goes from a higher to a lower component index).
+struct SccResult {
+  std::vector<int> component;
+  int component_count = 0;
+};
+
+[[nodiscard]] SccResult strongly_connected_components(const Digraph& g);
+
+/// True iff the graph has one SCC containing every node (and at least one
+/// node).
+[[nodiscard]] bool is_strongly_connected(const Digraph& g);
+
+/// True iff the graph contains a directed cycle (self-loops count).
+[[nodiscard]] bool has_cycle(const Digraph& g);
+
+/// Topological order of nodes; empty optional if the graph is cyclic.
+[[nodiscard]] std::optional<std::vector<int>> topological_order(
+    const Digraph& g);
+
+/// Minimum total weight of a directed cycle passing through edge `e`, i.e.
+/// weight(e) + shortest path from e.to back to e.from (Dijkstra; all weights
+/// must be >= 0). Empty optional if no such cycle exists.
+[[nodiscard]] std::optional<std::int64_t> min_cycle_weight_through_edge(
+    const Digraph& g, int e);
+
+/// Minimum total weight of any directed cycle; empty optional if acyclic.
+[[nodiscard]] std::optional<std::int64_t> min_cycle_weight(const Digraph& g);
+
+/// Shortest (by weight) path distances from `source` to all nodes; -1 where
+/// unreachable. Weights must be >= 0.
+[[nodiscard]] std::vector<std::int64_t> shortest_paths_from(const Digraph& g,
+                                                            int source);
+
+/// Bellman-Ford negative-cycle detection (weights may be negative). Used to
+/// decide feasibility of difference-constraint systems: the system
+/// `x_v - x_u <= w(u, v)` is feasible iff the constraint graph has no
+/// negative cycle.
+[[nodiscard]] bool has_negative_cycle(const Digraph& g);
+
+}  // namespace cipnet

@@ -1,0 +1,217 @@
+#include "io/astg.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/text.h"
+
+namespace cipnet {
+
+namespace {
+
+/// Strip an `/k` instance suffix.
+std::string base_name(const std::string& token) {
+  auto slash = token.find('/');
+  return slash == std::string::npos ? token : token.substr(0, slash);
+}
+
+}  // namespace
+
+std::string write_astg(const Stg& stg, const std::string& model_name) {
+  const PetriNet& net = stg.net();
+  std::ostringstream out;
+  out << ".model " << model_name << "\n";
+  auto emit_signals = [&](const char* directive, SignalKind kind) {
+    auto names = stg.signal_names(kind);
+    if (names.empty()) return;
+    out << directive;
+    for (const auto& name : names) out << " " << name;
+    out << "\n";
+  };
+  emit_signals(".inputs", SignalKind::kInput);
+  emit_signals(".outputs", SignalKind::kOutput);
+  emit_signals(".internal", SignalKind::kInternal);
+
+  // Unique node name per transition: label, label/1, label/2, ...
+  std::map<std::string, int> instance_counts;
+  std::vector<std::string> node_name(net.transition_count());
+  std::vector<std::string> dummies;
+  for (TransitionId t : net.all_transitions()) {
+    std::string label = net.transition_label(t);
+    if (is_epsilon_label(label)) label = "eps";
+    int instance = instance_counts[label]++;
+    node_name[t.index()] =
+        instance == 0 ? label : label + "/" + std::to_string(instance);
+    if (is_epsilon_label(net.transition_label(t))) {
+      dummies.push_back(node_name[t.index()]);
+    }
+  }
+  if (!dummies.empty()) {
+    out << ".dummy";
+    for (const auto& d : dummies) out << " " << d;
+    out << "\n";
+  }
+
+  out << ".graph\n";
+  for (TransitionId t : net.all_transitions()) {
+    const auto& postset = net.transition(t).postset;
+    if (postset.empty()) continue;
+    out << node_name[t.index()];
+    for (PlaceId p : postset) out << " " << net.place(p).name;
+    out << "\n";
+  }
+  for (PlaceId p : net.all_places()) {
+    const auto& consumers = net.consumers_of(p);
+    if (consumers.empty()) continue;
+    out << net.place(p).name;
+    for (TransitionId t : consumers) out << " " << node_name[t.index()];
+    out << "\n";
+  }
+  out << ".marking {";
+  for (PlaceId p : net.all_places()) {
+    Token tokens = net.initial_marking()[p];
+    if (tokens == 0) continue;
+    out << " " << net.place(p).name;
+    if (tokens > 1) out << "=" << tokens;
+  }
+  out << " }\n.end\n";
+  return out.str();
+}
+
+Stg read_astg(const std::string& text) {
+  std::vector<std::string> inputs, outputs, internals, dummy_names;
+  struct Arc {
+    std::string from;
+    std::string to;
+    int line;
+  };
+  std::vector<Arc> arcs;
+  std::vector<std::pair<std::string, Token>> marking;  // node or <a,b>
+  int line_no = 0;
+  bool in_graph = false;
+
+  auto fail = [&](const std::string& message) -> void {
+    throw ParseError("line " + std::to_string(line_no) + ": " + message);
+  };
+
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line(text::trim(text::strip_comment(raw)));
+    if (line.empty()) continue;
+    auto tokens = text::split_ws(line);
+    const std::string& keyword = tokens[0];
+    if (keyword == ".model" || keyword == ".name") {
+      continue;
+    } else if (keyword == ".inputs" || keyword == ".outputs" ||
+               keyword == ".internal" || keyword == ".dummy") {
+      auto& target = keyword == ".inputs"    ? inputs
+                     : keyword == ".outputs" ? outputs
+                     : keyword == ".internal" ? internals
+                                              : dummy_names;
+      target.insert(target.end(), tokens.begin() + 1, tokens.end());
+    } else if (keyword == ".graph") {
+      in_graph = true;
+    } else if (keyword == ".marking") {
+      std::string rest(text::trim(line.substr(std::string(".marking").size())));
+      if (rest.size() < 2 || rest.front() != '{' || rest.back() != '}') {
+        fail(".marking { ... }");
+      }
+      std::string inner(rest.substr(1, rest.size() - 2));
+      // Split respecting <a,b> groups (they contain no spaces in practice).
+      for (const std::string& item : text::split_ws(inner)) {
+        auto eq = item.find('=');
+        if (eq == std::string::npos) {
+          marking.emplace_back(item, 1);
+        } else {
+          marking.emplace_back(item.substr(0, eq),
+                               static_cast<Token>(
+                                   std::stoul(item.substr(eq + 1))));
+        }
+      }
+    } else if (keyword == ".end") {
+      break;
+    } else if (in_graph) {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        arcs.push_back(Arc{tokens[0], tokens[i], line_no});
+      }
+    } else {
+      fail("unknown directive: " + keyword);
+    }
+  }
+
+  // Classify node names.
+  auto is_dummy = [&](const std::string& node) {
+    const std::string base = base_name(node);
+    for (const auto& d : dummy_names) {
+      if (d == node || d == base) return true;
+    }
+    return false;
+  };
+  auto declared_signal = [&](const std::string& name) {
+    for (const auto* set : {&inputs, &outputs, &internals}) {
+      for (const auto& s : *set) {
+        if (s == name) return true;
+      }
+    }
+    return false;
+  };
+  auto is_transition_node = [&](const std::string& node) {
+    if (is_dummy(node)) return true;
+    auto edge = parse_edge(base_name(node));
+    return edge && declared_signal(edge->signal);
+  };
+
+  PetriNet net;
+  std::map<std::string, PlaceId> places;
+  std::map<std::string, std::pair<std::vector<PlaceId>, std::vector<PlaceId>>>
+      transitions;  // node -> (preset, postset)
+
+  auto place_of = [&](const std::string& name) {
+    auto it = places.find(name);
+    if (it != places.end()) return it->second;
+    PlaceId p = net.add_place(name, 0);
+    places.emplace(name, p);
+    return p;
+  };
+  auto transition_of = [&](const std::string& node)
+      -> std::pair<std::vector<PlaceId>, std::vector<PlaceId>>& {
+    return transitions[node];
+  };
+
+  for (const Arc& arc : arcs) {
+    line_no = arc.line;
+    const bool from_t = is_transition_node(arc.from);
+    const bool to_t = is_transition_node(arc.to);
+    if (from_t && to_t) {
+      PlaceId p = place_of("<" + arc.from + "," + arc.to + ">");
+      transition_of(arc.from).second.push_back(p);
+      transition_of(arc.to).first.push_back(p);
+    } else if (from_t && !to_t) {
+      transition_of(arc.from).second.push_back(place_of(arc.to));
+    } else if (!from_t && to_t) {
+      transition_of(arc.to).first.push_back(place_of(arc.from));
+    } else {
+      fail("arc between two places: " + arc.from + " -> " + arc.to);
+    }
+  }
+
+  for (auto& [node, pre_post] : transitions) {
+    std::string label =
+        is_dummy(node) ? std::string(kEpsilonLabel) : base_name(node);
+    net.add_transition(std::move(pre_post.first), label,
+                       std::move(pre_post.second));
+  }
+  for (const auto& [name, tokens] : marking) {
+    auto it = places.find(name);
+    if (it == places.end()) {
+      throw ParseError("marking references unknown place: " + name);
+    }
+    net.set_initial_tokens(it->second, tokens);
+  }
+  return Stg::from_net(std::move(net), inputs, outputs, internals);
+}
+
+}  // namespace cipnet

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "stg/stg.h"
+
+namespace cipnet {
+
+/// Petrify-style `.g` / ASTG signal transition graph format:
+///
+///   .model sender
+///   .inputs rec n
+///   .outputs a0 b0
+///   .graph
+///   p0 rec~/1
+///   rec~/1 a0+ b0+
+///   a0+ p1
+///   ...
+///   .marking { p0 }
+///   .end
+///
+/// Supported subset: `.model/.inputs/.outputs/.internal/.dummy`, a `.graph`
+/// section whose lines connect nodes (signal transitions like `a+ a- a~`,
+/// optionally instance-suffixed `a+/2`, dummy names declared in `.dummy`,
+/// and place names), `.marking { p ... }` with explicit places and
+/// `<src,dst>` implicit-place tokens, and `.end`. Arcs directly between two
+/// transitions get an implicit place. Writing always emits explicit places.
+[[nodiscard]] std::string write_astg(const Stg& stg,
+                                     const std::string& model_name = "stg");
+
+[[nodiscard]] Stg read_astg(const std::string& text);
+
+}  // namespace cipnet

@@ -1,0 +1,79 @@
+#include "io/dot.h"
+
+namespace cipnet {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const PetriNet& net, const std::string& graph_name) {
+  std::string out = "digraph \"" + escape(graph_name) + "\" {\n";
+  out += "  rankdir=TB;\n";
+  for (PlaceId p : net.all_places()) {
+    std::string label = net.place(p).name;
+    Token tokens = net.initial_marking()[p];
+    if (tokens > 0) label += " (" + std::to_string(tokens) + ")";
+    out += "  p" + std::to_string(p.index()) + " [shape=circle, label=\"" +
+           escape(label) + "\"];\n";
+  }
+  for (TransitionId t : net.all_transitions()) {
+    std::string label = net.transition_label(t);
+    const Guard& guard = net.transition(t).guard;
+    if (!guard.is_true()) label += "\\n[" + guard.to_string() + "]";
+    out += "  t" + std::to_string(t.index()) + " [shape=box, label=\"" +
+           escape(label) + "\"];\n";
+    for (PlaceId p : net.transition(t).preset) {
+      out += "  p" + std::to_string(p.index()) + " -> t" +
+             std::to_string(t.index()) + ";\n";
+    }
+    for (PlaceId p : net.transition(t).postset) {
+      out += "  t" + std::to_string(t.index()) + " -> p" +
+             std::to_string(p.index()) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const PetriNet& net, const ReachabilityGraph& rg,
+                   const std::string& graph_name) {
+  std::string out = "digraph \"" + escape(graph_name) + "\" {\n";
+  for (StateId s : rg.all_states()) {
+    out += "  s" + std::to_string(s.index()) + " [label=\"" +
+           escape(rg.marking(s).to_string()) + "\"];\n";
+    for (const auto& e : rg.successors(s)) {
+      out += "  s" + std::to_string(s.index()) + " -> s" +
+             std::to_string(e.to.index()) + " [label=\"" +
+             escape(net.transition_label(e.transition)) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const StateGraph& sg, const PetriNet& net,
+                   const std::string& graph_name) {
+  std::string out = "digraph \"" + escape(graph_name) + "\" {\n";
+  for (StateId s : sg.all_states()) {
+    out += "  s" + std::to_string(s.index()) + " [label=\"" +
+           escape(sg.encoding_string(s)) + "\"];\n";
+    for (const auto& e : sg.successors(s)) {
+      out += "  s" + std::to_string(s.index()) + " -> s" +
+             std::to_string(e.to.index()) + " [label=\"" +
+             escape(net.transition_label(e.transition)) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "petri/net.h"
+#include "reach/reachability.h"
+#include "stg/state_graph.h"
+
+namespace cipnet {
+
+/// GraphViz export of a net: places as circles (token dots in the label),
+/// transitions as boxes labeled with their action (guards appended).
+[[nodiscard]] std::string to_dot(const PetriNet& net,
+                                 const std::string& graph_name = "net");
+
+/// GraphViz export of a reachability graph; states labeled with their
+/// marking, edges with the fired action.
+[[nodiscard]] std::string to_dot(const PetriNet& net,
+                                 const ReachabilityGraph& rg,
+                                 const std::string& graph_name = "rg");
+
+/// GraphViz export of an STG state graph; states labeled with their binary
+/// encoding.
+[[nodiscard]] std::string to_dot(const StateGraph& sg,
+                                 const PetriNet& net,
+                                 const std::string& graph_name = "sg");
+
+}  // namespace cipnet

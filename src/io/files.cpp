@@ -1,0 +1,64 @@
+#include "io/files.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "io/astg.h"
+#include "io/net_format.h"
+#include "util/error.h"
+
+namespace cipnet {
+
+namespace {
+
+bool has_suffix(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_astg_path(const std::string& path) {
+  return has_suffix(path, ".g") || has_suffix(path, ".astg");
+}
+
+}  // namespace
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out << content;
+  if (!out) throw Error("write failed: " + path);
+}
+
+PetriNet load_net(const std::string& path) {
+  if (is_astg_path(path)) return load_stg(path).net();
+  return read_net(read_text_file(path));
+}
+
+Stg load_stg(const std::string& path) {
+  if (!is_astg_path(path)) {
+    // A .cpn file has no signal table: infer directions as inputs-only is
+    // wrong; require .g for STGs.
+    throw Error("load_stg expects a .g/.astg file: " + path);
+  }
+  return read_astg(read_text_file(path));
+}
+
+void save_net(const std::string& path, const PetriNet& net,
+              const std::string& name) {
+  write_text_file(path, write_net(net, name));
+}
+
+void save_stg(const std::string& path, const Stg& stg,
+              const std::string& name) {
+  write_text_file(path, write_astg(stg, name));
+}
+
+}  // namespace cipnet

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "petri/net.h"
+#include "stg/stg.h"
+
+namespace cipnet {
+
+/// Whole-file helpers for the textual formats. Reading throws ParseError
+/// (bad content) or Error (I/O failure); writing throws Error on failure.
+
+[[nodiscard]] std::string read_text_file(const std::string& path);
+void write_text_file(const std::string& path, const std::string& content);
+
+/// Dispatch by extension: `.g` / `.astg` parse as ASTG (returning the
+/// underlying net of the Stg), anything else as native `.cpn`.
+[[nodiscard]] PetriNet load_net(const std::string& path);
+[[nodiscard]] Stg load_stg(const std::string& path);
+
+void save_net(const std::string& path, const PetriNet& net,
+              const std::string& name = "net");
+void save_stg(const std::string& path, const Stg& stg,
+              const std::string& name = "stg");
+
+}  // namespace cipnet

@@ -1,0 +1,127 @@
+#include "io/net_format.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/text.h"
+
+namespace cipnet {
+
+std::string write_net(const PetriNet& net, const std::string& name) {
+  std::ostringstream out;
+  out << ".net " << name << "\n";
+  for (PlaceId p : net.all_places()) {
+    out << ".place " << net.place(p).name;
+    if (net.initial_marking()[p] > 0) out << " " << net.initial_marking()[p];
+    out << "\n";
+  }
+  // Alphabet entries without transitions must be kept (they matter for
+  // parallel composition).
+  for (std::size_t a = 0; a < net.action_count(); ++a) {
+    ActionId id(static_cast<std::uint32_t>(a));
+    if (net.transitions_with_action(id).empty()) {
+      out << ".action " << net.label(id) << "\n";
+    }
+  }
+  for (TransitionId t : net.all_transitions()) {
+    const auto& tr = net.transition(t);
+    out << ".trans " << net.label(tr.action) << " :";
+    for (PlaceId p : tr.preset) out << " " << net.place(p).name;
+    out << " ->";
+    for (PlaceId p : tr.postset) out << " " << net.place(p).name;
+    if (!tr.guard.is_true()) {
+      out << " if";
+      for (const auto& [signal, level] : tr.guard.literals()) {
+        out << " " << (level ? "" : "!") << signal;
+      }
+    }
+    out << "\n";
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+PetriNet read_net(const std::string& text) {
+  PetriNet net;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  bool saw_end = false;
+
+  auto fail = [&](const std::string& message) -> void {
+    throw ParseError("line " + std::to_string(line_no) + ": " + message);
+  };
+  auto place_or_fail = [&](const std::string& name) {
+    auto p = net.find_place(name);
+    if (!p) fail("unknown place: " + name);
+    return *p;
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line(text::trim(text::strip_comment(raw)));
+    if (line.empty()) continue;
+    if (saw_end) fail("content after .end");
+    auto tokens = text::split_ws(line);
+    const std::string& keyword = tokens[0];
+    if (keyword == ".net") {
+      continue;  // name is informational
+    } else if (keyword == ".place") {
+      if (tokens.size() < 2 || tokens.size() > 3) fail(".place name [tokens]");
+      Token count = 0;
+      if (tokens.size() == 3) {
+        try {
+          count = static_cast<Token>(std::stoul(tokens[2]));
+        } catch (const std::exception&) {
+          fail("bad token count: " + tokens[2]);
+        }
+      }
+      if (net.find_place(tokens[1])) fail("duplicate place: " + tokens[1]);
+      net.add_place(tokens[1], count);
+    } else if (keyword == ".action") {
+      if (tokens.size() != 2) fail(".action label");
+      net.add_action(tokens[1]);
+    } else if (keyword == ".trans") {
+      if (tokens.size() < 4 || tokens[2] != ":") {
+        fail(".trans label : pre... -> post... [if lit...]");
+      }
+      std::vector<PlaceId> preset, postset;
+      Guard guard;
+      std::size_t i = 3;
+      for (; i < tokens.size() && tokens[i] != "->"; ++i) {
+        preset.push_back(place_or_fail(tokens[i]));
+      }
+      if (i == tokens.size()) fail("missing ->");
+      ++i;
+      for (; i < tokens.size() && tokens[i] != "if"; ++i) {
+        postset.push_back(place_or_fail(tokens[i]));
+      }
+      if (i < tokens.size()) {  // guard
+        std::vector<Guard::Literal> literals;
+        for (++i; i < tokens.size(); ++i) {
+          const std::string& lit = tokens[i];
+          if (lit.size() > 1 && lit[0] == '!') {
+            literals.emplace_back(lit.substr(1), false);
+          } else if (!lit.empty()) {
+            literals.emplace_back(lit, true);
+          }
+        }
+        if (literals.empty()) fail("empty guard");
+        guard = Guard(std::move(literals));
+      }
+      net.add_transition(std::move(preset), tokens[1], std::move(postset),
+                         std::move(guard));
+    } else if (keyword == ".end") {
+      saw_end = true;
+    } else {
+      fail("unknown directive: " + keyword);
+    }
+  }
+  if (!saw_end) {
+    ++line_no;
+    fail("missing .end");
+  }
+  return net;
+}
+
+}  // namespace cipnet

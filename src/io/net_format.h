@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// The native `.cpn` textual net format. Line-oriented; `#` starts a
+/// comment. Example:
+///
+///   .net translator
+///   .place idle 1
+///   .place busy
+///   .action ghost            # alphabet entry without transitions
+///   .trans a+ : idle -> busy
+///   .trans a- : busy -> idle if d !s
+///   .end
+///
+/// Presets/postsets are whitespace-separated place names; the optional
+/// `if` clause is a conjunction of signal literals (`!x` = level 0).
+[[nodiscard]] std::string write_net(const PetriNet& net,
+                                    const std::string& name = "net");
+
+/// Parses the `.cpn` format; throws ParseError with a line number on any
+/// malformed input.
+[[nodiscard]] PetriNet read_net(const std::string& text);
+
+}  // namespace cipnet

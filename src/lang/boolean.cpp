@@ -1,0 +1,123 @@
+#include "lang/boolean.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+namespace {
+
+std::vector<std::string> dfa_alphabet(const Dfa& d) {
+  std::vector<std::string> out;
+  for (int s = 0; s < d.state_count(); ++s) {
+    for (const auto& [label, to] : d.edges_from(s)) out.push_back(label);
+  }
+  sorted_set::normalize(out);
+  return out;
+}
+
+/// Product construction with implicit sinks (-1). `mode` decides the
+/// acceptance: 0 = and, 1 = or.
+Dfa product(const Dfa& a, const Dfa& b, int mode) {
+  auto alphabet =
+      sorted_set::set_union(dfa_alphabet(a), dfa_alphabet(b));
+  auto key = [](int sa, int sb) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sa)) << 32) |
+           static_cast<std::uint32_t>(sb);
+  };
+  auto accepting = [&](int sa, int sb) {
+    bool in_a = sa >= 0 && a.is_accepting(sa);
+    bool in_b = sb >= 0 && b.is_accepting(sb);
+    return mode == 0 ? (in_a && in_b) : (in_a || in_b);
+  };
+
+  Dfa out;
+  std::unordered_map<std::uint64_t, int> index;
+  std::deque<std::pair<int, int>> frontier;
+  auto intern = [&](int sa, int sb) {
+    auto [it, fresh] = index.try_emplace(key(sa, sb), out.state_count());
+    if (fresh) {
+      out.add_state(accepting(sa, sb));
+      frontier.emplace_back(sa, sb);
+    }
+    return it->second;
+  };
+  out.set_initial(intern(a.initial(), b.initial()));
+  while (!frontier.empty()) {
+    auto [sa, sb] = frontier.front();
+    frontier.pop_front();
+    int from = index[key(sa, sb)];
+    for (const auto& label : alphabet) {
+      int na = sa < 0 ? -1 : a.next(sa, label);
+      int nb = sb < 0 ? -1 : b.next(sb, label);
+      if (na < 0 && nb < 0) continue;
+      out.set_edge(from, label, intern(na, nb));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Dfa intersect(const Dfa& a, const Dfa& b) { return product(a, b, 0); }
+
+Dfa union_dfa(const Dfa& a, const Dfa& b) { return product(a, b, 1); }
+
+Dfa complement(const Dfa& a, const std::vector<std::string>& alphabet) {
+  // Complete `a` over the alphabet with an explicit sink, then flip.
+  Dfa out;
+  for (int s = 0; s < a.state_count(); ++s) {
+    out.add_state(!a.is_accepting(s));
+  }
+  int sink = out.add_state(true);
+  out.set_initial(a.initial());
+  auto all = sorted_set::set_union(alphabet, dfa_alphabet(a));
+  for (int s = 0; s < a.state_count(); ++s) {
+    for (const auto& label : all) {
+      int to = a.next(s, label);
+      out.set_edge(s, label, to < 0 ? sink : to);
+    }
+  }
+  for (const auto& label : all) out.set_edge(sink, label, sink);
+  return out;
+}
+
+bool is_empty(const Dfa& a) { return !shortest_word(a).has_value(); }
+
+std::optional<std::vector<std::string>> shortest_word(const Dfa& a) {
+  std::vector<int> parent(a.state_count(), -2);
+  std::vector<std::string> via(a.state_count());
+  std::deque<int> frontier{a.initial()};
+  parent[a.initial()] = -1;
+  while (!frontier.empty()) {
+    int s = frontier.front();
+    frontier.pop_front();
+    if (a.is_accepting(s)) {
+      std::vector<std::string> word;
+      for (int cur = s; parent[cur] >= 0; cur = parent[cur]) {
+        word.push_back(via[cur]);
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (const auto& [label, to] : a.edges_from(s)) {
+      if (parent[to] == -2) {
+        parent[to] = s;
+        via[to] = label;
+        frontier.push_back(to);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::string>> find_violation(const Dfa& language,
+                                                       const Dfa& bad) {
+  return shortest_word(intersect(language, bad));
+}
+
+}  // namespace cipnet

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/dfa.h"
+
+namespace cipnet {
+
+/// Boolean operations on DFAs, enabling property checks over trace
+/// languages ("no trace of the composition matches this bad pattern").
+/// Missing edges are treated as an implicit rejecting sink; `alphabet`
+/// parameters say which symbols the complement ranges over.
+
+/// Words accepted by both.
+[[nodiscard]] Dfa intersect(const Dfa& a, const Dfa& b);
+
+/// Words over `alphabet` not accepted by `a`.
+[[nodiscard]] Dfa complement(const Dfa& a,
+                             const std::vector<std::string>& alphabet);
+
+/// Words accepted by either.
+[[nodiscard]] Dfa union_dfa(const Dfa& a, const Dfa& b);
+
+/// True iff no word is accepted.
+[[nodiscard]] bool is_empty(const Dfa& a);
+
+/// A shortest accepted word, if any.
+[[nodiscard]] std::optional<std::vector<std::string>> shortest_word(
+    const Dfa& a);
+
+/// Safety check: does any word of `language` match `bad`? Returns the
+/// shortest offending word (the counterexample), or nullopt when the
+/// property `L(language) ∩ L(bad) = ∅` holds.
+[[nodiscard]] std::optional<std::vector<std::string>> find_violation(
+    const Dfa& language, const Dfa& bad);
+
+}  // namespace cipnet

@@ -1,0 +1,54 @@
+#include "lang/dfa.h"
+
+namespace cipnet {
+
+int Dfa::add_state(bool accepting) {
+  edges_.emplace_back();
+  accepting_.push_back(accepting);
+  return state_count() - 1;
+}
+
+void Dfa::set_edge(int from, const std::string& label, int to) {
+  edges_[from][label] = to;
+}
+
+int Dfa::next(int state, const std::string& label) const {
+  auto it = edges_[state].find(label);
+  return it == edges_[state].end() ? -1 : it->second;
+}
+
+bool Dfa::accepts(const std::vector<std::string>& word) const {
+  int s = initial_;
+  for (const auto& label : word) {
+    s = next(s, label);
+    if (s < 0) return false;
+  }
+  return accepting_[s];
+}
+
+unsigned long long Dfa::count_words(std::size_t up_to_length) const {
+  constexpr unsigned long long kCap = 1'000'000'000'000'000'000ULL;
+  std::vector<unsigned long long> counts(state_count(), 0);
+  counts[initial_] = 1;
+  unsigned long long total = accepting_[initial_] ? 1 : 0;
+  for (std::size_t len = 1; len <= up_to_length; ++len) {
+    std::vector<unsigned long long> next_counts(state_count(), 0);
+    for (int s = 0; s < state_count(); ++s) {
+      if (counts[s] == 0) continue;
+      for (const auto& [label, to] : edges_[s]) {
+        next_counts[to] += counts[s];
+        if (next_counts[to] > kCap) next_counts[to] = kCap;
+      }
+    }
+    counts = std::move(next_counts);
+    for (int s = 0; s < state_count(); ++s) {
+      if (accepting_[s]) {
+        total += counts[s];
+        if (total > kCap) return kCap;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace cipnet

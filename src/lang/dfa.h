@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cipnet {
+
+/// A deterministic finite automaton. Transitions are partial: a missing
+/// label means the word leaves the language (and all its extensions too —
+/// prefix-closed languages need no explicit sink).
+class Dfa {
+ public:
+  int add_state(bool accepting);
+
+  void set_edge(int from, const std::string& label, int to);
+
+  [[nodiscard]] int state_count() const {
+    return static_cast<int>(edges_.size());
+  }
+  [[nodiscard]] const std::map<std::string, int>& edges_from(int state) const {
+    return edges_[state];
+  }
+  /// -1 if no edge.
+  [[nodiscard]] int next(int state, const std::string& label) const;
+
+  [[nodiscard]] bool is_accepting(int state) const {
+    return accepting_[state];
+  }
+  [[nodiscard]] int initial() const { return initial_; }
+  void set_initial(int state) { initial_ = state; }
+
+  /// True iff `word` is in the language.
+  [[nodiscard]] bool accepts(const std::vector<std::string>& word) const;
+
+  /// Number of accepted words of length exactly `k` / at most `k`
+  /// (saturating at ~1e18).
+  [[nodiscard]] unsigned long long count_words(std::size_t up_to_length) const;
+
+ private:
+  std::vector<std::map<std::string, int>> edges_;
+  std::vector<bool> accepting_;
+  int initial_ = 0;
+};
+
+}  // namespace cipnet

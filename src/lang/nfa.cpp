@@ -1,0 +1,28 @@
+#include "lang/nfa.h"
+
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+int Nfa::add_state(bool accepting) {
+  edges_.emplace_back();
+  accepting_.push_back(accepting);
+  return state_count() - 1;
+}
+
+void Nfa::add_edge(int from, std::optional<std::string> label, int to) {
+  edges_[from].push_back(Edge{std::move(label), to});
+}
+
+std::vector<std::string> Nfa::edge_alphabet() const {
+  std::vector<std::string> out;
+  for (const auto& from : edges_) {
+    for (const auto& e : from) {
+      if (e.label) out.push_back(*e.label);
+    }
+  }
+  sorted_set::normalize(out);
+  return out;
+}
+
+}  // namespace cipnet

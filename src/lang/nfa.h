@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cipnet {
+
+/// A nondeterministic finite automaton over string labels, with epsilon
+/// moves. Used as the *independent* semantic layer: reachability graphs of
+/// nets become NFAs, language-level operators (rename / hide / union /
+/// synchronized shuffle) are applied here, and the results are compared with
+/// the net-level algebra — this is how the paper's trace-equivalence
+/// theorems are machine-checked.
+///
+/// Trace languages of nets (Definition 4.1) are prefix-closed, so states are
+/// accepting by default; non-accepting states only appear internally (sink
+/// completion during equivalence checking).
+class Nfa {
+ public:
+  struct Edge {
+    /// nullopt = epsilon move.
+    std::optional<std::string> label;
+    int to = 0;
+  };
+
+  int add_state(bool accepting = true);
+
+  void add_edge(int from, std::optional<std::string> label, int to);
+
+  [[nodiscard]] int state_count() const {
+    return static_cast<int>(edges_.size());
+  }
+  [[nodiscard]] const std::vector<Edge>& edges_from(int state) const {
+    return edges_[state];
+  }
+  [[nodiscard]] bool is_accepting(int state) const {
+    return accepting_[state];
+  }
+
+  [[nodiscard]] int initial() const { return initial_; }
+  void set_initial(int state) { initial_ = state; }
+
+  /// Sorted set of labels that occur on edges (epsilon excluded).
+  [[nodiscard]] std::vector<std::string> edge_alphabet() const;
+
+ private:
+  std::vector<std::vector<Edge>> edges_;
+  std::vector<bool> accepting_;
+  int initial_ = 0;
+};
+
+}  // namespace cipnet

@@ -1,0 +1,441 @@
+#include "lang/ops.h"
+
+#include <algorithm>
+#include <functional>
+#include <deque>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+Nfa nfa_from_reachability(const PetriNet& net, const ReachabilityGraph& rg) {
+  Nfa nfa;
+  for (std::size_t i = 0; i < rg.state_count(); ++i) nfa.add_state(true);
+  for (StateId s : rg.all_states()) {
+    for (const auto& e : rg.successors(s)) {
+      nfa.add_edge(static_cast<int>(s.index()),
+                   net.transition_label(e.transition),
+                   static_cast<int>(e.to.index()));
+    }
+  }
+  nfa.set_initial(0);
+  return nfa;
+}
+
+Nfa nfa_of_net(const PetriNet& net, const ReachOptions& options) {
+  ReachabilityGraph rg = explore(net, options);
+  return nfa_from_reachability(net, rg);
+}
+
+namespace {
+
+Nfa map_labels(const Nfa& nfa,
+               const std::function<std::optional<std::string>(
+                   const std::string&)>& f) {
+  Nfa out;
+  for (int s = 0; s < nfa.state_count(); ++s) {
+    out.add_state(nfa.is_accepting(s));
+  }
+  out.set_initial(nfa.initial());
+  for (int s = 0; s < nfa.state_count(); ++s) {
+    for (const auto& e : nfa.edges_from(s)) {
+      if (!e.label) {
+        out.add_edge(s, std::nullopt, e.to);
+      } else {
+        out.add_edge(s, f(*e.label), e.to);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Nfa rename_labels(const Nfa& nfa,
+                  const std::map<std::string, std::string>& map) {
+  return map_labels(nfa, [&](const std::string& l) -> std::optional<std::string> {
+    auto it = map.find(l);
+    return it == map.end() ? l : it->second;
+  });
+}
+
+Nfa hide_labels(const Nfa& nfa, const std::vector<std::string>& hidden) {
+  auto set = sorted_set::make(hidden);
+  return map_labels(nfa, [&](const std::string& l) -> std::optional<std::string> {
+    if (sorted_set::contains(set, l)) return std::nullopt;
+    return l;
+  });
+}
+
+Nfa project_labels(const Nfa& nfa, const std::vector<std::string>& kept) {
+  auto set = sorted_set::make(kept);
+  return map_labels(nfa, [&](const std::string& l) -> std::optional<std::string> {
+    if (sorted_set::contains(set, l)) return l;
+    return std::nullopt;
+  });
+}
+
+Nfa union_nfa(const Nfa& a, const Nfa& b) {
+  Nfa out;
+  // Fresh initial state; accepting because both operand languages are
+  // prefix-closed and contain the empty word iff their initial accepts —
+  // take the disjunction.
+  int init = out.add_state(a.is_accepting(a.initial()) ||
+                           b.is_accepting(b.initial()));
+  int offset_a = out.state_count();
+  for (int s = 0; s < a.state_count(); ++s) out.add_state(a.is_accepting(s));
+  int offset_b = out.state_count();
+  for (int s = 0; s < b.state_count(); ++s) out.add_state(b.is_accepting(s));
+  for (int s = 0; s < a.state_count(); ++s) {
+    for (const auto& e : a.edges_from(s)) {
+      out.add_edge(offset_a + s, e.label, offset_a + e.to);
+    }
+  }
+  for (int s = 0; s < b.state_count(); ++s) {
+    for (const auto& e : b.edges_from(s)) {
+      out.add_edge(offset_b + s, e.label, offset_b + e.to);
+    }
+  }
+  out.add_edge(init, std::nullopt, offset_a + a.initial());
+  out.add_edge(init, std::nullopt, offset_b + b.initial());
+  out.set_initial(init);
+  return out;
+}
+
+Nfa sync_product(const Nfa& a, const Nfa& b,
+                 const std::vector<std::string>& shared) {
+  auto shared_set = sorted_set::make(shared);
+  Nfa out;
+  std::unordered_map<std::uint64_t, int> index;
+  auto key = [&](int sa, int sb) {
+    return (static_cast<std::uint64_t>(sa) << 32) |
+           static_cast<std::uint32_t>(sb);
+  };
+  std::deque<std::pair<int, int>> frontier;
+  auto intern = [&](int sa, int sb) {
+    auto [it, fresh] = index.try_emplace(key(sa, sb), out.state_count());
+    if (fresh) {
+      out.add_state(a.is_accepting(sa) && b.is_accepting(sb));
+      frontier.emplace_back(sa, sb);
+    }
+    return it->second;
+  };
+  int init = intern(a.initial(), b.initial());
+  out.set_initial(init);
+
+  while (!frontier.empty()) {
+    auto [sa, sb] = frontier.front();
+    frontier.pop_front();
+    int from = index[key(sa, sb)];
+    for (const auto& ea : a.edges_from(sa)) {
+      const bool is_shared =
+          ea.label && sorted_set::contains(shared_set, *ea.label);
+      if (!is_shared) {
+        out.add_edge(from, ea.label, intern(ea.to, sb));
+      } else {
+        for (const auto& eb : b.edges_from(sb)) {
+          if (eb.label && *eb.label == *ea.label) {
+            out.add_edge(from, ea.label, intern(ea.to, eb.to));
+          }
+        }
+      }
+    }
+    for (const auto& eb : b.edges_from(sb)) {
+      const bool is_shared =
+          eb.label && sorted_set::contains(shared_set, *eb.label);
+      if (!is_shared) {
+        out.add_edge(from, eb.label, intern(sa, eb.to));
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<int> epsilon_closure(const Nfa& nfa, std::vector<int> seed) {
+  std::vector<bool> seen(nfa.state_count(), false);
+  std::deque<int> frontier;
+  for (int s : seed) {
+    if (!seen[s]) {
+      seen[s] = true;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<int> closure;
+  while (!frontier.empty()) {
+    int s = frontier.front();
+    frontier.pop_front();
+    closure.push_back(s);
+    for (const auto& e : nfa.edges_from(s)) {
+      if (!e.label && !seen[e.to]) {
+        seen[e.to] = true;
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  std::sort(closure.begin(), closure.end());
+  return closure;
+}
+
+}  // namespace
+
+Dfa determinize(const Nfa& nfa) {
+  Dfa dfa;
+  std::unordered_map<std::vector<int>, int, VectorHash> index;
+  std::deque<std::vector<int>> frontier;
+
+  auto intern = [&](std::vector<int> subset) {
+    auto it = index.find(subset);
+    if (it != index.end()) return it->second;
+    bool accepting = false;
+    for (int s : subset) accepting = accepting || nfa.is_accepting(s);
+    int id = dfa.add_state(accepting);
+    index.emplace(subset, id);
+    frontier.push_back(std::move(subset));
+    return id;
+  };
+
+  int init = intern(epsilon_closure(nfa, {nfa.initial()}));
+  dfa.set_initial(init);
+
+  while (!frontier.empty()) {
+    std::vector<int> subset = frontier.front();
+    frontier.pop_front();
+    int from = index[subset];
+    std::map<std::string, std::vector<int>> moves;
+    for (int s : subset) {
+      for (const auto& e : nfa.edges_from(s)) {
+        if (e.label) moves[*e.label].push_back(e.to);
+      }
+    }
+    for (auto& [label, targets] : moves) {
+      auto closure = epsilon_closure(nfa, std::move(targets));
+      dfa.set_edge(from, label, intern(std::move(closure)));
+    }
+  }
+  return dfa;
+}
+
+Dfa minimize(const Dfa& dfa) {
+  const int n = dfa.state_count();
+  // Alphabet of the DFA.
+  std::vector<std::string> alphabet;
+  for (int s = 0; s < n; ++s) {
+    for (const auto& [label, to] : dfa.edges_from(s)) alphabet.push_back(label);
+  }
+  sorted_set::normalize(alphabet);
+
+  // Moore refinement with an implicit sink block (-1) for missing edges.
+  std::vector<int> block(n);
+  for (int s = 0; s < n; ++s) block[s] = dfa.is_accepting(s) ? 1 : 0;
+  int block_count = 2;
+
+  while (true) {
+    // Signature = (current block, successor block per alphabet symbol).
+    std::map<std::vector<int>, int> sig_index;
+    std::vector<int> next_block(n);
+    for (int s = 0; s < n; ++s) {
+      std::vector<int> sig{block[s]};
+      for (const auto& label : alphabet) {
+        int t = dfa.next(s, label);
+        sig.push_back(t < 0 ? -1 : block[t]);
+      }
+      auto [it, fresh] =
+          sig_index.try_emplace(std::move(sig), static_cast<int>(sig_index.size()));
+      (void)fresh;
+      next_block[s] = it->second;
+    }
+    bool stable = static_cast<int>(sig_index.size()) == block_count;
+    block = std::move(next_block);
+    block_count = static_cast<int>(sig_index.size());
+    if (stable) break;
+  }
+
+  // Identify blocks with an empty future language (can never accept again):
+  // those behave like the sink and their edges can be dropped.
+  std::vector<bool> block_accepting(block_count, false);
+  for (int s = 0; s < n; ++s) {
+    if (dfa.is_accepting(s)) block_accepting[block[s]] = true;
+  }
+  // A block is "productive" if some accepting block is reachable from it.
+  std::vector<std::vector<int>> block_succ(block_count);
+  for (int s = 0; s < n; ++s) {
+    for (const auto& [label, to] : dfa.edges_from(s)) {
+      block_succ[block[s]].push_back(block[to]);
+    }
+  }
+  std::vector<bool> productive(block_count, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = 0; b < block_count; ++b) {
+      if (productive[b]) continue;
+      bool now = block_accepting[b];
+      for (int succ : block_succ[b]) now = now || productive[succ];
+      if (now) {
+        productive[b] = true;
+        changed = true;
+      }
+    }
+  }
+
+  // Rebuild: only blocks reachable from the initial block and productive.
+  std::vector<int> block_state(block_count, -1);
+  Dfa out;
+  std::deque<int> frontier;
+  auto intern = [&](int b) {
+    if (block_state[b] < 0) {
+      block_state[b] = out.add_state(block_accepting[b]);
+      frontier.push_back(b);
+    }
+    return block_state[b];
+  };
+  int initial_block = block[dfa.initial()];
+  out.set_initial(intern(initial_block));
+  // Representative state per block for edge lookup.
+  std::vector<int> representative(block_count, -1);
+  for (int s = 0; s < n; ++s) {
+    if (representative[block[s]] < 0) representative[block[s]] = s;
+  }
+  while (!frontier.empty()) {
+    int b = frontier.front();
+    frontier.pop_front();
+    int rep = representative[b];
+    for (const auto& [label, to] : dfa.edges_from(rep)) {
+      int tb = block[to];
+      if (!productive[tb]) continue;
+      out.set_edge(block_state[b], label, intern(tb));
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<std::string>> distinguishing_word(const Dfa& a,
+                                                            const Dfa& b) {
+  // BFS over the product with implicit sinks (-1). Stop at the first pair
+  // whose acceptance disagrees (sink = non-accepting).
+  std::vector<std::string> alphabet;
+  for (int s = 0; s < a.state_count(); ++s) {
+    for (const auto& [label, to] : a.edges_from(s)) alphabet.push_back(label);
+  }
+  for (int s = 0; s < b.state_count(); ++s) {
+    for (const auto& [label, to] : b.edges_from(s)) alphabet.push_back(label);
+  }
+  sorted_set::normalize(alphabet);
+
+  auto accepting = [](const Dfa& d, int s) {
+    return s >= 0 && d.is_accepting(s);
+  };
+
+  struct Node {
+    int sa;
+    int sb;
+  };
+  auto key = [&](int sa, int sb) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sa)) << 32) |
+           static_cast<std::uint32_t>(sb);
+  };
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::string>>
+      parent;  // node -> (parent node, label)
+  std::deque<Node> frontier{{a.initial(), b.initial()}};
+  parent.emplace(key(a.initial(), b.initial()),
+                 std::make_pair(key(a.initial(), b.initial()), std::string()));
+
+  while (!frontier.empty()) {
+    Node node = frontier.front();
+    frontier.pop_front();
+    if (accepting(a, node.sa) != accepting(b, node.sb)) {
+      // Reconstruct the word.
+      std::vector<std::string> word;
+      std::uint64_t cur = key(node.sa, node.sb);
+      while (true) {
+        const auto& [prev, label] = parent.at(cur);
+        if (prev == cur) break;
+        word.push_back(label);
+        cur = prev;
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (const auto& label : alphabet) {
+      int na = node.sa < 0 ? -1 : a.next(node.sa, label);
+      int nb = node.sb < 0 ? -1 : b.next(node.sb, label);
+      if (na < 0 && nb < 0) continue;  // both dead: equal forever
+      std::uint64_t k = key(na, nb);
+      if (!parent.contains(k)) {
+        parent.emplace(k, std::make_pair(key(node.sa, node.sb), label));
+        frontier.push_back({na, nb});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool equivalent(const Dfa& a, const Dfa& b) {
+  return !distinguishing_word(a, b).has_value();
+}
+
+std::optional<std::vector<std::string>> subset_witness(const Dfa& a,
+                                                       const Dfa& b) {
+  // Word accepted by a but not by b: product BFS looking for
+  // (accepting-in-a, dead-or-rejecting-in-b).
+  std::vector<std::string> alphabet;
+  for (int s = 0; s < a.state_count(); ++s) {
+    for (const auto& [label, to] : a.edges_from(s)) alphabet.push_back(label);
+  }
+  sorted_set::normalize(alphabet);
+
+  auto key = [&](int sa, int sb) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sa)) << 32) |
+           static_cast<std::uint32_t>(sb);
+  };
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::string>>
+      parent;
+  std::deque<std::pair<int, int>> frontier{{a.initial(), b.initial()}};
+  parent.emplace(key(a.initial(), b.initial()),
+                 std::make_pair(key(a.initial(), b.initial()), std::string()));
+
+  while (!frontier.empty()) {
+    auto [sa, sb] = frontier.front();
+    frontier.pop_front();
+    bool in_a = sa >= 0 && a.is_accepting(sa);
+    bool in_b = sb >= 0 && b.is_accepting(sb);
+    if (in_a && !in_b) {
+      std::vector<std::string> word;
+      std::uint64_t cur = key(sa, sb);
+      while (true) {
+        const auto& [prev, label] = parent.at(cur);
+        if (prev == cur) break;
+        word.push_back(label);
+        cur = prev;
+      }
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    if (sa < 0) continue;  // a is dead: no more words from a.
+    for (const auto& label : alphabet) {
+      int na = a.next(sa, label);
+      if (na < 0) continue;
+      int nb = sb < 0 ? -1 : b.next(sb, label);
+      std::uint64_t k = key(na, nb);
+      if (!parent.contains(k)) {
+        parent.emplace(k, std::make_pair(key(sa, sb), label));
+        frontier.push_back({na, nb});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Dfa canonical_language(const PetriNet& net,
+                       const std::vector<std::string>& hidden,
+                       const ReachOptions& options) {
+  Nfa nfa = nfa_of_net(net, options);
+  if (!hidden.empty()) nfa = hide_labels(nfa, hidden);
+  return minimize(determinize(nfa));
+}
+
+}  // namespace cipnet

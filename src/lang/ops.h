@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/dfa.h"
+#include "lang/nfa.h"
+#include "reach/reachability.h"
+
+namespace cipnet {
+
+/// Language-level counterparts of the net algebra (Section 4). These operate
+/// on automata built from reachability graphs and serve as the independent
+/// oracle for Propositions 4.1-4.4 and Theorems 4.5 / 4.7 / 5.1.
+
+/// The trace language L(N) of Definition 4.1 as an NFA: states are the
+/// reachable markings, every state accepts (prefix closure). Transitions
+/// labeled `eps` stay visible — the algebra treats labels uniformly; use
+/// `hide_labels` to silence them.
+[[nodiscard]] Nfa nfa_from_reachability(const PetriNet& net,
+                                        const ReachabilityGraph& rg);
+
+/// Convenience: explore + convert.
+[[nodiscard]] Nfa nfa_of_net(const PetriNet& net,
+                             const ReachOptions& options = {});
+
+/// rename(L, {b -> c}) (Proposition 4.3). Labels not in the map are kept.
+[[nodiscard]] Nfa rename_labels(const Nfa& nfa,
+                                const std::map<std::string, std::string>& map);
+
+/// hide(L, A): labels in `hidden` become epsilon moves (projection away).
+[[nodiscard]] Nfa hide_labels(const Nfa& nfa,
+                              const std::vector<std::string>& hidden);
+
+/// project(L, A): keep only labels in `kept`; everything else becomes
+/// epsilon (hide is "opposite to projection", Section 4.4).
+[[nodiscard]] Nfa project_labels(const Nfa& nfa,
+                                 const std::vector<std::string>& kept);
+
+/// Language union (Proposition 4.4's right-hand side): fresh initial state
+/// with epsilon moves into both operands.
+[[nodiscard]] Nfa union_nfa(const Nfa& a, const Nfa& b);
+
+/// Synchronized shuffle (Definitions 4.8 / 4.9): words must agree on the
+/// `shared` labels and interleave freely elsewhere. `shared` must be
+/// A1 ∩ A2 of the *net alphabets*, which can be larger than the edge labels
+/// present.
+[[nodiscard]] Nfa sync_product(const Nfa& a, const Nfa& b,
+                               const std::vector<std::string>& shared);
+
+/// Subset construction with epsilon closure. Only accepting NFA states make
+/// a subset accepting; subsets with no accepting member are dropped when
+/// `prune_nonaccepting` (valid for prefix-closed languages where acceptance
+/// is upward-absorbing — keeps DFAs small).
+[[nodiscard]] Dfa determinize(const Nfa& nfa);
+
+/// Moore partition refinement to the canonical minimal DFA (reachable,
+/// completed implicitly over the given alphabet).
+[[nodiscard]] Dfa minimize(const Dfa& dfa);
+
+/// Language equality; returns a shortest distinguishing word if different.
+[[nodiscard]] std::optional<std::vector<std::string>> distinguishing_word(
+    const Dfa& a, const Dfa& b);
+
+[[nodiscard]] bool equivalent(const Dfa& a, const Dfa& b);
+
+/// L(a) ⊆ L(b); returns a witness word in L(a) \ L(b) if not.
+[[nodiscard]] std::optional<std::vector<std::string>> subset_witness(
+    const Dfa& a, const Dfa& b);
+
+/// Full pipeline used by tests: L(net) with the given silent labels hidden,
+/// determinized and minimized.
+[[nodiscard]] Dfa canonical_language(const PetriNet& net,
+                                     const std::vector<std::string>& hidden =
+                                         {},
+                                     const ReachOptions& options = {});
+
+}  // namespace cipnet

@@ -1,0 +1,43 @@
+#include "models/arbiter.h"
+
+namespace cipnet::models {
+
+Circuit arbiter2() {
+  PetriNet net;
+  PlaceId mutex = net.add_place("arb_mutex", 1);
+  std::vector<std::string> inputs, outputs;
+  for (int i = 1; i <= 2; ++i) {
+    const std::string r = "r" + std::to_string(i);
+    const std::string g = "g" + std::to_string(i);
+    inputs.push_back(r);
+    outputs.push_back(g);
+    PlaceId idle = net.add_place("arb_idle" + std::to_string(i), 1);
+    PlaceId req = net.add_place("arb_req" + std::to_string(i), 0);
+    PlaceId granted = net.add_place("arb_granted" + std::to_string(i), 0);
+    PlaceId releasing = net.add_place("arb_rel" + std::to_string(i), 0);
+    net.add_transition({idle}, r + "+", {req});
+    // The grant needs the request AND the mutex: two consumers share the
+    // mutex place with different presets -> not free choice.
+    net.add_transition({req, mutex}, g + "+", {granted});
+    net.add_transition({granted}, r + "-", {releasing});
+    net.add_transition({releasing}, g + "-", {idle, mutex});
+  }
+  return Circuit("arbiter2", inputs, outputs, std::move(net));
+}
+
+Circuit arbiter_client(int index) {
+  const std::string r = "r" + std::to_string(index);
+  const std::string g = "g" + std::to_string(index);
+  PetriNet net;
+  PlaceId p0 = net.add_place("cl" + std::to_string(index) + "_p0", 1);
+  PlaceId p1 = net.add_place("cl" + std::to_string(index) + "_p1", 0);
+  PlaceId p2 = net.add_place("cl" + std::to_string(index) + "_p2", 0);
+  PlaceId p3 = net.add_place("cl" + std::to_string(index) + "_p3", 0);
+  net.add_transition({p0}, r + "+", {p1});
+  net.add_transition({p1}, g + "+", {p2});
+  net.add_transition({p2}, r + "-", {p3});
+  net.add_transition({p3}, g + "-", {p0});
+  return Circuit("client" + std::to_string(index), {g}, {r}, std::move(net));
+}
+
+}  // namespace cipnet::models

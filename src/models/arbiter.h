@@ -1,0 +1,23 @@
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace cipnet::models {
+
+/// A two-client mutual-exclusion arbiter. Section 5.1 motivates general
+/// Petri nets precisely with this component: "important systems like
+/// arbiters cannot be modeled in these subclasses of marked graphs and
+/// free-choice nets". The net below is *not* free-choice — the shared
+/// mutex place is consumed by two grant transitions whose presets also
+/// contain the private request places.
+///
+///   inputs:  r1 r2 (requests)      outputs: g1 g2 (grants)
+///
+/// Protocol per client i: ri+ -> gi+ -> ri- -> gi-; the mutex place makes
+/// the grant sections mutually exclusive.
+[[nodiscard]] Circuit arbiter2();
+
+/// Client process for `arbiter2`: issues requests and releases forever.
+[[nodiscard]] Circuit arbiter_client(int index);
+
+}  // namespace cipnet::models

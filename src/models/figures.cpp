@@ -1,0 +1,100 @@
+#include "models/figures.h"
+
+namespace cipnet::models {
+
+PetriNet fig1_left() {
+  PetriNet net;
+  PlaceId p0 = net.add_place("f1l_p0", 1);
+  PlaceId p1 = net.add_place("f1l_p1", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0});
+  return net;
+}
+
+PetriNet fig1_right() {
+  PetriNet net;
+  PlaceId p0 = net.add_place("f1r_p0", 1);
+  PlaceId p1 = net.add_place("f1r_p1", 0);
+  net.add_transition({p0}, "c", {p1});
+  net.add_transition({p1}, "d", {p0});
+  return net;
+}
+
+PetriNet fig2_left() {
+  PetriNet net;
+  PlaceId s0 = net.add_place("f2l_s0", 1);
+  PlaceId s1 = net.add_place("f2l_s1", 0);
+  net.add_transition({s0}, "a", {s1});
+  net.add_transition({s0}, "b", {s1});
+  net.add_transition({s1}, "c", {s0});
+  return net;
+}
+
+PetriNet fig2_right() {
+  PetriNet net;
+  PlaceId s0 = net.add_place("f2r_s0", 1);
+  PlaceId s1 = net.add_place("f2r_s1", 0);
+  PlaceId s2 = net.add_place("f2r_s2", 0);
+  PlaceId s3 = net.add_place("f2r_s3", 0);
+  net.add_transition({s0}, "a", {s1});
+  net.add_transition({s1}, "d", {s2});
+  net.add_transition({s2}, "a", {s3});
+  net.add_transition({s3}, "e", {s0});
+  return net;
+}
+
+PetriNet fig3_net() {
+  PetriNet net;
+  // One-shot sources keep the net bounded while every rule of the
+  // contraction fires at least once.
+  PlaceId sa = net.add_place("sa", 1);
+  PlaceId sb = net.add_place("sb", 1);
+  PlaceId sc = net.add_place("sc", 1);
+  PlaceId sd = net.add_place("sd", 1);
+  PlaceId sk = net.add_place("sk", 1);
+  PlaceId sl = net.add_place("sl", 1);
+  PlaceId p1 = net.add_place("P1", 0);
+  PlaceId p2 = net.add_place("P2", 0);
+  PlaceId q1 = net.add_place("Q1", 0);
+  PlaceId q2 = net.add_place("Q2", 0);
+  PlaceId oe = net.add_place("oe", 0);
+  PlaceId of = net.add_place("of", 0);
+  PlaceId og = net.add_place("og", 0);
+  PlaceId oh = net.add_place("oh", 0);
+  PlaceId oi = net.add_place("oi", 0);
+  PlaceId oj = net.add_place("oj", 0);
+  net.add_transition({sa}, "a", {p1});  // producers into the preset
+  net.add_transition({sb}, "b", {p1});
+  net.add_transition({sc}, "c", {p2});
+  net.add_transition({sd}, "d", {p2});
+  net.add_transition({p1}, "e", {oe});  // conflictive consumers
+  net.add_transition({p2}, "f", {of});
+  net.add_transition({p1, p2}, "t", {q1, q2});  // the transition to hide
+  net.add_transition({q1}, "g", {og});  // successors
+  net.add_transition({q1}, "h", {oh});
+  net.add_transition({q2}, "i", {oi});
+  net.add_transition({q2}, "j", {oj});
+  net.add_transition({sk}, "k", {q1});  // extra producers into the postset
+  net.add_transition({sl}, "l", {q2});
+  return net;
+}
+
+PetriNet fig3_marked_graph() {
+  PetriNet net;
+  PlaceId sb = net.add_place("sb", 1);
+  PlaceId sc = net.add_place("sc", 1);
+  PlaceId p1 = net.add_place("P1", 0);
+  PlaceId p2 = net.add_place("P2", 0);
+  PlaceId q1 = net.add_place("Q1", 0);
+  PlaceId q2 = net.add_place("Q2", 0);
+  PlaceId og = net.add_place("og", 0);
+  PlaceId oi = net.add_place("oi", 0);
+  net.add_transition({sb}, "b", {p1});
+  net.add_transition({sc}, "c", {p2});
+  net.add_transition({p1, p2}, "t", {q1, q2});
+  net.add_transition({q1}, "g", {og});
+  net.add_transition({q2}, "i", {oi});
+  return net;
+}
+
+}  // namespace cipnet::models

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "petri/net.h"
+
+namespace cipnet::models {
+
+/// Figure 1 operands: two simple cycles through their initial place,
+/// `(a.b)*` and `(c.d)*`. The choice `fig1_left() + fig1_right()` is the
+/// paper's illustration that root-unwinding keeps a loop iteration from
+/// re-enabling the unchosen branch.
+[[nodiscard]] PetriNet fig1_left();
+[[nodiscard]] PetriNet fig1_right();
+
+/// Figure 2 operands: `((a+b).c)*` and `(a.d.a.e)*`; their parallel
+/// composition synchronizes on the common label `a`.
+[[nodiscard]] PetriNet fig2_left();
+[[nodiscard]] PetriNet fig2_right();
+
+/// Figure 3(a): a general net around a transition `t` (labeled "t") with
+/// preset {P1, P2} and postset {Q1, Q2}, producers a..d into the preset,
+/// conflictive consumers e, f of the preset, successors g..j of the
+/// postset, and extra producers k, l into the postset. Hiding "t" exercises
+/// every rule of Definition 4.10.
+[[nodiscard]] PetriNet fig3_net();
+
+/// Figure 3(c): the marked-graph variant — transitions a, d, e, f, h, j, k
+/// and l are not present (no conflicts, single successor per output).
+[[nodiscard]] PetriNet fig3_marked_graph();
+
+}  // namespace cipnet::models

@@ -1,0 +1,259 @@
+#include "models/translator.h"
+
+#include "petri/guard.h"
+
+namespace cipnet::models {
+
+std::vector<TranslationRow> sender_translation_table() {
+  return {{"rec", "a0", "b0"},
+          {"reset", "a0", "b1"},
+          {"send0", "a1", "b0"},
+          {"send1", "a1", "b1"}};
+}
+
+std::vector<TranslationRow> receiver_translation_table() {
+  return {{"start", "p0", "q0"},
+          {"mute", "p0", "q1"},
+          {"zero", "p1", "q0"},
+          {"one", "p1", "q1"}};
+}
+
+namespace {
+
+/// Sender branch (Figure 5(b)/(c)): cmd~ -> (x+ || y+) -> n+ -> (x- || y-)
+/// -> n- -> back to the idle place.
+void add_sender_branch(PetriNet& net, PlaceId idle, const TranslationRow& row) {
+  const std::string& cmd = row.command;
+  auto p = [&](const std::string& suffix) {
+    return net.add_place("sn_" + cmd + "_" + suffix, 0);
+  };
+  PlaceId f1 = p("f1"), f2 = p("f2");
+  PlaceId g1 = p("g1"), g2 = p("g2");
+  PlaceId h1 = p("h1"), h2 = p("h2");
+  PlaceId i1 = p("i1"), i2 = p("i2");
+  net.add_transition({idle}, cmd + "~", {f1, f2});
+  net.add_transition({f1}, row.rail_a + "+", {g1});
+  net.add_transition({f2}, row.rail_b + "+", {g2});
+  net.add_transition({g1, g2}, "n+", {h1, h2});
+  net.add_transition({h1}, row.rail_a + "-", {i1});
+  net.add_transition({h2}, row.rail_b + "-", {i2});
+  net.add_transition({i1, i2}, "n-", {idle});
+}
+
+/// Inconsistent branch (Figure 8): the rails return to zero without waiting
+/// for the acknowledge.
+void add_inconsistent_branch(PetriNet& net, PlaceId idle,
+                             const TranslationRow& row) {
+  const std::string& cmd = row.command;
+  auto p = [&](const std::string& suffix) {
+    return net.add_place("sn_" + cmd + "_" + suffix, 0);
+  };
+  PlaceId f1 = p("f1"), f2 = p("f2");
+  PlaceId g1 = p("g1"), g2 = p("g2");
+  PlaceId h1 = p("h1"), h2 = p("h2");
+  PlaceId k = p("k");
+  net.add_transition({idle}, cmd + "~", {f1, f2});
+  net.add_transition({f1}, row.rail_a + "+", {g1});
+  net.add_transition({g1}, row.rail_a + "-", {h1});  // no wait for n+
+  net.add_transition({f2}, row.rail_b + "+", {g2});
+  net.add_transition({g2}, row.rail_b + "-", {h2});
+  net.add_transition({h1, h2}, "n+", {k});
+  net.add_transition({k}, "n-", {idle});
+}
+
+Circuit make_sender(const std::string& name,
+                    const std::vector<TranslationRow>& rows,
+                    bool consistent) {
+  PetriNet net;
+  PlaceId idle = net.add_place("sn_idle", 1);
+  std::vector<std::string> inputs{"n"};
+  for (const TranslationRow& row : rows) {
+    inputs.push_back(row.command);
+    if (consistent) {
+      add_sender_branch(net, idle, row);
+    } else {
+      add_inconsistent_branch(net, idle, row);
+    }
+  }
+  return Circuit(name, inputs, {"a0", "a1", "b0", "b1"}, std::move(net));
+}
+
+/// 4-phase send to the receiver: (px+ || qy+) -> r+ -> (px- || qy-) -> r-.
+/// Consumes two places, finishes into one fresh place which is returned.
+/// A guard may gate the two rise transitions.
+PlaceId add_receiver_send(PetriNet& net, const std::string& tag,
+                          PlaceId from_a, PlaceId from_b,
+                          const TranslationRow& row,
+                          const Guard& guard = Guard()) {
+  auto p = [&](const std::string& suffix) {
+    return net.add_place("tr_" + tag + "_" + suffix, 0);
+  };
+  PlaceId v1 = p("v1"), v2 = p("v2");
+  PlaceId w1 = p("w1"), w2 = p("w2");
+  PlaceId x1 = p("x1"), x2 = p("x2");
+  PlaceId done = p("done");
+  net.add_transition({from_a}, row.rail_a + "+", {v1}, guard);
+  net.add_transition({from_b}, row.rail_b + "+", {v2}, guard);
+  net.add_transition({v1, v2}, "r+", {w1, w2});
+  net.add_transition({w1}, row.rail_a + "-", {x1});
+  net.add_transition({w2}, row.rail_b + "-", {x2});
+  net.add_transition({x1, x2}, "r-", {done});
+  return done;
+}
+
+}  // namespace
+
+Circuit sender() { return make_sender("sender", sender_translation_table(),
+                                      /*consistent=*/true); }
+
+Circuit sender_inconsistent() {
+  return make_sender("sender_inconsistent", sender_translation_table(),
+                     /*consistent=*/false);
+}
+
+Circuit sender_restricted() {
+  auto rows = sender_translation_table();
+  rows.erase(rows.begin());  // drop `rec`
+  return make_sender("sender_restricted", rows, /*consistent=*/true);
+}
+
+Circuit translator() {
+  PetriNet net;
+  const auto out_rows = receiver_translation_table();
+  const TranslationRow& start = out_rows[0];
+
+  // Wait state, marked from the beginning: the sender may issue its first
+  // command while the initial `start` is still being delivered — the
+  // receiver channel token `ch` serializes the sends.
+  PlaceId wa = net.add_place("tr_wa", 1);
+  PlaceId wb = net.add_place("tr_wb", 1);
+  PlaceId ch = net.add_place("tr_ch", 0);
+
+  // Initially send `start` to the receiver (Figure 7: "Initially, it sends
+  // a start command to the receiver"); completing it releases the channel.
+  PlaceId ia = net.add_place("tr_ia", 1);
+  PlaceId ib = net.add_place("tr_ib", 1);
+  PlaceId init_done = add_receiver_send(net, "init", ia, ib, start);
+  net.add_transition({init_done}, std::string(kEpsilonLabel), {ch});
+
+  // Rail-rise decoding: the a-rail and b-rail arrive concurrently and
+  // independently; the command is known once both are up.
+  PlaceId va0 = net.add_place("tr_va0", 0);
+  PlaceId va1 = net.add_place("tr_va1", 0);
+  PlaceId vb0 = net.add_place("tr_vb0", 0);
+  PlaceId vb1 = net.add_place("tr_vb1", 0);
+  net.add_transition({wa}, "a0+", {va0});
+  net.add_transition({wa}, "a1+", {va1});
+  net.add_transition({wb}, "b0+", {vb0});
+  net.add_transition({wb}, "b1+", {vb1});
+
+  // Per sender command: n+ -> rails fall -> forward -> n- -> wait.
+  auto command_entry = [&](const TranslationRow& in_row, PlaceId va,
+                           PlaceId vb) {
+    auto p = [&](const std::string& suffix) {
+      return net.add_place("tr_" + in_row.command + "_" + suffix, 0);
+    };
+    PlaceId ha = p("ha"), hb = p("hb");
+    PlaceId ka = p("ka"), kb = p("kb");
+    net.add_transition({va, vb}, "n+", {ha, hb});
+    net.add_transition({ha}, in_row.rail_a + "-", {ka});
+    net.add_transition({hb}, in_row.rail_b + "-", {kb});
+    return std::make_pair(ka, kb);
+  };
+
+  const auto in_rows = sender_translation_table();
+  // reset -> start, send0 -> zero, send1 -> one (Figure 7).
+  const std::vector<std::pair<std::size_t, TranslationRow>> simple = {
+      {1, out_rows[0]},   // reset  -> start
+      {2, out_rows[2]},   // send0 -> zero
+      {3, out_rows[3]}};  // send1 -> one
+  auto rail_place_a = [&](const TranslationRow& row) {
+    return row.rail_a == "a0" ? va0 : va1;
+  };
+  auto rail_place_b = [&](const TranslationRow& row) {
+    return row.rail_b == "b0" ? vb0 : vb1;
+  };
+  for (const auto& [idx, target] : simple) {
+    const TranslationRow& in_row = in_rows[idx];
+    auto [ka, kb] = command_entry(in_row, rail_place_a(in_row),
+                                  rail_place_b(in_row));
+    // Acquire the receiver channel before forwarding.
+    PlaceId ua = net.add_place("tr_" + in_row.command + "_ua", 0);
+    PlaceId ub = net.add_place("tr_" + in_row.command + "_ub", 0);
+    net.add_transition({ka, kb, ch}, std::string(kEpsilonLabel), {ua, ub});
+    PlaceId done =
+        add_receiver_send(net, in_row.command + "_fw", ua, ub, target);
+    net.add_transition({done}, "n-", {wa, wb, ch});
+  }
+
+  // rec: sample DATA (d) / STROBE (s) once they stabilize, forward the
+  // command selected by their values, release the lines, acknowledge.
+  {
+    const TranslationRow& in_row = in_rows[0];
+    auto [ka, kb] = command_entry(in_row, va0, vb0);
+    PlaceId st1 = net.add_place("tr_rec_st1", 0);
+    PlaceId st2 = net.add_place("tr_rec_st2", 0);
+    net.add_transition({ka, kb}, "d=", {st1});
+    net.add_transition({st1}, "s=", {st2});
+    // Value decoding: (s, d) = (0,0) start, (0,1) mute, (1,0) zero,
+    // (1,1) one. (The paper fixes no particular assignment; this one is
+    // documented in DESIGN.md.)
+    const std::vector<std::pair<Guard, TranslationRow>> decode = {
+        {Guard({{"d", false}, {"s", false}}), out_rows[0]},
+        {Guard({{"d", true}, {"s", false}}), out_rows[1]},
+        {Guard({{"d", false}, {"s", true}}), out_rows[2]},
+        {Guard({{"d", true}, {"s", true}}), out_rows[3]}};
+    for (const auto& [guard, target] : decode) {
+      PlaceId ua = net.add_place("tr_rec_" + target.command + "_ua", 0);
+      PlaceId ub = net.add_place("tr_rec_" + target.command + "_ub", 0);
+      net.add_transition({st2, ch}, std::string(kEpsilonLabel), {ua, ub},
+                         guard);
+      PlaceId done =
+          add_receiver_send(net, "rec_" + target.command, ua, ub, target);
+      PlaceId rel1 =
+          net.add_place("tr_rec_" + target.command + "_rel1", 0);
+      PlaceId rel2 =
+          net.add_place("tr_rec_" + target.command + "_rel2", 0);
+      net.add_transition({done}, "d#", {rel1});
+      net.add_transition({rel1}, "s#", {rel2});
+      net.add_transition({rel2}, "n-", {wa, wb, ch});
+    }
+  }
+
+  return Circuit("translator", {"a0", "a1", "b0", "b1", "d", "s", "r"},
+                 {"n", "p0", "p1", "q0", "q1"}, std::move(net));
+}
+
+Circuit receiver() {
+  PetriNet net;
+  PlaceId xa = net.add_place("rc_xa", 1);
+  PlaceId xb = net.add_place("rc_xb", 1);
+  PlaceId vp0 = net.add_place("rc_vp0", 0);
+  PlaceId vp1 = net.add_place("rc_vp1", 0);
+  PlaceId vq0 = net.add_place("rc_vq0", 0);
+  PlaceId vq1 = net.add_place("rc_vq1", 0);
+  net.add_transition({xa}, "p0+", {vp0});
+  net.add_transition({xa}, "p1+", {vp1});
+  net.add_transition({xb}, "q0+", {vq0});
+  net.add_transition({xb}, "q1+", {vq1});
+
+  for (const TranslationRow& row : receiver_translation_table()) {
+    auto p = [&](const std::string& suffix) {
+      return net.add_place("rc_" + row.command + "_" + suffix, 0);
+    };
+    PlaceId va = row.rail_a == "p0" ? vp0 : vp1;
+    PlaceId vb = row.rail_b == "q0" ? vq0 : vq1;
+    PlaceId c = p("c");
+    PlaceId f1 = p("f1"), f2 = p("f2");
+    PlaceId g1 = p("g1"), g2 = p("g2");
+    net.add_transition({va, vb}, row.command + "~", {c});
+    net.add_transition({c}, "r+", {f1, f2});
+    net.add_transition({f1}, row.rail_a + "-", {g1});
+    net.add_transition({f2}, row.rail_b + "-", {g2});
+    net.add_transition({g1, g2}, "r-", {xa, xb});
+  }
+  return Circuit("receiver", {"p0", "p1", "q0", "q1"},
+                 {"r", "start", "mute", "zero", "one"}, std::move(net));
+}
+
+}  // namespace cipnet::models

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace cipnet::models {
+
+/// One row of Table 1: a transition-signalled command and the two 4-phase
+/// rails that encode it.
+struct TranslationRow {
+  std::string command;
+  std::string rail_a;
+  std::string rail_b;
+};
+
+/// Table 1(a): sender side — rec/reset/send0/send1 onto {a0, a1} × {b0, b1}.
+[[nodiscard]] std::vector<TranslationRow> sender_translation_table();
+/// Table 1(b): receiver side — start/mute/zero/one onto {p0, p1} × {q0, q1}.
+[[nodiscard]] std::vector<TranslationRow> receiver_translation_table();
+
+/// The *sender* block of Figures 4/5: converts transition-signalled
+/// commands (toggles on rec/reset/send0/send1) to the 4-phase protocol on
+/// a0/a1/b0/b1 acknowledged by `n`.
+///   inputs: rec reset send0 send1 n     outputs: a0 a1 b0 b1
+[[nodiscard]] Circuit sender();
+
+/// The *protocol translator* of Figure 7. Initially sends `start`; then
+/// serves sender commands: reset/send0/send1 map to start/zero/one; `rec`
+/// samples the DATA (d) / STROBE (s) lines once they stabilize and sends
+/// start/mute/zero/one according to their values.
+///   inputs: a0 a1 b0 b1 d s r          outputs: n p0 p1 q0 q1
+[[nodiscard]] Circuit translator();
+
+/// The *receiver* block of Figure 6: converts 4-phase commands on
+/// p0/p1/q0/q1 back to transition signalling on start/mute/zero/one,
+/// acknowledging with `r`.
+///   inputs: p0 p1 q0 q1                outputs: r start mute zero one
+[[nodiscard]] Circuit receiver();
+
+/// The inconsistent sender of Figure 8: the rails rise *and fall* without
+/// waiting for the acknowledge `n`, violating the 4-phase protocol — the
+/// composition with the translator fails the receptiveness check.
+[[nodiscard]] Circuit sender_inconsistent();
+
+/// The restricted sender of Figure 9(a): it never issues `rec`, enabling
+/// the compositional simplification of Figures 9(b)/(c).
+[[nodiscard]] Circuit sender_restricted();
+
+}  // namespace cipnet::models

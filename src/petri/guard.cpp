@@ -1,0 +1,54 @@
+#include "petri/guard.h"
+
+#include <algorithm>
+
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+Guard::Guard(std::vector<Literal> literals) : literals_(std::move(literals)) {
+  sorted_set::normalize(literals_);
+}
+
+Guard Guard::literal(std::string signal, bool level) {
+  return Guard({{std::move(signal), level}});
+}
+
+bool Guard::is_contradiction() const {
+  for (std::size_t i = 0; i + 1 < literals_.size(); ++i) {
+    if (literals_[i].first == literals_[i + 1].first &&
+        literals_[i].second != literals_[i + 1].second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Guard Guard::conjoin(const Guard& other) const {
+  std::vector<Literal> merged = literals_;
+  merged.insert(merged.end(), other.literals_.begin(), other.literals_.end());
+  return Guard(std::move(merged));
+}
+
+bool Guard::evaluate(
+    const std::vector<std::pair<std::string, bool>>& assignment) const {
+  for (const auto& [signal, level] : literals_) {
+    auto it = std::find_if(assignment.begin(), assignment.end(),
+                           [&](const auto& a) { return a.first == signal; });
+    if (it == assignment.end() || it->second != level) return false;
+  }
+  return true;
+}
+
+std::string Guard::to_string() const {
+  if (is_true()) return "true";
+  std::string out;
+  for (std::size_t i = 0; i < literals_.size(); ++i) {
+    if (i != 0) out += " & ";
+    if (!literals_[i].second) out += "!";
+    out += literals_[i].first;
+  }
+  return out;
+}
+
+}  // namespace cipnet

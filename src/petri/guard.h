@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cipnet {
+
+/// A boolean guard: a conjunction of literals over signal *levels* (the STG
+/// extension of Section 2.2 / [9]). The empty conjunction is `true`. Guards
+/// are attached to transitions; a guard on an incoming arc of a transition
+/// (the paper's formulation) is semantically the same as a guard on the
+/// transition itself, and transition-level storage lets the net algebra
+/// propagate guards through composition and hiding (Section 5.1) without
+/// tracking individual arcs.
+class Guard {
+ public:
+  /// (signal name, required level). Literals are kept sorted by name.
+  using Literal = std::pair<std::string, bool>;
+
+  Guard() = default;
+  explicit Guard(std::vector<Literal> literals);
+
+  [[nodiscard]] static Guard literal(std::string signal, bool level);
+
+  [[nodiscard]] bool is_true() const { return literals_.empty(); }
+
+  /// True iff the conjunction contains `s` and `!s` for some signal — the
+  /// guard can never be satisfied.
+  [[nodiscard]] bool is_contradiction() const;
+
+  [[nodiscard]] const std::vector<Literal>& literals() const {
+    return literals_;
+  }
+
+  /// Conjunction of two guards (used when parallel composition joins two
+  /// guarded transitions, and when hiding propagates the hidden transition's
+  /// guard onto its successors).
+  [[nodiscard]] Guard conjoin(const Guard& other) const;
+
+  /// Evaluate under a (partial) assignment: `levels[i]` is the level of the
+  /// signal named `names[i]`. Unknown signals make the guard false.
+  [[nodiscard]] bool evaluate(
+      const std::vector<std::pair<std::string, bool>>& assignment) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Guard& a, const Guard& b) = default;
+
+ private:
+  std::vector<Literal> literals_;
+};
+
+}  // namespace cipnet

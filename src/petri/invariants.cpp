@@ -1,0 +1,188 @@
+#include "petri/invariants.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+bool Semiflow::is_zero() const {
+  for (std::int64_t w : weights) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> Semiflow::support() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] != 0) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+/// Incidence matrix with rows = places, cols = transitions:
+/// C[p][t] = post(t, p) - pre(t, p) (self-loops contribute 0, matching the
+/// firing rule of Definition 2.2).
+std::vector<std::vector<std::int64_t>> incidence(const PetriNet& net) {
+  std::vector<std::vector<std::int64_t>> c(
+      net.place_count(), std::vector<std::int64_t>(net.transition_count(), 0));
+  for (TransitionId t : net.all_transitions()) {
+    const auto& tr = net.transition(t);
+    for (PlaceId p : tr.preset) {
+      if (!sorted_set::contains(tr.postset, p)) c[p.index()][t.index()] -= 1;
+    }
+    for (PlaceId p : tr.postset) {
+      if (!sorted_set::contains(tr.preset, p)) c[p.index()][t.index()] += 1;
+    }
+  }
+  return c;
+}
+
+void normalize_row(std::vector<std::int64_t>& row, std::size_t cols) {
+  std::int64_t g = 0;
+  for (std::int64_t v : row) g = std::gcd(g, v < 0 ? -v : v);
+  if (g > 1) {
+    for (std::int64_t& v : row) v /= g;
+  }
+  (void)cols;
+}
+
+/// Farkas' algorithm over the matrix [C | I]: eliminate each C-column by
+/// combining rows of opposite sign; surviving rows' identity part are the
+/// non-negative semiflows. Minimality filtering by support inclusion.
+std::vector<Semiflow> farkas(std::vector<std::vector<std::int64_t>> c,
+                             const InvariantOptions& options) {
+  const std::size_t rows0 = c.size();
+  const std::size_t cols = rows0 == 0 ? 0 : c[0].size();
+  // Augment with the identity.
+  std::vector<std::vector<std::int64_t>> table = std::move(c);
+  for (std::size_t i = 0; i < rows0; ++i) {
+    for (std::size_t j = 0; j < rows0; ++j) {
+      table[i].push_back(i == j ? 1 : 0);
+    }
+  }
+
+  for (std::size_t col = 0; col < cols; ++col) {
+    std::vector<std::vector<std::int64_t>> next;
+    std::vector<const std::vector<std::int64_t>*> pos, neg;
+    for (const auto& row : table) {
+      if (row[col] > 0) {
+        pos.push_back(&row);
+      } else if (row[col] < 0) {
+        neg.push_back(&row);
+      } else {
+        next.push_back(row);
+      }
+    }
+    for (const auto* rp : pos) {
+      for (const auto* rn : neg) {
+        if (next.size() >= options.max_rows) {
+          throw LimitError("Farkas algorithm exceeded max_rows");
+        }
+        const std::int64_t a = (*rp)[col];
+        const std::int64_t b = -(*rn)[col];
+        std::vector<std::int64_t> combined(rp->size());
+        for (std::size_t k = 0; k < combined.size(); ++k) {
+          combined[k] = b * (*rp)[k] + a * (*rn)[k];
+        }
+        normalize_row(combined, cols);
+        next.push_back(std::move(combined));
+      }
+    }
+    table = std::move(next);
+  }
+
+  // Extract the identity part; keep non-zero, minimal-support, distinct.
+  std::vector<Semiflow> flows;
+  for (const auto& row : table) {
+    Semiflow flow;
+    flow.weights.assign(row.begin() + static_cast<std::ptrdiff_t>(cols),
+                        row.end());
+    if (!flow.is_zero()) flows.push_back(std::move(flow));
+  }
+  // Deduplicate.
+  std::sort(flows.begin(), flows.end(),
+            [](const Semiflow& a, const Semiflow& b) {
+              return a.weights < b.weights;
+            });
+  flows.erase(std::unique(flows.begin(), flows.end(),
+                          [](const Semiflow& a, const Semiflow& b) {
+                            return a.weights == b.weights;
+                          }),
+              flows.end());
+  // Minimal support: drop flows whose support strictly contains another's.
+  std::vector<Semiflow> minimal;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    auto si = flows[i].support();
+    bool dominated = false;
+    for (std::size_t j = 0; j < flows.size() && !dominated; ++j) {
+      if (i == j) continue;
+      auto sj = flows[j].support();
+      if (sj.size() < si.size() && sorted_set::is_subset(sj, si)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) minimal.push_back(flows[i]);
+  }
+  return minimal;
+}
+
+std::vector<std::vector<std::int64_t>> transpose(
+    const std::vector<std::vector<std::int64_t>>& m, std::size_t cols) {
+  std::vector<std::vector<std::int64_t>> out(
+      cols, std::vector<std::int64_t>(m.size(), 0));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < cols; ++j) out[j][i] = m[i][j];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Semiflow> place_semiflows(const PetriNet& net,
+                                      const InvariantOptions& options) {
+  return farkas(incidence(net), options);
+}
+
+std::vector<Semiflow> transition_semiflows(const PetriNet& net,
+                                           const InvariantOptions& options) {
+  return farkas(transpose(incidence(net), net.transition_count()), options);
+}
+
+bool covered_by_place_semiflows(const PetriNet& net,
+                                const InvariantOptions& options) {
+  auto flows = place_semiflows(net, options);
+  for (PlaceId p : net.all_places()) {
+    bool covered = false;
+    for (const Semiflow& flow : flows) {
+      if (flow.weights[p.index()] != 0) covered = true;
+    }
+    if (!covered) return false;
+  }
+  return !flows.empty() || net.place_count() == 0;
+}
+
+std::int64_t invariant_constant(const PetriNet& net, const Semiflow& flow) {
+  std::int64_t sum = 0;
+  for (PlaceId p : net.all_places()) {
+    sum += flow.weights[p.index()] *
+           static_cast<std::int64_t>(net.initial_marking()[p]);
+  }
+  return sum;
+}
+
+bool invariant_holds(const PetriNet& net, const Semiflow& flow,
+                     const Marking& m) {
+  std::int64_t sum = 0;
+  for (PlaceId p : net.all_places()) {
+    sum += flow.weights[p.index()] * static_cast<std::int64_t>(m[p]);
+  }
+  return sum == invariant_constant(net, flow);
+}
+
+}  // namespace cipnet

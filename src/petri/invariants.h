@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// A place semiflow (P-invariant): a non-negative integer weighting `y` of
+/// the places with `y · C = 0` for the incidence matrix `C` — the weighted
+/// token sum is constant under every firing. A transition semiflow
+/// (T-invariant) is the dual: a firing-count vector reproducing the
+/// marking. Classic structural theory (Peterson [8] in the paper's
+/// references): a net covered by P-semiflows is bounded; the mutex place
+/// of an arbiter shows up as the invariant `mutex + granted1 + granted2 =
+/// 1`.
+struct Semiflow {
+  /// Weight per place (P-semiflow) or per transition (T-semiflow).
+  std::vector<std::int64_t> weights;
+
+  [[nodiscard]] bool is_zero() const;
+  /// Indices with non-zero weight, ascending.
+  [[nodiscard]] std::vector<std::size_t> support() const;
+};
+
+struct InvariantOptions {
+  /// The Farkas algorithm can blow up combinatorially; intermediate row
+  /// counts beyond this raise LimitError.
+  std::size_t max_rows = 4096;
+};
+
+/// Minimal-support P-semiflows via the Farkas algorithm.
+[[nodiscard]] std::vector<Semiflow> place_semiflows(
+    const PetriNet& net, const InvariantOptions& options = {});
+
+/// Minimal-support T-semiflows (the dual computation).
+[[nodiscard]] std::vector<Semiflow> transition_semiflows(
+    const PetriNet& net, const InvariantOptions& options = {});
+
+/// True iff every place lies in the support of some P-semiflow — a
+/// *structural* (marking-independent) guarantee of boundedness.
+[[nodiscard]] bool covered_by_place_semiflows(
+    const PetriNet& net, const InvariantOptions& options = {});
+
+/// The constant `y · M0` of a P-semiflow; combined with the weights this
+/// bounds each place: `M(p) <= (y · M0) / y_p` for every reachable M.
+[[nodiscard]] std::int64_t invariant_constant(const PetriNet& net,
+                                              const Semiflow& semiflow);
+
+/// Checks `y · M = y · M0` for a concrete marking (used in tests and as a
+/// fast runtime assertion during simulation).
+[[nodiscard]] bool invariant_holds(const PetriNet& net,
+                                   const Semiflow& semiflow, const Marking& m);
+
+}  // namespace cipnet

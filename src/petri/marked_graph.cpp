@@ -1,0 +1,94 @@
+#include "petri/marked_graph.h"
+
+#include <deque>
+
+#include "util/error.h"
+
+namespace cipnet {
+
+namespace {
+
+TransitionGraph require_tg(const PetriNet& net) {
+  auto tg = transition_graph(net);
+  if (!tg) {
+    throw SemanticError(
+        "marked-graph analysis requires every place to have exactly one "
+        "producer and one consumer");
+  }
+  return std::move(*tg);
+}
+
+}  // namespace
+
+bool mg_is_live(const PetriNet& net) {
+  TransitionGraph tg = require_tg(net);
+  // Keep only token-free edges; the net is live iff this sub-graph is acyclic.
+  Digraph zero(tg.graph.node_count());
+  for (int e = 0; e < tg.graph.edge_count(); ++e) {
+    const auto& edge = tg.graph.edge(e);
+    if (edge.weight == 0) zero.add_edge(edge.from, edge.to);
+  }
+  return !has_cycle(zero);
+}
+
+std::optional<Token> mg_place_bound(const PetriNet& net, PlaceId p) {
+  TransitionGraph tg = require_tg(net);
+  for (int e = 0; e < tg.graph.edge_count(); ++e) {
+    if (tg.edge_place[e] == p) {
+      auto w = min_cycle_weight_through_edge(tg.graph, e);
+      if (!w) return std::nullopt;
+      return static_cast<Token>(*w);
+    }
+  }
+  throw SemanticError("place not found in transition graph");
+}
+
+bool mg_is_safe(const PetriNet& net) {
+  TransitionGraph tg = require_tg(net);
+  for (int e = 0; e < tg.graph.edge_count(); ++e) {
+    auto w = min_cycle_weight_through_edge(tg.graph, e);
+    if (!w || *w > 1) return false;
+  }
+  return true;
+}
+
+std::vector<TransitionId> mg_dead_transitions(const PetriNet& net) {
+  // Conflict-freedom (at most one consumer per place) is what makes the
+  // fixpoint exact; places with no producer are allowed (they simply are
+  // never refilled).
+  if (!is_marked_graph(net)) {
+    throw SemanticError("mg_dead_transitions requires a marked graph");
+  }
+  const std::size_t n = net.transition_count();
+  std::vector<bool> can_fire(n, false);
+  // Least fixpoint by worklist: recheck a transition whenever one of the
+  // producers feeding its token-free input places becomes fireable.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (can_fire[i]) continue;
+      TransitionId t(static_cast<std::uint32_t>(i));
+      bool ok = true;
+      for (PlaceId p : net.transition(t).preset) {
+        if (net.initial_marking()[p] > 0) continue;
+        const auto& producers = net.producers_of(p);
+        if (producers.empty() || !can_fire[producers[0].index()]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        can_fire[i] = true;
+        changed = true;
+      }
+    }
+  }
+  std::vector<TransitionId> dead;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!can_fire[i]) dead.push_back(TransitionId(static_cast<std::uint32_t>(i)));
+  }
+  return dead;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "petri/net.h"
+#include "petri/structure.h"
+
+namespace cipnet {
+
+/// Structural (polynomial-time) analyses for marked graphs, after Murata /
+/// Commoner-Holt. These are the checks the paper appeals to in Sections 5.2
+/// and 5.3 ("can be done in polynomial time and space for marked and
+/// free-choice nets"). All functions require that `transition_graph(net)`
+/// exists (every place has exactly one producer and one consumer); they
+/// throw `SemanticError` otherwise.
+
+/// A marked graph is live iff every directed circuit carries at least one
+/// token (equivalently: the token-free sub-graph is acyclic).
+[[nodiscard]] bool mg_is_live(const PetriNet& net);
+
+/// Maximum number of tokens place `p` can ever hold = the minimum token
+/// count over all directed circuits through `p` (valid for live,
+/// strongly-connected marked graphs). Empty optional if no circuit passes
+/// through `p` (then `p` is structurally unbounded in a live net).
+[[nodiscard]] std::optional<Token> mg_place_bound(const PetriNet& net,
+                                                  PlaceId p);
+
+/// Safe iff every place's bound is 1 (live, strongly-connected marked
+/// graphs).
+[[nodiscard]] bool mg_is_safe(const PetriNet& net);
+
+/// Transitions that can never fire (not L1-live), computed as the complement
+/// of the least fixpoint of: `t` can fire if every input place either holds
+/// a token initially or is fed by a transition that can fire. Marked graphs
+/// are conflict-free, so "can fire in some run" equals "fires in every
+/// maximal run", which makes this exact. Used for the polynomial
+/// dead-transition removal after parallel composition (Section 5.2).
+[[nodiscard]] std::vector<TransitionId> mg_dead_transitions(
+    const PetriNet& net);
+
+}  // namespace cipnet

@@ -1,0 +1,40 @@
+#include "petri/marking.h"
+
+#include <numeric>
+
+namespace cipnet {
+
+std::uint64_t Marking::total() const {
+  return std::accumulate(tokens_.begin(), tokens_.end(), std::uint64_t{0});
+}
+
+bool Marking::is_safe() const {
+  for (Token t : tokens_) {
+    if (t > 1) return false;
+  }
+  return true;
+}
+
+std::vector<PlaceId> Marking::marked_places() const {
+  std::vector<PlaceId> out;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i] > 0) out.push_back(PlaceId(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+std::string Marking::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "p" + std::to_string(i);
+    if (tokens_[i] > 1) out += ":" + std::to_string(tokens_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cipnet

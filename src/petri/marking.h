@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/strong_id.h"
+
+namespace cipnet {
+
+using Token = std::uint32_t;
+
+/// A marking `M : P -> N` (Definition 2.1): the number of tokens in each
+/// place, indexed densely by `PlaceId`. General nets are supported — token
+/// counts are natural numbers, not restricted to {0, 1}.
+class Marking {
+ public:
+  Marking() = default;
+  explicit Marking(std::size_t place_count) : tokens_(place_count, 0) {}
+  explicit Marking(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  [[nodiscard]] std::size_t size() const { return tokens_.size(); }
+
+  [[nodiscard]] Token operator[](PlaceId p) const { return tokens_[p.index()]; }
+  [[nodiscard]] Token& operator[](PlaceId p) { return tokens_[p.index()]; }
+
+  [[nodiscard]] const std::vector<Token>& tokens() const { return tokens_; }
+
+  /// Total number of tokens across all places.
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// True iff no place holds more than one token.
+  [[nodiscard]] bool is_safe() const;
+
+  /// Places with at least one token, ascending.
+  [[nodiscard]] std::vector<PlaceId> marked_places() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Marking& a, const Marking& b) = default;
+
+ private:
+  std::vector<Token> tokens_;
+};
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const {
+    return hash_range(m.tokens());
+  }
+};
+
+}  // namespace cipnet

@@ -1,0 +1,180 @@
+#include "petri/net.h"
+
+#include <cassert>
+
+#include "util/error.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+PlaceId PetriNet::add_place(std::string name, Token initial) {
+  if (place_index_.contains(name)) {
+    throw SemanticError("duplicate place name: " + name);
+  }
+  PlaceId id(static_cast<std::uint32_t>(places_.size()));
+  place_index_.emplace(name, id);
+  places_.push_back(Place{std::move(name)});
+  consumers_.emplace_back();
+  producers_.emplace_back();
+  initial_ = Marking([&] {
+    auto tokens = initial_.tokens();
+    tokens.push_back(initial);
+    return tokens;
+  }());
+  return id;
+}
+
+ActionId PetriNet::add_action(std::string label) {
+  if (auto it = label_index_.find(label); it != label_index_.end()) {
+    return it->second;
+  }
+  ActionId id(static_cast<std::uint32_t>(labels_.size()));
+  label_index_.emplace(label, id);
+  labels_.push_back(std::move(label));
+  by_action_.emplace_back();
+  return id;
+}
+
+TransitionId PetriNet::add_transition(std::vector<PlaceId> preset,
+                                      ActionId action,
+                                      std::vector<PlaceId> postset,
+                                      Guard guard) {
+  if (action.index() >= labels_.size()) {
+    throw SemanticError("transition uses unknown action id");
+  }
+  sorted_set::normalize(preset);
+  sorted_set::normalize(postset);
+  for (PlaceId p : preset) {
+    if (p.index() >= places_.size())
+      throw SemanticError("transition preset uses unknown place id");
+  }
+  for (PlaceId p : postset) {
+    if (p.index() >= places_.size())
+      throw SemanticError("transition postset uses unknown place id");
+  }
+  TransitionId id(static_cast<std::uint32_t>(transitions_.size()));
+  for (PlaceId p : preset) consumers_[p.index()].push_back(id);
+  for (PlaceId p : postset) producers_[p.index()].push_back(id);
+  by_action_[action.index()].push_back(id);
+  transitions_.push_back(Transition{std::move(preset), std::move(postset),
+                                    action, std::move(guard)});
+  return id;
+}
+
+TransitionId PetriNet::add_transition(std::vector<PlaceId> preset,
+                                      const std::string& label,
+                                      std::vector<PlaceId> postset,
+                                      Guard guard) {
+  return add_transition(std::move(preset), add_action(label),
+                        std::move(postset), std::move(guard));
+}
+
+void PetriNet::set_initial_tokens(PlaceId p, Token count) {
+  initial_[p] = count;
+}
+
+std::optional<ActionId> PetriNet::find_action(std::string_view label) const {
+  auto it = label_index_.find(std::string(label));
+  if (it == label_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<PlaceId> PetriNet::find_place(std::string_view name) const {
+  auto it = place_index_.find(std::string(name));
+  if (it == place_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<TransitionId>& PetriNet::transitions_with_action(
+    ActionId a) const {
+  return by_action_[a.index()];
+}
+
+const std::vector<TransitionId>& PetriNet::consumers_of(PlaceId p) const {
+  return consumers_[p.index()];
+}
+
+const std::vector<TransitionId>& PetriNet::producers_of(PlaceId p) const {
+  return producers_[p.index()];
+}
+
+std::vector<std::string> PetriNet::alphabet() const {
+  std::vector<std::string> out = labels_;
+  sorted_set::normalize(out);
+  return out;
+}
+
+void PetriNet::set_guard(TransitionId t, Guard guard) {
+  transitions_[t.index()].guard = std::move(guard);
+}
+
+bool PetriNet::is_enabled(const Marking& m, TransitionId t) const {
+  for (PlaceId p : transition(t).preset) {
+    if (m[p] == 0) return false;
+  }
+  return true;
+}
+
+void PetriNet::fire_in_place(Marking& m, TransitionId t) const {
+  const Transition& tr = transition(t);
+  assert(is_enabled(m, t));
+  // M'(p) = M(p) - 1 on (preset minus postset), M(p) + 1 on (postset minus
+  // preset), unchanged otherwise (self-loops only test the token).
+  for (PlaceId p : tr.preset) {
+    if (!sorted_set::contains(tr.postset, p)) m[p] -= 1;
+  }
+  for (PlaceId p : tr.postset) {
+    if (!sorted_set::contains(tr.preset, p)) m[p] += 1;
+  }
+}
+
+Marking PetriNet::fire(const Marking& m, TransitionId t) const {
+  Marking next = m;
+  fire_in_place(next, t);
+  return next;
+}
+
+std::vector<TransitionId> PetriNet::enabled_transitions(
+    const Marking& m) const {
+  std::vector<TransitionId> out;
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    TransitionId t(static_cast<std::uint32_t>(i));
+    if (is_enabled(m, t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<PlaceId> PetriNet::all_places() const {
+  std::vector<PlaceId> out;
+  out.reserve(places_.size());
+  for (std::size_t i = 0; i < places_.size(); ++i) {
+    out.push_back(PlaceId(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+std::vector<TransitionId> PetriNet::all_transitions() const {
+  std::vector<TransitionId> out;
+  out.reserve(transitions_.size());
+  for (std::size_t i = 0; i < transitions_.size(); ++i) {
+    out.push_back(TransitionId(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+std::size_t PetriNet::arc_count() const {
+  std::size_t n = 0;
+  for (const Transition& t : transitions_) {
+    n += t.preset.size() + t.postset.size();
+  }
+  return n;
+}
+
+std::string PetriNet::summary() const {
+  return "(|P|=" + std::to_string(place_count()) +
+         ", |T|=" + std::to_string(transition_count()) +
+         ", |A|=" + std::to_string(action_count()) +
+         ", arcs=" + std::to_string(arc_count()) + ")";
+}
+
+}  // namespace cipnet

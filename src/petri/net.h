@@ -1,0 +1,155 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "petri/guard.h"
+#include "petri/marking.h"
+#include "util/strong_id.h"
+
+namespace cipnet {
+
+/// Canonical label of the dummy transition `ε` (Definition 2.3).
+inline constexpr std::string_view kEpsilonLabel = "eps";
+
+[[nodiscard]] inline bool is_epsilon_label(std::string_view label) {
+  return label == kEpsilonLabel;
+}
+
+/// A labeled Petri net `N = (A, P, ->, M0)` (Definition 2.1).
+///
+/// * `A` — an explicit action alphabet. The alphabet may contain actions
+///   with *no* transitions; this matters for parallel composition
+///   (Definition 4.7 synchronizes on `A1 ∩ A2`, so a common action that one
+///   operand never fires blocks the other operand's transitions) and for
+///   hiding (which removes the action from the alphabet).
+/// * `P` — places, with human-readable names (unique within the net).
+/// * `->` ⊆ 2^P × A × 2^P — transitions as (preset, action, postset) with
+///   presets/postsets stored as sorted place-id sets. Ordinary nets: arcs
+///   have weight one; a place in both preset and postset is a self-loop
+///   (read arc) which tests a token without net change (Definition 2.2).
+/// * `M0` — the initial marking, over the natural numbers (general nets).
+///
+/// Transitions additionally carry an optional boolean `Guard` (the STG
+/// extension of Section 2.2); `Guard()` is `true` and is ignored by the pure
+/// Petri net dynamics unless a caller evaluates guards (the STG state graph
+/// does).
+class PetriNet {
+ public:
+  struct Place {
+    std::string name;
+  };
+
+  struct Transition {
+    std::vector<PlaceId> preset;   // sorted
+    std::vector<PlaceId> postset;  // sorted
+    ActionId action;
+    Guard guard;
+  };
+
+  PetriNet() = default;
+
+  // ----- construction -------------------------------------------------
+
+  /// Adds a place. Names must be unique; pass `initial` tokens for M0.
+  PlaceId add_place(std::string name, Token initial = 0);
+
+  /// Interns an action label into the alphabet (idempotent).
+  ActionId add_action(std::string label);
+
+  /// Adds a transition (preset, action, postset); duplicate places within a
+  /// pre/postset are collapsed (sets, not multisets).
+  TransitionId add_transition(std::vector<PlaceId> preset, ActionId action,
+                              std::vector<PlaceId> postset,
+                              Guard guard = Guard());
+  TransitionId add_transition(std::vector<PlaceId> preset,
+                              const std::string& label,
+                              std::vector<PlaceId> postset,
+                              Guard guard = Guard());
+
+  void set_initial_tokens(PlaceId p, Token count);
+
+  // ----- structure accessors ------------------------------------------
+
+  [[nodiscard]] std::size_t place_count() const { return places_.size(); }
+  [[nodiscard]] std::size_t transition_count() const {
+    return transitions_.size();
+  }
+  [[nodiscard]] std::size_t action_count() const { return labels_.size(); }
+
+  [[nodiscard]] const Place& place(PlaceId p) const {
+    return places_[p.index()];
+  }
+  [[nodiscard]] const Transition& transition(TransitionId t) const {
+    return transitions_[t.index()];
+  }
+  [[nodiscard]] const std::string& label(ActionId a) const {
+    return labels_[a.index()];
+  }
+  [[nodiscard]] const std::string& transition_label(TransitionId t) const {
+    return labels_[transition(t).action.index()];
+  }
+
+  [[nodiscard]] std::optional<ActionId> find_action(
+      std::string_view label) const;
+  [[nodiscard]] std::optional<PlaceId> find_place(std::string_view name) const;
+
+  /// All transitions labeled with `a`, ascending.
+  [[nodiscard]] const std::vector<TransitionId>& transitions_with_action(
+      ActionId a) const;
+
+  /// Transitions consuming from / producing into `p`, ascending. A self-loop
+  /// transition appears in both.
+  [[nodiscard]] const std::vector<TransitionId>& consumers_of(PlaceId p) const;
+  [[nodiscard]] const std::vector<TransitionId>& producers_of(PlaceId p) const;
+
+  [[nodiscard]] const Marking& initial_marking() const { return initial_; }
+
+  /// The alphabet as a sorted vector of labels (copies).
+  [[nodiscard]] std::vector<std::string> alphabet() const;
+
+  /// Replace the guard of a transition (used by STG construction and by the
+  /// algebra when propagating guards).
+  void set_guard(TransitionId t, Guard guard);
+
+  // ----- dynamics (Definition 2.2) -------------------------------------
+
+  /// A transition can fire in `m` iff every preset place holds a token.
+  /// Guards are *not* evaluated here (see class comment).
+  [[nodiscard]] bool is_enabled(const Marking& m, TransitionId t) const;
+
+  /// Fires `t` in `m` (precondition: enabled): tokens removed from
+  /// `preset \ postset`, added to `postset \ preset`.
+  [[nodiscard]] Marking fire(const Marking& m, TransitionId t) const;
+  void fire_in_place(Marking& m, TransitionId t) const;
+
+  [[nodiscard]] std::vector<TransitionId> enabled_transitions(
+      const Marking& m) const;
+
+  // ----- convenience ----------------------------------------------------
+
+  [[nodiscard]] std::vector<PlaceId> all_places() const;
+  [[nodiscard]] std::vector<TransitionId> all_transitions() const;
+
+  /// Sum of preset/postset sizes over all transitions (arc count).
+  [[nodiscard]] std::size_t arc_count() const;
+
+  /// Human-readable one-line summary "(|P|=.., |T|=.., |A|=.., arcs=..)".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Place> places_;
+  std::vector<Transition> transitions_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, ActionId> label_index_;
+  std::unordered_map<std::string, PlaceId> place_index_;
+  std::vector<std::vector<TransitionId>> by_action_;
+  std::vector<std::vector<TransitionId>> consumers_;
+  std::vector<std::vector<TransitionId>> producers_;
+  Marking initial_;
+};
+
+}  // namespace cipnet

@@ -1,0 +1,133 @@
+#include "petri/rebuild.h"
+
+#include <map>
+#include <tuple>
+
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+NetSlice restrict_transitions(const PetriNet& net,
+                              std::vector<TransitionId> keep,
+                              bool drop_isolated_places) {
+  sorted_set::normalize(keep);
+
+  NetSlice out;
+  out.place_map.resize(net.place_count());
+  out.transition_map.resize(net.transition_count());
+
+  // Decide which places survive.
+  std::vector<bool> place_used(net.place_count(), false);
+  for (TransitionId t : keep) {
+    for (PlaceId p : net.transition(t).preset) place_used[p.index()] = true;
+    for (PlaceId p : net.transition(t).postset) place_used[p.index()] = true;
+  }
+  for (std::size_t i = 0; i < net.place_count(); ++i) {
+    PlaceId p(static_cast<std::uint32_t>(i));
+    bool survives = !drop_isolated_places || place_used[i] ||
+                    net.initial_marking()[p] > 0;
+    if (survives) {
+      out.place_map[i] =
+          out.net.add_place(net.place(p).name, net.initial_marking()[p]);
+    }
+  }
+
+  // Preserve the whole alphabet (even labels that lose all transitions).
+  for (std::size_t a = 0; a < net.action_count(); ++a) {
+    out.net.add_action(net.label(ActionId(static_cast<std::uint32_t>(a))));
+  }
+
+  for (TransitionId t : keep) {
+    const auto& tr = net.transition(t);
+    std::vector<PlaceId> preset, postset;
+    for (PlaceId p : tr.preset) preset.push_back(*out.place_map[p.index()]);
+    for (PlaceId p : tr.postset) postset.push_back(*out.place_map[p.index()]);
+    out.transition_map[t.index()] = out.net.add_transition(
+        std::move(preset), out.net.add_action(net.label(tr.action)),
+        std::move(postset), tr.guard);
+  }
+  return out;
+}
+
+NetSlice remove_transitions(const PetriNet& net,
+                            std::vector<TransitionId> remove,
+                            bool drop_isolated_places) {
+  sorted_set::normalize(remove);
+  std::vector<TransitionId> keep;
+  for (TransitionId t : net.all_transitions()) {
+    if (!sorted_set::contains(remove, t)) keep.push_back(t);
+  }
+  return restrict_transitions(net, std::move(keep), drop_isolated_places);
+}
+
+PetriNet clone(const PetriNet& net) {
+  return restrict_transitions(net, net.all_transitions()).net;
+}
+
+namespace {
+
+/// One pass: returns true if anything changed.
+bool simplify_places_once(PetriNet& net) {
+  std::vector<bool> drop(net.place_count(), false);
+  bool changed = false;
+  // Pure sinks.
+  for (PlaceId p : net.all_places()) {
+    if (net.consumers_of(p).empty()) {
+      drop[p.index()] = true;
+      changed = true;
+    }
+  }
+  // Duplicates: group by (producers, consumers, tokens); keep the first.
+  std::map<std::tuple<std::vector<TransitionId>, std::vector<TransitionId>,
+                      Token>,
+           PlaceId>
+      seen;
+  for (PlaceId p : net.all_places()) {
+    if (drop[p.index()]) continue;
+    auto key = std::make_tuple(net.producers_of(p), net.consumers_of(p),
+                               net.initial_marking()[p]);
+    auto [it, fresh] = seen.try_emplace(std::move(key), p);
+    if (!fresh) {
+      drop[p.index()] = true;
+      changed = true;
+    }
+  }
+  if (!changed) return false;
+
+  PetriNet out;
+  std::vector<std::optional<PlaceId>> place_map(net.place_count());
+  for (PlaceId p : net.all_places()) {
+    if (drop[p.index()]) continue;
+    place_map[p.index()] =
+        out.add_place(net.place(p).name, net.initial_marking()[p]);
+  }
+  for (std::size_t a = 0; a < net.action_count(); ++a) {
+    out.add_action(net.label(ActionId(static_cast<std::uint32_t>(a))));
+  }
+  for (TransitionId t : net.all_transitions()) {
+    const auto& tr = net.transition(t);
+    std::vector<PlaceId> preset, postset;
+    for (PlaceId p : tr.preset) {
+      if (place_map[p.index()]) preset.push_back(*place_map[p.index()]);
+    }
+    for (PlaceId p : tr.postset) {
+      if (place_map[p.index()]) postset.push_back(*place_map[p.index()]);
+    }
+    out.add_transition(std::move(preset),
+                       out.add_action(net.label(tr.action)),
+                       std::move(postset), tr.guard);
+  }
+  net = std::move(out);
+  return true;
+}
+
+}  // namespace
+
+PetriNet simplify_places(const PetriNet& net) {
+  PetriNet current = clone(net);
+  while (simplify_places_once(current)) {
+  }
+  return current;
+}
+
+}  // namespace cipnet

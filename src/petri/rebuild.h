@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// Result of rebuilding a net: the new net plus id maps from the original.
+/// `place_map[i]` / `transition_map[i]` give the new id of old place /
+/// transition `i`, or nullopt if it was dropped.
+struct NetSlice {
+  PetriNet net;
+  std::vector<std::optional<PlaceId>> place_map;
+  std::vector<std::optional<TransitionId>> transition_map;
+};
+
+/// Rebuild `net` keeping only the transitions in `keep` (sorted or not).
+/// The alphabet is preserved in full (dropping a transition does not shrink
+/// `A`; only `hide` does that, per Definition 4.10). If
+/// `drop_isolated_places` is set, places left with no producers, no
+/// consumers *and* no initial token are removed.
+[[nodiscard]] NetSlice restrict_transitions(const PetriNet& net,
+                                            std::vector<TransitionId> keep,
+                                            bool drop_isolated_places = false);
+
+/// Rebuild without the given transitions (complement of the above).
+[[nodiscard]] NetSlice remove_transitions(const PetriNet& net,
+                                          std::vector<TransitionId> remove,
+                                          bool drop_isolated_places = false);
+
+/// Deep copy with densely renumbered ids (drops nothing).
+[[nodiscard]] PetriNet clone(const PetriNet& net);
+
+/// Trace-preserving place reduction, applied to fixpoint:
+///  * places with no consumers never constrain any firing and are dropped
+///    (they only accumulate tokens);
+///  * places with identical producer sets, identical consumer sets and
+///    identical initial marking are interchangeable — one representative is
+///    kept. The hiding contraction of Definition 4.10 creates whole rows of
+///    such duplicates (`(p_i, q_1) ... (p_i, q_m)` share all adjacency), so
+///    this keeps repeated contraction from blowing up.
+[[nodiscard]] PetriNet simplify_places(const PetriNet& net);
+
+}  // namespace cipnet

@@ -1,0 +1,155 @@
+#include "petri/siphons.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+bool is_siphon(const PetriNet& net, const std::vector<PlaceId>& places) {
+  if (places.empty()) return false;
+  // Every transition producing into the set must consume from it.
+  for (PlaceId p : places) {
+    for (TransitionId t : net.producers_of(p)) {
+      if (!sorted_set::intersects(net.transition(t).preset, places)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_trap(const PetriNet& net, const std::vector<PlaceId>& places) {
+  if (places.empty()) return false;
+  // Every transition consuming from the set must produce into it.
+  for (PlaceId p : places) {
+    for (TransitionId t : net.consumers_of(p)) {
+      if (!sorted_set::intersects(net.transition(t).postset, places)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<PlaceId> maximal_trap_within(const PetriNet& net,
+                                         std::vector<PlaceId> places) {
+  sorted_set::normalize(places);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < places.size(); ++i) {
+      PlaceId p = places[i];
+      bool keep = true;
+      for (TransitionId t : net.consumers_of(p)) {
+        if (!sorted_set::intersects(net.transition(t).postset, places)) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) {
+        places.erase(places.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        break;
+      }
+    }
+  }
+  return places;
+}
+
+namespace {
+
+struct SiphonSearch {
+  const PetriNet& net;
+  const SiphonOptions& options;
+  std::size_t nodes = 0;
+  std::vector<std::vector<PlaceId>> found;
+
+  /// A producer into `current` whose preset misses `current`, or nullopt if
+  /// the set is already a siphon.
+  std::optional<TransitionId> open_producer(
+      const std::vector<PlaceId>& current) const {
+    for (PlaceId p : current) {
+      for (TransitionId t : net.producers_of(p)) {
+        if (!sorted_set::intersects(net.transition(t).preset, current)) {
+          return t;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  void record(const std::vector<PlaceId>& siphon) {
+    // Keep only inclusion-minimal results.
+    for (const auto& existing : found) {
+      if (sorted_set::is_subset(existing, siphon)) return;
+    }
+    std::erase_if(found, [&](const std::vector<PlaceId>& existing) {
+      return sorted_set::is_subset(siphon, existing);
+    });
+    found.push_back(siphon);
+  }
+
+  void grow(std::vector<PlaceId> current,
+            const std::vector<PlaceId>& forbidden) {
+    if (++nodes > options.max_nodes) {
+      throw LimitError("minimal siphon search exceeded max_nodes");
+    }
+    if (found.size() >= options.max_siphons) return;
+    // Prune: a superset of an already found siphon cannot be minimal.
+    for (const auto& existing : found) {
+      if (sorted_set::is_subset(existing, current)) return;
+    }
+    auto open = open_producer(current);
+    if (!open) {
+      record(current);
+      return;
+    }
+    // Branch: one of the producer's input places must join the siphon.
+    for (PlaceId p : net.transition(*open).preset) {
+      if (sorted_set::contains(forbidden, p)) continue;
+      auto extended = current;
+      sorted_set::insert(extended, p);
+      // Forbid earlier alternatives in sibling branches to avoid revisiting
+      // the same sets (standard refinement).
+      grow(std::move(extended), forbidden);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<PlaceId>> minimal_siphons(
+    const PetriNet& net, const SiphonOptions& options) {
+  SiphonSearch search{net, options};
+  std::vector<PlaceId> forbidden;
+  for (PlaceId seed : net.all_places()) {
+    // Seeds processed in order; earlier seeds are forbidden later so each
+    // minimal siphon is produced from its smallest member.
+    search.grow({seed}, forbidden);
+    forbidden.push_back(seed);
+  }
+  std::sort(search.found.begin(), search.found.end());
+  return search.found;
+}
+
+CommonerReport check_commoner(const PetriNet& net,
+                              const SiphonOptions& options) {
+  CommonerReport report;
+  for (const auto& siphon : minimal_siphons(net, options)) {
+    auto trap = maximal_trap_within(net, siphon);
+    bool marked = false;
+    for (PlaceId p : trap) {
+      marked = marked || net.initial_marking()[p] > 0;
+    }
+    if (trap.empty() || !marked) {
+      report.holds = false;
+      report.offending_siphon = siphon;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// Siphon/trap structural theory (Peterson [8], Commoner). A *siphon* is a
+/// place set that, once empty, stays empty (every producer into the set
+/// also consumes from it); a *trap* is its dual — once marked, it stays
+/// marked. For free-choice nets, Commoner's theorem ties them to liveness:
+/// the net is live iff every minimal siphon contains an initially marked
+/// trap. This is the polynomial-vs-exponential boundary the paper gestures
+/// at in Section 5.1.
+
+[[nodiscard]] bool is_siphon(const PetriNet& net,
+                             const std::vector<PlaceId>& places);
+[[nodiscard]] bool is_trap(const PetriNet& net,
+                           const std::vector<PlaceId>& places);
+
+/// Largest trap contained in `places` (possibly empty): the greatest
+/// fixpoint of removing places whose consumption can leave the set.
+[[nodiscard]] std::vector<PlaceId> maximal_trap_within(
+    const PetriNet& net, std::vector<PlaceId> places);
+
+struct SiphonOptions {
+  /// Minimal-siphon enumeration is exponential in the worst case; the
+  /// search is cut off (LimitError) beyond this many branch nodes.
+  std::size_t max_nodes = 200000;
+  /// Stop after this many minimal siphons.
+  std::size_t max_siphons = 1024;
+};
+
+/// All minimal (by set inclusion) non-empty siphons, via branch and bound:
+/// close the candidate under "some input place of every producer", branch
+/// over the choice of input place.
+[[nodiscard]] std::vector<std::vector<PlaceId>> minimal_siphons(
+    const PetriNet& net, const SiphonOptions& options = {});
+
+/// Commoner's deadlock-freedom condition: every minimal siphon contains a
+/// trap that is marked at M0. Sufficient for deadlock-freedom of any net;
+/// for free-choice nets it is equivalent to liveness.
+struct CommonerReport {
+  bool holds = true;
+  /// A siphon violating the condition (its maximal trap is unmarked).
+  std::optional<std::vector<PlaceId>> offending_siphon;
+};
+
+[[nodiscard]] CommonerReport check_commoner(const PetriNet& net,
+                                            const SiphonOptions& options = {});
+
+}  // namespace cipnet

@@ -1,0 +1,101 @@
+#include "reach/coverability.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace cipnet {
+
+namespace {
+
+/// ω is represented as the maximum token value; real nets never get there
+/// (acceleration jumps straight to it).
+constexpr Token kOmega = std::numeric_limits<Token>::max();
+
+bool leq(const std::vector<Token>& a, const std::vector<Token>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CoverabilityResult coverability(const PetriNet& net,
+                                const CoverabilityOptions& options) {
+  struct Node {
+    std::vector<Token> marking;
+    int parent;
+  };
+  std::vector<Node> tree;
+  std::vector<std::size_t> frontier;
+
+  auto push = [&](std::vector<Token> m, int parent) {
+    if (tree.size() >= options.max_nodes) {
+      throw LimitError("coverability tree exceeded max_nodes");
+    }
+    // Acceleration: if m strictly dominates an ancestor, the gap can be
+    // pumped — set the strictly larger places to ω.
+    for (int a = parent; a >= 0; a = tree[a].parent) {
+      const auto& anc = tree[a].marking;
+      if (leq(anc, m) && anc != m) {
+        for (std::size_t i = 0; i < m.size(); ++i) {
+          if (m[i] > anc[i]) m[i] = kOmega;
+        }
+      }
+    }
+    // Subsumption: drop if some existing node covers m.
+    for (const Node& node : tree) {
+      if (leq(m, node.marking)) return;
+    }
+    tree.push_back(Node{std::move(m), parent});
+    frontier.push_back(tree.size() - 1);
+  };
+
+  push(net.initial_marking().tokens(), -1);
+  while (!frontier.empty()) {
+    std::size_t index = frontier.back();
+    frontier.pop_back();
+    if (index >= tree.size()) continue;
+    const std::vector<Token> current = tree[index].marking;
+    for (TransitionId t : net.all_transitions()) {
+      const auto& tr = net.transition(t);
+      bool enabled = true;
+      for (PlaceId p : tr.preset) {
+        if (current[p.index()] == 0) enabled = false;
+      }
+      if (!enabled) continue;
+      std::vector<Token> next = current;
+      for (PlaceId p : tr.preset) {
+        std::size_t i = p.index();
+        bool self_loop = false;
+        for (PlaceId q : tr.postset) self_loop = self_loop || q == p;
+        if (!self_loop && next[i] != kOmega) next[i] -= 1;
+      }
+      for (PlaceId p : tr.postset) {
+        std::size_t i = p.index();
+        bool self_loop = false;
+        for (PlaceId q : tr.preset) self_loop = self_loop || q == p;
+        if (!self_loop && next[i] != kOmega) next[i] += 1;
+      }
+      push(std::move(next), static_cast<int>(index));
+    }
+  }
+
+  CoverabilityResult result;
+  result.tree_nodes = tree.size();
+  result.bounds.assign(net.place_count(), Token{0});
+  for (const Node& node : tree) {
+    for (std::size_t i = 0; i < node.marking.size(); ++i) {
+      if (node.marking[i] == kOmega) {
+        result.bounds[i] = std::nullopt;
+      } else if (result.bounds[i] &&
+                 node.marking[i] > *result.bounds[i]) {
+        result.bounds[i] = node.marking[i];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// Per-place bound from the Karp-Miller coverability tree: a concrete
+/// maximum for bounded places, `nullopt` (ω) for unbounded ones. For a
+/// bounded net no acceleration ever fires, the tree nodes are exactly the
+/// reachable markings, and the bounds are exact; for unbounded nets the ω
+/// entries are exact (a place is ω iff it is unbounded) while finite
+/// entries are upper bounds.
+struct CoverabilityResult {
+  /// bounds[p] = max tokens seen, or nullopt = unbounded (ω).
+  std::vector<std::optional<Token>> bounds;
+  /// Nodes in the Karp-Miller tree (after subsumption).
+  std::size_t tree_nodes = 0;
+
+  [[nodiscard]] bool bounded() const {
+    for (const auto& b : bounds) {
+      if (!b) return false;
+    }
+    return true;
+  }
+};
+
+struct CoverabilityOptions {
+  std::size_t max_nodes = 1u << 18;
+};
+
+/// Karp-Miller with ancestor acceleration and subsumption. Throws
+/// LimitError beyond `max_nodes` (the tree is finite in theory; the limit
+/// guards against practical blow-up).
+[[nodiscard]] CoverabilityResult coverability(
+    const PetriNet& net, const CoverabilityOptions& options = {});
+
+}  // namespace cipnet

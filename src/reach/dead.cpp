@@ -1,0 +1,27 @@
+#include "reach/dead.h"
+
+#include "petri/marked_graph.h"
+#include "petri/structure.h"
+#include "reach/properties.h"
+
+namespace cipnet {
+
+DeadRemovalResult remove_dead_transitions(const PetriNet& net,
+                                          bool drop_isolated_places,
+                                          const ReachOptions& options) {
+  DeadRemovalResult result;
+  std::vector<TransitionId> dead;
+  if (is_marked_graph(net)) {
+    dead = mg_dead_transitions(net);
+    result.method = DeadCheckMethod::kStructuralMarkedGraph;
+  } else {
+    ReachabilityGraph rg = explore(net, options);
+    dead = dead_transitions(net, rg);
+    result.method = DeadCheckMethod::kReachability;
+  }
+  result.removed = dead.size();
+  result.slice = remove_transitions(net, std::move(dead), drop_isolated_places);
+  return result;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "petri/rebuild.h"
+#include "reach/reachability.h"
+
+namespace cipnet {
+
+/// How dead transitions were detected by `remove_dead_transitions`.
+enum class DeadCheckMethod {
+  kStructuralMarkedGraph,  // polynomial fixpoint (Section 5.2)
+  kReachability,           // exact on the explored state space
+};
+
+struct DeadRemovalResult {
+  NetSlice slice;
+  std::size_t removed = 0;
+  DeadCheckMethod method = DeadCheckMethod::kReachability;
+};
+
+/// Removes transitions that can never fire. Uses the polynomial structural
+/// fixpoint when the net is a marked graph (the paper's Section 5.2 claim:
+/// "The removal of these dead transitions can be done in polynomial time and
+/// space for marked and free-choice nets"), otherwise falls back to
+/// reachability. Isolated places left behind are dropped when
+/// `drop_isolated_places` is set.
+[[nodiscard]] DeadRemovalResult remove_dead_transitions(
+    const PetriNet& net, bool drop_isolated_places = true,
+    const ReachOptions& options = {});
+
+}  // namespace cipnet

@@ -1,0 +1,185 @@
+#include "reach/properties.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace cipnet {
+
+namespace {
+
+/// a strictly dominates b: a >= b pointwise and a != b.
+bool strictly_dominates(const Marking& a, const Marking& b) {
+  bool strict = false;
+  for (std::size_t i = 0; i < a.tokens().size(); ++i) {
+    if (a.tokens()[i] < b.tokens()[i]) return false;
+    if (a.tokens()[i] > b.tokens()[i]) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace
+
+Boundedness check_boundedness(const PetriNet& net, std::size_t max_states) {
+  // Iterative DFS carrying the ancestor path for the domination test.
+  struct Frame {
+    Marking marking;
+    std::vector<TransitionId> pending;
+  };
+  std::unordered_set<Marking, MarkingHash> visited;
+  std::vector<Frame> stack;
+
+  auto push = [&](Marking m) -> bool {  // returns false on domination
+    for (const Frame& f : stack) {
+      if (strictly_dominates(m, f.marking)) return false;
+    }
+    if (visited.size() >= max_states) {
+      throw LimitError("boundedness check exceeded state limit");
+    }
+    auto pending = net.enabled_transitions(m);
+    stack.push_back(Frame{std::move(m), std::move(pending)});
+    return true;
+  };
+
+  if (!push(net.initial_marking())) return Boundedness::kUnbounded;
+  visited.insert(net.initial_marking());
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.pending.empty()) {
+      stack.pop_back();
+      continue;
+    }
+    TransitionId t = top.pending.back();
+    top.pending.pop_back();
+    Marking next = net.fire(top.marking, t);
+    if (visited.contains(next)) continue;
+    visited.insert(next);
+    if (!push(std::move(next))) return Boundedness::kUnbounded;
+  }
+  return Boundedness::kBounded;
+}
+
+bool is_safe(const ReachabilityGraph& rg) {
+  for (StateId s : rg.all_states()) {
+    if (!rg.marking(s).is_safe()) return false;
+  }
+  return true;
+}
+
+Token max_tokens_in_any_place(const ReachabilityGraph& rg) {
+  Token best = 0;
+  for (StateId s : rg.all_states()) {
+    for (Token t : rg.marking(s).tokens()) best = std::max(best, t);
+  }
+  return best;
+}
+
+std::vector<StateId> deadlock_states(const ReachabilityGraph& rg) {
+  std::vector<StateId> out;
+  for (StateId s : rg.all_states()) {
+    if (rg.successors(s).empty()) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<TransitionId> dead_transitions(const PetriNet& net,
+                                           const ReachabilityGraph& rg) {
+  std::vector<bool> fired(net.transition_count(), false);
+  for (StateId s : rg.all_states()) {
+    for (const auto& e : rg.successors(s)) fired[e.transition.index()] = true;
+  }
+  std::vector<TransitionId> out;
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    if (!fired[i]) out.push_back(TransitionId(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+std::vector<StateId> states_enabling(const PetriNet& net,
+                                     const ReachabilityGraph& rg,
+                                     TransitionId t) {
+  std::vector<StateId> out;
+  for (StateId s : rg.all_states()) {
+    if (net.is_enabled(rg.marking(s), t)) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<TransitionId> non_live_transitions(const PetriNet& net,
+                                               const ReachabilityGraph& rg) {
+  // Reverse adjacency once.
+  std::vector<std::vector<StateId>> pred(rg.state_count());
+  for (StateId s : rg.all_states()) {
+    for (const auto& e : rg.successors(s)) pred[e.to.index()].push_back(s);
+  }
+
+  std::vector<TransitionId> out;
+  for (TransitionId t : net.all_transitions()) {
+    // Backward closure of the states where t is enabled; t is live iff the
+    // closure covers every reachable state.
+    std::vector<bool> can_reach(rg.state_count(), false);
+    std::deque<StateId> frontier;
+    for (StateId s : states_enabling(net, rg, t)) {
+      can_reach[s.index()] = true;
+      frontier.push_back(s);
+    }
+    while (!frontier.empty()) {
+      StateId s = frontier.front();
+      frontier.pop_front();
+      for (StateId p : pred[s.index()]) {
+        if (!can_reach[p.index()]) {
+          can_reach[p.index()] = true;
+          frontier.push_back(p);
+        }
+      }
+    }
+    if (std::find(can_reach.begin(), can_reach.end(), false) !=
+        can_reach.end()) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+bool is_live(const PetriNet& net, const ReachabilityGraph& rg) {
+  return non_live_transitions(net, rg).empty();
+}
+
+std::optional<std::vector<TransitionId>> firing_sequence_to(
+    const ReachabilityGraph& rg, StateId target) {
+  // BFS from the initial state recording parent edges.
+  struct Parent {
+    StateId state;
+    TransitionId transition;
+  };
+  std::vector<std::optional<Parent>> parent(rg.state_count());
+  std::vector<bool> seen(rg.state_count(), false);
+  std::deque<StateId> frontier{rg.initial()};
+  seen[rg.initial().index()] = true;
+  while (!frontier.empty()) {
+    StateId s = frontier.front();
+    frontier.pop_front();
+    if (s == target) break;
+    for (const auto& e : rg.successors(s)) {
+      if (!seen[e.to.index()]) {
+        seen[e.to.index()] = true;
+        parent[e.to.index()] = Parent{s, e.transition};
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  if (!seen[target.index()]) return std::nullopt;
+  std::vector<TransitionId> path;
+  StateId cur = target;
+  while (parent[cur.index()]) {
+    path.push_back(parent[cur.index()]->transition);
+    cur = parent[cur.index()]->state;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace cipnet

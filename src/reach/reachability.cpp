@@ -1,0 +1,58 @@
+#include "reach/reachability.h"
+
+#include <deque>
+
+#include "util/error.h"
+
+namespace cipnet {
+
+std::size_t ReachabilityGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& out : edges_) n += out.size();
+  return n;
+}
+
+std::vector<StateId> ReachabilityGraph::all_states() const {
+  std::vector<StateId> out;
+  out.reserve(markings_.size());
+  for (std::size_t i = 0; i < markings_.size(); ++i) {
+    out.push_back(StateId(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
+  ReachabilityGraph rg;
+  auto intern = [&](const Marking& m) -> StateId {
+    auto it = rg.index_.find(m);
+    if (it != rg.index_.end()) return it->second;
+    if (rg.markings_.size() >= options.max_states) {
+      throw LimitError("reachability exploration exceeded " +
+                       std::to_string(options.max_states) + " states");
+    }
+    StateId id(static_cast<std::uint32_t>(rg.markings_.size()));
+    rg.index_.emplace(m, id);
+    rg.markings_.push_back(m);
+    rg.edges_.emplace_back();
+    return id;
+  };
+
+  intern(net.initial_marking());
+  std::deque<StateId> frontier{rg.initial()};
+  while (!frontier.empty()) {
+    StateId s = frontier.front();
+    frontier.pop_front();
+    // Copy: interning may reallocate markings_.
+    const Marking current = rg.markings_[s.index()];
+    for (TransitionId t : net.enabled_transitions(current)) {
+      Marking next = net.fire(current, t);
+      const bool fresh = !rg.index_.contains(next);
+      StateId target = intern(next);
+      rg.edges_[s.index()].push_back(ReachabilityGraph::Edge{t, target});
+      if (fresh) frontier.push_back(target);
+    }
+  }
+  return rg;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// Exploration limits. General Petri nets can have huge or infinite state
+/// spaces, so every exploration is bounded and overflow raises `LimitError`.
+struct ReachOptions {
+  std::size_t max_states = 1u << 20;
+};
+
+/// The reachability graph RG(N) (Section 2.1): nodes are reachable markings,
+/// edges are transition firings labeled by the fired transition (and hence by
+/// its action). State 0 is the initial marking.
+class ReachabilityGraph {
+ public:
+  struct Edge {
+    TransitionId transition;
+    StateId to;
+  };
+
+  [[nodiscard]] std::size_t state_count() const { return markings_.size(); }
+  [[nodiscard]] std::size_t edge_count() const;
+
+  [[nodiscard]] const Marking& marking(StateId s) const {
+    return markings_[s.index()];
+  }
+  [[nodiscard]] const std::vector<Edge>& successors(StateId s) const {
+    return edges_[s.index()];
+  }
+  [[nodiscard]] StateId initial() const { return StateId(0); }
+
+  [[nodiscard]] bool contains(const Marking& m) const {
+    return index_.contains(m);
+  }
+
+  /// All states, ascending.
+  [[nodiscard]] std::vector<StateId> all_states() const;
+
+ private:
+  friend ReachabilityGraph explore(const PetriNet& net,
+                                   const ReachOptions& options);
+
+  std::vector<Marking> markings_;
+  std::vector<std::vector<Edge>> edges_;
+  std::unordered_map<Marking, StateId, MarkingHash> index_;
+};
+
+/// Breadth-first construction of RG(N). Throws `LimitError` if more than
+/// `options.max_states` markings are reachable.
+[[nodiscard]] ReachabilityGraph explore(const PetriNet& net,
+                                        const ReachOptions& options = {});
+
+}  // namespace cipnet

@@ -1,0 +1,113 @@
+#include "reach/trace_enum.h"
+
+#include <deque>
+#include <set>
+
+#include "util/error.h"
+
+namespace cipnet {
+
+namespace {
+
+/// States reachable from `state` by firing only eps-labeled transitions
+/// (including `state` itself).
+std::vector<StateId> epsilon_closure(const PetriNet& net,
+                                     const ReachabilityGraph& rg,
+                                     StateId state) {
+  std::vector<bool> seen(rg.state_count(), false);
+  std::deque<StateId> frontier{state};
+  seen[state.index()] = true;
+  std::vector<StateId> closure;
+  while (!frontier.empty()) {
+    StateId s = frontier.front();
+    frontier.pop_front();
+    closure.push_back(s);
+    for (const auto& edge : rg.successors(s)) {
+      if (!is_epsilon_label(net.transition_label(edge.transition))) continue;
+      if (!seen[edge.to.index()]) {
+        seen[edge.to.index()] = true;
+        frontier.push_back(edge.to);
+      }
+    }
+  }
+  return closure;
+}
+
+void enumerate(const PetriNet& net, const ReachabilityGraph& rg,
+               const TraceEnumOptions& options, StateId state, Trace& prefix,
+               std::set<Trace>& out) {
+  if (out.size() > options.max_traces) {
+    throw LimitError("trace enumeration exceeded max_traces");
+  }
+  out.insert(prefix);
+  if (prefix.size() >= options.max_length) return;
+
+  auto expand = [&](StateId s) {
+    for (const auto& edge : rg.successors(s)) {
+      const std::string& label = net.transition_label(edge.transition);
+      if (options.skip_epsilon && is_epsilon_label(label)) continue;
+      prefix.push_back(label);
+      enumerate(net, rg, options, edge.to, prefix, out);
+      prefix.pop_back();
+    }
+  };
+
+  if (options.skip_epsilon) {
+    for (StateId s : epsilon_closure(net, rg, state)) expand(s);
+  } else {
+    expand(state);
+  }
+}
+
+}  // namespace
+
+std::vector<Trace> bounded_language(const PetriNet& net,
+                                    const ReachabilityGraph& rg,
+                                    const TraceEnumOptions& options) {
+  std::set<Trace> out;
+  Trace prefix;
+  enumerate(net, rg, options, rg.initial(), prefix, out);
+  return {out.begin(), out.end()};
+}
+
+std::vector<Trace> bounded_language(const PetriNet& net,
+                                    const TraceEnumOptions& options) {
+  ReachabilityGraph rg = explore(net);
+  return bounded_language(net, rg, options);
+}
+
+bool accepts_trace(const PetriNet& net, const Trace& trace,
+                   const ReachOptions& options) {
+  // Depth-first over (position, state) pairs of the product of the trace
+  // word with the reachability graph.
+  ReachabilityGraph rg = explore(net, options);
+  std::vector<std::vector<bool>> seen(trace.size() + 1,
+                                      std::vector<bool>(rg.state_count()));
+  std::vector<std::pair<std::size_t, StateId>> frontier{{0, rg.initial()}};
+  seen[0][rg.initial().index()] = true;
+  while (!frontier.empty()) {
+    auto [pos, state] = frontier.back();
+    frontier.pop_back();
+    if (pos == trace.size()) return true;
+    for (const auto& edge : rg.successors(state)) {
+      if (net.transition_label(edge.transition) != trace[pos]) continue;
+      if (!seen[pos + 1][edge.to.index()]) {
+        seen[pos + 1][edge.to.index()] = true;
+        frontier.push_back({pos + 1, edge.to});
+      }
+    }
+  }
+  return false;
+}
+
+std::string trace_to_string(const Trace& trace) {
+  if (trace.empty()) return "<>";
+  std::string out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i != 0) out += ".";
+    out += trace[i];
+  }
+  return out;
+}
+
+}  // namespace cipnet

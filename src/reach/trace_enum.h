@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reach/reachability.h"
+
+namespace cipnet {
+
+/// A trace: a finite sequence of action labels.
+using Trace = std::vector<std::string>;
+
+/// Options for bounded trace enumeration.
+struct TraceEnumOptions {
+  std::size_t max_length = 6;
+  /// Treat `eps`-labeled transitions as invisible (skipped in traces but
+  /// still fired). Off by default: the algebra of Section 4 treats all
+  /// labels uniformly.
+  bool skip_epsilon = false;
+  std::size_t max_traces = 1u << 20;
+};
+
+/// All traces of `L(N)` (Definition 4.1 — prefix closed) of length at most
+/// `max_length`, sorted and deduplicated. Exponential in `max_length`; meant
+/// for small nets in tests and examples. Throws `LimitError` on overflow.
+[[nodiscard]] std::vector<Trace> bounded_language(
+    const PetriNet& net, const TraceEnumOptions& options = {});
+
+/// Same, but starting from an already-built reachability graph.
+[[nodiscard]] std::vector<Trace> bounded_language(
+    const PetriNet& net, const ReachabilityGraph& rg,
+    const TraceEnumOptions& options = {});
+
+/// True iff `trace` is a firing sequence label word of the net (bounded
+/// check; explores on demand).
+[[nodiscard]] bool accepts_trace(const PetriNet& net, const Trace& trace,
+                                 const ReachOptions& options = {});
+
+/// Render "a.b.c" (empty trace renders as "<>").
+[[nodiscard]] std::string trace_to_string(const Trace& trace);
+
+}  // namespace cipnet

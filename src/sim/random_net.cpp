@@ -1,0 +1,47 @@
+#include "sim/random_net.h"
+
+#include <algorithm>
+#include <random>
+
+namespace cipnet {
+
+PetriNet random_net(const RandomNetConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  PetriNet net;
+  std::vector<PlaceId> places;
+  for (std::size_t i = 0; i < config.places; ++i) {
+    places.push_back(
+        net.add_place(config.name_prefix + "p" + std::to_string(i), 0));
+  }
+  // Mark a random subset of places.
+  std::vector<std::size_t> order(config.places);
+  for (std::size_t i = 0; i < config.places; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng);
+  for (std::size_t i = 0; i < std::min(config.marked_places, config.places);
+       ++i) {
+    net.set_initial_tokens(places[order[i]], 1);
+  }
+
+  auto pick_places = [&](std::size_t max_count) {
+    std::uniform_int_distribution<std::size_t> count_dist(1, max_count);
+    std::size_t count = std::min(count_dist(rng), config.places);
+    std::vector<PlaceId> out;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uniform_int_distribution<std::size_t> place_dist(0,
+                                                            config.places - 1);
+      out.push_back(places[place_dist(rng)]);
+    }
+    return out;
+  };
+
+  std::uniform_int_distribution<std::size_t> label_dist(0, config.labels - 1);
+  for (std::size_t i = 0; i < config.transitions; ++i) {
+    net.add_transition(
+        pick_places(config.max_preset),
+        config.name_prefix + "a" + std::to_string(label_dist(rng)),
+        pick_places(config.max_postset));
+  }
+  return net;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+/// Configuration for the seeded random net generator used by property tests
+/// and benchmarks. Generated nets are small general Petri nets (not
+/// necessarily safe, live or bounded); callers that need bounded state
+/// spaces cap exploration and skip overflowing samples.
+struct RandomNetConfig {
+  std::size_t places = 6;
+  std::size_t transitions = 6;
+  /// Number of distinct action labels ("a0", "a1", ...). Reusing labels
+  /// across transitions exercises the all-pairs joining of Definition 4.7
+  /// and the successive contraction of Definition 4.10.
+  std::size_t labels = 4;
+  std::size_t max_preset = 2;
+  std::size_t max_postset = 2;
+  /// Places initially marked with one token each.
+  std::size_t marked_places = 2;
+  /// Prefix for place names / labels so two generated nets can coexist.
+  std::string name_prefix = "";
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic for a given config (including seed).
+[[nodiscard]] PetriNet random_net(const RandomNetConfig& config);
+
+}  // namespace cipnet

@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+namespace cipnet {
+
+WalkResult Simulator::random_walk(std::size_t max_steps) {
+  WalkResult result;
+  Marking m = net_->initial_marking();
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    auto enabled = net_->enabled_transitions(m);
+    if (enabled.empty()) {
+      result.deadlocked = true;
+      break;
+    }
+    std::uniform_int_distribution<std::size_t> dist(0, enabled.size() - 1);
+    TransitionId t = enabled[dist(rng_)];
+    result.trace.push_back(net_->transition_label(t));
+    net_->fire_in_place(m, t);
+  }
+  result.final_marking = m;
+  return result;
+}
+
+bool Simulator::replay(const Trace& trace, Marking& marking) const {
+  marking = net_->initial_marking();
+  for (const std::string& label : trace) {
+    bool fired = false;
+    for (TransitionId t : net_->enabled_transitions(marking)) {
+      if (net_->transition_label(t) == label) {
+        net_->fire_in_place(marking, t);
+        fired = true;
+        break;
+      }
+    }
+    if (!fired) return false;
+  }
+  return true;
+}
+
+}  // namespace cipnet

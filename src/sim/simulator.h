@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "petri/net.h"
+#include "reach/trace_enum.h"
+
+namespace cipnet {
+
+/// Result of one token-game walk.
+struct WalkResult {
+  Trace trace;
+  Marking final_marking;
+  bool deadlocked = false;
+};
+
+/// A seeded token-game simulator: fires uniformly random enabled transitions
+/// until `max_steps` or deadlock. Used by examples (interactive exploration)
+/// and by property tests (sampled traces of a derived net must lie in the
+/// language predicted by the algebra's theorems).
+class Simulator {
+ public:
+  explicit Simulator(const PetriNet& net, std::uint64_t seed = 1)
+      : net_(&net), rng_(seed) {}
+
+  [[nodiscard]] WalkResult random_walk(std::size_t max_steps);
+
+  /// Fire a specific sequence of labels if possible (resolving label
+  /// nondeterminism randomly); returns false when stuck before the end.
+  [[nodiscard]] bool replay(const Trace& trace, Marking& marking) const;
+
+ private:
+  const PetriNet* net_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace cipnet

@@ -1,0 +1,41 @@
+#include "stg/coding.h"
+
+#include <map>
+
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+CodingReport check_coding(const StateGraph& sg,
+                          const std::vector<std::string>& outputs) {
+  // Output-signal indexes in the state graph's order.
+  std::vector<std::size_t> output_idx;
+  for (const std::string& name : outputs) {
+    output_idx.push_back(sg.signal_index(name));
+  }
+  sorted_set::normalize(output_idx);
+
+  auto output_excitation = [&](StateId s) {
+    return sorted_set::set_intersection(sg.excited_signals(s), output_idx);
+  };
+
+  std::map<std::string, std::vector<StateId>> by_code;
+  for (StateId s : sg.all_states()) {
+    by_code[sg.encoding_string(s)].push_back(s);
+  }
+
+  CodingReport report;
+  for (const auto& [code, states] : by_code) {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      for (std::size_t j = i + 1; j < states.size(); ++j) {
+        CodingConflict conflict{states[i], states[j], false};
+        conflict.csc =
+            output_excitation(states[i]) != output_excitation(states[j]);
+        report.conflicts.push_back(conflict);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cipnet

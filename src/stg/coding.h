@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "stg/state_graph.h"
+
+namespace cipnet {
+
+/// A pair of distinct state-graph states carrying the same signal encoding.
+struct CodingConflict {
+  StateId a;
+  StateId b;
+  /// True when the two states also disagree on which *output* signals are
+  /// excited — then no logic function of the signal values can tell them
+  /// apart (a Complete State Coding violation); USC-only conflicts can
+  /// still be synthesizable.
+  bool csc = false;
+};
+
+struct CodingReport {
+  std::vector<CodingConflict> conflicts;
+
+  [[nodiscard]] bool has_usc_violation() const { return !conflicts.empty(); }
+  [[nodiscard]] bool has_csc_violation() const {
+    for (const auto& c : conflicts) {
+      if (c.csc) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::size_t csc_count() const {
+    std::size_t n = 0;
+    for (const auto& c : conflicts) n += c.csc ? 1 : 0;
+    return n;
+  }
+};
+
+/// Unique / Complete State Coding analysis of a state graph. `outputs` are
+/// the signal names the module drives (outputs + internals); conflicts are
+/// reported pairwise.
+[[nodiscard]] CodingReport check_coding(const StateGraph& sg,
+                                        const std::vector<std::string>& outputs);
+
+}  // namespace cipnet

@@ -1,0 +1,36 @@
+#include "stg/persistency.h"
+
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+PersistencyReport check_output_persistency(
+    const StateGraph& sg, const std::vector<std::string>& outputs) {
+  std::vector<std::size_t> output_idx;
+  for (const std::string& name : outputs) {
+    output_idx.push_back(sg.signal_index(name));
+  }
+  sorted_set::normalize(output_idx);
+
+  PersistencyReport report;
+  for (StateId s : sg.all_states()) {
+    auto excited = sorted_set::set_intersection(
+        sg.excited_signals(s), output_idx);
+    if (excited.empty()) continue;
+    for (const auto& edge : sg.successors(s)) {
+      const auto& se = sg.transition_edge(edge.transition);
+      for (std::size_t signal : excited) {
+        // The signal firing its own edge is not a disabling.
+        if (se && sg.signal_index(se->signal) == signal) continue;
+        auto still = sg.excited_signals(edge.to);
+        if (!sorted_set::contains(still, signal)) {
+          report.violations.push_back(PersistencyViolation{
+              s, sg.signal_order()[signal], edge.transition});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cipnet

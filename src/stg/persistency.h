@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stg/state_graph.h"
+
+namespace cipnet {
+
+/// An output-persistency violation: in `state`, the non-input signal
+/// `signal` is excited, but firing `disabler` (a different signal's edge)
+/// leads to a state where it no longer is — a hazard for speed-independent
+/// implementation (the synthesis context of [1, 3] that Section 5.2 plugs
+/// into: an excited output must stay excited until it fires).
+struct PersistencyViolation {
+  StateId state;
+  std::string signal;
+  TransitionId disabler;
+};
+
+struct PersistencyReport {
+  std::vector<PersistencyViolation> violations;
+  [[nodiscard]] bool persistent() const { return violations.empty(); }
+};
+
+/// Check output persistency (aka output semi-modularity) of a state graph:
+/// for every state where an edge of a signal in `outputs` is enabled, every
+/// other enabled edge must leave it enabled. Input signals are exempt — the
+/// environment may withdraw them (that is what the receptiveness check of
+/// Section 5.3 governs instead).
+[[nodiscard]] PersistencyReport check_output_persistency(
+    const StateGraph& sg, const std::vector<std::string>& outputs);
+
+}  // namespace cipnet

@@ -1,0 +1,69 @@
+#include "stg/signal.h"
+
+namespace cipnet {
+
+std::string to_string(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kInput:
+      return "input";
+    case SignalKind::kOutput:
+      return "output";
+    case SignalKind::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+char edge_suffix(EdgeType type) {
+  switch (type) {
+    case EdgeType::kRise:
+      return '+';
+    case EdgeType::kFall:
+      return '-';
+    case EdgeType::kToggle:
+      return '~';
+    case EdgeType::kStable:
+      return '=';
+    case EdgeType::kUnstable:
+      return '#';
+    case EdgeType::kDontCare:
+      return '*';
+  }
+  return '?';
+}
+
+std::optional<EdgeType> edge_type_from_suffix(char c) {
+  switch (c) {
+    case '+':
+      return EdgeType::kRise;
+    case '-':
+      return EdgeType::kFall;
+    case '~':
+      return EdgeType::kToggle;
+    case '=':
+      return EdgeType::kStable;
+    case '#':
+      return EdgeType::kUnstable;
+    case '*':
+      return EdgeType::kDontCare;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string format_edge(const SignalEdge& edge) {
+  return edge.signal + edge_suffix(edge.type);
+}
+
+std::string format_edge(const std::string& signal, EdgeType type) {
+  return signal + edge_suffix(type);
+}
+
+std::optional<SignalEdge> parse_edge(const std::string& label) {
+  if (label.size() < 2) return std::nullopt;
+  auto type = edge_type_from_suffix(label.back());
+  if (!type) return std::nullopt;
+  return SignalEdge{label.substr(0, label.size() - 1), *type};
+}
+
+}  // namespace cipnet

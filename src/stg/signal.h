@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace cipnet {
+
+/// Direction of a signal as seen by one interface module (Definition 2.3:
+/// S = I ∪ O; internal signals are outputs that have been hidden from the
+/// environment, Section 5.1).
+enum class SignalKind { kInput, kOutput, kInternal };
+
+[[nodiscard]] std::string to_string(SignalKind kind);
+
+/// Signal transition types: the classical rising/falling edges plus the
+/// extensions of [9] quoted in Section 2.2 (toggle, stable, unstable,
+/// don't care). Suffix characters used in labels:
+///   rise '+', fall '-', toggle '~', stable '=', unstable '#',
+///   don't care '*'
+/// (the paper prints stable as 's' and don't care as 'x'; we use '=' / '*'
+/// so a label always splits unambiguously into name + one suffix char).
+enum class EdgeType { kRise, kFall, kToggle, kStable, kUnstable, kDontCare };
+
+[[nodiscard]] char edge_suffix(EdgeType type);
+[[nodiscard]] std::optional<EdgeType> edge_type_from_suffix(char c);
+
+/// A parsed signal-transition label, e.g. "req+" -> {"req", kRise}.
+struct SignalEdge {
+  std::string signal;
+  EdgeType type = EdgeType::kRise;
+
+  friend bool operator==(const SignalEdge& a, const SignalEdge& b) = default;
+};
+
+/// "req" + kRise -> "req+".
+[[nodiscard]] std::string format_edge(const SignalEdge& edge);
+[[nodiscard]] std::string format_edge(const std::string& signal,
+                                      EdgeType type);
+
+/// Parse "req+" etc.; nullopt for the epsilon label or anything without a
+/// valid suffix.
+[[nodiscard]] std::optional<SignalEdge> parse_edge(const std::string& label);
+
+}  // namespace cipnet

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stg/stg.h"
+
+namespace cipnet {
+
+/// Ternary signal level. `kUnknown` models lines the specification leaves
+/// free (e.g. the DATA/STROBE lines of the protocol translator before a
+/// `stable` transition pins them).
+enum class Level : std::uint8_t { kLow = 0, kHigh = 1, kUnknown = 2 };
+
+[[nodiscard]] char level_char(Level level);
+
+/// A vector of levels indexed by the state graph's signal order.
+using Encoding = std::vector<Level>;
+
+/// Why an edge violates the consistent state assignment rule (Section 2.2).
+struct ConsistencyViolation {
+  StateId state;
+  TransitionId transition;
+  std::string reason;
+};
+
+/// The state graph of an STG (Section 2.2): the reachability graph with each
+/// state additionally labeled by a signal encoding. Construction enforces
+/// the consistent-state-assignment rules:
+///  * `s+` only from s=0 (or unknown), landing at s=1; `s-` dually;
+///  * `s~` flips a known value;
+///  * `s=` (stable) pins an unknown value — it *branches* into both
+///    resolutions, which is how "the lines stabilize at either a 1 or a 0"
+///    (Section 6) is modeled;
+///  * `s#` (unstable) releases the value back to unknown; `s*` is a no-op.
+/// Guarded transitions fire only in states whose encoding satisfies the
+/// guard (unknown levels fail guards). Offending firings are recorded in
+/// `violations` and not expanded.
+class StateGraph {
+ public:
+  struct Edge {
+    TransitionId transition;
+    StateId to;
+  };
+
+  [[nodiscard]] const std::vector<std::string>& signal_order() const {
+    return signals_;
+  }
+  [[nodiscard]] std::size_t signal_index(const std::string& signal) const;
+
+  [[nodiscard]] std::size_t state_count() const { return markings_.size(); }
+  [[nodiscard]] const Marking& marking(StateId s) const {
+    return markings_[s.index()];
+  }
+  [[nodiscard]] const Encoding& encoding(StateId s) const {
+    return encodings_[s.index()];
+  }
+  [[nodiscard]] const std::vector<Edge>& successors(StateId s) const {
+    return edges_[s.index()];
+  }
+  [[nodiscard]] StateId initial() const { return StateId(0); }
+  [[nodiscard]] std::vector<StateId> all_states() const;
+
+  [[nodiscard]] const std::vector<ConsistencyViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool is_consistent() const { return violations_.empty(); }
+
+  /// Signals excited in a state: an enabled rise/fall/toggle transition of
+  /// that signal. Returns signal indexes.
+  [[nodiscard]] std::vector<std::size_t> excited_signals(StateId s) const;
+
+  [[nodiscard]] std::string encoding_string(StateId s) const;
+
+  /// Parsed edge of a net transition (nullopt = dummy), cached at build
+  /// time so the graph is self-contained.
+  [[nodiscard]] const std::optional<SignalEdge>& transition_edge(
+      TransitionId t) const {
+    return transition_edges_[t.index()];
+  }
+
+ private:
+  friend class StateGraphBuilder;
+  std::vector<std::string> signals_;
+  std::vector<Marking> markings_;
+  std::vector<Encoding> encodings_;
+  std::vector<std::vector<Edge>> edges_;
+  std::vector<ConsistencyViolation> violations_;
+  std::vector<std::optional<SignalEdge>> transition_edges_;
+};
+
+struct StateGraphOptions {
+  std::size_t max_states = 1u << 18;
+  /// Evaluate boolean guards against the encoding (unknown fails). Turning
+  /// this off explores the raw net dynamics.
+  bool respect_guards = true;
+};
+
+/// Build the state graph from an initial encoding. The encoding is given as
+/// (signal, level) pairs; unlisted signals start unknown.
+[[nodiscard]] StateGraph build_state_graph(
+    const Stg& stg,
+    const std::vector<std::pair<std::string, Level>>& initial_levels = {},
+    const StateGraphOptions& options = {});
+
+/// Infer a consistent initial level per signal by trying low, then high
+/// (signals are independent for the consistency rules). Signals that are
+/// consistent either way get kLow; signals consistent neither way map to
+/// nullopt overall.
+[[nodiscard]] std::optional<std::vector<std::pair<std::string, Level>>>
+infer_initial_encoding(const Stg& stg, const StateGraphOptions& options = {});
+
+}  // namespace cipnet

@@ -1,0 +1,109 @@
+#include "stg/stg.h"
+
+#include "petri/structure.h"
+#include "reach/properties.h"
+#include "reach/reachability.h"
+#include "util/error.h"
+
+namespace cipnet {
+
+Stg Stg::from_net(PetriNet net, const std::vector<std::string>& inputs,
+                  const std::vector<std::string>& outputs,
+                  const std::vector<std::string>& internals) {
+  Stg stg;
+  for (const auto& s : inputs) stg.add_signal(s, SignalKind::kInput);
+  for (const auto& s : outputs) stg.add_signal(s, SignalKind::kOutput);
+  for (const auto& s : internals) stg.add_signal(s, SignalKind::kInternal);
+  for (const std::string& label : net.alphabet()) {
+    if (is_epsilon_label(label)) continue;
+    auto edge = parse_edge(label);
+    if (!edge) {
+      throw SemanticError("STG label is not a signal edge: " + label);
+    }
+    if (!stg.has_signal(edge->signal)) {
+      throw SemanticError("STG label uses undeclared signal: " + label);
+    }
+  }
+  stg.net_ = std::move(net);
+  return stg;
+}
+
+void Stg::add_signal(const std::string& name, SignalKind kind) {
+  auto [it, fresh] = signals_.emplace(name, kind);
+  if (!fresh && it->second != kind) {
+    throw SemanticError("signal redeclared with different direction: " + name);
+  }
+}
+
+PlaceId Stg::add_place(const std::string& name, Token initial) {
+  return net_.add_place(name, initial);
+}
+
+TransitionId Stg::add_edge_transition(std::vector<PlaceId> preset,
+                                      const std::string& signal,
+                                      EdgeType type,
+                                      std::vector<PlaceId> postset,
+                                      Guard guard) {
+  if (!has_signal(signal)) {
+    throw SemanticError("unknown signal: " + signal);
+  }
+  return net_.add_transition(std::move(preset), format_edge(signal, type),
+                             std::move(postset), std::move(guard));
+}
+
+TransitionId Stg::add_dummy_transition(std::vector<PlaceId> preset,
+                                       std::vector<PlaceId> postset,
+                                       Guard guard) {
+  return net_.add_transition(std::move(preset), std::string(kEpsilonLabel),
+                             std::move(postset), std::move(guard));
+}
+
+std::vector<std::string> Stg::signal_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, kind] : signals_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Stg::signal_names(SignalKind kind) const {
+  std::vector<std::string> out;
+  for (const auto& [name, k] : signals_) {
+    if (k == kind) out.push_back(name);
+  }
+  return out;
+}
+
+SignalKind Stg::kind(const std::string& signal) const {
+  auto it = signals_.find(signal);
+  if (it == signals_.end()) {
+    throw SemanticError("unknown signal: " + signal);
+  }
+  return it->second;
+}
+
+bool Stg::has_signal(const std::string& signal) const {
+  return signals_.contains(signal);
+}
+
+std::optional<SignalEdge> Stg::edge_of(TransitionId t) const {
+  return parse_edge(net_.transition_label(t));
+}
+
+std::vector<std::string> Stg::labels_of_signal(
+    const std::string& signal) const {
+  std::vector<std::string> out;
+  for (const std::string& label : net_.alphabet()) {
+    auto edge = parse_edge(label);
+    if (edge && edge->signal == signal) out.push_back(label);
+  }
+  return out;
+}
+
+bool Stg::is_classical(std::size_t max_states) const {
+  if (!is_strongly_connected(net_)) return false;
+  ReachOptions options;
+  options.max_states = max_states;
+  ReachabilityGraph rg = explore(net_, options);
+  return is_safe(rg) && is_live(net_, rg);
+}
+
+}  // namespace cipnet

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "petri/net.h"
+#include "stg/signal.h"
+
+namespace cipnet {
+
+/// A Signal Transition Graph (Definition 2.3): an interpreted labeled Petri
+/// net whose labels are signal edges `s+ / s- / s~ / s= / s# / s*` or the
+/// dummy `eps`, together with a signal table assigning each signal a
+/// direction. STGs here may be *general* Petri nets — Section 5.1 argues
+/// arbiters need that generality — and the live/safe requirements of the
+/// classical definition are checkable but not enforced (the extensions of
+/// Section 2.2 drop them).
+class Stg {
+ public:
+  Stg() = default;
+
+  /// Wrap an existing net. Every non-eps label must parse as a signal edge
+  /// whose signal is in exactly one of the three direction sets; throws
+  /// SemanticError otherwise.
+  static Stg from_net(PetriNet net, const std::vector<std::string>& inputs,
+                      const std::vector<std::string>& outputs,
+                      const std::vector<std::string>& internals = {});
+
+  // ----- construction --------------------------------------------------
+
+  void add_signal(const std::string& name, SignalKind kind);
+  PlaceId add_place(const std::string& name, Token initial = 0);
+
+  /// Adds a transition labeled with a signal edge (signal must be known).
+  TransitionId add_edge_transition(std::vector<PlaceId> preset,
+                                   const std::string& signal, EdgeType type,
+                                   std::vector<PlaceId> postset,
+                                   Guard guard = Guard());
+  /// Adds a dummy (eps) transition.
+  TransitionId add_dummy_transition(std::vector<PlaceId> preset,
+                                    std::vector<PlaceId> postset,
+                                    Guard guard = Guard());
+
+  // ----- access ---------------------------------------------------------
+
+  [[nodiscard]] const PetriNet& net() const { return net_; }
+  [[nodiscard]] PetriNet& net() { return net_; }
+
+  [[nodiscard]] const std::map<std::string, SignalKind>& signals() const {
+    return signals_;
+  }
+  [[nodiscard]] std::vector<std::string> signal_names() const;
+  [[nodiscard]] std::vector<std::string> signal_names(SignalKind kind) const;
+  [[nodiscard]] SignalKind kind(const std::string& signal) const;
+  [[nodiscard]] bool has_signal(const std::string& signal) const;
+
+  /// The parsed edge of a transition; nullopt for dummies.
+  [[nodiscard]] std::optional<SignalEdge> edge_of(TransitionId t) const;
+
+  /// All labels (edges) belonging to `signal` that occur in the alphabet —
+  /// hiding a signal means hiding all of them (Section 5.1).
+  [[nodiscard]] std::vector<std::string> labels_of_signal(
+      const std::string& signal) const;
+
+  /// Classical STG checks (Definition 2.3): strongly connected + live +
+  /// safe. Exponential for general nets (via reachability), hence bounded.
+  [[nodiscard]] bool is_classical(std::size_t max_states = 1u << 18) const;
+
+ private:
+  PetriNet net_;
+  std::map<std::string, SignalKind> signals_;
+};
+
+}  // namespace cipnet

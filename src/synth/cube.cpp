@@ -1,0 +1,46 @@
+#include "synth/cube.h"
+
+#include <bit>
+
+namespace cipnet {
+
+std::optional<Cube> Cube::merge(const Cube& a, const Cube& b) {
+  if (a.mask != b.mask) return std::nullopt;
+  std::uint32_t diff = (a.value ^ b.value) & a.mask;
+  if (std::popcount(diff) != 1) return std::nullopt;
+  return Cube{a.mask & ~diff, a.value & ~diff};
+}
+
+int Cube::literal_count() const { return std::popcount(mask); }
+
+std::string Cube::to_string(const std::vector<std::string>& variables) const {
+  if (mask == 0) return "1";
+  std::string out;
+  for (std::size_t i = 0; i < variables.size(); ++i) {
+    if (!(mask & (1u << i))) continue;
+    if (!out.empty()) out += " & ";
+    if (!(value & (1u << i))) out += "!";
+    out += variables[i];
+  }
+  return out;
+}
+
+std::string sop_to_string(const std::vector<Cube>& sop,
+                          const std::vector<std::string>& variables) {
+  if (sop.empty()) return "0";
+  std::string out;
+  for (std::size_t i = 0; i < sop.size(); ++i) {
+    if (i != 0) out += " | ";
+    out += sop[i].to_string(variables);
+  }
+  return out;
+}
+
+bool sop_evaluates(const std::vector<Cube>& sop, std::uint32_t minterm) {
+  for (const Cube& c : sop) {
+    if (c.covers_minterm(minterm)) return true;
+  }
+  return false;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cipnet {
+
+/// A product term over up to 32 boolean variables: variable `i` is a
+/// literal iff bit `i` of `mask` is set, with polarity bit `i` of `value`.
+/// An all-zero mask is the constant 1.
+struct Cube {
+  std::uint32_t mask = 0;
+  std::uint32_t value = 0;
+
+  [[nodiscard]] bool covers_minterm(std::uint32_t minterm) const {
+    return (minterm & mask) == (value & mask);
+  }
+
+  /// Every point of `other` is a point of this cube.
+  [[nodiscard]] bool covers_cube(const Cube& other) const {
+    return (mask & other.mask) == mask && (other.value & mask) == (value & mask);
+  }
+
+  /// The adjacency merge of Quine-McCluskey: two cubes with the same mask
+  /// differing in exactly one literal combine into one with that literal
+  /// dropped.
+  [[nodiscard]] static std::optional<Cube> merge(const Cube& a, const Cube& b);
+
+  [[nodiscard]] int literal_count() const;
+
+  /// Render as "a & !b" over the given variable names; "1" for the full
+  /// cube.
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& variables) const;
+
+  friend bool operator==(const Cube& a, const Cube& b) = default;
+  friend auto operator<=>(const Cube& a, const Cube& b) = default;
+};
+
+/// Render a sum-of-products; "0" when empty.
+[[nodiscard]] std::string sop_to_string(
+    const std::vector<Cube>& sop, const std::vector<std::string>& variables);
+
+/// Evaluate an SOP on a minterm.
+[[nodiscard]] bool sop_evaluates(const std::vector<Cube>& sop,
+                                 std::uint32_t minterm);
+
+}  // namespace cipnet

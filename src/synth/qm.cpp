@@ -1,0 +1,130 @@
+#include "synth/qm.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+std::vector<Cube> minimize_sop(int var_count,
+                               const std::vector<std::uint32_t>& on,
+                               const std::vector<std::uint32_t>& dc) {
+  if (on.empty()) return {};
+  const std::uint32_t full_mask =
+      var_count >= 32 ? ~0u : ((1u << var_count) - 1);
+
+  // Level 0: all on/dc minterms as full cubes.
+  std::set<Cube> current;
+  for (std::uint32_t m : on) current.insert(Cube{full_mask, m & full_mask});
+  for (std::uint32_t m : dc) current.insert(Cube{full_mask, m & full_mask});
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<Cube> next;
+    std::set<Cube> merged;
+    std::vector<Cube> cubes(current.begin(), current.end());
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      for (std::size_t j = i + 1; j < cubes.size(); ++j) {
+        if (auto m = Cube::merge(cubes[i], cubes[j])) {
+          next.insert(*m);
+          merged.insert(cubes[i]);
+          merged.insert(cubes[j]);
+        }
+      }
+    }
+    for (const Cube& c : cubes) {
+      if (!merged.contains(c)) primes.push_back(c);
+    }
+    current = std::move(next);
+  }
+  sorted_set::normalize(primes);
+
+  // Covering: essential primes first, then exact branch-and-bound on small
+  // residuals, greedy otherwise (exact covering is NP-hard; the fallback is
+  // the standard engineering compromise).
+  std::vector<std::uint32_t> remaining = sorted_set::make(on);
+  std::vector<Cube> chosen;
+  // Essential: an on-minterm covered by exactly one prime.
+  for (std::uint32_t m : remaining) {
+    const Cube* only = nullptr;
+    int count = 0;
+    for (const Cube& p : primes) {
+      if (p.covers_minterm(m)) {
+        ++count;
+        only = &p;
+      }
+    }
+    if (count == 1 && std::find(chosen.begin(), chosen.end(), *only) ==
+                          chosen.end()) {
+      chosen.push_back(*only);
+    }
+  }
+  auto uncovered = [&](const std::vector<Cube>& picked) {
+    std::vector<std::uint32_t> still;
+    for (std::uint32_t m : remaining) {
+      if (!sop_evaluates(picked, m)) still.push_back(m);
+    }
+    return still;
+  };
+  remaining = uncovered(chosen);
+
+  constexpr std::size_t kExactLimit = 28;
+  if (!remaining.empty() && primes.size() <= kExactLimit) {
+    // Branch and bound: pick an uncovered minterm, branch over the primes
+    // covering it.
+    std::vector<Cube> best;
+    bool have_best = false;
+    std::vector<Cube> picked;
+    auto recurse = [&](auto&& self, const std::vector<std::uint32_t>& todo)
+        -> void {
+      if (have_best && picked.size() + (todo.empty() ? 0 : 1) >= best.size()) {
+        if (!todo.empty()) return;
+      }
+      if (todo.empty()) {
+        if (!have_best || picked.size() < best.size()) {
+          best = picked;
+          have_best = true;
+        }
+        return;
+      }
+      std::uint32_t m = todo.front();
+      for (const Cube& p : primes) {
+        if (!p.covers_minterm(m)) continue;
+        picked.push_back(p);
+        std::vector<std::uint32_t> next;
+        for (std::uint32_t x : todo) {
+          if (!p.covers_minterm(x)) next.push_back(x);
+        }
+        self(self, next);
+        picked.pop_back();
+      }
+    };
+    recurse(recurse, remaining);
+    chosen.insert(chosen.end(), best.begin(), best.end());
+  } else {
+    while (!remaining.empty()) {
+      const Cube* best = nullptr;
+      std::size_t best_cover = 0;
+      for (const Cube& p : primes) {
+        std::size_t cover = 0;
+        for (std::uint32_t m : remaining) {
+          if (p.covers_minterm(m)) ++cover;
+        }
+        if (cover > best_cover ||
+            (cover == best_cover && best && cover > 0 &&
+             p.literal_count() < best->literal_count())) {
+          best_cover = cover;
+          best = &p;
+        }
+      }
+      chosen.push_back(*best);
+      remaining = uncovered(chosen);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+  return chosen;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/cube.h"
+
+namespace cipnet {
+
+/// Two-level minimization by Quine-McCluskey prime generation followed by
+/// an essential-prime + greedy covering step (exact covering is NP-hard;
+/// greedy is the standard engineering compromise and is noted as such in
+/// the docs). `on` minterms must be covered, `dc` minterms may be used to
+/// enlarge primes. Variables are the low `var_count` bits.
+[[nodiscard]] std::vector<Cube> minimize_sop(
+    int var_count, const std::vector<std::uint32_t>& on,
+    const std::vector<std::uint32_t>& dc);
+
+}  // namespace cipnet

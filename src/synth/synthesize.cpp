@@ -1,0 +1,141 @@
+#include "synth/synthesize.h"
+
+#include <map>
+
+#include "synth/qm.h"
+#include "util/error.h"
+
+namespace cipnet {
+
+std::string SynthesisResult::to_string() const {
+  std::string out;
+  for (const auto& f : functions) {
+    out += f.signal + "' = " + sop_to_string(f.sop, variables) + "\n";
+  }
+  return out;
+}
+
+std::size_t SynthesisResult::total_literals() const {
+  std::size_t n = 0;
+  for (const auto& f : functions) {
+    for (const Cube& c : f.sop) n += static_cast<std::size_t>(c.literal_count());
+  }
+  return n;
+}
+
+namespace {
+
+/// Expand a ternary encoding into the minterms it covers.
+std::vector<std::uint32_t> expand_minterms(const Encoding& e,
+                                           std::size_t max_unknown_bits) {
+  std::vector<std::size_t> unknowns;
+  std::uint32_t base = 0;
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    if (e[i] == Level::kHigh) base |= (1u << i);
+    if (e[i] == Level::kUnknown) unknowns.push_back(i);
+  }
+  if (unknowns.size() > max_unknown_bits) {
+    throw LimitError("too many unknown signal levels to expand");
+  }
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t m = 0; m < (1u << unknowns.size()); ++m) {
+    std::uint32_t code = base;
+    for (std::size_t b = 0; b < unknowns.size(); ++b) {
+      if (m & (1u << b)) code |= (1u << unknowns[b]);
+    }
+    out.push_back(code);
+  }
+  return out;
+}
+
+}  // namespace
+
+SynthesisResult synthesize(const StateGraph& sg,
+                           const std::vector<std::string>& outputs,
+                           const SynthesizeOptions& options) {
+  const auto& variables = sg.signal_order();
+  if (variables.size() > 31) {
+    throw LimitError("synthesize supports at most 31 signals");
+  }
+  SynthesisResult result;
+  result.variables = variables;
+
+  for (const std::string& signal : outputs) {
+    const std::size_t idx = sg.signal_index(signal);
+    // next value per minterm: -1 unknown, 0, 1; conflicts are CSC errors.
+    std::map<std::uint32_t, int> implied;
+    for (StateId s : sg.all_states()) {
+      const Encoding& e = sg.encoding(s);
+      // Implied next value of `signal` in this state.
+      int next;
+      bool excited_up = false, excited_down = false;
+      for (const auto& edge : sg.successors(s)) {
+        const auto& se = sg.transition_edge(edge.transition);
+        if (!se || se->signal != signal) continue;
+        if (se->type == EdgeType::kRise) excited_up = true;
+        if (se->type == EdgeType::kFall) excited_down = true;
+        if (se->type == EdgeType::kToggle) {
+          if (e[idx] == Level::kLow) excited_up = true;
+          if (e[idx] == Level::kHigh) excited_down = true;
+        }
+      }
+      if (excited_up && excited_down) {
+        throw SemanticError("signal " + signal +
+                            " excited both ways in one state");
+      }
+      if (excited_up) {
+        next = 1;
+      } else if (excited_down) {
+        next = 0;
+      } else if (e[idx] == Level::kHigh) {
+        next = 1;
+      } else if (e[idx] == Level::kLow) {
+        next = 0;
+      } else {
+        continue;  // signal level free and not excited: no constraint
+      }
+      for (std::uint32_t m :
+           expand_minterms(e, options.max_unknown_bits)) {
+        auto [it, fresh] = implied.try_emplace(m, next);
+        if (!fresh && it->second != next) {
+          throw SemanticError(
+              "CSC conflict: code " + std::to_string(m) +
+              " implies both next values for signal " + signal);
+        }
+      }
+    }
+    SignalFunction f;
+    f.signal = signal;
+    std::vector<std::uint32_t> on, off, dc;
+    const std::uint32_t space =
+        variables.size() >= 31 ? 0 : (1u << variables.size());
+    for (const auto& [m, v] : implied) {
+      (v == 1 ? on : off).push_back(m);
+    }
+    // Unreached codes are don't cares. Enumerate only when the space is
+    // small enough; otherwise minimize without don't cares.
+    if (space != 0 && space <= (1u << 20)) {
+      for (std::uint32_t m = 0; m < space; ++m) {
+        if (!implied.contains(m)) dc.push_back(m);
+      }
+    }
+    f.on_count = on.size();
+    f.off_count = off.size();
+    f.sop = minimize_sop(static_cast<int>(variables.size()), on, dc);
+    // Sanity: the minimized SOP must match on-set and reject off-set.
+    for (std::uint32_t m : on) {
+      if (!sop_evaluates(f.sop, m)) {
+        throw SemanticError("internal: SOP misses on-set minterm");
+      }
+    }
+    for (std::uint32_t m : off) {
+      if (sop_evaluates(f.sop, m)) {
+        throw SemanticError("internal: SOP covers off-set minterm");
+      }
+    }
+    result.functions.push_back(std::move(f));
+  }
+  return result;
+}
+
+}  // namespace cipnet

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stg/state_graph.h"
+#include "synth/cube.h"
+
+namespace cipnet {
+
+/// Minimized next-state function of one non-input signal.
+struct SignalFunction {
+  std::string signal;
+  std::vector<Cube> sop;
+  std::size_t on_count = 0;
+  std::size_t off_count = 0;
+};
+
+/// Speed-independent-style synthesis result: one next-state function per
+/// output/internal signal, as functions of all signal values.
+struct SynthesisResult {
+  std::vector<std::string> variables;
+  std::vector<SignalFunction> functions;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t total_literals() const;
+};
+
+struct SynthesizeOptions {
+  /// States whose encoding still contains unknown levels cover several
+  /// minterms; they are expanded up to this many unknown bits (LimitError
+  /// beyond).
+  std::size_t max_unknown_bits = 12;
+};
+
+/// Derives, for every signal in `outputs`, the next-state function implied
+/// by the state graph (excited rise -> 1, excited fall -> 0, else hold) and
+/// minimizes it with Quine-McCluskey, using unreachable codes as don't
+/// cares. Throws SemanticError on a CSC conflict (two states with the same
+/// code implying different next values — Section 2.2's consistent state
+/// assignment is necessary but not sufficient for synthesis).
+[[nodiscard]] SynthesisResult synthesize(
+    const StateGraph& sg, const std::vector<std::string>& outputs,
+    const SynthesizeOptions& options = {});
+
+}  // namespace cipnet

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cipnet {
+
+/// Base class of all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A model violates a semantic precondition of an operation (e.g. applying
+/// action prefix to a net whose initial marking is not safe, or hiding a
+/// transition with a self-loop).
+class SemanticError : public Error {
+ public:
+  explicit SemanticError(const std::string& what) : Error(what) {}
+};
+
+/// A textual input (.cpn / .g file) is malformed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A bounded exploration exceeded its configured resource limit. State-space
+/// walks over general Petri nets can diverge (unbounded nets), so every
+/// explorer takes an explicit limit and reports overflow through this type.
+class LimitError : public Error {
+ public:
+  explicit LimitError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace cipnet

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cipnet {
+
+/// Boost-style hash combining; adequate for hash-map keys over markings and
+/// state vectors (not cryptographic).
+inline void hash_combine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+template <typename T>
+std::size_t hash_range(const std::vector<T>& v) {
+  std::size_t seed = v.size();
+  for (const T& x : v) hash_combine(seed, std::hash<T>{}(x));
+  return seed;
+}
+
+struct VectorHash {
+  template <typename T>
+  std::size_t operator()(const std::vector<T>& v) const {
+    return hash_range(v);
+  }
+};
+
+}  // namespace cipnet

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace cipnet {
+
+/// Operations on sets represented as sorted, duplicate-free vectors. The
+/// library stores presets/postsets/alphabets this way: deterministic
+/// iteration order, cache-friendly, and set algebra in linear time.
+namespace sorted_set {
+
+template <typename T>
+void normalize(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> make(std::vector<T> v) {
+  normalize(v);
+  return v;
+}
+
+template <typename T>
+[[nodiscard]] bool contains(const std::vector<T>& v, const T& x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+/// Insert keeping order; no-op if already present. Returns true if inserted.
+template <typename T>
+bool insert(std::vector<T>& v, const T& x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+/// Remove if present. Returns true if removed.
+template <typename T>
+bool erase(std::vector<T>& v, const T& x) {
+  auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> set_union(const std::vector<T>& a,
+                                       const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> set_intersection(const std::vector<T>& a,
+                                              const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> set_difference(const std::vector<T>& a,
+                                            const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+template <typename T>
+[[nodiscard]] bool intersects(const std::vector<T>& a,
+                              const std::vector<T>& b) {
+  auto i = a.begin();
+  auto j = b.begin();
+  while (i != a.end() && j != b.end()) {
+    if (*i < *j) {
+      ++i;
+    } else if (*j < *i) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename T>
+[[nodiscard]] bool is_subset(const std::vector<T>& sub,
+                             const std::vector<T>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+}  // namespace sorted_set
+}  // namespace cipnet

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace cipnet {
+
+/// A type-safe index. `Tag` distinguishes id spaces (places vs transitions vs
+/// states) so they cannot be mixed up at compile time; the underlying value is
+/// an index into the owning container.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct PlaceTag {};
+struct TransitionTag {};
+struct ActionTag {};
+struct StateTag {};
+struct SignalTag {};
+struct ModuleTag {};
+struct ChannelTag {};
+
+using PlaceId = StrongId<PlaceTag>;
+using TransitionId = StrongId<TransitionTag>;
+using ActionId = StrongId<ActionTag>;
+using StateId = StrongId<StateTag>;
+using SignalId = StrongId<SignalTag>;
+using ModuleId = StrongId<ModuleTag>;
+using ChannelId = StrongId<ChannelTag>;
+
+}  // namespace cipnet
+
+template <typename Tag>
+struct std::hash<cipnet::StrongId<Tag>> {
+  std::size_t operator()(cipnet::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cipnet {
+
+/// Small string helpers shared by parsers, writers and diagnostics.
+namespace text {
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view line);
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Strip a `#` comment. The marker only counts at the start of the line or
+/// after whitespace, so signal-edge labels like `d#` (unstable, Section
+/// 2.2) survive inside net files.
+[[nodiscard]] std::string_view strip_comment(std::string_view line);
+
+}  // namespace text
+}  // namespace cipnet

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lang/ops.h"
+#include "petri/net.h"
+#include "reach/trace_enum.h"
+
+namespace cipnet::testutil {
+
+/// Assert that two canonical DFAs denote the same language; on failure the
+/// message carries a shortest distinguishing word.
+inline ::testing::AssertionResult languages_equal(const Dfa& a, const Dfa& b) {
+  auto word = distinguishing_word(a, b);
+  if (!word) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "languages differ on word: " << trace_to_string(*word);
+}
+
+/// Canonical DFA of a net's trace language (nothing hidden).
+inline Dfa lang_of(const PetriNet& net) { return canonical_language(net); }
+
+/// A cycle net: marked place p0 -> t(labels[0]) -> p1 -> ... -> back to p0.
+/// With `cyclic=false` the chain ends in a final place instead.
+inline PetriNet chain_net(const std::vector<std::string>& labels,
+                          bool cyclic, const std::string& prefix = "") {
+  PetriNet net;
+  std::vector<PlaceId> places;
+  places.push_back(net.add_place(prefix + "c0", 1));
+  for (std::size_t i = 1; i <= labels.size(); ++i) {
+    if (cyclic && i == labels.size()) break;
+    places.push_back(net.add_place(prefix + "c" + std::to_string(i), 0));
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    PlaceId from = places[i];
+    PlaceId to = (cyclic && i + 1 == labels.size()) ? places[0] : places[i + 1];
+    net.add_transition({from}, labels[i], {to});
+  }
+  return net;
+}
+
+/// Word containment in a canonical DFA.
+inline bool dfa_accepts(const Dfa& dfa, const std::vector<std::string>& word) {
+  return dfa.accepts(word);
+}
+
+}  // namespace cipnet::testutil

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "algebra/basic.h"
+#include "helpers.h"
+#include "lang/ops.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+using testutil::languages_equal;
+
+TEST(Nil, LanguageIsOnlyEmptyTrace) {
+  // Proposition 4.1: nil deadlocks immediately.
+  PetriNet n = nil();
+  Dfa dfa = canonical_language(n);
+  EXPECT_TRUE(dfa.accepts({}));
+  EXPECT_EQ(dfa.count_words(10), 1ull);
+}
+
+TEST(ActionPrefix, PropositionFourTwo) {
+  // L(a.N) = {<>, a} ∪ a·L(N).
+  PetriNet n = chain_net({"b", "c"}, /*cyclic=*/false);
+  PetriNet prefixed = action_prefix("a", n);
+  Dfa dfa = canonical_language(prefixed);
+  EXPECT_TRUE(dfa.accepts({}));
+  EXPECT_TRUE(dfa.accepts({"a"}));
+  EXPECT_TRUE(dfa.accepts({"a", "b"}));
+  EXPECT_TRUE(dfa.accepts({"a", "b", "c"}));
+  EXPECT_FALSE(dfa.accepts({"b"}));
+  EXPECT_FALSE(dfa.accepts({"a", "c"}));
+}
+
+TEST(ActionPrefix, OracleComparison) {
+  // Independent oracle: prepend `a` at the automaton level.
+  PetriNet n = chain_net({"x", "y"}, /*cyclic=*/true);
+  Dfa net_side = canonical_language(action_prefix("a", n));
+
+  Nfa lang = nfa_of_net(n);
+  Nfa prefixed;
+  int init = prefixed.add_state(true);
+  prefixed.set_initial(init);
+  int offset = prefixed.state_count();
+  for (int s = 0; s < lang.state_count(); ++s) {
+    prefixed.add_state(lang.is_accepting(s));
+  }
+  for (int s = 0; s < lang.state_count(); ++s) {
+    for (const auto& e : lang.edges_from(s)) {
+      prefixed.add_edge(offset + s, e.label, offset + e.to);
+    }
+  }
+  prefixed.add_edge(init, "a", offset + lang.initial());
+  Dfa lang_side = minimize(determinize(prefixed));
+  EXPECT_TRUE(languages_equal(net_side, lang_side));
+}
+
+TEST(ActionPrefix, PrefixOfNilIsSingleAction) {
+  Dfa dfa = canonical_language(action_prefix("a", nil()));
+  EXPECT_TRUE(dfa.accepts({"a"}));
+  EXPECT_FALSE(dfa.accepts({"a", "a"}));
+  EXPECT_EQ(dfa.count_words(10), 2ull);
+}
+
+TEST(ActionPrefix, RequiresSafeInitialMarking) {
+  PetriNet net;
+  net.add_place("p", 2);
+  EXPECT_THROW(action_prefix("a", net), SemanticError);
+}
+
+TEST(ActionPrefixGeneral, MatchesSafeVersionOnSafeNets) {
+  PetriNet n = chain_net({"x", "y"}, /*cyclic=*/true);
+  Dfa safe_version = canonical_language(action_prefix("a", n));
+  Dfa general_version = canonical_language(action_prefix_general("a", n));
+  EXPECT_TRUE(languages_equal(safe_version, general_version));
+}
+
+TEST(ActionPrefixGeneral, WorksOnNonSafeInitialMarkings) {
+  // Two tokens in p: `b` can fire twice concurrently-ish; the prefix must
+  // gate both firings behind `a`.
+  PetriNet net;
+  PlaceId p = net.add_place("p", 2);
+  PlaceId s = net.add_place("s", 0);
+  net.add_transition({p}, "b", {s});
+  Dfa dfa = canonical_language(action_prefix_general("a", net));
+  EXPECT_TRUE(dfa.accepts({"a", "b", "b"}));
+  EXPECT_FALSE(dfa.accepts({"b"}));
+  EXPECT_FALSE(dfa.accepts({"a", "b", "b", "b"}));
+}
+
+TEST(Rename, PropositionFourThree) {
+  // L(rename(N, b->c)) = rename(L(N), b->c).
+  PetriNet n = chain_net({"a", "b", "a"}, /*cyclic=*/true);
+  Dfa net_side = canonical_language(rename(n, {{"b", "c"}}));
+  Dfa lang_side =
+      minimize(determinize(rename_labels(nfa_of_net(n), {{"b", "c"}})));
+  EXPECT_TRUE(languages_equal(net_side, lang_side));
+}
+
+TEST(Rename, MergingLabelsIsAllowed) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId x = net.add_place("x", 0);
+  PlaceId y = net.add_place("y", 0);
+  net.add_transition({p}, "a", {x});
+  net.add_transition({p}, "b", {y});
+  PetriNet merged = rename(net, {{"b", "a"}});
+  EXPECT_EQ(merged.alphabet(), (std::vector<std::string>{"a"}));
+  Dfa dfa = canonical_language(merged);
+  EXPECT_TRUE(dfa.accepts({"a"}));
+  EXPECT_FALSE(dfa.accepts({"a", "a"}));
+}
+
+TEST(Rename, AlphabetIsRewritten) {
+  PetriNet n = chain_net({"a"}, /*cyclic=*/false);
+  PetriNet renamed = rename(n, {{"a", "z"}});
+  EXPECT_EQ(renamed.alphabet(), (std::vector<std::string>{"z"}));
+}
+
+TEST(FreshPlaceName, AppendsPrimes) {
+  PetriNet net;
+  net.add_place("p", 0);
+  EXPECT_EQ(fresh_place_name(net, "p"), "p'");
+  EXPECT_EQ(fresh_place_name(net, "q"), "q");
+}
+
+}  // namespace
+}  // namespace cipnet

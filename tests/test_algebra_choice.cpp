@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "algebra/basic.h"
+#include "algebra/choice.h"
+#include "helpers.h"
+#include "lang/ops.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+using testutil::languages_equal;
+
+Dfa union_language(const PetriNet& a, const PetriNet& b) {
+  return minimize(determinize(union_nfa(nfa_of_net(a), nfa_of_net(b))));
+}
+
+TEST(RootUnwinding, PreservesLanguage) {
+  PetriNet n = chain_net({"a", "b"}, /*cyclic=*/true);
+  EXPECT_TRUE(languages_equal(canonical_language(n),
+                              canonical_language(root_unwinding(n))));
+}
+
+TEST(RootUnwinding, PreservesLanguageWithInitialConflict) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId x = net.add_place("x", 0);
+  net.add_transition({p}, "a", {x});
+  net.add_transition({p}, "b", {p});  // cycles straight back to the root
+  EXPECT_TRUE(languages_equal(canonical_language(net),
+                              canonical_language(root_unwinding(net))));
+}
+
+TEST(RootUnwinding, RequiresSafeInitialMarking) {
+  PetriNet net;
+  net.add_place("p", 2);
+  EXPECT_THROW(root_unwinding(net), SemanticError);
+}
+
+TEST(Choice, PropositionFourFourOnAcyclicNets) {
+  PetriNet n1 = chain_net({"a", "b"}, /*cyclic=*/false, "l");
+  PetriNet n2 = chain_net({"c"}, /*cyclic=*/false, "r");
+  EXPECT_TRUE(languages_equal(canonical_language(choice(n1, n2)),
+                              union_language(n1, n2)));
+}
+
+TEST(Choice, FigureOneLoopsDoNotReenableOtherBranch) {
+  // Figure 1: both operands are cycles through their initial places. Once a
+  // branch has fired, looping back to its (non-root) initial place must not
+  // enable the other branch.
+  PetriNet n1 = chain_net({"a", "b"}, /*cyclic=*/true, "l");
+  PetriNet n2 = chain_net({"c", "d"}, /*cyclic=*/true, "r");
+  PetriNet sum = choice(n1, n2);
+  Dfa dfa = canonical_language(sum);
+  EXPECT_TRUE(dfa.accepts({"a", "b", "a"}));
+  EXPECT_TRUE(dfa.accepts({"c", "d", "c"}));
+  EXPECT_FALSE(dfa.accepts({"a", "b", "c"}));  // the crux of root-unwinding
+  EXPECT_FALSE(dfa.accepts({"a", "c"}));
+  EXPECT_TRUE(languages_equal(dfa, union_language(n1, n2)));
+}
+
+TEST(Choice, SharedLabelsStayIndependent) {
+  // Choice is not synchronization: both branches may use label `a`.
+  PetriNet n1 = chain_net({"a", "b"}, /*cyclic=*/true, "l");
+  PetriNet n2 = chain_net({"a", "c"}, /*cyclic=*/true, "r");
+  EXPECT_TRUE(languages_equal(canonical_language(choice(n1, n2)),
+                              union_language(n1, n2)));
+}
+
+TEST(Choice, WithNilIsIdentityUpToLanguage) {
+  PetriNet n = chain_net({"a", "b"}, /*cyclic=*/true);
+  // L(N + nil) = L(N) ∪ {<>} = L(N).
+  EXPECT_TRUE(languages_equal(canonical_language(choice(n, nil())),
+                              canonical_language(n)));
+}
+
+TEST(Choice, MultiPlaceInitialMarkings) {
+  // Left operand starts with two concurrently marked places.
+  PetriNet n1;
+  PlaceId u = n1.add_place("u", 1);
+  PlaceId v = n1.add_place("v", 1);
+  PlaceId w = n1.add_place("w", 0);
+  n1.add_transition({u}, "a", {w});
+  n1.add_transition({v}, "b", {});
+  PetriNet n2 = chain_net({"c"}, /*cyclic=*/false, "r");
+  EXPECT_TRUE(languages_equal(canonical_language(choice(n1, n2)),
+                              union_language(n1, n2)));
+}
+
+TEST(Choice, CommitmentIsPerBranchNotPerTransition) {
+  // After the left branch commits with `a`, the left alternative `b` from
+  // the same root must still be unavailable (the root row was consumed).
+  PetriNet n1;
+  PlaceId p = n1.add_place("p", 1);
+  PlaceId x = n1.add_place("x", 0);
+  n1.add_transition({p}, "a", {x});
+  n1.add_transition({p}, "b", {x});
+  PetriNet n2 = chain_net({"c"}, /*cyclic=*/false, "r");
+  Dfa dfa = canonical_language(choice(n1, n2));
+  EXPECT_TRUE(dfa.accepts({"a"}));
+  EXPECT_TRUE(dfa.accepts({"b"}));
+  EXPECT_TRUE(dfa.accepts({"c"}));
+  EXPECT_FALSE(dfa.accepts({"a", "b"}));
+  EXPECT_FALSE(dfa.accepts({"a", "c"}));
+}
+
+TEST(Choice, EmptyInitialMarkingRejected) {
+  PetriNet empty;
+  empty.add_place("p", 0);
+  PetriNet n = chain_net({"a"}, /*cyclic=*/false);
+  EXPECT_THROW(choice(empty, n), SemanticError);
+  EXPECT_THROW(choice(n, empty), SemanticError);
+}
+
+TEST(Choice, AssociativeUpToLanguage) {
+  PetriNet n1 = chain_net({"a"}, /*cyclic=*/false, "x");
+  PetriNet n2 = chain_net({"b"}, /*cyclic=*/false, "y");
+  PetriNet n3 = chain_net({"c"}, /*cyclic=*/false, "z");
+  Dfa left = canonical_language(choice(choice(n1, n2), n3));
+  Dfa right = canonical_language(choice(n1, choice(n2, n3)));
+  EXPECT_TRUE(languages_equal(left, right));
+}
+
+TEST(Choice, CommutativeUpToLanguage) {
+  PetriNet n1 = chain_net({"a", "b"}, /*cyclic=*/true, "x");
+  PetriNet n2 = chain_net({"c"}, /*cyclic=*/false, "y");
+  EXPECT_TRUE(languages_equal(canonical_language(choice(n1, n2)),
+                              canonical_language(choice(n2, n1))));
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "algebra/hide.h"
+#include "helpers.h"
+#include "lang/ops.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+using testutil::languages_equal;
+
+/// Oracle for Theorem 4.7: hide at the automaton level.
+Dfa hidden_language_oracle(const PetriNet& net,
+                           const std::vector<std::string>& labels) {
+  return minimize(determinize(hide_labels(nfa_of_net(net), labels)));
+}
+
+void expect_theorem_4_7(const PetriNet& net, const std::string& label,
+                        const HideOptions& options = {}) {
+  PetriNet contracted = hide_action(net, label, options);
+  EXPECT_FALSE(contracted.find_action(label).has_value());
+  EXPECT_TRUE(languages_equal(canonical_language(contracted),
+                              hidden_language_oracle(net, {label})))
+      << "hiding '" << label << "' in " << net.summary();
+}
+
+TEST(Hide, SimpleChainCollapse) {
+  PetriNet net = chain_net({"a", "h", "b"}, /*cyclic=*/false);
+  PetriNet hidden = hide_action(net, "h");
+  // The simple fast path collapses the two places around h.
+  EXPECT_EQ(hidden.place_count(), net.place_count() - 1);
+  EXPECT_EQ(hidden.transition_count(), net.transition_count() - 1);
+  expect_theorem_4_7(net, "h");
+}
+
+TEST(Hide, SimpleCollapseDisabledStillCorrect) {
+  PetriNet net = chain_net({"a", "h", "b"}, /*cyclic=*/false);
+  HideOptions options;
+  options.allow_simple_collapse = false;
+  expect_theorem_4_7(net, "h", options);
+}
+
+TEST(Hide, CyclicChain) {
+  expect_theorem_4_7(chain_net({"a", "h", "b"}, /*cyclic=*/true), "h");
+}
+
+TEST(Hide, InitiallyEnabledHiddenTransition) {
+  expect_theorem_4_7(chain_net({"h", "a"}, /*cyclic=*/true), "h");
+}
+
+TEST(Hide, ForkJoinConcurrencyAroundHiddenTransition) {
+  // Figure 3 style: hidden transition with |p| = 2, |q| = 2 inside a marked
+  // graph (variant (c): no conflicts).
+  PetriNet net;
+  PlaceId start = net.add_place("start", 1);
+  PlaceId p1 = net.add_place("P1", 0);
+  PlaceId p2 = net.add_place("P2", 0);
+  PlaceId q1 = net.add_place("Q1", 0);
+  PlaceId q2 = net.add_place("Q2", 0);
+  PlaceId done1 = net.add_place("D1", 0);
+  PlaceId done2 = net.add_place("D2", 0);
+  net.add_transition({start}, "fork", {p1, p2});
+  net.add_transition({p1, p2}, "h", {q1, q2});  // to hide
+  net.add_transition({q1}, "g", {done1});
+  net.add_transition({q2}, "i", {done2});
+  net.add_transition({done1, done2}, "join", {start});
+  expect_theorem_4_7(net, "h");
+}
+
+TEST(Hide, ConflictAtInputPlaces) {
+  // Figure 3 style conflictive transitions e, f competing with the hidden
+  // transition for its input tokens.
+  PetriNet net;
+  PlaceId start = net.add_place("start", 1);
+  PlaceId p1 = net.add_place("P1", 0);
+  PlaceId p2 = net.add_place("P2", 0);
+  PlaceId q1 = net.add_place("Q1", 0);
+  PlaceId e_out = net.add_place("E", 0);
+  PlaceId f_out = net.add_place("F", 0);
+  PlaceId g_out = net.add_place("G", 0);
+  net.add_transition({start}, "fork", {p1, p2});
+  net.add_transition({p1, p2}, "h", {q1});
+  net.add_transition({p1}, "e", {e_out});
+  net.add_transition({p2}, "f", {f_out});
+  net.add_transition({q1}, "g", {g_out});
+  expect_theorem_4_7(net, "h");
+}
+
+TEST(Hide, ChoiceAtOutputPlaces) {
+  // Two successors compete for one hidden output.
+  PetriNet net;
+  PlaceId p = net.add_place("P", 1);
+  PlaceId q = net.add_place("Q", 0);
+  PlaceId x = net.add_place("X", 0);
+  PlaceId y = net.add_place("Y", 0);
+  net.add_transition({p}, "h", {q});
+  net.add_transition({q}, "g", {x});
+  net.add_transition({q}, "i", {y});
+  expect_theorem_4_7(net, "h");
+}
+
+TEST(Hide, LeftoverOutputsMaterialize) {
+  // Successor g consumes only Q1 of {Q1, Q2}: after the combined firing the
+  // unconsumed Q2 must exist as a real token for i.
+  PetriNet net;
+  PlaceId p = net.add_place("P", 1);
+  PlaceId q1 = net.add_place("Q1", 0);
+  PlaceId q2 = net.add_place("Q2", 0);
+  PlaceId x = net.add_place("X", 0);
+  PlaceId y = net.add_place("Y", 0);
+  net.add_transition({p}, "h", {q1, q2});
+  net.add_transition({q1}, "g", {x});
+  net.add_transition({q2}, "i", {y});
+  PetriNet hidden = hide_action(net, "h");
+  Dfa dfa = canonical_language(hidden);
+  EXPECT_TRUE(dfa.accepts({"g", "i"}));
+  EXPECT_TRUE(dfa.accepts({"i", "g"}));
+  EXPECT_FALSE(dfa.accepts({"g", "g"}));
+  expect_theorem_4_7(net, "h");
+}
+
+TEST(Hide, OtherProducersIntoHiddenInputs) {
+  // Producers a, b refill the hidden transition's inputs: the loop can run
+  // several times.
+  PetriNet net;
+  PlaceId s1 = net.add_place("s1", 1);
+  PlaceId s2 = net.add_place("s2", 1);
+  PlaceId p1 = net.add_place("P1", 0);
+  PlaceId p2 = net.add_place("P2", 0);
+  PlaceId q1 = net.add_place("Q1", 0);
+  net.add_transition({s1}, "a", {p1});
+  net.add_transition({s2}, "b", {p2});
+  net.add_transition({p1, p2}, "h", {q1});
+  net.add_transition({q1}, "g", {s1, s2});
+  expect_theorem_4_7(net, "h");
+}
+
+TEST(Hide, MultipleTransitionsSameLabel) {
+  // Two h-labeled transitions hidden successively (Definition 4.10's last
+  // step); also exercises Proposition 4.6 indirectly.
+  PetriNet net;
+  PlaceId p = net.add_place("P", 1);
+  PlaceId x = net.add_place("X", 0);
+  PlaceId y = net.add_place("Y", 0);
+  PlaceId z = net.add_place("Z", 0);
+  net.add_transition({p}, "h", {x});
+  net.add_transition({p}, "h", {y});
+  net.add_transition({x}, "a", {z});
+  net.add_transition({y}, "b", {z});
+  expect_theorem_4_7(net, "h");
+}
+
+TEST(Hide, OrderIndependenceProposition46) {
+  // Hide the two h transitions in both orders: same language (the nets may
+  // differ syntactically, the contraction result is language-unique).
+  PetriNet net;
+  PlaceId p = net.add_place("P", 1);
+  PlaceId x = net.add_place("X", 0);
+  PlaceId y = net.add_place("Y", 0);
+  net.add_transition({p}, "h", {x});
+  net.add_transition({x}, "h", {y});
+  net.add_transition({y}, "a", {p});
+
+  HideOptions options;
+  options.allow_simple_collapse = false;
+  PetriNet order1 =
+      hide_transition(hide_transition(net, TransitionId(0), options),
+                      TransitionId(0), options);
+  // After hiding t0 first, the other h transition is some h-labeled
+  // transition in the rebuilt net; find it.
+  PetriNet first = hide_transition(net, TransitionId(1), options);
+  auto h = first.find_action("h");
+  ASSERT_TRUE(h.has_value());
+  ASSERT_FALSE(first.transitions_with_action(*h).empty());
+  PetriNet order2 = hide_transition(
+      first, first.transitions_with_action(*h).front(), options);
+  EXPECT_TRUE(languages_equal(canonical_language(order1, {"h"}),
+                              canonical_language(order2, {"h"})));
+}
+
+TEST(Hide, SelfLoopRejected) {
+  PetriNet net;
+  PlaceId p = net.add_place("P", 1);
+  net.add_transition({p}, "h", {p});
+  EXPECT_THROW(hide_action(net, "h"), SemanticError);
+}
+
+TEST(Hide, EmptyPostsetRejected) {
+  PetriNet net;
+  PlaceId p = net.add_place("P", 1);
+  net.add_transition({p}, "h", {});
+  EXPECT_THROW(hide_action(net, "h"), SemanticError);
+}
+
+TEST(Hide, LabelWithoutTransitionsJustDropsFromAlphabet) {
+  PetriNet net = chain_net({"a"}, /*cyclic=*/false);
+  net.add_action("ghost");
+  PetriNet hidden = hide_action(net, "ghost");
+  EXPECT_FALSE(hidden.find_action("ghost").has_value());
+  EXPECT_TRUE(languages_equal(canonical_language(net),
+                              canonical_language(hidden)));
+}
+
+TEST(Hide, GuardPropagatesToCombinedSuccessors) {
+  PetriNet net;
+  PlaceId p = net.add_place("P", 1);
+  PlaceId q = net.add_place("Q", 0);
+  PlaceId q2 = net.add_place("Q2", 0);
+  PlaceId x = net.add_place("X", 0);
+  TransitionId h = net.add_transition({p}, "h", {q, q2});
+  net.set_guard(h, Guard::literal("d", true));
+  net.add_transition({q}, "g", {x});
+  HideOptions options;
+  PetriNet hidden = hide_action(net, "h", options);
+  bool found_guarded = false;
+  for (TransitionId t : hidden.all_transitions()) {
+    if (hidden.transition_label(t) == "g" &&
+        hidden.transition(t).guard == Guard::literal("d", true)) {
+      found_guarded = true;
+    }
+  }
+  EXPECT_TRUE(found_guarded);
+}
+
+TEST(Hide, ProjectIsComplementOfHide) {
+  PetriNet net = chain_net({"a", "h1", "b", "h2"}, /*cyclic=*/true);
+  PetriNet projected = project(net, {"a", "b"});
+  EXPECT_EQ(projected.alphabet(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(languages_equal(canonical_language(projected),
+                              hidden_language_oracle(net, {"h1", "h2"})));
+}
+
+TEST(HidePrime, KeepsAtLeastOneEpsilonOnInternalPaths) {
+  PetriNet net = chain_net({"a", "h1", "h2", "b"}, /*cyclic=*/true);
+  PetriNet pruned = hide_keep_epsilon(net, {"h1", "h2"});
+  auto eps = pruned.find_action(kEpsilonLabel);
+  ASSERT_TRUE(eps.has_value());
+  EXPECT_FALSE(pruned.transitions_with_action(*eps).empty());
+  // Language with eps hidden equals the fully contracted language.
+  EXPECT_TRUE(languages_equal(
+      canonical_language(pruned, {std::string(kEpsilonLabel)}),
+      hidden_language_oracle(net, {"h1", "h2"})));
+}
+
+TEST(HidePrime, ChainOfThreeKeepsLastDummy) {
+  PetriNet net = chain_net({"a", "h1", "h2", "h3", "b"}, /*cyclic=*/false);
+  PetriNet pruned = hide_keep_epsilon(net, {"h1", "h2", "h3"});
+  auto eps = pruned.find_action(kEpsilonLabel);
+  ASSERT_TRUE(eps.has_value());
+  // h1 and h2 contract (their successors are eps), h3 survives.
+  EXPECT_EQ(pruned.transitions_with_action(*eps).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "algebra/parallel.h"
+#include "util/sorted_set.h"
+#include "helpers.h"
+#include "lang/ops.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+using testutil::languages_equal;
+
+/// Oracle for Theorem 4.5: synchronized shuffle of the operand languages
+/// over the intersection of the *net* alphabets.
+Dfa composed_language_oracle(const PetriNet& n1, const PetriNet& n2) {
+  auto shared = sorted_set::set_intersection(n1.alphabet(), n2.alphabet());
+  return minimize(
+      determinize(sync_product(nfa_of_net(n1), nfa_of_net(n2), shared)));
+}
+
+TEST(Parallel, DisjointAlphabetsInterleave) {
+  PetriNet n1 = chain_net({"a", "b"}, /*cyclic=*/false, "l");
+  PetriNet n2 = chain_net({"c"}, /*cyclic=*/false, "r");
+  auto result = parallel(n1, n2);
+  EXPECT_TRUE(result.shared_labels.empty());
+  Dfa dfa = canonical_language(result.net);
+  EXPECT_TRUE(dfa.accepts({"a", "c", "b"}));
+  EXPECT_TRUE(dfa.accepts({"c", "a", "b"}));
+  EXPECT_FALSE(dfa.accepts({"b"}));
+  EXPECT_TRUE(languages_equal(dfa, composed_language_oracle(n1, n2)));
+}
+
+TEST(Parallel, RendezvousOnSharedLabel) {
+  PetriNet n1 = chain_net({"a", "sync"}, /*cyclic=*/false, "l");
+  PetriNet n2 = chain_net({"b", "sync"}, /*cyclic=*/false, "r");
+  auto result = parallel(n1, n2);
+  EXPECT_EQ(result.shared_labels, (std::vector<std::string>{"sync"}));
+  Dfa dfa = canonical_language(result.net);
+  EXPECT_TRUE(dfa.accepts({"a", "b", "sync"}));
+  EXPECT_FALSE(dfa.accepts({"a", "sync"}));
+  EXPECT_FALSE(dfa.accepts({"a", "b", "sync", "sync"}));
+  EXPECT_TRUE(languages_equal(dfa, composed_language_oracle(n1, n2)));
+}
+
+TEST(Parallel, FigureTwoExample) {
+  // Figure 2: ((a+b).c)* || (a.d.a.e)*, synchronizing on the common label a.
+  PetriNet n1;
+  PlaceId s0 = n1.add_place("s0", 1);
+  PlaceId s1 = n1.add_place("s1", 0);
+  n1.add_transition({s0}, "a", {s1});
+  n1.add_transition({s0}, "b", {s1});
+  n1.add_transition({s1}, "c", {s0});
+
+  PetriNet n2 = chain_net({"a", "d", "a", "e"}, /*cyclic=*/true, "r");
+
+  auto result = parallel(n1, n2);
+  // a appears once in n1 and twice in n2: 2 joined transitions, plus b, c,
+  // d, e copied: 6 transitions total, on 2 + 4 places.
+  EXPECT_EQ(result.net.transition_count(), 6u);
+  EXPECT_EQ(result.net.place_count(), 6u);
+
+  Dfa dfa = canonical_language(result.net);
+  EXPECT_TRUE(dfa.accepts({"a", "c", "d", "b", "c", "a", "c", "e"}));
+  EXPECT_TRUE(dfa.accepts({"a", "d", "c", "a", "e", "c"}));
+  EXPECT_TRUE(dfa.accepts({"b", "c", "a"}));
+  EXPECT_FALSE(dfa.accepts({"a", "a"}));  // n1 requires c between a's
+  EXPECT_FALSE(dfa.accepts({"d"}));       // n2 requires a first
+  EXPECT_TRUE(languages_equal(dfa, composed_language_oracle(n1, n2)));
+}
+
+TEST(Parallel, SharedLabelWithoutPartnerTransitionsBlocks) {
+  // `x` is in both alphabets but only n1 has transitions for it: in the
+  // composition it can never fire (Definition 4.7 keeps only joined pairs
+  // for shared labels).
+  PetriNet n1 = chain_net({"x", "a"}, /*cyclic=*/false, "l");
+  PetriNet n2 = chain_net({"b"}, /*cyclic=*/false, "r");
+  n2.add_action("x");  // in the alphabet, no transitions
+  auto result = parallel(n1, n2);
+  Dfa dfa = canonical_language(result.net);
+  EXPECT_TRUE(dfa.accepts({"b"}));
+  EXPECT_FALSE(dfa.accepts({"x"}));
+  EXPECT_TRUE(languages_equal(dfa, composed_language_oracle(n1, n2)));
+}
+
+TEST(Parallel, AllPairsOfEquallyLabeledTransitionsJoin) {
+  // Two a-transitions in each operand: four joined combinations.
+  PetriNet n1;
+  PlaceId p = n1.add_place("p", 1);
+  PlaceId x1 = n1.add_place("x1", 0);
+  PlaceId x2 = n1.add_place("x2", 0);
+  n1.add_transition({p}, "a", {x1});
+  n1.add_transition({p}, "a", {x2});
+  PetriNet n2;
+  PlaceId q = n2.add_place("q", 1);
+  PlaceId y1 = n2.add_place("y1", 0);
+  PlaceId y2 = n2.add_place("y2", 0);
+  n2.add_transition({q}, "a", {y1});
+  n2.add_transition({q}, "a", {y2});
+  auto result = parallel(n1, n2);
+  EXPECT_EQ(result.net.transition_count(), 4u);
+  for (const auto& info : result.transitions) {
+    EXPECT_EQ(info.origin, ParallelResult::Origin::kJoined);
+  }
+  EXPECT_TRUE(languages_equal(canonical_language(result.net),
+                              composed_language_oracle(n1, n2)));
+}
+
+TEST(Parallel, ProvenancePresets) {
+  PetriNet n1 = chain_net({"sync"}, /*cyclic=*/false, "l");
+  PetriNet n2 = chain_net({"sync"}, /*cyclic=*/false, "r");
+  auto result = parallel(n1, n2);
+  ASSERT_EQ(result.transitions.size(), 1u);
+  TransitionId joined(0);
+  auto left = result.left_preset(joined, n1);
+  auto right = result.right_preset(joined, n2);
+  ASSERT_EQ(left.size(), 1u);
+  ASSERT_EQ(right.size(), 1u);
+  EXPECT_EQ(result.net.place(left[0]).name, "lc0");
+  EXPECT_EQ(result.net.place(right[0]).name, "rc0");
+}
+
+TEST(Parallel, InitialMarkingsUnion) {
+  PetriNet n1 = chain_net({"a"}, /*cyclic=*/false, "l");
+  PetriNet n2 = chain_net({"b"}, /*cyclic=*/false, "r");
+  auto result = parallel(n1, n2);
+  EXPECT_EQ(result.net.initial_marking().total(),
+            n1.initial_marking().total() + n2.initial_marking().total());
+}
+
+TEST(Parallel, GuardsAreConjoined) {
+  PetriNet n1 = chain_net({"sync"}, /*cyclic=*/false, "l");
+  n1.set_guard(TransitionId(0), Guard::literal("d", true));
+  PetriNet n2 = chain_net({"sync"}, /*cyclic=*/false, "r");
+  n2.set_guard(TransitionId(0), Guard::literal("s", false));
+  auto result = parallel(n1, n2);
+  ASSERT_EQ(result.net.transition_count(), 1u);
+  EXPECT_EQ(result.net.transition(TransitionId(0)).guard.to_string(),
+            "d & !s");
+}
+
+TEST(Parallel, TheoremFourFiveOnCyclicNets) {
+  PetriNet n1 = chain_net({"a", "s", "b"}, /*cyclic=*/true, "l");
+  PetriNet n2 = chain_net({"c", "s"}, /*cyclic=*/true, "r");
+  // Rename the shared label so both use plain "s": chain_net prefixes names
+  // but not labels, so "s" is already shared.
+  auto result = parallel(n1, n2);
+  EXPECT_TRUE(languages_equal(canonical_language(result.net),
+                              composed_language_oracle(n1, n2)));
+}
+
+TEST(Parallel, CommutativeUpToLanguage) {
+  PetriNet n1 = chain_net({"a", "s"}, /*cyclic=*/true, "l");
+  PetriNet n2 = chain_net({"s", "b"}, /*cyclic=*/true, "r");
+  EXPECT_TRUE(languages_equal(canonical_language(parallel_net(n1, n2)),
+                              canonical_language(parallel_net(n2, n1))));
+}
+
+TEST(Parallel, AssociativeUpToLanguage) {
+  PetriNet n1 = chain_net({"a", "s"}, /*cyclic=*/true, "x");
+  PetriNet n2 = chain_net({"s", "t"}, /*cyclic=*/true, "y");
+  PetriNet n3 = chain_net({"t", "b"}, /*cyclic=*/true, "z");
+  Dfa left =
+      canonical_language(parallel_net(parallel_net(n1, n2), n3));
+  Dfa right =
+      canonical_language(parallel_net(n1, parallel_net(n2, n3)));
+  EXPECT_TRUE(languages_equal(left, right));
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "algebra/basic.h"
+#include "algebra/choice.h"
+#include "algebra/hide.h"
+#include "algebra/parallel.h"
+#include "helpers.h"
+#include "petri/structure.h"
+#include "reach/properties.h"
+#include "sim/random_net.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+
+bool net_is_safe(const PetriNet& net) {
+  return is_safe(explore(net));
+}
+
+bool net_is_live(const PetriNet& net) {
+  return is_live(net, explore(net));
+}
+
+/// Proposition 5.2: the class of safe nets is closed under all operations.
+/// Checked per operation on safe operands (seeded sweep + hand cases).
+class SafeClosure : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// A random safe net: draw until the reachability graph is safe.
+  PetriNet safe_sample(const std::string& prefix) const {
+    RandomNetConfig config;
+    config.places = 5;
+    config.transitions = 4;
+    config.labels = 3;
+    config.marked_places = 2;
+    config.name_prefix = prefix;
+    for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+      config.seed = GetParam() * 6151 + attempt * 3079 +
+                    (prefix.empty() ? 0 : prefix[0]);
+      PetriNet net = random_net(config);
+      try {
+        if (check_boundedness(net, 2000) == Boundedness::kBounded &&
+            net_is_safe(net)) {
+          return net;
+        }
+      } catch (const LimitError&) {
+      }
+    }
+    throw LimitError("no safe sample found");
+  }
+};
+
+TEST_P(SafeClosure, Prefix) {
+  PetriNet net = safe_sample("");
+  EXPECT_TRUE(net_is_safe(action_prefix("pre", net))) << "seed " << GetParam();
+}
+
+TEST_P(SafeClosure, Rename) {
+  PetriNet net = safe_sample("");
+  EXPECT_TRUE(net_is_safe(rename(net, {{"a0", "zz"}})));
+}
+
+TEST_P(SafeClosure, Choice) {
+  PetriNet n1 = safe_sample("l");
+  PetriNet n2 = safe_sample("r");
+  EXPECT_TRUE(net_is_safe(choice(n1, n2))) << "seed " << GetParam();
+}
+
+TEST_P(SafeClosure, Parallel) {
+  PetriNet n1 = safe_sample("l");
+  PetriNet n2 = safe_sample("r");
+  n1 = rename(n1, {{"la0", "s"}});
+  n2 = rename(n2, {{"ra0", "s"}});
+  EXPECT_TRUE(net_is_safe(parallel_net(n1, n2))) << "seed " << GetParam();
+}
+
+TEST_P(SafeClosure, Hide) {
+  PetriNet net = safe_sample("");
+  try {
+    HideOptions options;
+    options.max_contractions = 64;
+    options.max_intermediate_transitions = 2000;
+    options.max_intermediate_places = 5000;
+    EXPECT_TRUE(net_is_safe(hide_action(net, "a0", options)))
+        << "seed " << GetParam();
+  } catch (const SemanticError&) {
+    GTEST_SKIP() << "contraction corner";
+  } catch (const LimitError&) {
+    GTEST_SKIP() << "contraction cascade";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafeClosure,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+/// Proposition 5.3: live nets are closed under the operations *except*
+/// parallel composition. We verify the preserving cases and exhibit the
+/// counterexample for parallel.
+TEST(LiveClosure, RenamePreservesLiveness) {
+  PetriNet net = chain_net({"a", "b", "c"}, /*cyclic=*/true);
+  ASSERT_TRUE(net_is_live(net));
+  EXPECT_TRUE(net_is_live(rename(net, {{"b", "z"}})));
+}
+
+TEST(LiveClosure, HidePreservesLivenessOnCycle) {
+  PetriNet net = chain_net({"a", "h", "b"}, /*cyclic=*/true);
+  ASSERT_TRUE(net_is_live(net));
+  EXPECT_TRUE(net_is_live(hide_action(net, "h")));
+}
+
+TEST(LiveClosure, ParallelCanKillLiveness) {
+  // Both operands are live cycles, but they disagree on the order of the
+  // shared actions: the composition deadlocks after the first step
+  // ("one net restricts the behavior of the other net", Section 5.2).
+  PetriNet n1 = chain_net({"x", "y"}, /*cyclic=*/true, "l");
+  PetriNet n2 = chain_net({"y", "x"}, /*cyclic=*/true, "r");
+  ASSERT_TRUE(net_is_live(n1));
+  ASSERT_TRUE(net_is_live(n2));
+  PetriNet composed = parallel_net(n1, n2);
+  EXPECT_FALSE(net_is_live(composed));
+}
+
+TEST(LiveClosure, OnlyCommonTransitionsGoDead) {
+  // Section 5.2: "for compositional synthesis, only the common transitions
+  // can be non-live". Unshared transitions of a composition where the
+  // shared ones deadlock are still startable but not live; the *dead*
+  // (never-firing) ones must all be shared.
+  PetriNet n1 = chain_net({"a", "x", "y"}, /*cyclic=*/true, "l");
+  PetriNet n2 = chain_net({"y", "x"}, /*cyclic=*/true, "r");
+  PetriNet composed = parallel_net(n1, n2);
+  auto rg = explore(composed);
+  for (TransitionId t : dead_transitions(composed, rg)) {
+    const std::string& label = composed.transition_label(t);
+    EXPECT_TRUE(label == "x" || label == "y") << label;
+  }
+}
+
+/// Proposition 5.4: marked graphs are closed under action prefix, renaming
+/// and parallel composition — with the preconditions made explicit.
+TEST(MarkedGraphClosure, RenameAlways) {
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/true);
+  ASSERT_TRUE(is_marked_graph(net));
+  EXPECT_TRUE(is_marked_graph(rename(net, {{"a", "z"}})));
+}
+
+TEST(MarkedGraphClosure, PrefixWhenInitialPlacesHaveNoProducer) {
+  // Acyclic marked graph: the fresh prefix transition becomes the sole
+  // producer of the formerly initial places.
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/false);
+  ASSERT_TRUE(is_marked_graph(net));
+  EXPECT_TRUE(is_marked_graph(action_prefix("pre", net)));
+}
+
+TEST(MarkedGraphClosure, PrefixOnCycleBreaksMarkedGraph) {
+  // The paper's proposition implicitly assumes the initial places are not
+  // already produced into; on a cycle the prefix adds a second producer.
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/true);
+  ASSERT_TRUE(is_marked_graph(net));
+  EXPECT_FALSE(is_marked_graph(action_prefix("pre", net)));
+}
+
+TEST(MarkedGraphClosure, ParallelWithUniqueLabels) {
+  // One transition per shared label on each side: the join keeps every
+  // place at one producer/consumer.
+  PetriNet n1 = chain_net({"a", "s"}, /*cyclic=*/true, "l");
+  PetriNet n2 = chain_net({"s", "b"}, /*cyclic=*/true, "r");
+  ASSERT_TRUE(is_marked_graph(n1));
+  ASSERT_TRUE(is_marked_graph(n2));
+  EXPECT_TRUE(is_marked_graph(parallel_net(n1, n2)));
+}
+
+TEST(MarkedGraphClosure, ParallelWithDuplicateLabelsBreaksMarkedGraph) {
+  // Two equally-labeled transitions on one side join twice with the other
+  // side's transition, giving its preset place two consumers.
+  PetriNet n1;
+  PlaceId p = n1.add_place("p", 1);
+  PlaceId x = n1.add_place("x", 0);
+  PlaceId y = n1.add_place("y", 0);
+  n1.add_transition({p}, "s", {x});
+  n1.add_transition({x}, "s", {y});
+  PetriNet n2 = chain_net({"s"}, /*cyclic=*/true, "r");
+  PetriNet composed = parallel_net(n1, n2);
+  EXPECT_FALSE(is_marked_graph(composed));
+}
+
+TEST(MarkedGraphClosure, ChoiceNeverPreservesMarkedGraphs) {
+  // Choice introduces the product root places consumed by both branches —
+  // inherently conflict-ful (and indeed absent from Proposition 5.4).
+  PetriNet n1 = chain_net({"a"}, /*cyclic=*/true, "l");
+  PetriNet n2 = chain_net({"b"}, /*cyclic=*/true, "r");
+  EXPECT_FALSE(is_marked_graph(choice(n1, n2)));
+}
+
+}  // namespace
+}  // namespace cipnet

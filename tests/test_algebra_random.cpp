@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "algebra/basic.h"
+#include "algebra/choice.h"
+#include "algebra/hide.h"
+#include "algebra/parallel.h"
+#include "helpers.h"
+#include "lang/ops.h"
+#include "reach/properties.h"
+#include "sim/random_net.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+#include "util/sorted_set.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::languages_equal;
+
+constexpr std::size_t kStateCap = 4000;
+
+ReachOptions capped() {
+  ReachOptions o;
+  o.max_states = kStateCap;
+  return o;
+}
+
+/// Property sweep over seeded random nets: each TEST_P instance checks one
+/// algebraic law of Section 4 on one random sample. Samples whose semantics
+/// are too large to decide (LimitError) or that hit a documented
+/// inexpressible corner of the contraction (SemanticError) are skipped.
+class RandomNetLaw : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Draws random nets until one is bounded with a modest state space (the
+  /// oracle needs to determinize it); the draw is deterministic per
+  /// (GetParam(), prefix).
+  PetriNet sample(const std::string& prefix, std::size_t marked = 2) const {
+    RandomNetConfig config;
+    config.places = 5;
+    config.transitions = 5;
+    config.labels = 3;
+    config.marked_places = marked;
+    config.name_prefix = prefix;
+    for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+      config.seed =
+          GetParam() * 7919 + attempt * 104729 + (prefix.empty() ? 0 : prefix[0]);
+      PetriNet net = random_net(config);
+      try {
+        if (check_boundedness(net, 2000) == Boundedness::kBounded) return net;
+      } catch (const LimitError&) {
+        // bounded but too big — keep looking
+      }
+    }
+    throw LimitError("no bounded sample found");
+  }
+};
+
+TEST_P(RandomNetLaw, Theorem45ParallelComposition) {
+  PetriNet n1 = sample("l");
+  PetriNet n2 = sample("r");
+  // Give the operands one genuinely shared label.
+  n1 = rename(n1, {{"la0", "s"}});
+  n2 = rename(n2, {{"ra0", "s"}});
+  try {
+    auto composed = parallel(n1, n2);
+    Dfa net_side = canonical_language(composed.net, {}, capped());
+    auto shared = sorted_set::set_intersection(n1.alphabet(), n2.alphabet());
+    Dfa lang_side = minimize(determinize(sync_product(
+        nfa_of_net(n1, capped()), nfa_of_net(n2, capped()), shared)));
+    EXPECT_TRUE(languages_equal(net_side, lang_side))
+        << "seed " << GetParam();
+  } catch (const LimitError&) {
+    GTEST_SKIP() << "state space too large for the oracle";
+  }
+}
+
+TEST_P(RandomNetLaw, Theorem47Hiding) {
+  PetriNet net = sample("");
+  const std::string hidden = "a0";
+  try {
+    HideOptions hide_opts;
+    hide_opts.max_contractions = 64;  // cascades count as skips, not hangs
+    hide_opts.max_intermediate_transitions = 2000;
+    hide_opts.max_intermediate_places = 5000;
+    PetriNet contracted = hide_action(net, hidden, hide_opts);
+    Dfa net_side = canonical_language(contracted, {}, capped());
+    Dfa lang_side = minimize(
+        determinize(hide_labels(nfa_of_net(net, capped()), {hidden})));
+    EXPECT_TRUE(languages_equal(net_side, lang_side))
+        << "seed " << GetParam();
+  } catch (const SemanticError&) {
+    GTEST_SKIP() << "contraction precondition violated (documented corner)";
+  } catch (const LimitError&) {
+    GTEST_SKIP() << "state space too large for the oracle";
+  }
+}
+
+TEST_P(RandomNetLaw, Proposition43Rename) {
+  PetriNet net = sample("");
+  try {
+    Dfa net_side =
+        canonical_language(rename(net, {{"a0", "zz"}}), {}, capped());
+    Dfa lang_side = minimize(determinize(
+        rename_labels(nfa_of_net(net, capped()), {{"a0", "zz"}})));
+    EXPECT_TRUE(languages_equal(net_side, lang_side)) << "seed " << GetParam();
+  } catch (const LimitError&) {
+    GTEST_SKIP();
+  }
+}
+
+TEST_P(RandomNetLaw, Proposition44Choice) {
+  PetriNet n1 = sample("l");
+  PetriNet n2 = sample("r");
+  try {
+    Dfa net_side = canonical_language(choice(n1, n2), {}, capped());
+    Dfa lang_side = minimize(determinize(
+        union_nfa(nfa_of_net(n1, capped()), nfa_of_net(n2, capped()))));
+    EXPECT_TRUE(languages_equal(net_side, lang_side)) << "seed " << GetParam();
+  } catch (const SemanticError&) {
+    GTEST_SKIP() << "unsafe initial marking";
+  } catch (const LimitError&) {
+    GTEST_SKIP();
+  }
+}
+
+TEST_P(RandomNetLaw, Proposition42ActionPrefix) {
+  PetriNet net = sample("");
+  try {
+    Dfa prefixed = canonical_language(action_prefix("pre", net), {}, capped());
+    // Oracle: every word must be <> or pre·w with w in L(N).
+    Dfa base = canonical_language(net, {}, capped());
+    EXPECT_TRUE(prefixed.accepts({}));
+    EXPECT_TRUE(prefixed.accepts({"pre"}));
+    // Sampled traces of N must be accepted after the prefix.
+    Simulator sim(net, GetParam());
+    for (int i = 0; i < 20; ++i) {
+      WalkResult walk = sim.random_walk(6);
+      Trace t = walk.trace;
+      t.insert(t.begin(), "pre");
+      EXPECT_TRUE(prefixed.accepts(t)) << trace_to_string(t);
+    }
+    EXPECT_FALSE(prefixed.accepts({"pre", "pre"}));
+    (void)base;
+  } catch (const SemanticError&) {
+    GTEST_SKIP() << "unsafe initial marking";
+  } catch (const LimitError&) {
+    GTEST_SKIP();
+  }
+}
+
+TEST_P(RandomNetLaw, Theorem51ProjectionOfCompositionShrinks) {
+  // project(L(M1||M2), A_i) ⊆ L(M_i).
+  PetriNet n1 = sample("l");
+  PetriNet n2 = sample("r");
+  n1 = rename(n1, {{"la0", "s"}});
+  n2 = rename(n2, {{"ra0", "s"}});
+  try {
+    auto composed = parallel(n1, n2);
+    Nfa composed_lang = nfa_of_net(composed.net, capped());
+    Dfa projected =
+        minimize(determinize(project_labels(composed_lang, n1.alphabet())));
+    Dfa original = canonical_language(n1, {}, capped());
+    auto witness = subset_witness(projected, original);
+    EXPECT_FALSE(witness.has_value())
+        << "seed " << GetParam() << " witness "
+        << trace_to_string(*witness);
+  } catch (const LimitError&) {
+    GTEST_SKIP();
+  }
+}
+
+TEST_P(RandomNetLaw, SimulatedTracesOfHiddenNetAreInHiddenLanguage) {
+  PetriNet net = sample("");
+  const std::string hidden = "a1";
+  try {
+    HideOptions hide_opts;
+    hide_opts.max_contractions = 64;
+    hide_opts.max_intermediate_transitions = 2000;
+    hide_opts.max_intermediate_places = 5000;
+    PetriNet contracted = hide_action(net, hidden, hide_opts);
+    Dfa oracle = minimize(
+        determinize(hide_labels(nfa_of_net(net, capped()), {hidden})));
+    Simulator sim(contracted, GetParam() + 99);
+    for (int i = 0; i < 20; ++i) {
+      WalkResult walk = sim.random_walk(6);
+      EXPECT_TRUE(oracle.accepts(walk.trace))
+          << "seed " << GetParam() << " trace "
+          << trace_to_string(walk.trace);
+    }
+  } catch (const SemanticError&) {
+    GTEST_SKIP();
+  } catch (const LimitError&) {
+    GTEST_SKIP();
+  }
+}
+
+TEST_P(RandomNetLaw, HideOrderIndependenceProposition46) {
+  PetriNet net = sample("");
+  try {
+    auto action = net.find_action("a0");
+    if (!action || net.transitions_with_action(*action).size() < 2) {
+      GTEST_SKIP() << "needs two equally-labeled transitions";
+    }
+    HideOptions options;
+    options.allow_simple_collapse = false;
+    options.max_contractions = 64;
+    options.max_intermediate_transitions = 2000;
+    options.max_intermediate_places = 5000;
+    auto ts = net.transitions_with_action(*action);
+    PetriNet first_then_rest = hide_transition(net, ts[0], options);
+    PetriNet second_then_rest = hide_transition(net, ts[1], options);
+    auto finish = [&](PetriNet n) {
+      return canonical_language(hide_action(n, "a0", options), {}, capped());
+    };
+    EXPECT_TRUE(
+        languages_equal(finish(first_then_rest), finish(second_then_rest)))
+        << "seed " << GetParam();
+  } catch (const SemanticError&) {
+    GTEST_SKIP();
+  } catch (const LimitError&) {
+    GTEST_SKIP();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetLaw, ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "circuit/receptive.h"
+#include "util/error.h"
+#include "lang/ops.h"
+#include "models/arbiter.h"
+#include "petri/structure.h"
+#include "reach/properties.h"
+#include "reach/reachability.h"
+
+namespace cipnet {
+namespace {
+
+TEST(Arbiter, IsGeneralNetNotFreeChoice) {
+  // Section 5.1: arbiters need general Petri nets — the mutex place is
+  // shared by grant transitions with different presets.
+  const Circuit arb = models::arbiter2();
+  EXPECT_FALSE(is_free_choice(arb.net()));
+  EXPECT_FALSE(is_extended_free_choice(arb.net()));
+  EXPECT_FALSE(is_marked_graph(arb.net()));
+}
+
+TEST(Arbiter, MutualExclusionInvariant) {
+  const Circuit arb = models::arbiter2();
+  auto rg = explore(arb.net());
+  PlaceId g1 = *arb.net().find_place("arb_granted1");
+  PlaceId g2 = *arb.net().find_place("arb_granted2");
+  for (StateId s : rg.all_states()) {
+    const Marking& m = rg.marking(s);
+    EXPECT_FALSE(m[g1] > 0 && m[g2] > 0)
+        << "both grants held in " << m.to_string();
+  }
+}
+
+TEST(Arbiter, BothClientsEventuallyServed) {
+  const Circuit arb = models::arbiter2();
+  Dfa dfa = canonical_language(arb.net());
+  EXPECT_TRUE(dfa.accepts({"r1+", "g1+", "r1-", "g1-"}));
+  EXPECT_TRUE(dfa.accepts({"r2+", "g2+", "r2-", "g2-"}));
+  // Interleaved requests: the grant of one excludes the other until
+  // release.
+  EXPECT_TRUE(dfa.accepts({"r1+", "r2+", "g1+", "r1-", "g1-", "g2+"}));
+  EXPECT_FALSE(dfa.accepts({"r1+", "r2+", "g1+", "g2+"}));
+}
+
+TEST(Arbiter, GrantRequiresRequest) {
+  const Circuit arb = models::arbiter2();
+  Dfa dfa = canonical_language(arb.net());
+  EXPECT_FALSE(dfa.accepts({"g1+"}));
+  EXPECT_FALSE(dfa.accepts({"r1+", "g2+"}));
+}
+
+TEST(Arbiter, SafeAndLive) {
+  const Circuit arb = models::arbiter2();
+  auto rg = explore(arb.net());
+  EXPECT_TRUE(is_safe(rg));
+  EXPECT_TRUE(is_live(arb.net(), rg));
+}
+
+TEST(Arbiter, ReceptiveAgainstItsClients) {
+  const Circuit arb = models::arbiter2();
+  auto with1 = compose(models::arbiter_client(1), arb);
+  auto both = compose(models::arbiter_client(2), with1.circuit);
+  auto rg = explore(both.circuit.net());
+  EXPECT_TRUE(is_safe(rg));
+  // Receptiveness of each client against the arbiter.
+  EXPECT_TRUE(check_receptiveness(models::arbiter_client(1), arb).receptive());
+  EXPECT_TRUE(check_receptiveness(models::arbiter_client(2), arb).receptive());
+}
+
+TEST(Arbiter, StructuralCheckRightlyRefusesGeneralNets) {
+  // Theorem 5.7 is for marked graphs; the arbiter composition is not one.
+  EXPECT_THROW(check_receptiveness_structural(models::arbiter_client(1),
+                                              models::arbiter2()),
+               SemanticError);
+}
+
+}  // namespace
+}  // namespace cipnet

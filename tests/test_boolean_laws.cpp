@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "lang/boolean.h"
+#include "lang/ops.h"
+#include "reach/properties.h"
+#include "sim/random_net.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::languages_equal;
+
+/// Algebraic laws of the DFA boolean operations, swept over the canonical
+/// languages of random bounded nets.
+class BooleanLaw : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Dfa sample(const std::string& prefix, std::uint64_t salt = 0) const {
+    RandomNetConfig config;
+    config.places = 5;
+    config.transitions = 4;
+    config.labels = 3;
+    config.name_prefix = prefix;
+    for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+      config.seed = GetParam() * 4099 + attempt * 8209 + salt * 65537 +
+                    (prefix.empty() ? 0 : prefix[0]);
+      PetriNet net = random_net(config);
+      try {
+        if (check_boundedness(net, 1500) == Boundedness::kBounded) {
+          return canonical_language(net, {}, {3000});
+        }
+      } catch (const LimitError&) {
+      }
+    }
+    throw LimitError("no bounded sample");
+  }
+
+  static std::vector<std::string> alphabet(const std::string& prefix) {
+    return {prefix + "a0", prefix + "a1", prefix + "a2"};
+  }
+};
+
+TEST_P(BooleanLaw, DoubleComplementIsIdentity) {
+  Dfa a = sample("x");
+  auto sigma = alphabet("x");
+  Dfa back = minimize(complement(complement(a, sigma), sigma));
+  EXPECT_TRUE(languages_equal(minimize(a), back)) << "seed " << GetParam();
+}
+
+TEST_P(BooleanLaw, DeMorgan) {
+  Dfa a = sample("x");
+  Dfa b = sample("x", 1);  // same alphabet, different language
+  auto sigma = alphabet("x");
+  Dfa lhs = minimize(complement(intersect(a, b), sigma));
+  Dfa rhs = minimize(
+      union_dfa(complement(a, sigma), complement(b, sigma)));
+  EXPECT_TRUE(languages_equal(lhs, rhs)) << "seed " << GetParam();
+}
+
+TEST_P(BooleanLaw, IntersectionIsLowerBound) {
+  Dfa a = sample("x");
+  Dfa b = sample("x", 1);
+  Dfa both = intersect(a, b);
+  EXPECT_FALSE(subset_witness(both, a).has_value());
+  EXPECT_FALSE(subset_witness(both, b).has_value());
+}
+
+TEST_P(BooleanLaw, UnionIsUpperBound) {
+  Dfa a = sample("x");
+  Dfa b = sample("x", 1);
+  Dfa either = union_dfa(a, b);
+  EXPECT_FALSE(subset_witness(a, either).has_value());
+  EXPECT_FALSE(subset_witness(b, either).has_value());
+}
+
+TEST_P(BooleanLaw, ComplementIsDisjoint) {
+  Dfa a = sample("x");
+  auto sigma = alphabet("x");
+  EXPECT_TRUE(is_empty(intersect(a, complement(a, sigma))))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BooleanLaw,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace cipnet

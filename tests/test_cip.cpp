@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "cip/cip.h"
+#include "cip/encoding.h"
+#include "helpers.h"
+#include "lang/ops.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::languages_equal;
+
+TEST(Encoding, OneHotIsValidAntichain) {
+  DataEncoding e = DataEncoding::one_hot(4, "c_");
+  EXPECT_EQ(e.value_count(), 4u);
+  EXPECT_EQ(e.wire_count(), 4u);
+  EXPECT_TRUE(e.is_valid());
+  EXPECT_EQ(e.code(2), (std::vector<std::size_t>{2}));
+}
+
+TEST(Encoding, DualRailMatchesPaperExample) {
+  // "instead of using 2n wires to model n-bit wide data-items" — dual rail
+  // uses exactly 2n wires and every code picks one rail per bit.
+  DataEncoding e = DataEncoding::dual_rail(2, "d_");
+  EXPECT_EQ(e.value_count(), 4u);
+  EXPECT_EQ(e.wire_count(), 4u);
+  EXPECT_TRUE(e.is_valid());
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(e.code(v).size(), 2u);
+  }
+  EXPECT_EQ(e.code_wires(0), (std::vector<std::string>{"d_b0f", "d_b1f"}));
+  EXPECT_EQ(e.code_wires(3), (std::vector<std::string>{"d_b0t", "d_b1t"}));
+}
+
+TEST(Encoding, MOfNCountsAndValidity) {
+  DataEncoding e = DataEncoding::m_of_n(2, 4, "m_");
+  EXPECT_EQ(e.value_count(), 6u);  // C(4,2)
+  EXPECT_TRUE(e.is_valid());
+  DataEncoding one = DataEncoding::m_of_n(1, 3, "o_");
+  EXPECT_EQ(one.value_count(), 3u);
+  EXPECT_TRUE(one.is_valid());
+}
+
+TEST(Encoding, CoveringCodeRejected) {
+  // {0} ⊂ {0,1}: covered — invalid ("no encoding covers another").
+  DataEncoding e({"w0", "w1"}, {{0}, {0, 1}});
+  EXPECT_FALSE(e.is_valid());
+  DataEncoding empty_code({"w0"}, {{}});
+  EXPECT_FALSE(empty_code.is_valid());
+  DataEncoding dup({"w0", "w1"}, {{0}, {0}});
+  EXPECT_FALSE(dup.is_valid());
+}
+
+TEST(ChannelAction, FormatAndParse) {
+  EXPECT_EQ(send_label("c"), "c!");
+  EXPECT_EQ(send_label("c", 2), "c!2");
+  EXPECT_EQ(receive_label("c"), "c?");
+  EXPECT_EQ(receive_label("c", 0), "c?0");
+  auto a = parse_channel_action("data!13");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->channel, "data");
+  EXPECT_TRUE(a->send);
+  EXPECT_EQ(a->value, 13u);
+  EXPECT_FALSE(parse_channel_action("a+").has_value());
+  EXPECT_FALSE(parse_channel_action("!x").has_value());
+  EXPECT_FALSE(parse_channel_action("c!x").has_value());
+}
+
+/// Two modules with one control channel: sender fires `go!` once per cycle,
+/// receiver consumes `go?`.
+CipNetwork control_pair(HandshakeStyle style = HandshakeStyle::kFourPhase) {
+  CipNetwork cip;
+  PetriNet sender;
+  PlaceId s0 = sender.add_place("s0", 1);
+  PlaceId s1 = sender.add_place("s1", 0);
+  sender.add_transition({s0}, "work+", {s1});
+  sender.add_transition({s1}, send_label("go"), {s0});
+  ModuleId ms = cip.add_module("sender", sender, {}, {"work"});
+
+  PetriNet receiver;
+  PlaceId r0 = receiver.add_place("r0", 1);
+  PlaceId r1 = receiver.add_place("r1", 0);
+  receiver.add_transition({r0}, receive_label("go"), {r1});
+  receiver.add_transition({r1}, "done+", {r0});
+  ModuleId mr = cip.add_module("receiver", receiver, {}, {"done"});
+
+  cip.add_channel("go", ms, mr, std::nullopt, style);
+  return cip;
+}
+
+TEST(Cip, ValidateAcceptsControlPair) {
+  EXPECT_NO_THROW(control_pair().validate());
+}
+
+TEST(Cip, ValidateRejectsWrongDirection) {
+  CipNetwork cip;
+  PetriNet a;
+  PlaceId p = a.add_place("p", 1);
+  a.add_transition({p}, receive_label("go"), {p});  // receives but is sender
+  ModuleId ma = cip.add_module("a", a, {}, {});
+  PetriNet b;
+  b.add_place("q", 1);
+  ModuleId mb = cip.add_module("b", b, {}, {});
+  cip.add_channel("go", ma, mb);
+  EXPECT_THROW(cip.validate(), SemanticError);
+}
+
+TEST(Cip, ValidateRejectsValueOnControlChannel) {
+  CipNetwork cip;
+  PetriNet a;
+  PlaceId p = a.add_place("p", 1);
+  a.add_transition({p}, send_label("go", 1), {p});
+  ModuleId ma = cip.add_module("a", a, {}, {});
+  PetriNet b;
+  b.add_place("q", 1);
+  ModuleId mb = cip.add_module("b", b, {}, {});
+  cip.add_channel("go", ma, mb);
+  EXPECT_THROW(cip.validate(), SemanticError);
+}
+
+TEST(Cip, ValidateRejectsOutOfRangeValue) {
+  CipNetwork cip;
+  PetriNet a;
+  PlaceId p = a.add_place("p", 1);
+  a.add_transition({p}, send_label("d", 9), {p});
+  ModuleId ma = cip.add_module("a", a, {}, {});
+  PetriNet b;
+  b.add_place("q", 1);
+  ModuleId mb = cip.add_module("b", b, {}, {});
+  cip.add_channel("d", ma, mb, DataEncoding::one_hot(2, "d_"));
+  EXPECT_THROW(cip.validate(), SemanticError);
+}
+
+TEST(Cip, FourPhaseControlExpansion) {
+  CipNetwork cip = control_pair();
+  Stg sender = cip.expand_module(ModuleId(0));
+  // go! became go_r+ -> go_a+ -> go_r- -> go_a-.
+  EXPECT_TRUE(sender.has_signal("go_r"));
+  EXPECT_EQ(sender.kind("go_r"), SignalKind::kOutput);
+  EXPECT_EQ(sender.kind("go_a"), SignalKind::kInput);
+  Dfa dfa = canonical_language(sender.net());
+  EXPECT_TRUE(dfa.accepts(
+      {"work+", "go_r+", "go_a+", "go_r-", "go_a-", "work+"}));
+  EXPECT_FALSE(dfa.accepts({"go_r+"}));
+  EXPECT_FALSE(dfa.accepts({"work+", "go_a+"}));
+
+  Stg receiver = cip.expand_module(ModuleId(1));
+  EXPECT_EQ(receiver.kind("go_r"), SignalKind::kInput);
+  EXPECT_EQ(receiver.kind("go_a"), SignalKind::kOutput);
+}
+
+TEST(Cip, TwoPhaseControlExpansion) {
+  CipNetwork cip = control_pair(HandshakeStyle::kTwoPhase);
+  Stg sender = cip.expand_module(ModuleId(0));
+  Dfa dfa = canonical_language(sender.net());
+  EXPECT_TRUE(dfa.accepts({"work+", "go_r~", "go_a~", "work+"}));
+  EXPECT_FALSE(dfa.accepts({"work+", "go_r~", "go_r~"}));
+}
+
+TEST(Cip, ExpandedCompositionSynchronizes) {
+  CipNetwork cip = control_pair();
+  Stg composed = cip.expanded_composition();
+  Dfa dfa = canonical_language(composed.net());
+  EXPECT_TRUE(dfa.accepts({"work+", "go_r+", "go_a+", "go_r-", "go_a-",
+                           "done+"}));
+  // done+ requires the handshake to have at least begun... the receiver
+  // fires done+ only after its go? completed.
+  EXPECT_FALSE(dfa.accepts({"done+"}));
+  EXPECT_FALSE(dfa.accepts({"work+", "done+"}));
+}
+
+TEST(Cip, ExpansionPreservesAbstractBehavior) {
+  // Hide the handshake wires of the expanded composition: the remaining
+  // language over {work+, done+} must equal the abstract composition with
+  // the rendez-vous events hidden. This is the paper's "correctness is
+  // ensured" claim for automatic expansion, machine-checked.
+  CipNetwork cip = control_pair();
+  Stg expanded = cip.expanded_composition();
+  Nfa expanded_lang = nfa_of_net(expanded.net());
+  Dfa lhs = minimize(determinize(project_labels(
+      expanded_lang, {"work+", "done+"})));
+
+  PetriNet abstract = cip.abstract_composition();
+  Dfa rhs = minimize(determinize(project_labels(
+      nfa_of_net(abstract), {"work+", "done+"})));
+  EXPECT_TRUE(languages_equal(lhs, rhs));
+}
+
+/// Data channel pair: sender transmits value 0 or 1 (its own choice),
+/// receiver branches on the value.
+CipNetwork data_pair(DataEncoding encoding) {
+  CipNetwork cip;
+  PetriNet sender;
+  PlaceId s0 = sender.add_place("s0", 1);
+  PlaceId s1 = sender.add_place("s1", 0);
+  PlaceId s2 = sender.add_place("s2", 0);
+  sender.add_transition({s0}, "pick0+", {s1});
+  sender.add_transition({s0}, "pick1+", {s2});
+  sender.add_transition({s1}, send_label("d", 0), {s0});
+  sender.add_transition({s2}, send_label("d", 1), {s0});
+  ModuleId ms = cip.add_module("sender", sender, {"pick0", "pick1"}, {});
+
+  PetriNet receiver;
+  PlaceId r0 = receiver.add_place("r0", 1);
+  PlaceId r1 = receiver.add_place("r1", 0);
+  PlaceId r2 = receiver.add_place("r2", 0);
+  receiver.add_transition({r0}, receive_label("d", 0), {r1});
+  receiver.add_transition({r0}, receive_label("d", 1), {r2});
+  receiver.add_transition({r1}, "got0+", {r0});
+  receiver.add_transition({r2}, "got1+", {r0});
+  ModuleId mr = cip.add_module("receiver", receiver, {}, {"got0", "got1"});
+
+  cip.add_channel("d", ms, mr, std::move(encoding));
+  return cip;
+}
+
+TEST(Cip, DataExpansionRoutesValues) {
+  CipNetwork cip = data_pair(DataEncoding::one_hot(2, "d_"));
+  Stg composed = cip.expanded_composition();
+  Dfa dfa = canonical_language(composed.net(),
+                               {std::string(kEpsilonLabel)});
+  EXPECT_TRUE(dfa.accepts(
+      {"pick0+", "d_w0+", "d_a+", "d_w0-", "d_a-", "got0+"}));
+  EXPECT_TRUE(dfa.accepts(
+      {"pick1+", "d_w1+", "d_a+", "d_w1-", "d_a-", "got1+"}));
+  // Value 0 must not trigger the got1 branch.
+  EXPECT_FALSE(dfa.accepts(
+      {"pick0+", "d_w0+", "d_a+", "d_w0-", "d_a-", "got1+"}));
+}
+
+TEST(Cip, DualRailDataExpansionRaisesOneRailPerBit) {
+  CipNetwork cip = data_pair(DataEncoding::dual_rail(1, "d_"));
+  Stg composed = cip.expanded_composition();
+  Dfa dfa = canonical_language(composed.net(),
+                               {std::string(kEpsilonLabel)});
+  EXPECT_TRUE(dfa.accepts(
+      {"pick0+", "d_b0f+", "d_a+", "d_b0f-", "d_a-", "got0+"}));
+  EXPECT_TRUE(dfa.accepts(
+      {"pick1+", "d_b0t+", "d_a+", "d_b0t-", "d_a-", "got1+"}));
+}
+
+TEST(Cip, TwoPhaseDataExpansionTogglesWires) {
+  CipNetwork cip;
+  PetriNet sender;
+  PlaceId s0 = sender.add_place("s0", 1);
+  sender.add_transition({s0}, send_label("d", 1), {s0});
+  ModuleId ms = cip.add_module("sender", sender, {}, {});
+  PetriNet receiver;
+  PlaceId r0 = receiver.add_place("r0", 1);
+  PlaceId r1 = receiver.add_place("r1", 0);
+  receiver.add_transition({r0}, receive_label("d", 1), {r1});
+  receiver.add_transition({r1}, "seen~", {r0});
+  ModuleId mr = cip.add_module("receiver", receiver, {}, {"seen"});
+  cip.add_channel("d", ms, mr, DataEncoding::one_hot(2, "d_"),
+                  HandshakeStyle::kTwoPhase);
+
+  Stg composed = cip.expanded_composition();
+  Dfa dfa = canonical_language(composed.net(),
+                               {std::string(kEpsilonLabel)});
+  EXPECT_TRUE(dfa.accepts({"d_w1~", "d_a~", "seen~", "d_w1~"}));
+  EXPECT_FALSE(dfa.accepts({"d_a~"}));
+  EXPECT_FALSE(dfa.accepts({"d_w0~"}));  // wire 0 never driven
+}
+
+TEST(Cip, ExpandedModuleAlphabetCoversAllChannelWires) {
+  // Even wires this module never drives must be in its alphabet so the
+  // composition synchronizes (an undriven wire blocks, it does not fire
+  // freely).
+  CipNetwork cip = control_pair();
+  Stg sender = cip.expand_module(ModuleId(0));
+  EXPECT_TRUE(sender.net().find_action("go_a+").has_value());
+  EXPECT_TRUE(sender.net().find_action("go_a-").has_value());
+}
+
+TEST(Cip, ValuelessReceiveAcceptsAnyValue) {
+  CipNetwork cip;
+  PetriNet sender;
+  PlaceId s0 = sender.add_place("s0", 1);
+  sender.add_transition({s0}, send_label("d", 1), {s0});
+  ModuleId ms = cip.add_module("sender", sender, {}, {});
+  PetriNet receiver;
+  PlaceId r0 = receiver.add_place("r0", 1);
+  PlaceId r1 = receiver.add_place("r1", 0);
+  receiver.add_transition({r0}, receive_label("d"), {r1});  // any value
+  receiver.add_transition({r1}, "seen+", {r0});
+  ModuleId mr = cip.add_module("receiver", receiver, {}, {"seen"});
+  cip.add_channel("d", ms, mr, DataEncoding::one_hot(2, "d_"));
+
+  Stg composed = cip.expanded_composition();
+  Dfa dfa = canonical_language(composed.net(),
+                               {std::string(kEpsilonLabel)});
+  EXPECT_TRUE(dfa.accepts({"d_w1+", "d_a+", "d_w1-", "d_a-", "seen+"}));
+  // Sender never sends value 0, so wire 0 never rises.
+  EXPECT_FALSE(dfa.accepts({"d_w0+"}));
+}
+
+TEST(Cip, AbstractCompositionRendezvous) {
+  CipNetwork cip = control_pair();
+  PetriNet abstract = cip.abstract_composition();
+  Dfa dfa = canonical_language(abstract);
+  EXPECT_TRUE(dfa.accepts({"work+", "go!", "done+"}));
+  EXPECT_FALSE(dfa.accepts({"go!"}));       // sender must work first
+  EXPECT_FALSE(dfa.accepts({"work+", "done+"}));  // rendez-vous required
+}
+
+TEST(Cip, InvalidEncodingRejectedAtValidate) {
+  CipNetwork cip;
+  PetriNet a;
+  a.add_place("p", 1);
+  ModuleId ma = cip.add_module("a", a, {}, {});
+  PetriNet b;
+  b.add_place("q", 1);
+  ModuleId mb = cip.add_module("b", b, {}, {});
+  cip.add_channel("d", ma, mb, DataEncoding({"w0", "w1"}, {{0}, {0, 1}}));
+  EXPECT_THROW(cip.validate(), SemanticError);
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "helpers.h"
+#include "lang/ops.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::languages_equal;
+
+/// A one-shot inverter-ish stage: in+ -> out+ -> in- -> out- cyclically.
+Circuit stage(const std::string& name, const std::string& in,
+              const std::string& out) {
+  PetriNet net;
+  PlaceId p0 = net.add_place(name + "_p0", 1);
+  PlaceId p1 = net.add_place(name + "_p1", 0);
+  PlaceId p2 = net.add_place(name + "_p2", 0);
+  PlaceId p3 = net.add_place(name + "_p3", 0);
+  net.add_transition({p0}, in + "+", {p1});
+  net.add_transition({p1}, out + "+", {p2});
+  net.add_transition({p2}, in + "-", {p3});
+  net.add_transition({p3}, out + "-", {p0});
+  return Circuit(name, {in}, {out}, std::move(net));
+}
+
+TEST(Circuit, ConstructionValidatesLabels) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  net.add_transition({p}, "x+", {p});
+  EXPECT_THROW(Circuit("c", {}, {}, net), SemanticError);       // undeclared
+  EXPECT_THROW(Circuit("c", {"x"}, {"x"}, net), SemanticError); // both I and O
+  EXPECT_NO_THROW(Circuit("c", {"x"}, {}, net));
+}
+
+TEST(Circuit, NonEdgeLabelRejected) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  net.add_transition({p}, "hello", {p});
+  EXPECT_THROW(Circuit("c", {}, {}, net), SemanticError);
+}
+
+TEST(Circuit, EpsilonIsAlwaysAllowed) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  net.add_transition({p}, std::string(kEpsilonLabel), {p});
+  EXPECT_NO_THROW(Circuit("c", {}, {}, net));
+}
+
+TEST(Circuit, LabelsOfSignal) {
+  Circuit c = stage("s", "a", "y");
+  EXPECT_EQ(c.labels_of_signal("a"), (std::vector<std::string>{"a+", "a-"}));
+  EXPECT_EQ(c.labels_of_signals({"a", "y"}).size(), 4u);
+  EXPECT_EQ(c.signals(), (std::vector<std::string>{"a", "y"}));
+}
+
+TEST(Compose, SectionFiveOneSignature) {
+  // C1: a -> m, C2: m -> z. Composite: inputs {a}, outputs {m, z}.
+  Circuit c1 = stage("c1", "a", "m");
+  Circuit c2 = stage("c2", "m", "z");
+  ComposeResult r = compose(c1, c2);
+  EXPECT_EQ(r.circuit.inputs(), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(r.circuit.outputs(), (std::vector<std::string>{"m", "z"}));
+  EXPECT_EQ(r.shared_signals, (std::vector<std::string>{"m"}));
+}
+
+TEST(Compose, CommonOutputsRejected) {
+  Circuit c1 = stage("c1", "a", "m");
+  Circuit c2 = stage("c2", "b", "m");
+  EXPECT_THROW(compose(c1, c2), SemanticError);
+}
+
+TEST(Compose, CommonInputsAllowed) {
+  // "If two systems have input signal names in common, these signals are
+  // assumed to be inputs of both" (Section 5.1).
+  Circuit c1 = stage("c1", "a", "m");
+  Circuit c2 = stage("c2", "a", "z");
+  ComposeResult r = compose(c1, c2);
+  EXPECT_EQ(r.circuit.inputs(), (std::vector<std::string>{"a"}));
+}
+
+TEST(Compose, BehaviorSynchronizesOnSharedSignal) {
+  Circuit c1 = stage("c1", "a", "m");
+  Circuit c2 = stage("c2", "m", "z");
+  Dfa dfa = canonical_language(compose(c1, c2).circuit.net());
+  EXPECT_TRUE(dfa.accepts({"a+", "m+", "z+", "a-", "m-", "z-"}));
+  EXPECT_FALSE(dfa.accepts({"m+"}));
+  EXPECT_FALSE(dfa.accepts({"a+", "z+"}));
+}
+
+TEST(HideSignals, RemovesSignalFromInterfaceAndNet) {
+  Circuit c1 = stage("c1", "a", "m");
+  Circuit c2 = stage("c2", "m", "z");
+  Circuit composite = compose(c1, c2).circuit;
+  Circuit hidden = hide_signals(composite, {"m"});
+  EXPECT_EQ(hidden.outputs(), (std::vector<std::string>{"z"}));
+  EXPECT_FALSE(hidden.net().find_action("m+").has_value());
+  // Language: m edges projected away.
+  Dfa expect = minimize(determinize(
+      hide_labels(nfa_of_net(composite.net()), {"m+", "m-"})));
+  EXPECT_TRUE(languages_equal(canonical_language(hidden.net()), expect));
+}
+
+TEST(HideSignals, OnlyOutputsMayBeHidden) {
+  Circuit c = stage("c", "a", "m");
+  EXPECT_THROW(hide_signals(c, {"a"}), SemanticError);
+}
+
+TEST(Circuit, RoundTripThroughStg) {
+  Circuit c = stage("c", "a", "m");
+  Stg stg = c.to_stg();
+  EXPECT_EQ(stg.kind("a"), SignalKind::kInput);
+  EXPECT_EQ(stg.kind("m"), SignalKind::kOutput);
+  Circuit back = Circuit::from_stg("c2", stg);
+  EXPECT_EQ(back.inputs(), c.inputs());
+  EXPECT_EQ(back.outputs(), c.outputs());
+}
+
+}  // namespace
+}  // namespace cipnet

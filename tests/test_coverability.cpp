@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "reach/coverability.h"
+#include "reach/properties.h"
+#include "reach/reachability.h"
+#include "sim/random_net.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+
+TEST(Coverability, SafeCycleBoundsAreOne) {
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/true);
+  auto result = coverability(net);
+  ASSERT_TRUE(result.bounded());
+  for (const auto& bound : result.bounds) {
+    ASSERT_TRUE(bound.has_value());
+    EXPECT_EQ(*bound, 1u);
+  }
+}
+
+TEST(Coverability, PumpedPlaceIsOmega) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId out = net.add_place("out", 0);
+  net.add_transition({p}, "pump", {p, out});
+  auto result = coverability(net);
+  EXPECT_FALSE(result.bounded());
+  EXPECT_TRUE(result.bounds[p.index()].has_value());
+  EXPECT_EQ(*result.bounds[p.index()], 1u);
+  EXPECT_FALSE(result.bounds[out.index()].has_value());  // omega
+}
+
+TEST(Coverability, TwoStepPumpDetected) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  PlaceId acc = net.add_place("acc", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0, acc});
+  auto result = coverability(net);
+  EXPECT_FALSE(result.bounds[acc.index()].has_value());
+  EXPECT_TRUE(result.bounds[p0.index()].has_value());
+}
+
+TEST(Coverability, TwoTokenRingBoundIsTwo) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 2);
+  PlaceId p1 = net.add_place("p1", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0});
+  auto result = coverability(net);
+  ASSERT_TRUE(result.bounded());
+  EXPECT_EQ(*result.bounds[p0.index()], 2u);
+  EXPECT_EQ(*result.bounds[p1.index()], 2u);
+}
+
+TEST(Coverability, AgreesWithBoundednessCheck) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomNetConfig config;
+    config.seed = seed * 101;
+    PetriNet net = random_net(config);
+    Boundedness expected;
+    try {
+      expected = check_boundedness(net, 3000);
+    } catch (const LimitError&) {
+      continue;
+    }
+    CoverabilityResult result;
+    try {
+      result = coverability(net, {20000});
+    } catch (const LimitError&) {
+      continue;
+    }
+    EXPECT_EQ(result.bounded(), expected == Boundedness::kBounded)
+        << "seed " << seed;
+  }
+}
+
+TEST(Coverability, BoundsMatchReachabilityOnBoundedNets) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomNetConfig config;
+    config.seed = seed * 53;
+    PetriNet net = random_net(config);
+    try {
+      if (check_boundedness(net, 2000) != Boundedness::kBounded) continue;
+      auto rg = explore(net, {20000});
+      auto result = coverability(net, {40000});
+      ASSERT_TRUE(result.bounded());
+      // Exact per-place maxima.
+      for (PlaceId p : net.all_places()) {
+        Token max_seen = 0;
+        for (StateId s : rg.all_states()) {
+          max_seen = std::max(max_seen, rg.marking(s)[p]);
+        }
+        EXPECT_EQ(*result.bounds[p.index()], max_seen)
+            << "seed " << seed << " place " << net.place(p).name;
+      }
+    } catch (const LimitError&) {
+      continue;
+    }
+  }
+}
+
+TEST(Coverability, NodeLimitRaises) {
+  PetriNet net;
+  // Many independent pumps blow the tree up quickly.
+  for (int i = 0; i < 8; ++i) {
+    PlaceId p = net.add_place("p" + std::to_string(i), 1);
+    PlaceId o = net.add_place("o" + std::to_string(i), 0);
+    net.add_transition({p}, "t" + std::to_string(i), {p, o});
+  }
+  CoverabilityOptions options;
+  options.max_nodes = 16;
+  EXPECT_THROW(coverability(net, options), LimitError);
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "io/files.h"
+#include "lang/ops.h"
+#include "models/translator.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::languages_equal;
+
+/// The shipped `.g` files under data/ are the paper's Section 6 blocks as
+/// written by our own ASTG writer; these tests pin them against the
+/// programmatic models so the on-disk artifacts cannot rot.
+std::string data_dir() {
+  const char* env = std::getenv("CIPNET_DATA_DIR");
+  if (env) return env;
+#ifdef CIPNET_SOURCE_DIR
+  return std::string(CIPNET_SOURCE_DIR) + "/data";
+#else
+  return "data";
+#endif
+}
+
+class DataFile : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DataFile, LoadsAndMatchesModel) {
+  const std::string name = GetParam();
+  Stg loaded;
+  try {
+    loaded = load_stg(data_dir() + "/" + name + ".g");
+  } catch (const Error& e) {
+    GTEST_SKIP() << "data file not found (run from the repo root): "
+                 << e.what();
+  }
+  Circuit model = name == std::string("sender")       ? models::sender()
+                  : name == std::string("translator") ? models::translator()
+                  : name == std::string("receiver")   ? models::receiver()
+                  : name == std::string("sender_restricted")
+                      ? models::sender_restricted()
+                      : models::sender_inconsistent();
+  EXPECT_EQ(loaded.net().transition_count(),
+            model.net().transition_count());
+  EXPECT_EQ(loaded.signal_names(SignalKind::kInput).size(),
+            model.inputs().size());
+  EXPECT_TRUE(languages_equal(canonical_language(loaded.net()),
+                              canonical_language(model.net())))
+      << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Section6, DataFile,
+                         ::testing::Values("sender", "translator", "receiver",
+                                           "sender_restricted",
+                                           "sender_inconsistent"));
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "algebra/expr.h"
+#include "helpers.h"
+#include "io/files.h"
+#include "lang/ops.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+Dfa lang(const std::string& expression) {
+  return canonical_language(net_from_expression(expression));
+}
+
+TEST(Expr, SingleActionIsPrefixOfNil) {
+  Dfa d = lang("a");
+  EXPECT_TRUE(d.accepts({}));
+  EXPECT_TRUE(d.accepts({"a"}));
+  EXPECT_FALSE(d.accepts({"a", "a"}));
+}
+
+TEST(Expr, PrefixChains) {
+  Dfa d = lang("a.b.c");
+  EXPECT_TRUE(d.accepts({"a", "b", "c"}));
+  EXPECT_FALSE(d.accepts({"b"}));
+  EXPECT_FALSE(d.accepts({"a", "c"}));
+}
+
+TEST(Expr, NilDeadlocks) {
+  Dfa d = lang("0");
+  EXPECT_TRUE(d.accepts({}));
+  EXPECT_EQ(d.count_words(5), 1ull);
+}
+
+TEST(Expr, ChoiceCommits) {
+  Dfa d = lang("a.b + c.d");
+  EXPECT_TRUE(d.accepts({"a", "b"}));
+  EXPECT_TRUE(d.accepts({"c", "d"}));
+  EXPECT_FALSE(d.accepts({"a", "d"}));
+  EXPECT_FALSE(d.accepts({"a", "c"}));
+}
+
+TEST(Expr, ParallelInterleavesPrivateActions) {
+  Dfa d = lang("a.b || c");
+  EXPECT_TRUE(d.accepts({"a", "c", "b"}));
+  EXPECT_TRUE(d.accepts({"c", "a", "b"}));
+  EXPECT_FALSE(d.accepts({"b"}));
+}
+
+TEST(Expr, ParallelSynchronizesSharedActions) {
+  // `coin` occurs on both sides: rendez-vous.
+  Dfa d = lang("coin.tea || coin.slot");
+  EXPECT_TRUE(d.accepts({"coin", "tea", "slot"}));
+  EXPECT_TRUE(d.accepts({"coin", "slot", "tea"}));
+  EXPECT_FALSE(d.accepts({"coin", "coin"}));
+  EXPECT_FALSE(d.accepts({"tea"}));
+}
+
+TEST(Expr, PrecedenceChoiceBindsLoosest) {
+  // a.b + c  is (a.b) + c, not a.(b + c).
+  Dfa d = lang("a.b + c");
+  EXPECT_TRUE(d.accepts({"c"}));
+  EXPECT_FALSE(d.accepts({"a", "c"}));
+  // Parentheses flip it.
+  Dfa d2 = lang("a.(b + c)");
+  EXPECT_TRUE(d2.accepts({"a", "c"}));
+  EXPECT_FALSE(d2.accepts({"c"}));
+}
+
+TEST(Expr, VendingMachineExample) {
+  Dfa d = lang("coin.(tea + coffee) || coin.slot");
+  EXPECT_TRUE(d.accepts({"coin", "tea"}));
+  EXPECT_TRUE(d.accepts({"coin", "slot", "coffee"}));
+  EXPECT_FALSE(d.accepts({"tea"}));
+  EXPECT_FALSE(d.accepts({"coin", "tea", "coffee"}));
+}
+
+TEST(Expr, ActionNamesMayCarryEdgeSuffixes) {
+  Dfa d = lang("req+.ack+.req-.ack-");
+  EXPECT_TRUE(d.accepts({"req+", "ack+", "req-", "ack-"}));
+}
+
+TEST(Expr, SequentialCompositionRejected) {
+  EXPECT_THROW(net_from_expression("(a || b).c"), ParseError);
+}
+
+TEST(Expr, SyntaxErrorsCarryOffsets) {
+  EXPECT_THROW(net_from_expression("a."), ParseError);
+  EXPECT_THROW(net_from_expression("(a"), ParseError);
+  EXPECT_THROW(net_from_expression("a b"), ParseError);
+  EXPECT_THROW(net_from_expression(""), ParseError);
+  EXPECT_THROW(net_from_expression("+a"), ParseError);
+}
+
+TEST(Expr, RoundTripsThroughNativeFormat) {
+  PetriNet net = net_from_expression("a.(b + c) || d.a");
+  std::string path = ::testing::TempDir() + "/expr_roundtrip.cpn";
+  save_net(path, net, "expr");
+  PetriNet loaded = load_net(path);
+  EXPECT_TRUE(testutil::languages_equal(canonical_language(net),
+                                        canonical_language(loaded)));
+}
+
+TEST(Files, LoadStgRejectsCpn) {
+  std::string path = ::testing::TempDir() + "/plain.cpn";
+  save_net(path, net_from_expression("a"), "plain");
+  EXPECT_THROW(load_stg(path), Error);
+}
+
+TEST(Files, MissingFileRaises) {
+  EXPECT_THROW(load_net("/nonexistent/net.cpn"), Error);
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+
+namespace cipnet {
+namespace {
+
+Digraph two_cycles() {
+  // 0 -> 1 -> 0 (weights 1, 0) and 1 -> 2 -> 1 (weights 0, 2).
+  Digraph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 0, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(2, 1, 2);
+  return g;
+}
+
+TEST(Digraph, SccOnTwoJoinedCycles) {
+  auto scc = strongly_connected_components(two_cycles());
+  EXPECT_EQ(scc.component_count, 1);
+  EXPECT_TRUE(is_strongly_connected(two_cycles()));
+}
+
+TEST(Digraph, SccSeparatesComponents) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 2);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+  // Reverse topological numbering: edge 1 -> 2 goes to a lower index.
+  EXPECT_GT(scc.component[1], scc.component[2]);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Digraph, EmptyGraphIsNotStronglyConnected) {
+  EXPECT_FALSE(is_strongly_connected(Digraph(0)));
+}
+
+TEST(Digraph, SelfLoopIsCycle) {
+  Digraph g(1);
+  g.add_edge(0, 0);
+  EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Digraph, TopologicalOrderOnDag) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(Digraph, TopologicalOrderRejectsCycle) {
+  EXPECT_FALSE(topological_order(two_cycles()).has_value());
+}
+
+TEST(Digraph, ShortestPathsDijkstra) {
+  Digraph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(0, 2, 1);
+  g.add_edge(2, 1, 1);
+  auto dist = shortest_paths_from(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 2);
+  EXPECT_EQ(dist[2], 1);
+  EXPECT_EQ(dist[3], -1);  // unreachable
+}
+
+TEST(Digraph, MinCycleWeightThroughEdge) {
+  Digraph g = two_cycles();
+  // Edge 0: 0->1 weight 1, back 1->0 weight 0: cycle weight 1.
+  EXPECT_EQ(min_cycle_weight_through_edge(g, 0).value(), 1);
+  // Edge 2: 1->2 weight 0, back 2->1 weight 2: cycle weight 2.
+  EXPECT_EQ(min_cycle_weight_through_edge(g, 2).value(), 2);
+  EXPECT_EQ(min_cycle_weight(g).value(), 1);
+}
+
+TEST(Digraph, MinCycleWeightAcyclic) {
+  Digraph g(2);
+  g.add_edge(0, 1, 3);
+  EXPECT_FALSE(min_cycle_weight_through_edge(g, 0).has_value());
+  EXPECT_FALSE(min_cycle_weight(g).has_value());
+}
+
+}  // namespace
+}  // namespace cipnet

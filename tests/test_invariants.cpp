@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "models/arbiter.h"
+#include "models/translator.h"
+#include "petri/invariants.h"
+#include "reach/reachability.h"
+#include "sim/random_net.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+
+TEST(Invariants, CycleHasOnePlaceSemiflow) {
+  PetriNet net = chain_net({"a", "b", "c"}, /*cyclic=*/true);
+  auto flows = place_semiflows(net);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].weights, (std::vector<std::int64_t>{1, 1, 1}));
+  EXPECT_EQ(invariant_constant(net, flows[0]), 1);
+  EXPECT_TRUE(covered_by_place_semiflows(net));
+}
+
+TEST(Invariants, CycleHasOneTransitionSemiflow) {
+  PetriNet net = chain_net({"a", "b", "c"}, /*cyclic=*/true);
+  auto flows = transition_semiflows(net);
+  ASSERT_EQ(flows.size(), 1u);
+  // Firing each transition once reproduces the marking.
+  EXPECT_EQ(flows[0].weights, (std::vector<std::int64_t>{1, 1, 1}));
+}
+
+TEST(Invariants, AcyclicChainConservesItsToken) {
+  // The chain merely moves the token, so 1·(c0+c1+c2) is invariant — but
+  // there is no T-semiflow (nothing reproduces the marking).
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/false);
+  auto flows = place_semiflows(net);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].weights, (std::vector<std::int64_t>{1, 1, 1}));
+  EXPECT_TRUE(transition_semiflows(net).empty());
+  EXPECT_TRUE(covered_by_place_semiflows(net));
+}
+
+TEST(Invariants, SourceTransitionKillsCoverage) {
+  // A source transition pumps tokens: the fed place can be in no
+  // non-negative invariant, so the net is not covered (and indeed
+  // unbounded).
+  PetriNet net;
+  PlaceId p = net.add_place("p", 0);
+  net.add_transition({}, "pump", {p});
+  EXPECT_TRUE(place_semiflows(net).empty());
+  EXPECT_FALSE(covered_by_place_semiflows(net));
+}
+
+TEST(Invariants, ForkJoinHasTwoMinimalSemiflows) {
+  // fork: p -> {x, y}; join: {x, y} -> p. The *minimal* semiflows are
+  // p + x and p + y (their sum 2p + x + y is not support-minimal).
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId x = net.add_place("x", 0);
+  PlaceId y = net.add_place("y", 0);
+  net.add_transition({p}, "fork", {x, y});
+  net.add_transition({x, y}, "join", {p});
+  auto flows = place_semiflows(net);
+  ASSERT_EQ(flows.size(), 2u);
+  std::vector<std::vector<std::int64_t>> weights{flows[0].weights,
+                                                 flows[1].weights};
+  std::sort(weights.begin(), weights.end());
+  EXPECT_EQ(weights[0], (std::vector<std::int64_t>{1, 0, 1}));
+  EXPECT_EQ(weights[1], (std::vector<std::int64_t>{1, 1, 0}));
+  EXPECT_EQ(invariant_constant(net, flows[0]), 1);
+  EXPECT_EQ(invariant_constant(net, flows[1]), 1);
+}
+
+TEST(Invariants, ArbiterMutexInvariant) {
+  // The mutual-exclusion place yields the invariant
+  // mutex + granted1 + releasing1 + granted2 + releasing2 = 1: at most one
+  // client inside the critical section.
+  const Circuit arb = models::arbiter2();
+  const PetriNet& net = arb.net();
+  auto flows = place_semiflows(net);
+  PlaceId mutex = *net.find_place("arb_mutex");
+  const Semiflow* mutex_flow = nullptr;
+  for (const Semiflow& flow : flows) {
+    if (flow.weights[mutex.index()] != 0) {
+      mutex_flow = &flow;
+      break;
+    }
+  }
+  ASSERT_NE(mutex_flow, nullptr);
+  EXPECT_EQ(invariant_constant(net, *mutex_flow), 1);
+  // The invariant weight covers both granted places.
+  EXPECT_NE(
+      mutex_flow->weights[net.find_place("arb_granted1")->index()], 0);
+  EXPECT_NE(
+      mutex_flow->weights[net.find_place("arb_granted2")->index()], 0);
+}
+
+TEST(Invariants, HoldOnEveryReachableMarking) {
+  const Circuit sender = models::sender();
+  const PetriNet& net = sender.net();
+  auto flows = place_semiflows(net);
+  ASSERT_FALSE(flows.empty());
+  auto rg = explore(net);
+  for (const Semiflow& flow : flows) {
+    for (StateId s : rg.all_states()) {
+      EXPECT_TRUE(invariant_holds(net, flow, rg.marking(s)));
+    }
+  }
+}
+
+TEST(Invariants, RandomNetSweepInvariantsHoldAlongWalks) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomNetConfig config;
+    config.seed = seed * 17;
+    PetriNet net = random_net(config);
+    std::vector<Semiflow> flows;
+    try {
+      flows = place_semiflows(net);
+    } catch (const LimitError&) {
+      continue;
+    }
+    Simulator sim(net, seed);
+    for (int walk = 0; walk < 5; ++walk) {
+      WalkResult result = sim.random_walk(12);
+      for (const Semiflow& flow : flows) {
+        EXPECT_TRUE(invariant_holds(net, flow, result.final_marking))
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Invariants, SelfLoopContributesNothing) {
+  // A read arc must not appear in the incidence matrix (Definition 2.2).
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId r = net.add_place("r", 1);
+  net.add_transition({p, r}, "a", {r});  // consumes p, reads r
+  net.add_transition({}, "b", {p});      // replenishes p
+  auto flows = place_semiflows(net);
+  // r alone is invariant (its token never moves).
+  bool found_r = false;
+  for (const Semiflow& flow : flows) {
+    if (flow.weights[r.index()] != 0 && flow.weights[p.index()] == 0) {
+      found_r = true;
+    }
+  }
+  EXPECT_TRUE(found_r);
+}
+
+TEST(Invariants, TSemiflowReproducesMarking) {
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/true);
+  auto flows = transition_semiflows(net);
+  ASSERT_EQ(flows.size(), 1u);
+  // Fire according to the semiflow: marking must return to M0.
+  Marking m = net.initial_marking();
+  // a then b (weights 1, 1).
+  net.fire_in_place(m, TransitionId(0));
+  net.fire_in_place(m, TransitionId(1));
+  EXPECT_EQ(m, net.initial_marking());
+}
+
+TEST(Invariants, SemiflowSupportAndZero) {
+  Semiflow flow;
+  flow.weights = {0, 2, 0, 1};
+  EXPECT_FALSE(flow.is_zero());
+  EXPECT_EQ(flow.support(), (std::vector<std::size_t>{1, 3}));
+  Semiflow zero;
+  zero.weights = {0, 0};
+  EXPECT_TRUE(zero.is_zero());
+}
+
+}  // namespace
+}  // namespace cipnet

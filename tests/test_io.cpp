@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "io/astg.h"
+#include "io/dot.h"
+#include "io/net_format.h"
+#include "models/translator.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::languages_equal;
+
+PetriNet guarded_net() {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  net.add_transition({p0}, "a+", {p1}, Guard({{"d", true}, {"s", false}}));
+  net.add_transition({p1}, "a-", {p0});
+  net.add_action("ghost+");
+  return net;
+}
+
+TEST(NetFormat, RoundTripPreservesStructureAndLanguage) {
+  PetriNet original = guarded_net();
+  std::string text = write_net(original, "guarded");
+  PetriNet parsed = read_net(text);
+  EXPECT_EQ(parsed.place_count(), original.place_count());
+  EXPECT_EQ(parsed.transition_count(), original.transition_count());
+  EXPECT_EQ(parsed.alphabet(), original.alphabet());  // incl. ghost+
+  EXPECT_EQ(parsed.initial_marking(), original.initial_marking());
+  EXPECT_EQ(parsed.transition(TransitionId(0)).guard.to_string(), "d & !s");
+  EXPECT_TRUE(languages_equal(testutil::lang_of(parsed),
+                              testutil::lang_of(original)));
+}
+
+TEST(NetFormat, RoundTripOnSenderModel) {
+  const Circuit sender = models::sender();
+  const PetriNet& original = sender.net();
+  PetriNet parsed = read_net(write_net(original, "sender"));
+  EXPECT_EQ(parsed.transition_count(), original.transition_count());
+  EXPECT_TRUE(languages_equal(testutil::lang_of(parsed),
+                              testutil::lang_of(original)));
+}
+
+TEST(NetFormat, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(read_net(".place p\n.trans a : nope -> p\n.end\n"),
+               ParseError);
+  try {
+    read_net(".place p\n\n.bogus\n.end\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(NetFormat, MissingEndRejected) {
+  EXPECT_THROW(read_net(".place p\n"), ParseError);
+}
+
+TEST(NetFormat, DuplicatePlaceRejected) {
+  EXPECT_THROW(read_net(".place p\n.place p\n.end\n"), ParseError);
+}
+
+TEST(Astg, RoundTripSimpleStg) {
+  Stg stg;
+  stg.add_signal("req", SignalKind::kInput);
+  stg.add_signal("ack", SignalKind::kOutput);
+  PlaceId p0 = stg.add_place("p0", 1);
+  PlaceId p1 = stg.add_place("p1", 0);
+  PlaceId p2 = stg.add_place("p2", 0);
+  PlaceId p3 = stg.add_place("p3", 0);
+  stg.add_edge_transition({p0}, "req", EdgeType::kRise, {p1});
+  stg.add_edge_transition({p1}, "ack", EdgeType::kRise, {p2});
+  stg.add_edge_transition({p2}, "req", EdgeType::kFall, {p3});
+  stg.add_edge_transition({p3}, "ack", EdgeType::kFall, {p0});
+
+  std::string text = write_astg(stg, "handshake");
+  Stg parsed = read_astg(text);
+  EXPECT_EQ(parsed.kind("req"), SignalKind::kInput);
+  EXPECT_EQ(parsed.kind("ack"), SignalKind::kOutput);
+  EXPECT_EQ(parsed.net().transition_count(), 4u);
+  EXPECT_TRUE(languages_equal(testutil::lang_of(parsed.net()),
+                              testutil::lang_of(stg.net())));
+}
+
+TEST(Astg, ImplicitPlacesBetweenTransitions) {
+  const char* text =
+      ".model imp\n"
+      ".inputs a\n"
+      ".outputs b\n"
+      ".graph\n"
+      "a+ b+\n"
+      "b+ a-\n"
+      "a- b-\n"
+      "b- a+\n"
+      ".marking { <b-,a+> }\n"
+      ".end\n";
+  Stg stg = read_astg(text);
+  EXPECT_EQ(stg.net().transition_count(), 4u);
+  EXPECT_EQ(stg.net().place_count(), 4u);
+  EXPECT_EQ(stg.net().initial_marking().total(), 1u);
+  Dfa dfa = testutil::lang_of(stg.net());
+  EXPECT_TRUE(dfa.accepts({"a+", "b+", "a-", "b-", "a+"}));
+  EXPECT_FALSE(dfa.accepts({"b+"}));
+}
+
+TEST(Astg, InstanceSuffixesAndDummies) {
+  const char* text =
+      ".model multi\n"
+      ".inputs a\n"
+      ".dummy eps0\n"
+      ".graph\n"
+      "p0 a+/1 a+/2\n"
+      "a+/1 p1\n"
+      "a+/2 p1\n"
+      "p1 eps0\n"
+      "eps0 p0\n"
+      ".marking { p0 }\n"
+      ".end\n";
+  Stg stg = read_astg(text);
+  auto a_plus = stg.net().find_action("a+");
+  ASSERT_TRUE(a_plus.has_value());
+  EXPECT_EQ(stg.net().transitions_with_action(*a_plus).size(), 2u);
+  auto eps = stg.net().find_action(std::string(kEpsilonLabel));
+  ASSERT_TRUE(eps.has_value());
+  EXPECT_EQ(stg.net().transitions_with_action(*eps).size(), 1u);
+}
+
+TEST(Astg, RoundTripTranslatorModel) {
+  Stg original = models::receiver().to_stg();
+  Stg parsed = read_astg(write_astg(original, "receiver"));
+  EXPECT_EQ(parsed.net().transition_count(),
+            original.net().transition_count());
+  EXPECT_TRUE(languages_equal(testutil::lang_of(parsed.net()),
+                              testutil::lang_of(original.net())));
+}
+
+TEST(Astg, ArcBetweenPlacesRejected) {
+  const char* text =
+      ".model bad\n"
+      ".inputs a\n"
+      ".graph\n"
+      "p0 p1\n"
+      ".marking { p0 }\n"
+      ".end\n";
+  EXPECT_THROW(read_astg(text), ParseError);
+}
+
+TEST(Dot, NetExportMentionsEveryNode) {
+  PetriNet net = guarded_net();
+  std::string dot = to_dot(net, "g");
+  EXPECT_NE(dot.find("p0"), std::string::npos);
+  EXPECT_NE(dot.find("a+"), std::string::npos);
+  EXPECT_NE(dot.find("d & !s"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Dot, ReachabilityExport) {
+  PetriNet net = guarded_net();
+  auto rg = explore(net);
+  std::string dot = to_dot(net, rg, "rg");
+  EXPECT_NE(dot.find("s0"), std::string::npos);
+  EXPECT_NE(dot.find("a+"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "lang/ops.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+using testutil::languages_equal;
+
+Nfa word_nfa(const std::vector<std::string>& word) {
+  Nfa nfa;
+  int prev = nfa.add_state(true);
+  nfa.set_initial(prev);
+  for (const auto& label : word) {
+    int next = nfa.add_state(true);
+    nfa.add_edge(prev, label, next);
+    prev = next;
+  }
+  return nfa;
+}
+
+TEST(Nfa, AlphabetCollectsEdgeLabels) {
+  Nfa nfa = word_nfa({"b", "a", "b"});
+  EXPECT_EQ(nfa.edge_alphabet(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Dfa, AcceptsAndCounts) {
+  Dfa dfa = determinize(word_nfa({"a", "b"}));
+  EXPECT_TRUE(dfa.accepts({}));
+  EXPECT_TRUE(dfa.accepts({"a"}));
+  EXPECT_TRUE(dfa.accepts({"a", "b"}));
+  EXPECT_FALSE(dfa.accepts({"b"}));
+  EXPECT_FALSE(dfa.accepts({"a", "b", "a"}));
+  EXPECT_EQ(dfa.count_words(5), 3ull);
+}
+
+TEST(Ops, NetToNfaMatchesBoundedEnumeration) {
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/true);
+  Dfa dfa = canonical_language(net);
+  TraceEnumOptions opts;
+  opts.max_length = 5;
+  for (const Trace& t : bounded_language(net, opts)) {
+    EXPECT_TRUE(dfa.accepts(t)) << trace_to_string(t);
+  }
+  EXPECT_FALSE(dfa.accepts({"b"}));
+}
+
+TEST(Ops, RenameLabels) {
+  Nfa nfa = word_nfa({"a", "b"});
+  Nfa renamed = rename_labels(nfa, {{"a", "x"}});
+  Dfa dfa = determinize(renamed);
+  EXPECT_TRUE(dfa.accepts({"x", "b"}));
+  EXPECT_FALSE(dfa.accepts({"a", "b"}));
+}
+
+TEST(Ops, HideMakesLabelInvisible) {
+  Nfa nfa = word_nfa({"a", "b", "c"});
+  Dfa dfa = minimize(determinize(hide_labels(nfa, {"b"})));
+  EXPECT_TRUE(dfa.accepts({"a", "c"}));
+  EXPECT_TRUE(dfa.accepts({"a"}));
+  EXPECT_FALSE(dfa.accepts({"a", "b", "c"}));
+}
+
+TEST(Ops, ProjectKeepsOnlyListed) {
+  Nfa nfa = word_nfa({"a", "b", "c"});
+  Dfa dfa = minimize(determinize(project_labels(nfa, {"b"})));
+  EXPECT_TRUE(dfa.accepts({"b"}));
+  EXPECT_FALSE(dfa.accepts({"a"}));
+}
+
+TEST(Ops, UnionOfWordLanguages) {
+  Nfa u = union_nfa(word_nfa({"a", "b"}), word_nfa({"c"}));
+  Dfa dfa = determinize(u);
+  EXPECT_TRUE(dfa.accepts({"a", "b"}));
+  EXPECT_TRUE(dfa.accepts({"c"}));
+  EXPECT_FALSE(dfa.accepts({"a", "c"}));
+}
+
+TEST(Ops, SyncProductInterleavesUnsharedAndJoinsShared) {
+  // a.c || b.c with shared {c}: c must happen once, after both a and b.
+  Nfa left = word_nfa({"a", "c"});
+  Nfa right = word_nfa({"b", "c"});
+  Dfa dfa = determinize(sync_product(left, right, {"c"}));
+  EXPECT_TRUE(dfa.accepts({"a", "b", "c"}));
+  EXPECT_TRUE(dfa.accepts({"b", "a", "c"}));
+  EXPECT_FALSE(dfa.accepts({"a", "c"}));
+  EXPECT_FALSE(dfa.accepts({"c"}));
+}
+
+TEST(Ops, SyncProductCanBeEmptyBeyondRoot) {
+  // Definition 4.8's remark: a.b.c || c.a.b synchronizing on everything has
+  // no common non-empty word.
+  Nfa left = word_nfa({"a", "b", "c"});
+  Nfa right = word_nfa({"c", "a", "b"});
+  Dfa dfa = determinize(sync_product(left, right, {"a", "b", "c"}));
+  EXPECT_TRUE(dfa.accepts({}));
+  EXPECT_FALSE(dfa.accepts({"a"}));
+  EXPECT_FALSE(dfa.accepts({"c"}));
+}
+
+TEST(Ops, SharedLabelAbsentFromOneSideBlocks) {
+  // `x` is shared but only the left automaton has it: it can never fire.
+  Nfa left = word_nfa({"x"});
+  Nfa right = word_nfa({"b"});
+  Dfa dfa = determinize(sync_product(left, right, {"x"}));
+  EXPECT_TRUE(dfa.accepts({"b"}));
+  EXPECT_FALSE(dfa.accepts({"x"}));
+  EXPECT_FALSE(dfa.accepts({"b", "x"}));
+}
+
+TEST(Ops, DeterminizeHandlesEpsilonCycles) {
+  Nfa nfa;
+  int s0 = nfa.add_state(true);
+  int s1 = nfa.add_state(true);
+  nfa.set_initial(s0);
+  nfa.add_edge(s0, std::nullopt, s1);
+  nfa.add_edge(s1, std::nullopt, s0);
+  nfa.add_edge(s1, "a", s0);
+  Dfa dfa = determinize(nfa);
+  EXPECT_TRUE(dfa.accepts({"a", "a"}));
+}
+
+TEST(Ops, MinimizeMergesEquivalentStates) {
+  // Two parallel branches accepting the same language collapse.
+  Nfa nfa;
+  int s0 = nfa.add_state(true);
+  int s1 = nfa.add_state(true);
+  int s2 = nfa.add_state(true);
+  nfa.set_initial(s0);
+  nfa.add_edge(s0, "a", s1);
+  nfa.add_edge(s0, "a", s2);
+  nfa.add_edge(s1, "b", s1);
+  nfa.add_edge(s2, "b", s2);
+  Dfa dfa = minimize(determinize(nfa));
+  EXPECT_EQ(dfa.state_count(), 2);
+  EXPECT_TRUE(dfa.accepts({"a", "b", "b"}));
+}
+
+TEST(Ops, MinimizePrunesUnproductiveStates) {
+  Dfa dfa;
+  int s0 = dfa.add_state(true);
+  int s1 = dfa.add_state(false);  // dead: no way back to acceptance
+  dfa.set_initial(s0);
+  dfa.set_edge(s0, "a", s1);
+  dfa.set_edge(s1, "a", s1);
+  Dfa min = minimize(dfa);
+  EXPECT_EQ(min.state_count(), 1);
+  EXPECT_FALSE(min.accepts({"a"}));
+}
+
+TEST(Ops, DistinguishingWordFoundAndAbsent) {
+  Dfa a = determinize(word_nfa({"a", "b"}));
+  Dfa b = determinize(word_nfa({"a"}));
+  auto w = distinguishing_word(a, b);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(trace_to_string(*w), "a.b");
+  EXPECT_TRUE(equivalent(a, a));
+  EXPECT_FALSE(equivalent(a, b));
+}
+
+TEST(Ops, EquivalenceIgnoresRepresentation) {
+  // Same language built two ways: (a b)* prefix-closed from a net vs from a
+  // hand-made NFA.
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/true);
+  Dfa from_net = canonical_language(net);
+  Nfa nfa;
+  int s0 = nfa.add_state(true);
+  int s1 = nfa.add_state(true);
+  nfa.set_initial(s0);
+  nfa.add_edge(s0, "a", s1);
+  nfa.add_edge(s1, "b", s0);
+  Dfa by_hand = minimize(determinize(nfa));
+  EXPECT_TRUE(languages_equal(from_net, by_hand));
+}
+
+TEST(Ops, SubsetWitness) {
+  Dfa big = determinize(word_nfa({"a", "b"}));
+  Dfa small = determinize(word_nfa({"a"}));
+  EXPECT_FALSE(subset_witness(small, big).has_value());
+  auto w = subset_witness(big, small);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(trace_to_string(*w), "a.b");
+}
+
+TEST(Ops, CanonicalLanguageHidesRequestedLabels) {
+  PetriNet net = chain_net({"a", "h", "b"}, /*cyclic=*/false);
+  Dfa dfa = canonical_language(net, {"h"});
+  EXPECT_TRUE(dfa.accepts({"a", "b"}));
+  EXPECT_FALSE(dfa.accepts({"a", "h", "b"}));
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "circuit/receptive.h"
+#include "circuit/simplify.h"
+#include "helpers.h"
+#include "lang/ops.h"
+#include "models/figures.h"
+#include "models/translator.h"
+#include "petri/structure.h"
+#include "reach/properties.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::languages_equal;
+
+TEST(Figures, Fig1OperandsAreLiveSafeCycles) {
+  for (const PetriNet& net : {models::fig1_left(), models::fig1_right()}) {
+    auto rg = explore(net);
+    EXPECT_EQ(rg.state_count(), 2u);
+    EXPECT_TRUE(is_safe(rg));
+    EXPECT_TRUE(is_live(net, rg));
+    EXPECT_TRUE(is_marked_graph(net));
+  }
+}
+
+TEST(Figures, Fig2CompositionMatchesPaperSizes) {
+  // 2 + 4 places, 3 + 4 transitions with one shared label appearing 1 x 2
+  // times -> 6 places, 2 joined + 4 copied transitions.
+  EXPECT_EQ(models::fig2_left().transition_count(), 3u);
+  EXPECT_EQ(models::fig2_right().transition_count(), 4u);
+}
+
+TEST(Figures, Fig3ShapeMatchesText) {
+  PetriNet net = models::fig3_net();
+  // 13 transitions: a,b,c,d producers; e,f conflictive; t; g,h,i,j
+  // successors; k,l extra producers.
+  EXPECT_EQ(net.transition_count(), 13u);
+  auto t = net.find_action("t");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(net.transitions_with_action(*t).size(), 1u);
+  const auto& tr = net.transition(net.transitions_with_action(*t)[0]);
+  EXPECT_EQ(tr.preset.size(), 2u);
+  EXPECT_EQ(tr.postset.size(), 2u);
+  EXPECT_FALSE(is_marked_graph(net));  // e/f conflict with t
+}
+
+TEST(Figures, Fig3MarkedGraphVariantIsMarkedGraph) {
+  EXPECT_TRUE(is_marked_graph(models::fig3_marked_graph()));
+}
+
+TEST(Table1, TranslationRowsMatchPaper) {
+  auto snd = models::sender_translation_table();
+  ASSERT_EQ(snd.size(), 4u);
+  EXPECT_EQ(snd[0].command, "rec");
+  EXPECT_EQ(snd[0].rail_a, "a0");
+  EXPECT_EQ(snd[0].rail_b, "b0");
+  EXPECT_EQ(snd[3].command, "send1");
+  EXPECT_EQ(snd[3].rail_a, "a1");
+  EXPECT_EQ(snd[3].rail_b, "b1");
+  auto rcv = models::receiver_translation_table();
+  ASSERT_EQ(rcv.size(), 4u);
+  EXPECT_EQ(rcv[1].command, "mute");
+  EXPECT_EQ(rcv[1].rail_a, "p0");
+  EXPECT_EQ(rcv[1].rail_b, "q1");
+}
+
+TEST(Sender, InterfaceAndLiveness) {
+  Circuit c = models::sender();
+  EXPECT_EQ(c.outputs(), (std::vector<std::string>{"a0", "a1", "b0", "b1"}));
+  EXPECT_EQ(c.inputs().size(), 5u);
+  auto rg = explore(c.net());
+  EXPECT_TRUE(is_safe(rg));
+  EXPECT_TRUE(is_live(c.net(), rg));
+}
+
+TEST(Sender, FourPhaseOrderEnforced) {
+  Dfa dfa = canonical_language(models::sender().net());
+  EXPECT_TRUE(dfa.accepts(
+      {"rec~", "a0+", "b0+", "n+", "a0-", "b0-", "n-", "reset~"}));
+  // Rails may rise in either order.
+  EXPECT_TRUE(dfa.accepts({"rec~", "b0+", "a0+", "n+"}));
+  // But must not fall before the acknowledge.
+  EXPECT_FALSE(dfa.accepts({"rec~", "a0+", "b0+", "a0-"}));
+  // One command at a time.
+  EXPECT_FALSE(dfa.accepts({"rec~", "reset~"}));
+}
+
+TEST(Translator, InterfaceAndInitialStart) {
+  Circuit c = models::translator();
+  EXPECT_EQ(c.outputs(), (std::vector<std::string>{"n", "p0", "p1", "q0", "q1"}));
+  Dfa dfa = canonical_language(c.net(), {std::string(kEpsilonLabel)});
+  // Initially it sends start: p0/q0 rise before anything else on its
+  // outputs.
+  EXPECT_TRUE(dfa.accepts({"p0+", "q0+", "r+", "p0-", "q0-", "r-"}));
+  EXPECT_FALSE(dfa.accepts({"p1+"}));
+  EXPECT_FALSE(dfa.accepts({"n+"}));
+}
+
+TEST(Receiver, EveryCommandRoundTrips) {
+  Circuit c = models::receiver();
+  Dfa dfa = canonical_language(c.net());
+  for (const auto& row : models::receiver_translation_table()) {
+    EXPECT_TRUE(dfa.accepts({row.rail_a + "+", row.rail_b + "+",
+                             row.command + "~", "r+", row.rail_a + "-",
+                             row.rail_b + "-", "r-"}))
+        << row.command;
+  }
+  // The command toggle requires both rails.
+  EXPECT_FALSE(dfa.accepts({"p0+", "start~"}));
+}
+
+TEST(SectionSix, ConsistentSenderTranslatorIsReceptive) {
+  auto report =
+      check_receptiveness(models::sender(), models::translator());
+  EXPECT_TRUE(report.receptive());
+  EXPECT_GT(report.checked_transitions, 0u);
+}
+
+TEST(SectionSix, TranslatorReceiverIsReceptive) {
+  auto report =
+      check_receptiveness(models::translator(), models::receiver());
+  EXPECT_TRUE(report.receptive());
+}
+
+TEST(SectionSix, InconsistentSenderFailsReceptiveness) {
+  auto report = check_receptiveness(models::sender_inconsistent(),
+                                    models::translator());
+  ASSERT_FALSE(report.receptive());
+  // The failure is on a rail fall: the sender lowers without the ack.
+  bool rail_fall = false;
+  for (const auto& f : report.failures) {
+    if (f.label.size() >= 2 && f.label.back() == '-' &&
+        (f.label[0] == 'a' || f.label[0] == 'b')) {
+      rail_fall = true;
+      EXPECT_TRUE(f.output_on_left);
+    }
+  }
+  EXPECT_TRUE(rail_fall);
+}
+
+TEST(SectionSix, FullStackComposes) {
+  auto st = compose(models::sender(), models::translator());
+  auto full = compose(st.circuit, models::receiver());
+  EXPECT_EQ(full.circuit.inputs(),
+            (std::vector<std::string>{"d", "rec", "reset", "s", "send0",
+                                      "send1"}));
+  auto rg = explore(full.circuit.net());
+  EXPECT_TRUE(is_safe(rg));
+  EXPECT_GT(rg.state_count(), 10u);
+}
+
+TEST(SectionSix, RestrictedSenderKillsRecBranch) {
+  auto result = simplify_against(models::translator(),
+                                 models::sender_restricted());
+  EXPECT_GT(result.stats.dead_transitions_removed, 0u);
+  EXPECT_LT(result.stats.transitions_after, result.stats.transitions_before);
+  // The DATA/STROBE sampling is gone from the simplified translator.
+  Dfa dfa = canonical_language(result.simplified.net(),
+                               {std::string(kEpsilonLabel)});
+  EXPECT_FALSE(dfa.accepts({"d="}));
+}
+
+TEST(SectionSix, SimplifiedTranslatorNeverSendsMute) {
+  auto result = simplify_against(models::translator(),
+                                 models::sender_restricted());
+  // mute = (p0, q1): q1 can still rise for `one` = (p1, q1), but the mute
+  // combination p0+ together with q1+ must be unreachable.
+  Dfa dfa = canonical_language(result.simplified.net(),
+                               {std::string(kEpsilonLabel)});
+  EXPECT_FALSE(dfa.accepts({"p0+", "q1+"}));
+  EXPECT_FALSE(dfa.accepts({"q1+", "p0+"}));
+}
+
+TEST(SectionSix, SimplifiedReceiverLosesMute) {
+  // Environment of the receiver: restricted sender composed with the
+  // translator, projected implicitly by simplify_against.
+  auto env = compose(models::sender_restricted(), models::translator());
+  auto result = simplify_against(models::receiver(), env.circuit);
+  Dfa dfa = canonical_language(result.simplified.net(),
+                               {std::string(kEpsilonLabel)});
+  EXPECT_FALSE(dfa.accepts({"p0+", "q1+", "mute~"}));
+  // start / zero / one still work.
+  EXPECT_TRUE(dfa.accepts({"p0+", "q0+", "start~"}));
+}
+
+TEST(SectionSix, SimplifiedLanguageIsSubsetOfOriginal) {
+  // Theorem 5.1 on the real design.
+  auto result = simplify_against(models::translator(),
+                                 models::sender_restricted());
+  Dfa simplified = canonical_language(result.simplified.net(),
+                                      {std::string(kEpsilonLabel)});
+  Dfa original = canonical_language(models::translator().net(),
+                                    {std::string(kEpsilonLabel)});
+  EXPECT_FALSE(subset_witness(simplified, original).has_value());
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "lang/boolean.h"
+#include "lang/ops.h"
+#include "reach/trace_enum.h"
+#include "stg/persistency.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+
+Stg handshake() {
+  Stg stg;
+  stg.add_signal("req", SignalKind::kInput);
+  stg.add_signal("ack", SignalKind::kOutput);
+  PlaceId p0 = stg.add_place("p0", 1);
+  PlaceId p1 = stg.add_place("p1", 0);
+  PlaceId p2 = stg.add_place("p2", 0);
+  PlaceId p3 = stg.add_place("p3", 0);
+  stg.add_edge_transition({p0}, "req", EdgeType::kRise, {p1});
+  stg.add_edge_transition({p1}, "ack", EdgeType::kRise, {p2});
+  stg.add_edge_transition({p2}, "req", EdgeType::kFall, {p3});
+  stg.add_edge_transition({p3}, "ack", EdgeType::kFall, {p0});
+  return stg;
+}
+
+TEST(Persistency, HandshakeOutputsArePersistent) {
+  Stg stg = handshake();
+  StateGraph sg = build_state_graph(
+      stg, {{"req", Level::kLow}, {"ack", Level::kLow}});
+  auto report = check_output_persistency(sg, {"ack"});
+  EXPECT_TRUE(report.persistent());
+}
+
+TEST(Persistency, ConflictOnOutputDetected) {
+  // Output y is excited but an input edge steals the token: classic
+  // non-persistency (the choice place feeds both an input and an output
+  // transition).
+  Stg stg;
+  stg.add_signal("a", SignalKind::kInput);
+  stg.add_signal("y", SignalKind::kOutput);
+  PlaceId p = stg.add_place("p", 1);
+  PlaceId x1 = stg.add_place("x1", 0);
+  PlaceId x2 = stg.add_place("x2", 0);
+  stg.add_edge_transition({p}, "y", EdgeType::kRise, {x1});
+  stg.add_edge_transition({p}, "a", EdgeType::kRise, {x2});
+  StateGraph sg = build_state_graph(
+      stg, {{"a", Level::kLow}, {"y", Level::kLow}});
+  auto report = check_output_persistency(sg, {"y"});
+  ASSERT_FALSE(report.persistent());
+  EXPECT_EQ(report.violations[0].signal, "y");
+}
+
+TEST(Persistency, InputWithdrawalIsAllowed) {
+  // Same net but the conflicting signals are both inputs: the environment
+  // may withdraw an input, so no violation is reported for inputs.
+  Stg stg;
+  stg.add_signal("a", SignalKind::kInput);
+  stg.add_signal("b", SignalKind::kInput);
+  PlaceId p = stg.add_place("p", 1);
+  PlaceId x1 = stg.add_place("x1", 0);
+  PlaceId x2 = stg.add_place("x2", 0);
+  stg.add_edge_transition({p}, "a", EdgeType::kRise, {x1});
+  stg.add_edge_transition({p}, "b", EdgeType::kRise, {x2});
+  StateGraph sg = build_state_graph(
+      stg, {{"a", Level::kLow}, {"b", Level::kLow}});
+  auto report = check_output_persistency(sg, {});
+  EXPECT_TRUE(report.persistent());
+}
+
+Dfa word(const std::vector<std::string>& w) {
+  Nfa nfa;
+  int prev = nfa.add_state(w.empty());
+  nfa.set_initial(prev);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    int next = nfa.add_state(i + 1 == w.size());
+    nfa.add_edge(prev, w[i], next);
+    prev = next;
+  }
+  return determinize(nfa);
+}
+
+TEST(Boolean, IntersectAndUnion) {
+  // Prefix-closed languages of two chains.
+  Dfa a = canonical_language(chain_net({"x", "y"}, false, "a"));
+  Dfa b = canonical_language(chain_net({"x", "z"}, false, "b"));
+  Dfa both = intersect(a, b);
+  EXPECT_TRUE(both.accepts({"x"}));
+  EXPECT_FALSE(both.accepts({"x", "y"}));
+  Dfa either = union_dfa(a, b);
+  EXPECT_TRUE(either.accepts({"x", "y"}));
+  EXPECT_TRUE(either.accepts({"x", "z"}));
+  EXPECT_FALSE(either.accepts({"y"}));
+}
+
+TEST(Boolean, ComplementOverAlphabet) {
+  Dfa a = canonical_language(chain_net({"x"}, false));
+  Dfa not_a = complement(a, {"x", "q"});
+  EXPECT_FALSE(not_a.accepts({}));
+  EXPECT_FALSE(not_a.accepts({"x"}));
+  EXPECT_TRUE(not_a.accepts({"q"}));
+  EXPECT_TRUE(not_a.accepts({"x", "x"}));
+}
+
+TEST(Boolean, EmptinessAndShortestWord) {
+  Dfa a = canonical_language(chain_net({"x", "y"}, false));
+  EXPECT_FALSE(is_empty(a));
+  auto w = shortest_word(a);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->empty());  // prefix-closed: epsilon accepted
+  // Intersection with a disjoint word is empty.
+  EXPECT_TRUE(is_empty(intersect(word({"zz"}), a)));
+}
+
+TEST(Boolean, SafetyPropertyCheck) {
+  // Property: the composition never does y before x. Bad pattern: a word
+  // starting with y.
+  PetriNet net = chain_net({"x", "y"}, /*cyclic=*/true);
+  Dfa lang = canonical_language(net);
+  Nfa bad_nfa;
+  int s0 = bad_nfa.add_state(false);
+  int s1 = bad_nfa.add_state(true);
+  bad_nfa.set_initial(s0);
+  bad_nfa.add_edge(s0, "y", s1);
+  bad_nfa.add_edge(s1, "x", s1);
+  bad_nfa.add_edge(s1, "y", s1);
+  Dfa bad = determinize(bad_nfa);
+  EXPECT_FALSE(find_violation(lang, bad).has_value());
+
+  // A net that can start with y violates it, with a shortest witness.
+  PetriNet loose = chain_net({"y", "x"}, /*cyclic=*/true, "l");
+  auto witness = find_violation(canonical_language(loose), bad);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(trace_to_string(*witness), "y");
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "petri/marked_graph.h"
+#include "petri/net.h"
+#include "petri/rebuild.h"
+#include "petri/structure.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+// p0(1) -a-> p1 -b-> p0  — a safe live cycle.
+PetriNet cycle2() {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0});
+  return net;
+}
+
+TEST(PetriNet, BasicConstructionAndAccessors) {
+  PetriNet net = cycle2();
+  EXPECT_EQ(net.place_count(), 2u);
+  EXPECT_EQ(net.transition_count(), 2u);
+  EXPECT_EQ(net.action_count(), 2u);
+  EXPECT_EQ(net.arc_count(), 4u);
+  EXPECT_EQ(net.place(PlaceId(0)).name, "p0");
+  EXPECT_EQ(net.transition_label(TransitionId(0)), "a");
+  EXPECT_TRUE(net.find_action("a").has_value());
+  EXPECT_FALSE(net.find_action("zz").has_value());
+  EXPECT_EQ(net.find_place("p1"), PlaceId(1));
+  EXPECT_EQ(net.alphabet(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PetriNet, DuplicatePlaceNameThrows) {
+  PetriNet net;
+  net.add_place("p", 0);
+  EXPECT_THROW(net.add_place("p", 0), SemanticError);
+}
+
+TEST(PetriNet, ActionInterningIsIdempotent) {
+  PetriNet net;
+  ActionId a1 = net.add_action("x");
+  ActionId a2 = net.add_action("x");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(net.action_count(), 1u);
+}
+
+TEST(PetriNet, FiringMovesToken) {
+  PetriNet net = cycle2();
+  Marking m = net.initial_marking();
+  EXPECT_TRUE(net.is_enabled(m, TransitionId(0)));
+  EXPECT_FALSE(net.is_enabled(m, TransitionId(1)));
+  Marking m2 = net.fire(m, TransitionId(0));
+  EXPECT_EQ(m2[PlaceId(0)], 0u);
+  EXPECT_EQ(m2[PlaceId(1)], 1u);
+  Marking m3 = net.fire(m2, TransitionId(1));
+  EXPECT_EQ(m3, net.initial_marking());
+}
+
+TEST(PetriNet, SelfLoopTestsTokenWithoutConsuming) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId r = net.add_place("r", 1);
+  PlaceId s = net.add_place("s", 0);
+  // Reads r via self-loop while moving p -> s.
+  net.add_transition({p, r}, "a", {r, s});
+  Marking m = net.fire(net.initial_marking(), TransitionId(0));
+  EXPECT_EQ(m[p], 0u);
+  EXPECT_EQ(m[r], 1u);  // unchanged (Definition 2.2: p' in p and q)
+  EXPECT_EQ(m[s], 1u);
+}
+
+TEST(PetriNet, EnabledTransitionsListsAll) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  net.add_transition({p}, "a", {p});
+  net.add_transition({p}, "b", {});
+  PlaceId u = net.add_place("u", 0);
+  net.add_transition({u}, "c", {p});
+  auto enabled = net.enabled_transitions(net.initial_marking());
+  EXPECT_EQ(enabled,
+            (std::vector<TransitionId>{TransitionId(0), TransitionId(1)}));
+}
+
+TEST(PetriNet, ConsumersProducersIndexes) {
+  PetriNet net = cycle2();
+  EXPECT_EQ(net.consumers_of(PlaceId(0)),
+            (std::vector<TransitionId>{TransitionId(0)}));
+  EXPECT_EQ(net.producers_of(PlaceId(0)),
+            (std::vector<TransitionId>{TransitionId(1)}));
+}
+
+TEST(Marking, SafetyAndTotalAndMarkedPlaces) {
+  Marking m(3);
+  EXPECT_TRUE(m.is_safe());
+  m[PlaceId(1)] = 2;
+  EXPECT_FALSE(m.is_safe());
+  EXPECT_EQ(m.total(), 2u);
+  EXPECT_EQ(m.marked_places(), (std::vector<PlaceId>{PlaceId(1)}));
+}
+
+TEST(Structure, Cycle2IsMarkedGraphStateMachineFreeChoice) {
+  PetriNet net = cycle2();
+  StructureClass c = classify(net);
+  EXPECT_TRUE(c.marked_graph);
+  EXPECT_TRUE(c.state_machine);
+  EXPECT_TRUE(c.free_choice);
+  EXPECT_TRUE(c.extended_free_choice);
+  EXPECT_TRUE(is_strongly_connected(net));
+}
+
+TEST(Structure, ConflictPlaceBreaksMarkedGraph) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId x = net.add_place("x", 0);
+  PlaceId y = net.add_place("y", 0);
+  net.add_transition({p}, "a", {x});
+  net.add_transition({p}, "b", {y});
+  EXPECT_FALSE(is_marked_graph(net));
+  EXPECT_TRUE(is_free_choice(net));
+}
+
+TEST(Structure, NonFreeChoiceDetected) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId r = net.add_place("r", 1);
+  PlaceId x = net.add_place("x", 0);
+  net.add_transition({p}, "a", {x});
+  net.add_transition({p, r}, "b", {x});  // shares p but larger preset
+  EXPECT_FALSE(is_free_choice(net));
+  EXPECT_FALSE(is_extended_free_choice(net));
+}
+
+TEST(Structure, SynchronizationBreaksStateMachine) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId r = net.add_place("r", 1);
+  PlaceId x = net.add_place("x", 0);
+  net.add_transition({p, r}, "join", {x});
+  EXPECT_FALSE(is_state_machine(net));
+  EXPECT_TRUE(is_marked_graph(net));
+}
+
+TEST(Structure, TransitionGraphWeightsAreTokens) {
+  PetriNet net = cycle2();
+  auto tg = transition_graph(net);
+  ASSERT_TRUE(tg.has_value());
+  EXPECT_EQ(tg->graph.node_count(), 2);
+  EXPECT_EQ(tg->graph.edge_count(), 2);
+  std::int64_t total = 0;
+  for (int e = 0; e < tg->graph.edge_count(); ++e) {
+    total += tg->graph.edge(e).weight;
+  }
+  EXPECT_EQ(total, 1);
+}
+
+TEST(MarkedGraph, LivenessOfMarkedCycle) {
+  EXPECT_TRUE(mg_is_live(cycle2()));
+}
+
+TEST(MarkedGraph, TokenFreeCycleIsNotLive) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 0);
+  PlaceId p1 = net.add_place("p1", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0});
+  EXPECT_FALSE(mg_is_live(net));
+}
+
+TEST(MarkedGraph, PlaceBoundsAndSafeness) {
+  PetriNet net = cycle2();
+  EXPECT_EQ(mg_place_bound(net, PlaceId(0)).value(), 1u);
+  EXPECT_TRUE(mg_is_safe(net));
+}
+
+TEST(MarkedGraph, TwoTokenCycleIsUnsafe) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 1);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0});
+  EXPECT_TRUE(mg_is_live(net));
+  EXPECT_FALSE(mg_is_safe(net));
+  EXPECT_EQ(mg_place_bound(net, PlaceId(0)).value(), 2u);
+}
+
+TEST(MarkedGraph, DeadTransitionsBehindTokenFreeCycle) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 0);
+  PlaceId p1 = net.add_place("p1", 0);
+  PlaceId p2 = net.add_place("p2", 0);
+  net.add_transition({p0}, "a", {p1});  // on the token-free cycle
+  net.add_transition({p1}, "b", {p0, p2});
+  net.add_transition({p2}, "c", {});  // downstream of the dead cycle
+  auto dead = mg_dead_transitions(net);
+  EXPECT_EQ(dead.size(), 3u);
+}
+
+TEST(MarkedGraph, InitialTokenMakesChainFireable) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {});
+  EXPECT_TRUE(mg_dead_transitions(net).empty());
+}
+
+TEST(MarkedGraph, ThrowsOnNonMarkedGraph) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId x = net.add_place("x", 0);
+  PlaceId y = net.add_place("y", 0);
+  net.add_transition({p}, "a", {x});
+  net.add_transition({p}, "b", {y});
+  EXPECT_THROW(mg_dead_transitions(net), SemanticError);
+  EXPECT_THROW(mg_is_live(net), SemanticError);
+}
+
+TEST(Rebuild, RestrictKeepsAlphabetAndMapsIds) {
+  PetriNet net = cycle2();
+  auto slice = restrict_transitions(net, {TransitionId(0)});
+  EXPECT_EQ(slice.net.transition_count(), 1u);
+  EXPECT_EQ(slice.net.place_count(), 2u);
+  // Alphabet is preserved in full.
+  EXPECT_EQ(slice.net.alphabet(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(slice.transition_map[0].has_value());
+  EXPECT_FALSE(slice.transition_map[1].has_value());
+}
+
+TEST(Rebuild, DropIsolatedPlaces) {
+  PetriNet net;
+  net.add_place("isolated", 0);
+  PlaceId p = net.add_place("p", 1);
+  PlaceId x = net.add_place("x", 0);
+  net.add_transition({p}, "a", {x});
+  auto slice = restrict_transitions(net, net.all_transitions(),
+                                    /*drop_isolated_places=*/true);
+  EXPECT_EQ(slice.net.place_count(), 2u);
+  EXPECT_FALSE(slice.net.find_place("isolated").has_value());
+}
+
+TEST(Rebuild, RemoveTransitionsComplementsRestrict) {
+  PetriNet net = cycle2();
+  auto slice = remove_transitions(net, {TransitionId(1)});
+  EXPECT_EQ(slice.net.transition_count(), 1u);
+  EXPECT_EQ(slice.net.transition_label(TransitionId(0)), "a");
+}
+
+TEST(Rebuild, CloneIsStructurallyIdentical) {
+  PetriNet net = cycle2();
+  PetriNet copy = clone(net);
+  EXPECT_EQ(copy.place_count(), net.place_count());
+  EXPECT_EQ(copy.transition_count(), net.transition_count());
+  EXPECT_EQ(copy.initial_marking(), net.initial_marking());
+}
+
+TEST(Guard, ConjoinEvaluateContradiction) {
+  Guard g1 = Guard::literal("d", true);
+  Guard g2 = Guard::literal("s", false);
+  Guard g = g1.conjoin(g2);
+  EXPECT_FALSE(g.is_true());
+  EXPECT_TRUE(g.evaluate({{"d", true}, {"s", false}}));
+  EXPECT_FALSE(g.evaluate({{"d", true}, {"s", true}}));
+  EXPECT_FALSE(g.evaluate({{"d", true}}));  // unknown signal
+  EXPECT_FALSE(g.is_contradiction());
+  Guard contra = g1.conjoin(Guard::literal("d", false));
+  EXPECT_TRUE(contra.is_contradiction());
+  EXPECT_EQ(Guard().to_string(), "true");
+  EXPECT_EQ(g.to_string(), "d & !s");
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "reach/dead.h"
+#include "reach/properties.h"
+#include "reach/reachability.h"
+#include "reach/trace_enum.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+PetriNet cycle2() {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0});
+  return net;
+}
+
+// Two independent cycles -> product state space.
+PetriNet two_independent_cycles() {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0});
+  PlaceId q0 = net.add_place("q0", 1);
+  PlaceId q1 = net.add_place("q1", 0);
+  net.add_transition({q0}, "c", {q1});
+  net.add_transition({q1}, "d", {q0});
+  return net;
+}
+
+TEST(Reachability, Cycle2HasTwoStates) {
+  auto rg = explore(cycle2());
+  EXPECT_EQ(rg.state_count(), 2u);
+  EXPECT_EQ(rg.edge_count(), 2u);
+  EXPECT_EQ(rg.marking(rg.initial()), cycle2().initial_marking());
+}
+
+TEST(Reachability, IndependentCyclesMultiply) {
+  auto rg = explore(two_independent_cycles());
+  EXPECT_EQ(rg.state_count(), 4u);
+  EXPECT_EQ(rg.edge_count(), 8u);
+}
+
+TEST(Reachability, StateLimitRaises) {
+  ReachOptions options;
+  options.max_states = 2;
+  EXPECT_THROW(explore(two_independent_cycles(), options), LimitError);
+}
+
+TEST(Reachability, DeadlockedNetHasOneState) {
+  PetriNet net;
+  net.add_place("p", 0);
+  auto rg = explore(net);
+  EXPECT_EQ(rg.state_count(), 1u);
+  EXPECT_EQ(deadlock_states(rg),
+            (std::vector<StateId>{rg.initial()}));
+}
+
+TEST(Properties, BoundedNetDetected) {
+  EXPECT_EQ(check_boundedness(cycle2()), Boundedness::kBounded);
+}
+
+TEST(Properties, UnboundedProducerDetected) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId out = net.add_place("out", 0);
+  net.add_transition({p}, "a", {p, out});  // pumps tokens into `out`
+  EXPECT_EQ(check_boundedness(net), Boundedness::kUnbounded);
+}
+
+TEST(Properties, UnboundedViaTwoStepPump) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  PlaceId acc = net.add_place("acc", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0, acc});
+  EXPECT_EQ(check_boundedness(net), Boundedness::kUnbounded);
+}
+
+TEST(Properties, SafeAndMaxTokens) {
+  auto rg = explore(cycle2());
+  EXPECT_TRUE(is_safe(rg));
+  EXPECT_EQ(max_tokens_in_any_place(rg), 1u);
+}
+
+TEST(Properties, UnsafeNetDetectedInReachability) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 1);
+  PlaceId sink = net.add_place("sink", 0);
+  net.add_transition({p0}, "a", {sink});
+  net.add_transition({p1}, "b", {sink});
+  auto rg = explore(net);
+  EXPECT_FALSE(is_safe(rg));
+  EXPECT_EQ(max_tokens_in_any_place(rg), 2u);
+}
+
+TEST(Properties, LivenessOfCycle) {
+  PetriNet net = cycle2();
+  auto rg = explore(net);
+  EXPECT_TRUE(is_live(net, rg));
+  EXPECT_TRUE(non_live_transitions(net, rg).empty());
+}
+
+TEST(Properties, OneShotTransitionIsNotLive) {
+  PetriNet net = cycle2();
+  PlaceId once = net.add_place("once", 1);
+  net.add_transition({once}, "c", {});
+  auto rg = explore(net);
+  EXPECT_FALSE(is_live(net, rg));
+  auto nl = non_live_transitions(net, rg);
+  ASSERT_EQ(nl.size(), 1u);
+  EXPECT_EQ(net.transition_label(nl[0]), "c");
+  // But it is not dead: it can fire once.
+  EXPECT_TRUE(dead_transitions(net, rg).empty());
+}
+
+TEST(Properties, DeadTransitionNeverEnabled) {
+  PetriNet net = cycle2();
+  PlaceId never = net.add_place("never", 0);
+  net.add_transition({never}, "dead", {});
+  auto rg = explore(net);
+  auto dead = dead_transitions(net, rg);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(net.transition_label(dead[0]), "dead");
+}
+
+TEST(Properties, FiringSequenceReconstructed) {
+  PetriNet net = cycle2();
+  auto rg = explore(net);
+  // Find the state where p1 is marked.
+  StateId target = rg.initial();
+  for (StateId s : rg.all_states()) {
+    if (rg.marking(s)[PlaceId(1)] == 1) target = s;
+  }
+  auto seq = firing_sequence_to(rg, target);
+  ASSERT_TRUE(seq.has_value());
+  ASSERT_EQ(seq->size(), 1u);
+  EXPECT_EQ(net.transition_label((*seq)[0]), "a");
+}
+
+TEST(DeadRemoval, UsesStructuralPathOnMarkedGraphs) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  PlaceId z0 = net.add_place("z0", 0);
+  PlaceId z1 = net.add_place("z1", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0});
+  net.add_transition({z0}, "x", {z1});  // token-free cycle: dead
+  net.add_transition({z1}, "y", {z0});
+  auto result = remove_dead_transitions(net);
+  EXPECT_EQ(result.method, DeadCheckMethod::kStructuralMarkedGraph);
+  EXPECT_EQ(result.removed, 2u);
+  EXPECT_EQ(result.slice.net.transition_count(), 2u);
+  EXPECT_FALSE(result.slice.net.find_place("z0").has_value());
+}
+
+TEST(DeadRemoval, FallsBackToReachability) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId x = net.add_place("x", 0);
+  PlaceId y = net.add_place("y", 0);
+  PlaceId never = net.add_place("never", 0);
+  net.add_transition({p}, "a", {x});
+  net.add_transition({p}, "b", {y});  // conflict: not a marked graph
+  net.add_transition({never}, "dead", {});
+  auto result = remove_dead_transitions(net);
+  EXPECT_EQ(result.method, DeadCheckMethod::kReachability);
+  EXPECT_EQ(result.removed, 1u);
+  EXPECT_EQ(result.slice.net.transition_count(), 2u);
+}
+
+TEST(TraceEnum, BoundedLanguageOfCycle) {
+  TraceEnumOptions options;
+  options.max_length = 3;
+  auto traces = bounded_language(cycle2(), options);
+  // <>, a, a.b, a.b.a
+  ASSERT_EQ(traces.size(), 4u);
+  EXPECT_EQ(trace_to_string(traces[0]), "<>");
+  EXPECT_EQ(trace_to_string(traces[3]), "a.b.a");
+}
+
+TEST(TraceEnum, SkipEpsilonCollapsesDummies) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  PlaceId p2 = net.add_place("p2", 0);
+  net.add_transition({p0}, std::string(kEpsilonLabel), {p1});
+  net.add_transition({p1}, "a", {p2});
+  TraceEnumOptions options;
+  options.max_length = 2;
+  options.skip_epsilon = true;
+  auto traces = bounded_language(net, options);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(trace_to_string(traces[1]), "a");
+}
+
+TEST(TraceEnum, AcceptsTraceChecksWord) {
+  PetriNet net = cycle2();
+  EXPECT_TRUE(accepts_trace(net, {"a", "b", "a"}));
+  EXPECT_FALSE(accepts_trace(net, {"b"}));
+  EXPECT_TRUE(accepts_trace(net, {}));
+}
+
+}  // namespace
+}  // namespace cipnet

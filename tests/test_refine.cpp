@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "algebra/refine.h"
+#include "helpers.h"
+#include "lang/ops.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+using testutil::languages_equal;
+
+TEST(Fragment, SequenceShape) {
+  Fragment f = Fragment::sequence({"r+", "a+", "r-", "a-"});
+  EXPECT_EQ(f.places.size(), 3u);
+  EXPECT_EQ(f.transitions.size(), 4u);
+  EXPECT_TRUE(f.transitions.front().entry);
+  EXPECT_TRUE(f.transitions.back().exit);
+  EXPECT_FALSE(f.transitions[1].entry);
+  EXPECT_THROW(Fragment::sequence({}), SemanticError);
+}
+
+TEST(Refine, SequenceReplacesTransition) {
+  PetriNet net = chain_net({"a", "go", "b"}, /*cyclic=*/true);
+  auto go = net.find_action("go");
+  ASSERT_TRUE(go.has_value());
+  PetriNet refined = refine_transition(
+      net, net.transitions_with_action(*go).front(),
+      Fragment::sequence({"r+", "k+", "r-", "k-"}));
+  Dfa dfa = canonical_language(refined);
+  EXPECT_TRUE(dfa.accepts({"a", "r+", "k+", "r-", "k-", "b", "a"}));
+  EXPECT_FALSE(dfa.accepts({"a", "go"}));
+  EXPECT_FALSE(dfa.accepts({"a", "r+", "b"}));  // must finish the sequence
+}
+
+TEST(Refine, LanguageEqualsSubstitutionOracle) {
+  // Refining `go` by the sequence r.k must equal hiding nothing but
+  // renaming at the language level: L(refined) with the fragment labels
+  // projected back to one event equals L(original).
+  PetriNet net = chain_net({"a", "go"}, /*cyclic=*/true);
+  auto go = net.find_action("go");
+  PetriNet refined =
+      refine_transition(net, net.transitions_with_action(*go).front(),
+                        Fragment::sequence({"r", "k"}));
+  // Hide k (the tail): then r plays the role of go.
+  Dfa lhs = canonical_language(refined, {"k"});
+  Dfa rhs = minimize(determinize(
+      rename_labels(nfa_of_net(net), {{"go", "r"}})));
+  EXPECT_TRUE(languages_equal(lhs, rhs));
+}
+
+TEST(Refine, EntryInheritsGuard) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId q = net.add_place("q", 0);
+  TransitionId t =
+      net.add_transition({p}, "go", {q}, Guard::literal("d", true));
+  PetriNet refined = refine_transition(net, t, Fragment::sequence({"r", "k"}));
+  bool found = false;
+  for (TransitionId u : refined.all_transitions()) {
+    if (refined.transition_label(u) == "r") {
+      found = true;
+      EXPECT_EQ(refined.transition(u).guard, Guard::literal("d", true));
+    }
+    if (refined.transition_label(u) == "k") {
+      EXPECT_TRUE(refined.transition(u).guard.is_true());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Refine, ConcurrentFragment) {
+  // Fork/join fragment: entry eps forks, two concurrent wire rises, exit
+  // joins — the shape the CIP data expansion uses.
+  Fragment fragment;
+  fragment.places = {{"f1", 0}, {"f2", 0}, {"g1", 0}, {"g2", 0}};
+  fragment.transitions.push_back(
+      {{}, std::string(kEpsilonLabel), {0, 1}, Guard(), true, false});
+  fragment.transitions.push_back({{0}, "w0+", {2}, Guard(), false, false});
+  fragment.transitions.push_back({{1}, "w1+", {3}, Guard(), false, false});
+  fragment.transitions.push_back({{2, 3}, "ack+", {}, Guard(), false, true});
+
+  PetriNet net = chain_net({"go", "z"}, /*cyclic=*/true);
+  auto go = net.find_action("go");
+  PetriNet refined = refine_transition(
+      net, net.transitions_with_action(*go).front(), fragment);
+  Dfa dfa = canonical_language(refined, {std::string(kEpsilonLabel)});
+  EXPECT_TRUE(dfa.accepts({"w0+", "w1+", "ack+", "z"}));
+  EXPECT_TRUE(dfa.accepts({"w1+", "w0+", "ack+", "z"}));
+  EXPECT_FALSE(dfa.accepts({"w0+", "ack+"}));
+}
+
+TEST(Refine, RefineLabelHitsEveryOccurrence) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId x = net.add_place("x", 0);
+  PlaceId y = net.add_place("y", 0);
+  net.add_transition({p}, "go", {x});
+  net.add_transition({p}, "go", {y});
+  PetriNet refined = refine_label(net, "go", Fragment::sequence({"r", "k"}));
+  EXPECT_FALSE(refined.transitions_with_action(
+                          *refined.find_action("go")).size() > 0);
+  auto r = refined.find_action("r");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(refined.transitions_with_action(*r).size(), 2u);
+}
+
+TEST(Refine, FragmentReusingLabelRejected) {
+  PetriNet net = chain_net({"go"}, /*cyclic=*/true);
+  EXPECT_THROW(refine_label(net, "go", Fragment::sequence({"go", "k"})),
+               SemanticError);
+}
+
+TEST(Refine, NoEntryOrExitRejected) {
+  Fragment f;
+  f.transitions.push_back({{}, "x", {}, Guard(), false, false});
+  PetriNet net = chain_net({"go"}, /*cyclic=*/true);
+  EXPECT_THROW(refine_transition(net, TransitionId(0), f), SemanticError);
+}
+
+}  // namespace
+}  // namespace cipnet

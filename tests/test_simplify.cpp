@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/simplify.h"
+#include "helpers.h"
+#include "lang/ops.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::languages_equal;
+
+/// Target: serves two request kinds (u and v handshakes).
+Circuit two_service_target() {
+  PetriNet net;
+  PlaceId idle = net.add_place("t_idle", 1);
+  PlaceId u1 = net.add_place("t_u1", 0);
+  PlaceId v1 = net.add_place("t_v1", 0);
+  net.add_transition({idle}, "u+", {u1});
+  net.add_transition({u1}, "du+", {idle});
+  net.add_transition({idle}, "v+", {v1});
+  net.add_transition({v1}, "dv+", {idle});
+  return Circuit("target", {"u", "v"}, {"du", "dv"}, std::move(net));
+}
+
+/// Environment that only ever issues `u` requests.
+Circuit u_only_environment() {
+  PetriNet net;
+  PlaceId p0 = net.add_place("e_p0", 1);
+  PlaceId p1 = net.add_place("e_p1", 0);
+  net.add_transition({p0}, "u+", {p1});
+  net.add_transition({p1}, "du+", {p0});
+  // v is known to the environment's alphabet but never produced.
+  net.add_action("v+");
+  return Circuit("env", {"du"}, {"u", "v"}, std::move(net));
+}
+
+TEST(Simplify, DeadBranchIsRemoved) {
+  auto result = simplify_against(two_service_target(), u_only_environment());
+  // The v-branch (v+, dv+) dies: the environment never raises v.
+  EXPECT_GE(result.stats.dead_transitions_removed, 1u);
+  EXPECT_LT(result.stats.transitions_after, result.stats.transitions_before);
+  auto labels = result.simplified.net().alphabet();
+  // dv+ may remain in the alphabet but must have no transitions.
+  auto dv = result.simplified.net().find_action("dv+");
+  if (dv) {
+    EXPECT_TRUE(result.simplified.net().transitions_with_action(*dv).empty());
+  }
+}
+
+TEST(Simplify, InterfaceIsPreserved) {
+  auto result = simplify_against(two_service_target(), u_only_environment());
+  EXPECT_EQ(result.simplified.inputs(), two_service_target().inputs());
+  EXPECT_EQ(result.simplified.outputs(), two_service_target().outputs());
+}
+
+TEST(Simplify, TheoremFiveOneLanguageShrinks) {
+  Circuit target = two_service_target();
+  Circuit env = u_only_environment();
+  auto result = simplify_against(target, env);
+  // L(simplified) ⊆ L(target) projected onto the target's labels.
+  Dfa simplified = canonical_language(result.simplified.net());
+  Dfa original = canonical_language(target.net());
+  EXPECT_FALSE(subset_witness(simplified, original).has_value());
+  // And it is a *strict* reduction here: v+ disappeared.
+  EXPECT_TRUE(original.accepts({"v+"}));
+  EXPECT_FALSE(simplified.accepts({"v+"}));
+}
+
+TEST(Simplify, EqualsProjectionOfComposition) {
+  // The simplified net's language must equal project(L(N1||N2), A_target)
+  // (modulo the eps transitions kept by the projection).
+  Circuit target = two_service_target();
+  Circuit env = u_only_environment();
+  auto result = simplify_against(target, env);
+  ComposeResult composed = compose(target, env);
+  Dfa expected = minimize(determinize(project_labels(
+      nfa_of_net(composed.circuit.net()),
+      Circuit("x", composed.circuit.inputs(), composed.circuit.outputs(),
+              composed.circuit.net())
+          .labels_of_signals(target.signals()))));
+  Dfa actual = canonical_language(result.simplified.net(),
+                                  {std::string(kEpsilonLabel)});
+  EXPECT_TRUE(languages_equal(actual, expected));
+}
+
+TEST(Simplify, IdenticalEnvironmentKeepsBehavior) {
+  // Environment that mirrors the target exactly: nothing shrinks
+  // language-wise.
+  Circuit target = two_service_target();
+  PetriNet net;
+  PlaceId p0 = net.add_place("m_p0", 1);
+  PlaceId p1 = net.add_place("m_p1", 0);
+  PlaceId p2 = net.add_place("m_p2", 0);
+  PlaceId p3 = net.add_place("m_p3", 0);
+  net.add_transition({p0}, "u+", {p1});
+  net.add_transition({p1}, "du+", {p0});
+  net.add_transition({p0}, "v+", {p2});
+  net.add_transition({p2}, "dv+", {p0});
+  (void)p3;
+  Circuit env("mirror", {"du", "dv"}, {"u", "v"}, std::move(net));
+  auto result = simplify_against(target, env);
+  EXPECT_TRUE(languages_equal(
+      canonical_language(result.simplified.net(),
+                         {std::string(kEpsilonLabel)}),
+      canonical_language(target.net())));
+}
+
+}  // namespace
+}  // namespace cipnet

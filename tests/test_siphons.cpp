@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "models/arbiter.h"
+#include "petri/siphons.h"
+#include "reach/properties.h"
+#include "reach/reachability.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+
+TEST(Siphons, CycleIsSiphonAndTrap) {
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/true);
+  auto all = net.all_places();
+  EXPECT_TRUE(is_siphon(net, all));
+  EXPECT_TRUE(is_trap(net, all));
+  EXPECT_FALSE(is_siphon(net, {}));
+  // A single place of the cycle is neither.
+  EXPECT_FALSE(is_siphon(net, {all[0]}));
+  EXPECT_FALSE(is_trap(net, {all[0]}));
+}
+
+TEST(Siphons, MinimalSiphonsOfCycle) {
+  PetriNet net = chain_net({"a", "b", "c"}, /*cyclic=*/true);
+  auto siphons = minimal_siphons(net);
+  ASSERT_EQ(siphons.size(), 1u);
+  EXPECT_EQ(siphons[0].size(), 3u);
+}
+
+TEST(Siphons, TwoIndependentCyclesGiveTwoSiphons) {
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/true, "l");
+  PlaceId r0 = net.add_place("r0", 1);
+  PlaceId r1 = net.add_place("r1", 0);
+  net.add_transition({r0}, "c", {r1});
+  net.add_transition({r1}, "d", {r0});
+  auto siphons = minimal_siphons(net);
+  EXPECT_EQ(siphons.size(), 2u);
+}
+
+TEST(Siphons, MaximalTrapWithin) {
+  // p can leak outside (transition `out` produces nothing in the set), so
+  // the maximal trap inside {p, q, r} is the q/r cycle.
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId q = net.add_place("q", 0);
+  PlaceId r = net.add_place("r", 0);
+  PlaceId outside = net.add_place("outside", 0);
+  net.add_transition({p}, "a", {q});
+  net.add_transition({p}, "out", {outside});
+  net.add_transition({q}, "b", {r});
+  net.add_transition({r}, "c", {q});
+  auto trap = maximal_trap_within(net, {p, q, r});
+  EXPECT_EQ(trap, (std::vector<PlaceId>{q, r}));
+  EXPECT_TRUE(is_trap(net, trap));
+  // Without the leak, the whole set is already a trap (tokens only move
+  // within it).
+  PetriNet tight;
+  PlaceId tp = tight.add_place("p", 1);
+  PlaceId tq = tight.add_place("q", 0);
+  tight.add_transition({tp}, "a", {tq});
+  tight.add_transition({tq}, "b", {tq});
+  EXPECT_EQ(maximal_trap_within(tight, {tp, tq}),
+            (std::vector<PlaceId>{tp, tq}));
+}
+
+TEST(Siphons, CommonerHoldsOnLiveFreeChoice) {
+  // Marked cycle: its only siphon is also a marked trap.
+  PetriNet net = chain_net({"a", "b"}, /*cyclic=*/true);
+  auto report = check_commoner(net);
+  EXPECT_TRUE(report.holds);
+}
+
+TEST(Siphons, CommonerFailsOnTokenFreeCycle) {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 0);
+  PlaceId p1 = net.add_place("p1", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0});
+  auto report = check_commoner(net);
+  EXPECT_FALSE(report.holds);
+  ASSERT_TRUE(report.offending_siphon.has_value());
+  EXPECT_EQ(report.offending_siphon->size(), 2u);
+}
+
+TEST(Siphons, CommonerDetectsDeadlockableChoice) {
+  // Free-choice net where one branch drains the token for good: the branch
+  // place is an unmarked siphon — Commoner fails, and the net can deadlock.
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId loop = net.add_place("loop", 0);
+  PlaceId grave = net.add_place("grave", 0);
+  net.add_transition({p}, "go", {loop});
+  net.add_transition({loop}, "back", {p});
+  net.add_transition({p}, "die", {grave});  // grave has no way out
+  auto report = check_commoner(net);
+  EXPECT_FALSE(report.holds);
+  // And indeed a deadlock is reachable.
+  auto rg = explore(net);
+  EXPECT_FALSE(deadlock_states(rg).empty());
+}
+
+TEST(Siphons, CommonerImpliesDeadlockFreedomOnArbiter) {
+  const Circuit arb = models::arbiter2();
+  auto report = check_commoner(arb.net());
+  EXPECT_TRUE(report.holds);
+  auto rg = explore(arb.net());
+  EXPECT_TRUE(deadlock_states(rg).empty());
+}
+
+TEST(Siphons, SearchLimitRaises) {
+  // A dense bipartite mess makes the branch tree big.
+  PetriNet net;
+  std::vector<PlaceId> places;
+  for (int i = 0; i < 10; ++i) {
+    places.push_back(net.add_place("p" + std::to_string(i), 1));
+  }
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      if (i != j) {
+        net.add_transition({places[i]},
+                           "t" + std::to_string(i) + "_" + std::to_string(j),
+                           {places[j]});
+      }
+    }
+  }
+  SiphonOptions options;
+  options.max_nodes = 2;
+  EXPECT_THROW(minimal_siphons(net, options), LimitError);
+}
+
+}  // namespace
+}  // namespace cipnet

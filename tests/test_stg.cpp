@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "stg/coding.h"
+#include "stg/signal.h"
+#include "stg/state_graph.h"
+#include "stg/stg.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+/// Classical 4-phase handshake STG: req+ -> ack+ -> req- -> ack-.
+Stg handshake() {
+  Stg stg;
+  stg.add_signal("req", SignalKind::kInput);
+  stg.add_signal("ack", SignalKind::kOutput);
+  PlaceId p0 = stg.add_place("p0", 1);
+  PlaceId p1 = stg.add_place("p1", 0);
+  PlaceId p2 = stg.add_place("p2", 0);
+  PlaceId p3 = stg.add_place("p3", 0);
+  stg.add_edge_transition({p0}, "req", EdgeType::kRise, {p1});
+  stg.add_edge_transition({p1}, "ack", EdgeType::kRise, {p2});
+  stg.add_edge_transition({p2}, "req", EdgeType::kFall, {p3});
+  stg.add_edge_transition({p3}, "ack", EdgeType::kFall, {p0});
+  return stg;
+}
+
+TEST(SignalEdge, FormatAndParseAllTypes) {
+  for (EdgeType type :
+       {EdgeType::kRise, EdgeType::kFall, EdgeType::kToggle, EdgeType::kStable,
+        EdgeType::kUnstable, EdgeType::kDontCare}) {
+    std::string label = format_edge("sig", type);
+    auto parsed = parse_edge(label);
+    ASSERT_TRUE(parsed.has_value()) << label;
+    EXPECT_EQ(parsed->signal, "sig");
+    EXPECT_EQ(parsed->type, type);
+  }
+  EXPECT_FALSE(parse_edge("eps").has_value());
+  EXPECT_FALSE(parse_edge("x").has_value());
+  EXPECT_FALSE(parse_edge("+").has_value());
+}
+
+TEST(Stg, SignalTableAndKinds) {
+  Stg stg = handshake();
+  EXPECT_EQ(stg.signal_names(),
+            (std::vector<std::string>{"ack", "req"}));
+  EXPECT_EQ(stg.kind("req"), SignalKind::kInput);
+  EXPECT_THROW(stg.kind("nope"), SemanticError);
+  EXPECT_THROW(stg.add_signal("req", SignalKind::kOutput), SemanticError);
+  EXPECT_EQ(stg.labels_of_signal("ack"),
+            (std::vector<std::string>{"ack+", "ack-"}));
+}
+
+TEST(Stg, EdgeTransitionRequiresKnownSignal) {
+  Stg stg = handshake();
+  PlaceId p = stg.add_place("extra", 0);
+  EXPECT_THROW(stg.add_edge_transition({p}, "ghost", EdgeType::kRise, {p}),
+               SemanticError);
+}
+
+TEST(Stg, FromNetValidatesLabels) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  net.add_transition({p}, "x+", {p});
+  EXPECT_THROW(Stg::from_net(net, {}, {}), SemanticError);
+  EXPECT_NO_THROW(Stg::from_net(net, {"x"}, {}));
+}
+
+TEST(Stg, HandshakeIsClassical) {
+  EXPECT_TRUE(handshake().is_classical());
+}
+
+TEST(Stg, NonLiveStgIsNotClassical) {
+  Stg stg;
+  stg.add_signal("a", SignalKind::kInput);
+  PlaceId p0 = stg.add_place("p0", 1);
+  PlaceId p1 = stg.add_place("p1", 0);
+  stg.add_edge_transition({p0}, "a", EdgeType::kRise, {p1});
+  stg.add_edge_transition({p1}, "a", EdgeType::kFall, {p0});
+  // Strongly connected and live... make it non-strongly-connected instead.
+  stg.add_place("island", 1);
+  EXPECT_FALSE(stg.is_classical());
+}
+
+TEST(StateGraph, HandshakeEncodingsAreConsistent) {
+  Stg stg = handshake();
+  StateGraph sg = build_state_graph(
+      stg, {{"req", Level::kLow}, {"ack", Level::kLow}});
+  EXPECT_TRUE(sg.is_consistent());
+  EXPECT_EQ(sg.state_count(), 4u);
+  EXPECT_EQ(sg.encoding_string(sg.initial()), "00");  // ack, req (sorted)
+}
+
+TEST(StateGraph, InconsistentInitialValueDetected) {
+  Stg stg = handshake();
+  // req starts high: the first req+ violates the state assignment.
+  StateGraph sg = build_state_graph(
+      stg, {{"req", Level::kHigh}, {"ack", Level::kLow}});
+  EXPECT_FALSE(sg.is_consistent());
+  ASSERT_FALSE(sg.violations().empty());
+  EXPECT_NE(sg.violations()[0].reason.find("req+"), std::string::npos);
+}
+
+TEST(StateGraph, InferInitialEncoding) {
+  Stg stg = handshake();
+  auto inferred = infer_initial_encoding(stg);
+  ASSERT_TRUE(inferred.has_value());
+  for (const auto& [signal, level] : *inferred) {
+    EXPECT_EQ(level, Level::kLow) << signal;
+  }
+  StateGraph sg = build_state_graph(stg, *inferred);
+  EXPECT_TRUE(sg.is_consistent());
+}
+
+TEST(StateGraph, ToggleFlipsValue) {
+  Stg stg;
+  stg.add_signal("t", SignalKind::kInput);
+  PlaceId p0 = stg.add_place("p0", 1);
+  stg.add_edge_transition({p0}, "t", EdgeType::kToggle, {p0});
+  StateGraph sg = build_state_graph(stg, {{"t", Level::kLow}});
+  EXPECT_EQ(sg.state_count(), 2u);  // same marking, two encodings
+  EXPECT_TRUE(sg.is_consistent());
+}
+
+TEST(StateGraph, StableBranchesOnUnknown) {
+  Stg stg;
+  stg.add_signal("d", SignalKind::kInput);
+  PlaceId p0 = stg.add_place("p0", 1);
+  PlaceId p1 = stg.add_place("p1", 0);
+  stg.add_edge_transition({p0}, "d", EdgeType::kStable, {p1});
+  StateGraph sg = build_state_graph(stg);  // d starts unknown
+  // initial + two stabilized states.
+  EXPECT_EQ(sg.state_count(), 3u);
+  std::vector<std::string> codes;
+  for (StateId s : sg.all_states()) codes.push_back(sg.encoding_string(s));
+  std::sort(codes.begin(), codes.end());
+  EXPECT_EQ(codes, (std::vector<std::string>{"0", "1", "?"}));
+}
+
+TEST(StateGraph, UnstableReleasesValue) {
+  Stg stg;
+  stg.add_signal("d", SignalKind::kInput);
+  PlaceId p0 = stg.add_place("p0", 1);
+  PlaceId p1 = stg.add_place("p1", 0);
+  stg.add_edge_transition({p0}, "d", EdgeType::kUnstable, {p1});
+  StateGraph sg = build_state_graph(stg, {{"d", Level::kHigh}});
+  bool found_unknown = false;
+  for (StateId s : sg.all_states()) {
+    if (sg.encoding_string(s) == "?") found_unknown = true;
+  }
+  EXPECT_TRUE(found_unknown);
+}
+
+TEST(StateGraph, GuardsGateTransitions) {
+  Stg stg;
+  stg.add_signal("d", SignalKind::kInput);
+  stg.add_signal("y", SignalKind::kOutput);
+  PlaceId p0 = stg.add_place("p0", 1);
+  PlaceId p1 = stg.add_place("p1", 0);
+  PlaceId p2 = stg.add_place("p2", 0);
+  stg.add_edge_transition({p0}, "d", EdgeType::kStable, {p1});
+  stg.add_edge_transition({p1}, "y", EdgeType::kRise, {p2},
+                          Guard::literal("d", true));
+  StateGraph sg = build_state_graph(stg);
+  // y+ only fires in the branch where d stabilized high.
+  std::size_t y_plus_edges = 0;
+  for (StateId s : sg.all_states()) {
+    for (const auto& e : sg.successors(s)) {
+      if (stg.net().transition_label(e.transition) == "y+") {
+        ++y_plus_edges;
+        std::size_t d = sg.signal_index("d");
+        EXPECT_EQ(sg.encoding(s)[d], Level::kHigh);
+      }
+    }
+  }
+  EXPECT_EQ(y_plus_edges, 1u);
+}
+
+TEST(StateGraph, ExcitedSignals) {
+  Stg stg = handshake();
+  StateGraph sg = build_state_graph(
+      stg, {{"req", Level::kLow}, {"ack", Level::kLow}});
+  auto excited = sg.excited_signals(sg.initial());
+  ASSERT_EQ(excited.size(), 1u);
+  EXPECT_EQ(sg.signal_order()[excited[0]], "req");
+}
+
+TEST(Coding, HandshakeHasUniqueStateCoding) {
+  Stg stg = handshake();
+  StateGraph sg = build_state_graph(
+      stg, {{"req", Level::kLow}, {"ack", Level::kLow}});
+  auto report = check_coding(sg, {"ack"});
+  EXPECT_FALSE(report.has_usc_violation());
+  EXPECT_FALSE(report.has_csc_violation());
+}
+
+TEST(Coding, CscConflictDetected) {
+  // Two-phase toggle ring on one signal pair: states repeat codes with
+  // different excitation.
+  Stg stg;
+  stg.add_signal("a", SignalKind::kInput);
+  stg.add_signal("y", SignalKind::kOutput);
+  PlaceId p0 = stg.add_place("p0", 1);
+  PlaceId p1 = stg.add_place("p1", 0);
+  PlaceId p2 = stg.add_place("p2", 0);
+  PlaceId p3 = stg.add_place("p3", 0);
+  // a+ y+ a- y- but with an extra silent hop making two markings share the
+  // same code.
+  stg.add_edge_transition({p0}, "a", EdgeType::kRise, {p1});
+  stg.add_edge_transition({p1}, "y", EdgeType::kRise, {p2});
+  stg.add_edge_transition({p2}, "a", EdgeType::kFall, {p3});
+  stg.add_edge_transition({p3}, "y", EdgeType::kFall, {p0});
+  PlaceId q = stg.add_place("q", 0);
+  stg.add_dummy_transition({p2}, {q});
+  stg.add_dummy_transition({q}, {p2});
+  StateGraph sg = build_state_graph(
+      stg, {{"a", Level::kLow}, {"y", Level::kLow}});
+  auto report = check_coding(sg, {"y"});
+  EXPECT_TRUE(report.has_usc_violation());
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "util/sorted_set.h"
+#include "util/strong_id.h"
+#include "util/text.h"
+
+namespace cipnet {
+namespace {
+
+TEST(StrongId, DistinctTagTypesAreDistinctTypes) {
+  static_assert(!std::is_same_v<PlaceId, TransitionId>);
+  PlaceId p(3);
+  EXPECT_EQ(p.value(), 3u);
+  EXPECT_EQ(p.index(), 3u);
+  EXPECT_LT(PlaceId(1), PlaceId(2));
+  EXPECT_EQ(PlaceId(5), PlaceId(5));
+}
+
+TEST(StrongId, Hashable) {
+  std::hash<PlaceId> h;
+  EXPECT_EQ(h(PlaceId(7)), h(PlaceId(7)));
+}
+
+TEST(SortedSet, NormalizeSortsAndDeduplicates) {
+  std::vector<int> v{3, 1, 3, 2, 1};
+  sorted_set::normalize(v);
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SortedSet, InsertKeepsOrderAndRejectsDuplicates) {
+  std::vector<int> v{1, 3};
+  EXPECT_TRUE(sorted_set::insert(v, 2));
+  EXPECT_FALSE(sorted_set::insert(v, 2));
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SortedSet, EraseRemovesOnlyPresent) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_TRUE(sorted_set::erase(v, 2));
+  EXPECT_FALSE(sorted_set::erase(v, 2));
+  EXPECT_EQ(v, (std::vector<int>{1, 3}));
+}
+
+TEST(SortedSet, UnionIntersectionDifference) {
+  std::vector<int> a{1, 2, 3};
+  std::vector<int> b{2, 3, 4};
+  EXPECT_EQ(sorted_set::set_union(a, b), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sorted_set::set_intersection(a, b), (std::vector<int>{2, 3}));
+  EXPECT_EQ(sorted_set::set_difference(a, b), (std::vector<int>{1}));
+}
+
+TEST(SortedSet, IntersectsAndSubset) {
+  std::vector<int> a{1, 2};
+  std::vector<int> b{2, 3};
+  std::vector<int> c{3, 4};
+  EXPECT_TRUE(sorted_set::intersects(a, b));
+  EXPECT_FALSE(sorted_set::intersects(a, c));
+  EXPECT_TRUE(sorted_set::is_subset({2}, b));
+  EXPECT_FALSE(sorted_set::is_subset({1}, b));
+  EXPECT_TRUE(sorted_set::is_subset({}, a));
+}
+
+TEST(Text, SplitWhitespace) {
+  EXPECT_EQ(text::split_ws("  a  bb c "),
+            (std::vector<std::string>{"a", "bb", "c"}));
+  EXPECT_TRUE(text::split_ws("   ").empty());
+}
+
+TEST(Text, TrimAndJoinAndStartsWith) {
+  EXPECT_EQ(text::trim("  x y "), "x y");
+  EXPECT_EQ(text::join({"a", "b"}, ", "), "a, b");
+  EXPECT_TRUE(text::starts_with(".graph x", ".graph"));
+  EXPECT_FALSE(text::starts_with(".gr", ".graph"));
+}
+
+}  // namespace
+}  // namespace cipnet

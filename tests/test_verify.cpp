@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "circuit/verify.h"
+#include "models/translator.h"
+#include "stg/state_graph.h"
+
+namespace cipnet {
+namespace {
+
+TEST(VerifyComposition, ConsistentDesignPasses) {
+  auto verdict = verify_composition(models::sender(), models::translator());
+  EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+  EXPECT_TRUE(verdict.receptive);
+  EXPECT_TRUE(verdict.safe);
+  EXPECT_TRUE(verdict.deadlock_free);
+  EXPECT_GT(verdict.states, 100u);
+  // The cross-product of equally-labeled sync transitions leaves dead
+  // duplicates (Section 5.2) — expected and reported, not failed.
+  EXPECT_FALSE(verdict.dead_labels.empty());
+}
+
+TEST(VerifyComposition, InconsistentDesignFlagsReceptiveness) {
+  auto verdict =
+      verify_composition(models::sender_inconsistent(), models::translator());
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_FALSE(verdict.receptive);
+  EXPECT_FALSE(verdict.receptiveness_failures.empty());
+  std::string text = verdict.to_string();
+  EXPECT_NE(text.find("receptive: NO"), std::string::npos);
+}
+
+TEST(VerifyComposition, TranslatorReceiverPasses) {
+  auto verdict =
+      verify_composition(models::translator(), models::receiver());
+  EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+}
+
+TEST(TranslatorStateGraph, ConsistentWithFreeDataLines) {
+  // The translator's own STG is consistent: DATA/STROBE start unknown and
+  // only pin through `stable`; every rail obeys the 4-phase discipline.
+  const Circuit tr = models::translator();
+  Stg stg = tr.to_stg();
+  auto initial = infer_initial_encoding(stg);
+  ASSERT_TRUE(initial.has_value());
+  StateGraph sg = build_state_graph(stg, *initial);
+  EXPECT_TRUE(sg.is_consistent());
+  EXPECT_GT(sg.state_count(), 100u);
+}
+
+TEST(TranslatorStateGraph, FiredGuardsHoldInSourceEncoding) {
+  // Every edge of the guard-respecting state graph must satisfy its
+  // transition's guard under the source state's encoding — in particular
+  // the four guarded rec-decode forks of the translator.
+  const Circuit tr = models::translator();
+  Stg stg = tr.to_stg();
+  auto initial = infer_initial_encoding(stg);
+  ASSERT_TRUE(initial.has_value());
+  StateGraph sg = build_state_graph(stg, *initial);
+  std::size_t guarded_edges = 0;
+  for (StateId state : sg.all_states()) {
+    for (const auto& edge : sg.successors(state)) {
+      const Guard& guard = stg.net().transition(edge.transition).guard;
+      if (guard.is_true()) continue;
+      ++guarded_edges;
+      std::vector<std::pair<std::string, bool>> assignment;
+      for (std::size_t i = 0; i < sg.signal_order().size(); ++i) {
+        Level level = sg.encoding(state)[i];
+        if (level != Level::kUnknown) {
+          assignment.emplace_back(sg.signal_order()[i],
+                                  level == Level::kHigh);
+        }
+      }
+      EXPECT_TRUE(guard.evaluate(assignment))
+          << guard.to_string() << " fired in " << sg.encoding_string(state);
+    }
+  }
+  // All four decode guards are reachable (every d/s combination occurs).
+  EXPECT_GE(guarded_edges, 4u);
+}
+
+}  // namespace
+}  // namespace cipnet

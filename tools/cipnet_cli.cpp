@@ -1,0 +1,270 @@
+// cipnet — command-line front end to the library.
+//
+//   cipnet info <file>                  net summary + structural analysis
+//   cipnet reach <file>                 state space, deadlocks, safety
+//   cipnet lang <file> [maxlen]         bounded trace language
+//   cipnet dot <file>                   GraphViz export to stdout
+//   cipnet compose <a> <b> -o <out>     parallel composition (Def 4.7)
+//   cipnet hide <file> <label>... -o <out>     hiding (Def 4.10)
+//   cipnet project <file> <label>... -o <out>  keep only the given labels
+//   cipnet expr "<expression>" -o <out> build a net from a process term
+//   cipnet check <a.g> <b.g>            receptiveness (Props 5.5/5.6)
+//   cipnet synth <file.g>               consistency, CSC, next-state logic
+//   cipnet sim <file> [steps] [seed]    random token-game walk
+//
+// Files: `.g`/`.astg` are petrify-style STGs, everything else the native
+// `.cpn` format.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/hide.h"
+#include "algebra/parallel.h"
+#include "circuit/receptive.h"
+#include "io/dot.h"
+#include "io/files.h"
+#include "petri/invariants.h"
+#include "petri/siphons.h"
+#include "petri/structure.h"
+#include "reach/properties.h"
+#include "reach/reachability.h"
+#include "sim/simulator.h"
+#include "stg/coding.h"
+#include "stg/persistency.h"
+#include "stg/state_graph.h"
+#include "synth/synthesize.h"
+#include "util/error.h"
+
+namespace cipnet::cli {
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cipnet <info|reach|lang|dot|compose|hide|project|expr|"
+               "check|synth|sim> ...\n(see the header of tools/cipnet_cli.cpp"
+               " for details)\n");
+  return 2;
+}
+
+/// Split `args` at `-o out`: returns positional args, sets `out`.
+std::vector<std::string> split_output(const std::vector<std::string>& args,
+                                      std::string& out) {
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      out = args[++i];
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  return positional;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  PetriNet net = load_net(args[0]);
+  std::printf("net: %s\n", net.summary().c_str());
+  StructureClass cls = classify(net);
+  std::printf("marked graph: %s, state machine: %s, free choice: %s, "
+              "extended free choice: %s\n",
+              cls.marked_graph ? "yes" : "no",
+              cls.state_machine ? "yes" : "no",
+              cls.free_choice ? "yes" : "no",
+              cls.extended_free_choice ? "yes" : "no");
+  std::printf("strongly connected: %s\n",
+              is_strongly_connected(net) ? "yes" : "no");
+  try {
+    std::printf("bounded: %s\n",
+                check_boundedness(net, 200000) == Boundedness::kBounded
+                    ? "yes"
+                    : "no");
+  } catch (const LimitError&) {
+    std::printf("bounded: unknown (state limit)\n");
+  }
+  try {
+    auto flows = place_semiflows(net);
+    std::printf("place semiflows: %zu, covered: %s\n", flows.size(),
+                covered_by_place_semiflows(net) ? "yes" : "no");
+  } catch (const LimitError&) {
+    std::printf("place semiflows: too many to enumerate\n");
+  }
+  try {
+    auto commoner = check_commoner(net);
+    std::printf("Commoner (every min. siphon holds a marked trap): %s\n",
+                commoner.holds ? "yes" : "no");
+  } catch (const LimitError&) {
+    std::printf("Commoner: siphon enumeration too large\n");
+  }
+  return 0;
+}
+
+int cmd_reach(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  PetriNet net = load_net(args[0]);
+  ReachabilityGraph rg = explore(net, {200000});
+  std::printf("states: %zu, edges: %zu\n", rg.state_count(), rg.edge_count());
+  std::printf("safe: %s, max tokens in a place: %u\n",
+              is_safe(rg) ? "yes" : "no", max_tokens_in_any_place(rg));
+  auto deadlocks = deadlock_states(rg);
+  std::printf("deadlock states: %zu\n", deadlocks.size());
+  std::printf("live (L4): %s, dead transitions: %zu\n",
+              is_live(net, rg) ? "yes" : "no",
+              dead_transitions(net, rg).size());
+  return 0;
+}
+
+int cmd_lang(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return usage();
+  PetriNet net = load_net(args[0]);
+  TraceEnumOptions options;
+  if (args.size() == 2) options.max_length = std::strtoul(args[1].c_str(), nullptr, 10);
+  for (const Trace& t : bounded_language(net, options)) {
+    std::printf("%s\n", trace_to_string(t).c_str());
+  }
+  return 0;
+}
+
+int cmd_dot(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  std::printf("%s", to_dot(load_net(args[0]), args[0]).c_str());
+  return 0;
+}
+
+int cmd_compose(const std::vector<std::string>& raw) {
+  std::string out;
+  auto args = split_output(raw, out);
+  if (args.size() != 2 || out.empty()) return usage();
+  PetriNet composed = parallel_net(load_net(args[0]), load_net(args[1]));
+  save_net(out, composed, "composed");
+  std::printf("wrote %s: %s\n", out.c_str(), composed.summary().c_str());
+  return 0;
+}
+
+int cmd_hide(const std::vector<std::string>& raw, bool project_mode) {
+  std::string out;
+  auto args = split_output(raw, out);
+  if (args.size() < 2 || out.empty()) return usage();
+  PetriNet net = load_net(args[0]);
+  std::vector<std::string> labels(args.begin() + 1, args.end());
+  HideOptions options;
+  options.epsilon_fallback = true;
+  options.simplify_places_between_contractions = true;
+  PetriNet result = project_mode ? project(net, labels, options)
+                                 : hide_actions(net, labels, options);
+  save_net(out, result, project_mode ? "projected" : "hidden");
+  std::printf("wrote %s: %s\n", out.c_str(), result.summary().c_str());
+  return 0;
+}
+
+int cmd_expr(const std::vector<std::string>& raw) {
+  std::string out;
+  auto args = split_output(raw, out);
+  if (args.size() != 1 || out.empty()) return usage();
+  PetriNet net = net_from_expression(args[0]);
+  save_net(out, net, "expr");
+  std::printf("wrote %s: %s\n", out.c_str(), net.summary().c_str());
+  return 0;
+}
+
+int cmd_check(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  Circuit c1 = Circuit::from_stg(args[0], load_stg(args[0]));
+  Circuit c2 = Circuit::from_stg(args[1], load_stg(args[1]));
+  auto report = check_receptiveness(c1, c2, {200000});
+  std::printf("sync transitions checked: %zu\n", report.checked_transitions);
+  if (report.receptive()) {
+    std::printf("receptive: the composition is consistent\n");
+    return 0;
+  }
+  ComposeResult composed = compose(c1, c2);
+  for (const auto& f : report.failures) {
+    std::printf("FAILURE %s (output of %s)", f.label.c_str(),
+                f.output_on_left ? args[0].c_str() : args[1].c_str());
+    if (f.firing_sequence) {
+      std::printf("  after:");
+      for (TransitionId t : *f.firing_sequence) {
+        std::printf(" %s", composed.circuit.net().transition_label(t).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 1;
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  Stg stg = load_stg(args[0]);
+  auto initial = infer_initial_encoding(stg);
+  if (!initial) {
+    std::printf("no consistent initial encoding\n");
+    return 1;
+  }
+  StateGraph sg = build_state_graph(stg, *initial);
+  std::printf("state graph: %zu states, consistent: %s\n", sg.state_count(),
+              sg.is_consistent() ? "yes" : "no");
+  std::vector<std::string> outputs = stg.signal_names(SignalKind::kOutput);
+  for (const auto& s : stg.signal_names(SignalKind::kInternal)) {
+    outputs.push_back(s);
+  }
+  auto coding = check_coding(sg, outputs);
+  std::printf("USC conflicts: %zu, CSC conflicts: %zu\n",
+              coding.conflicts.size(), coding.csc_count());
+  auto persistency = check_output_persistency(sg, outputs);
+  std::printf("output persistency violations: %zu\n",
+              persistency.violations.size());
+  if (coding.has_csc_violation()) {
+    std::printf("not synthesizable without state encoding\n");
+    return 1;
+  }
+  auto result = synthesize(sg, outputs);
+  std::printf("%s", result.to_string().c_str());
+  return 0;
+}
+
+int cmd_sim(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 3) return usage();
+  PetriNet net = load_net(args[0]);
+  std::size_t steps =
+      args.size() > 1 ? std::strtoul(args[1].c_str(), nullptr, 10) : 20;
+  std::uint64_t seed =
+      args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 1;
+  Simulator sim(net, seed);
+  WalkResult walk = sim.random_walk(steps);
+  std::printf("%s\n", trace_to_string(walk.trace).c_str());
+  std::printf("final marking: %s%s\n", walk.final_marking.to_string().c_str(),
+              walk.deadlocked ? " (deadlock)" : "");
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "info") return cmd_info(args);
+  if (command == "reach") return cmd_reach(args);
+  if (command == "lang") return cmd_lang(args);
+  if (command == "dot") return cmd_dot(args);
+  if (command == "compose") return cmd_compose(args);
+  if (command == "hide") return cmd_hide(args, /*project_mode=*/false);
+  if (command == "project") return cmd_hide(args, /*project_mode=*/true);
+  if (command == "expr") return cmd_expr(args);
+  if (command == "check") return cmd_check(args);
+  if (command == "synth") return cmd_synth(args);
+  if (command == "sim") return cmd_sim(args);
+  return usage();
+}
+
+}  // namespace
+}  // namespace cipnet::cli
+
+int main(int argc, char** argv) {
+  try {
+    return cipnet::cli::run(argc, argv);
+  } catch (const cipnet::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

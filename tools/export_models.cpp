@@ -1,0 +1,28 @@
+// Regenerates the shipped data/*.g artifacts from the programmatic paper
+// models (run from the repo root: `build/tools/export_models data`).
+
+#include <cstdio>
+#include <string>
+
+#include "io/files.h"
+#include "models/translator.h"
+
+using namespace cipnet;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "data";
+  const std::pair<const char*, Circuit> blocks[] = {
+      {"sender", models::sender()},
+      {"translator", models::translator()},
+      {"receiver", models::receiver()},
+      {"sender_restricted", models::sender_restricted()},
+      {"sender_inconsistent", models::sender_inconsistent()},
+  };
+  for (const auto& [name, circuit] : blocks) {
+    std::string path = dir + "/" + name + ".g";
+    save_stg(path, circuit.to_stg(), name);
+    std::printf("wrote %s (%s)\n", path.c_str(),
+                circuit.net().summary().c_str());
+  }
+  return 0;
+}
