@@ -55,6 +55,8 @@ void report() {
     double reach_time = seconds([&] { states = explore(net).state_count(); });
     std::printf("%-4zu %-28s %-10zu %-14.6f %-14.6f\n", n,
                 net.summary().c_str(), states, compose_time, reach_time);
+    benchutil::machine_row("independent_cycles/" + std::to_string(n), states,
+                           compose_time + reach_time);
   }
   std::printf(
       "\nnet size and composition time grow linearly in N; the state space\n"
@@ -81,6 +83,8 @@ void report() {
     std::printf("%-6zu %-16s %-16s %-12.6f %-12.6f\n", k,
                 live ? "live" : "not live", safe ? "safe" : "unsafe",
                 struct_time, reach_time);
+    benchutil::machine_row("mg_ring/" + std::to_string(k), k,
+                           struct_time + reach_time);
   }
 }
 

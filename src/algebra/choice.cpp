@@ -1,12 +1,16 @@
 #include "algebra/choice.h"
 
 #include "algebra/basic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/sorted_set.h"
 
 namespace cipnet {
 
 namespace {
+
+const obs::Counter c_root_variants("choice.root_variants");
 
 void require_safe_initial(const PetriNet& net, const char* op) {
   if (!net.initial_marking().is_safe()) {
@@ -88,6 +92,7 @@ PetriNet root_unwinding(const PetriNet& net) {
 }
 
 PetriNet choice(const PetriNet& n1, const PetriNet& n2) {
+  obs::Span span("algebra.choice");
   require_safe_initial(n1, "choice");
   require_safe_initial(n2, "choice");
   const auto init1 = initial_places(n1);
@@ -178,6 +183,7 @@ PetriNet choice(const PetriNet& n1, const PetriNet& n2) {
         out.add_transition(std::move(variant),
                            out.add_action(src.label(tr.action)), postset,
                            tr.guard);
+        c_root_variants.add();
       }
     }
   };

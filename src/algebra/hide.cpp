@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "algebra/basic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "petri/rebuild.h"
 #include "util/error.h"
 #include "util/sorted_set.h"
@@ -12,6 +14,9 @@
 namespace cipnet {
 
 namespace {
+
+const obs::Counter c_contractions("hide.contractions");
+const obs::Counter c_epsilon_fallbacks("hide.epsilon_fallbacks");
 
 /// Simple-case applicability: single conflict-free input place, single
 /// choice-free output place, an unguarded transition, and no transition
@@ -178,14 +183,17 @@ PetriNet hide_transition_general(const PetriNet& net, TransitionId t) {
 
 PetriNet hide_transition(const PetriNet& net, TransitionId t,
                          const HideOptions& options) {
-  if (options.allow_simple_collapse && simple_collapse_applies(net, t)) {
-    return hide_transition_simple(net, t);
-  }
-  return hide_transition_general(net, t);
+  PetriNet out =
+      options.allow_simple_collapse && simple_collapse_applies(net, t)
+          ? hide_transition_simple(net, t)
+          : hide_transition_general(net, t);
+  c_contractions.add();
+  return out;
 }
 
 PetriNet hide_action(const PetriNet& net, const std::string& label,
                      const HideOptions& options) {
+  obs::Span span("algebra.hide");
   PetriNet current = net;
   std::size_t contractions = 0;
   while (true) {
@@ -198,6 +206,7 @@ PetriNet hide_action(const PetriNet& net, const std::string& label,
     if (current.transition_count() > options.max_intermediate_transitions ||
         current.place_count() > options.max_intermediate_places) {
       if (options.epsilon_fallback) {
+        c_epsilon_fallbacks.add();
         current = rename(current, {{label, std::string(kEpsilonLabel)}});
         break;
       }
@@ -208,10 +217,13 @@ PetriNet hide_action(const PetriNet& net, const std::string& label,
       // the same label are duplicated). When the budget runs out, either
       // keep the remainder as dummies or report the blow-up.
       if (options.epsilon_fallback) {
+        c_epsilon_fallbacks.add();
         current = rename(current, {{label, std::string(kEpsilonLabel)}});
         break;
       }
-      throw LimitError("hide_action exceeded max_contractions");
+      throw LimitError(
+          "hide_action exceeded max_contractions",
+          LimitContext{contractions - 1, 0, options.max_contractions});
     }
     // Proposition 4.6: the order of contraction does not matter for the
     // result, but expressibility corners differ — try every candidate
@@ -234,6 +246,7 @@ PetriNet hide_action(const PetriNet& net, const std::string& label,
       if (!options.epsilon_fallback) throw *last_error;
       // Keep the remaining transitions as dummies: language preserved
       // modulo eps.
+      c_epsilon_fallbacks.add();
       current = rename(current, {{label, std::string(kEpsilonLabel)}});
       break;
     }

@@ -1,9 +1,16 @@
 #include "algebra/parallel.h"
 
 #include "algebra/basic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/sorted_set.h"
 
 namespace cipnet {
+
+namespace {
+const obs::Counter c_transitions("parallel.transitions");
+const obs::Counter c_sync("parallel.sync_transitions");
+}  // namespace
 
 std::vector<PlaceId> ParallelResult::left_preset(TransitionId t,
                                                  const PetriNet& n1) const {
@@ -32,6 +39,7 @@ std::vector<PlaceId> ParallelResult::right_preset(TransitionId t,
 }
 
 ParallelResult parallel(const PetriNet& n1, const PetriNet& n2) {
+  obs::Span span("algebra.parallel");
   ParallelResult result;
   PetriNet& out = result.net;
 
@@ -100,9 +108,11 @@ ParallelResult parallel(const PetriNet& n1, const PetriNet& n2) {
                            std::move(postset), tr1.guard.conjoin(tr2.guard));
         result.transitions.push_back(
             {ParallelResult::Origin::kJoined, t1, t2});
+        c_sync.add();
       }
     }
   }
+  c_transitions.add(result.transitions.size());
   return result;
 }
 

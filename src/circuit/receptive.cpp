@@ -2,6 +2,8 @@
 
 #include "algebra/hide.h"
 #include "graph/digraph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "petri/marked_graph.h"
 #include "petri/structure.h"
 #include "reach/properties.h"
@@ -12,6 +14,9 @@
 namespace cipnet {
 
 namespace {
+
+const obs::Counter c_checks("receptive.checks");
+const obs::Counter c_failures("receptive.failures");
 
 /// One check unit: an output-side transition versus all equally-labeled
 /// input-side alternatives, with presets mapped into composed-net place
@@ -96,11 +101,13 @@ bool is_failure_marking(const Marking& m, const SyncCheck& check) {
 
 ReceptivenessReport check_receptiveness(const Circuit& c1, const Circuit& c2,
                                         const ReachOptions& options) {
+  obs::Span span("circuit.receptiveness");
   ComposeResult composed = compose(c1, c2);
   auto checks = collect_sync_checks(composed, c1, c2);
 
   ReceptivenessReport report;
   report.checked_transitions = checks.size();
+  c_checks.add(checks.size());
   if (checks.empty()) return report;
 
   ReachabilityGraph rg = explore(composed.circuit.net(), options);
@@ -115,6 +122,7 @@ ReceptivenessReport check_receptiveness(const Circuit& c1, const Circuit& c2,
         failure.witness = m;
         failure.firing_sequence = firing_sequence_to(rg, s);
         report.failures.push_back(std::move(failure));
+        c_failures.add();
         break;  // one witness per output transition (Proposition 5.6)
       }
     }

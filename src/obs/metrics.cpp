@@ -1,0 +1,127 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace cipnet::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+std::atomic<std::uint64_t>* Registry::cell(std::deque<Cell>& cells,
+                                           std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Cell& c : cells) {
+    if (c.name == name) return &c.value;
+  }
+  // Few metrics, registered once per call site: linear scan is fine.
+  cells.emplace_back();
+  cells.back().name = std::string(name);
+  return &cells.back().value;
+}
+
+std::atomic<std::uint64_t>* Registry::counter_cell(std::string_view name) {
+  return cell(counters_, name);
+}
+
+std::atomic<std::uint64_t>* Registry::gauge_cell(std::string_view name) {
+  return cell(gauges_, name);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Cell& c : counters_) {
+      out.counters.emplace_back(c.name,
+                                c.value.load(std::memory_order_relaxed));
+    }
+    for (const Cell& c : gauges_) {
+      out.gauges.emplace_back(c.name, c.value.load(std::memory_order_relaxed));
+    }
+  }
+  std::sort(out.counters.begin(), out.counters.end());
+  std::sort(out.gauges.begin(), out.gauges.end());
+  return out;
+}
+
+void Registry::counter_values(std::vector<std::uint64_t>& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.clear();
+  out.reserve(counters_.size());
+  for (const Cell& c : counters_) {
+    out.push_back(c.value.load(std::memory_order_relaxed));
+  }
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const Cell& c : counters_) out.push_back(c.name);
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Cell& c : counters_) c.value.store(0, std::memory_order_relaxed);
+  for (Cell& c : gauges_) c.value.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::uint64_t Snapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+ScopedEnable::ScopedEnable(bool reset) : previous_(enabled()) {
+  if (reset) Registry::instance().reset();
+  Registry::instance().set_enabled(true);
+}
+
+ScopedEnable::~ScopedEnable() {
+  Registry::instance().set_enabled(previous_);
+}
+
+std::string render_text_report(const Snapshot& snapshot) {
+  std::size_t width = 0;
+  for (const auto& [n, v] : snapshot.counters) {
+    if (v != 0) width = std::max(width, n.size());
+  }
+  for (const auto& [n, v] : snapshot.gauges) {
+    if (v != 0) width = std::max(width, n.size());
+  }
+  std::string out = "cipnet stats\n";
+  auto section = [&](const char* title, const auto& cells) {
+    bool any = false;
+    for (const auto& [n, v] : cells) any = any || v != 0;
+    if (!any) return;
+    out += "  ";
+    out += title;
+    out += ":\n";
+    for (const auto& [n, v] : cells) {
+      if (v == 0) continue;
+      out += "    " + n + std::string(width - n.size() + 2, ' ') +
+             std::to_string(v) + "\n";
+    }
+  };
+  section("counters", snapshot.counters);
+  section("gauges", snapshot.gauges);
+  if (width == 0) out += "  (all metrics zero)\n";
+  return out;
+}
+
+}  // namespace cipnet::obs

@@ -1,0 +1,148 @@
+#pragma once
+
+// Process-wide observability metrics: named monotonic counters and peak
+// gauges in a global `Registry`. Instrumentation is disabled by default and
+// every hot-path operation compiles down to one relaxed atomic load plus a
+// branch, so uninstrumented runs pay (nearly) nothing. Enable with
+// `ScopedEnable` (tests, CLI) or `Registry::set_enabled`.
+//
+// Call sites hold a `Counter`/`Gauge` handle — a pointer to a stable atomic
+// cell registered once by name — typically as a namespace-scope constant in
+// the instrumented .cpp:
+//
+//   static const obs::Counter c_states("reach.states");
+//   ...
+//   c_states.add();            // no-op unless instrumentation is enabled
+//
+// Metric names follow the `module.metric` convention; the catalogue lives
+// in docs/OBSERVABILITY.md.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cipnet::obs {
+
+namespace detail {
+/// The single process-wide enable flag every instrumented call site checks.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when instrumentation is active. Relaxed: the flag only gates
+/// best-effort accounting, never synchronizes data.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;
+
+  /// Value of a counter/gauge, or 0 when the name was never registered.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] std::uint64_t gauge(std::string_view name) const;
+};
+
+/// The process-wide metric registry. Registration (first use of a name) and
+/// snapshots take a mutex; increments are lock-free on the returned cells.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Register-or-lookup by name. The returned cell address is stable for
+  /// the process lifetime.
+  std::atomic<std::uint64_t>* counter_cell(std::string_view name);
+  std::atomic<std::uint64_t>* gauge_cell(std::string_view name);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Counter values in registration order (cheap, for span deltas). The
+  /// matching names are returned by `counter_names`; both only ever grow.
+  void counter_values(std::vector<std::uint64_t>& out) const;
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+
+  /// Zero every registered cell (names stay registered).
+  void reset();
+
+  void set_enabled(bool on) {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::string name;
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  std::atomic<std::uint64_t>* cell(std::deque<Cell>& cells,
+                                   std::string_view name);
+
+  mutable std::mutex mutex_;
+  // deque: stable addresses under growth.
+  std::deque<Cell> counters_;
+  std::deque<Cell> gauges_;
+};
+
+/// A named monotonic counter handle. Cheap to copy; `add` is thread-safe.
+class Counter {
+ public:
+  explicit Counter(std::string_view name)
+      : cell_(Registry::instance().counter_cell(name)) {}
+
+  void add(std::uint64_t delta = 1) const {
+    if (enabled()) cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t>* cell_;
+};
+
+/// A named gauge handle. `set_max` keeps the running maximum (peak
+/// tracking); `set` overwrites.
+class Gauge {
+ public:
+  explicit Gauge(std::string_view name)
+      : cell_(Registry::instance().gauge_cell(name)) {}
+
+  void set(std::uint64_t value) const {
+    if (enabled()) cell_->store(value, std::memory_order_relaxed);
+  }
+
+  void set_max(std::uint64_t value) const {
+    if (!enabled()) return;
+    std::uint64_t current = cell_->load(std::memory_order_relaxed);
+    while (value > current &&
+           !cell_->compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t>* cell_;
+};
+
+/// RAII enable: switches instrumentation on (optionally resetting all
+/// metrics first) and restores the previous enablement on destruction.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool reset = true);
+  ~ScopedEnable();
+
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Human-readable metrics report (the `--stats` output): every nonzero
+/// counter and gauge, aligned, sorted by name.
+[[nodiscard]] std::string render_text_report(const Snapshot& snapshot);
+
+}  // namespace cipnet::obs

@@ -1,0 +1,91 @@
+#include "obs/sink_jsonl.h"
+
+#include <cstdio>
+
+namespace cipnet::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_pairs(
+    std::string& line,
+    const std::vector<std::pair<std::string, std::uint64_t>>& pairs) {
+  line += "{";
+  bool first = true;
+  for (const auto& [name, value] : pairs) {
+    if (!first) line += ",";
+    first = false;
+    line += "\"" + json_escape(name) + "\":" + std::to_string(value);
+  }
+  line += "}";
+}
+
+}  // namespace
+
+void JsonlSink::write_span(const SpanRecord& span,
+                           const std::string& parent_path, int depth) {
+  const std::string path =
+      parent_path.empty() ? span.name : parent_path + "/" + span.name;
+  std::string line = "{\"event\":\"span\",\"name\":\"" +
+                     json_escape(span.name) + "\",\"path\":\"" +
+                     json_escape(path) + "\",\"depth\":" +
+                     std::to_string(depth) +
+                     ",\"start_ns\":" + std::to_string(span.start_ns) +
+                     ",\"dur_ns\":" + std::to_string(span.duration_ns) +
+                     ",\"counters\":";
+  append_pairs(line, span.counter_deltas);
+  line += "}\n";
+  out_ << line;
+  for (const SpanRecord& child : span.children) {
+    write_span(child, path, depth + 1);
+  }
+}
+
+void JsonlSink::on_span(const SpanRecord& root) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_span(root, "", 0);
+  out_.flush();
+}
+
+void JsonlSink::write_counters(const Snapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string line = "{\"event\":\"counters\",\"counters\":";
+  append_pairs(line, snapshot.counters);
+  line += ",\"gauges\":";
+  append_pairs(line, snapshot.gauges);
+  line += "}\n";
+  out_ << line;
+  out_.flush();
+}
+
+}  // namespace cipnet::obs

@@ -1,0 +1,37 @@
+#pragma once
+
+// JSON-lines trace sink: one JSON object per line, one line per span
+// (pre-order, parents before children), machine-consumable with any
+// line-oriented JSON reader. See docs/OBSERVABILITY.md for the schema.
+
+#include <ostream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cipnet::obs {
+
+/// Writes every completed span tree to `out` as JSONL. The stream must
+/// outlive the sink; writes are serialized with an internal mutex.
+class JsonlSink : public Sink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+
+  void on_span(const SpanRecord& root) override;
+
+  /// Append one `{"event":"counters",...}` line with a full metric
+  /// snapshot — the CLI writes this as the final line of a trace file.
+  void write_counters(const Snapshot& snapshot);
+
+ private:
+  void write_span(const SpanRecord& span, const std::string& parent_path,
+                  int depth);
+
+  std::mutex mutex_;
+  std::ostream& out_;
+};
+
+/// Minimal JSON string escaping for metric/span names.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace cipnet::obs

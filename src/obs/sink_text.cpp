@@ -1,0 +1,41 @@
+#include "obs/sink_text.h"
+
+#include <cstdio>
+
+namespace cipnet::obs {
+
+namespace {
+
+void render(const SpanRecord& span, int depth, std::string& out) {
+  char dur[32];
+  std::snprintf(dur, sizeof(dur), "%.3fms",
+                static_cast<double>(span.duration_ns) / 1e6);
+  out += std::string(2 * (depth + 1), ' ') + span.name;
+  const std::size_t pad_to = 40;
+  const std::size_t used = 2 * (depth + 1) + span.name.size();
+  out += std::string(used < pad_to ? pad_to - used : 1, ' ');
+  out += dur;
+  for (const auto& [name, delta] : span.counter_deltas) {
+    out += "  " + name + "=" + std::to_string(delta);
+  }
+  out += "\n";
+  for (const SpanRecord& child : span.children) {
+    render(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string render_span_tree(const SpanRecord& root) {
+  std::string out = "trace:\n";
+  render(root, 0, out);
+  return out;
+}
+
+void TextSink::on_span(const SpanRecord& root) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << render_span_tree(root);
+  out_.flush();
+}
+
+}  // namespace cipnet::obs

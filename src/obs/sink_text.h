@@ -1,0 +1,28 @@
+#pragma once
+
+// Human-readable trace sink: the span tree as an indented report with
+// millisecond durations and the nonzero counter deltas per span.
+
+#include <ostream>
+
+#include "obs/trace.h"
+
+namespace cipnet::obs {
+
+/// Renders each completed span tree to `out`, indented two spaces per
+/// nesting level. The stream must outlive the sink.
+class TextSink : public Sink {
+ public:
+  explicit TextSink(std::ostream& out) : out_(out) {}
+
+  void on_span(const SpanRecord& root) override;
+
+ private:
+  std::mutex mutex_;
+  std::ostream& out_;
+};
+
+/// One span tree as the indented report string (also used by tests).
+[[nodiscard]] std::string render_span_tree(const SpanRecord& root);
+
+}  // namespace cipnet::obs

@@ -2,11 +2,17 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace cipnet {
 
 namespace {
+
+const obs::Counter c_nodes("cover.nodes");
+const obs::Counter c_accelerations("cover.accelerations");
+const obs::Counter c_subsumed("cover.subsumed");
 
 /// ω is represented as the maximum token value; real nets never get there
 /// (acceleration jumps straight to it).
@@ -23,6 +29,7 @@ bool leq(const std::vector<Token>& a, const std::vector<Token>& b) {
 
 CoverabilityResult coverability(const PetriNet& net,
                                 const CoverabilityOptions& options) {
+  obs::Span span("reach.coverability");
   struct Node {
     std::vector<Token> marking;
     int parent;
@@ -32,24 +39,34 @@ CoverabilityResult coverability(const PetriNet& net,
 
   auto push = [&](std::vector<Token> m, int parent) {
     if (tree.size() >= options.max_nodes) {
-      throw LimitError("coverability tree exceeded max_nodes");
+      throw LimitError("coverability tree exceeded max_nodes",
+                       LimitContext{tree.size(), 0, options.max_nodes});
     }
     // Acceleration: if m strictly dominates an ancestor, the gap can be
     // pumped — set the strictly larger places to ω.
     for (int a = parent; a >= 0; a = tree[a].parent) {
       const auto& anc = tree[a].marking;
       if (leq(anc, m) && anc != m) {
+        bool pumped = false;
         for (std::size_t i = 0; i < m.size(); ++i) {
-          if (m[i] > anc[i]) m[i] = kOmega;
+          if (m[i] > anc[i]) {
+            pumped = pumped || m[i] != kOmega;
+            m[i] = kOmega;
+          }
         }
+        if (pumped) c_accelerations.add();
       }
     }
     // Subsumption: drop if some existing node covers m.
     for (const Node& node : tree) {
-      if (leq(m, node.marking)) return;
+      if (leq(m, node.marking)) {
+        c_subsumed.add();
+        return;
+      }
     }
     tree.push_back(Node{std::move(m), parent});
     frontier.push_back(tree.size() - 1);
+    c_nodes.add();
   };
 
   push(net.initial_marking().tokens(), -1);

@@ -2,9 +2,18 @@
 
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace cipnet {
+
+namespace {
+const obs::Counter c_states("reach.states");
+const obs::Counter c_edges("reach.edges");
+const obs::Counter c_hash_lookups("reach.hash_lookups");
+const obs::Gauge g_frontier_peak("reach.frontier_peak");
+}  // namespace
 
 std::size_t ReachabilityGraph::edge_count() const {
   std::size_t n = 0;
@@ -22,33 +31,43 @@ std::vector<StateId> ReachabilityGraph::all_states() const {
 }
 
 ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
+  obs::Span span("reach.explore");
   ReachabilityGraph rg;
+  std::size_t edges_added = 0;
   auto intern = [&](const Marking& m) -> StateId {
+    c_hash_lookups.add();
     auto it = rg.index_.find(m);
     if (it != rg.index_.end()) return it->second;
     if (rg.markings_.size() >= options.max_states) {
-      throw LimitError("reachability exploration exceeded " +
-                       std::to_string(options.max_states) + " states");
+      throw LimitError(
+          "reachability exploration exceeded " +
+              std::to_string(options.max_states) + " states",
+          LimitContext{rg.markings_.size(), edges_added, options.max_states});
     }
     StateId id(static_cast<std::uint32_t>(rg.markings_.size()));
     rg.index_.emplace(m, id);
     rg.markings_.push_back(m);
     rg.edges_.emplace_back();
+    c_states.add();
     return id;
   };
 
   intern(net.initial_marking());
   std::deque<StateId> frontier{rg.initial()};
   while (!frontier.empty()) {
+    g_frontier_peak.set_max(frontier.size());
     StateId s = frontier.front();
     frontier.pop_front();
     // Copy: interning may reallocate markings_.
     const Marking current = rg.markings_[s.index()];
     for (TransitionId t : net.enabled_transitions(current)) {
       Marking next = net.fire(current, t);
+      c_hash_lookups.add();
       const bool fresh = !rg.index_.contains(next);
       StateId target = intern(next);
       rg.edges_[s.index()].push_back(ReachabilityGraph::Edge{t, target});
+      ++edges_added;
+      c_edges.add();
       if (fresh) frontier.push_back(target);
     }
   }

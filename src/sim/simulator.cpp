@@ -1,20 +1,31 @@
 #include "sim/simulator.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cipnet {
 
+namespace {
+const obs::Counter c_steps("sim.steps");
+const obs::Counter c_deadlocks("sim.deadlocks");
+}  // namespace
+
 WalkResult Simulator::random_walk(std::size_t max_steps) {
+  obs::Span span("sim.walk");
   WalkResult result;
   Marking m = net_->initial_marking();
   for (std::size_t step = 0; step < max_steps; ++step) {
     auto enabled = net_->enabled_transitions(m);
     if (enabled.empty()) {
       result.deadlocked = true;
+      c_deadlocks.add();
       break;
     }
     std::uniform_int_distribution<std::size_t> dist(0, enabled.size() - 1);
     TransitionId t = enabled[dist(rng_)];
     result.trace.push_back(net_->transition_label(t));
     net_->fire_in_place(m, t);
+    c_steps.add();
   }
   result.final_marking = m;
   return result;

@@ -3,14 +3,22 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/sorted_set.h"
 
 namespace cipnet {
+
+namespace {
+const obs::Counter c_cubes_merged("qm.cubes_merged");
+const obs::Counter c_primes("qm.primes");
+}  // namespace
 
 std::vector<Cube> minimize_sop(int var_count,
                                const std::vector<std::uint32_t>& on,
                                const std::vector<std::uint32_t>& dc) {
   if (on.empty()) return {};
+  obs::Span span("synth.qm");
   const std::uint32_t full_mask =
       var_count >= 32 ? ~0u : ((1u << var_count) - 1);
 
@@ -30,6 +38,7 @@ std::vector<Cube> minimize_sop(int var_count,
           next.insert(*m);
           merged.insert(cubes[i]);
           merged.insert(cubes[j]);
+          c_cubes_merged.add();
         }
       }
     }
@@ -39,6 +48,7 @@ std::vector<Cube> minimize_sop(int var_count,
     current = std::move(next);
   }
   sorted_set::normalize(primes);
+  c_primes.add(primes.size());
 
   // Covering: essential primes first, then exact branch-and-bound on small
   // residuals, greedy otherwise (exact covering is NP-hard; the fallback is

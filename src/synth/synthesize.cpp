@@ -2,10 +2,17 @@
 
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/qm.h"
 #include "util/error.h"
 
 namespace cipnet {
+
+namespace {
+const obs::Counter c_functions("synth.functions");
+const obs::Counter c_minterms("synth.minterms");
+}  // namespace
 
 std::string SynthesisResult::to_string() const {
   std::string out;
@@ -53,6 +60,7 @@ std::vector<std::uint32_t> expand_minterms(const Encoding& e,
 SynthesisResult synthesize(const StateGraph& sg,
                            const std::vector<std::string>& outputs,
                            const SynthesizeOptions& options) {
+  obs::Span span("synth.synthesize");
   const auto& variables = sg.signal_order();
   if (variables.size() > 31) {
     throw LimitError("synthesize supports at most 31 signals");
@@ -121,6 +129,7 @@ SynthesisResult synthesize(const StateGraph& sg,
     }
     f.on_count = on.size();
     f.off_count = off.size();
+    c_minterms.add(implied.size());
     f.sop = minimize_sop(static_cast<int>(variables.size()), on, dc);
     // Sanity: the minimized SOP must match on-set and reject off-set.
     for (std::uint32_t m : on) {
@@ -134,6 +143,7 @@ SynthesisResult synthesize(const StateGraph& sg,
       }
     }
     result.functions.push_back(std::move(f));
+    c_functions.add();
   }
   return result;
 }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -25,12 +27,37 @@ class ParseError : public Error {
   explicit ParseError(const std::string& what) : Error(what) {}
 };
 
+/// Progress accounting attached to a LimitError: how far the exploration
+/// got before hitting its limit, read off the explorer's live counters.
+struct LimitContext {
+  std::uint64_t reached = 0;  ///< states / nodes / contractions completed
+  std::uint64_t edges = 0;    ///< edges added so far (0 where meaningless)
+  std::uint64_t limit = 0;    ///< the configured limit that was hit
+
+  [[nodiscard]] std::string describe() const {
+    std::string out = "reached=" + std::to_string(reached);
+    if (edges != 0) out += ", edges=" + std::to_string(edges);
+    out += ", limit=" + std::to_string(limit);
+    return out;
+  }
+};
+
 /// A bounded exploration exceeded its configured resource limit. State-space
 /// walks over general Petri nets can diverge (unbounded nets), so every
 /// explorer takes an explicit limit and reports overflow through this type.
+/// Explorers attach a `LimitContext` so failures report how far they got.
 class LimitError : public Error {
  public:
   explicit LimitError(const std::string& what) : Error(what) {}
+  LimitError(const std::string& what, const LimitContext& context)
+      : Error(what + " (" + context.describe() + ")"), context_(context) {}
+
+  [[nodiscard]] const std::optional<LimitContext>& context() const {
+    return context_;
+  }
+
+ private:
+  std::optional<LimitContext> context_;
 };
 
 }  // namespace cipnet

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/sink_jsonl.h"
+#include "obs/sink_text.h"
+#include "obs/trace.h"
+#include "reach/reachability.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+PetriNet two_independent_cycles() {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  net.add_transition({p0}, "a", {p1});
+  net.add_transition({p1}, "b", {p0});
+  PlaceId q0 = net.add_place("q0", 1);
+  PlaceId q1 = net.add_place("q1", 0);
+  net.add_transition({q0}, "c", {q1});
+  net.add_transition({q1}, "d", {q0});
+  return net;
+}
+
+/// Records every completed root span for inspection.
+class RecordingSink : public obs::Sink {
+ public:
+  void on_span(const obs::SpanRecord& root) override {
+    roots.push_back(root);
+  }
+  std::vector<obs::SpanRecord> roots;
+};
+
+TEST(Metrics, CounterAddsWhenEnabled) {
+  obs::ScopedEnable enable;
+  obs::Counter c("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(obs::Registry::instance().snapshot().counter("test.counter"),
+            42u);
+}
+
+TEST(Metrics, CounterIgnoredWhenDisabled) {
+  {
+    obs::ScopedEnable enable;  // reset, then enable...
+  }                            // ...and restore (disabled again)
+  obs::Counter c("test.counter");
+  c.add(7);
+  EXPECT_EQ(obs::Registry::instance().snapshot().counter("test.counter"), 0u);
+}
+
+TEST(Metrics, GaugeTracksPeak) {
+  obs::ScopedEnable enable;
+  obs::Gauge g("test.gauge");
+  g.set_max(5);
+  g.set_max(3);  // lower: ignored
+  g.set_max(9);
+  EXPECT_EQ(obs::Registry::instance().snapshot().gauge("test.gauge"), 9u);
+  g.set(2);  // plain set overwrites
+  EXPECT_EQ(obs::Registry::instance().snapshot().gauge("test.gauge"), 2u);
+}
+
+TEST(Metrics, ResetZeroesButKeepsRegistration) {
+  obs::ScopedEnable enable;
+  obs::Counter c("test.counter");
+  c.add(3);
+  obs::Registry::instance().reset();
+  auto snapshot = obs::Registry::instance().snapshot();
+  EXPECT_EQ(snapshot.counter("test.counter"), 0u);
+  bool found = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    found = found || name == "test.counter";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, ScopedEnableRestoresPreviousState) {
+  EXPECT_FALSE(obs::enabled());
+  {
+    obs::ScopedEnable outer;
+    EXPECT_TRUE(obs::enabled());
+    {
+      obs::ScopedEnable inner(/*reset=*/false);
+      EXPECT_TRUE(obs::enabled());
+    }
+    EXPECT_TRUE(obs::enabled());
+  }
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(Metrics, ConcurrentIncrementsDontLose) {
+  obs::ScopedEnable enable;
+  obs::Counter c("test.concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&] {
+      for (int j = 0; j < kPerThread; ++j) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(obs::Registry::instance().snapshot().counter("test.concurrent"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, ExploreFillsReachCounters) {
+  obs::ScopedEnable enable;
+  auto rg = explore(two_independent_cycles());
+  auto snapshot = obs::Registry::instance().snapshot();
+  EXPECT_EQ(snapshot.counter("reach.states"), rg.state_count());
+  EXPECT_EQ(snapshot.counter("reach.edges"), rg.edge_count());
+  EXPECT_GE(snapshot.gauge("reach.frontier_peak"), 1u);
+}
+
+TEST(Metrics, DisabledExploreLeavesSnapshotUnchanged) {
+  obs::Registry::instance().reset();
+  ASSERT_FALSE(obs::enabled());
+  auto before = obs::Registry::instance().snapshot();
+  (void)explore(two_independent_cycles());
+  auto after = obs::Registry::instance().snapshot();
+  EXPECT_EQ(before.counters, after.counters);
+  EXPECT_EQ(before.gauges, after.gauges);
+}
+
+TEST(Trace, SpansNestIntoATree) {
+  obs::ScopedEnable enable;
+  auto sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().add_sink(sink);
+  {
+    obs::Span root("outer");
+    { obs::Span a("first"); }
+    {
+      obs::Span b("second");
+      { obs::Span c("second.child"); }
+    }
+  }
+  obs::Tracer::instance().remove_sink(sink);
+
+  ASSERT_EQ(sink->roots.size(), 1u);
+  const obs::SpanRecord& root = sink->roots[0];
+  EXPECT_EQ(root.name, "outer");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "first");
+  EXPECT_EQ(root.children[1].name, "second");
+  ASSERT_EQ(root.children[1].children.size(), 1u);
+  EXPECT_EQ(root.children[1].children[0].name, "second.child");
+  // Ordering and containment of the clocks.
+  EXPECT_LE(root.start_ns, root.children[0].start_ns);
+  EXPECT_LE(root.children[0].start_ns, root.children[1].start_ns);
+  EXPECT_LE(root.children[1].duration_ns, root.duration_ns);
+}
+
+TEST(Trace, SpanCapturesCounterDeltas) {
+  obs::ScopedEnable enable;
+  obs::Counter c("test.delta");
+  c.add(100);  // before the span: must not show up as a delta
+  auto sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().add_sink(sink);
+  {
+    obs::Span span("delta.test");
+    c.add(5);
+  }
+  obs::Tracer::instance().remove_sink(sink);
+
+  ASSERT_EQ(sink->roots.size(), 1u);
+  std::uint64_t delta = 0;
+  for (const auto& [name, value] : sink->roots[0].counter_deltas) {
+    if (name == "test.delta") delta = value;
+  }
+  EXPECT_EQ(delta, 5u);
+}
+
+TEST(Trace, DisabledSpanEmitsNothing) {
+  auto sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().add_sink(sink);
+  ASSERT_FALSE(obs::enabled());
+  { obs::Span span("invisible"); }
+  obs::Tracer::instance().remove_sink(sink);
+  EXPECT_TRUE(sink->roots.empty());
+}
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings,
+/// no trailing garbage. Good enough to catch malformed sink output.
+bool looks_like_json_object(const std::string& line) {
+  if (line.empty() || line.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (char ch : line) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (ch == '\\') escaped = true;
+      if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    if (depth == 0 && ch != line.back()) return false;
+  }
+  return depth == 0 && !in_string && line.back() == '}';
+}
+
+TEST(Sinks, JsonlIsParseableLineByLine) {
+  obs::ScopedEnable enable;
+  std::ostringstream out;
+  auto sink = std::make_shared<obs::JsonlSink>(out);
+  obs::Tracer::instance().add_sink(sink);
+  {
+    obs::Span root("jsonl.root");
+    obs::Counter("test.jsonl").add(3);
+    { obs::Span child("jsonl.child"); }
+  }
+  obs::Tracer::instance().remove_sink(sink);
+  sink->write_counters(obs::Registry::instance().snapshot());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t spans = 0, counters = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(looks_like_json_object(line)) << "bad line: " << line;
+    if (line.find("\"event\":\"span\"") != std::string::npos) ++spans;
+    if (line.find("\"event\":\"counters\"") != std::string::npos) ++counters;
+  }
+  EXPECT_EQ(spans, 2u);
+  EXPECT_EQ(counters, 1u);
+  // Parent path prefixes the child's.
+  EXPECT_NE(out.str().find("\"path\":\"jsonl.root\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"path\":\"jsonl.root/jsonl.child\""),
+            std::string::npos);
+}
+
+TEST(Sinks, TextSinkIndentsChildren) {
+  obs::ScopedEnable enable;
+  std::ostringstream out;
+  auto sink = std::make_shared<obs::TextSink>(out);
+  obs::Tracer::instance().add_sink(sink);
+  {
+    obs::Span root("text.root");
+    { obs::Span child("text.child"); }
+  }
+  obs::Tracer::instance().remove_sink(sink);
+  const std::string report = out.str();
+  EXPECT_NE(report.find("\n  text.root"), std::string::npos);
+  EXPECT_NE(report.find("\n    text.child"), std::string::npos);
+}
+
+TEST(Sinks, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("a\nb"), "a\\nb");
+}
+
+TEST(LimitErrors, ExploreAttachesContext) {
+  ReachOptions options;
+  options.max_states = 2;
+  try {
+    (void)explore(two_independent_cycles(), options);
+    FAIL() << "expected LimitError";
+  } catch (const LimitError& e) {
+    ASSERT_TRUE(e.context().has_value());
+    EXPECT_EQ(e.context()->reached, 2u);
+    EXPECT_EQ(e.context()->limit, 2u);
+    EXPECT_NE(std::string(e.what()).find("limit=2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cipnet

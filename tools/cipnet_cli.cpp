@@ -1,22 +1,15 @@
-// cipnet — command-line front end to the library.
-//
-//   cipnet info <file>                  net summary + structural analysis
-//   cipnet reach <file>                 state space, deadlocks, safety
-//   cipnet lang <file> [maxlen]         bounded trace language
-//   cipnet dot <file>                   GraphViz export to stdout
-//   cipnet compose <a> <b> -o <out>     parallel composition (Def 4.7)
-//   cipnet hide <file> <label>... -o <out>     hiding (Def 4.10)
-//   cipnet project <file> <label>... -o <out>  keep only the given labels
-//   cipnet expr "<expression>" -o <out> build a net from a process term
-//   cipnet check <a.g> <b.g>            receptiveness (Props 5.5/5.6)
-//   cipnet synth <file.g>               consistency, CSC, next-state logic
-//   cipnet sim <file> [steps] [seed]    random token-game walk
+// cipnet — command-line front end to the library. Run `cipnet` with no
+// arguments for the command table (generated from `kCommands` below).
 //
 // Files: `.g`/`.astg` are petrify-style STGs, everything else the native
 // `.cpn` format.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +19,10 @@
 #include "circuit/receptive.h"
 #include "io/dot.h"
 #include "io/files.h"
+#include "obs/metrics.h"
+#include "obs/sink_jsonl.h"
+#include "obs/sink_text.h"
+#include "obs/trace.h"
 #include "petri/invariants.h"
 #include "petri/siphons.h"
 #include "petri/structure.h"
@@ -41,13 +38,7 @@
 namespace cipnet::cli {
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: cipnet <info|reach|lang|dot|compose|hide|project|expr|"
-               "check|synth|sim> ...\n(see the header of tools/cipnet_cli.cpp"
-               " for details)\n");
-  return 2;
-}
+int usage();
 
 /// Split `args` at `-o out`: returns positional args, sets `out`.
 std::vector<std::string> split_output(const std::vector<std::string>& args,
@@ -143,7 +134,7 @@ int cmd_compose(const std::vector<std::string>& raw) {
   return 0;
 }
 
-int cmd_hide(const std::vector<std::string>& raw, bool project_mode) {
+int run_hide(const std::vector<std::string>& raw, bool project_mode) {
   std::string out;
   auto args = split_output(raw, out);
   if (args.size() < 2 || out.empty()) return usage();
@@ -157,6 +148,14 @@ int cmd_hide(const std::vector<std::string>& raw, bool project_mode) {
   save_net(out, result, project_mode ? "projected" : "hidden");
   std::printf("wrote %s: %s\n", out.c_str(), result.summary().c_str());
   return 0;
+}
+
+int cmd_hide(const std::vector<std::string>& raw) {
+  return run_hide(raw, /*project_mode=*/false);
+}
+
+int cmd_project(const std::vector<std::string>& raw) {
+  return run_hide(raw, /*project_mode=*/true);
 }
 
 int cmd_expr(const std::vector<std::string>& raw) {
@@ -239,22 +238,161 @@ int cmd_sim(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_profile(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  PetriNet net = load_net(args[0]);
+
+  // `profile` always instruments, independent of --stats/--trace-out (those
+  // enabled earlier stay enabled; the counters restart for a clean run).
+  obs::ScopedEnable enable(/*reset=*/true);
+  auto tree_sink = std::make_shared<obs::TextSink>(std::cout);
+  obs::Tracer::instance().add_sink(tree_sink);
+
+  std::size_t states = 0, edges = 0, deadlocks = 0;
+  {
+    obs::Span root("profile");
+    {
+      // explore() opens the nested `reach.explore` span itself.
+      ReachabilityGraph rg = explore(net, {200000});
+      states = rg.state_count();
+      edges = rg.edge_count();
+      deadlocks = deadlock_states(rg).size();
+    }
+    {
+      obs::Span structural("profile.structure");
+      {
+        obs::Span s("structure.classify");
+        classify(net);
+      }
+      {
+        obs::Span s("structure.scc");
+        is_strongly_connected(net);
+      }
+      try {
+        obs::Span s("structure.semiflows");
+        place_semiflows(net);
+      } catch (const LimitError&) {
+      }
+      try {
+        obs::Span s("structure.siphons");
+        check_commoner(net);
+      } catch (const LimitError&) {
+      }
+    }
+  }
+  obs::Tracer::instance().remove_sink(tree_sink);
+
+  std::printf("states: %zu, edges: %zu, deadlock states: %zu\n", states,
+              edges, deadlocks);
+  std::printf("%s",
+              obs::render_text_report(obs::Registry::instance().snapshot())
+                  .c_str());
+  return 0;
+}
+
+/// The single source of truth for commands: dispatch, usage text, and the
+/// README table all derive from this.
+struct Command {
+  const char* name;
+  const char* args;
+  const char* help;
+  int (*fn)(const std::vector<std::string>&);
+};
+
+constexpr Command kCommands[] = {
+    {"info", "<file>", "net summary + structural analysis", cmd_info},
+    {"reach", "<file>", "state space, deadlocks, safety", cmd_reach},
+    {"lang", "<file> [maxlen]", "bounded trace language", cmd_lang},
+    {"dot", "<file>", "GraphViz export to stdout", cmd_dot},
+    {"compose", "<a> <b> -o <out>", "parallel composition (Def 4.7)",
+     cmd_compose},
+    {"hide", "<file> <label>... -o <out>", "hiding (Def 4.10)", cmd_hide},
+    {"project", "<file> <label>... -o <out>", "keep only the given labels",
+     cmd_project},
+    {"expr", "\"<expression>\" -o <out>", "build a net from a process term",
+     cmd_expr},
+    {"check", "<a.g> <b.g>", "receptiveness (Props 5.5/5.6)", cmd_check},
+    {"synth", "<file.g>", "consistency, CSC, next-state logic", cmd_synth},
+    {"sim", "<file> [steps] [seed]", "random token-game walk", cmd_sim},
+    {"profile", "<file>", "explore + structural analysis with span tree",
+     cmd_profile},
+};
+
+int usage() {
+  std::fprintf(stderr, "usage: cipnet <command> [args...] [flags]\n\n");
+  std::fprintf(stderr, "commands:\n");
+  for (const Command& c : kCommands) {
+    std::fprintf(stderr, "  %-8s %-28s %s\n", c.name, c.args, c.help);
+  }
+  std::fprintf(stderr,
+               "\nglobal flags (any command):\n"
+               "  --stats             print the metrics report to stderr on "
+               "exit\n"
+               "  --trace-out <file>  write the span trace as JSON lines\n");
+  return 2;
+}
+
 int run(int argc, char** argv) {
-  if (argc < 2) return usage();
-  std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
-  if (command == "info") return cmd_info(args);
-  if (command == "reach") return cmd_reach(args);
-  if (command == "lang") return cmd_lang(args);
-  if (command == "dot") return cmd_dot(args);
-  if (command == "compose") return cmd_compose(args);
-  if (command == "hide") return cmd_hide(args, /*project_mode=*/false);
-  if (command == "project") return cmd_hide(args, /*project_mode=*/true);
-  if (command == "expr") return cmd_expr(args);
-  if (command == "check") return cmd_check(args);
-  if (command == "synth") return cmd_synth(args);
-  if (command == "sim") return cmd_sim(args);
-  return usage();
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  // Strip the global observability flags wherever they appear.
+  bool stats = false;
+  std::string trace_out;
+  for (std::size_t i = 0; i < args.size();) {
+    if (args[i] == "--stats") {
+      stats = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (args[i] == "--trace-out" && i + 1 < args.size()) {
+      trace_out = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+  if (args.empty()) return usage();
+
+  std::optional<obs::ScopedEnable> enable;
+  if (stats || !trace_out.empty()) enable.emplace();
+  std::ofstream trace_file;
+  std::shared_ptr<obs::JsonlSink> jsonl;
+  if (!trace_out.empty()) {
+    trace_file.open(trace_out);
+    if (!trace_file) {
+      std::fprintf(stderr, "error: cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    jsonl = std::make_shared<obs::JsonlSink>(trace_file);
+    obs::Tracer::instance().add_sink(jsonl);
+  }
+
+  const std::string command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  const Command* chosen = nullptr;
+  for (const Command& c : kCommands) {
+    if (command == c.name) chosen = &c;
+  }
+  if (!chosen) return usage();
+  // Errors are reported here (not in main) so the stats/trace epilogue
+  // still runs — a LimitError plus its counter report is the whole point.
+  int rc;
+  try {
+    rc = chosen->fn(rest);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
+
+  if (jsonl) {
+    obs::Tracer::instance().remove_sink(jsonl);
+    jsonl->write_counters(obs::Registry::instance().snapshot());
+  }
+  if (stats) {
+    std::fputs(
+        obs::render_text_report(obs::Registry::instance().snapshot()).c_str(),
+        stderr);
+  }
+  return rc;
 }
 
 }  // namespace
