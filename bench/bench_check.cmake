@@ -1,0 +1,40 @@
+# Script mode driver behind the `bench-check` target: run the
+# bench_scalability report REPS times (google-benchmark sweeps filtered
+# out — the BENCH_ROW rows come from the report section), aggregate the
+# medians with bench_report, and diff against the committed baseline.
+# Fails the build on a wall-time regression beyond THRESHOLD.
+#
+# Expected -D inputs: BENCH_BIN, REPORT_BIN, BASELINE, OUT_DIR, REPS,
+# THRESHOLD.
+
+set(outputs "")
+foreach(rep RANGE 1 ${REPS})
+  set(out ${OUT_DIR}/bench_check_run_${rep}.txt)
+  execute_process(
+    COMMAND ${BENCH_BIN} --benchmark_filter=^$
+    OUTPUT_FILE ${out}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench-check: ${BENCH_BIN} failed (rep ${rep})")
+  endif()
+  list(APPEND outputs ${out})
+endforeach()
+
+execute_process(
+  COMMAND ${REPORT_BIN} aggregate scalability
+          -o ${OUT_DIR}/BENCH_scalability.json ${outputs}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench-check: aggregation failed")
+endif()
+
+execute_process(
+  COMMAND ${REPORT_BIN} diff ${BASELINE} ${OUT_DIR}/BENCH_scalability.json
+          --threshold ${THRESHOLD}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench-check: regression vs ${BASELINE} (threshold ${THRESHOLD}); "
+    "if intended, regenerate the baseline with bench_report aggregate")
+endif()
+message(STATUS "bench-check: no regression vs ${BASELINE}")

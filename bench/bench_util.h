@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/benchdata.h"
 #include "petri/net.h"
 
 namespace cipnet::benchutil {
@@ -63,35 +64,26 @@ inline PetriNet hideable_chain(std::size_t stages) {
   return net;
 }
 
-/// Minimal JSON string escaping for bench names (quotes and backslashes).
-inline std::string bench_json_escape(const std::string& text) {
-  std::string out;
-  for (char c : text) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
-
 inline void header(const char* experiment, const char* artifact) {
   std::printf("================================================================\n");
   std::printf("%s — reproduces %s\n", experiment, artifact);
   std::printf("================================================================\n");
-  // Machine-readable preamble: one `BENCH_META {...}` JSON line per binary,
-  // so perf-trajectory tooling can grep bench output without parsing the
-  // human report. Per-row results use `machine_row` below.
-  std::printf("BENCH_META {\"experiment\":\"%s\",\"artifact\":\"%s\"}\n",
-              bench_json_escape(experiment).c_str(),
-              bench_json_escape(artifact).c_str());
+  // Machine-readable preamble: one `BENCH_META {...}` JSON line per binary
+  // (experiment/artifact plus git SHA, compiler, and build type from
+  // obs/buildinfo), so perf-trajectory tooling can grep bench output
+  // without parsing the human report. Per-row results use `machine_row`.
+  std::printf("BENCH_META %s\n",
+              obs::bench_meta_json(experiment, artifact).c_str());
 }
 
 /// One machine-readable result row: `BENCH_ROW {"name":...,"states":N,
-/// "wall_s":S}` — JSON after the `BENCH_ROW ` prefix, one line per row,
-/// diffable across PRs (the `BENCH_*.json` trajectory format).
+/// "wall_s":S}` — JSON after the `BENCH_ROW ` prefix, one line per row.
+/// `tools/bench_report aggregate` folds these into the `BENCH_*.json`
+/// trajectory format diffable across PRs.
 inline void machine_row(const std::string& name, std::size_t states,
                         double wall_seconds) {
-  std::printf("BENCH_ROW {\"name\":\"%s\",\"states\":%zu,\"wall_s\":%.6f}\n",
-              bench_json_escape(name).c_str(), states, wall_seconds);
+  std::printf("BENCH_ROW %s\n",
+              obs::bench_row_json(name, states, wall_seconds).c_str());
 }
 
 inline int run_benchmarks(int argc, char** argv) {

@@ -6,6 +6,7 @@
 
 #include "algebra/basic.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "petri/rebuild.h"
 #include "util/error.h"
@@ -194,9 +195,11 @@ PetriNet hide_transition(const PetriNet& net, TransitionId t,
 PetriNet hide_action(const PetriNet& net, const std::string& label,
                      const HideOptions& options) {
   obs::Span span("algebra.hide");
+  obs::ProgressReporter progress("algebra.hide");
   PetriNet current = net;
   std::size_t contractions = 0;
   while (true) {
+    progress.update(contractions, current.transition_count());
     auto action = current.find_action(label);
     if (!action) break;
     // Copy: `current` is replaced inside the loop.

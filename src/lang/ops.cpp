@@ -5,10 +5,17 @@
 #include <deque>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/hash.h"
 #include "util/sorted_set.h"
 
 namespace cipnet {
+
+namespace {
+const obs::Counter c_subset_states("lang.subset_states");
+const obs::Counter c_refinement_passes("lang.refinement_passes");
+}  // namespace
 
 Nfa nfa_from_reachability(const PetriNet& net, const ReachabilityGraph& rg) {
   Nfa nfa;
@@ -183,6 +190,7 @@ std::vector<int> epsilon_closure(const Nfa& nfa, std::vector<int> seed) {
 }  // namespace
 
 Dfa determinize(const Nfa& nfa) {
+  obs::Span span("lang.determinize");
   Dfa dfa;
   std::unordered_map<std::vector<int>, int, VectorHash> index;
   std::deque<std::vector<int>> frontier;
@@ -195,6 +203,7 @@ Dfa determinize(const Nfa& nfa) {
     int id = dfa.add_state(accepting);
     index.emplace(subset, id);
     frontier.push_back(std::move(subset));
+    c_subset_states.add();
     return id;
   };
 
@@ -220,6 +229,7 @@ Dfa determinize(const Nfa& nfa) {
 }
 
 Dfa minimize(const Dfa& dfa) {
+  obs::Span span("lang.minimize");
   const int n = dfa.state_count();
   // Alphabet of the DFA.
   std::vector<std::string> alphabet;
@@ -234,6 +244,7 @@ Dfa minimize(const Dfa& dfa) {
   int block_count = 2;
 
   while (true) {
+    c_refinement_passes.add();
     // Signature = (current block, successor block per alphabet symbol).
     std::map<std::vector<int>, int> sig_index;
     std::vector<int> next_block(n);

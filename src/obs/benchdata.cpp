@@ -1,0 +1,216 @@
+#include "obs/benchdata.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+
+#include "obs/buildinfo.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace cipnet::obs {
+namespace {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? values[n / 2]
+                    : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+std::string bench_meta_json(std::string_view experiment,
+                            std::string_view artifact) {
+  std::string out = "{\"experiment\":\"" + json_escape(experiment) + "\"";
+  out += ",\"artifact\":\"" + json_escape(artifact) + "\"";
+  out += ",\"git_sha\":\"" + json_escape(build_git_sha()) + "\"";
+  out += ",\"compiler\":\"" + json_escape(build_compiler()) + "\"";
+  out += ",\"build_type\":\"" + json_escape(build_type()) + "\"}";
+  return out;
+}
+
+std::string bench_row_json(std::string_view name, std::uint64_t states,
+                           double wall_s) {
+  return "{\"name\":\"" + json_escape(name) +
+         "\",\"states\":" + std::to_string(states) +
+         ",\"wall_s\":" + format_double(wall_s) + "}";
+}
+
+const BenchRow* BenchAggregate::row(std::string_view name) const {
+  for (const BenchRow& r : rows) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+BenchAggregate aggregate_bench_output(std::istream& in,
+                                      std::string_view experiment) {
+  BenchAggregate agg;
+  agg.experiment = experiment;
+  // Row samples keyed by name, kept in first-seen order.
+  std::vector<std::pair<std::string, std::vector<double>>> samples;
+  std::vector<std::uint64_t> states;
+  std::string line;
+  while (std::getline(in, line)) {
+    constexpr std::string_view kMeta = "BENCH_META ";
+    constexpr std::string_view kRow = "BENCH_ROW ";
+    if (line.starts_with(kMeta)) {
+      const json::Value v = json::parse(line.substr(kMeta.size()));
+      for (const auto& [key, member] : v.members()) {
+        if (member.type() != json::Value::Type::kString) continue;
+        if (key == "experiment") {
+          if (agg.experiment.empty()) agg.experiment = member.as_string();
+        } else if (std::none_of(agg.meta.begin(), agg.meta.end(),
+                                [&key = key](const auto& m) {
+                                  return m.first == key;
+                                })) {
+          // First file wins: reps repeated across files re-emit BENCH_META.
+          agg.meta.emplace_back(key, member.as_string());
+        }
+      }
+    } else if (line.starts_with(kRow)) {
+      const json::Value v = json::parse(line.substr(kRow.size()));
+      const std::string name = v.get_string("name");
+      if (name.empty()) throw ParseError("BENCH_ROW without a name");
+      auto it = std::find_if(samples.begin(), samples.end(),
+                             [&](const auto& s) { return s.first == name; });
+      if (it == samples.end()) {
+        samples.emplace_back(name, std::vector<double>{});
+        states.push_back(static_cast<std::uint64_t>(v.get_number("states")));
+        it = std::prev(samples.end());
+      }
+      it->second.push_back(v.get_number("wall_s"));
+    }
+  }
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    BenchRow row;
+    row.name = samples[i].first;
+    row.states = states[i];
+    row.reps = static_cast<int>(samples[i].second.size());
+    row.wall_s_median = median(std::move(samples[i].second));
+    agg.rows.push_back(std::move(row));
+  }
+  return agg;
+}
+
+std::string bench_to_json(const BenchAggregate& agg) {
+  std::string out = "{\n  \"experiment\": \"" + json_escape(agg.experiment) +
+                    "\",\n  \"meta\": {";
+  for (std::size_t i = 0; i < agg.meta.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n    \"" + json_escape(agg.meta[i].first) + "\": \"" +
+           json_escape(agg.meta[i].second) + "\"";
+  }
+  out += agg.meta.empty() ? "},\n" : "\n  },\n";
+  out += "  \"rows\": [";
+  for (std::size_t i = 0; i < agg.rows.size(); ++i) {
+    const BenchRow& r = agg.rows[i];
+    if (i != 0) out += ",";
+    out += "\n    {\"name\": \"" + json_escape(r.name) +
+           "\", \"states\": " + std::to_string(r.states) +
+           ", \"wall_s_median\": " + format_double(r.wall_s_median) +
+           ", \"reps\": " + std::to_string(r.reps) + "}";
+  }
+  out += agg.rows.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+BenchAggregate bench_from_json(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  BenchAggregate agg;
+  agg.experiment = doc.get_string("experiment");
+  if (const json::Value* meta = doc.find("meta"); meta && meta->is_object()) {
+    for (const auto& [key, member] : meta->members()) {
+      if (member.type() == json::Value::Type::kString) {
+        agg.meta.emplace_back(key, member.as_string());
+      }
+    }
+  }
+  if (const json::Value* rows = doc.find("rows"); rows && rows->is_array()) {
+    for (const json::Value& item : rows->items()) {
+      BenchRow row;
+      row.name = item.get_string("name");
+      row.states = static_cast<std::uint64_t>(item.get_number("states"));
+      row.wall_s_median = item.get_number("wall_s_median");
+      row.reps = static_cast<int>(item.get_number("reps"));
+      agg.rows.push_back(std::move(row));
+    }
+  }
+  return agg;
+}
+
+bool BenchDiff::regressed(double threshold) const {
+  return std::any_of(rows.begin(), rows.end(), [&](const BenchRowDiff& r) {
+    return r.in_base && r.in_current && r.ratio > 1.0 + threshold;
+  });
+}
+
+BenchDiff bench_diff(const BenchAggregate& base, const BenchAggregate& current) {
+  BenchDiff diff;
+  for (const BenchRow& b : base.rows) {
+    BenchRowDiff row;
+    row.name = b.name;
+    row.base_wall_s = b.wall_s_median;
+    row.in_base = true;
+    if (const BenchRow* c = current.row(b.name)) {
+      row.current_wall_s = c->wall_s_median;
+      row.in_current = true;
+      // Sub-millisecond baselines are timer noise; treat as unchanged.
+      row.ratio = b.wall_s_median > 1e-3
+                      ? c->wall_s_median / b.wall_s_median
+                      : 1.0;
+    }
+    diff.rows.push_back(std::move(row));
+  }
+  for (const BenchRow& c : current.rows) {
+    if (base.row(c.name) != nullptr) continue;
+    BenchRowDiff row;
+    row.name = c.name;
+    row.current_wall_s = c.wall_s_median;
+    row.in_current = true;
+    diff.rows.push_back(std::move(row));
+  }
+  return diff;
+}
+
+std::string bench_diff_report(const BenchDiff& diff, double threshold) {
+  std::string out;
+  char buf[256];
+  for (const BenchRowDiff& r : diff.rows) {
+    if (!r.in_base) {
+      std::snprintf(buf, sizeof(buf), "  NEW      %-40s  %10.6fs\n",
+                    r.name.c_str(), r.current_wall_s);
+    } else if (!r.in_current) {
+      std::snprintf(buf, sizeof(buf), "  REMOVED  %-40s  %10.6fs\n",
+                    r.name.c_str(), r.base_wall_s);
+    } else {
+      const bool slow = r.ratio > 1.0 + threshold;
+      std::snprintf(buf, sizeof(buf),
+                    "  %-8s %-40s  %10.6fs -> %10.6fs  (%+.1f%%)\n",
+                    slow ? "REGRESS" : "ok", r.name.c_str(), r.base_wall_s,
+                    r.current_wall_s, (r.ratio - 1.0) * 100.0);
+    }
+    out += buf;
+  }
+  if (diff.rows.empty()) out = "  (no rows)\n";
+  return out;
+}
+
+}  // namespace cipnet::obs

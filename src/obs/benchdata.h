@@ -1,0 +1,85 @@
+#pragma once
+
+// Perf-trajectory data model. Bench binaries print one `BENCH_META {...}`
+// line plus one `BENCH_ROW {...}` line per measurement (possibly repeated
+// over reps); this module turns that stream into a stable `BENCH_<name>.json`
+// aggregate (median over reps, provenance metadata from obs/buildinfo) and
+// diffs two aggregates to flag wall-time regressions. `tools/bench_report`
+// is the CLI front-end; the `bench-check` CMake target wires the diff
+// against a committed baseline.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cipnet::obs {
+
+/// JSON payload for a `BENCH_META ` line: experiment/artifact plus the
+/// build provenance (git SHA, compiler, build type) from obs/buildinfo.
+[[nodiscard]] std::string bench_meta_json(std::string_view experiment,
+                                          std::string_view artifact);
+
+/// JSON payload for a `BENCH_ROW ` line.
+[[nodiscard]] std::string bench_row_json(std::string_view name,
+                                         std::uint64_t states, double wall_s);
+
+/// One aggregated measurement: all reps of the same row name collapsed to
+/// their median wall time.
+struct BenchRow {
+  std::string name;
+  std::uint64_t states = 0;
+  double wall_s_median = 0.0;
+  int reps = 0;
+};
+
+/// One experiment's aggregated results plus its metadata key/value pairs
+/// (string-valued members of the BENCH_META payload, e.g. artifact,
+/// git_sha, compiler, build_type).
+struct BenchAggregate {
+  std::string experiment;
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<BenchRow> rows;
+
+  [[nodiscard]] const BenchRow* row(std::string_view name) const;
+};
+
+/// Scan bench output for `BENCH_META` / `BENCH_ROW` lines (all other lines
+/// ignored) and aggregate repeated row names to medians. `experiment`
+/// overrides the name from BENCH_META when non-empty. Rows keep first-seen
+/// order. Malformed JSON payloads throw `ParseError`.
+[[nodiscard]] BenchAggregate aggregate_bench_output(std::istream& in,
+                                                    std::string_view experiment = {});
+
+/// Serialize / parse the `BENCH_<name>.json` trajectory format.
+[[nodiscard]] std::string bench_to_json(const BenchAggregate& agg);
+[[nodiscard]] BenchAggregate bench_from_json(std::string_view text);
+
+/// Per-row comparison of two aggregates, matched by row name.
+struct BenchRowDiff {
+  std::string name;
+  double base_wall_s = 0.0;     // 0 when missing from baseline
+  double current_wall_s = 0.0;  // 0 when missing from current
+  double ratio = 1.0;           // current / base, 1.0 when either is missing
+  bool in_base = false;
+  bool in_current = false;
+};
+
+struct BenchDiff {
+  std::vector<BenchRowDiff> rows;
+
+  /// True when any row present on both sides slowed down by more than
+  /// `threshold` (0.10 = +10% median wall time).
+  [[nodiscard]] bool regressed(double threshold) const;
+};
+
+[[nodiscard]] BenchDiff bench_diff(const BenchAggregate& base,
+                                   const BenchAggregate& current);
+
+/// Human-readable diff table, flagging rows beyond `threshold`.
+[[nodiscard]] std::string bench_diff_report(const BenchDiff& diff,
+                                            double threshold);
+
+}  // namespace cipnet::obs

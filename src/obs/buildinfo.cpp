@@ -1,0 +1,21 @@
+#include "obs/buildinfo.h"
+
+// The defines arrive via set_source_files_properties on this file only, so
+// a SHA change recompiles one translation unit, not the library.
+#ifndef CIPNET_GIT_SHA
+#define CIPNET_GIT_SHA "unknown"
+#endif
+#ifndef CIPNET_COMPILER
+#define CIPNET_COMPILER "unknown"
+#endif
+#ifndef CIPNET_BUILD_TYPE
+#define CIPNET_BUILD_TYPE "unknown"
+#endif
+
+namespace cipnet::obs {
+
+const char* build_git_sha() { return CIPNET_GIT_SHA; }
+const char* build_compiler() { return CIPNET_COMPILER; }
+const char* build_type() { return CIPNET_BUILD_TYPE; }
+
+}  // namespace cipnet::obs

@@ -1,0 +1,52 @@
+#include "obs/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cipnet::obs {
+
+namespace {
+
+/// Read a "VmXXX:  1234 kB" line from /proc/self/status; 0 if absent.
+std::uint64_t proc_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  unsigned long long kb = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      std::sscanf(line + key_len + 1, "%llu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() {
+  if (std::uint64_t kb = proc_status_kb("VmHWM")) return kb * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // kB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::uint64_t current_rss_bytes() {
+  return proc_status_kb("VmRSS") * 1024;
+}
+
+}  // namespace cipnet::obs

@@ -33,6 +33,16 @@ std::atomic<std::uint64_t>* Registry::gauge_cell(std::string_view name) {
   return cell(gauges_, name);
 }
 
+detail::HistogramCells* Registry::histogram_cells(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (HistCell& h : histograms_) {
+    if (h.name == name) return &h.cells;
+  }
+  histograms_.emplace_back();
+  histograms_.back().name = std::string(name);
+  return &histograms_.back().cells;
+}
+
 Snapshot Registry::snapshot() const {
   Snapshot out;
   {
@@ -44,9 +54,28 @@ Snapshot Registry::snapshot() const {
     for (const Cell& c : gauges_) {
       out.gauges.emplace_back(c.name, c.value.load(std::memory_order_relaxed));
     }
+    for (const HistCell& h : histograms_) {
+      HistogramSnapshot hs;
+      hs.name = h.name;
+      hs.sum = h.cells.sum.load(std::memory_order_relaxed);
+      hs.max = h.cells.max.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        const std::uint64_t n =
+            h.cells.buckets[i].load(std::memory_order_relaxed);
+        if (n != 0) {
+          hs.count += n;
+          hs.buckets.emplace_back(static_cast<std::uint32_t>(i), n);
+        }
+      }
+      out.histograms.push_back(std::move(hs));
+    }
   }
   std::sort(out.counters.begin(), out.counters.end());
   std::sort(out.gauges.begin(), out.gauges.end());
+  std::sort(out.histograms.begin(), out.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
   return out;
 }
 
@@ -71,6 +100,7 @@ void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (Cell& c : counters_) c.value.store(0, std::memory_order_relaxed);
   for (Cell& c : gauges_) c.value.store(0, std::memory_order_relaxed);
+  for (HistCell& h : histograms_) h.cells.reset();
 }
 
 std::uint64_t Snapshot::counter(std::string_view name) const {
@@ -85,6 +115,13 @@ std::uint64_t Snapshot::gauge(std::string_view name) const {
     if (n == name) return v;
   }
   return 0;
+}
+
+const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
 }
 
 ScopedEnable::ScopedEnable(bool reset) : previous_(enabled()) {
@@ -120,7 +157,23 @@ std::string render_text_report(const Snapshot& snapshot) {
   };
   section("counters", snapshot.counters);
   section("gauges", snapshot.gauges);
-  if (width == 0) out += "  (all metrics zero)\n";
+  std::size_t hist_width = 0;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (h.count != 0) hist_width = std::max(hist_width, h.name.size());
+  }
+  if (hist_width != 0) {
+    out += "  histograms:\n";
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+      if (h.count == 0) continue;
+      out += "    " + h.name + std::string(hist_width - h.name.size() + 2, ' ') +
+             "count=" + std::to_string(h.count) +
+             " p50=" + std::to_string(h.percentile(50)) +
+             " p90=" + std::to_string(h.percentile(90)) +
+             " p99=" + std::to_string(h.percentile(99)) +
+             " max=" + std::to_string(h.max) + "\n";
+    }
+  }
+  if (width == 0 && hist_width == 0) out += "  (all metrics zero)\n";
   return out;
 }
 

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace cipnet::obs {
 
 namespace detail {
@@ -43,10 +45,14 @@ inline bool enabled() {
 struct Snapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::uint64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
 
   /// Value of a counter/gauge, or 0 when the name was never registered.
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
   [[nodiscard]] std::uint64_t gauge(std::string_view name) const;
+
+  /// Histogram by name, or nullptr when never registered.
+  [[nodiscard]] const HistogramSnapshot* histogram(std::string_view name) const;
 };
 
 /// The process-wide metric registry. Registration (first use of a name) and
@@ -59,6 +65,7 @@ class Registry {
   /// the process lifetime.
   std::atomic<std::uint64_t>* counter_cell(std::string_view name);
   std::atomic<std::uint64_t>* gauge_cell(std::string_view name);
+  detail::HistogramCells* histogram_cells(std::string_view name);
 
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -79,6 +86,10 @@ class Registry {
     std::string name;
     std::atomic<std::uint64_t> value{0};
   };
+  struct HistCell {
+    std::string name;
+    detail::HistogramCells cells;
+  };
 
   std::atomic<std::uint64_t>* cell(std::deque<Cell>& cells,
                                    std::string_view name);
@@ -87,6 +98,7 @@ class Registry {
   // deque: stable addresses under growth.
   std::deque<Cell> counters_;
   std::deque<Cell> gauges_;
+  std::deque<HistCell> histograms_;
 };
 
 /// A named monotonic counter handle. Cheap to copy; `add` is thread-safe.
@@ -125,6 +137,22 @@ class Gauge {
 
  private:
   std::atomic<std::uint64_t>* cell_;
+};
+
+/// A named distribution handle (frontier sizes, enabled-transition counts,
+/// span durations, ...). `record` is lock-free and thread-safe; snapshots
+/// expose p50/p90/p99/max (see obs/histogram.h for the bucketing).
+class Histogram {
+ public:
+  explicit Histogram(std::string_view name)
+      : cells_(Registry::instance().histogram_cells(name)) {}
+
+  void record(std::uint64_t value) const {
+    if (enabled()) cells_->record(value);
+  }
+
+ private:
+  detail::HistogramCells* cells_;
 };
 
 /// RAII enable: switches instrumentation on (optionally resetting all

@@ -1,0 +1,89 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/memory.h"
+
+namespace cipnet::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ProgressBus& ProgressBus::instance() {
+  static ProgressBus bus;
+  return bus;
+}
+
+int ProgressBus::add_listener(Listener listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = next_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  active_.store(true, std::memory_order_relaxed);
+  return id;
+}
+
+void ProgressBus::remove_listener(int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  listeners_.erase(
+      std::remove_if(listeners_.begin(), listeners_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      listeners_.end());
+  active_.store(!listeners_.empty(), std::memory_order_relaxed);
+}
+
+void ProgressBus::publish(const ProgressEvent& event) {
+  std::vector<std::pair<int, Listener>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listeners = listeners_;
+  }
+  for (const auto& [id, listener] : listeners) listener(event);
+}
+
+ProgressReporter::ProgressReporter(std::string_view phase)
+    : phase_(phase), start_ns_(steady_now_ns()), last_emit_ns_(start_ns_) {}
+
+ProgressReporter::~ProgressReporter() {
+  if (any_update_ && ProgressBus::instance().active()) publish(true);
+}
+
+void ProgressReporter::update_throttled(std::uint64_t items,
+                                        std::uint64_t frontier) {
+  items_ = items;
+  frontier_ = frontier;
+  any_update_ = true;
+  const std::uint64_t now = steady_now_ns();
+  const std::uint64_t interval_ns =
+      ProgressBus::instance().interval_ms() * 1'000'000;
+  if (now - last_emit_ns_ < interval_ns) return;
+  last_emit_ns_ = now;
+  publish(false);
+}
+
+void ProgressReporter::publish(bool final_event) {
+  const std::uint64_t now = steady_now_ns();
+  const std::uint64_t elapsed_ns = now > start_ns_ ? now - start_ns_ : 0;
+  ProgressEvent event;
+  event.phase = phase_;
+  event.items = items_;
+  event.frontier = frontier_;
+  event.elapsed_ms = elapsed_ns / 1'000'000;
+  event.items_per_sec =
+      elapsed_ns == 0 ? 0.0
+                      : static_cast<double>(items_) * 1e9 /
+                            static_cast<double>(elapsed_ns);
+  event.peak_rss_bytes = peak_rss_bytes();
+  event.final_event = final_event;
+  ProgressBus::instance().publish(event);
+}
+
+}  // namespace cipnet::obs

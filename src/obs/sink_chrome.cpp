@@ -1,0 +1,92 @@
+#include "obs/sink_chrome.h"
+
+#include <cstdio>
+
+#include "obs/sink_jsonl.h"  // json_escape
+
+namespace cipnet::obs {
+
+namespace {
+
+/// Nanoseconds to the format's microsecond timestamps, keeping sub-µs
+/// precision as a fractional part.
+std::string us_from_ns(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+ChromeSink::ChromeSink(std::ostream& out) : out_(out) {
+  out_ << "{\"traceEvents\":[";
+  // Process metadata so Perfetto labels the track.
+  write_event(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"cipnet\"}}");
+}
+
+ChromeSink::~ChromeSink() { finish(); }
+
+int ChromeSink::tid_for_current_thread() {
+  const auto id = std::this_thread::get_id();
+  auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const int tid = next_tid_++;
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void ChromeSink::write_event(const std::string& body) {
+  if (!first_event_) out_ << ",\n";
+  first_event_ = false;
+  out_ << body;
+}
+
+void ChromeSink::write_span(const SpanRecord& span, int tid) {
+  std::string event = "{\"name\":\"" + json_escape(span.name) +
+                      "\",\"cat\":\"cipnet\",\"ph\":\"X\",\"ts\":" +
+                      us_from_ns(span.start_ns) +
+                      ",\"dur\":" + us_from_ns(span.duration_ns) +
+                      ",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                      ",\"args\":{";
+  bool first = true;
+  for (const auto& [name, delta] : span.counter_deltas) {
+    if (!first) event += ",";
+    first = false;
+    event += "\"" + json_escape(name) + "\":" + std::to_string(delta);
+  }
+  event += "}}";
+  write_event(event);
+
+  // Counter tracks: cumulative value at the span's end time.
+  const std::uint64_t end_ns = span.start_ns + span.duration_ns;
+  for (const auto& [name, delta] : span.counter_deltas) {
+    const std::uint64_t total = counter_totals_[name] += delta;
+    write_event("{\"name\":\"" + json_escape(name) +
+                "\",\"ph\":\"C\",\"ts\":" + us_from_ns(end_ns) +
+                ",\"pid\":1,\"args\":{\"value\":" + std::to_string(total) +
+                "}}");
+  }
+
+  for (const SpanRecord& child : span.children) write_span(child, tid);
+}
+
+void ChromeSink::on_span(const SpanRecord& root) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  write_span(root, tid_for_current_thread());
+  out_.flush();
+}
+
+void ChromeSink::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  out_ << "],\"displayTimeUnit\":\"ms\"}\n";
+  out_.flush();
+}
+
+}  // namespace cipnet::obs

@@ -1,0 +1,54 @@
+#pragma once
+
+// Chrome trace-event sink: writes the span trees as a JSON document in the
+// Chrome trace-event format, loadable in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing. Spans become "X" (complete) events with pid/tid and
+// their counter deltas as args; each counter delta additionally feeds a
+// "C" (counter) event carrying the running total, so Perfetto renders
+// counter tracks alongside the flame chart.
+//
+// The document is `{"traceEvents":[...]}`; the sink writes the opening on
+// construction, streams events as spans complete, and `finish()` (also run
+// by the destructor) closes the JSON so even aborted runs leave a loadable
+// file.
+
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cipnet::obs {
+
+/// Streams completed span trees to `out` in Chrome trace-event JSON. The
+/// stream must outlive the sink; writes are serialized with an internal
+/// mutex.
+class ChromeSink : public Sink {
+ public:
+  explicit ChromeSink(std::ostream& out);
+  ~ChromeSink() override;
+
+  void on_span(const SpanRecord& root) override;
+
+  /// Close the JSON document. Idempotent; no events are accepted after.
+  void finish();
+
+ private:
+  void write_span(const SpanRecord& span, int tid);
+  void write_event(const std::string& body);
+  int tid_for_current_thread();
+
+  std::mutex mutex_;
+  std::ostream& out_;
+  bool first_event_ = true;
+  bool finished_ = false;
+  int next_tid_ = 1;
+  std::map<std::thread::id, int> tids_;
+  // Running totals behind the "C" counter events.
+  std::map<std::string, std::uint64_t> counter_totals_;
+};
+
+}  // namespace cipnet::obs

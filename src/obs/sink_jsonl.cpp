@@ -83,8 +83,36 @@ void JsonlSink::write_counters(const Snapshot& snapshot) {
   append_pairs(line, snapshot.counters);
   line += ",\"gauges\":";
   append_pairs(line, snapshot.gauges);
-  line += "}\n";
+  line += ",\"histograms\":{";
+  bool first = true;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (h.count == 0) continue;
+    if (!first) line += ",";
+    first = false;
+    line += "\"" + json_escape(h.name) +
+            "\":{\"count\":" + std::to_string(h.count) +
+            ",\"sum\":" + std::to_string(h.sum) +
+            ",\"p50\":" + std::to_string(h.percentile(50)) +
+            ",\"p90\":" + std::to_string(h.percentile(90)) +
+            ",\"p99\":" + std::to_string(h.percentile(99)) +
+            ",\"max\":" + std::to_string(h.max) + "}";
+  }
+  line += "}}\n";
   out_ << line;
+  out_.flush();
+}
+
+void JsonlSink::write_progress(const ProgressEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.1f", event.items_per_sec);
+  out_ << "{\"event\":\"progress\",\"phase\":\"" + json_escape(event.phase) +
+              "\",\"items\":" + std::to_string(event.items) +
+              ",\"frontier\":" + std::to_string(event.frontier) +
+              ",\"items_per_sec\":" + rate +
+              ",\"elapsed_ms\":" + std::to_string(event.elapsed_ms) +
+              ",\"peak_rss_bytes\":" + std::to_string(event.peak_rss_bytes) +
+              ",\"final\":" + (event.final_event ? "true" : "false") + "}\n";
   out_.flush();
 }
 

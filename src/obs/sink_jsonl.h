@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace cipnet::obs {
@@ -20,8 +21,12 @@ class JsonlSink : public Sink {
   void on_span(const SpanRecord& root) override;
 
   /// Append one `{"event":"counters",...}` line with a full metric
-  /// snapshot — the CLI writes this as the final line of a trace file.
+  /// snapshot (counters, gauges, histogram percentiles) — the CLI writes
+  /// this as the final line of a trace file.
   void write_counters(const Snapshot& snapshot);
+
+  /// Append one `{"event":"progress",...}` heartbeat line.
+  void write_progress(const ProgressEvent& event);
 
  private:
   void write_span(const SpanRecord& span, const std::string& parent_path,

@@ -90,6 +90,13 @@ Span::~Span() {
   t_stack.pop_back();
   frame.record.duration_ns =
       Tracer::instance().now_ns() - frame.record.start_ns;
+  if (enabled()) {
+    // Duration distribution per span name ("span.reach.explore", ...), so
+    // repeated operations expose p50/p90/p99 in the metrics snapshot.
+    Registry::instance()
+        .histogram_cells("span." + frame.record.name)
+        ->record(frame.record.duration_ns);
+  }
 
   // Counter deltas: counters registered after the span opened diff against
   // zero (registration order only ever appends).

@@ -2,10 +2,16 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/sorted_set.h"
 
 namespace cipnet {
+
+namespace {
+const obs::Counter c_firings("petri.firings");
+const obs::Counter c_enabled_scans("petri.enabled_scans");
+}  // namespace
 
 PlaceId PetriNet::add_place(std::string name, Token initial) {
   if (place_index_.contains(name)) {
@@ -118,6 +124,7 @@ bool PetriNet::is_enabled(const Marking& m, TransitionId t) const {
 void PetriNet::fire_in_place(Marking& m, TransitionId t) const {
   const Transition& tr = transition(t);
   assert(is_enabled(m, t));
+  c_firings.add();
   // M'(p) = M(p) - 1 on (preset minus postset), M(p) + 1 on (postset minus
   // preset), unchanged otherwise (self-loops only test the token).
   for (PlaceId p : tr.preset) {
@@ -136,6 +143,7 @@ Marking PetriNet::fire(const Marking& m, TransitionId t) const {
 
 std::vector<TransitionId> PetriNet::enabled_transitions(
     const Marking& m) const {
+  c_enabled_scans.add();
   std::vector<TransitionId> out;
   for (std::size_t i = 0; i < transitions_.size(); ++i) {
     TransitionId t(static_cast<std::uint32_t>(i));

@@ -1,8 +1,11 @@
 #include "petri/structure.h"
 
+#include "obs/trace.h"
+
 namespace cipnet {
 
 StructureClass classify(const PetriNet& net) {
+  obs::Span span("petri.classify");
   StructureClass c;
   c.marked_graph = is_marked_graph(net);
   c.state_machine = is_state_machine(net);

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -13,6 +14,7 @@ namespace {
 const obs::Counter c_nodes("cover.nodes");
 const obs::Counter c_accelerations("cover.accelerations");
 const obs::Counter c_subsumed("cover.subsumed");
+const obs::Histogram h_frontier("cover.frontier_size");
 
 /// ω is represented as the maximum token value; real nets never get there
 /// (acceleration jumps straight to it).
@@ -30,6 +32,7 @@ bool leq(const std::vector<Token>& a, const std::vector<Token>& b) {
 CoverabilityResult coverability(const PetriNet& net,
                                 const CoverabilityOptions& options) {
   obs::Span span("reach.coverability");
+  obs::ProgressReporter progress("reach.coverability");
   struct Node {
     std::vector<Token> marking;
     int parent;
@@ -71,6 +74,8 @@ CoverabilityResult coverability(const PetriNet& net,
 
   push(net.initial_marking().tokens(), -1);
   while (!frontier.empty()) {
+    h_frontier.record(frontier.size());
+    progress.update(tree.size(), frontier.size());
     std::size_t index = frontier.back();
     frontier.pop_back();
     if (index >= tree.size()) continue;

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -13,12 +14,36 @@ const obs::Counter c_states("reach.states");
 const obs::Counter c_edges("reach.edges");
 const obs::Counter c_hash_lookups("reach.hash_lookups");
 const obs::Gauge g_frontier_peak("reach.frontier_peak");
+const obs::Gauge g_graph_bytes("reach.graph_bytes");
+const obs::Gauge g_index_bytes("reach.index_bytes");
+const obs::Histogram h_frontier("reach.frontier_size");
+const obs::Histogram h_enabled("reach.enabled_per_state");
+
+/// Rough per-node overhead of an unordered_map: bucket pointer plus node
+/// header (next pointer + cached hash).
+constexpr std::size_t kHashNodeOverhead = 3 * sizeof(void*);
+
 }  // namespace
 
 std::size_t ReachabilityGraph::edge_count() const {
   std::size_t n = 0;
   for (const auto& out : edges_) n += out.size();
   return n;
+}
+
+std::size_t ReachabilityGraph::estimated_graph_bytes() const {
+  const std::size_t places = markings_.empty() ? 0 : markings_[0].size();
+  return markings_.size() *
+             (sizeof(Marking) + places * sizeof(Token) +
+              sizeof(std::vector<Edge>)) +
+         edge_count() * sizeof(Edge);
+}
+
+std::size_t ReachabilityGraph::estimated_index_bytes() const {
+  const std::size_t places = markings_.empty() ? 0 : markings_[0].size();
+  return index_.size() * (sizeof(Marking) + places * sizeof(Token) +
+                          sizeof(StateId) + kHashNodeOverhead) +
+         index_.bucket_count() * sizeof(void*);
 }
 
 std::vector<StateId> ReachabilityGraph::all_states() const {
@@ -32,13 +57,29 @@ std::vector<StateId> ReachabilityGraph::all_states() const {
 
 ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
   obs::Span span("reach.explore");
+  obs::ProgressReporter progress("reach.explore");
   ReachabilityGraph rg;
   std::size_t edges_added = 0;
+  const std::size_t places = net.place_count();
+  // O(1) live estimate of the graph + marking-index footprint, refreshed
+  // from the running counts (edge_count() would rescan every state).
+  auto sample_memory = [&] {
+    if (!obs::enabled()) return;
+    const std::size_t marking_bytes = sizeof(Marking) + places * sizeof(Token);
+    g_graph_bytes.set(rg.markings_.size() *
+                          (marking_bytes + sizeof(std::vector<
+                                               ReachabilityGraph::Edge>)) +
+                      edges_added * sizeof(ReachabilityGraph::Edge));
+    g_index_bytes.set(rg.index_.size() * (marking_bytes + sizeof(StateId) +
+                                          kHashNodeOverhead) +
+                      rg.index_.bucket_count() * sizeof(void*));
+  };
   auto intern = [&](const Marking& m) -> StateId {
     c_hash_lookups.add();
     auto it = rg.index_.find(m);
     if (it != rg.index_.end()) return it->second;
     if (rg.markings_.size() >= options.max_states) {
+      sample_memory();
       throw LimitError(
           "reachability exploration exceeded " +
               std::to_string(options.max_states) + " states",
@@ -56,11 +97,16 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
   std::deque<StateId> frontier{rg.initial()};
   while (!frontier.empty()) {
     g_frontier_peak.set_max(frontier.size());
+    h_frontier.record(frontier.size());
     StateId s = frontier.front();
     frontier.pop_front();
+    progress.update(rg.markings_.size(), frontier.size());
     // Copy: interning may reallocate markings_.
     const Marking current = rg.markings_[s.index()];
-    for (TransitionId t : net.enabled_transitions(current)) {
+    const std::vector<TransitionId> enabled =
+        net.enabled_transitions(current);
+    h_enabled.record(enabled.size());
+    for (TransitionId t : enabled) {
       Marking next = net.fire(current, t);
       c_hash_lookups.add();
       const bool fresh = !rg.index_.contains(next);
@@ -70,7 +116,9 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
       c_edges.add();
       if (fresh) frontier.push_back(target);
     }
+    if ((rg.markings_.size() & 0x3ff) == 0) sample_memory();
   }
+  sample_memory();
   return rg;
 }
 

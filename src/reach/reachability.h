@@ -27,6 +27,12 @@ class ReachabilityGraph {
   [[nodiscard]] std::size_t state_count() const { return markings_.size(); }
   [[nodiscard]] std::size_t edge_count() const;
 
+  /// Rough heap footprint of the graph (markings + adjacency) and of the
+  /// marking-interning hash index — the numbers behind the
+  /// `reach.graph_bytes` / `reach.index_bytes` gauges.
+  [[nodiscard]] std::size_t estimated_graph_bytes() const;
+  [[nodiscard]] std::size_t estimated_index_bytes() const;
+
   [[nodiscard]] const Marking& marking(StateId s) const {
     return markings_[s.index()];
   }

@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/hash.h"
 
 namespace cipnet {
+
+namespace {
+const obs::Counter c_sg_states("stg.states");
+const obs::Counter c_sg_edges("stg.edges");
+const obs::Counter c_sg_violations("stg.violations");
+}  // namespace
 
 char level_char(Level level) {
   switch (level) {
@@ -75,11 +84,14 @@ class StateGraphBuilder {
   }
 
   StateGraph build(const Encoding& initial) {
+    obs::Span span("stg.state_graph");
+    obs::ProgressReporter progress("stg.state_graph");
     intern(stg_.net().initial_marking(), initial);
     std::deque<StateId> frontier{StateId(0)};
     while (!frontier.empty()) {
       StateId s = frontier.front();
       frontier.pop_front();
+      progress.update(sg_.markings_.size(), frontier.size());
       expand(s, frontier);
     }
     return std::move(sg_);
@@ -91,7 +103,9 @@ class StateGraphBuilder {
     auto it = index_.find(key);
     if (it != index_.end()) return it->second;
     if (sg_.markings_.size() >= options_.max_states) {
-      throw LimitError("state graph exceeded max_states");
+      throw LimitError("state graph exceeded max_states",
+                       LimitContext{sg_.markings_.size(), edges_added_,
+                                    options_.max_states});
     }
     StateId id(static_cast<std::uint32_t>(sg_.markings_.size()));
     index_.emplace(std::move(key), id);
@@ -99,6 +113,7 @@ class StateGraphBuilder {
     sg_.encodings_.push_back(e);
     sg_.edges_.emplace_back();
     fresh_.push_back(true);
+    c_sg_states.add();
     return id;
   }
 
@@ -184,6 +199,8 @@ class StateGraphBuilder {
             std::deque<StateId>& frontier) {
     StateId to = intern(m, e);
     sg_.edges_[from.index()].push_back(StateGraph::Edge{t, to});
+    ++edges_added_;
+    c_sg_edges.add();
     if (fresh_[to.index()]) {
       fresh_[to.index()] = false;
       frontier.push_back(to);
@@ -191,12 +208,14 @@ class StateGraphBuilder {
   }
 
   void violate(StateId s, TransitionId t, std::string reason) {
+    c_sg_violations.add();
     sg_.violations_.push_back(ConsistencyViolation{s, t, std::move(reason)});
   }
 
   const Stg& stg_;
   StateGraphOptions options_;
   StateGraph sg_;
+  std::uint64_t edges_added_ = 0;
   std::vector<bool> fresh_;
   std::unordered_map<std::pair<std::vector<Token>, std::vector<std::uint8_t>>,
                      StateId, StateKeyHash>

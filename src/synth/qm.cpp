@@ -12,6 +12,8 @@ namespace cipnet {
 namespace {
 const obs::Counter c_cubes_merged("qm.cubes_merged");
 const obs::Counter c_primes("qm.primes");
+const obs::Histogram h_cubes("qm.cubes_per_call");
+const obs::Histogram h_primes("qm.primes_per_call");
 }  // namespace
 
 std::vector<Cube> minimize_sop(int var_count,
@@ -49,6 +51,8 @@ std::vector<Cube> minimize_sop(int var_count,
   }
   sorted_set::normalize(primes);
   c_primes.add(primes.size());
+  h_cubes.record(on.size() + dc.size());
+  h_primes.record(primes.size());
 
   // Covering: essential primes first, then exact branch-and-bound on small
   // residuals, greedy otherwise (exact covering is NP-hard; the fallback is

@@ -1,0 +1,58 @@
+#pragma once
+
+// Minimal strict JSON parser: objects, arrays, strings (with escapes),
+// numbers, booleans, null. Used to validate the trace files the obs sinks
+// emit and to read `BENCH_*.json` perf-trajectory files in bench tooling —
+// both formats this codebase writes itself, so the subset is by design.
+// Malformed input throws `ParseError`.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cipnet::json {
+
+/// One parsed JSON value. Object member order is preserved.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+
+  /// Typed accessors; throw `ParseError` on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Convenience: member `key` as string/number with a default.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback = "") const;
+  [[nodiscard]] double get_number(std::string_view key,
+                                  double fallback = 0.0) const;
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Throws `ParseError`.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace cipnet::json

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/benchdata.h"
+#include "obs/buildinfo.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace cipnet {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const json::Value doc = json::parse(
+      R"({"s":"hi","n":-2.5,"b":true,"z":null,"a":[1,2,3],"o":{"k":"v"}})");
+  EXPECT_EQ(doc.get_string("s"), "hi");
+  EXPECT_EQ(doc.get_number("n"), -2.5);
+  ASSERT_NE(doc.find("b"), nullptr);
+  EXPECT_TRUE(doc.find("b")->as_bool());
+  EXPECT_TRUE(doc.find("z")->is_null());
+  ASSERT_TRUE(doc.find("a")->is_array());
+  EXPECT_EQ(doc.find("a")->items().size(), 3u);
+  EXPECT_EQ(doc.find("a")->items()[2].as_number(), 3.0);
+  EXPECT_EQ(doc.find("o")->get_string("k"), "v");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.get_string("missing", "fallback"), "fallback");
+}
+
+TEST(Json, DecodesEscapes) {
+  const json::Value doc =
+      json::parse(R"({"e":"a\"b\\c\nd\tAé"})");
+  EXPECT_EQ(doc.get_string("e"), "a\"b\\c\nd\tA\xc3\xa9");
+}
+
+TEST(Json, PreservesObjectOrder) {
+  const json::Value doc = json::parse(R"({"z":1,"a":2,"m":3})");
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)json::parse(""), ParseError);
+  EXPECT_THROW((void)json::parse("{"), ParseError);
+  EXPECT_THROW((void)json::parse("{\"a\":1} trailing"), ParseError);
+  EXPECT_THROW((void)json::parse("{'a':1}"), ParseError);
+  EXPECT_THROW((void)json::parse("[1,]"), ParseError);
+  EXPECT_THROW((void)json::parse("nope"), ParseError);
+  EXPECT_THROW((void)json::parse("1.2.3"), ParseError);
+}
+
+TEST(BenchData, MetaCarriesBuildProvenance) {
+  const json::Value meta =
+      json::parse(obs::bench_meta_json("exp", "Table 1"));
+  EXPECT_EQ(meta.get_string("experiment"), "exp");
+  EXPECT_EQ(meta.get_string("artifact"), "Table 1");
+  // Stamped from obs/buildinfo — present even when "unknown".
+  EXPECT_EQ(meta.get_string("git_sha"), obs::build_git_sha());
+  EXPECT_FALSE(meta.get_string("compiler").empty());
+  EXPECT_FALSE(meta.get_string("build_type", "absent").empty());
+}
+
+TEST(BenchData, AggregateTakesMedianOverReps) {
+  std::istringstream in(
+      "random human text\n"
+      "BENCH_META " + obs::bench_meta_json("scal", "Fig 9") + "\n" +
+      "BENCH_ROW " + obs::bench_row_json("explore/a", 100, 0.30) + "\n" +
+      "BENCH_ROW " + obs::bench_row_json("explore/b", 50, 1.00) + "\n" +
+      "BENCH_ROW " + obs::bench_row_json("explore/a", 100, 0.10) + "\n" +
+      "BENCH_ROW " + obs::bench_row_json("explore/a", 100, 0.20) + "\n");
+  const obs::BenchAggregate agg = obs::aggregate_bench_output(in);
+  EXPECT_EQ(agg.experiment, "scal");
+  ASSERT_EQ(agg.rows.size(), 2u);  // first-seen order, reps collapsed
+  EXPECT_EQ(agg.rows[0].name, "explore/a");
+  EXPECT_EQ(agg.rows[0].states, 100u);
+  EXPECT_EQ(agg.rows[0].reps, 3);
+  EXPECT_NEAR(agg.rows[0].wall_s_median, 0.20, 1e-9);
+  EXPECT_EQ(agg.rows[1].name, "explore/b");
+  EXPECT_EQ(agg.rows[1].reps, 1);
+  bool has_sha = false;
+  for (const auto& [key, value] : agg.meta) has_sha |= key == "git_sha";
+  EXPECT_TRUE(has_sha);
+}
+
+TEST(BenchData, RepeatedMetaLinesDedupe) {
+  std::istringstream in(
+      "BENCH_META " + obs::bench_meta_json("e", "a") + "\n" +
+      "BENCH_ROW " + obs::bench_row_json("r", 1, 0.5) + "\n" +
+      "BENCH_META " + obs::bench_meta_json("e", "a") + "\n" +
+      "BENCH_ROW " + obs::bench_row_json("r", 1, 0.7) + "\n");
+  const obs::BenchAggregate agg = obs::aggregate_bench_output(in);
+  int sha_count = 0;
+  for (const auto& [key, value] : agg.meta) sha_count += key == "git_sha";
+  EXPECT_EQ(sha_count, 1);
+  ASSERT_EQ(agg.rows.size(), 1u);
+  EXPECT_EQ(agg.rows[0].reps, 2);
+}
+
+TEST(BenchData, ExplicitExperimentOverridesMeta) {
+  std::istringstream in(
+      "BENCH_META {\"experiment\":\"from-meta\"}\n"
+      "BENCH_ROW {\"name\":\"r\",\"states\":1,\"wall_s\":0.5}\n");
+  const obs::BenchAggregate agg =
+      obs::aggregate_bench_output(in, "override");
+  EXPECT_EQ(agg.experiment, "override");
+}
+
+TEST(BenchData, JsonRoundTripPreservesEverything) {
+  obs::BenchAggregate agg;
+  agg.experiment = "round \"trip\"";
+  agg.meta = {{"git_sha", "abc123"}, {"compiler", "GNU 12"}};
+  agg.rows = {{"explore/a", 341, 0.002718, 5}, {"hide/b", 0, 1.5, 3}};
+  const obs::BenchAggregate back = obs::bench_from_json(obs::bench_to_json(agg));
+  EXPECT_EQ(back.experiment, agg.experiment);
+  EXPECT_EQ(back.meta, agg.meta);
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_EQ(back.rows[0].name, "explore/a");
+  EXPECT_EQ(back.rows[0].states, 341u);
+  EXPECT_NEAR(back.rows[0].wall_s_median, 0.002718, 1e-9);
+  EXPECT_EQ(back.rows[0].reps, 5);
+  EXPECT_EQ(back.rows[1].name, "hide/b");
+}
+
+obs::BenchAggregate make_agg(double wall_a, double wall_b) {
+  obs::BenchAggregate agg;
+  agg.experiment = "diff";
+  agg.rows = {{"a", 10, wall_a, 3}, {"b", 10, wall_b, 3}};
+  return agg;
+}
+
+TEST(BenchData, DiffFlagsRegressionsPastThreshold) {
+  const obs::BenchDiff ok =
+      obs::bench_diff(make_agg(1.0, 2.0), make_agg(1.05, 2.1));
+  EXPECT_FALSE(ok.regressed(0.10));  // +5% both: within threshold
+  const obs::BenchDiff bad =
+      obs::bench_diff(make_agg(1.0, 2.0), make_agg(1.0, 2.5));
+  EXPECT_TRUE(bad.regressed(0.10));  // row b: +25%
+  EXPECT_FALSE(bad.regressed(0.30));
+  // Speedups never regress.
+  EXPECT_FALSE(
+      obs::bench_diff(make_agg(1.0, 2.0), make_agg(0.5, 0.9)).regressed(0.10));
+}
+
+TEST(BenchData, DiffTracksMissingRows) {
+  obs::BenchAggregate base = make_agg(1.0, 2.0);
+  obs::BenchAggregate current;
+  current.rows = {{"b", 10, 2.0, 3}, {"c", 10, 9.9, 3}};
+  const obs::BenchDiff diff = obs::bench_diff(base, current);
+  ASSERT_EQ(diff.rows.size(), 3u);
+  EXPECT_TRUE(diff.rows[0].in_base);       // "a": removed
+  EXPECT_FALSE(diff.rows[0].in_current);
+  EXPECT_TRUE(diff.rows[1].in_current);    // "b": shared
+  EXPECT_FALSE(diff.rows[2].in_base);      // "c": new
+  // Rows missing from one side never count as regressions.
+  EXPECT_FALSE(diff.regressed(0.10));
+  const std::string report = obs::bench_diff_report(diff, 0.10);
+  EXPECT_NE(report.find("REMOVED"), std::string::npos);
+  EXPECT_NE(report.find("NEW"), std::string::npos);
+}
+
+TEST(BenchData, SubMillisecondBaselinesAreNoise) {
+  obs::BenchAggregate base, current;
+  base.rows = {{"tiny", 1, 0.0001, 3}};
+  current.rows = {{"tiny", 1, 0.0009, 3}};  // 9x, but both under 1ms
+  EXPECT_FALSE(obs::bench_diff(base, current).regressed(0.10));
+}
+
+}  // namespace
+}  // namespace cipnet

@@ -1,0 +1,125 @@
+// bench_report — perf-trajectory front end over obs/benchdata.
+//
+//   bench_report aggregate <experiment> [-o out.json] [file...]
+//     Scan bench output (stdin when no files) for BENCH_META/BENCH_ROW
+//     lines and write the aggregated trajectory JSON (medians over reps,
+//     build provenance) to `-o`, default `BENCH_<experiment>.json`.
+//
+//   bench_report diff <baseline.json> <current.json> [--threshold 0.10]
+//     Compare two trajectory files row by row; exit 1 when any shared row's
+//     median wall time regressed by more than the threshold.
+//
+// The `bench-check` CMake target chains the two against the committed
+// baseline in bench/baselines/.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/benchdata.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_report aggregate <experiment> [-o out.json] [file...]\n"
+      "       bench_report diff <baseline.json> <current.json>"
+      " [--threshold 0.10]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmd_aggregate(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string experiment = args[0];
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  if (out_path.empty()) out_path = "BENCH_" + experiment + ".json";
+
+  obs::BenchAggregate agg;
+  if (inputs.empty()) {
+    agg = obs::aggregate_bench_output(std::cin, experiment);
+  } else {
+    // Concatenate all inputs into one stream so reps may span files.
+    std::stringstream merged;
+    for (const std::string& path : inputs) merged << read_file(path);
+    agg = obs::aggregate_bench_output(merged, experiment);
+  }
+  if (agg.rows.empty()) {
+    std::fprintf(stderr, "bench_report: no BENCH_ROW lines in input\n");
+    return 1;
+  }
+  std::ofstream out(out_path);
+  if (!out) throw Error("cannot open " + out_path);
+  out << obs::bench_to_json(agg);
+  std::printf("wrote %s: %zu rows\n", out_path.c_str(), agg.rows.size());
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  double threshold = 0.10;
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold" && i + 1 < args.size()) {
+      threshold = std::strtod(args[++i].c_str(), nullptr);
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.size() != 2) return usage();
+  const obs::BenchAggregate base = obs::bench_from_json(read_file(files[0]));
+  const obs::BenchAggregate current =
+      obs::bench_from_json(read_file(files[1]));
+  const obs::BenchDiff diff = obs::bench_diff(base, current);
+  std::printf("%s vs %s (threshold +%.0f%%):\n", files[0].c_str(),
+              files[1].c_str(), threshold * 100.0);
+  std::printf("%s", obs::bench_diff_report(diff, threshold).c_str());
+  if (diff.regressed(threshold)) {
+    std::fprintf(stderr, "bench_report: wall-time regression detected\n");
+    return 1;
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "aggregate") return cmd_aggregate(rest);
+  if (command == "diff") return cmd_diff(rest);
+  return usage();
+}
+
+}  // namespace
+}  // namespace cipnet
+
+int main(int argc, char** argv) {
+  try {
+    return cipnet::run(argc, argv);
+  } catch (const cipnet::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -4,6 +4,7 @@
 // Files: `.g`/`.astg` are petrify-style STGs, everything else the native
 // `.cpn` format.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,7 +20,11 @@
 #include "circuit/receptive.h"
 #include "io/dot.h"
 #include "io/files.h"
+#include "obs/benchdata.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/sink_chrome.h"
 #include "obs/sink_jsonl.h"
 #include "obs/sink_text.h"
 #include "obs/trace.h"
@@ -290,6 +295,30 @@ int cmd_profile(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_bench(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return usage();
+  PetriNet net = load_net(args[0]);
+  const long reps =
+      args.size() == 2 ? std::strtol(args[1].c_str(), nullptr, 10) : 5;
+  if (reps <= 0) return usage();
+  // Same BENCH_META/BENCH_ROW protocol as the bench binaries, so the output
+  // pipes straight into `bench_report aggregate`.
+  std::printf("BENCH_META %s\n",
+              obs::bench_meta_json("cipnet-bench", args[0]).c_str());
+  for (long rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ReachabilityGraph rg = explore(net, {200000});
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("BENCH_ROW %s\n",
+                obs::bench_row_json("explore/" + args[0], rg.state_count(),
+                                    wall_s)
+                    .c_str());
+  }
+  return 0;
+}
+
 /// The single source of truth for commands: dispatch, usage text, and the
 /// README table all derive from this.
 struct Command {
@@ -316,6 +345,8 @@ constexpr Command kCommands[] = {
     {"sim", "<file> [steps] [seed]", "random token-game walk", cmd_sim},
     {"profile", "<file>", "explore + structural analysis with span tree",
      cmd_profile},
+    {"bench", "<file> [reps]", "time explore over reps (BENCH_ROW lines)",
+     cmd_bench},
 };
 
 int usage() {
@@ -328,7 +359,12 @@ int usage() {
                "\nglobal flags (any command):\n"
                "  --stats             print the metrics report to stderr on "
                "exit\n"
-               "  --trace-out <file>  write the span trace as JSON lines\n");
+               "  --trace-out <file>  write the span trace: .jsonl = JSON "
+               "lines, anything\n"
+               "                      else = Chrome trace JSON (load in "
+               "ui.perfetto.dev)\n"
+               "  --progress          heartbeats on stderr during long "
+               "explorations\n");
   return 2;
 }
 
@@ -337,10 +373,14 @@ int run(int argc, char** argv) {
 
   // Strip the global observability flags wherever they appear.
   bool stats = false;
+  bool progress = false;
   std::string trace_out;
   for (std::size_t i = 0; i < args.size();) {
     if (args[i] == "--stats") {
       stats = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (args[i] == "--progress") {
+      progress = true;
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
     } else if (args[i] == "--trace-out" && i + 1 < args.size()) {
       trace_out = args[i + 1];
@@ -354,16 +394,46 @@ int run(int argc, char** argv) {
 
   std::optional<obs::ScopedEnable> enable;
   if (stats || !trace_out.empty()) enable.emplace();
+  // The trace file extension picks the sink: `.jsonl` streams span/counter
+  // JSON lines, anything else writes Chrome trace-event JSON for Perfetto.
   std::ofstream trace_file;
   std::shared_ptr<obs::JsonlSink> jsonl;
+  std::shared_ptr<obs::ChromeSink> chrome;
   if (!trace_out.empty()) {
     trace_file.open(trace_out);
     if (!trace_file) {
       std::fprintf(stderr, "error: cannot open %s\n", trace_out.c_str());
       return 1;
     }
-    jsonl = std::make_shared<obs::JsonlSink>(trace_file);
-    obs::Tracer::instance().add_sink(jsonl);
+    if (trace_out.ends_with(".jsonl")) {
+      jsonl = std::make_shared<obs::JsonlSink>(trace_file);
+      obs::Tracer::instance().add_sink(jsonl);
+    } else {
+      chrome = std::make_shared<obs::ChromeSink>(trace_file);
+      obs::Tracer::instance().add_sink(chrome);
+    }
+  }
+
+  // Progress listeners: a stderr renderer for --progress, and a mirror into
+  // the JSONL trace when one is open. Registering any listener activates
+  // the ProgressBus, so the in-loop reporters start publishing.
+  std::vector<int> progress_listeners;
+  if (progress) {
+    progress_listeners.push_back(obs::ProgressBus::instance().add_listener(
+        [](const obs::ProgressEvent& ev) {
+          std::fprintf(
+              stderr,
+              "[%s] %llu items, frontier %llu, %.0f/s, %.1fs, rss %.1f MiB%s\n",
+              ev.phase.c_str(), static_cast<unsigned long long>(ev.items),
+              static_cast<unsigned long long>(ev.frontier), ev.items_per_sec,
+              static_cast<double>(ev.elapsed_ms) / 1000.0,
+              static_cast<double>(ev.peak_rss_bytes) / (1024.0 * 1024.0),
+              ev.final_event ? " (done)" : "");
+        }));
+  }
+  if (jsonl) {
+    progress_listeners.push_back(obs::ProgressBus::instance().add_listener(
+        [jsonl](const obs::ProgressEvent& ev) { jsonl->write_progress(ev); }));
   }
 
   const std::string command = args.front();
@@ -383,9 +453,18 @@ int run(int argc, char** argv) {
     rc = 1;
   }
 
+  for (int id : progress_listeners) {
+    obs::ProgressBus::instance().remove_listener(id);
+  }
+  // Stamp real process memory into the registry so the reports carry it.
+  if (enable) obs::Gauge("mem.peak_rss_bytes").set(obs::peak_rss_bytes());
   if (jsonl) {
     obs::Tracer::instance().remove_sink(jsonl);
     jsonl->write_counters(obs::Registry::instance().snapshot());
+  }
+  if (chrome) {
+    obs::Tracer::instance().remove_sink(chrome);
+    chrome->finish();
   }
   if (stats) {
     std::fputs(
