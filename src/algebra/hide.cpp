@@ -200,6 +200,7 @@ PetriNet hide_action(const PetriNet& net, const std::string& label,
   std::size_t contractions = 0;
   while (true) {
     progress.update(contractions, current.transition_count());
+    options.cancel.check("algebra.hide");
     auto action = current.find_action(label);
     if (!action) break;
     // Copy: `current` is replaced inside the loop.
@@ -308,6 +309,7 @@ PetriNet hide_keep_epsilon(const PetriNet& net,
   bool changed = true;
   while (changed) {
     changed = false;
+    options.cancel.check("algebra.hide_keep_epsilon");
     auto eps = current.find_action(kEpsilonLabel);
     if (!eps) break;
     for (TransitionId t : current.transitions_with_action(*eps)) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "petri/net.h"
+#include "util/cancel.h"
 
 namespace cipnet {
 
@@ -38,6 +39,8 @@ struct HideOptions {
   /// of exponential; off by default so the algebraic laws are exercised on
   /// the raw construction.
   bool simplify_places_between_contractions = false;
+  /// Polled once per contraction; a tripped token raises `Cancelled`.
+  CancelToken cancel;
 };
 
 /// Contract a single transition `t = (p, a, q)` out of the net

@@ -7,18 +7,12 @@
 #include "obs/buildinfo.h"
 #include "util/error.h"
 #include "util/json.h"
+#include "util/json_writer.h"
 
 namespace cipnet::obs {
 namespace {
 
-std::string json_escape(std::string_view text) {
-  std::string out;
-  for (char c : text) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
+using json::escape;
 
 std::string format_double(double value) {
   char buf[64];
@@ -38,19 +32,26 @@ double median(std::vector<double> values) {
 
 std::string bench_meta_json(std::string_view experiment,
                             std::string_view artifact) {
-  std::string out = "{\"experiment\":\"" + json_escape(experiment) + "\"";
-  out += ",\"artifact\":\"" + json_escape(artifact) + "\"";
-  out += ",\"git_sha\":\"" + json_escape(build_git_sha()) + "\"";
-  out += ",\"compiler\":\"" + json_escape(build_compiler()) + "\"";
-  out += ",\"build_type\":\"" + json_escape(build_type()) + "\"}";
-  return out;
+  json::Writer w;
+  w.begin_object();
+  w.member("experiment", experiment);
+  w.member("artifact", artifact);
+  w.member("git_sha", build_git_sha());
+  w.member("compiler", build_compiler());
+  w.member("build_type", build_type());
+  w.end_object();
+  return w.take();
 }
 
 std::string bench_row_json(std::string_view name, std::uint64_t states,
                            double wall_s) {
-  return "{\"name\":\"" + json_escape(name) +
-         "\",\"states\":" + std::to_string(states) +
-         ",\"wall_s\":" + format_double(wall_s) + "}";
+  json::Writer w;
+  w.begin_object();
+  w.member("name", name);
+  w.member("states", states);
+  w.key("wall_s").raw(format_double(wall_s));
+  w.end_object();
+  return w.take();
 }
 
 const BenchRow* BenchAggregate::row(std::string_view name) const {
@@ -111,19 +112,19 @@ BenchAggregate aggregate_bench_output(std::istream& in,
 }
 
 std::string bench_to_json(const BenchAggregate& agg) {
-  std::string out = "{\n  \"experiment\": \"" + json_escape(agg.experiment) +
+  std::string out = "{\n  \"experiment\": \"" + escape(agg.experiment) +
                     "\",\n  \"meta\": {";
   for (std::size_t i = 0; i < agg.meta.size(); ++i) {
     if (i != 0) out += ",";
-    out += "\n    \"" + json_escape(agg.meta[i].first) + "\": \"" +
-           json_escape(agg.meta[i].second) + "\"";
+    out += "\n    \"" + escape(agg.meta[i].first) + "\": \"" +
+           escape(agg.meta[i].second) + "\"";
   }
   out += agg.meta.empty() ? "},\n" : "\n  },\n";
   out += "  \"rows\": [";
   for (std::size_t i = 0; i < agg.rows.size(); ++i) {
     const BenchRow& r = agg.rows[i];
     if (i != 0) out += ",";
-    out += "\n    {\"name\": \"" + json_escape(r.name) +
+    out += "\n    {\"name\": \"" + escape(r.name) +
            "\", \"states\": " + std::to_string(r.states) +
            ", \"wall_s_median\": " + format_double(r.wall_s_median) +
            ", \"reps\": " + std::to_string(r.reps) + "}";

@@ -2,14 +2,14 @@
 
 #include <cstdio>
 
-#include "obs/sink_jsonl.h"  // json_escape
+#include "util/json_writer.h"
 
 namespace cipnet::obs {
 
 namespace {
 
 /// Nanoseconds to the format's microsecond timestamps, keeping sub-µs
-/// precision as a fractional part.
+/// precision as a fractional part (spliced in as a raw JSON number).
 std::string us_from_ns(std::uint64_t ns) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%llu.%03llu",
@@ -46,29 +46,36 @@ void ChromeSink::write_event(const std::string& body) {
 }
 
 void ChromeSink::write_span(const SpanRecord& span, int tid) {
-  std::string event = "{\"name\":\"" + json_escape(span.name) +
-                      "\",\"cat\":\"cipnet\",\"ph\":\"X\",\"ts\":" +
-                      us_from_ns(span.start_ns) +
-                      ",\"dur\":" + us_from_ns(span.duration_ns) +
-                      ",\"pid\":1,\"tid\":" + std::to_string(tid) +
-                      ",\"args\":{";
-  bool first = true;
+  json::Writer w;
+  w.begin_object();
+  w.member("name", span.name);
+  w.member("cat", "cipnet");
+  w.member("ph", "X");
+  w.key("ts").raw(us_from_ns(span.start_ns));
+  w.key("dur").raw(us_from_ns(span.duration_ns));
+  w.member("pid", 1);
+  w.member("tid", tid);
+  w.key("args").begin_object();
   for (const auto& [name, delta] : span.counter_deltas) {
-    if (!first) event += ",";
-    first = false;
-    event += "\"" + json_escape(name) + "\":" + std::to_string(delta);
+    w.member(name, delta);
   }
-  event += "}}";
-  write_event(event);
+  w.end_object();
+  w.end_object();
+  write_event(w.take());
 
   // Counter tracks: cumulative value at the span's end time.
   const std::uint64_t end_ns = span.start_ns + span.duration_ns;
   for (const auto& [name, delta] : span.counter_deltas) {
     const std::uint64_t total = counter_totals_[name] += delta;
-    write_event("{\"name\":\"" + json_escape(name) +
-                "\",\"ph\":\"C\",\"ts\":" + us_from_ns(end_ns) +
-                ",\"pid\":1,\"args\":{\"value\":" + std::to_string(total) +
-                "}}");
+    json::Writer c;
+    c.begin_object();
+    c.member("name", name);
+    c.member("ph", "C");
+    c.key("ts").raw(us_from_ns(end_ns));
+    c.member("pid", 1);
+    c.key("args").begin_object().member("value", total).end_object();
+    c.end_object();
+    write_event(c.take());
   }
 
   for (const SpanRecord& child : span.children) write_span(child, tid);

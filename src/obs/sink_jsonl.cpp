@@ -1,53 +1,23 @@
 #include "obs/sink_jsonl.h"
 
-#include <cstdio>
+#include "util/json_writer.h"
 
 namespace cipnet::obs {
 
 std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  // Kept as the historical obs-layer entry point; the implementation moved
+  // to util/json_writer.h when the sinks switched to the shared writer.
+  return json::escape(text);
 }
 
 namespace {
 
-void append_pairs(
-    std::string& line,
+void write_pairs(
+    json::Writer& w,
     const std::vector<std::pair<std::string, std::uint64_t>>& pairs) {
-  line += "{";
-  bool first = true;
-  for (const auto& [name, value] : pairs) {
-    if (!first) line += ",";
-    first = false;
-    line += "\"" + json_escape(name) + "\":" + std::to_string(value);
-  }
-  line += "}";
+  w.begin_object();
+  for (const auto& [name, value] : pairs) w.member(name, value);
+  w.end_object();
 }
 
 }  // namespace
@@ -56,16 +26,18 @@ void JsonlSink::write_span(const SpanRecord& span,
                            const std::string& parent_path, int depth) {
   const std::string path =
       parent_path.empty() ? span.name : parent_path + "/" + span.name;
-  std::string line = "{\"event\":\"span\",\"name\":\"" +
-                     json_escape(span.name) + "\",\"path\":\"" +
-                     json_escape(path) + "\",\"depth\":" +
-                     std::to_string(depth) +
-                     ",\"start_ns\":" + std::to_string(span.start_ns) +
-                     ",\"dur_ns\":" + std::to_string(span.duration_ns) +
-                     ",\"counters\":";
-  append_pairs(line, span.counter_deltas);
-  line += "}\n";
-  out_ << line;
+  json::Writer w;
+  w.begin_object();
+  w.member("event", "span");
+  w.member("name", span.name);
+  w.member("path", path);
+  w.member("depth", depth);
+  w.member("start_ns", span.start_ns);
+  w.member("dur_ns", span.duration_ns);
+  w.key("counters");
+  write_pairs(w, span.counter_deltas);
+  w.end_object();
+  out_ << w.str() << '\n';
   for (const SpanRecord& child : span.children) {
     write_span(child, path, depth + 1);
   }
@@ -79,40 +51,45 @@ void JsonlSink::on_span(const SpanRecord& root) {
 
 void JsonlSink::write_counters(const Snapshot& snapshot) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string line = "{\"event\":\"counters\",\"counters\":";
-  append_pairs(line, snapshot.counters);
-  line += ",\"gauges\":";
-  append_pairs(line, snapshot.gauges);
-  line += ",\"histograms\":{";
-  bool first = true;
+  json::Writer w;
+  w.begin_object();
+  w.member("event", "counters");
+  w.key("counters");
+  write_pairs(w, snapshot.counters);
+  w.key("gauges");
+  write_pairs(w, snapshot.gauges);
+  w.key("histograms").begin_object();
   for (const HistogramSnapshot& h : snapshot.histograms) {
     if (h.count == 0) continue;
-    if (!first) line += ",";
-    first = false;
-    line += "\"" + json_escape(h.name) +
-            "\":{\"count\":" + std::to_string(h.count) +
-            ",\"sum\":" + std::to_string(h.sum) +
-            ",\"p50\":" + std::to_string(h.percentile(50)) +
-            ",\"p90\":" + std::to_string(h.percentile(90)) +
-            ",\"p99\":" + std::to_string(h.percentile(99)) +
-            ",\"max\":" + std::to_string(h.max) + "}";
+    w.key(h.name).begin_object();
+    w.member("count", h.count);
+    w.member("sum", h.sum);
+    w.member("p50", h.percentile(50));
+    w.member("p90", h.percentile(90));
+    w.member("p99", h.percentile(99));
+    w.member("max", h.max);
+    w.end_object();
   }
-  line += "}}\n";
-  out_ << line;
+  w.end_object();
+  w.end_object();
+  out_ << w.str() << '\n';
   out_.flush();
 }
 
 void JsonlSink::write_progress(const ProgressEvent& event) {
   std::lock_guard<std::mutex> lock(mutex_);
-  char rate[32];
-  std::snprintf(rate, sizeof(rate), "%.1f", event.items_per_sec);
-  out_ << "{\"event\":\"progress\",\"phase\":\"" + json_escape(event.phase) +
-              "\",\"items\":" + std::to_string(event.items) +
-              ",\"frontier\":" + std::to_string(event.frontier) +
-              ",\"items_per_sec\":" + rate +
-              ",\"elapsed_ms\":" + std::to_string(event.elapsed_ms) +
-              ",\"peak_rss_bytes\":" + std::to_string(event.peak_rss_bytes) +
-              ",\"final\":" + (event.final_event ? "true" : "false") + "}\n";
+  json::Writer w;
+  w.begin_object();
+  w.member("event", "progress");
+  w.member("phase", event.phase);
+  w.member("items", event.items);
+  w.member("frontier", event.frontier);
+  w.member("items_per_sec", event.items_per_sec);
+  w.member("elapsed_ms", event.elapsed_ms);
+  w.member("peak_rss_bytes", event.peak_rss_bytes);
+  w.member("final", event.final_event);
+  w.end_object();
+  out_ << w.str() << '\n';
   out_.flush();
 }
 

@@ -1,0 +1,50 @@
+#include "petri/canonical.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace cipnet {
+
+std::uint64_t canonical_hash(const PetriNet& net) {
+  Fnv1a64 h;
+
+  // Places in id order with their initial marking.
+  h.u64(net.place_count());
+  const Marking& initial = net.initial_marking();
+  for (PlaceId p : net.all_places()) {
+    h.str(net.place(p).name);
+    h.u64(initial[p]);
+  }
+
+  // The alphabet as a sorted label set: the paper's composition/hiding
+  // operators care about alphabet *membership* (a transition-less common
+  // action still synchronizes, Definition 4.7), while the interning order
+  // of ActionIds is an accident of construction.
+  std::vector<std::string> labels = net.alphabet();
+  std::sort(labels.begin(), labels.end());
+  h.u64(labels.size());
+  for (const std::string& label : labels) h.str(label);
+
+  // Transitions in id order: preset, label (by name, not ActionId), postset,
+  // guard literals (kept sorted by Guard itself).
+  h.u64(net.transition_count());
+  for (TransitionId t : net.all_transitions()) {
+    const auto& tr = net.transition(t);
+    h.str(net.transition_label(t));
+    h.u64(tr.preset.size());
+    for (PlaceId p : tr.preset) h.u64(p.index());
+    h.u64(tr.postset.size());
+    for (PlaceId p : tr.postset) h.u64(p.index());
+    h.u64(tr.guard.literals().size());
+    for (const auto& [signal, level] : tr.guard.literals()) {
+      h.str(signal);
+      h.u64(level ? 1 : 0);
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace cipnet

@@ -1,0 +1,22 @@
+#pragma once
+
+// Content addressing for nets: a stable 64-bit hash over a canonical
+// serialization of a `PetriNet`'s full structure — places (names + initial
+// tokens), the alphabet (as a *sorted* label set, so label-interning order
+// does not leak in), and transitions (preset, label, postset, guard) in id
+// order. Two nets built by the same construction sequence — in particular,
+// two parses of the same `.cpn`/`.g` text — hash equal; the hash is
+// platform- and process-independent (FNV-1a, util/hash.h), so it can key
+// persistent or cross-process caches (svc/result_cache.h). It is *not* an
+// isomorphism hash: structurally equal nets with permuted place ids hash
+// differently.
+
+#include <cstdint>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+[[nodiscard]] std::uint64_t canonical_hash(const PetriNet& net);
+
+}  // namespace cipnet

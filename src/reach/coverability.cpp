@@ -76,6 +76,7 @@ CoverabilityResult coverability(const PetriNet& net,
   while (!frontier.empty()) {
     h_frontier.record(frontier.size());
     progress.update(tree.size(), frontier.size());
+    options.cancel.check("reach.coverability");
     std::size_t index = frontier.back();
     frontier.pop_back();
     if (index >= tree.size()) continue;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "petri/net.h"
+#include "util/cancel.h"
 
 namespace cipnet {
 
@@ -29,6 +30,8 @@ struct CoverabilityResult {
 
 struct CoverabilityOptions {
   std::size_t max_nodes = 1u << 18;
+  /// Polled once per expanded tree node; a tripped token raises `Cancelled`.
+  CancelToken cancel;
 };
 
 /// Karp-Miller with ancestor acceleration and subsumption. Throws

@@ -101,6 +101,7 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
     StateId s = frontier.front();
     frontier.pop_front();
     progress.update(rg.markings_.size(), frontier.size());
+    options.cancel.check("reach.explore");
     // Copy: interning may reallocate markings_.
     const Marking current = rg.markings_[s.index()];
     const std::vector<TransitionId> enabled =

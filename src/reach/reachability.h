@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "petri/net.h"
+#include "util/cancel.h"
 
 namespace cipnet {
 
@@ -12,6 +13,8 @@ namespace cipnet {
 /// spaces, so every exploration is bounded and overflow raises `LimitError`.
 struct ReachOptions {
   std::size_t max_states = 1u << 20;
+  /// Polled once per expanded state; a tripped token raises `Cancelled`.
+  CancelToken cancel;
 };
 
 /// The reachability graph RG(N) (Section 2.1): nodes are reachable markings,

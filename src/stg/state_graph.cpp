@@ -92,6 +92,7 @@ class StateGraphBuilder {
       StateId s = frontier.front();
       frontier.pop_front();
       progress.update(sg_.markings_.size(), frontier.size());
+      options_.cancel.check("stg.state_graph");
       expand(s, frontier);
     }
     return std::move(sg_);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "stg/stg.h"
+#include "util/cancel.h"
 
 namespace cipnet {
 
@@ -96,6 +97,8 @@ struct StateGraphOptions {
   /// Evaluate boolean guards against the encoding (unknown fails). Turning
   /// this off explores the raw net dynamics.
   bool respect_guards = true;
+  /// Polled once per expanded state; a tripped token raises `Cancelled`.
+  CancelToken cancel;
 };
 
 /// Build the state graph from an initial encoding. The encoding is given as

@@ -1,0 +1,102 @@
+#include "svc/result_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace cipnet::svc {
+
+namespace {
+const obs::Counter c_hits("svc.cache.hit");
+const obs::Counter c_misses("svc.cache.miss");
+const obs::Counter c_evictions("svc.cache.eviction");
+const obs::Counter c_expired("svc.cache.expired");
+const obs::Gauge g_bytes("svc.cache.bytes");
+const obs::Gauge g_entries("svc.cache.entries");
+
+/// Hash-map node + LRU-list node overhead, same spirit as the estimates in
+/// reach/reachability.cpp.
+constexpr std::size_t kNodeOverhead = 6 * sizeof(void*);
+}  // namespace
+
+ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {}
+
+std::size_t ResultCache::entry_bytes(const CacheKey& key,
+                                     const std::string& payload) {
+  return sizeof(CacheKey) + key.op.size() + key.params.size() +
+         sizeof(Entry) + payload.size() + kNodeOverhead;
+}
+
+void ResultCache::update_gauges_locked() const {
+  g_bytes.set(bytes_);
+  g_entries.set(map_.size());
+}
+
+void ResultCache::erase_locked(const CacheKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+std::optional<std::string> ResultCache::lookup(const CacheKey& key,
+                                               Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    c_misses.add();
+    return std::nullopt;
+  }
+  if (options_.ttl.count() > 0 && now - it->second.inserted >= options_.ttl) {
+    erase_locked(key);
+    c_expired.add();
+    c_misses.add();
+    update_gauges_locked();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  c_hits.add();
+  return it->second.payload;
+}
+
+void ResultCache::insert(const CacheKey& key, std::string payload,
+                         Clock::time_point now) {
+  const std::size_t cost = entry_bytes(key, payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cost > options_.max_bytes) return;  // would evict everything else
+  erase_locked(key);
+  lru_.push_front(key);
+  Entry entry;
+  entry.payload = std::move(payload);
+  entry.bytes = cost;
+  entry.inserted = now;
+  entry.lru_it = lru_.begin();
+  map_.emplace(key, std::move(entry));
+  bytes_ += cost;
+  while (bytes_ > options_.max_bytes && !lru_.empty()) {
+    erase_locked(lru_.back());
+    c_evictions.add();
+  }
+  update_gauges_locked();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  update_gauges_locked();
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+}  // namespace cipnet::svc

@@ -1,0 +1,145 @@
+#include "svc/scheduler.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cipnet::svc {
+
+namespace {
+const obs::Counter c_submitted("svc.jobs.submitted");
+const obs::Counter c_completed("svc.jobs.completed");
+const obs::Counter c_rejected("svc.jobs.rejected");
+const obs::Counter c_failed("svc.jobs.failed");
+const obs::Gauge g_queue_depth("svc.queue_depth");
+const obs::Gauge g_queue_peak("svc.queue_peak");
+const obs::Histogram h_queue_wait("svc.queue_wait_us");
+const obs::Histogram h_job("svc.job_us");
+
+std::uint64_t us_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+}  // namespace
+
+JobScheduler::JobScheduler(SchedulerOptions options)
+    : options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+  threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+std::size_t JobScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+std::uint64_t JobScheduler::retry_hint_locked() const {
+  // Expected time until a queue slot frees: the backlog spread over the
+  // workers, paced by the recent average job duration. Floor of 1ms so a
+  // rejected client never spins.
+  const double per_worker =
+      static_cast<double>(queued_ + active_) /
+      static_cast<double>(options_.workers);
+  const double us = per_worker * (avg_job_us_ > 0 ? avg_job_us_ : 1000.0);
+  return static_cast<std::uint64_t>(us / 1000.0) + 1;
+}
+
+SubmitStatus JobScheduler::submit(std::function<void()> job,
+                                  Priority priority) {
+  SubmitStatus status;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    status.queue_depth = queued_;
+    if (!accepting_ || queued_ >= options_.max_queue) {
+      status.retry_after_ms = retry_hint_locked();
+      c_rejected.add();
+      return status;
+    }
+    queues_[static_cast<std::size_t>(priority)].push_back(
+        Job{std::move(job), std::chrono::steady_clock::now()});
+    ++queued_;
+    status.accepted = true;
+    status.queue_depth = queued_;
+    c_submitted.add();
+    g_queue_depth.set(queued_);
+    g_queue_peak.set_max(queued_);
+  }
+  work_cv_.notify_one();
+  return status;
+}
+
+void JobScheduler::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+      if (queued_ == 0) return;  // stopping and nothing left
+      for (int p = 2; p >= 0; --p) {
+        auto& q = queues_[static_cast<std::size_t>(p)];
+        if (!q.empty()) {
+          job = std::move(q.front());
+          q.pop_front();
+          break;
+        }
+      }
+      --queued_;
+      ++active_;
+      g_queue_depth.set(queued_);
+    }
+    const auto started = std::chrono::steady_clock::now();
+    h_queue_wait.record(us_between(job.enqueued, started));
+    {
+      obs::Span span("svc.job");
+      try {
+        job.fn();
+        c_completed.add();
+      } catch (...) {
+        // A job owns its error reporting (the service serializes errors
+        // into the response); anything that escapes is a defect in the job
+        // itself, and must not kill the worker.
+        c_failed.add();
+      }
+    }
+    const std::uint64_t job_us =
+        us_between(started, std::chrono::steady_clock::now());
+    h_job.record(job_us);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      avg_job_us_ = avg_job_us_ == 0.0
+                        ? static_cast<double>(job_us)
+                        : 0.875 * avg_job_us_ + 0.125 * static_cast<double>(job_us);
+      if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void JobScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
+}
+
+void JobScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_) return;
+    accepting_ = false;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  joined_ = true;
+}
+
+}  // namespace cipnet::svc

@@ -1,0 +1,97 @@
+#pragma once
+
+// Fixed-size worker pool with a bounded, prioritized work queue and
+// backpressure. The scheduler is the concurrency core of the `cipnet serve`
+// service (svc/service.h): requests become jobs, jobs carry a priority, and
+// a full queue *rejects* the submission with a retry hint instead of
+// blocking the submitter — the NDJSON protocol surfaces that as an
+// `overloaded` error so well-behaved clients back off.
+//
+// Instrumented with the obs stack: `svc.queue_wait_us` / `svc.job_us`
+// histograms, `svc.jobs.*` counters, and `svc.queue_depth` /
+// `svc.queue_peak` gauges (catalogue in docs/OBSERVABILITY.md). A job that
+// throws is swallowed after counting `svc.jobs.failed` — one poisonous
+// request must not take a worker down.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cipnet::svc {
+
+/// Job priority; higher runs first, FIFO within a level.
+enum class Priority : std::uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+
+struct SchedulerOptions {
+  std::size_t workers = 4;
+  /// Maximum queued (not yet running) jobs; submissions beyond are rejected.
+  std::size_t max_queue = 256;
+};
+
+/// Outcome of a `submit` call. When `accepted` is false the job was *not*
+/// enqueued; `retry_after_ms` estimates when a slot should free up, based
+/// on the queue depth and an exponential moving average of job duration.
+struct SubmitStatus {
+  bool accepted = false;
+  std::size_t queue_depth = 0;
+  std::uint64_t retry_after_ms = 0;
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulerOptions options = {});
+
+  /// Drains the queue (runs everything already accepted), then joins.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Enqueue `job`. Never blocks: a full queue or a stopped scheduler
+  /// rejects (accepted=false) and `job` is destroyed unrun.
+  SubmitStatus submit(std::function<void()> job,
+                      Priority priority = Priority::kNormal);
+
+  /// Block until every accepted job has finished and the queue is empty.
+  void drain();
+
+  /// Stop accepting, finish everything accepted, join the workers.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+  [[nodiscard]] std::size_t queue_depth() const;
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  [[nodiscard]] std::uint64_t retry_hint_locked() const;
+
+  SchedulerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for jobs / shutdown
+  std::condition_variable idle_cv_;   // drain()/shutdown() wait for quiesce
+  std::deque<Job> queues_[3];         // one FIFO per priority level
+  std::size_t queued_ = 0;
+  std::size_t active_ = 0;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool joined_ = false;
+  /// EWMA of job wall time in microseconds (guarded by mutex_), feeding the
+  /// retry hint.
+  double avg_job_us_ = 0.0;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cipnet::svc

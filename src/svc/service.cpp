@@ -1,0 +1,485 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "algebra/hide.h"
+#include "io/astg.h"
+#include "io/net_format.h"
+#include "obs/buildinfo.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+#include "petri/canonical.h"
+#include "reach/coverability.h"
+#include "reach/properties.h"
+#include "reach/reachability.h"
+#include "stg/coding.h"
+#include "stg/state_graph.h"
+#include "synth/synthesize.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "util/json_writer.h"
+
+namespace cipnet::svc {
+
+namespace {
+
+const obs::Counter c_requests("svc.requests");
+const obs::Counter c_ok("svc.responses.ok");
+const obs::Counter c_errors("svc.responses.error");
+const obs::Counter c_cancelled("svc.cancelled");
+const obs::Counter c_overloaded("svc.overloaded");
+
+std::uint64_t now_ms_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+/// One parsed request. `valid == false` carries a prebuilt error code and
+/// message instead of op fields.
+struct AnalysisService::Request {
+  bool valid = false;
+  std::string error_code;
+  std::string error_message;
+
+  std::string id_json;  // pre-serialized `id` echo; empty = absent
+  std::string op;
+  std::string net_text;
+  std::string stg_text;
+  std::vector<std::string> labels;
+  bool has_labels = false;
+  std::size_t max_states = 0;       // 0 = service default
+  std::uint64_t deadline_ms = 0;    // 0 = service default
+  bool no_cache = false;
+  Priority priority = Priority::kNormal;
+  CancelToken cancel;
+};
+
+AnalysisService::AnalysisService(ServiceOptions options)
+    : options_(options), cache_(options.cache), scheduler_(options.scheduler) {}
+
+AnalysisService::Request AnalysisService::parse_request(
+    const std::string& line) const {
+  Request req;
+  json::Value doc;
+  try {
+    doc = json::parse(line);
+  } catch (const ParseError& e) {
+    req.error_code = "parse";
+    req.error_message = e.what();
+    return req;
+  }
+  if (!doc.is_object()) {
+    req.error_code = "bad_request";
+    req.error_message = "request must be a JSON object";
+    return req;
+  }
+  // Echo `id` (string or number) before anything else can fail, so even a
+  // bad_request response stays correlatable.
+  if (const json::Value* id = doc.find("id")) {
+    if (id->type() == json::Value::Type::kString) {
+      req.id_json = "\"" + json::escape(id->as_string()) + "\"";
+    } else if (id->type() == json::Value::Type::kNumber) {
+      req.id_json = json::number_to_string(id->as_number());
+    }
+  }
+  const json::Value* op = doc.find("op");
+  if (!op || op->type() != json::Value::Type::kString) {
+    req.error_code = "bad_request";
+    req.error_message = "missing string member 'op'";
+    return req;
+  }
+  req.op = op->as_string();
+  req.net_text = doc.get_string("net");
+  req.stg_text = doc.get_string("stg");
+  if (const json::Value* labels = doc.find("labels")) {
+    if (!labels->is_array()) {
+      req.error_code = "bad_request";
+      req.error_message = "'labels' must be an array of strings";
+      return req;
+    }
+    req.has_labels = true;
+    for (const json::Value& item : labels->items()) {
+      if (item.type() != json::Value::Type::kString) {
+        req.error_code = "bad_request";
+        req.error_message = "'labels' must be an array of strings";
+        return req;
+      }
+      req.labels.push_back(item.as_string());
+    }
+  }
+  req.max_states = static_cast<std::size_t>(doc.get_number("max_states", 0));
+  req.deadline_ms =
+      static_cast<std::uint64_t>(doc.get_number("deadline_ms", 0));
+  if (const json::Value* no_cache = doc.find("no_cache")) {
+    req.no_cache =
+        no_cache->type() == json::Value::Type::kBool && no_cache->as_bool();
+  }
+  const std::string priority = doc.get_string("priority", "normal");
+  if (priority == "high") {
+    req.priority = Priority::kHigh;
+  } else if (priority == "low") {
+    req.priority = Priority::kLow;
+  } else if (priority != "normal") {
+    req.error_code = "bad_request";
+    req.error_message = "unknown priority: " + priority;
+    return req;
+  }
+  req.valid = true;
+  return req;
+}
+
+namespace {
+
+/// `{"id":...,"op":...,"ok":false,"error":{...}}`
+std::string error_response(const std::string& id_json, const std::string& op,
+                           std::string_view code, std::string_view message,
+                           std::uint64_t retry_after_ms = 0,
+                           std::uint64_t elapsed_ms = 0) {
+  json::Writer w;
+  w.begin_object();
+  if (!id_json.empty()) w.key("id").raw(id_json);
+  if (!op.empty()) w.member("op", op);
+  w.member("ok", false);
+  w.key("error").begin_object();
+  w.member("code", code);
+  w.member("message", message);
+  if (retry_after_ms != 0) w.member("retry_after_ms", retry_after_ms);
+  if (elapsed_ms != 0) w.member("elapsed_ms", elapsed_ms);
+  w.end_object();
+  w.end_object();
+  c_errors.add();
+  return w.take();
+}
+
+/// `{"id":...,"op":...,"ok":true,"cached":...,"elapsed_ms":...,"result":{...}}`
+std::string ok_response(const std::string& id_json, const std::string& op,
+                        const std::string& payload, bool cached,
+                        std::uint64_t elapsed_ms) {
+  json::Writer w;
+  w.begin_object();
+  if (!id_json.empty()) w.key("id").raw(id_json);
+  w.member("op", op);
+  w.member("ok", true);
+  w.member("cached", cached);
+  w.member("elapsed_ms", elapsed_ms);
+  w.key("result").raw(payload);
+  w.end_object();
+  c_ok.add();
+  return w.take();
+}
+
+std::string run_ping() { return "{}"; }
+
+std::string run_version() {
+  json::Writer w;
+  w.begin_object();
+  w.member("git_sha", obs::build_git_sha());
+  w.member("compiler", obs::build_compiler());
+  w.member("build_type", obs::build_type());
+  w.end_object();
+  return w.take();
+}
+
+std::string run_reach(const PetriNet& net, std::size_t max_states,
+                      const CancelToken& cancel) {
+  ReachOptions options;
+  options.max_states = max_states;
+  options.cancel = cancel;
+  ReachabilityGraph rg = explore(net, options);
+  json::Writer w;
+  w.begin_object();
+  w.member("states", rg.state_count());
+  w.member("edges", rg.edge_count());
+  w.member("deadlock_states", deadlock_states(rg).size());
+  w.member("safe", is_safe(rg));
+  w.member("max_tokens", static_cast<std::uint64_t>(
+                             max_tokens_in_any_place(rg)));
+  w.member("dead_transitions", dead_transitions(net, rg).size());
+  w.member("live", is_live(net, rg));
+  w.end_object();
+  return w.take();
+}
+
+std::string run_cover(const PetriNet& net, std::size_t max_nodes,
+                      const CancelToken& cancel) {
+  CoverabilityOptions options;
+  options.max_nodes = max_nodes;
+  options.cancel = cancel;
+  CoverabilityResult result = coverability(net, options);
+  json::Writer w;
+  w.begin_object();
+  w.member("bounded", result.bounded());
+  w.member("tree_nodes", result.tree_nodes);
+  w.key("bounds").begin_array();
+  for (PlaceId p : net.all_places()) {
+    w.begin_object();
+    w.member("place", net.place(p).name);
+    const auto& bound = result.bounds[p.index()];
+    w.key("bound");
+    if (bound) {
+      w.value(static_cast<std::uint64_t>(*bound));
+    } else {
+      w.null();  // ω: unbounded place
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string run_hide(const PetriNet& net,
+                     const std::vector<std::string>& labels,
+                     const CancelToken& cancel) {
+  HideOptions options;
+  options.epsilon_fallback = true;
+  options.simplify_places_between_contractions = true;
+  options.cancel = cancel;
+  PetriNet result = hide_actions(net, labels, options);
+  json::Writer w;
+  w.begin_object();
+  w.member("places", result.place_count());
+  w.member("transitions", result.transition_count());
+  w.member("net", write_net(result, "hidden"));
+  w.end_object();
+  return w.take();
+}
+
+std::string run_synth(const Stg& stg, std::size_t max_states,
+                      const CancelToken& cancel) {
+  StateGraphOptions sg_options;
+  sg_options.max_states = max_states;
+  sg_options.cancel = cancel;
+  json::Writer w;
+  w.begin_object();
+  auto initial = infer_initial_encoding(stg, sg_options);
+  if (!initial) {
+    w.member("initial_encoding", false);
+    w.member("synthesizable", false);
+    w.end_object();
+    return w.take();
+  }
+  StateGraph sg = build_state_graph(stg, *initial, sg_options);
+  std::vector<std::string> outputs = stg.signal_names(SignalKind::kOutput);
+  for (const auto& s : stg.signal_names(SignalKind::kInternal)) {
+    outputs.push_back(s);
+  }
+  auto coding = check_coding(sg, outputs);
+  w.member("initial_encoding", true);
+  w.member("states", sg.state_count());
+  w.member("consistent", sg.is_consistent());
+  w.member("usc_conflicts", coding.conflicts.size());
+  w.member("csc_conflicts", coding.csc_count());
+  if (coding.has_csc_violation()) {
+    w.member("synthesizable", false);
+    w.end_object();
+    return w.take();
+  }
+  SynthesizeOptions synth_options;
+  synth_options.cancel = cancel;
+  SynthesisResult result = synthesize(sg, outputs, synth_options);
+  w.member("synthesizable", true);
+  w.member("literals", result.total_literals());
+  w.key("functions").begin_array();
+  for (const SignalFunction& f : result.functions) {
+    w.begin_object();
+    w.member("signal", f.signal);
+    w.member("expr", sop_to_string(f.sop, result.variables));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string joined_sorted(std::vector<std::string> items) {
+  std::sort(items.begin(), items.end());
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out += ',';
+    out += item;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AnalysisService::execute(const Request& req) {
+  c_requests.add();
+  if (!req.valid) {
+    return error_response(req.id_json, req.op, req.error_code,
+                          req.error_message);
+  }
+  const auto started = std::chrono::steady_clock::now();
+  const std::size_t max_states =
+      req.max_states != 0 ? req.max_states : options_.max_states;
+  obs::Span span("svc." + req.op);
+  try {
+    // Uncached, netless ops first.
+    if (req.op == "ping") {
+      return ok_response(req.id_json, req.op, run_ping(), false,
+                         now_ms_since(started));
+    }
+    if (req.op == "version") {
+      return ok_response(req.id_json, req.op, run_version(), false,
+                         now_ms_since(started));
+    }
+
+    CacheKey key;
+    key.op = req.op;
+    std::string payload;
+    if (req.op == "reach" || req.op == "cover" || req.op == "hide") {
+      if (req.net_text.empty()) {
+        return error_response(req.id_json, req.op, "bad_request",
+                              "op '" + req.op +
+                                  "' needs a 'net' member (.cpn text)");
+      }
+      PetriNet net = read_net(req.net_text);
+      key.net_hash = canonical_hash(net);
+      if (req.op == "reach") {
+        key.params = "max_states=" + std::to_string(max_states);
+      } else if (req.op == "cover") {
+        key.params = "max_nodes=" + std::to_string(max_states);
+      } else {
+        if (!req.has_labels) {
+          return error_response(req.id_json, req.op, "bad_request",
+                                "op 'hide' needs a 'labels' array");
+        }
+        key.params = "labels=" + joined_sorted(req.labels);
+      }
+      if (!req.no_cache) {
+        if (auto hit = cache_.lookup(key)) {
+          return ok_response(req.id_json, req.op, *hit, true,
+                             now_ms_since(started));
+        }
+      }
+      if (req.op == "reach") {
+        payload = run_reach(net, max_states, req.cancel);
+      } else if (req.op == "cover") {
+        payload = run_cover(net, max_states, req.cancel);
+      } else {
+        payload = run_hide(net, req.labels, req.cancel);
+      }
+    } else if (req.op == "synth") {
+      if (req.stg_text.empty()) {
+        return error_response(req.id_json, req.op, "bad_request",
+                              "op 'synth' needs an 'stg' member (.g text)");
+      }
+      Stg stg = read_astg(req.stg_text);
+      key.net_hash = canonical_hash(stg.net());
+      key.params =
+          "outputs=" + joined_sorted(stg.signal_names(SignalKind::kOutput)) +
+          ";internal=" +
+          joined_sorted(stg.signal_names(SignalKind::kInternal)) +
+          ";max_states=" + std::to_string(max_states);
+      if (!req.no_cache) {
+        if (auto hit = cache_.lookup(key)) {
+          return ok_response(req.id_json, req.op, *hit, true,
+                             now_ms_since(started));
+        }
+      }
+      payload = run_synth(stg, max_states, req.cancel);
+    } else {
+      return error_response(req.id_json, req.op, "bad_request",
+                            "unknown op: " + req.op);
+    }
+    if (!req.no_cache) cache_.insert(key, payload);
+    return ok_response(req.id_json, req.op, payload, false,
+                       now_ms_since(started));
+  } catch (const Cancelled& e) {
+    c_cancelled.add();
+    return error_response(req.id_json, req.op, "cancelled", e.what(), 0,
+                          e.elapsed_ms());
+  } catch (const LimitError& e) {
+    return error_response(req.id_json, req.op, "limit", e.what(), 0,
+                          now_ms_since(started));
+  } catch (const ParseError& e) {
+    return error_response(req.id_json, req.op, "parse", e.what());
+  } catch (const SemanticError& e) {
+    return error_response(req.id_json, req.op, "semantic", e.what());
+  } catch (const Error& e) {
+    return error_response(req.id_json, req.op, "internal", e.what());
+  } catch (const std::exception& e) {
+    return error_response(req.id_json, req.op, "internal", e.what());
+  }
+}
+
+std::string AnalysisService::handle_line(const std::string& line) {
+  Request req = parse_request(line);
+  const std::uint64_t deadline =
+      req.deadline_ms != 0 ? req.deadline_ms : options_.default_deadline_ms;
+  if (deadline != 0) {
+    req.cancel = CancelToken::with_deadline(std::chrono::milliseconds(deadline));
+  }
+  return execute(req);
+}
+
+SubmitStatus AnalysisService::submit_line(
+    const std::string& line, std::function<void(const std::string&)> done) {
+  Request req = parse_request(line);
+  if (!req.valid) {
+    done(execute(req));
+    return SubmitStatus{};
+  }
+  // The deadline clock starts now, before the queue: a request that waits
+  // out its whole budget in a full queue is cancelled, not run late.
+  const std::uint64_t deadline =
+      req.deadline_ms != 0 ? req.deadline_ms : options_.default_deadline_ms;
+  if (deadline != 0) {
+    req.cancel = CancelToken::with_deadline(std::chrono::milliseconds(deadline));
+  }
+  const Priority priority = req.priority;
+  const std::string id_json = req.id_json;  // survives the move below
+  const std::string op = req.op;
+  SubmitStatus status = scheduler_.submit(
+      [this, req = std::move(req), done]() { done(execute(req)); }, priority);
+  if (!status.accepted) {
+    c_overloaded.add();
+    done(error_response(id_json, op, "overloaded",
+                        "queue full (" + std::to_string(status.queue_depth) +
+                            " pending); retry later",
+                        status.retry_after_ms));
+  }
+  return status;
+}
+
+std::size_t serve(std::istream& in, std::ostream& out,
+                  const ServiceOptions& options) {
+  AnalysisService service(options);
+  obs::ProgressReporter progress("svc.serve");
+  std::mutex out_mutex;
+  std::atomic<std::uint64_t> served{0};
+  auto emit = [&](const std::string& response) {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    out << response << '\n';
+    out.flush();
+    served.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::size_t accepted = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++accepted;
+    service.submit_line(line, emit);
+    progress.update(served.load(std::memory_order_relaxed),
+                    service.scheduler().queue_depth());
+  }
+  service.drain();
+  progress.update(served.load(std::memory_order_relaxed), 0);
+  return accepted;
+}
+
+}  // namespace cipnet::svc

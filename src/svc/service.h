@@ -1,0 +1,76 @@
+#pragma once
+
+// The concurrent analysis service behind `cipnet serve`: line-delimited
+// JSON requests in, one JSON response line per request out. Each request
+// names an operation over a net shipped inline (`.cpn` text, `.g` text for
+// STG ops); execution runs on a `JobScheduler` worker under a per-request
+// deadline (`CancelToken`), and successful results are memoized in a
+// content-addressed `ResultCache` keyed by the canonical net hash. The
+// protocol — ops, schemas, error codes, backpressure semantics — is
+// specified in docs/SERVICE.md.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "svc/result_cache.h"
+#include "svc/scheduler.h"
+
+namespace cipnet::svc {
+
+struct ServiceOptions {
+  SchedulerOptions scheduler;
+  ResultCacheOptions cache;
+  /// Deadline applied to requests that do not carry `deadline_ms`;
+  /// 0 = unlimited.
+  std::uint64_t default_deadline_ms = 0;
+  /// Default state/node budget for explorations (requests may override via
+  /// `max_states`).
+  std::size_t max_states = 200000;
+};
+
+class AnalysisService {
+ public:
+  explicit AnalysisService(ServiceOptions options = {});
+
+  /// Parse and execute one request synchronously on the calling thread.
+  /// Always returns exactly one response document (no trailing newline);
+  /// every failure mode — malformed JSON included — becomes a structured
+  /// error response, never an exception.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Asynchronous path: parse `line`, start its deadline clock (queue wait
+  /// counts against it), and enqueue execution. `done` is invoked exactly
+  /// once with the response — on a worker thread normally, or inline on the
+  /// calling thread when the request is malformed or the queue is full
+  /// (`overloaded` response carrying the scheduler's retry hint).
+  SubmitStatus submit_line(const std::string& line,
+                           std::function<void(const std::string&)> done);
+
+  /// Wait until every accepted request has produced its response.
+  void drain() { scheduler_.drain(); }
+
+  [[nodiscard]] JobScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Request;
+
+  [[nodiscard]] Request parse_request(const std::string& line) const;
+  [[nodiscard]] std::string execute(const Request& request);
+
+  ServiceOptions options_;
+  ResultCache cache_;
+  JobScheduler scheduler_;  // declared last: workers die before the cache
+};
+
+/// The `cipnet serve` loop: read NDJSON requests from `in` until EOF,
+/// write one response line per request to `out` (completion order, which
+/// under concurrency is not request order — match by `id`). Returns the
+/// number of non-empty request lines read.
+std::size_t serve(std::istream& in, std::ostream& out,
+                  const ServiceOptions& options = {});
+
+}  // namespace cipnet::svc

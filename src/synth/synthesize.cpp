@@ -73,6 +73,7 @@ SynthesisResult synthesize(const StateGraph& sg,
     // next value per minterm: -1 unknown, 0, 1; conflicts are CSC errors.
     std::map<std::uint32_t, int> implied;
     for (StateId s : sg.all_states()) {
+      options.cancel.check("synth.synthesize");
       const Encoding& e = sg.encoding(s);
       // Implied next value of `signal` in this state.
       int next;

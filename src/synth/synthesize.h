@@ -5,6 +5,7 @@
 
 #include "stg/state_graph.h"
 #include "synth/cube.h"
+#include "util/cancel.h"
 
 namespace cipnet {
 
@@ -31,6 +32,9 @@ struct SynthesizeOptions {
   /// minterms; they are expanded up to this many unknown bits (LimitError
   /// beyond).
   std::size_t max_unknown_bits = 12;
+  /// Polled once per (signal, state) pair; a tripped token raises
+  /// `Cancelled`.
+  CancelToken cancel;
 };
 
 /// Derives, for every signal in `outputs`, the next-state function implied

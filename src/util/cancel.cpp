@@ -1,0 +1,60 @@
+#include "util/cancel.h"
+
+#include <atomic>
+
+#include "util/error.h"
+
+namespace cipnet {
+
+struct CancelToken::State {
+  std::atomic<bool> cancelled{false};
+  bool has_deadline = false;
+  Clock::time_point start{};
+  Clock::time_point deadline{};
+};
+
+CancelToken CancelToken::with_deadline(std::chrono::milliseconds budget) {
+  CancelToken token;
+  token.state_ = std::make_shared<State>();
+  token.state_->has_deadline = true;
+  token.state_->start = Clock::now();
+  token.state_->deadline = token.state_->start + budget;
+  return token;
+}
+
+CancelToken CancelToken::manual() {
+  CancelToken token;
+  token.state_ = std::make_shared<State>();
+  token.state_->start = Clock::now();
+  return token;
+}
+
+void CancelToken::request_cancel() const {
+  if (state_) state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+bool CancelToken::expired() const {
+  if (!state_) return false;
+  if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+  return state_->has_deadline && Clock::now() >= state_->deadline;
+}
+
+std::uint64_t CancelToken::elapsed_ms() const {
+  if (!state_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            state_->start)
+          .count());
+}
+
+void CancelToken::check(const char* operation) const {
+  if (!state_) return;
+  if (state_->cancelled.load(std::memory_order_relaxed)) {
+    throw Cancelled(operation, elapsed_ms(), /*deadline_exceeded=*/false);
+  }
+  if (state_->has_deadline && Clock::now() >= state_->deadline) {
+    throw Cancelled(operation, elapsed_ms(), /*deadline_exceeded=*/true);
+  }
+}
+
+}  // namespace cipnet

@@ -1,0 +1,53 @@
+#pragma once
+
+// Cooperative cancellation for long-running analyses. A `CancelToken` is a
+// cheap copyable handle to shared cancellation state: it trips either when
+// some owner calls `request_cancel()` or when a wall-clock deadline passes.
+// Explorers accept a token through their options struct and poll `check()`
+// once per outer-loop step, right next to their LimitError budget checks;
+// a tripped token surfaces as the structured `Cancelled` error
+// (util/error.h). The default-constructed token is inert — `check()` is a
+// single null-pointer test — so callers that never cancel pay nothing.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace cipnet {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Inert token: never cancels.
+  CancelToken() = default;
+
+  /// A token that trips `budget` after construction (the deadline clock
+  /// starts now, so queue wait counts against it too).
+  [[nodiscard]] static CancelToken with_deadline(
+      std::chrono::milliseconds budget);
+
+  /// A token with no deadline that trips only via `request_cancel`.
+  [[nodiscard]] static CancelToken manual();
+
+  /// True when this token can ever cancel (non-default-constructed).
+  [[nodiscard]] bool cancellable() const { return state_ != nullptr; }
+
+  /// Trip the token; every copy sees it. No-op on an inert token.
+  void request_cancel() const;
+
+  /// True when the token has been tripped or its deadline has passed.
+  [[nodiscard]] bool expired() const;
+
+  /// Throw `Cancelled` (naming `operation`) when expired, else return.
+  void check(const char* operation) const;
+
+  /// Milliseconds since the token was created (0 for an inert token).
+  [[nodiscard]] std::uint64_t elapsed_ms() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace cipnet

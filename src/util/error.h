@@ -60,4 +60,30 @@ class LimitError : public Error {
   std::optional<LimitContext> context_;
 };
 
+/// An operation was cancelled cooperatively — its `CancelToken` tripped,
+/// either explicitly or by passing its deadline (util/cancel.h). Distinct
+/// from `LimitError`: a limit means the *problem* outgrew its resource
+/// budget, a cancellation means the *caller* withdrew the request (client
+/// deadline, server shutdown) and the partial work is simply discarded.
+class Cancelled : public Error {
+ public:
+  Cancelled(const std::string& operation, std::uint64_t elapsed_ms,
+            bool deadline_exceeded)
+      : Error(operation + (deadline_exceeded ? " deadline exceeded after "
+                                             : " cancelled after ") +
+              std::to_string(elapsed_ms) + "ms"),
+        operation_(operation),
+        elapsed_ms_(elapsed_ms),
+        deadline_exceeded_(deadline_exceeded) {}
+
+  [[nodiscard]] const std::string& operation() const { return operation_; }
+  [[nodiscard]] std::uint64_t elapsed_ms() const { return elapsed_ms_; }
+  [[nodiscard]] bool deadline_exceeded() const { return deadline_exceeded_; }
+
+ private:
+  std::string operation_;
+  std::uint64_t elapsed_ms_ = 0;
+  bool deadline_exceeded_ = false;
+};
+
 }  // namespace cipnet

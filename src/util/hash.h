@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 namespace cipnet {
@@ -25,6 +26,37 @@ struct VectorHash {
   std::size_t operator()(const std::vector<T>& v) const {
     return hash_range(v);
   }
+};
+
+/// Incremental FNV-1a over bytes: a stable, platform-independent 64-bit
+/// digest (unlike std::hash, which varies by implementation). Used for
+/// content addressing — canonical net hashes (petri/canonical.h) and
+/// result-cache keys (svc/result_cache.h). Not cryptographic.
+class Fnv1a64 {
+ public:
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  void str(std::string_view text) {
+    bytes(text.data(), text.size());
+    u64(text.size());  // length-prefix so "ab","c" != "a","bc"
+  }
+
+  void u64(std::uint64_t v) {
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(buf, sizeof(buf));
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
 };
 
 }  // namespace cipnet

@@ -1,0 +1,158 @@
+#include "util/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cipnet::json {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number_to_string(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  // Shortest representation that parses back to the same double: try
+  // increasing precision until strtod round-trips.
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void Writer::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+Writer& Writer::begin_object() {
+  before_value();
+  out_ += '{';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  assert(!need_comma_.empty() && !pending_key_);
+  need_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value();
+  out_ += '[';
+  need_comma_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  assert(!need_comma_.empty() && !pending_key_);
+  need_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  assert(!pending_key_);
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  before_value();
+  out_ += number_to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view fragment) {
+  before_value();
+  out_ += fragment;
+  return *this;
+}
+
+}  // namespace cipnet::json

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Smoke test for `cipnet serve`: pipe 20 NDJSON requests through the server
+# and validate that every response line parses under the strict JSON grammar
+# and carries a boolean "ok". Exercises the cache (repeated reach requests),
+# every op, error paths (bad op, malformed line), and per-request deadlines.
+#
+# usage: serve_smoke.sh <cipnet-binary> <ndjson_check-binary>
+set -u -o pipefail
+
+CIPNET="$1"
+CHECK="$2"
+
+NET='.net ab\n.place p0 1\n.place p1\n.trans a : p0 -> p1\n.trans b : p1 -> p0\n.end'
+STG='.model hs\n.inputs req\n.outputs ack\n.graph\nreq+ ack+\nack+ req-\nreq- ack-\nack- req+\n.marking { <ack-,req+> }\n.end'
+
+requests() {
+  printf '{"id":1,"op":"ping"}\n'
+  printf '{"id":2,"op":"version"}\n'
+  # Identical reach requests: first misses, the rest hit the cache.
+  for i in 3 4 5 6 7 8; do
+    printf '{"id":%d,"op":"reach","net":"%s"}\n' "$i" "$NET"
+  done
+  printf '{"id":9,"op":"cover","net":"%s"}\n' "$NET"
+  printf '{"id":10,"op":"cover","net":"%s"}\n' "$NET"
+  printf '{"id":11,"op":"hide","net":"%s","labels":["a"]}\n' "$NET"
+  printf '{"id":12,"op":"hide","net":"%s","labels":["b"]}\n' "$NET"
+  printf '{"id":13,"op":"synth","stg":"%s"}\n' "$STG"
+  printf '{"id":14,"op":"synth","stg":"%s"}\n' "$STG"
+  # Error paths must still produce one well-formed response line each.
+  printf '{"id":15,"op":"frobnicate"}\n'
+  printf 'this is not json\n'
+  printf '{"id":17,"op":"reach"}\n'
+  printf '{"id":18,"op":"reach","net":"garbage"}\n'
+  # Deadline / priority / no_cache knobs parse and round-trip.
+  printf '{"id":19,"op":"reach","net":"%s","deadline_ms":5000,"priority":"high"}\n' "$NET"
+  printf '{"id":20,"op":"reach","net":"%s","no_cache":true,"priority":"low"}\n' "$NET"
+}
+
+requests | "$CIPNET" serve --workers 4 --queue 64 | "$CHECK" 20

@@ -1,0 +1,120 @@
+#include "util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace cipnet {
+namespace {
+
+TEST(JsonWriter, EscapeBasics) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json::escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json::escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json::escape(std::string("a\x01z", 3)), "a\\u0001z");
+  // UTF-8 multibyte passes through untouched.
+  EXPECT_EQ(json::escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriter, StringsRoundTripThroughParser) {
+  const std::vector<std::string> nasty = {
+      "",
+      "plain",
+      "quote \" backslash \\ slash /",
+      "newline\nand\ttab\rand\band\f",
+      std::string("nul\x00mid", 7),
+      std::string("ctl\x1f\x01", 5),
+      "unicode caf\xc3\xa9 \xe2\x9c\x93",
+  };
+  for (const std::string& s : nasty) {
+    json::Writer w;
+    w.begin_object().member("s", s).end_object();
+    const json::Value doc = json::parse(w.str());
+    EXPECT_EQ(doc.get_string("s"), s) << "payload: " << json::escape(s);
+  }
+}
+
+TEST(JsonWriter, NumbersRoundTrip) {
+  const std::vector<double> values = {0.0,  1.0,    -1.0,       0.1,
+                                      1e-9, 1e20,   3.14159265, -2.5e-7,
+                                      42.0, 1e308,  123456789.123456789};
+  for (double v : values) {
+    const std::string text = json::number_to_string(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+    json::Writer w;
+    w.begin_object().member("n", v).end_object();
+    EXPECT_EQ(json::parse(w.str()).get_number("n"), v);
+  }
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(json::number_to_string(std::nan("")), "null");
+  EXPECT_EQ(json::number_to_string(INFINITY), "null");
+  json::Writer w;
+  w.begin_object().member("n", -INFINITY).end_object();
+  EXPECT_EQ(w.str(), "{\"n\":null}");
+}
+
+TEST(JsonWriter, IntegersKeepFullPrecision) {
+  json::Writer w;
+  w.begin_object();
+  w.member("u", std::uint64_t{18446744073709551615ull});
+  w.member("i", std::int64_t{-9223372036854775807ll});
+  w.member("small", 7);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"u\":18446744073709551615,\"i\":-9223372036854775807,"
+            "\"small\":7}");
+}
+
+TEST(JsonWriter, NestedContainersParse) {
+  json::Writer w;
+  w.begin_object();
+  w.member("name", "x\"y");
+  w.member("flag", true);
+  w.key("list").begin_array();
+  w.value(1).value(2).null();
+  w.begin_object().member("deep", false).end_object();
+  w.end_array();
+  w.key("empty_obj").begin_object().end_object();
+  w.key("empty_arr").begin_array().end_array();
+  w.end_object();
+
+  const json::Value doc = json::parse(w.str());
+  EXPECT_EQ(doc.get_string("name"), "x\"y");
+  const json::Value* list = doc.find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->items().size(), 4u);
+  EXPECT_EQ(list->items()[0].as_number(), 1.0);
+  EXPECT_TRUE(list->items()[2].is_null());
+  EXPECT_TRUE(doc.find("empty_obj")->is_object());
+  EXPECT_TRUE(doc.find("empty_arr")->is_array());
+}
+
+TEST(JsonWriter, RawSplicesPreSerializedFragments) {
+  json::Writer w;
+  w.begin_object();
+  w.key("payload").raw("{\"states\":4}");
+  w.member("after", 1);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"payload\":{\"states\":4},\"after\":1}");
+  const json::Value doc = json::parse(w.str());
+  EXPECT_EQ(doc.find("payload")->get_number("states"), 4.0);
+}
+
+TEST(JsonWriter, TakeMovesBufferOut) {
+  json::Writer w;
+  w.begin_array().value("a").end_array();
+  EXPECT_EQ(w.take(), "[\"a\"]");
+}
+
+}  // namespace
+}  // namespace cipnet

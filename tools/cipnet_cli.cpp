@@ -21,6 +21,7 @@
 #include "io/dot.h"
 #include "io/files.h"
 #include "obs/benchdata.h"
+#include "obs/buildinfo.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -37,6 +38,7 @@
 #include "stg/coding.h"
 #include "stg/persistency.h"
 #include "stg/state_graph.h"
+#include "svc/service.h"
 #include "synth/synthesize.h"
 #include "util/error.h"
 
@@ -319,6 +321,37 @@ int cmd_bench(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  svc::ServiceOptions options;
+  options.scheduler.workers = 8;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto numeric = [&](std::uint64_t& out) {
+      if (i + 1 >= args.size()) return false;
+      out = std::strtoull(args[++i].c_str(), nullptr, 10);
+      return true;
+    };
+    std::uint64_t v = 0;
+    if (args[i] == "--workers" && numeric(v)) {
+      options.scheduler.workers = static_cast<std::size_t>(v);
+    } else if (args[i] == "--queue" && numeric(v)) {
+      options.scheduler.max_queue = static_cast<std::size_t>(v);
+    } else if (args[i] == "--cache-mb" && numeric(v)) {
+      options.cache.max_bytes = static_cast<std::size_t>(v) << 20;
+    } else if (args[i] == "--ttl-ms" && numeric(v)) {
+      options.cache.ttl = std::chrono::milliseconds(v);
+    } else if (args[i] == "--deadline-ms" && numeric(v)) {
+      options.default_deadline_ms = v;
+    } else if (args[i] == "--max-states" && numeric(v)) {
+      options.max_states = static_cast<std::size_t>(v);
+    } else {
+      return usage();
+    }
+  }
+  const std::size_t served = svc::serve(std::cin, std::cout, options);
+  std::fprintf(stderr, "served %zu requests\n", served);
+  return 0;
+}
+
 /// The single source of truth for commands: dispatch, usage text, and the
 /// README table all derive from this.
 struct Command {
@@ -347,6 +380,9 @@ constexpr Command kCommands[] = {
      cmd_profile},
     {"bench", "<file> [reps]", "time explore over reps (BENCH_ROW lines)",
      cmd_bench},
+    {"serve", "[--workers N] [--queue N] ...", "NDJSON analysis service on "
+     "stdin/stdout (docs/SERVICE.md)",
+     cmd_serve},
 };
 
 int usage() {
@@ -357,6 +393,8 @@ int usage() {
   }
   std::fprintf(stderr,
                "\nglobal flags (any command):\n"
+               "  --version           print build provenance (git SHA, "
+               "compiler, build type)\n"
                "  --stats             print the metrics report to stderr on "
                "exit\n"
                "  --trace-out <file>  write the span trace: .jsonl = JSON "
@@ -370,6 +408,16 @@ int usage() {
 
 int run(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+
+  // `--version` anywhere wins: print build provenance and exit, so server
+  // deployments are identifiable from logs without running a command.
+  for (const std::string& arg : args) {
+    if (arg == "--version") {
+      std::printf("cipnet %s (%s, %s)\n", obs::build_git_sha(),
+                  obs::build_compiler(), obs::build_type());
+      return 0;
+    }
+  }
 
   // Strip the global observability flags wherever they appear.
   bool stats = false;

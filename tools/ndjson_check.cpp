@@ -1,0 +1,47 @@
+// Validates an NDJSON response stream from `cipnet serve`: every line must
+// parse under the strict JSON grammar and carry a boolean "ok" member, and
+// the line count must match the expected count given as argv[1]. Used by
+// the ServeSmoke ctest (tests/serve_smoke.sh).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/json.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: ndjson_check <expected-line-count>\n");
+    return 2;
+  }
+  const long expected = std::strtol(argv[1], nullptr, 10);
+  long lines = 0;
+  long ok = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    try {
+      const cipnet::json::Value doc = cipnet::json::parse(line);
+      const cipnet::json::Value* flag = doc.find("ok");
+      if (flag == nullptr || flag->type() != cipnet::json::Value::Type::kBool) {
+        std::fprintf(stderr, "line %ld: missing boolean \"ok\": %s\n", lines,
+                     line.c_str());
+        return 1;
+      }
+      if (flag->as_bool()) ++ok;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "line %ld: %s\n  %s\n", lines, e.what(),
+                   line.c_str());
+      return 1;
+    }
+  }
+  if (lines != expected) {
+    std::fprintf(stderr, "expected %ld response lines, got %ld\n", expected,
+                 lines);
+    return 1;
+  }
+  std::fprintf(stderr, "ndjson_check: %ld lines, %ld ok\n", lines, ok);
+  return 0;
+}
