@@ -63,6 +63,24 @@ void report() {
       "and its construction grow exponentially — the shape behind the\n"
       "paper's net-level argument.\n");
 
+  // Explore-core focus: the arena/interner hot loop, single- vs
+  // multi-threaded, on the largest cycle family (2^16 states). states/sec
+  // is the number the flat store + single-probe intern are optimizing.
+  std::printf("\nexplore core on independent_cycles/16 (2^16 states)\n");
+  std::printf("%-10s %-10s %-12s %-14s\n", "threads", "states", "wall (s)",
+              "states/sec");
+  PetriNet big = independent_cycles(16);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ReachOptions options;
+    options.threads = threads;
+    std::size_t states = 0;
+    double t = seconds([&] { states = explore(big, options).state_count(); });
+    std::printf("%-10zu %-10zu %-12.6f %-14.0f\n", threads, states, t,
+                t > 0 ? states / t : 0.0);
+    benchutil::machine_row(
+        "explore_mt" + std::to_string(threads) + "/16", states, t);
+  }
+
   std::printf("\nmarked-graph checks: structural (Murata) vs reachability\n");
   std::printf("%-6s %-16s %-16s %-12s %-12s\n", "k", "structural live",
               "structural safe", "struct (s)", "reach (s)");
@@ -106,6 +124,16 @@ void BM_StateSpaceConstruction(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_StateSpaceConstruction)->DenseRange(2, 16, 2)->Complexity();
+
+void BM_StateSpaceConstructionMT(benchmark::State& state) {
+  PetriNet net = independent_cycles(16);
+  ReachOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explore(net, options).state_count());
+  }
+}
+BENCHMARK(BM_StateSpaceConstructionMT)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_StructuralLiveness(benchmark::State& state) {
   PetriNet ring = cycle_chain(static_cast<std::size_t>(state.range(0)), "r");

@@ -82,14 +82,14 @@ std::vector<SyncCheck> collect_sync_checks(const ComposeResult& composed,
   return checks;
 }
 
-bool all_marked(const Marking& m, const std::vector<PlaceId>& places) {
+bool all_marked(MarkingView m, const std::vector<PlaceId>& places) {
   for (PlaceId p : places) {
     if (m[p] == 0) return false;
   }
   return true;
 }
 
-bool is_failure_marking(const Marking& m, const SyncCheck& check) {
+bool is_failure_marking(MarkingView m, const SyncCheck& check) {
   if (!all_marked(m, check.output_preset)) return false;
   for (const auto& preset : check.input_presets) {
     if (all_marked(m, preset)) return false;
@@ -113,13 +113,13 @@ ReceptivenessReport check_receptiveness(const Circuit& c1, const Circuit& c2,
   ReachabilityGraph rg = explore(composed.circuit.net(), options);
   for (const SyncCheck& check : checks) {
     for (StateId s : rg.all_states()) {
-      const Marking& m = rg.marking(s);
+      const MarkingView m = rg.marking(s);
       if (is_failure_marking(m, check)) {
         ReceptivenessFailure failure;
         failure.label = check.label;
         failure.output_on_left = check.output_on_left;
         failure.output_transition = check.output_transition;
-        failure.witness = m;
+        failure.witness = m.to_marking();
         failure.firing_sequence = firing_sequence_to(rg, s);
         report.failures.push_back(std::move(failure));
         c_failures.add();

@@ -177,7 +177,7 @@ std::int64_t invariant_constant(const PetriNet& net, const Semiflow& flow) {
 }
 
 bool invariant_holds(const PetriNet& net, const Semiflow& flow,
-                     const Marking& m) {
+                     MarkingView m) {
   std::int64_t sum = 0;
   for (PlaceId p : net.all_places()) {
     sum += flow.weights[p.index()] * static_cast<std::int64_t>(m[p]);

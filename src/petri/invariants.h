@@ -51,6 +51,6 @@ struct InvariantOptions {
 /// Checks `y · M = y · M0` for a concrete marking (used in tests and as a
 /// fast runtime assertion during simulation).
 [[nodiscard]] bool invariant_holds(const PetriNet& net,
-                                   const Semiflow& semiflow, const Marking& m);
+                                   const Semiflow& semiflow, MarkingView m);
 
 }  // namespace cipnet

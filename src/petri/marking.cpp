@@ -1,40 +1,59 @@
 #include "petri/marking.h"
 
+#include <cstring>
 #include <numeric>
 
 namespace cipnet {
 
-std::uint64_t Marking::total() const {
-  return std::accumulate(tokens_.begin(), tokens_.end(), std::uint64_t{0});
+std::uint64_t Marking::total() const { return MarkingView(*this).total(); }
+
+bool Marking::is_safe() const { return MarkingView(*this).is_safe(); }
+
+std::vector<PlaceId> Marking::marked_places() const {
+  return MarkingView(*this).marked_places();
 }
 
-bool Marking::is_safe() const {
-  for (Token t : tokens_) {
+std::string Marking::to_string() const {
+  return MarkingView(*this).to_string();
+}
+
+std::uint64_t MarkingView::total() const {
+  return std::accumulate(begin(), end(), std::uint64_t{0});
+}
+
+bool MarkingView::is_safe() const {
+  for (Token t : *this) {
     if (t > 1) return false;
   }
   return true;
 }
 
-std::vector<PlaceId> Marking::marked_places() const {
+std::vector<PlaceId> MarkingView::marked_places() const {
   std::vector<PlaceId> out;
-  for (std::size_t i = 0; i < tokens_.size(); ++i) {
-    if (tokens_[i] > 0) out.push_back(PlaceId(static_cast<std::uint32_t>(i)));
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (data_[i] > 0) out.push_back(PlaceId(static_cast<std::uint32_t>(i)));
   }
   return out;
 }
 
-std::string Marking::to_string() const {
+std::string MarkingView::to_string() const {
   std::string out = "{";
   bool first = true;
-  for (std::size_t i = 0; i < tokens_.size(); ++i) {
-    if (tokens_[i] == 0) continue;
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (data_[i] == 0) continue;
     if (!first) out += ", ";
     first = false;
     out += "p" + std::to_string(i);
-    if (tokens_[i] > 1) out += ":" + std::to_string(tokens_[i]);
+    if (data_[i] > 1) out += ":" + std::to_string(data_[i]);
   }
   out += "}";
   return out;
+}
+
+bool operator==(MarkingView a, MarkingView b) {
+  return a.size_ == b.size_ &&
+         (a.size_ == 0 ||
+          std::memcmp(a.data_, b.data_, a.size_ * sizeof(Token)) == 0);
 }
 
 }  // namespace cipnet

@@ -44,6 +44,47 @@ class Marking {
   std::vector<Token> tokens_;
 };
 
+/// A non-owning view of a marking: `place_count` tokens living somewhere
+/// else — a `Marking`, or one row of the flat `reach::MarkingStore` arena.
+/// The dynamics (`PetriNet::is_enabled`, `enabled_transitions`, `fire_into`)
+/// and the read-only inspection helpers all work on views, so arena-backed
+/// reachability graphs never materialize per-state `Marking` objects.
+/// Views are trivially copyable and valid only while the backing storage is.
+class MarkingView {
+ public:
+  constexpr MarkingView() = default;
+  constexpr MarkingView(const Token* data, std::size_t size)
+      : data_(data), size_(size) {}
+  /*implicit*/ MarkingView(const Marking& m)
+      : data_(m.tokens().data()), size_(m.size()) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const Token* data() const { return data_; }
+  [[nodiscard]] const Token* begin() const { return data_; }
+  [[nodiscard]] const Token* end() const { return data_ + size_; }
+
+  [[nodiscard]] Token operator[](PlaceId p) const { return data_[p.index()]; }
+
+  /// Materialize an owning copy (e.g. to keep a witness marking alive
+  /// beyond the exploration that produced it).
+  [[nodiscard]] Marking to_marking() const {
+    return Marking(std::vector<Token>(data_, data_ + size_));
+  }
+
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] bool is_safe() const;
+  [[nodiscard]] std::vector<PlaceId> marked_places() const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Elementwise; mixed Marking/view comparisons go through the implicit
+  /// conversion.
+  friend bool operator==(MarkingView a, MarkingView b);
+
+ private:
+  const Token* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 struct MarkingHash {
   std::size_t operator()(const Marking& m) const {
     return hash_range(m.tokens());

@@ -114,7 +114,7 @@ void PetriNet::set_guard(TransitionId t, Guard guard) {
   transitions_[t.index()].guard = std::move(guard);
 }
 
-bool PetriNet::is_enabled(const Marking& m, TransitionId t) const {
+bool PetriNet::is_enabled(MarkingView m, TransitionId t) const {
   for (PlaceId p : transition(t).preset) {
     if (m[p] == 0) return false;
   }
@@ -141,8 +141,21 @@ Marking PetriNet::fire(const Marking& m, TransitionId t) const {
   return next;
 }
 
-std::vector<TransitionId> PetriNet::enabled_transitions(
-    const Marking& m) const {
+void PetriNet::fire_into(MarkingView m, TransitionId t,
+                         std::vector<Token>& out) const {
+  const Transition& tr = transition(t);
+  assert(is_enabled(m, t));
+  c_firings.add();
+  out.assign(m.begin(), m.end());
+  for (PlaceId p : tr.preset) {
+    if (!sorted_set::contains(tr.postset, p)) out[p.index()] -= 1;
+  }
+  for (PlaceId p : tr.postset) {
+    if (!sorted_set::contains(tr.preset, p)) out[p.index()] += 1;
+  }
+}
+
+std::vector<TransitionId> PetriNet::enabled_transitions(MarkingView m) const {
   c_enabled_scans.add();
   std::vector<TransitionId> out;
   for (std::size_t i = 0; i < transitions_.size(); ++i) {

@@ -118,16 +118,24 @@ class PetriNet {
   // ----- dynamics (Definition 2.2) -------------------------------------
 
   /// A transition can fire in `m` iff every preset place holds a token.
-  /// Guards are *not* evaluated here (see class comment).
-  [[nodiscard]] bool is_enabled(const Marking& m, TransitionId t) const;
+  /// Guards are *not* evaluated here (see class comment). Takes a view so
+  /// arena-backed explorers can query rows without materializing Markings
+  /// (a `Marking` converts implicitly).
+  [[nodiscard]] bool is_enabled(MarkingView m, TransitionId t) const;
 
   /// Fires `t` in `m` (precondition: enabled): tokens removed from
   /// `preset \ postset`, added to `postset \ preset`.
   [[nodiscard]] Marking fire(const Marking& m, TransitionId t) const;
   void fire_in_place(Marking& m, TransitionId t) const;
 
+  /// Fires `t` from `m` into the reusable buffer `out` (resized/overwritten,
+  /// no allocation once warm). `out` must not alias `m`'s storage. This is
+  /// the explore/coverability inner-loop path: one successor candidate is
+  /// built per edge, and only fresh ones are copied into the state store.
+  void fire_into(MarkingView m, TransitionId t, std::vector<Token>& out) const;
+
   [[nodiscard]] std::vector<TransitionId> enabled_transitions(
-      const Marking& m) const;
+      MarkingView m) const;
 
   // ----- convenience ----------------------------------------------------
 

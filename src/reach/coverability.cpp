@@ -1,11 +1,14 @@
 #include "reach/coverability.h"
 
 #include <limits>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "reach/marking_store.h"
 #include "util/error.h"
+#include "util/sorted_set.h"
 
 namespace cipnet {
 
@@ -20,9 +23,16 @@ const obs::Histogram h_frontier("cover.frontier_size");
 /// (acceleration jumps straight to it).
 constexpr Token kOmega = std::numeric_limits<Token>::max();
 
-bool leq(const std::vector<Token>& a, const std::vector<Token>& b) {
-  for (std::size_t i = 0; i < a.size(); ++i) {
+bool leq(const Token* a, const Token* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+bool rows_equal(const Token* a, const Token* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return false;
   }
   return true;
 }
@@ -33,25 +43,48 @@ CoverabilityResult coverability(const PetriNet& net,
                                 const CoverabilityOptions& options) {
   obs::Span span("reach.coverability");
   obs::ProgressReporter progress("reach.coverability");
-  struct Node {
-    std::vector<Token> marking;
-    int parent;
-  };
-  std::vector<Node> tree;
+  const std::size_t places = net.place_count();
+
+  // Tree markings live contiguously in one arena (the subsumption scan
+  // below is a linear pass over memory); `parents` carries the ancestor
+  // chain for the acceleration test.
+  MarkingStore tree(places);
+  tree.reserve(std::min<std::size_t>(options.max_nodes, 1u << 14));
+  std::vector<int> parents;
   std::vector<std::size_t> frontier;
 
-  auto push = [&](std::vector<Token> m, int parent) {
+  // Per-transition net effect, computed once: places that lose / gain a
+  // token (self-loops excluded — they only test).
+  struct Effect {
+    std::vector<PlaceId> dec;
+    std::vector<PlaceId> inc;
+  };
+  std::vector<Effect> effects(net.transition_count());
+  for (TransitionId t : net.all_transitions()) {
+    const auto& tr = net.transition(t);
+    Effect& e = effects[t.index()];
+    for (PlaceId p : tr.preset) {
+      if (!sorted_set::contains(tr.postset, p)) e.dec.push_back(p);
+    }
+    for (PlaceId p : tr.postset) {
+      if (!sorted_set::contains(tr.preset, p)) e.inc.push_back(p);
+    }
+  }
+
+  // `m` arrives in the caller's scratch buffer; it is accelerated in place
+  // and only copied into the arena when no existing node subsumes it.
+  auto push = [&](std::vector<Token>& m, int parent) {
     if (tree.size() >= options.max_nodes) {
       throw LimitError("coverability tree exceeded max_nodes",
                        LimitContext{tree.size(), 0, options.max_nodes});
     }
     // Acceleration: if m strictly dominates an ancestor, the gap can be
     // pumped — set the strictly larger places to ω.
-    for (int a = parent; a >= 0; a = tree[a].parent) {
-      const auto& anc = tree[a].marking;
-      if (leq(anc, m) && anc != m) {
+    for (int a = parent; a >= 0; a = parents[a]) {
+      const Token* anc = tree.row(static_cast<std::size_t>(a));
+      if (leq(anc, m.data(), places) && !rows_equal(anc, m.data(), places)) {
         bool pumped = false;
-        for (std::size_t i = 0; i < m.size(); ++i) {
+        for (std::size_t i = 0; i < places; ++i) {
           if (m[i] > anc[i]) {
             pumped = pumped || m[i] != kOmega;
             m[i] = kOmega;
@@ -61,18 +94,21 @@ CoverabilityResult coverability(const PetriNet& net,
       }
     }
     // Subsumption: drop if some existing node covers m.
-    for (const Node& node : tree) {
-      if (leq(m, node.marking)) {
+    for (std::size_t n = 0; n < tree.size(); ++n) {
+      if (leq(m.data(), tree.row(n), places)) {
         c_subsumed.add();
         return;
       }
     }
-    tree.push_back(Node{std::move(m), parent});
+    tree.push_back(m.data());
+    parents.push_back(parent);
     frontier.push_back(tree.size() - 1);
     c_nodes.add();
   };
 
-  push(net.initial_marking().tokens(), -1);
+  std::vector<Token> scratch = net.initial_marking().tokens();
+  push(scratch, -1);
+  std::vector<Token> current;
   while (!frontier.empty()) {
     h_frontier.record(frontier.size());
     progress.update(tree.size(), frontier.size());
@@ -80,7 +116,9 @@ CoverabilityResult coverability(const PetriNet& net,
     std::size_t index = frontier.back();
     frontier.pop_back();
     if (index >= tree.size()) continue;
-    const std::vector<Token> current = tree[index].marking;
+    // Copy: `push` grows the arena while `current` is being read.
+    const Token* row = tree.row(index);
+    current.assign(row, row + places);
     for (TransitionId t : net.all_transitions()) {
       const auto& tr = net.transition(t);
       bool enabled = true;
@@ -88,33 +126,27 @@ CoverabilityResult coverability(const PetriNet& net,
         if (current[p.index()] == 0) enabled = false;
       }
       if (!enabled) continue;
-      std::vector<Token> next = current;
-      for (PlaceId p : tr.preset) {
-        std::size_t i = p.index();
-        bool self_loop = false;
-        for (PlaceId q : tr.postset) self_loop = self_loop || q == p;
-        if (!self_loop && next[i] != kOmega) next[i] -= 1;
+      scratch = current;
+      for (PlaceId p : effects[t.index()].dec) {
+        if (scratch[p.index()] != kOmega) scratch[p.index()] -= 1;
       }
-      for (PlaceId p : tr.postset) {
-        std::size_t i = p.index();
-        bool self_loop = false;
-        for (PlaceId q : tr.preset) self_loop = self_loop || q == p;
-        if (!self_loop && next[i] != kOmega) next[i] += 1;
+      for (PlaceId p : effects[t.index()].inc) {
+        if (scratch[p.index()] != kOmega) scratch[p.index()] += 1;
       }
-      push(std::move(next), static_cast<int>(index));
+      push(scratch, static_cast<int>(index));
     }
   }
 
   CoverabilityResult result;
   result.tree_nodes = tree.size();
-  result.bounds.assign(net.place_count(), Token{0});
-  for (const Node& node : tree) {
-    for (std::size_t i = 0; i < node.marking.size(); ++i) {
-      if (node.marking[i] == kOmega) {
+  result.bounds.assign(places, Token{0});
+  for (std::size_t n = 0; n < tree.size(); ++n) {
+    const Token* row = tree.row(n);
+    for (std::size_t i = 0; i < places; ++i) {
+      if (row[i] == kOmega) {
         result.bounds[i] = std::nullopt;
-      } else if (result.bounds[i] &&
-                 node.marking[i] > *result.bounds[i]) {
-        result.bounds[i] = node.marking[i];
+      } else if (result.bounds[i] && row[i] > *result.bounds[i]) {
+        result.bounds[i] = row[i];
       }
     }
   }

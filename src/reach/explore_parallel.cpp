@@ -1,0 +1,391 @@
+// Multi-threaded reachability exploration (ReachOptions.threads > 1).
+//
+// Architecture:
+//  * The marking set is sharded: `kShardCount` independent
+//    `MarkingStore`+`MarkingInterner` pairs, each behind its own mutex. The
+//    shard of a marking is a function of its `row_hash` (top bits — the
+//    interner probes with the low bits, so shard membership does not skew
+//    the probe sequence). Workers only contend when two of them intern into
+//    the same shard at the same instant.
+//  * Work distribution: a shared FIFO of `WorkItem`s (one discovered,
+//    unexpanded state plus its delta-maintained enabled set). Workers pop
+//    one item, expand it against worker-local scratch buffers, and hand the
+//    batch of freshly discovered states back in a single critical section.
+//    `pending` counts discovered-but-unexpanded states; it reaching zero is
+//    the termination signal.
+//  * Limits and cancellation are cooperative: the first worker to trip
+//    `max_states` or observe an expired `CancelToken` stores the exception
+//    and raises the stop flag; everyone else drains and the main thread
+//    rethrows.
+//  * Determinism: workers record edges against schedule-dependent temporary
+//    ids (shard, local). A final single-threaded renumbering pass walks the
+//    finished graph breadth-first from the initial marking, visiting each
+//    state's edges in ascending transition order — exactly the order the
+//    sequential explorer discovers states in — and emits the canonical
+//    `ReachabilityGraph`. The result is bit-identical to `threads == 1`
+//    regardless of schedule, so golden tests and downstream consumers never
+//    see nondeterministic state ids.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+#include "reach/reachability.h"
+#include "util/error.h"
+
+namespace cipnet {
+
+namespace {
+
+const obs::Counter c_states("reach.states");
+const obs::Counter c_edges("reach.edges");
+const obs::Counter c_hash_lookups("reach.hash_lookups");
+const obs::Gauge g_frontier_peak("reach.frontier_peak");
+const obs::Gauge g_graph_bytes("reach.graph_bytes");
+const obs::Gauge g_index_bytes("reach.index_bytes");
+const obs::Histogram h_enabled("reach.enabled_per_state");
+
+const obs::Gauge g_par_workers("reach.par.workers");
+const obs::Counter c_par_handoffs("reach.par.handoffs");
+const obs::Counter c_par_idle_waits("reach.par.idle_waits");
+const obs::Counter c_par_renumbered("reach.par.renumbered");
+
+/// Power of two; the shard index is the top 6 bits of the row hash.
+constexpr std::size_t kShardCount = 64;
+constexpr unsigned kShardShift = 58;
+
+/// Upper bound on states popped per queue acquisition.
+constexpr std::size_t kMaxBatch = 32;
+
+/// Schedule-dependent temporary state id: shard in the high word, the
+/// shard-local store index in the low word.
+using TmpId = std::uint64_t;
+
+constexpr TmpId make_tmp(std::size_t shard, std::uint32_t local) {
+  return (static_cast<TmpId>(shard) << 32) | local;
+}
+constexpr std::size_t tmp_shard(TmpId id) {
+  return static_cast<std::size_t>(id >> 32);
+}
+constexpr std::uint32_t tmp_local(TmpId id) {
+  return static_cast<std::uint32_t>(id);
+}
+
+}  // namespace
+
+class ParallelExplorer {
+ public:
+  ParallelExplorer(const PetriNet& net, const ReachOptions& options)
+      : net_(net), options_(options), places_(net.place_count()) {
+    const std::size_t hint = std::min(options.max_states,
+                                      reach_detail::kReserveCap) /
+                                 kShardCount +
+                             1;
+    for (Shard& shard : shards_) {
+      shard.store.reset(places_);
+      shard.store.reserve(hint);
+      shard.index.reserve(hint);
+    }
+  }
+
+  ReachabilityGraph run() {
+    obs::Span span("reach.explore");
+    obs::ProgressReporter progress("reach.explore");
+    const std::size_t workers =
+        std::min<std::size_t>(options_.threads, kShardCount);
+    g_par_workers.set(workers);
+
+    seed_initial();
+    std::vector<std::thread> pool;
+    std::vector<WorkerOutput> outputs(workers);
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(
+          [this, &outputs, w, workers] { worker(outputs[w], workers); });
+    }
+    for (std::thread& t : pool) t.join();
+    if (error_) std::rethrow_exception(error_);
+
+    ReachabilityGraph rg = assemble(outputs);
+    progress.update(rg.state_count(), 0);
+    if (obs::enabled()) {
+      g_graph_bytes.set(rg.estimated_graph_bytes());
+      g_index_bytes.set(rg.estimated_index_bytes());
+    }
+    return rg;
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    MarkingStore store;
+    MarkingInterner index;
+  };
+
+  struct WorkItem {
+    TmpId id = 0;
+    std::vector<TransitionId> enabled;
+  };
+
+  struct TmpEdge {
+    TmpId from;
+    TransitionId transition;
+    TmpId to;
+  };
+
+  /// Edges recorded by one worker; merged single-threaded after the join.
+  struct WorkerOutput {
+    std::vector<TmpEdge> edges;
+  };
+
+  void seed_initial() {
+    const Marking& m0 = net_.initial_marking();
+    if (options_.max_states == 0) {
+      throw LimitError("reachability exploration exceeded 0 states",
+                       LimitContext{0, 0, 0});
+    }
+    const std::uint64_t hash = row_hash(m0.tokens().data(), places_);
+    const std::size_t shard = static_cast<std::size_t>(hash >> kShardShift);
+    auto r = shards_[shard].index.intern_hashed(hash, m0.tokens().data(),
+                                                shards_[shard].store);
+    c_hash_lookups.add();
+    c_states.add();
+    state_count_.store(1, std::memory_order_relaxed);
+    WorkItem item;
+    item.id = make_tmp(shard, r.id);
+    item.enabled = net_.enabled_transitions(m0);
+    initial_tmp_ = item.id;
+    queue_.push_back(std::move(item));
+    pending_ = 1;
+  }
+
+  void worker(WorkerOutput& out, std::size_t workers) {
+    std::vector<Token> current;
+    std::vector<Token> scratch;
+    std::vector<TransitionId> candidates;
+    std::vector<WorkItem> batch;
+    std::vector<WorkItem> fresh;
+    for (;;) {
+      batch.clear();
+      {
+        std::unique_lock<std::mutex> lk(queue_mu_);
+        if (queue_.empty() && pending_ > 0 && !stop_) {
+          c_par_idle_waits.add();
+        }
+        queue_cv_.wait(lk, [this] {
+          return stop_ || !queue_.empty() || pending_ == 0;
+        });
+        if (stop_ || queue_.empty()) return;  // done or aborting
+        // Grab a fair share of the frontier in one lock acquisition —
+        // popping state-by-state would make the queue mutex the hot spot.
+        std::size_t take =
+            std::min<std::size_t>(kMaxBatch, queue_.size() / workers + 1);
+        while (take-- > 0 && !queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+      fresh.clear();
+      bool ok = true;
+      for (const WorkItem& item : batch) {
+        try {
+          expand(item, out, current, scratch, candidates, fresh);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(queue_mu_);
+          if (!error_) error_ = std::current_exception();
+          stop_ = true;
+          ok = false;
+          break;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lk(queue_mu_);
+        pending_ -= batch.size();
+        if (ok) {
+          pending_ += fresh.size();
+          for (WorkItem& wi : fresh) queue_.push_back(std::move(wi));
+          c_par_handoffs.add(fresh.size());
+          g_frontier_peak.set_max(queue_.size());
+        }
+        if (!ok || pending_ == 0 || stop_ || fresh.size() > 1) {
+          queue_cv_.notify_all();
+        } else if (!fresh.empty()) {
+          queue_cv_.notify_one();
+        }
+      }
+      if (!ok) return;
+    }
+  }
+
+  void expand(const WorkItem& item, WorkerOutput& out,
+              std::vector<Token>& current, std::vector<Token>& scratch,
+              std::vector<TransitionId>& candidates,
+              std::vector<WorkItem>& fresh) {
+    options_.cancel.check("reach.explore");
+    {
+      // Copy the row out under the shard lock: another worker interning
+      // into this shard may grow the arena under us.
+      Shard& shard = shards_[tmp_shard(item.id)];
+      std::lock_guard<std::mutex> lk(shard.mu);
+      const Token* row = shard.store.row(tmp_local(item.id));
+      current.assign(row, row + places_);
+    }
+    h_enabled.record(item.enabled.size());
+    const MarkingView cur(current.data(), places_);
+    for (TransitionId t : item.enabled) {
+      net_.fire_into(cur, t, scratch);
+      const std::uint64_t hash = row_hash(scratch.data(), places_);
+      const std::size_t shard_idx =
+          static_cast<std::size_t>(hash >> kShardShift);
+      MarkingInterner::Result r;
+      {
+        Shard& shard = shards_[shard_idx];
+        std::lock_guard<std::mutex> lk(shard.mu);
+        r = shard.index.intern_hashed(hash, scratch.data(), shard.store);
+      }
+      c_hash_lookups.add();
+      const TmpId target = make_tmp(shard_idx, r.id);
+      out.edges.push_back(TmpEdge{item.id, t, target});
+      c_edges.add();
+      if (r.fresh) {
+        const std::uint64_t n =
+            state_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+        c_states.add();
+        if (n > options_.max_states) {
+          throw LimitError(
+              "reachability exploration exceeded " +
+                  std::to_string(options_.max_states) + " states",
+              LimitContext{options_.max_states, 0, options_.max_states});
+        }
+        WorkItem wi;
+        wi.id = target;
+        reach_detail::delta_enabled(net_, item.enabled, t,
+                                    MarkingView(scratch.data(), places_),
+                                    wi.enabled, candidates);
+        fresh.push_back(std::move(wi));
+      }
+    }
+  }
+
+  /// Single-threaded: merge worker edge logs, renumber states into
+  /// canonical (sequential-BFS) order, and build the final graph.
+  ReachabilityGraph assemble(std::vector<WorkerOutput>& outputs) {
+    // Per-tmp-state adjacency in CSR form: shard-local state `i` owns the
+    // flat slice `[offsets[i], offsets[i+1])`. Each state was expanded by
+    // exactly one worker, so its edges sit contiguously in that worker's
+    // log in ascending-transition order (enabled sets are ascending), and
+    // a counting pass + fill pass reproduces per-state order with no
+    // per-state vectors and no sort.
+    struct LocalEdge {
+      TransitionId transition;
+      TmpId to;
+    };
+    std::array<std::vector<std::uint32_t>, kShardCount> offsets;
+    std::array<std::vector<LocalEdge>, kShardCount> adj;
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      offsets[s].assign(shards_[s].store.size() + 1, 0);
+    }
+    for (const WorkerOutput& out : outputs) {
+      for (const TmpEdge& e : out.edges) {
+        ++offsets[tmp_shard(e.from)][tmp_local(e.from) + 1];
+      }
+    }
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      for (std::size_t i = 1; i < offsets[s].size(); ++i) {
+        offsets[s][i] += offsets[s][i - 1];
+      }
+      adj[s].resize(offsets[s].back());
+    }
+    std::array<std::vector<std::uint32_t>, kShardCount> cursor = offsets;
+    for (WorkerOutput& out : outputs) {
+      for (const TmpEdge& e : out.edges) {
+        const std::size_t s = tmp_shard(e.from);
+        adj[s][cursor[s][tmp_local(e.from)]++] =
+            LocalEdge{e.transition, e.to};
+      }
+      out.edges.clear();
+      out.edges.shrink_to_fit();
+    }
+
+    ReachabilityGraph rg;
+    rg.store_.reset(places_);
+    const std::size_t total =
+        static_cast<std::size_t>(state_count_.load(std::memory_order_relaxed));
+    rg.store_.reserve(total);
+    rg.edges_.reserve(total);
+
+    constexpr std::uint32_t kUnassigned = 0xffffffffu;
+    std::array<std::vector<std::uint32_t>, kShardCount> canon;
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      canon[s].assign(shards_[s].store.size(), kUnassigned);
+    }
+    auto assign = [&](TmpId id) -> std::uint32_t {
+      std::uint32_t& slot = canon[tmp_shard(id)][tmp_local(id)];
+      if (slot == kUnassigned) {
+        slot = static_cast<std::uint32_t>(rg.store_.push_back(
+            shards_[tmp_shard(id)].store.row(tmp_local(id))));
+        rg.edges_.emplace_back();
+        c_par_renumbered.add();
+      }
+      return slot;
+    };
+
+    std::deque<TmpId> order{initial_tmp_};
+    assign(initial_tmp_);
+    while (!order.empty()) {
+      const TmpId u = order.front();
+      order.pop_front();
+      const std::size_t us = tmp_shard(u);
+      const std::uint32_t ul = tmp_local(u);
+      const std::uint32_t cu = canon[us][ul];
+      rg.edges_[cu].reserve(offsets[us][ul + 1] - offsets[us][ul]);
+      for (std::uint32_t i = offsets[us][ul]; i < offsets[us][ul + 1]; ++i) {
+        const LocalEdge& e = adj[us][i];
+        const bool seen =
+            canon[tmp_shard(e.to)][tmp_local(e.to)] != kUnassigned;
+        const std::uint32_t cv = assign(e.to);
+        rg.edges_[cu].push_back(
+            ReachabilityGraph::Edge{e.transition, StateId(cv)});
+        if (!seen) order.push_back(e.to);
+      }
+    }
+    rg.index_.rebuild(rg.store_);
+    return rg;
+  }
+
+  const PetriNet& net_;
+  const ReachOptions& options_;
+  const std::size_t places_;
+
+  std::array<Shard, kShardCount> shards_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  std::size_t pending_ = 0;  // discovered but not yet fully expanded
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::atomic<std::uint64_t> state_count_{0};
+  TmpId initial_tmp_ = 0;
+};
+
+namespace reach_detail {
+
+ReachabilityGraph explore_parallel(const PetriNet& net,
+                                   const ReachOptions& options) {
+  return ParallelExplorer(net, options).run();
+}
+
+}  // namespace reach_detail
+
+}  // namespace cipnet

@@ -1,0 +1,146 @@
+#pragma once
+
+// Cache-friendly storage for explicit state-space construction. Explicit
+// explorers (reach::explore, the Karp-Miller tree, the STG state-graph
+// builder) intern millions of small fixed-width token vectors; giving each
+// its own heap-allocated `Marking` plus an `std::unordered_map` node costs
+// two pointer chases and ~48 bytes of overhead per state. Instead:
+//
+//  * `MarkingStore` — one flat `std::vector<Token>` arena. Row `i` lives at
+//    `[i*width, (i+1)*width)`, so a linear pass over all states is a linear
+//    pass over memory (the subsumption scan in coverability, the renumbering
+//    pass of the parallel explorer).
+//  * `MarkingInterner` — an open-addressing linear-probe table of
+//    `{hash, id}` slots over a store. One probe answers both "have we seen
+//    this marking?" and "what is its id?", and inserts on a miss — the
+//    classic `contains()`-then-`emplace()` double lookup becomes a single
+//    `intern()` returning `{id, fresh}`.
+//
+// Both are width-generic: reach uses rows of `place_count` tokens, the STG
+// builder uses combined rows of `place_count + signal_count` (marking ++
+// encoding). Neither is thread-safe; the parallel explorer shards them and
+// guards each shard with its own mutex.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "petri/marking.h"
+
+namespace cipnet {
+
+/// Stable, schedule-independent 64-bit hash of one row. All interner shards
+/// of the parallel explorer must agree on it (the shard of a marking is a
+/// function of this hash), so it is a fixed algorithm, not `std::hash`.
+[[nodiscard]] std::uint64_t row_hash(const Token* row, std::size_t width);
+
+/// A flat arena of fixed-width token rows.
+class MarkingStore {
+ public:
+  MarkingStore() = default;
+  explicit MarkingStore(std::size_t width) : width_(width) {}
+
+  /// Drops all rows and switches to a new row width.
+  void reset(std::size_t width) {
+    width_ = width;
+    count_ = 0;
+    arena_.clear();
+  }
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Pointer to row `i`; invalidated by `push_back` growth (copy the row
+  /// out before interleaving reads with inserts).
+  [[nodiscard]] const Token* row(std::size_t i) const {
+    return arena_.data() + i * width_;
+  }
+
+  [[nodiscard]] MarkingView view(std::size_t i) const {
+    return MarkingView(row(i), width_);
+  }
+
+  /// Appends a copy of `row` (width tokens); returns its index.
+  std::size_t push_back(const Token* row) {
+    arena_.insert(arena_.end(), row, row + width_);
+    return count_++;
+  }
+
+  void reserve(std::size_t rows) { arena_.reserve(rows * width_); }
+
+  /// Bytes held by the arena (capacity, not size — this is what the
+  /// `reach.graph_bytes` estimate charges for markings).
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return arena_.capacity() * sizeof(Token);
+  }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t count_ = 0;
+  std::vector<Token> arena_;
+};
+
+/// Open-addressing linear-probe interner over a `MarkingStore`: slots hold
+/// `{hash, id}` where `id` indexes the store. Growth rehashes from the
+/// stored hashes without touching the rows. Ids are dense and assigned in
+/// interning order.
+class MarkingInterner {
+ public:
+  /// Sentinel id returned by `intern` when the marking is fresh but the
+  /// caller's state budget is exhausted (nothing was inserted).
+  static constexpr std::uint32_t kNoId = 0xffffffffu;
+
+  struct Result {
+    std::uint32_t id = kNoId;
+    bool fresh = false;
+  };
+
+  /// Single-probe intern: returns `{id, false}` for a known row. For a
+  /// fresh row, appends it to `store` and returns `{new_id, true}` — unless
+  /// the store already holds `limit` rows, in which case `{kNoId, true}`
+  /// comes back and nothing is modified (the caller turns this into its
+  /// own LimitError).
+  Result intern(const Token* row, MarkingStore& store,
+                std::size_t limit = kNoId) {
+    return intern_hashed(row_hash(row, store.width()), row, store, limit);
+  }
+
+  /// Same, with the hash precomputed (the parallel explorer hashes once to
+  /// pick the shard and reuses the value here).
+  Result intern_hashed(std::uint64_t hash, const Token* row,
+                       MarkingStore& store, std::size_t limit = kNoId);
+
+  /// Probe without inserting.
+  [[nodiscard]] std::optional<std::uint32_t> find(
+      const Token* row, const MarkingStore& store) const;
+
+  /// Re-index every row already in `store` (table is cleared first). The
+  /// parallel explorer uses this after its renumbering pass so the final
+  /// graph supports `contains()` queries.
+  void rebuild(const MarkingStore& store);
+
+  /// Pre-size the table for `expected` entries (rounds up to a power of
+  /// two honoring the load factor) to avoid rehash storms mid-explore.
+  void reserve(std::size_t expected);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Bytes held by the slot table — the `reach.index_bytes` estimate.
+  [[nodiscard]] std::size_t table_bytes() const {
+    return slots_.capacity() * sizeof(Slot);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t id = kNoId;  // kNoId = empty slot
+  };
+
+  void grow(std::size_t min_slots);
+
+  std::vector<Slot> slots_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cipnet

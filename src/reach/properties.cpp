@@ -72,7 +72,7 @@ bool is_safe(const ReachabilityGraph& rg) {
 Token max_tokens_in_any_place(const ReachabilityGraph& rg) {
   Token best = 0;
   for (StateId s : rg.all_states()) {
-    for (Token t : rg.marking(s).tokens()) best = std::max(best, t);
+    for (Token t : rg.marking(s)) best = std::max(best, t);
   }
   return best;
 }

@@ -1,11 +1,13 @@
 #include "reach/reachability.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/sorted_set.h"
 
 namespace cipnet {
 
@@ -13,16 +15,12 @@ namespace {
 const obs::Counter c_states("reach.states");
 const obs::Counter c_edges("reach.edges");
 const obs::Counter c_hash_lookups("reach.hash_lookups");
+const obs::Counter c_delta_updates("reach.delta_enabled");
 const obs::Gauge g_frontier_peak("reach.frontier_peak");
 const obs::Gauge g_graph_bytes("reach.graph_bytes");
 const obs::Gauge g_index_bytes("reach.index_bytes");
 const obs::Histogram h_frontier("reach.frontier_size");
 const obs::Histogram h_enabled("reach.enabled_per_state");
-
-/// Rough per-node overhead of an unordered_map: bucket pointer plus node
-/// header (next pointer + cached hash).
-constexpr std::size_t kHashNodeOverhead = 3 * sizeof(void*);
-
 }  // namespace
 
 std::size_t ReachabilityGraph::edge_count() const {
@@ -32,92 +30,149 @@ std::size_t ReachabilityGraph::edge_count() const {
 }
 
 std::size_t ReachabilityGraph::estimated_graph_bytes() const {
-  const std::size_t places = markings_.empty() ? 0 : markings_[0].size();
-  return markings_.size() *
-             (sizeof(Marking) + places * sizeof(Token) +
-              sizeof(std::vector<Edge>)) +
+  return store_.arena_bytes() +
+         edges_.size() * sizeof(std::vector<Edge>) +
          edge_count() * sizeof(Edge);
 }
 
 std::size_t ReachabilityGraph::estimated_index_bytes() const {
-  const std::size_t places = markings_.empty() ? 0 : markings_[0].size();
-  return index_.size() * (sizeof(Marking) + places * sizeof(Token) +
-                          sizeof(StateId) + kHashNodeOverhead) +
-         index_.bucket_count() * sizeof(void*);
+  return index_.table_bytes();
 }
 
 std::vector<StateId> ReachabilityGraph::all_states() const {
   std::vector<StateId> out;
-  out.reserve(markings_.size());
-  for (std::size_t i = 0; i < markings_.size(); ++i) {
+  out.reserve(store_.size());
+  for (std::size_t i = 0; i < store_.size(); ++i) {
     out.push_back(StateId(static_cast<std::uint32_t>(i)));
   }
   return out;
 }
 
+namespace reach_detail {
+
+void delta_enabled(const PetriNet& net,
+                   const std::vector<TransitionId>& parent_enabled,
+                   TransitionId fired, MarkingView next,
+                   std::vector<TransitionId>& out,
+                   std::vector<TransitionId>& candidates) {
+  c_delta_updates.add();
+  out.clear();
+  candidates.clear();
+  // Only consumers of places that gained a token can newly become enabled;
+  // everything else enabled in `next` was already enabled in the parent.
+  const auto& tr = net.transition(fired);
+  for (PlaceId p : tr.postset) {
+    if (sorted_set::contains(tr.preset, p)) continue;  // self-loop: no change
+    const auto& consumers = net.consumers_of(p);
+    candidates.insert(candidates.end(), consumers.begin(), consumers.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  // Ascending merge of (parent set) ∪ (candidates), rechecking enabledness
+  // against `next` — presets are tiny, so this is O(small) per successor
+  // where the full rescan is O(|T|).
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < parent_enabled.size() || j < candidates.size()) {
+    TransitionId t;
+    if (j >= candidates.size() ||
+        (i < parent_enabled.size() && parent_enabled[i] <= candidates[j])) {
+      t = parent_enabled[i];
+      if (j < candidates.size() && candidates[j] == t) ++j;
+      ++i;
+    } else {
+      t = candidates[j];
+      ++j;
+    }
+    if (net.is_enabled(next, t)) out.push_back(t);
+  }
+}
+
+}  // namespace reach_detail
+
 ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
+  if (options.threads > 1) return reach_detail::explore_parallel(net, options);
   obs::Span span("reach.explore");
   obs::ProgressReporter progress("reach.explore");
   ReachabilityGraph rg;
-  std::size_t edges_added = 0;
   const std::size_t places = net.place_count();
+  rg.store_.reset(places);
+  const std::size_t hint =
+      std::min(options.max_states, reach_detail::kReserveCap);
+  rg.store_.reserve(hint);
+  rg.index_.reserve(hint);
+  rg.edges_.reserve(hint);
+
+  std::size_t edges_added = 0;
   // O(1) live estimate of the graph + marking-index footprint, refreshed
   // from the running counts (edge_count() would rescan every state).
   auto sample_memory = [&] {
     if (!obs::enabled()) return;
-    const std::size_t marking_bytes = sizeof(Marking) + places * sizeof(Token);
-    g_graph_bytes.set(rg.markings_.size() *
-                          (marking_bytes + sizeof(std::vector<
-                                               ReachabilityGraph::Edge>)) +
+    g_graph_bytes.set(rg.store_.arena_bytes() +
+                      rg.edges_.size() * sizeof(std::vector<
+                                            ReachabilityGraph::Edge>) +
                       edges_added * sizeof(ReachabilityGraph::Edge));
-    g_index_bytes.set(rg.index_.size() * (marking_bytes + sizeof(StateId) +
-                                          kHashNodeOverhead) +
-                      rg.index_.bucket_count() * sizeof(void*));
+    g_index_bytes.set(rg.index_.table_bytes());
   };
-  auto intern = [&](const Marking& m) -> StateId {
-    c_hash_lookups.add();
-    auto it = rg.index_.find(m);
-    if (it != rg.index_.end()) return it->second;
-    if (rg.markings_.size() >= options.max_states) {
-      sample_memory();
-      throw LimitError(
-          "reachability exploration exceeded " +
-              std::to_string(options.max_states) + " states",
-          LimitContext{rg.markings_.size(), edges_added, options.max_states});
-    }
-    StateId id(static_cast<std::uint32_t>(rg.markings_.size()));
-    rg.index_.emplace(m, id);
-    rg.markings_.push_back(m);
-    rg.edges_.emplace_back();
-    c_states.add();
-    return id;
+  auto limit_error = [&] {
+    sample_memory();
+    return LimitError(
+        "reachability exploration exceeded " +
+            std::to_string(options.max_states) + " states",
+        LimitContext{rg.store_.size(), edges_added, options.max_states});
   };
 
-  intern(net.initial_marking());
+  // Enabled sets of discovered-but-unexpanded states, maintained
+  // incrementally from the parent's set (moved out on expansion).
+  std::vector<std::vector<TransitionId>> pending_enabled;
+  pending_enabled.reserve(hint);
+
+  {
+    const Marking& m0 = net.initial_marking();
+    c_hash_lookups.add();
+    auto r0 = rg.index_.intern(m0.tokens().data(), rg.store_,
+                               options.max_states);
+    if (r0.id == MarkingInterner::kNoId) throw limit_error();
+    rg.edges_.emplace_back();
+    pending_enabled.push_back(net.enabled_transitions(m0));
+    c_states.add();
+  }
+
   std::deque<StateId> frontier{rg.initial()};
+  std::vector<Token> scratch;
+  std::vector<TransitionId> candidates;
   while (!frontier.empty()) {
     g_frontier_peak.set_max(frontier.size());
     h_frontier.record(frontier.size());
     StateId s = frontier.front();
     frontier.pop_front();
-    progress.update(rg.markings_.size(), frontier.size());
+    progress.update(rg.store_.size(), frontier.size());
     options.cancel.check("reach.explore");
-    // Copy: interning may reallocate markings_.
-    const Marking current = rg.markings_[s.index()];
     const std::vector<TransitionId> enabled =
-        net.enabled_transitions(current);
+        std::move(pending_enabled[s.index()]);
     h_enabled.record(enabled.size());
     for (TransitionId t : enabled) {
-      Marking next = net.fire(current, t);
+      // Re-view per edge: interning a fresh successor may grow the arena.
+      net.fire_into(rg.store_.view(s.index()), t, scratch);
       c_hash_lookups.add();
-      const bool fresh = !rg.index_.contains(next);
-      StateId target = intern(next);
+      auto r = rg.index_.intern(scratch.data(), rg.store_, options.max_states);
+      if (r.id == MarkingInterner::kNoId) throw limit_error();
+      StateId target(r.id);
       rg.edges_[s.index()].push_back(ReachabilityGraph::Edge{t, target});
       ++edges_added;
       c_edges.add();
-      if (fresh) frontier.push_back(target);
+      if (r.fresh) {
+        rg.edges_.emplace_back();
+        pending_enabled.emplace_back();
+        reach_detail::delta_enabled(net, enabled, t,
+                                    rg.store_.view(r.id),
+                                    pending_enabled.back(), candidates);
+        c_states.add();
+        frontier.push_back(target);
+      }
     }
-    if ((rg.markings_.size() & 0x3ff) == 0) sample_memory();
+    if ((rg.store_.size() & 0x3ff) == 0) sample_memory();
   }
   sample_memory();
   return rg;

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "petri/net.h"
+#include "reach/marking_store.h"
 #include "util/cancel.h"
 
 namespace cipnet {
@@ -13,6 +13,12 @@ namespace cipnet {
 /// spaces, so every exploration is bounded and overflow raises `LimitError`.
 struct ReachOptions {
   std::size_t max_states = 1u << 20;
+  /// Worker threads for the explorer. 1 (the default) is the sequential
+  /// BFS; >1 runs the sharded parallel explorer, whose result is
+  /// bit-identical to the sequential graph (states are renumbered into
+  /// canonical BFS order after exploration, so state ids are reproducible
+  /// regardless of schedule).
+  std::size_t threads = 1;
   /// Polled once per expanded state; a tripped token raises `Cancelled`.
   CancelToken cancel;
 };
@@ -20,6 +26,11 @@ struct ReachOptions {
 /// The reachability graph RG(N) (Section 2.1): nodes are reachable markings,
 /// edges are transition firings labeled by the fired transition (and hence by
 /// its action). State 0 is the initial marking.
+///
+/// Markings live contiguously in a `MarkingStore` arena (state `i` is the
+/// token slice `[i*places, (i+1)*places)`) and are deduplicated by an
+/// open-addressing `MarkingInterner` — `marking()` hands out non-owning
+/// views into the arena, valid for the graph's lifetime.
 class ReachabilityGraph {
  public:
   struct Edge {
@@ -27,17 +38,17 @@ class ReachabilityGraph {
     StateId to;
   };
 
-  [[nodiscard]] std::size_t state_count() const { return markings_.size(); }
+  [[nodiscard]] std::size_t state_count() const { return store_.size(); }
   [[nodiscard]] std::size_t edge_count() const;
 
-  /// Rough heap footprint of the graph (markings + adjacency) and of the
-  /// marking-interning hash index — the numbers behind the
+  /// Rough heap footprint of the graph (marking arena + adjacency) and of
+  /// the interner's slot table — the numbers behind the
   /// `reach.graph_bytes` / `reach.index_bytes` gauges.
   [[nodiscard]] std::size_t estimated_graph_bytes() const;
   [[nodiscard]] std::size_t estimated_index_bytes() const;
 
-  [[nodiscard]] const Marking& marking(StateId s) const {
-    return markings_[s.index()];
+  [[nodiscard]] MarkingView marking(StateId s) const {
+    return store_.view(s.index());
   }
   [[nodiscard]] const std::vector<Edge>& successors(StateId s) const {
     return edges_[s.index()];
@@ -45,7 +56,8 @@ class ReachabilityGraph {
   [[nodiscard]] StateId initial() const { return StateId(0); }
 
   [[nodiscard]] bool contains(const Marking& m) const {
-    return index_.contains(m);
+    return m.size() == store_.width() &&
+           index_.find(m.tokens().data(), store_).has_value();
   }
 
   /// All states, ascending.
@@ -54,15 +66,44 @@ class ReachabilityGraph {
  private:
   friend ReachabilityGraph explore(const PetriNet& net,
                                    const ReachOptions& options);
+  friend class ParallelExplorer;
 
-  std::vector<Marking> markings_;
+  MarkingStore store_;
+  MarkingInterner index_;
   std::vector<std::vector<Edge>> edges_;
-  std::unordered_map<Marking, StateId, MarkingHash> index_;
 };
 
 /// Breadth-first construction of RG(N). Throws `LimitError` if more than
-/// `options.max_states` markings are reachable.
+/// `options.max_states` markings are reachable. With `options.threads > 1`
+/// the construction is parallel but the returned graph is identical to the
+/// sequential one.
 [[nodiscard]] ReachabilityGraph explore(const PetriNet& net,
                                         const ReachOptions& options = {});
+
+namespace reach_detail {
+
+/// Incremental enabled-set maintenance: given the enabled set of a parent
+/// marking and the transition fired to reach `next`, produce `next`'s
+/// enabled set (ascending) by rechecking only the parent's set plus the
+/// consumers of places that gained a token — instead of rescanning all |T|
+/// transitions per state. `candidates` is caller-provided scratch.
+void delta_enabled(const PetriNet& net,
+                   const std::vector<TransitionId>& parent_enabled,
+                   TransitionId fired, MarkingView next,
+                   std::vector<TransitionId>& out,
+                   std::vector<TransitionId>& candidates);
+
+/// Entry point of the multi-threaded explorer (explore_parallel.cpp);
+/// `explore` dispatches here when `options.threads > 1`.
+[[nodiscard]] ReachabilityGraph explore_parallel(const PetriNet& net,
+                                                 const ReachOptions& options);
+
+/// Cap on the rows/slots pre-reserved from the `max_states` hint. Arena and
+/// table growth are amortized-linear doublings, so reserving buys only the
+/// first few rehashes — a small cap keeps tiny explorations (the common
+/// case) from committing MBs against a default 1M-state budget.
+inline constexpr std::size_t kReserveCap = std::size_t{1} << 10;
+
+}  // namespace reach_detail
 
 }  // namespace cipnet

@@ -6,8 +6,8 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "reach/marking_store.h"
 #include "util/error.h"
-#include "util/hash.h"
 
 namespace cipnet {
 
@@ -51,32 +51,12 @@ std::string StateGraph::encoding_string(StateId s) const {
   return out;
 }
 
-namespace {
-
-struct StateKeyHash {
-  std::size_t operator()(
-      const std::pair<std::vector<Token>, std::vector<std::uint8_t>>& key)
-      const {
-    std::size_t seed = hash_range(key.first);
-    hash_combine(seed, hash_range(key.second));
-    return seed;
-  }
-};
-
-std::vector<std::uint8_t> raw(const Encoding& e) {
-  std::vector<std::uint8_t> out(e.size());
-  for (std::size_t i = 0; i < e.size(); ++i) {
-    out[i] = static_cast<std::uint8_t>(e[i]);
-  }
-  return out;
-}
-
-}  // namespace
-
 class StateGraphBuilder {
  public:
   StateGraphBuilder(const Stg& stg, const StateGraphOptions& options)
-      : stg_(stg), options_(options) {
+      : stg_(stg),
+        options_(options),
+        key_store_(stg.net().place_count() + stg.signal_names().size()) {
     sg_.signals_ = stg.signal_names();
     for (TransitionId t : stg.net().all_transitions()) {
       sg_.transition_edges_.push_back(stg.edge_of(t));
@@ -99,23 +79,34 @@ class StateGraphBuilder {
   }
 
  private:
-  StateId intern(const Marking& m, const Encoding& e) {
-    auto key = std::make_pair(m.tokens(), raw(e));
-    auto it = index_.find(key);
-    if (it != index_.end()) return it->second;
-    if (sg_.markings_.size() >= options_.max_states) {
+  /// Dedup key: one flat row of `place_count + signal_count` tokens
+  /// (marking ++ encoding levels), interned through the same arena +
+  /// open-addressing interner the reachability explorer uses — a single
+  /// probe instead of hashing a pair of heap vectors per successor.
+  struct InternResult {
+    StateId id;
+    bool fresh;
+  };
+
+  InternResult intern(const Marking& m, const Encoding& e) {
+    key_scratch_.assign(m.tokens().begin(), m.tokens().end());
+    for (Level level : e) {
+      key_scratch_.push_back(static_cast<Token>(level));
+    }
+    auto r = index_.intern(key_scratch_.data(), key_store_,
+                           options_.max_states);
+    if (r.id == MarkingInterner::kNoId) {
       throw LimitError("state graph exceeded max_states",
                        LimitContext{sg_.markings_.size(), edges_added_,
                                     options_.max_states});
     }
-    StateId id(static_cast<std::uint32_t>(sg_.markings_.size()));
-    index_.emplace(std::move(key), id);
-    sg_.markings_.push_back(m);
-    sg_.encodings_.push_back(e);
-    sg_.edges_.emplace_back();
-    fresh_.push_back(true);
-    c_sg_states.add();
-    return id;
+    if (r.fresh) {
+      sg_.markings_.push_back(m);
+      sg_.encodings_.push_back(e);
+      sg_.edges_.emplace_back();
+      c_sg_states.add();
+    }
+    return InternResult{StateId(r.id), r.fresh};
   }
 
   bool guard_holds(const Guard& guard, const Encoding& e) const {
@@ -198,14 +189,11 @@ class StateGraphBuilder {
 
   void emit(StateId from, TransitionId t, const Marking& m, const Encoding& e,
             std::deque<StateId>& frontier) {
-    StateId to = intern(m, e);
-    sg_.edges_[from.index()].push_back(StateGraph::Edge{t, to});
+    InternResult r = intern(m, e);
+    sg_.edges_[from.index()].push_back(StateGraph::Edge{t, r.id});
     ++edges_added_;
     c_sg_edges.add();
-    if (fresh_[to.index()]) {
-      fresh_[to.index()] = false;
-      frontier.push_back(to);
-    }
+    if (r.fresh) frontier.push_back(r.id);
   }
 
   void violate(StateId s, TransitionId t, std::string reason) {
@@ -217,10 +205,9 @@ class StateGraphBuilder {
   StateGraphOptions options_;
   StateGraph sg_;
   std::uint64_t edges_added_ = 0;
-  std::vector<bool> fresh_;
-  std::unordered_map<std::pair<std::vector<Token>, std::vector<std::uint8_t>>,
-                     StateId, StateKeyHash>
-      index_;
+  MarkingStore key_store_;
+  MarkingInterner index_;
+  std::vector<Token> key_scratch_;
 };
 
 StateGraph build_state_graph(

@@ -26,7 +26,7 @@ TEST(Arbiter, MutualExclusionInvariant) {
   PlaceId g1 = *arb.net().find_place("arb_granted1");
   PlaceId g2 = *arb.net().find_place("arb_granted2");
   for (StateId s : rg.all_states()) {
-    const Marking& m = rg.marking(s);
+    const MarkingView m = rg.marking(s);
     EXPECT_FALSE(m[g1] > 0 && m[g2] > 0)
         << "both grants held in " << m.to_string();
   }

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algebra/parallel.h"
+#include "helpers.h"
+#include "reach/reachability.h"
+#include "sim/random_net.h"
+#include "util/cancel.h"
+#include "util/error.h"
+
+namespace cipnet {
+namespace {
+
+using testutil::chain_net;
+
+/// N independent 2-state cycles: 2^N states, 2N places — the bench's
+/// scalability family, and a worst case for frontier contention (every
+/// state has N successors).
+PetriNet independent_cycles(std::size_t n) {
+  PetriNet net = chain_net({"m0_a", "m0_b"}, /*cyclic=*/true, "m0_");
+  for (std::size_t i = 1; i < n; ++i) {
+    std::string p = "m" + std::to_string(i) + "_";
+    net = parallel_net(net, chain_net({p + "a", p + "b"}, true, p));
+  }
+  return net;
+}
+
+/// A synchronized pipeline: stages share labels, so the composed state
+/// space is narrow and deep (long BFS levels, little parallel slack).
+PetriNet synced_pipeline(std::size_t stages) {
+  PetriNet net = chain_net({"h0", "s0"}, /*cyclic=*/true, "q0_");
+  for (std::size_t i = 1; i < stages; ++i) {
+    std::string prev = "s" + std::to_string(i - 1);
+    std::string next = "s" + std::to_string(i);
+    net = parallel_net(net, chain_net({prev, next},
+                                      /*cyclic=*/true,
+                                      "q" + std::to_string(i) + "_"));
+  }
+  return net;
+}
+
+/// Exact (bit-identical) graph equality: same state count, same marking at
+/// every state id, same edge list (order included) at every state.
+::testing::AssertionResult graphs_identical(const ReachabilityGraph& a,
+                                            const ReachabilityGraph& b) {
+  if (a.state_count() != b.state_count()) {
+    return ::testing::AssertionFailure()
+           << "state counts differ: " << a.state_count() << " vs "
+           << b.state_count();
+  }
+  for (StateId s : a.all_states()) {
+    if (!(a.marking(s) == b.marking(s))) {
+      return ::testing::AssertionFailure()
+             << "markings differ at state " << s.value() << ": "
+             << a.marking(s).to_string() << " vs " << b.marking(s).to_string();
+    }
+    const auto& ea = a.successors(s);
+    const auto& eb = b.successors(s);
+    if (ea.size() != eb.size()) {
+      return ::testing::AssertionFailure()
+             << "edge counts differ at state " << s.value() << ": "
+             << ea.size() << " vs " << eb.size();
+    }
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].transition != eb[i].transition || ea[i].to != eb[i].to) {
+        return ::testing::AssertionFailure()
+               << "edge " << i << " differs at state " << s.value();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(ReachParallel, BitIdenticalToSequentialOnIndependentCycles) {
+  PetriNet net = independent_cycles(8);  // 256 states, 2048 edges
+  auto seq = explore(net);
+  for (std::size_t threads : {2u, 3u, 8u}) {
+    ReachOptions options;
+    options.threads = threads;
+    auto par = explore(net, options);
+    EXPECT_TRUE(graphs_identical(seq, par)) << "threads=" << threads;
+  }
+}
+
+TEST(ReachParallel, BitIdenticalToSequentialOnSyncedPipeline) {
+  PetriNet net = synced_pipeline(6);
+  auto seq = explore(net);
+  for (std::size_t threads : {2u, 8u}) {
+    ReachOptions options;
+    options.threads = threads;
+    auto par = explore(net, options);
+    EXPECT_TRUE(graphs_identical(seq, par)) << "threads=" << threads;
+  }
+}
+
+TEST(ReachParallel, RepeatedRunsAreDeterministic) {
+  // The renumbering pass makes ids schedule-independent; hammer the same
+  // exploration to catch racy nondeterminism.
+  PetriNet net = independent_cycles(7);
+  ReachOptions options;
+  options.threads = 8;
+  auto first = explore(net, options);
+  for (int run = 0; run < 5; ++run) {
+    auto again = explore(net, options);
+    ASSERT_TRUE(graphs_identical(first, again)) << "run " << run;
+  }
+}
+
+TEST(ReachParallel, SingleStateNet) {
+  PetriNet net;
+  net.add_place("p", 0);
+  ReachOptions options;
+  options.threads = 4;
+  auto rg = explore(net, options);
+  EXPECT_EQ(rg.state_count(), 1u);
+  EXPECT_EQ(rg.edge_count(), 0u);
+  EXPECT_TRUE(rg.contains(net.initial_marking()));
+}
+
+TEST(ReachParallel, RandomNetsMatchSequential) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomNetConfig config;
+    config.places = 7;
+    config.transitions = 7;
+    config.marked_places = 3;
+    config.seed = seed;
+    PetriNet net = random_net(config);
+    ReachOptions seq_options;
+    seq_options.max_states = 20'000;
+    ReachabilityGraph seq;
+    try {
+      seq = explore(net, seq_options);
+    } catch (const LimitError&) {
+      continue;  // unbounded / huge sample: both sides would overflow
+    }
+    ReachOptions par_options = seq_options;
+    par_options.threads = 4;
+    auto par = explore(net, par_options);
+    EXPECT_TRUE(graphs_identical(seq, par)) << "seed=" << seed;
+  }
+}
+
+TEST(ReachParallel, LimitErrorCarriesBudget) {
+  PetriNet net = independent_cycles(10);  // 1024 states
+  ReachOptions options;
+  options.threads = 4;
+  options.max_states = 100;
+  try {
+    (void)explore(net, options);
+    FAIL() << "expected LimitError";
+  } catch (const LimitError& e) {
+    ASSERT_TRUE(e.context().has_value());
+    EXPECT_EQ(e.context()->limit, 100u);
+  }
+}
+
+TEST(ReachParallel, ZeroStateBudgetRaisesImmediately) {
+  ReachOptions options;
+  options.threads = 2;
+  options.max_states = 0;
+  EXPECT_THROW((void)explore(independent_cycles(2), options), LimitError);
+}
+
+TEST(ReachParallel, CancelTokenStopsWorkers) {
+  PetriNet net = independent_cycles(12);
+  ReachOptions options;
+  options.threads = 4;
+  options.cancel = CancelToken::manual();
+  options.cancel.request_cancel();
+  EXPECT_THROW((void)explore(net, options), Cancelled);
+}
+
+TEST(ReachParallel, ContainsWorksAfterRenumbering) {
+  PetriNet net = independent_cycles(6);
+  ReachOptions options;
+  options.threads = 8;
+  auto rg = explore(net, options);
+  EXPECT_TRUE(rg.contains(net.initial_marking()));
+  // Every stored marking must resolve through the rebuilt index.
+  for (StateId s : rg.all_states()) {
+    EXPECT_TRUE(rg.contains(rg.marking(s).to_marking()));
+  }
+}
+
+}  // namespace
+}  // namespace cipnet
