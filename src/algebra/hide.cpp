@@ -10,12 +10,14 @@
 #include "obs/trace.h"
 #include "petri/rebuild.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/sorted_set.h"
 
 namespace cipnet {
 
 namespace {
 
+CIPNET_FAULT_SITE(f_cancel, "algebra.hide.cancel");
 const obs::Counter c_contractions("hide.contractions");
 const obs::Counter c_epsilon_fallbacks("hide.epsilon_fallbacks");
 
@@ -201,6 +203,9 @@ PetriNet hide_action(const PetriNet& net, const std::string& label,
   while (true) {
     progress.update(contractions, current.transition_count());
     options.cancel.check("algebra.hide");
+    if (CIPNET_FAULT_FIRES(f_cancel)) {
+      throw Cancelled("algebra.hide", options.cancel.elapsed_ms(), false);
+    }
     auto action = current.find_action(label);
     if (!action) break;
     // Copy: `current` is replaced inside the loop.

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "util/text.h"
+
 namespace cipnet {
 
 std::string channel_action_label(const ChannelAction& action) {
@@ -28,10 +30,11 @@ std::optional<ChannelAction> parse_channel_action(const std::string& label) {
   action.send = label[mark] == '!';
   std::string rest = label.substr(mark + 1);
   if (!rest.empty()) {
-    for (char c : rest) {
-      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
-    }
-    action.value = static_cast<std::size_t>(std::stoul(rest));
+    // parse_u64 also rejects values that overflow (std::stoul would throw
+    // std::out_of_range straight through the cipnet::Error hierarchy).
+    const auto value = text::parse_u64(rest);
+    if (!value) return std::nullopt;
+    action.value = static_cast<std::size_t>(*value);
   }
   return action;
 }

@@ -1,5 +1,6 @@
 #include "io/astg.h"
 
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -92,7 +93,7 @@ Stg read_astg(const std::string& text) {
   bool in_graph = false;
 
   auto fail = [&](const std::string& message) -> void {
-    throw ParseError("line " + std::to_string(line_no) + ": " + message);
+    throw ParseError(message, static_cast<std::size_t>(line_no));
   };
 
   std::istringstream in(text);
@@ -126,9 +127,12 @@ Stg read_astg(const std::string& text) {
         if (eq == std::string::npos) {
           marking.emplace_back(item, 1);
         } else {
+          const auto count = text::parse_u64(item.substr(eq + 1));
+          if (!count || *count > std::numeric_limits<Token>::max()) {
+            fail("bad token count in .marking entry: " + item);
+          }
           marking.emplace_back(item.substr(0, eq),
-                               static_cast<Token>(
-                                   std::stoul(item.substr(eq + 1))));
+                               static_cast<Token>(*count));
         }
       }
     } else if (keyword == ".end") {

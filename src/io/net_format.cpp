@@ -1,5 +1,6 @@
 #include "io/net_format.h"
 
+#include <limits>
 #include <sstream>
 
 #include "util/error.h"
@@ -49,11 +50,19 @@ PetriNet read_net(const std::string& text) {
   bool saw_end = false;
 
   auto fail = [&](const std::string& message) -> void {
-    throw ParseError("line " + std::to_string(line_no) + ": " + message);
+    throw ParseError(message, static_cast<std::size_t>(line_no));
+  };
+  // Like `fail`, but points at the offending token (1-based column in the
+  // raw source line, before comment stripping).
+  auto fail_at = [&](const std::string& message,
+                     const std::string& token) -> void {
+    const auto pos = raw.find(token);
+    throw ParseError(message, static_cast<std::size_t>(line_no),
+                     pos == std::string::npos ? 0 : pos + 1);
   };
   auto place_or_fail = [&](const std::string& name) {
     auto p = net.find_place(name);
-    if (!p) fail("unknown place: " + name);
+    if (!p) fail_at("unknown place: " + name, name);
     return *p;
   };
 
@@ -70,11 +79,13 @@ PetriNet read_net(const std::string& text) {
       if (tokens.size() < 2 || tokens.size() > 3) fail(".place name [tokens]");
       Token count = 0;
       if (tokens.size() == 3) {
-        try {
-          count = static_cast<Token>(std::stoul(tokens[2]));
-        } catch (const std::exception&) {
-          fail("bad token count: " + tokens[2]);
+        // parse_u64 rejects partial matches: `.place p 3x` is an error, not
+        // three tokens (std::stoul silently accepted it).
+        const auto parsed = text::parse_u64(tokens[2]);
+        if (!parsed || *parsed > std::numeric_limits<Token>::max()) {
+          fail_at("bad token count: " + tokens[2], tokens[2]);
         }
+        count = static_cast<Token>(*parsed);
       }
       if (net.find_place(tokens[1])) fail("duplicate place: " + tokens[1]);
       net.add_place(tokens[1], count);

@@ -8,12 +8,14 @@
 #include "obs/trace.h"
 #include "reach/marking_store.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/sorted_set.h"
 
 namespace cipnet {
 
 namespace {
 
+CIPNET_FAULT_SITE(f_cancel, "reach.cancel");
 const obs::Counter c_nodes("cover.nodes");
 const obs::Counter c_accelerations("cover.accelerations");
 const obs::Counter c_subsumed("cover.subsumed");
@@ -73,8 +75,13 @@ CoverabilityResult coverability(const PetriNet& net,
 
   // `m` arrives in the caller's scratch buffer; it is accelerated in place
   // and only copied into the arena when no existing node subsumes it.
+  bool truncated = false;
   auto push = [&](std::vector<Token>& m, int parent) {
     if (tree.size() >= options.max_nodes) {
+      if (options.truncate_on_limit) {
+        truncated = true;
+        return;
+      }
       throw LimitError("coverability tree exceeded max_nodes",
                        LimitContext{tree.size(), 0, options.max_nodes});
     }
@@ -109,10 +116,14 @@ CoverabilityResult coverability(const PetriNet& net,
   std::vector<Token> scratch = net.initial_marking().tokens();
   push(scratch, -1);
   std::vector<Token> current;
-  while (!frontier.empty()) {
+  while (!frontier.empty() && !truncated) {
     h_frontier.record(frontier.size());
     progress.update(tree.size(), frontier.size());
     options.cancel.check("reach.coverability");
+    if (CIPNET_FAULT_FIRES(f_cancel)) {
+      throw Cancelled("reach.coverability", options.cancel.elapsed_ms(),
+                      false);
+    }
     std::size_t index = frontier.back();
     frontier.pop_back();
     if (index >= tree.size()) continue;
@@ -138,6 +149,7 @@ CoverabilityResult coverability(const PetriNet& net,
   }
 
   CoverabilityResult result;
+  result.truncated = truncated;
   result.tree_nodes = tree.size();
   result.bounds.assign(places, Token{0});
   for (std::size_t n = 0; n < tree.size(); ++n) {

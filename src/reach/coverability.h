@@ -19,6 +19,10 @@ struct CoverabilityResult {
   std::vector<std::optional<Token>> bounds;
   /// Nodes in the Karp-Miller tree (after subsumption).
   std::size_t tree_nodes = 0;
+  /// True when construction stopped early at `max_nodes` under
+  /// `truncate_on_limit`. Finite bounds are then lower bounds on the true
+  /// maxima (ω entries remain sound: a pumped place really is unbounded).
+  bool truncated = false;
 
   [[nodiscard]] bool bounded() const {
     for (const auto& b : bounds) {
@@ -32,6 +36,9 @@ struct CoverabilityOptions {
   std::size_t max_nodes = 1u << 18;
   /// Polled once per expanded tree node; a tripped token raises `Cancelled`.
   CancelToken cancel;
+  /// On hitting `max_nodes`, stop and return the partial result with
+  /// `CoverabilityResult::truncated` set instead of throwing `LimitError`.
+  bool truncate_on_limit = false;
 };
 
 /// Karp-Miller with ancestor acceleration and subsumption. Throws

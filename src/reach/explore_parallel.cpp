@@ -42,11 +42,13 @@
 #include "obs/trace.h"
 #include "reach/reachability.h"
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace cipnet {
 
 namespace {
 
+CIPNET_FAULT_SITE(f_cancel, "reach.cancel");
 const obs::Counter c_states("reach.states");
 const obs::Counter c_edges("reach.edges");
 const obs::Counter c_hash_lookups("reach.hash_lookups");
@@ -117,6 +119,7 @@ class ParallelExplorer {
     if (error_) std::rethrow_exception(error_);
 
     ReachabilityGraph rg = assemble(outputs);
+    rg.truncated_ = truncated_.load(std::memory_order_relaxed);
     progress.update(rg.state_count(), 0);
     if (obs::enabled()) {
       g_graph_bytes.set(rg.estimated_graph_bytes());
@@ -198,6 +201,7 @@ class ParallelExplorer {
       fresh.clear();
       bool ok = true;
       for (const WorkItem& item : batch) {
+        if (stop_.load(std::memory_order_relaxed)) break;
         try {
           expand(item, out, current, scratch, candidates, fresh);
         } catch (...) {
@@ -227,11 +231,49 @@ class ParallelExplorer {
     }
   }
 
+  /// Approximate live footprint from the two atomic counters: arena row +
+  /// interner slot per state, edge log + final adjacency per edge. A
+  /// budget guard, not an accountant — capacity slack is ignored.
+  [[nodiscard]] std::size_t approx_bytes() const {
+    const std::uint64_t states =
+        state_count_.load(std::memory_order_relaxed);
+    const std::uint64_t edges = edge_count_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(
+        states * (places_ * sizeof(Token) + 16 +
+                  sizeof(std::vector<ReachabilityGraph::Edge>)) +
+        edges * (sizeof(TmpEdge) + sizeof(ReachabilityGraph::Edge)));
+  }
+
+  /// Graceful-degradation stop: raise the stop flag without recording an
+  /// error, so `run()` assembles the partial graph instead of rethrowing.
+  void request_truncate() {
+    truncated_.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+    queue_cv_.notify_all();
+  }
+
   void expand(const WorkItem& item, WorkerOutput& out,
               std::vector<Token>& current, std::vector<Token>& scratch,
               std::vector<TransitionId>& candidates,
               std::vector<WorkItem>& fresh) {
     options_.cancel.check("reach.explore");
+    if (CIPNET_FAULT_FIRES(f_cancel)) {
+      throw Cancelled("reach.explore", options_.cancel.elapsed_ms(), false);
+    }
+    if (options_.max_graph_bytes != 0 &&
+        approx_bytes() > options_.max_graph_bytes) {
+      if (options_.truncate_on_limit) {
+        request_truncate();
+        return;
+      }
+      throw LimitError(
+          "reachability exploration exceeded memory budget of " +
+              std::to_string(options_.max_graph_bytes) + " bytes",
+          LimitContext{state_count_.load(std::memory_order_relaxed),
+                       edge_count_.load(std::memory_order_relaxed),
+                       options_.max_graph_bytes});
+    }
     {
       // Copy the row out under the shard lock: another worker interning
       // into this shard may grow the arena under us.
@@ -262,6 +304,10 @@ class ParallelExplorer {
             state_count_.fetch_add(1, std::memory_order_relaxed) + 1;
         c_states.add();
         if (n > options_.max_states) {
+          if (options_.truncate_on_limit) {
+            request_truncate();
+            return;
+          }
           throw LimitError(
               "reachability exploration exceeded " +
                   std::to_string(options_.max_states) + " states",
@@ -275,6 +321,7 @@ class ParallelExplorer {
         fresh.push_back(std::move(wi));
       }
     }
+    edge_count_.fetch_add(item.enabled.size(), std::memory_order_relaxed);
   }
 
   /// Single-threaded: merge worker edge logs, renumber states into
@@ -373,9 +420,11 @@ class ParallelExplorer {
   std::condition_variable queue_cv_;
   std::deque<WorkItem> queue_;
   std::size_t pending_ = 0;  // discovered but not yet fully expanded
-  bool stop_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> truncated_{false};
   std::exception_ptr error_;
   std::atomic<std::uint64_t> state_count_{0};
+  std::atomic<std::uint64_t> edge_count_{0};
   TmpId initial_tmp_ = 0;
 };
 

@@ -1,10 +1,17 @@
 #include "reach/marking_store.h"
 
 #include <cstring>
+#include <new>
+
+#include "util/fault.h"
 
 namespace cipnet {
 
 namespace {
+
+/// Simulated allocation failure on arena/table growth — fires as a real
+/// `std::bad_alloc` so callers exercise their genuine out-of-memory paths.
+CIPNET_FAULT_SITE(f_grow, "reach.store.grow");
 
 /// Max load factor 7/8 before growing: linear probing stays short and the
 /// table is still 12 bytes/state — far below the ~56 bytes/node of the
@@ -102,6 +109,9 @@ void MarkingInterner::reserve(std::size_t expected) {
 }
 
 void MarkingInterner::grow(std::size_t min_slots) {
+  // Every growth event — the `reserve()` pre-size and load-factor doublings
+  // alike — is one hit at the allocation fault point.
+  if (CIPNET_FAULT_FIRES(f_grow)) throw std::bad_alloc();
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(next_pow2(min_slots), Slot{});
   const std::size_t mask = slots_.size() - 1;

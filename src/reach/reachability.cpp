@@ -7,11 +7,13 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/sorted_set.h"
 
 namespace cipnet {
 
 namespace {
+CIPNET_FAULT_SITE(f_cancel, "reach.cancel");
 const obs::Counter c_states("reach.states");
 const obs::Counter c_edges("reach.edges");
 const obs::Counter c_hash_lookups("reach.hash_lookups");
@@ -122,6 +124,14 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
             std::to_string(options.max_states) + " states",
         LimitContext{rg.store_.size(), edges_added, options.max_states});
   };
+  // O(1) footprint estimate for the memory-budget guard (same quantities
+  // the gauges report, plus the index table).
+  auto approx_bytes = [&] {
+    return rg.store_.arena_bytes() +
+           rg.edges_.size() * sizeof(std::vector<ReachabilityGraph::Edge>) +
+           edges_added * sizeof(ReachabilityGraph::Edge) +
+           rg.index_.table_bytes();
+  };
 
   // Enabled sets of discovered-but-unexpanded states, maintained
   // incrementally from the parent's set (moved out on expansion).
@@ -142,13 +152,29 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
   std::deque<StateId> frontier{rg.initial()};
   std::vector<Token> scratch;
   std::vector<TransitionId> candidates;
-  while (!frontier.empty()) {
+  while (!frontier.empty() && !rg.truncated_) {
     g_frontier_peak.set_max(frontier.size());
     h_frontier.record(frontier.size());
     StateId s = frontier.front();
     frontier.pop_front();
     progress.update(rg.store_.size(), frontier.size());
     options.cancel.check("reach.explore");
+    if (CIPNET_FAULT_FIRES(f_cancel)) {
+      throw Cancelled("reach.explore", options.cancel.elapsed_ms(), false);
+    }
+    if (options.max_graph_bytes != 0 &&
+        approx_bytes() > options.max_graph_bytes) {
+      if (options.truncate_on_limit) {
+        rg.truncated_ = true;
+        break;
+      }
+      sample_memory();
+      throw LimitError(
+          "reachability exploration exceeded memory budget of " +
+              std::to_string(options.max_graph_bytes) + " bytes",
+          LimitContext{rg.store_.size(), edges_added,
+                       options.max_graph_bytes});
+    }
     const std::vector<TransitionId> enabled =
         std::move(pending_enabled[s.index()]);
     h_enabled.record(enabled.size());
@@ -157,7 +183,13 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
       net.fire_into(rg.store_.view(s.index()), t, scratch);
       c_hash_lookups.add();
       auto r = rg.index_.intern(scratch.data(), rg.store_, options.max_states);
-      if (r.id == MarkingInterner::kNoId) throw limit_error();
+      if (r.id == MarkingInterner::kNoId) {
+        if (options.truncate_on_limit) {
+          rg.truncated_ = true;
+          break;
+        }
+        throw limit_error();
+      }
       StateId target(r.id);
       rg.edges_[s.index()].push_back(ReachabilityGraph::Edge{t, target});
       ++edges_added;

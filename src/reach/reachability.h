@@ -21,6 +21,18 @@ struct ReachOptions {
   std::size_t threads = 1;
   /// Polled once per expanded state; a tripped token raises `Cancelled`.
   CancelToken cancel;
+  /// Graceful degradation: when the state limit or memory budget trips,
+  /// stop exploring and return the partial graph with `truncated()` set
+  /// instead of throwing `LimitError`. The partial graph is always
+  /// internally consistent (every edge targets a stored state); with
+  /// `threads > 1` its exact content is schedule-dependent. Requires
+  /// `max_states >= 1` — a zero budget still throws.
+  bool truncate_on_limit = false;
+  /// Approximate cap on the graph + index heap footprint in bytes
+  /// (0 = unlimited), checked against the same O(1) estimates behind the
+  /// `reach.graph_bytes` / `reach.index_bytes` gauges. Honors
+  /// `truncate_on_limit`.
+  std::size_t max_graph_bytes = 0;
 };
 
 /// The reachability graph RG(N) (Section 2.1): nodes are reachable markings,
@@ -63,6 +75,11 @@ class ReachabilityGraph {
   /// All states, ascending.
   [[nodiscard]] std::vector<StateId> all_states() const;
 
+  /// True when exploration stopped early on a limit/memory-budget trip
+  /// under `ReachOptions::truncate_on_limit` — the graph is a valid prefix
+  /// of the full reachability graph, not all of it.
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
  private:
   friend ReachabilityGraph explore(const PetriNet& net,
                                    const ReachOptions& options);
@@ -71,6 +88,7 @@ class ReachabilityGraph {
   MarkingStore store_;
   MarkingInterner index_;
   std::vector<std::vector<Edge>> edges_;
+  bool truncated_ = false;
 };
 
 /// Breadth-first construction of RG(N). Throws `LimitError` if more than

@@ -3,10 +3,12 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/fault.h"
 
 namespace cipnet::svc {
 
 namespace {
+CIPNET_FAULT_SITE(f_insert, "svc.cache.insert");
 const obs::Counter c_hits("svc.cache.hit");
 const obs::Counter c_misses("svc.cache.miss");
 const obs::Counter c_evictions("svc.cache.eviction");
@@ -62,6 +64,11 @@ std::optional<std::string> ResultCache::lookup(const CacheKey& key,
 
 void ResultCache::insert(const CacheKey& key, std::string payload,
                          Clock::time_point now) {
+  // Fault point sits before any mutation: an injected insert failure
+  // leaves the cache exactly as it was (strong exception guarantee).
+  if (CIPNET_FAULT_FIRES(f_insert)) {
+    throw FaultInjected("svc.cache.insert");
+  }
   const std::size_t cost = entry_bytes(key, payload);
   std::lock_guard<std::mutex> lock(mutex_);
   if (cost > options_.max_bytes) return;  // would evict everything else
@@ -78,6 +85,12 @@ void ResultCache::insert(const CacheKey& key, std::string payload,
     erase_locked(lru_.back());
     c_evictions.add();
   }
+  update_gauges_locked();
+}
+
+void ResultCache::erase(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  erase_locked(key);
   update_gauges_locked();
 }
 

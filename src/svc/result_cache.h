@@ -68,6 +68,12 @@ class ResultCache {
   void insert(const CacheKey& key, std::string payload,
               Clock::time_point now = Clock::now());
 
+  /// Drop `key` if present — the negative-result quarantine hook: the
+  /// service calls this when a job for `key` ends in `Cancelled`,
+  /// `LimitError`, or an injected fault, so a failure conservatively
+  /// invalidates whatever was cached under that key.
+  void erase(const CacheKey& key);
+
   void clear();
 
   [[nodiscard]] std::size_t entries() const;

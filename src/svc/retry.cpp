@@ -1,0 +1,114 @@
+#include "svc/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace cipnet::svc {
+
+namespace {
+
+const obs::Counter c_retries("svc.client.retries");
+const obs::Counter c_gave_up("svc.client.gave_up");
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Parses `retry_after_ms` out of an `overloaded` error response; nullopt
+/// for any other (terminal) response.
+std::optional<std::uint64_t> overloaded_hint(const std::string& response) {
+  try {
+    const json::Value doc = json::parse(response);
+    const json::Value* ok = doc.find("ok");
+    if (!ok || ok->as_bool()) return std::nullopt;
+    const json::Value* error = doc.find("error");
+    if (!error || error->get_string("code") != "overloaded") {
+      return std::nullopt;
+    }
+    return static_cast<std::uint64_t>(
+        error->get_number("retry_after_ms", 0));
+  } catch (const Error&) {
+    return std::nullopt;  // unparseable response: treat as terminal
+  }
+}
+
+}  // namespace
+
+std::uint64_t RetrySchedule::delay_ms(std::size_t attempt,
+                                      std::uint64_t server_hint_ms) const {
+  double delay = static_cast<double>(policy_.base_ms);
+  for (std::size_t i = 0; i < attempt; ++i) {
+    delay *= policy_.multiplier;
+    if (delay >= static_cast<double>(policy_.max_ms)) break;
+  }
+  delay = std::min(delay, static_cast<double>(policy_.max_ms));
+  // Never return earlier than the server asked; the hint is a floor, the
+  // exponential curve is the client's own pessimism on top of it.
+  delay = std::max(delay, static_cast<double>(server_hint_ms));
+  const double j = std::clamp(policy_.jitter, 0.0, 1.0);
+  if (j > 0.0) {
+    const std::uint64_t mixed =
+        splitmix64(policy_.seed ^ (attempt * 0x9e3779b97f4a7c15ULL));
+    const double u =
+        static_cast<double>(mixed >> 11) * 0x1.0p-53;  // [0, 1)
+    delay *= 1.0 - j + 2.0 * j * u;  // [1-j, 1+j)
+    delay = std::max(delay, static_cast<double>(server_hint_ms));
+  }
+  return static_cast<std::uint64_t>(delay) + 1;
+}
+
+RetryResult submit_with_retry(
+    AnalysisService& service, const std::string& line,
+    const RetryPolicy& policy,
+    const std::function<void(std::uint64_t)>& wait_fn) {
+  const RetrySchedule schedule(policy);
+  const std::size_t attempts = std::max<std::size_t>(policy.max_attempts, 1);
+  RetryResult result;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    // submit_line delivers the response on a worker thread (or inline);
+    // rendezvous through a tiny latch per attempt.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    std::string response;
+    service.submit_line(line, [&](const std::string& r) {
+      std::lock_guard<std::mutex> lock(mu);
+      response = r;
+      ready = true;
+      cv.notify_one();
+    });
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return ready; });
+    }
+    ++result.attempts;
+    result.response = std::move(response);
+    const auto hint = overloaded_hint(result.response);
+    if (!hint) return result;  // terminal answer (ok or non-overloaded error)
+    if (attempt + 1 >= attempts) break;
+    c_retries.add();
+    const std::uint64_t delay = schedule.delay_ms(attempt, *hint);
+    result.total_delay_ms += delay;
+    if (wait_fn) {
+      wait_fn(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+  result.gave_up = true;
+  c_gave_up.add();
+  return result;
+}
+
+}  // namespace cipnet::svc

@@ -1,0 +1,71 @@
+#pragma once
+
+// Client-side backoff for the serve protocol. An `overloaded` response is
+// an invitation to come back, not a failure — the server attaches
+// `retry_after_ms` (its EWMA-based estimate of when a queue slot frees up),
+// and a well-behaved client waits at least that long, growing its own
+// exponential delay with deterministic jitter so a herd of rejected clients
+// does not return in lockstep. `submit_with_retry` packages the loop for
+// in-process callers and the test harness; docs/SERVICE.md carries the
+// retry guidance for external clients.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "svc/service.h"
+
+namespace cipnet::svc {
+
+struct RetryPolicy {
+  /// First-retry delay; subsequent delays multiply by `multiplier`.
+  std::uint64_t base_ms = 10;
+  /// Ceiling on any single delay (applied before jitter).
+  std::uint64_t max_ms = 5000;
+  double multiplier = 2.0;
+  /// Jitter fraction: each delay is scaled by a deterministic factor in
+  /// [1 - jitter, 1 + jitter] derived from (seed, attempt).
+  double jitter = 0.2;
+  /// Total tries, including the first submission.
+  std::size_t max_attempts = 8;
+  /// Seed for the jitter sequence — same seed, same delays.
+  std::uint64_t seed = 0;
+};
+
+/// The pure delay schedule behind `submit_with_retry`, exposed so tests
+/// can verify backoff shape and server-hint handling without sleeping.
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(RetryPolicy policy) : policy_(policy) {}
+
+  /// Delay before retry number `attempt` (0 = first retry), never earlier
+  /// than the server's `retry_after_ms` hint. Exponential in `attempt`,
+  /// capped at `max_ms`, then jittered deterministically.
+  [[nodiscard]] std::uint64_t delay_ms(std::size_t attempt,
+                                       std::uint64_t server_hint_ms) const;
+
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+};
+
+/// Outcome of a retried submission.
+struct RetryResult {
+  std::string response;          ///< the final response line
+  std::size_t attempts = 0;      ///< submissions made (>= 1)
+  std::uint64_t total_delay_ms = 0;  ///< sum of backoff waits requested
+  bool gave_up = false;  ///< still `overloaded` after `max_attempts`
+};
+
+/// Submit `line`, retrying while the service answers `overloaded`, honoring
+/// its `retry_after_ms` hints under the policy's backoff. Blocks until a
+/// non-overloaded response arrives or attempts run out. `wait_fn` receives
+/// each delay; pass a custom one in tests to count instead of sleep
+/// (defaults to `std::this_thread::sleep_for`).
+RetryResult submit_with_retry(
+    AnalysisService& service, const std::string& line,
+    const RetryPolicy& policy = {},
+    const std::function<void(std::uint64_t)>& wait_fn = {});
+
+}  // namespace cipnet::svc

@@ -4,10 +4,13 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 
 namespace cipnet::svc {
 
 namespace {
+CIPNET_FAULT_SITE(f_enqueue, "svc.scheduler.enqueue");
+CIPNET_FAULT_SITE(f_worker, "svc.scheduler.worker");
 const obs::Counter c_submitted("svc.jobs.submitted");
 const obs::Counter c_completed("svc.jobs.completed");
 const obs::Counter c_rejected("svc.jobs.rejected");
@@ -16,6 +19,8 @@ const obs::Gauge g_queue_depth("svc.queue_depth");
 const obs::Gauge g_queue_peak("svc.queue_peak");
 const obs::Histogram h_queue_wait("svc.queue_wait_us");
 const obs::Histogram h_job("svc.job_us");
+const obs::Counter c_watchdog_scans("svc.watchdog.scans");
+const obs::Counter c_watchdog_stalls("svc.watchdog.stalls");
 
 std::uint64_t us_between(std::chrono::steady_clock::time_point a,
                          std::chrono::steady_clock::time_point b) {
@@ -27,9 +32,19 @@ std::uint64_t us_between(std::chrono::steady_clock::time_point a,
 JobScheduler::JobScheduler(SchedulerOptions options)
     : options_(options) {
   if (options_.workers == 0) options_.workers = 1;
+  slots_.reserve(options_.workers);
   threads_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(*slots_[i]); });
+  }
+  if (options_.stall_timeout_ms != 0) {
+    if (options_.watchdog_interval_ms == 0) {
+      options_.watchdog_interval_ms = 100;
+    }
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   }
 }
 
@@ -51,19 +66,26 @@ std::uint64_t JobScheduler::retry_hint_locked() const {
   return static_cast<std::uint64_t>(us / 1000.0) + 1;
 }
 
+std::uint64_t JobScheduler::retry_hint_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retry_hint_locked();
+}
+
 SubmitStatus JobScheduler::submit(std::function<void()> job,
-                                  Priority priority) {
+                                  Priority priority, CancelToken cancel) {
   SubmitStatus status;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     status.queue_depth = queued_;
-    if (!accepting_ || queued_ >= options_.max_queue) {
+    if (!accepting_ || queued_ >= options_.max_queue ||
+        CIPNET_FAULT_FIRES(f_enqueue)) {
       status.retry_after_ms = retry_hint_locked();
       c_rejected.add();
       return status;
     }
     queues_[static_cast<std::size_t>(priority)].push_back(
-        Job{std::move(job), std::chrono::steady_clock::now()});
+        Job{std::move(job), std::chrono::steady_clock::now(),
+            std::move(cancel)});
     ++queued_;
     status.accepted = true;
     status.queue_depth = queued_;
@@ -75,7 +97,7 @@ SubmitStatus JobScheduler::submit(std::function<void()> job,
   return status;
 }
 
-void JobScheduler::worker_loop() {
+void JobScheduler::worker_loop(WorkerSlot& slot) {
   for (;;) {
     Job job;
     {
@@ -97,8 +119,18 @@ void JobScheduler::worker_loop() {
     const auto started = std::chrono::steady_clock::now();
     h_queue_wait.record(us_between(job.enqueued, started));
     {
+      std::lock_guard<std::mutex> lock(slot.mu);
+      slot.busy = true;
+      slot.stall_flagged = false;
+      slot.started = started;
+      slot.cancel = job.cancel;
+    }
+    {
       obs::Span span("svc.job");
       try {
+        if (CIPNET_FAULT_FIRES(f_worker)) {
+          throw FaultInjected("svc.scheduler.worker");
+        }
         job.fn();
         c_completed.add();
       } catch (...) {
@@ -107,6 +139,11 @@ void JobScheduler::worker_loop() {
         // itself, and must not kill the worker.
         c_failed.add();
       }
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot.mu);
+      slot.busy = false;
+      slot.cancel = CancelToken{};
     }
     const std::uint64_t job_us =
         us_between(started, std::chrono::steady_clock::now());
@@ -118,6 +155,30 @@ void JobScheduler::worker_loop() {
                         ? static_cast<double>(job_us)
                         : 0.875 * avg_job_us_ + 0.125 * static_cast<double>(job_us);
       if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void JobScheduler::watchdog_loop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.watchdog_interval_ms);
+  const auto timeout = std::chrono::milliseconds(options_.stall_timeout_ms);
+  std::unique_lock<std::mutex> lk(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lk, interval, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    c_watchdog_scans.add();
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& slot : slots_) {
+      std::lock_guard<std::mutex> slot_lock(slot->mu);
+      if (!slot->busy || slot->stall_flagged) continue;
+      if (now - slot->started < timeout) continue;
+      // Cooperative kill: trip the job's token so it unwinds through its
+      // next cancellation check and the worker frees up. Flag the slot so
+      // one stall is counted (and cancelled) once.
+      slot->stall_flagged = true;
+      slot->cancel.request_cancel();
+      c_watchdog_stalls.add();
     }
   }
 }
@@ -137,6 +198,14 @@ void JobScheduler::shutdown() {
   work_cv_.notify_all();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
+  }
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
   }
   std::lock_guard<std::mutex> lock(mutex_);
   joined_ = true;

@@ -18,9 +18,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/cancel.h"
 
 namespace cipnet::svc {
 
@@ -31,6 +34,13 @@ struct SchedulerOptions {
   std::size_t workers = 4;
   /// Maximum queued (not yet running) jobs; submissions beyond are rejected.
   std::size_t max_queue = 256;
+  /// Watchdog: a job still running after this many milliseconds has its
+  /// `CancelToken` tripped (cooperative kill — the job unwinds through its
+  /// next cancellation check and reports `cancelled`). 0 disables the
+  /// watchdog; jobs submitted without a cancellable token cannot be killed.
+  std::uint64_t stall_timeout_ms = 0;
+  /// How often the watchdog scans the workers.
+  std::uint64_t watchdog_interval_ms = 100;
 };
 
 /// Outcome of a `submit` call. When `accepted` is false the job was *not*
@@ -53,9 +63,16 @@ class JobScheduler {
   JobScheduler& operator=(const JobScheduler&) = delete;
 
   /// Enqueue `job`. Never blocks: a full queue or a stopped scheduler
-  /// rejects (accepted=false) and `job` is destroyed unrun.
+  /// rejects (accepted=false) and `job` is destroyed unrun. `cancel` is the
+  /// job's cancellation token; the watchdog trips it when the job stalls
+  /// past `stall_timeout_ms`.
   SubmitStatus submit(std::function<void()> job,
-                      Priority priority = Priority::kNormal);
+                      Priority priority = Priority::kNormal,
+                      CancelToken cancel = {});
+
+  /// The current backoff estimate (same number a rejection would carry),
+  /// for callers that shed load before reaching the queue.
+  [[nodiscard]] std::uint64_t retry_hint_ms() const;
 
   /// Block until every accepted job has finished and the queue is empty.
   void drain();
@@ -71,9 +88,21 @@ class JobScheduler {
   struct Job {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
+    CancelToken cancel;
   };
 
-  void worker_loop();
+  /// Per-worker heartbeat slot the watchdog scans. Own mutex (not the
+  /// queue mutex): the watchdog must never contend with submission.
+  struct WorkerSlot {
+    std::mutex mu;
+    bool busy = false;
+    bool stall_flagged = false;
+    std::chrono::steady_clock::time_point started;
+    CancelToken cancel;
+  };
+
+  void worker_loop(WorkerSlot& slot);
+  void watchdog_loop();
   [[nodiscard]] std::uint64_t retry_hint_locked() const;
 
   SchedulerOptions options_;
@@ -91,7 +120,13 @@ class JobScheduler {
   /// retry hint.
   double avg_job_us_ = 0.0;
 
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> threads_;
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;  // wakes the watchdog for shutdown
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
 };
 
 }  // namespace cipnet::svc

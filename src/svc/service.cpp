@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <istream>
+#include <memory>
 #include <mutex>
 #include <ostream>
+#include <streambuf>
 #include <utility>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "io/astg.h"
 #include "io/net_format.h"
 #include "obs/buildinfo.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -24,6 +27,7 @@
 #include "stg/state_graph.h"
 #include "synth/synthesize.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/json.h"
 #include "util/json_writer.h"
 
@@ -31,11 +35,17 @@ namespace cipnet::svc {
 
 namespace {
 
+CIPNET_FAULT_SITE(f_parse, "svc.parse");
 const obs::Counter c_requests("svc.requests");
 const obs::Counter c_ok("svc.responses.ok");
 const obs::Counter c_errors("svc.responses.error");
 const obs::Counter c_cancelled("svc.cancelled");
 const obs::Counter c_overloaded("svc.overloaded");
+const obs::Counter c_faults("svc.faults");
+const obs::Counter c_shed("svc.shed.rss");
+const obs::Counter c_truncated("svc.truncated");
+const obs::Counter c_oversized("svc.frames.oversized");
+const obs::Counter c_dropped("svc.responses.dropped");
 
 std::uint64_t now_ms_since(std::chrono::steady_clock::time_point start) {
   return static_cast<std::uint64_t>(
@@ -72,6 +82,18 @@ AnalysisService::AnalysisService(ServiceOptions options)
 AnalysisService::Request AnalysisService::parse_request(
     const std::string& line) const {
   Request req;
+  if (CIPNET_FAULT_FIRES(f_parse)) {
+    req.error_code = "parse";
+    req.error_message = "injected fault at svc.parse";
+    return req;
+  }
+  if (line.size() > options_.max_line_bytes) {
+    c_oversized.add();
+    req.error_code = "bad_request";
+    req.error_message = "request line exceeds " +
+                        std::to_string(options_.max_line_bytes) + " bytes";
+    return req;
+  }
   json::Value doc;
   try {
     doc = json::parse(line);
@@ -193,13 +215,20 @@ std::string run_version() {
 }
 
 std::string run_reach(const PetriNet& net, std::size_t max_states,
-                      const CancelToken& cancel) {
+                      std::size_t max_graph_bytes, const CancelToken& cancel,
+                      bool& truncated) {
   ReachOptions options;
   options.max_states = max_states;
+  options.max_graph_bytes = max_graph_bytes;
+  // Graceful degradation: a limit/memory trip yields the statistics of the
+  // explored prefix, marked `"truncated": true`, instead of a bare error.
+  options.truncate_on_limit = true;
   options.cancel = cancel;
   ReachabilityGraph rg = explore(net, options);
+  truncated = rg.truncated();
   json::Writer w;
   w.begin_object();
+  if (truncated) w.member("truncated", true);
   w.member("states", rg.state_count());
   w.member("edges", rg.edge_count());
   w.member("deadlock_states", deadlock_states(rg).size());
@@ -213,13 +242,16 @@ std::string run_reach(const PetriNet& net, std::size_t max_states,
 }
 
 std::string run_cover(const PetriNet& net, std::size_t max_nodes,
-                      const CancelToken& cancel) {
+                      const CancelToken& cancel, bool& truncated) {
   CoverabilityOptions options;
   options.max_nodes = max_nodes;
+  options.truncate_on_limit = true;
   options.cancel = cancel;
   CoverabilityResult result = coverability(net, options);
+  truncated = result.truncated;
   json::Writer w;
   w.begin_object();
+  if (truncated) w.member("truncated", true);
   w.member("bounded", result.bounded());
   w.member("tree_nodes", result.tree_nodes);
   w.key("bounds").begin_array();
@@ -314,6 +346,47 @@ std::string joined_sorted(std::vector<std::string> items) {
   return out;
 }
 
+/// Exactly-once response delivery for the asynchronous path. The shared
+/// handle travels inside the job closure; whoever responds first wins, and
+/// if nobody does — the worker threw before running the job, or the
+/// scheduler dropped the closure at shutdown — the destructor still owes
+/// the client a well-formed `internal` error instead of silence.
+class ResponseGuard {
+ public:
+  ResponseGuard(std::string id_json, std::string op,
+                std::function<void(const std::string&)> done)
+      : id_json_(std::move(id_json)),
+        op_(std::move(op)),
+        done_(std::move(done)) {}
+
+  ResponseGuard(const ResponseGuard&) = delete;
+  ResponseGuard& operator=(const ResponseGuard&) = delete;
+
+  ~ResponseGuard() {
+    if (responded_.load(std::memory_order_relaxed)) return;
+    c_dropped.add();
+    try {
+      done_(error_response(id_json_, op_, "internal",
+                           "job dropped before producing a response"));
+    } catch (...) {
+      // Destructors must not throw; a sink that fails here loses only
+      // this one response.
+    }
+  }
+
+  void respond(const std::string& response) {
+    bool expected = false;
+    if (!responded_.compare_exchange_strong(expected, true)) return;
+    done_(response);
+  }
+
+ private:
+  std::string id_json_;
+  std::string op_;
+  std::function<void(const std::string&)> done_;
+  std::atomic<bool> responded_{false};
+};
+
 }  // namespace
 
 std::string AnalysisService::execute(const Request& req) {
@@ -326,6 +399,11 @@ std::string AnalysisService::execute(const Request& req) {
   const std::size_t max_states =
       req.max_states != 0 ? req.max_states : options_.max_states;
   obs::Span span("svc." + req.op);
+  // Declared outside the try so the failure paths can quarantine the key:
+  // a job that ends in Cancelled/LimitError/fault must leave nothing (and
+  // conservatively, no stale prior entry) cached under it.
+  CacheKey key;
+  key.op = req.op;
   try {
     // Uncached, netless ops first.
     if (req.op == "ping") {
@@ -337,9 +415,8 @@ std::string AnalysisService::execute(const Request& req) {
                          now_ms_since(started));
     }
 
-    CacheKey key;
-    key.op = req.op;
     std::string payload;
+    bool truncated = false;
     if (req.op == "reach" || req.op == "cover" || req.op == "hide") {
       if (req.net_text.empty()) {
         return error_response(req.id_json, req.op, "bad_request",
@@ -366,9 +443,10 @@ std::string AnalysisService::execute(const Request& req) {
         }
       }
       if (req.op == "reach") {
-        payload = run_reach(net, max_states, req.cancel);
+        payload = run_reach(net, max_states, options_.max_graph_bytes,
+                            req.cancel, truncated);
       } else if (req.op == "cover") {
-        payload = run_cover(net, max_states, req.cancel);
+        payload = run_cover(net, max_states, req.cancel, truncated);
       } else {
         payload = run_hide(net, req.labels, req.cancel);
       }
@@ -395,14 +473,23 @@ std::string AnalysisService::execute(const Request& req) {
       return error_response(req.id_json, req.op, "bad_request",
                             "unknown op: " + req.op);
     }
-    if (!req.no_cache) cache_.insert(key, payload);
+    // Truncated results are never memoized — they describe how far *this*
+    // run got, not a property of the net.
+    if (!req.no_cache && !truncated) cache_.insert(key, payload);
+    if (truncated) c_truncated.add();
     return ok_response(req.id_json, req.op, payload, false,
                        now_ms_since(started));
+  } catch (const FaultInjected& e) {
+    c_faults.add();
+    cache_.erase(key);
+    return error_response(req.id_json, req.op, "fault", e.what());
   } catch (const Cancelled& e) {
     c_cancelled.add();
+    cache_.erase(key);
     return error_response(req.id_json, req.op, "cancelled", e.what(), 0,
                           e.elapsed_ms());
   } catch (const LimitError& e) {
+    cache_.erase(key);
     return error_response(req.id_json, req.op, "limit", e.what(), 0,
                           now_ms_since(started));
   } catch (const ParseError& e) {
@@ -410,8 +497,10 @@ std::string AnalysisService::execute(const Request& req) {
   } catch (const SemanticError& e) {
     return error_response(req.id_json, req.op, "semantic", e.what());
   } catch (const Error& e) {
+    cache_.erase(key);
     return error_response(req.id_json, req.op, "internal", e.what());
   } catch (const std::exception& e) {
+    cache_.erase(key);
     return error_response(req.id_json, req.op, "internal", e.what());
   }
 }
@@ -433,27 +522,84 @@ SubmitStatus AnalysisService::submit_line(
     done(execute(req));
     return SubmitStatus{};
   }
+  // Load shedding: above the RSS high watermark, reject before queuing —
+  // finishing the jobs already in flight is the only way back under it,
+  // and accepting more work just marches the process toward the OOM
+  // killer. The retry hint tells clients when to come back.
+  if (options_.max_rss_bytes != 0) {
+    const std::uint64_t rss = obs::current_rss_bytes();
+    if (rss > options_.max_rss_bytes) {
+      c_shed.add();
+      c_overloaded.add();
+      SubmitStatus status;
+      status.queue_depth = scheduler_.queue_depth();
+      status.retry_after_ms = scheduler_.retry_hint_ms();
+      done(error_response(req.id_json, req.op, "overloaded",
+                          "resident set " + std::to_string(rss) +
+                              " bytes over the high watermark; shedding load",
+                          status.retry_after_ms));
+      return status;
+    }
+  }
   // The deadline clock starts now, before the queue: a request that waits
   // out its whole budget in a full queue is cancelled, not run late.
   const std::uint64_t deadline =
       req.deadline_ms != 0 ? req.deadline_ms : options_.default_deadline_ms;
   if (deadline != 0) {
     req.cancel = CancelToken::with_deadline(std::chrono::milliseconds(deadline));
+  } else if (options_.scheduler.stall_timeout_ms != 0) {
+    // No client deadline, but a watchdog: the job still needs a trippable
+    // token or a stalled worker could never be recovered.
+    req.cancel = CancelToken::manual();
   }
   const Priority priority = req.priority;
-  const std::string id_json = req.id_json;  // survives the move below
+  const CancelToken cancel = req.cancel;
+  const std::string id_json = req.id_json;  // survive the move below
   const std::string op = req.op;
+  auto guard = std::make_shared<ResponseGuard>(id_json, op, std::move(done));
   SubmitStatus status = scheduler_.submit(
-      [this, req = std::move(req), done]() { done(execute(req)); }, priority);
+      [this, req = std::move(req), guard]() { guard->respond(execute(req)); },
+      priority, cancel);
   if (!status.accepted) {
     c_overloaded.add();
-    done(error_response(id_json, op, "overloaded",
-                        "queue full (" + std::to_string(status.queue_depth) +
-                            " pending); retry later",
-                        status.retry_after_ms));
+    guard->respond(error_response(
+        id_json, op, "overloaded",
+        "queue full (" + std::to_string(status.queue_depth) +
+            " pending); retry later",
+        status.retry_after_ms));
   }
   return status;
 }
+
+namespace {
+
+/// Reads one newline-terminated frame without ever buffering more than
+/// `max_bytes`: the over-limit remainder of the line is consumed and
+/// discarded, reported through `overflow`. Returns false only at EOF with
+/// nothing read.
+bool bounded_getline(std::istream& in, std::string& line,
+                     std::size_t max_bytes, bool& overflow) {
+  line.clear();
+  overflow = false;
+  std::streambuf* sb = in.rdbuf();
+  bool any = false;
+  for (;;) {
+    const int ch = sb->sbumpc();
+    if (ch == std::char_traits<char>::eof()) {
+      in.setstate(std::ios::eofbit);
+      return any;
+    }
+    any = true;
+    if (ch == '\n') return true;
+    if (line.size() < max_bytes) {
+      line.push_back(static_cast<char>(ch));
+    } else {
+      overflow = true;
+    }
+  }
+}
+
+}  // namespace
 
 std::size_t serve(std::istream& in, std::ostream& out,
                   const ServiceOptions& options) {
@@ -470,7 +616,20 @@ std::size_t serve(std::istream& in, std::ostream& out,
 
   std::size_t accepted = 0;
   std::string line;
-  while (std::getline(in, line)) {
+  bool overflow = false;
+  while (bounded_getline(in, line, options.max_line_bytes, overflow)) {
+    if (overflow) {
+      // The frame was discarded unread, so there is no `id` to echo — but
+      // the client still gets a structured rejection, not silence or an
+      // unbounded buffer.
+      ++accepted;
+      c_oversized.add();
+      emit(error_response("", "", "bad_request",
+                          "request line exceeds " +
+                              std::to_string(options.max_line_bytes) +
+                              " bytes"));
+      continue;
+    }
     if (line.empty()) continue;
     ++accepted;
     service.submit_line(line, emit);

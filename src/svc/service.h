@@ -28,6 +28,17 @@ struct ServiceOptions {
   /// Default state/node budget for explorations (requests may override via
   /// `max_states`).
   std::size_t max_states = 200000;
+  /// Per-request approximate graph memory budget for `reach` (bytes,
+  /// 0 = unlimited). Trips degrade gracefully: the response carries partial
+  /// statistics with `"truncated": true`.
+  std::size_t max_graph_bytes = 0;
+  /// Load shedding: when the process RSS exceeds this many bytes, new
+  /// requests are rejected with `overloaded` + a retry hint before they
+  /// reach the queue (0 = disabled).
+  std::size_t max_rss_bytes = 0;
+  /// Maximum accepted NDJSON frame length; `serve` discards longer lines
+  /// and answers `bad_request` instead of buffering without bound.
+  std::size_t max_line_bytes = 4u << 20;
 };
 
 class AnalysisService {

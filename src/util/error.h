@@ -21,10 +21,29 @@ class SemanticError : public Error {
   explicit SemanticError(const std::string& what) : Error(what) {}
 };
 
-/// A textual input (.cpn / .g file) is malformed.
+/// A textual input (.cpn / .g file) is malformed. Parsers that track
+/// position attach 1-based line (and optionally column) numbers; both stay
+/// 0 when unknown. The what() string already embeds the location — the
+/// accessors exist for structured consumers (service responses, tooling).
 class ParseError : public Error {
  public:
   explicit ParseError(const std::string& what) : Error(what) {}
+  ParseError(const std::string& what, std::size_t line, std::size_t column = 0)
+      : Error(locate(what, line, column)), line_(line), column_(column) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  static std::string locate(const std::string& what, std::size_t line,
+                            std::size_t column) {
+    std::string out = "line " + std::to_string(line);
+    if (column != 0) out += ", column " + std::to_string(column);
+    return out + ": " + what;
+  }
+
+  std::size_t line_ = 0;
+  std::size_t column_ = 0;
 };
 
 /// Progress accounting attached to a LimitError: how far the exploration

@@ -1,0 +1,289 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "util/hash.h"
+
+namespace cipnet::fault {
+
+namespace {
+
+const obs::Counter c_hits("fault.hits");
+const obs::Counter c_injected("fault.injected");
+
+/// The compiled-in catalogue. Keep sorted; docs/RESILIENCE.md documents
+/// each entry and what failure it simulates.
+constexpr const char* kCatalogue[] = {
+    "algebra.hide.cancel",   // spurious Cancelled inside hide contraction
+    "reach.cancel",          // spurious Cancelled inside explore/coverability
+    "reach.store.grow",      // bad_alloc while interning into the arena
+    "svc.cache.insert",      // ResultCache insert failure
+    "svc.parse",             // NDJSON frame rejected as unparseable
+    "svc.scheduler.enqueue", // queue-full rejection on submit
+    "svc.scheduler.worker",  // worker-body throw before the job runs
+};
+
+enum class RuleKind : std::uint8_t { kProb, kNth, kEvery };
+
+/// Immutable once published; sites read it through an atomic pointer so a
+/// concurrent `configure` never tears a half-written rule.
+struct RuleBox {
+  RuleKind kind = RuleKind::kNth;
+  double p = 0.0;
+  std::uint64_t n = 0;
+  std::uint64_t seed = 0;
+};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_active{false};
+
+struct SiteState {
+  std::string name;
+  std::uint64_t name_hash = 0;
+  std::atomic<const RuleBox*> rule{nullptr};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<SiteState>, std::less<>> sites;
+  /// Every rule ever published, kept alive so a site mid-`should_fire`
+  /// never reads a freed box. Specs are tiny and reconfiguration is a
+  /// test-time operation, so this "leak" is bounded and deliberate.
+  std::vector<std::unique_ptr<RuleBox>> retained_rules;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // never destroyed: sites outlive exit
+  return *r;
+}
+
+SiteState* site_locked(Registry& reg, std::string_view name) {
+  auto it = reg.sites.find(name);
+  if (it != reg.sites.end()) return it->second.get();
+  auto state = std::make_unique<SiteState>();
+  state->name = std::string(name);
+  state->name_hash = site_name_hash(name);
+  SiteState* raw = state.get();
+  reg.sites.emplace(raw->name, std::move(state));
+  return raw;
+}
+
+}  // namespace
+
+std::uint64_t site_name_hash(std::string_view name) {
+  Fnv1a64 h;
+  h.bytes(name.data(), name.size());
+  return h.digest();
+}
+
+SiteState* site_state(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return site_locked(reg, name);
+}
+
+bool prob_decision(std::uint64_t seed, std::uint64_t name_hash,
+                   std::uint64_t index, double p) {
+  const std::uint64_t mixed =
+      splitmix64(seed ^ name_hash ^ (index * 0x9e3779b97f4a7c15ULL));
+  // 53 high-quality bits -> [0, 1).
+  const double u =
+      static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+bool site_should_fire(SiteState& state) {
+  const RuleBox* rule = state.rule.load(std::memory_order_acquire);
+  if (rule == nullptr) return false;
+  const std::uint64_t index =
+      state.hits.fetch_add(1, std::memory_order_relaxed) + 1;  // 1-based
+  c_hits.add();
+  bool fire = false;
+  switch (rule->kind) {
+    case RuleKind::kProb:
+      fire = prob_decision(rule->seed, state.name_hash, index, rule->p);
+      break;
+    case RuleKind::kNth:
+      fire = index == rule->n;
+      break;
+    case RuleKind::kEvery:
+      fire = rule->n != 0 && index % rule->n == 0;
+      break;
+  }
+  if (fire) {
+    state.fired.fetch_add(1, std::memory_order_relaxed);
+    c_injected.add();
+  }
+  return fire;
+}
+
+}  // namespace detail
+
+namespace {
+
+bool known_site(std::string_view name) {
+  for (const char* site : kCatalogue) {
+    if (name == site) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void spec_error(const std::string& message) {
+  throw Error("fault spec: " + message);
+}
+
+std::uint64_t parse_uint(const std::string& text, const std::string& what) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    spec_error("bad " + what + ": '" + text + "'");
+  }
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), nullptr, 10);
+  if (errno != 0) spec_error("bad " + what + ": '" + text + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+RuleBox parse_rule(const std::string& text) {
+  RuleBox rule;
+  if (text.size() >= 2 && text[0] == 'p') {
+    rule.kind = RuleKind::kProb;
+    char* end = nullptr;
+    rule.p = std::strtod(text.c_str() + 1, &end);
+    if (end == nullptr || *end != '\0' || rule.p < 0.0 || rule.p > 1.0) {
+      spec_error("bad probability: '" + text + "' (want p0.0 .. p1.0)");
+    }
+  } else if (text.size() >= 2 && text[0] == 'n') {
+    rule.kind = RuleKind::kNth;
+    rule.n = parse_uint(text.substr(1), "hit number");
+    if (rule.n == 0) spec_error("n0 never fires; hit numbers are 1-based");
+  } else if (text.size() > 5 && text.rfind("every", 0) == 0) {
+    rule.kind = RuleKind::kEvery;
+    rule.n = parse_uint(text.substr(5), "period");
+    if (rule.n == 0) spec_error("every0 is meaningless");
+  } else {
+    spec_error("unknown rule: '" + text + "' (want pX, nX, or everyX)");
+  }
+  return rule;
+}
+
+}  // namespace
+
+void configure(const std::string& spec) {
+  // Parse fully before touching the registry, so a bad spec changes
+  // nothing.
+  std::uint64_t seed = 0;
+  std::vector<std::pair<std::string, RuleBox>> parsed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding whitespace.
+    const std::size_t b = clause.find_first_not_of(" \t");
+    const std::size_t e = clause.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;  // empty clause: ignore
+    clause = clause.substr(b, e - b + 1);
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
+      spec_error("clause '" + clause + "' is not site=rule or seed=N");
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "seed") {
+      seed = parse_uint(value, "seed");
+      continue;
+    }
+    if (!known_site(key)) {
+      std::string sites;
+      for (const char* site : kCatalogue) {
+        if (!sites.empty()) sites += ", ";
+        sites += site;
+      }
+      spec_error("unknown site '" + key + "' (known: " + sites + ")");
+    }
+    parsed.emplace_back(key, parse_rule(value));
+  }
+
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  // Deactivate, reset every site, then publish the new rules.
+  detail::g_active.store(false, std::memory_order_relaxed);
+  for (const char* site : kCatalogue) {
+    detail::SiteState* state = detail::site_locked(reg, site);
+    state->rule.store(nullptr, std::memory_order_release);
+    state->hits.store(0, std::memory_order_relaxed);
+    state->fired.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [site, rule] : parsed) {
+    auto box = std::make_unique<RuleBox>(rule);
+    box->seed = seed;
+    detail::SiteState* state = detail::site_locked(reg, site);
+    state->rule.store(box.get(), std::memory_order_release);
+    reg.retained_rules.push_back(std::move(box));
+  }
+  detail::g_active.store(!parsed.empty(), std::memory_order_relaxed);
+}
+
+void clear() { configure(""); }
+
+std::vector<std::string> known_sites() {
+  return {std::begin(kCatalogue), std::end(kCatalogue)};
+}
+
+std::vector<SiteStats> stats() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<SiteStats> out;
+  out.reserve(std::size(kCatalogue));
+  for (const char* site : kCatalogue) {
+    detail::SiteState* state = detail::site_locked(reg, site);
+    SiteStats s;
+    s.name = state->name;
+    s.hits = state->hits.load(std::memory_order_relaxed);
+    s.fired = state->fired.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+
+/// Loads CIPNET_FAULT_SPEC once at startup. A bad spec must not take the
+/// process down before main() — report and continue uninjected.
+struct EnvInit {
+  EnvInit() {
+    const char* spec = std::getenv("CIPNET_FAULT_SPEC");
+    if (spec == nullptr || *spec == '\0') return;
+    try {
+      configure(spec);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "CIPNET_FAULT_SPEC ignored: %s\n", e.what());
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+}  // namespace cipnet::fault

@@ -1,0 +1,141 @@
+#pragma once
+
+// Deterministic, seeded fault injection. The service's failure behavior —
+// watchdog recoveries, load shedding, graceful degradation — is only
+// trustworthy if it can be *provoked on demand and reproduced*: a named
+// `FaultSite` sits on each hot failure surface (allocation in the marking
+// arena, scheduler enqueue / worker body, cache insert, NDJSON frame
+// parsing, cancellation checks) and fires according to a rule loaded from
+// the `CIPNET_FAULT_SPEC` environment variable or the `--fault-spec` CLI
+// flag. Decisions are a pure function of `(seed, site name, hit index)`,
+// so the same spec replays the same fault sequence regardless of wall
+// clock — the property the chaos soak test (tests/test_chaos.cpp) builds
+// on.
+//
+// Spec grammar (clauses separated by `;` or `,`):
+//
+//   spec   := clause (';' clause)*
+//   clause := 'seed=' uint            global seed (default 0)
+//           | site '=' rule
+//   rule   := 'p' float               fire each hit with probability p
+//           | 'n' uint                fire exactly on the Nth hit (once)
+//           | 'every' uint            fire on every Nth hit
+//
+//   CIPNET_FAULT_SPEC='seed=42;reach.store.grow=p0.01;svc.cache.insert=n3'
+//
+// Site names must come from the compiled-in catalogue (`known_sites()`);
+// unknown names are a configuration error, so typos fail loudly instead of
+// silently injecting nothing.
+//
+// Cost model mirrors obs/metrics.h: when the `CIPNET_FAULT` CMake option is
+// OFF the `CIPNET_FAULT_SITE`/`CIPNET_FAULT_FIRES` macros expand to nothing
+// and `false` — sites compile out of release/bench builds entirely. When
+// compiled in but no spec is active, a hit is one relaxed atomic load plus
+// a branch. Counters `fault.hits` / `fault.injected` surface activity via
+// `--stats`; per-site numbers come from `stats()`.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cipnet {
+
+/// Thrown by fault points that simulate an unexpected internal failure
+/// (distinct from std::bad_alloc, which allocation sites throw to exercise
+/// real out-of-memory paths). Carries the site name so responses and logs
+/// can attribute the failure to the injected fault.
+class FaultInjected : public Error {
+ public:
+  explicit FaultInjected(const std::string& site)
+      : Error("injected fault at " + site), site_(site) {}
+
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+namespace fault {
+
+namespace detail {
+extern std::atomic<bool> g_active;
+
+struct SiteState;
+SiteState* site_state(std::string_view name);
+bool site_should_fire(SiteState& state);
+
+/// The pure decision function behind probability rules: does site
+/// `name_hash` fire on (1-based) hit `index` under `seed` with probability
+/// `p`? Exposed so tests can verify determinism without driving real hits.
+[[nodiscard]] bool prob_decision(std::uint64_t seed, std::uint64_t name_hash,
+                                 std::uint64_t index, double p);
+
+[[nodiscard]] std::uint64_t site_name_hash(std::string_view name);
+}  // namespace detail
+
+/// True when a fault spec is loaded. One relaxed load; every site checks
+/// this before anything else.
+inline bool active() {
+  return detail::g_active.load(std::memory_order_relaxed);
+}
+
+/// A handle to one named fault point. Construct once at namespace scope in
+/// the instrumented .cpp (like obs::Counter); `should_fire()` counts the
+/// hit and evaluates the site's rule.
+class FaultSite {
+ public:
+  explicit FaultSite(std::string_view name)
+      : state_(detail::site_state(name)) {}
+
+  [[nodiscard]] bool should_fire() const {
+    return active() && detail::site_should_fire(*state_);
+  }
+
+ private:
+  detail::SiteState* state_;
+};
+
+/// Load a fault spec (see grammar above), replacing any previous one and
+/// resetting all hit counters. Throws `Error` on syntax errors or unknown
+/// site names. An empty spec deactivates injection (same as `clear`).
+void configure(const std::string& spec);
+
+/// Drop the active spec and zero all counters.
+void clear();
+
+/// The compiled-in site catalogue, sorted. Stable names — they are part of
+/// the spec surface documented in docs/RESILIENCE.md.
+[[nodiscard]] std::vector<std::string> known_sites();
+
+struct SiteStats {
+  std::string name;
+  std::uint64_t hits = 0;   ///< times the site was evaluated under a rule
+  std::uint64_t fired = 0;  ///< times it injected
+};
+
+/// Per-site hit/fire counts for every catalogued site (zeroes for sites
+/// never reached), sorted by name.
+[[nodiscard]] std::vector<SiteStats> stats();
+
+}  // namespace fault
+}  // namespace cipnet
+
+// Site declaration + query macros. `CIPNET_FAULT_SITE(var, "name");` at
+// namespace scope declares a handle; `CIPNET_FAULT_FIRES(var)` evaluates
+// it. With the CMake option OFF both vanish, so a fault point is
+//
+//   if (CIPNET_FAULT_FIRES(f_grow)) throw std::bad_alloc();
+//
+// and costs literally nothing in builds without fault support.
+#if CIPNET_FAULT_ENABLED
+#define CIPNET_FAULT_SITE(var, name) \
+  const ::cipnet::fault::FaultSite var { name }
+#define CIPNET_FAULT_FIRES(var) ((var).should_fire())
+#else
+#define CIPNET_FAULT_SITE(var, name) static_assert(true)
+#define CIPNET_FAULT_FIRES(var) (false)
+#endif

@@ -1,8 +1,18 @@
 #include "util/text.h"
 
 #include <cctype>
+#include <charconv>
 
 namespace cipnet::text {
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || s.empty()) return std::nullopt;
+  return value;
+}
 
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   std::string out;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -8,6 +10,12 @@ namespace cipnet {
 
 /// Small string helpers shared by parsers, writers and diagnostics.
 namespace text {
+
+/// Strict full-match decimal parse: every character of `s` must be a digit
+/// and the value must fit. Parsers use this instead of std::stoul, whose
+/// std::invalid_argument / std::out_of_range escape the cipnet::Error
+/// hierarchy and would crash the CLI on garbage input.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view s);
 
 [[nodiscard]] std::string join(const std::vector<std::string>& parts,
                                std::string_view sep);

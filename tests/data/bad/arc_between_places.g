@@ -1,0 +1,8 @@
+# p0 and p1 are neither dummies nor signal edges, so this arc joins two places
+.model broken
+.inputs a
+.outputs b
+.graph
+p0 p1
+.marking { p0 }
+.end

@@ -1,0 +1,9 @@
+# .marking token count must be a decimal integer
+.model broken
+.inputs a
+.outputs b
+.graph
+a+ p0
+p0 b+
+.marking { p0=abc }
+.end

@@ -1,0 +1,9 @@
+# token count overflows every integer type; must not crash via out_of_range
+.model broken
+.inputs a
+.outputs b
+.graph
+a+ p0
+p0 b+
+.marking { p0=99999999999999999999999999999 }
+.end

@@ -1,0 +1,9 @@
+# partial numeric match: "2x" is not a count
+.model broken
+.inputs a
+.outputs b
+.graph
+a+ p0
+p0 b+
+.marking { p0=2x }
+.end

@@ -1,0 +1,9 @@
+# .marking body must be brace-delimited
+.model broken
+.inputs a
+.outputs b
+.graph
+a+ p0
+p0 b+
+.marking p0
+.end

@@ -1,0 +1,9 @@
+# marking references a place that no arc ever created
+.model broken
+.inputs a
+.outputs b
+.graph
+a+ p0
+p0 b+
+.marking { nowhere }
+.end

@@ -1,0 +1,7 @@
+.model broken
+.inputs a
+.frobnicate all the things
+.graph
+a+ p0
+.marking { p0 }
+.end

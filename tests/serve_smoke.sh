@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Smoke test for `cipnet serve`: pipe 20 NDJSON requests through the server
+# Smoke test for `cipnet serve`: pipe 24 NDJSON requests through the server
 # and validate that every response line parses under the strict JSON grammar
-# and carries a boolean "ok". Exercises the cache (repeated reach requests),
-# every op, error paths (bad op, malformed line), and per-request deadlines.
+# and carries a boolean "ok" (error responses also need a structured code +
+# message). Exercises the cache (repeated reach requests), every op, error
+# paths (bad op, malformed line, truncated JSON, binary junk, oversized
+# frame), and per-request deadlines.
 #
 # usage: serve_smoke.sh <cipnet-binary> <ndjson_check-binary>
 set -u -o pipefail
@@ -34,6 +36,15 @@ requests() {
   # Deadline / priority / no_cache knobs parse and round-trip.
   printf '{"id":19,"op":"reach","net":"%s","deadline_ms":5000,"priority":"high"}\n' "$NET"
   printf '{"id":20,"op":"reach","net":"%s","no_cache":true,"priority":"low"}\n' "$NET"
+  # Hostile frames: truncated JSON, binary junk, and an oversized line that
+  # blows the --max-line-bytes bound. Each must yield exactly one bad_request
+  # (or parse) response — never a hang, never a dropped line.
+  printf '{"id":21,"op":"reach","net":"%s"\n' "$NET"
+  printf '\001\002\003 {{{{ not even close\n'
+  head -c 8192 /dev/zero | tr '\0' 'x'
+  printf '\n'
+  printf '{"id":24,"op":"ping"}\n'
 }
 
-requests | "$CIPNET" serve --workers 4 --queue 64 | "$CHECK" 20
+requests | "$CIPNET" serve --workers 4 --queue 64 --max-line-bytes 4096 \
+  | "$CHECK" 24 bad_request,parse

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace cipnet {
+namespace {
+
+/// Every test leaves the process-global registry clean: specs are
+/// process-wide, and a leaked rule would poison whatever suite runs next in
+/// the same binary.
+class Fault : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::clear(); }
+  void TearDown() override { fault::clear(); }
+
+  static std::uint64_t fired(const std::string& site) {
+    for (const auto& s : fault::stats()) {
+      if (s.name == site) return s.fired;
+    }
+    ADD_FAILURE() << "unknown site: " << site;
+    return 0;
+  }
+
+  static std::uint64_t hits(const std::string& site) {
+    for (const auto& s : fault::stats()) {
+      if (s.name == site) return s.hits;
+    }
+    ADD_FAILURE() << "unknown site: " << site;
+    return 0;
+  }
+};
+
+TEST_F(Fault, CatalogueIsSortedAndStable) {
+  const std::vector<std::string> sites = fault::known_sites();
+  ASSERT_GE(sites.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  // These names are spec surface (docs/RESILIENCE.md); renaming one is a
+  // breaking change to every stored fault spec.
+  for (const char* expected :
+       {"algebra.hide.cancel", "reach.cancel", "reach.store.grow",
+        "svc.cache.insert", "svc.parse", "svc.scheduler.enqueue",
+        "svc.scheduler.worker"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
+        << expected;
+  }
+}
+
+TEST_F(Fault, InactiveByDefaultAndAfterClear) {
+  EXPECT_FALSE(fault::active());
+  fault::configure("svc.cache.insert=n1");
+  EXPECT_TRUE(fault::active());
+  fault::clear();
+  EXPECT_FALSE(fault::active());
+  const fault::FaultSite site("svc.cache.insert");
+  EXPECT_FALSE(site.should_fire());
+  EXPECT_EQ(hits("svc.cache.insert"), 0u);  // no rule, no hit accounting
+}
+
+TEST_F(Fault, EmptyAndWhitespaceSpecsDeactivate) {
+  fault::configure("svc.cache.insert=n1");
+  fault::configure("");
+  EXPECT_FALSE(fault::active());
+  fault::configure(" ; , ;; ");
+  EXPECT_FALSE(fault::active());
+}
+
+TEST_F(Fault, BadSpecsFailLoudly) {
+  EXPECT_THROW(fault::configure("no.such.site=n1"), Error);
+  EXPECT_THROW(fault::configure("svc.cache.insert"), Error);      // no rule
+  EXPECT_THROW(fault::configure("svc.cache.insert=x3"), Error);   // bad kind
+  EXPECT_THROW(fault::configure("svc.cache.insert=p1.5"), Error); // p > 1
+  EXPECT_THROW(fault::configure("svc.cache.insert=p-1"), Error);  // p < 0
+  EXPECT_THROW(fault::configure("svc.cache.insert=n0"), Error);   // 1-based
+  EXPECT_THROW(fault::configure("svc.cache.insert=every0"), Error);
+  EXPECT_THROW(fault::configure("seed=banana"), Error);
+}
+
+TEST_F(Fault, BadSpecLeavesPreviousConfigurationUntouched) {
+  fault::configure("svc.cache.insert=n1");
+  EXPECT_THROW(fault::configure("svc.cache.insert=n1;typo.site=n1"), Error);
+  // The earlier spec must still be live: parse-before-mutate.
+  EXPECT_TRUE(fault::active());
+  const fault::FaultSite site("svc.cache.insert");
+  EXPECT_TRUE(site.should_fire());
+}
+
+TEST_F(Fault, NthRuleFiresExactlyOnce) {
+  fault::configure("svc.cache.insert=n3");
+  const fault::FaultSite site("svc.cache.insert");
+  std::vector<std::size_t> fired_on;
+  for (std::size_t i = 1; i <= 10; ++i) {
+    if (site.should_fire()) fired_on.push_back(i);
+  }
+  EXPECT_EQ(fired_on, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(hits("svc.cache.insert"), 10u);
+  EXPECT_EQ(fired("svc.cache.insert"), 1u);
+}
+
+TEST_F(Fault, EveryRuleFiresPeriodically) {
+  fault::configure("reach.cancel=every4");
+  const fault::FaultSite site("reach.cancel");
+  std::vector<std::size_t> fired_on;
+  for (std::size_t i = 1; i <= 12; ++i) {
+    if (site.should_fire()) fired_on.push_back(i);
+  }
+  EXPECT_EQ(fired_on, (std::vector<std::size_t>{4, 8, 12}));
+}
+
+TEST_F(Fault, ConfigureResetsHitCounters) {
+  fault::configure("svc.cache.insert=n1");
+  const fault::FaultSite site("svc.cache.insert");
+  EXPECT_TRUE(site.should_fire());
+  EXPECT_FALSE(site.should_fire());
+  // Reloading the same spec rewinds the hit index: n1 fires again.
+  fault::configure("svc.cache.insert=n1");
+  EXPECT_EQ(hits("svc.cache.insert"), 0u);
+  EXPECT_TRUE(site.should_fire());
+}
+
+TEST_F(Fault, ProbabilityDecisionIsPure) {
+  const std::uint64_t h = fault::detail::site_name_hash("reach.cancel");
+  for (std::uint64_t index = 1; index <= 64; ++index) {
+    EXPECT_EQ(fault::detail::prob_decision(7, h, index, 0.3),
+              fault::detail::prob_decision(7, h, index, 0.3));
+  }
+  // p=0 never fires, p=1 always does.
+  for (std::uint64_t index = 1; index <= 64; ++index) {
+    EXPECT_FALSE(fault::detail::prob_decision(7, h, index, 0.0));
+    EXPECT_TRUE(fault::detail::prob_decision(7, h, index, 1.0));
+  }
+}
+
+TEST_F(Fault, ProbabilityReplayIsDeterministicPerSeed) {
+  auto drive = [](const char* spec) {
+    fault::configure(spec);
+    const fault::FaultSite site("svc.parse");
+    std::vector<bool> pattern;
+    pattern.reserve(200);
+    for (int i = 0; i < 200; ++i) pattern.push_back(site.should_fire());
+    return pattern;
+  };
+  const auto first = drive("seed=42;svc.parse=p0.5");
+  const auto second = drive("seed=42;svc.parse=p0.5");
+  EXPECT_EQ(first, second);
+
+  const auto other_seed = drive("seed=43;svc.parse=p0.5");
+  EXPECT_NE(first, other_seed);
+
+  // Sites diverge even under one seed: the name hash is mixed in.
+  fault::configure("seed=42;svc.parse=p0.5;reach.cancel=p0.5");
+  const fault::FaultSite a("svc.parse");
+  const fault::FaultSite b("reach.cancel");
+  std::vector<bool> pa, pb;
+  for (int i = 0; i < 200; ++i) {
+    pa.push_back(a.should_fire());
+    pb.push_back(b.should_fire());
+  }
+  EXPECT_NE(pa, pb);
+}
+
+TEST_F(Fault, ProbabilityRateIsRoughlyHonored) {
+  fault::configure("seed=1;svc.parse=p0.25");
+  const fault::FaultSite site("svc.parse");
+  int count = 0;
+  for (int i = 0; i < 2000; ++i) count += site.should_fire() ? 1 : 0;
+  // Deterministic, so these are exact-once-measured bounds with huge slack:
+  // a broken mixer (all-fire / never-fire) is what this guards against.
+  EXPECT_GT(count, 2000 / 8);
+  EXPECT_LT(count, 2000 / 2);
+}
+
+TEST_F(Fault, StatsCoverEveryCatalogueSite) {
+  const auto all = fault::stats();
+  ASSERT_EQ(all.size(), fault::known_sites().size());
+  for (const auto& s : all) {
+    EXPECT_EQ(s.hits, 0u) << s.name;
+    EXPECT_EQ(s.fired, 0u) << s.name;
+  }
+}
+
+#if CIPNET_FAULT_ENABLED
+TEST_F(Fault, MacrosCompileToLiveSites) {
+  CIPNET_FAULT_SITE(f_test, "svc.cache.insert");
+  fault::configure("svc.cache.insert=n1");
+  EXPECT_TRUE(CIPNET_FAULT_FIRES(f_test));
+  EXPECT_FALSE(CIPNET_FAULT_FIRES(f_test));
+}
+#endif
+
+}  // namespace
+}  // namespace cipnet

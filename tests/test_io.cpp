@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "helpers.h"
 #include "io/astg.h"
 #include "io/dot.h"
+#include "io/files.h"
 #include "io/net_format.h"
 #include "models/translator.h"
 #include "util/error.h"
@@ -163,6 +166,64 @@ TEST(Dot, ReachabilityExport) {
   std::string dot = to_dot(net, rg, "rg");
   EXPECT_NE(dot.find("s0"), std::string::npos);
   EXPECT_NE(dot.find("a+"), std::string::npos);
+}
+
+// --- Bad-input corpus ------------------------------------------------------
+// Every file under tests/data/bad/ is malformed on purpose. The contract for
+// hostile input is a ParseError — never std::invalid_argument escaping a raw
+// std::stoul, never a crash. New failure shapes get a new corpus file.
+
+std::string bad_corpus_dir() {
+#ifdef CIPNET_SOURCE_DIR
+  return std::string(CIPNET_SOURCE_DIR) + "/tests/data/bad";
+#else
+  return "tests/data/bad";
+#endif
+}
+
+TEST(BadInputCorpus, EveryFileYieldsParseErrorNotCrash) {
+  namespace fs = std::filesystem;
+  const fs::path dir(bad_corpus_dir());
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    const std::string ext = entry.path().extension().string();
+    const std::string text = read_text_file(path);
+    ++checked;
+    try {
+      if (ext == ".g" || ext == ".astg") {
+        (void)read_astg(text);
+      } else {
+        (void)read_net(text);
+      }
+      FAIL() << path << " parsed cleanly; it belongs in the corpus only if "
+                        "it is malformed";
+    } catch (const ParseError&) {
+      // expected: structured, catchable, with location in what()
+    } catch (const std::exception& e) {
+      FAIL() << path << " escaped the ParseError contract: " << e.what();
+    }
+  }
+  EXPECT_GE(checked, 10u) << "corpus went missing from " << dir;
+}
+
+TEST(ParseErrorLocation, LineAndColumnAreStructured) {
+  try {
+    read_net(".net x\n.place p banana\n.end\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_GT(e.column(), 0u);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+}
+
+TEST(ParseErrorLocation, PartialNumericMatchRejected) {
+  // std::stoul would have parsed "3x" as 3 and silently accepted the line.
+  EXPECT_THROW(read_net(".net x\n.place p 3x\n.end\n"), ParseError);
 }
 
 }  // namespace

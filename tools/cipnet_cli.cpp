@@ -41,6 +41,7 @@
 #include "svc/service.h"
 #include "synth/synthesize.h"
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace cipnet::cli {
 namespace {
@@ -343,6 +344,14 @@ int cmd_serve(const std::vector<std::string>& args) {
       options.default_deadline_ms = v;
     } else if (args[i] == "--max-states" && numeric(v)) {
       options.max_states = static_cast<std::size_t>(v);
+    } else if (args[i] == "--max-graph-mb" && numeric(v)) {
+      options.max_graph_bytes = static_cast<std::size_t>(v) << 20;
+    } else if (args[i] == "--max-rss-mb" && numeric(v)) {
+      options.max_rss_bytes = static_cast<std::size_t>(v) << 20;
+    } else if (args[i] == "--stall-ms" && numeric(v)) {
+      options.scheduler.stall_timeout_ms = v;
+    } else if (args[i] == "--max-line-bytes" && numeric(v)) {
+      options.max_line_bytes = static_cast<std::size_t>(v);
     } else {
       return usage();
     }
@@ -402,7 +411,11 @@ int usage() {
                "                      else = Chrome trace JSON (load in "
                "ui.perfetto.dev)\n"
                "  --progress          heartbeats on stderr during long "
-               "explorations\n");
+               "explorations\n"
+               "  --fault-spec <s>    seeded fault injection, e.g. "
+               "'seed=1;reach.cancel=p0.1'\n"
+               "                      (docs/RESILIENCE.md; overrides "
+               "CIPNET_FAULT_SPEC)\n");
   return 2;
 }
 
@@ -423,6 +436,8 @@ int run(int argc, char** argv) {
   bool stats = false;
   bool progress = false;
   std::string trace_out;
+  std::string fault_spec;
+  bool have_fault_spec = false;
   for (std::size_t i = 0; i < args.size();) {
     if (args[i] == "--stats") {
       stats = true;
@@ -434,11 +449,20 @@ int run(int argc, char** argv) {
       trace_out = args[i + 1];
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--fault-spec" && i + 1 < args.size()) {
+      fault_spec = args[i + 1];
+      have_fault_spec = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     } else {
       ++i;
     }
   }
   if (args.empty()) return usage();
+  // The CLI flag overrides any CIPNET_FAULT_SPEC loaded from the
+  // environment; a bad spec is a hard error (typos must not silently
+  // disable injection).
+  if (have_fault_spec) fault::configure(fault_spec);
 
   std::optional<obs::ScopedEnable> enable;
   if (stats || !trace_out.empty()) enable.emplace();

@@ -1,21 +1,37 @@
 // Validates an NDJSON response stream from `cipnet serve`: every line must
-// parse under the strict JSON grammar and carry a boolean "ok" member, and
-// the line count must match the expected count given as argv[1]. Used by
-// the ServeSmoke ctest (tests/serve_smoke.sh).
+// parse under the strict JSON grammar and carry a boolean "ok" member, every
+// error response must carry a structured error object (non-empty string
+// "code" and "message"), and the line count must match argv[1]. An optional
+// argv[2] lists comma-separated error codes that must each appear at least
+// once — the smoke test uses it to prove the malformed/oversized frames
+// actually exercised the rejection paths. Used by the ServeSmoke ctest
+// (tests/serve_smoke.sh).
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 
 #include "util/json.h"
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: ndjson_check <expected-line-count>\n");
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr,
+                 "usage: ndjson_check <expected-line-count> "
+                 "[required-error-codes,comma,separated]\n");
     return 2;
   }
   const long expected = std::strtol(argv[1], nullptr, 10);
+  std::map<std::string, long> required;  // code -> times seen
+  if (argc == 3) {
+    std::istringstream codes(argv[2]);
+    std::string code;
+    while (std::getline(codes, code, ',')) {
+      if (!code.empty()) required[code] = 0;
+    }
+  }
   long lines = 0;
   long ok = 0;
   std::string line;
@@ -30,7 +46,24 @@ int main(int argc, char** argv) {
                      line.c_str());
         return 1;
       }
-      if (flag->as_bool()) ++ok;
+      if (flag->as_bool()) {
+        ++ok;
+      } else {
+        const cipnet::json::Value* error = doc.find("error");
+        if (error == nullptr || !error->is_object()) {
+          std::fprintf(stderr, "line %ld: error response without error "
+                               "object: %s\n", lines, line.c_str());
+          return 1;
+        }
+        const std::string code = error->get_string("code");
+        if (code.empty() || error->get_string("message").empty()) {
+          std::fprintf(stderr, "line %ld: error without code/message: %s\n",
+                       lines, line.c_str());
+          return 1;
+        }
+        auto it = required.find(code);
+        if (it != required.end()) ++it->second;
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "line %ld: %s\n  %s\n", lines, e.what(),
                    line.c_str());
@@ -41,6 +74,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "expected %ld response lines, got %ld\n", expected,
                  lines);
     return 1;
+  }
+  for (const auto& [code, seen] : required) {
+    if (seen == 0) {
+      std::fprintf(stderr, "required error code never appeared: %s\n",
+                   code.c_str());
+      return 1;
+    }
   }
   std::fprintf(stderr, "ndjson_check: %ld lines, %ld ok\n", lines, ok);
   return 0;
