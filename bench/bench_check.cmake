@@ -28,9 +28,11 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "bench-check: aggregation failed")
 endif()
 
+# Rows under 10 ms cannot hold even a 20% band through a shared machine's
+# throttle episodes; the baseline's big rows are the regression signal.
 execute_process(
   COMMAND ${REPORT_BIN} diff ${BASELINE} ${OUT_DIR}/BENCH_scalability.json
-          --threshold ${THRESHOLD}
+          --threshold ${THRESHOLD} --min-ms 10
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR

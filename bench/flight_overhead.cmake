@@ -1,0 +1,86 @@
+# Script mode driver behind the `flight-overhead-check` target: prove the
+# always-on observability added to the hot paths — the flight-recorder ring
+# and the thread-local trace-context reads — costs within OVERHEAD of the
+# disabled configuration on the bench_scalability rows. Each rep runs the
+# report once with CIPNET_FLIGHT_DISABLE=1 (recorder off) and once without
+# it, **interleaved with alternating order** so slow machine drift (CPU
+# frequency, container throttling) lands on both sides equally instead of
+# biasing whichever side ran last. Medians per side are aggregated with
+# bench_report and diffed BOTH directions at the threshold — a two-sided
+# ±OVERHEAD band. Rows with medians at or below 50 ms cannot resolve a
+# few-percent band on a shared machine, so only the big rows gate
+# (--min-ms 50); and because per-row noise on a shared machine is ±5-10%
+# even on 150-300 ms rows, the gate is the GEOMEAN of the gated rows'
+# ratios (--geomean): symmetric noise cancels across rows while a uniform
+# always-on overhead does not, so the mean resolves the ±2% band that no
+# single row can.
+#
+# Expected -D inputs: BENCH_BIN, REPORT_BIN, OUT_DIR, REPS, OVERHEAD.
+
+set(outputs_off "")
+set(outputs_on "")
+foreach(rep RANGE 1 ${REPS})
+  # Alternate which side runs first so residual drift within a rep also
+  # averages out across reps.
+  math(EXPR parity "${rep} % 2")
+  if(parity EQUAL 1)
+    set(order off on)
+  else()
+    set(order on off)
+  endif()
+  foreach(side ${order})
+    set(out ${OUT_DIR}/flight_${side}_run_${rep}.txt)
+    if(side STREQUAL "off")
+      execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env CIPNET_FLIGHT_DISABLE=1
+                ${BENCH_BIN} --benchmark_filter=^$
+        OUTPUT_FILE ${out}
+        RESULT_VARIABLE rc)
+    else()
+      execute_process(
+        COMMAND ${BENCH_BIN} --benchmark_filter=^$
+        OUTPUT_FILE ${out}
+        RESULT_VARIABLE rc)
+    endif()
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "flight-overhead: ${BENCH_BIN} failed (${side}, rep ${rep}, rc=${rc})")
+    endif()
+    list(APPEND outputs_${side} ${out})
+  endforeach()
+endforeach()
+
+foreach(side off on)
+  execute_process(
+    COMMAND ${REPORT_BIN} aggregate scalability
+            -o ${OUT_DIR}/BENCH_flight_${side}.json ${outputs_${side}}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "flight-overhead: aggregation failed (${side})")
+  endif()
+endforeach()
+
+# Two one-sided regression diffs make the two-sided band.
+execute_process(
+  COMMAND ${REPORT_BIN} diff ${OUT_DIR}/BENCH_flight_off.json
+          ${OUT_DIR}/BENCH_flight_on.json --threshold ${OVERHEAD}
+          --min-ms 50 --geomean
+  RESULT_VARIABLE rc_on)
+if(NOT rc_on EQUAL 0)
+  message(FATAL_ERROR
+    "flight-overhead: recorder+trace-context cost more than ${OVERHEAD} "
+    "over the disabled run — the 'always-on' budget is blown")
+endif()
+execute_process(
+  COMMAND ${REPORT_BIN} diff ${OUT_DIR}/BENCH_flight_on.json
+          ${OUT_DIR}/BENCH_flight_off.json --threshold ${OVERHEAD}
+          --min-ms 50 --geomean
+  RESULT_VARIABLE rc_off)
+if(NOT rc_off EQUAL 0)
+  message(FATAL_ERROR
+    "flight-overhead: the disabled run is more than ${OVERHEAD} slower "
+    "than enabled — the measurement is too noisy to trust; rerun on an "
+    "idle machine")
+endif()
+message(STATUS
+  "flight-overhead: enabled vs disabled geomean within ±${OVERHEAD}")

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "algebra/basic.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -216,6 +217,9 @@ PetriNet hide_action(const PetriNet& net, const std::string& label,
         current.place_count() > options.max_intermediate_places) {
       if (options.epsilon_fallback) {
         c_epsilon_fallbacks.add();
+        obs::FlightRecorder::instance().record(
+            obs::FlightKind::kTruncated, 0, "hide.eps.size",
+            current.transition_count(), current.place_count());
         current = rename(current, {{label, std::string(kEpsilonLabel)}});
         break;
       }
@@ -227,6 +231,9 @@ PetriNet hide_action(const PetriNet& net, const std::string& label,
       // keep the remainder as dummies or report the blow-up.
       if (options.epsilon_fallback) {
         c_epsilon_fallbacks.add();
+        obs::FlightRecorder::instance().record(
+            obs::FlightKind::kTruncated, 0, "hide.eps.contractions",
+            contractions - 1, options.max_contractions);
         current = rename(current, {{label, std::string(kEpsilonLabel)}});
         break;
       }
@@ -256,6 +263,9 @@ PetriNet hide_action(const PetriNet& net, const std::string& label,
       // Keep the remaining transitions as dummies: language preserved
       // modulo eps.
       c_epsilon_fallbacks.add();
+      obs::FlightRecorder::instance().record(
+          obs::FlightKind::kTruncated, 0, "hide.eps.inexpressible",
+          contractions, 0);
       current = rename(current, {{label, std::string(kEpsilonLabel)}});
       break;
     }

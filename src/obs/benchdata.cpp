@@ -163,7 +163,8 @@ bool BenchDiff::regressed(double threshold) const {
   });
 }
 
-BenchDiff bench_diff(const BenchAggregate& base, const BenchAggregate& current) {
+BenchDiff bench_diff(const BenchAggregate& base, const BenchAggregate& current,
+                     double min_wall_s) {
   BenchDiff diff;
   for (const BenchRow& b : base.rows) {
     BenchRowDiff row;
@@ -173,8 +174,8 @@ BenchDiff bench_diff(const BenchAggregate& base, const BenchAggregate& current) 
     if (const BenchRow* c = current.row(b.name)) {
       row.current_wall_s = c->wall_s_median;
       row.in_current = true;
-      // Sub-millisecond baselines are timer noise; treat as unchanged.
-      row.ratio = b.wall_s_median > 1e-3
+      // Baselines at or below the floor are timer noise; treat as unchanged.
+      row.ratio = b.wall_s_median > min_wall_s
                       ? c->wall_s_median / b.wall_s_median
                       : 1.0;
     }

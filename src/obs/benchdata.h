@@ -75,8 +75,13 @@ struct BenchDiff {
   [[nodiscard]] bool regressed(double threshold) const;
 };
 
+/// Rows whose baseline median is at or below `min_wall_s` are treated as
+/// timer noise: ratio pinned to 1.0, never regressed. The 1 ms default
+/// suits regression tracking; overhead checks with tight thresholds raise
+/// it to gate only rows big enough to resolve the band.
 [[nodiscard]] BenchDiff bench_diff(const BenchAggregate& base,
-                                   const BenchAggregate& current);
+                                   const BenchAggregate& current,
+                                   double min_wall_s = 1e-3);
 
 /// Human-readable diff table, flagging rows beyond `threshold`.
 [[nodiscard]] std::string bench_diff_report(const BenchDiff& diff,

@@ -1,0 +1,261 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "util/json_writer.h"
+
+namespace cipnet::obs {
+
+namespace {
+
+constexpr std::string_view kKindNames[] = {
+    "job_submitted", "job_started", "job_completed", "job_errored",
+    "job_cancelled", "job_shed",    "job_rejected",  "watchdog_trip",
+    "fault_fired",   "truncated",   "dump",          "custom",
+};
+
+}  // namespace
+
+std::string_view flight_kind_name(FlightKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < std::size(kKindNames) ? kKindNames[i] : "unknown";
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::FlightRecorder() {
+  const char* off = std::getenv("CIPNET_FLIGHT_DISABLE");
+  active_ = !(off != nullptr && off[0] == '1');
+}
+
+void FlightRecorder::record(FlightKind kind, std::uint64_t job_id,
+                            std::string_view detail, std::uint64_t a,
+                            std::uint64_t b) {
+  if (!active_) return;
+  if (job_id == 0) job_id = current_job_id();
+  const std::uint64_t ticket =
+      next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % kFlightCapacity];
+  // Claim the slot: spin until the previous occupant (N tickets older, or
+  // a reader-visible even state) is out. Contention requires a writer to
+  // lap the entire ring mid-store — effectively never for job-rate events.
+  std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+  for (;;) {
+    if (seq >= 2 * (ticket + 1)) return;  // lapped while stalled: ours is
+                                          // older than the slot's event
+    if (seq % 2 == 0 &&
+        slot.seq.compare_exchange_weak(seq, 2 * ticket + 1,
+                                       std::memory_order_acq_rel)) {
+      break;
+    }
+    seq = slot.seq.load(std::memory_order_acquire);
+  }
+  slot.ns.store(Tracer::instance().now_ns(), std::memory_order_relaxed);
+  slot.job_id.store(job_id, std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint64_t>(kind),
+                  std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  // Pack the detail string into the atomic words, zero-padded.
+  for (std::size_t w = 0; w < slot.detail.size(); ++w) {
+    std::uint64_t word = 0;
+    for (std::size_t c = 0; c < 8; ++c) {
+      const std::size_t i = w * 8 + c;
+      if (i < detail.size() && i < kFlightDetailBytes) {
+        word |= static_cast<std::uint64_t>(
+                    static_cast<unsigned char>(detail[i]))
+                << (8 * c);
+      }
+    }
+    slot.detail[w].store(word, std::memory_order_relaxed);
+  }
+  slot.seq.store(2 * (ticket + 1), std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  if (!active_) return out;
+  out.reserve(kFlightCapacity);
+  for (const Slot& slot : slots_) {
+    // Seqlock read: the slot is consistent only if the sequence word is
+    // even and unchanged across the field reads.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+      if (seq1 == 0) break;          // never written
+      if (seq1 % 2 != 0) continue;   // writer in the slot; retry
+      FlightEvent ev;
+      ev.ticket = seq1 / 2 - 1;
+      ev.ns = slot.ns.load(std::memory_order_relaxed);
+      ev.job_id = slot.job_id.load(std::memory_order_relaxed);
+      ev.kind =
+          static_cast<FlightKind>(slot.kind.load(std::memory_order_relaxed));
+      ev.a = slot.a.load(std::memory_order_relaxed);
+      ev.b = slot.b.load(std::memory_order_relaxed);
+      char chars[kFlightDetailBytes];
+      for (std::size_t w = 0; w < slot.detail.size(); ++w) {
+        const std::uint64_t word =
+            slot.detail[w].load(std::memory_order_relaxed);
+        for (std::size_t c = 0; c < 8; ++c) {
+          chars[w * 8 + c] = static_cast<char>((word >> (8 * c)) & 0xff);
+        }
+      }
+      const std::uint64_t seq2 = slot.seq.load(std::memory_order_acquire);
+      if (seq1 != seq2) continue;  // torn; retry
+      ev.detail.assign(chars, strnlen(chars, kFlightDetailBytes));
+      out.push_back(std::move(ev));
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.ticket < y.ticket;
+            });
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& out, std::string_view reason) const {
+  const std::vector<FlightEvent> events = snapshot();
+  const std::uint64_t total = next_.load(std::memory_order_relaxed);
+  const std::uint64_t discarded =
+      total > events.size() ? total - events.size() : 0;
+  {
+    json::Writer w;
+    w.begin_object();
+    w.member("event", "flight_dump");
+    w.member("reason", reason);
+    w.member("recorded", total);
+    w.member("discarded", discarded);
+    w.member("events", static_cast<std::uint64_t>(events.size()));
+    w.end_object();
+    out << w.str() << '\n';
+  }
+  for (const FlightEvent& ev : events) {
+    json::Writer w;
+    w.begin_object();
+    w.member("seq", ev.ticket);
+    w.member("ns", ev.ns);
+    if (ev.job_id != 0) w.member("job", ev.job_id);
+    w.member("kind", flight_kind_name(ev.kind));
+    if (!ev.detail.empty()) w.member("detail", ev.detail);
+    if (ev.a != 0) w.member("a", ev.a);
+    if (ev.b != 0) w.member("b", ev.b);
+    w.end_object();
+    out << w.str() << '\n';
+  }
+  out.flush();
+}
+
+std::string FlightRecorder::dump_string(std::string_view reason) const {
+  std::ostringstream out;
+  dump(out, reason);
+  return out.str();
+}
+
+void FlightRecorder::auto_dump(std::string_view reason) {
+  if (!active_) return;
+  record(FlightKind::kDump, 0, reason);
+  std::string path;
+  bool truncate = false;
+  {
+    std::lock_guard<std::mutex> lock(path_mutex_);
+    path = dump_path_;
+    truncate = !path_truncated_;
+    path_truncated_ = true;
+  }
+  if (path.empty()) {
+    dump(std::cerr, reason);
+    return;
+  }
+  std::ofstream out(path, truncate ? std::ios::trunc : std::ios::app);
+  if (!out) {
+    dump(std::cerr, reason);
+    return;
+  }
+  dump(out, reason);
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  std::lock_guard<std::mutex> lock(path_mutex_);
+  dump_path_ = std::move(path);
+  path_truncated_ = false;
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock(path_mutex_);
+  return dump_path_;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  return next_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::clear() {
+  next_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) {
+    slot.seq.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// Fatal-signal path: format and write the events with nothing but stack
+/// buffers, snprintf, and write(2). snprintf is not strictly
+/// async-signal-safe, but this runs while the process is already dying —
+/// a best-effort black box, not a correctness guarantee.
+void write_crash_dump(int fd, int signo) {
+  char line[256];
+  int n = std::snprintf(line, sizeof(line),
+                        "{\"event\":\"flight_dump\",\"reason\":\"signal "
+                        "%d\"}\n",
+                        signo);
+  if (n > 0) (void)!write(fd, line, static_cast<std::size_t>(n));
+  for (const FlightEvent& ev : FlightRecorder::instance().snapshot()) {
+    n = std::snprintf(
+        line, sizeof(line),
+        "{\"seq\":%llu,\"ns\":%llu,\"job\":%llu,\"kind\":\"%.*s\","
+        "\"detail\":\"%.*s\",\"a\":%llu,\"b\":%llu}\n",
+        static_cast<unsigned long long>(ev.ticket),
+        static_cast<unsigned long long>(ev.ns),
+        static_cast<unsigned long long>(ev.job_id),
+        static_cast<int>(flight_kind_name(ev.kind).size()),
+        flight_kind_name(ev.kind).data(), static_cast<int>(ev.detail.size()),
+        ev.detail.c_str(), static_cast<unsigned long long>(ev.a),
+        static_cast<unsigned long long>(ev.b));
+    if (n > 0) (void)!write(fd, line, static_cast<std::size_t>(n));
+  }
+}
+
+void crash_handler(int signo) {
+  write_crash_dump(2, signo);
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+void FlightRecorder::install_crash_handler() {
+  if (!active_) return;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::signal(SIGSEGV, crash_handler);
+    std::signal(SIGABRT, crash_handler);
+    std::signal(SIGBUS, crash_handler);
+  });
+}
+
+}  // namespace cipnet::obs

@@ -1,0 +1,147 @@
+#pragma once
+
+// Always-on flight recorder: a fixed-size, lock-free ring buffer of the
+// events that matter when the service misbehaves — job state transitions,
+// fault fires, watchdog trips, shed/truncate decisions. Unlike the metric
+// registry, recording is NOT gated on `obs::enabled()`: the whole point is
+// that when a worker wedges or the process takes a fatal signal, the last
+// few thousand events are already in memory and can be dumped as JSONL
+// with no cooperation from the failing code.
+//
+// Design constraints, in order:
+//   * recording must be cheap (events are per *job*, never per state — a
+//     few dozen nanoseconds of relaxed atomics) and wait-free in the
+//     common case;
+//   * concurrent writers and a concurrent dump must be race-free under
+//     TSan — every slot word is an atomic, and a per-slot sequence number
+//     (seqlock discipline) lets the reader detect and skip torn slots;
+//   * the dump must be meaningful after a wrap: slots carry the global
+//     ticket, so events reassemble into their original total order and
+//     the dump reports how many older events the wrap discarded.
+//
+// The ring holds `kFlightCapacity` events. Payload strings (the `detail`
+// field) are truncated to `kFlightDetailBytes` — identifiers, not prose.
+// `CIPNET_FLIGHT_DISABLE=1` in the environment turns the recorder into a
+// no-op (checked once at startup); the bench-check harness uses this to
+// prove the always-on overhead is below its ±2% bound.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cipnet::obs {
+
+inline constexpr std::size_t kFlightCapacity = 4096;
+inline constexpr std::size_t kFlightDetailBytes = 48;
+
+/// Event vocabulary. Stable names (see `flight_kind_name`) — they appear
+/// in dumps, the `dump` service op, and docs/OBSERVABILITY.md.
+enum class FlightKind : std::uint8_t {
+  kJobSubmitted = 0,  ///< request accepted into the scheduler queue
+  kJobStarted,        ///< a worker began executing the job
+  kJobCompleted,      ///< job produced an ok response (a = cached 0/1)
+  kJobErrored,        ///< job produced an error response (detail = code)
+  kJobCancelled,      ///< deadline or watchdog cancellation surfaced
+  kJobShed,           ///< rejected at the door by the RSS watermark
+  kJobRejected,       ///< rejected by queue backpressure
+  kWatchdogTrip,      ///< watchdog cancelled a stalled job (a = ran ms)
+  kFaultFired,        ///< an injected fault surfaced (detail = site)
+  kTruncated,         ///< an exploration degraded to a partial result
+  kDump,              ///< a dump was produced (detail = reason)
+  kCustom,            ///< free-form marker (detail says what)
+};
+
+[[nodiscard]] std::string_view flight_kind_name(FlightKind kind);
+
+/// One decoded event, as returned by `snapshot()` / rendered by dumps.
+struct FlightEvent {
+  std::uint64_t ticket = 0;   ///< global sequence number (total order)
+  std::uint64_t ns = 0;       ///< steady-clock nanoseconds (tracer epoch)
+  std::uint64_t job_id = 0;   ///< owning job, 0 = none
+  FlightKind kind = FlightKind::kCustom;
+  std::uint64_t a = 0;        ///< kind-specific numeric payloads
+  std::uint64_t b = 0;
+  std::string detail;         ///< kind-specific short string
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  /// Record one event. `job_id` 0 means "use the thread's current
+  /// TraceContext job id" (obs/trace_context.h), so call sites deep in the
+  /// library need not know who they are working for. Lock-free; never
+  /// throws; a no-op when the recorder is disabled via environment.
+  void record(FlightKind kind, std::uint64_t job_id = 0,
+              std::string_view detail = {}, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+  /// Decode the ring into events sorted by ticket (oldest surviving
+  /// first). Torn slots (a writer mid-store) are skipped, so a snapshot
+  /// taken during a write storm is consistent, just possibly one short.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// The dump: one JSON object per line, oldest first, preceded by a
+  /// header line carrying the reason, total events recorded, and how many
+  /// the ring wrap discarded.
+  void dump(std::ostream& out, std::string_view reason) const;
+  [[nodiscard]] std::string dump_string(std::string_view reason) const;
+
+  /// Dump to the configured path (`set_dump_path`) or stderr when none.
+  /// Called by the scheduler watchdog on a stall and by the fatal-signal
+  /// handler; also records a `kDump` event so the dump itself is in the
+  /// timeline.
+  void auto_dump(std::string_view reason);
+
+  /// Where `auto_dump` writes ("" = stderr). Truncates on first use per
+  /// path, appends across repeated dumps of the same run.
+  void set_dump_path(std::string path);
+  [[nodiscard]] std::string dump_path() const;
+
+  /// Total events ever recorded (monotonic) and how many the ring has
+  /// discarded; `discarded = max(0, recorded - capacity)` modulo torn
+  /// writes.
+  [[nodiscard]] std::uint64_t recorded() const;
+
+  /// Drop every event and reset the ticket counter (tests).
+  void clear();
+
+  /// False when `CIPNET_FLIGHT_DISABLE=1` was set at process start.
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Install SIGSEGV/SIGABRT/SIGBUS handlers that write a best-effort
+  /// dump to the configured path (or stderr) before re-raising. Only the
+  /// long-lived server installs this; idempotent.
+  void install_crash_handler();
+
+ private:
+  FlightRecorder();
+
+  // One ring slot, fully atomic so concurrent write/decode is race-free.
+  // `seq` follows seqlock discipline: 0 = never written, odd = writer in
+  // the slot, even = 2 * (ticket + 1) of the stored event.
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> job_id{0};
+    std::atomic<std::uint64_t> kind{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::array<std::atomic<std::uint64_t>, kFlightDetailBytes / 8> detail{};
+  };
+
+  bool active_;
+  std::atomic<std::uint64_t> next_{0};
+  std::array<Slot, kFlightCapacity> slots_;
+
+  mutable std::mutex path_mutex_;
+  std::string dump_path_;
+  bool path_truncated_ = false;
+};
+
+}  // namespace cipnet::obs

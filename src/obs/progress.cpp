@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/memory.h"
+#include "obs/trace_context.h"
 
 namespace cipnet::obs {
 
@@ -74,6 +75,7 @@ void ProgressReporter::publish(bool final_event) {
   const std::uint64_t elapsed_ns = now > start_ns_ ? now - start_ns_ : 0;
   ProgressEvent event;
   event.phase = phase_;
+  event.job_id = current_job_id();
   event.items = items_;
   event.frontier = frontier_;
   event.elapsed_ms = elapsed_ns / 1'000'000;

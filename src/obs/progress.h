@@ -28,6 +28,8 @@ namespace cipnet::obs {
 /// reporter leaves scope (also on exception unwind).
 struct ProgressEvent {
   std::string phase;
+  /// Owning service job (obs/trace_context.h), 0 outside any request.
+  std::uint64_t job_id = 0;
   std::uint64_t items = 0;
   std::uint64_t frontier = 0;
   double items_per_sec = 0.0;

@@ -34,6 +34,7 @@ void JsonlSink::write_span(const SpanRecord& span,
   w.member("depth", depth);
   w.member("start_ns", span.start_ns);
   w.member("dur_ns", span.duration_ns);
+  if (span.job_id != 0) w.member("job", span.job_id);
   w.key("counters");
   write_pairs(w, span.counter_deltas);
   w.end_object();
@@ -82,6 +83,7 @@ void JsonlSink::write_progress(const ProgressEvent& event) {
   w.begin_object();
   w.member("event", "progress");
   w.member("phase", event.phase);
+  if (event.job_id != 0) w.member("job", event.job_id);
   w.member("items", event.items);
   w.member("frontier", event.frontier);
   w.member("items_per_sec", event.items_per_sec);

@@ -1,0 +1,84 @@
+#include "obs/sink_prom.h"
+
+namespace cipnet::obs {
+
+namespace {
+
+bool prom_name_byte(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+void append_escaped_label(std::string& out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   std::string_view labels, std::uint64_t value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prom_metric_name(std::string_view name) {
+  std::string out = "cipnet_";
+  for (char c : name) out += prom_name_byte(c) ? c : '_';
+  return out;
+}
+
+std::string prom_labeled_line(std::string_view name,
+                              std::string_view label_key,
+                              std::string_view label_value,
+                              std::uint64_t value) {
+  std::string out(name);
+  out += '{';
+  out += label_key;
+  out += "=\"";
+  append_escaped_label(out, label_value);
+  out += "\"} ";
+  out += std::to_string(value);
+  return out;
+}
+
+std::string render_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prom_metric_name(name) + "_total";
+    out += "# TYPE " + prom + " counter\n";
+    append_sample(out, prom, "", value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prom_metric_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    append_sample(out, prom, "", value);
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string prom = prom_metric_name(h.name);
+    out += "# TYPE " + prom + " summary\n";
+    append_sample(out, prom, "quantile=\"0.5\"", h.percentile(50));
+    append_sample(out, prom, "quantile=\"0.9\"", h.percentile(90));
+    append_sample(out, prom, "quantile=\"0.99\"", h.percentile(99));
+    append_sample(out, prom + "_sum", "", h.sum);
+    append_sample(out, prom + "_count", "", h.count);
+    out += "# TYPE " + prom + "_max gauge\n";
+    append_sample(out, prom + "_max", "", h.max);
+  }
+  return out;
+}
+
+}  // namespace cipnet::obs

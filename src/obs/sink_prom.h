@@ -1,0 +1,44 @@
+#pragma once
+
+// Prometheus text-exposition rendering of a metrics `Snapshot`
+// (obs/metrics.h). The `metrics` op of `cipnet serve` returns this with
+// `format=prom`, so a scrape proxy (or a human with curl) can lift the
+// live registry straight into a Prometheus/Grafana stack without a
+// bespoke exporter.
+//
+// Mapping:
+//   * metric names `module.metric` become `cipnet_module_metric`
+//     (dots and any other non-[a-zA-Z0-9_] byte -> '_');
+//   * counters render as `# TYPE ... counter` samples (suffix `_total`);
+//   * gauges render as `# TYPE ... gauge`;
+//   * histograms render as summaries: `{quantile="0.5|0.9|0.99"}` sample
+//     lines plus `_sum`, `_count`, and a `_max` gauge (the exact observed
+//     maximum, which Prometheus summaries lack).
+//
+// The format targets the Prometheus text exposition v0.0.4 line grammar;
+// tests/test_prom.cpp holds a strict line validator that round-trips a
+// snapshot through this renderer.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace cipnet::obs {
+
+/// `module.metric` -> `cipnet_module_metric` (prefix + sanitization).
+[[nodiscard]] std::string prom_metric_name(std::string_view name);
+
+/// One labeled sample line: `name{key="value"} 42`. `value` is escaped
+/// per the exposition grammar (backslash, double-quote, newline).
+[[nodiscard]] std::string prom_labeled_line(std::string_view name,
+                                            std::string_view label_key,
+                                            std::string_view label_value,
+                                            std::uint64_t value);
+
+/// Render the whole snapshot (zero-valued series included — a scraper
+/// needs the series to exist before it can alert on it staying flat).
+[[nodiscard]] std::string render_prometheus(const Snapshot& snapshot);
+
+}  // namespace cipnet::obs

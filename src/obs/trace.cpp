@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace cipnet::obs {
 
@@ -81,6 +82,7 @@ Span::Span(std::string_view name) {
   Frame& frame = t_stack.back();
   frame.record.name = std::string(name);
   frame.record.start_ns = Tracer::instance().now_ns();
+  frame.record.job_id = current_job_id();
   Registry::instance().counter_values(frame.counters_at_open);
 }
 

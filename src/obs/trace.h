@@ -28,6 +28,8 @@ struct SpanRecord {
   std::string name;
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
+  /// Owning service job (obs/trace_context.h), 0 outside any request.
+  std::uint64_t job_id = 0;
   std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
   std::vector<SpanRecord> children;
 };

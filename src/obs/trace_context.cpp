@@ -1,0 +1,26 @@
+#include "obs/trace_context.h"
+
+#include <utility>
+
+namespace cipnet::obs {
+
+namespace {
+thread_local TraceContext* t_current = nullptr;
+}  // namespace
+
+const TraceContext* current_trace_context() { return t_current; }
+
+TraceContext* mutable_current_trace_context() { return t_current; }
+
+std::uint64_t current_job_id() {
+  return t_current != nullptr ? t_current->job_id : 0;
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
+    : ctx_(std::move(ctx)), prev_(t_current) {
+  t_current = &ctx_;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current = prev_; }
+
+}  // namespace cipnet::obs

@@ -3,6 +3,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -79,6 +80,11 @@ CoverabilityResult coverability(const PetriNet& net,
   auto push = [&](std::vector<Token>& m, int parent) {
     if (tree.size() >= options.max_nodes) {
       if (options.truncate_on_limit) {
+        if (!truncated) {
+          obs::FlightRecorder::instance().record(
+              obs::FlightKind::kTruncated, 0, "cover.tree.nodes",
+              tree.size(), options.max_nodes);
+        }
         truncated = true;
         return;
       }

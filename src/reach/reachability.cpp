@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -166,6 +167,9 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
         approx_bytes() > options.max_graph_bytes) {
       if (options.truncate_on_limit) {
         rg.truncated_ = true;
+        obs::FlightRecorder::instance().record(
+            obs::FlightKind::kTruncated, 0, "reach.explore.bytes",
+            rg.store_.size(), approx_bytes());
         break;
       }
       sample_memory();
@@ -186,6 +190,9 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
       if (r.id == MarkingInterner::kNoId) {
         if (options.truncate_on_limit) {
           rg.truncated_ = true;
+          obs::FlightRecorder::instance().record(
+              obs::FlightKind::kTruncated, 0, "reach.explore.states",
+              rg.store_.size(), options.max_states);
           break;
         }
         throw limit_error();

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/fault.h"
@@ -72,7 +73,9 @@ std::uint64_t JobScheduler::retry_hint_ms() const {
 }
 
 SubmitStatus JobScheduler::submit(std::function<void()> job,
-                                  Priority priority, CancelToken cancel) {
+                                  Priority priority, CancelToken cancel,
+                                  std::string label,
+                                  obs::TraceContext ctx) {
   SubmitStatus status;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -85,7 +88,7 @@ SubmitStatus JobScheduler::submit(std::function<void()> job,
     }
     queues_[static_cast<std::size_t>(priority)].push_back(
         Job{std::move(job), std::chrono::steady_clock::now(),
-            std::move(cancel)});
+            std::move(cancel), std::move(label), std::move(ctx)});
     ++queued_;
     status.accepted = true;
     status.queue_depth = queued_;
@@ -124,9 +127,15 @@ void JobScheduler::worker_loop(WorkerSlot& slot) {
       slot.stall_flagged = false;
       slot.started = started;
       slot.cancel = job.cancel;
+      slot.job_id = job.ctx.job_id;
+      slot.label = job.label;
     }
     {
-      obs::Span span("svc.job");
+      // The request's trace context wraps the span AND the job body, so
+      // the `svc.job.<op>` span itself — not just the work inside it —
+      // carries the owning job id.
+      obs::ScopedTraceContext ctx(job.ctx);
+      obs::Span span(job.label.empty() ? "svc.job" : job.label);
       try {
         if (CIPNET_FAULT_FIRES(f_worker)) {
           throw FaultInjected("svc.scheduler.worker");
@@ -144,6 +153,8 @@ void JobScheduler::worker_loop(WorkerSlot& slot) {
       std::lock_guard<std::mutex> lock(slot.mu);
       slot.busy = false;
       slot.cancel = CancelToken{};
+      slot.job_id = 0;
+      slot.label.clear();
     }
     const std::uint64_t job_us =
         us_between(started, std::chrono::steady_clock::now());
@@ -179,8 +190,45 @@ void JobScheduler::watchdog_loop() {
       slot->stall_flagged = true;
       slot->cancel.request_cancel();
       c_watchdog_stalls.add();
+      // A stall is exactly what the flight recorder exists for: log the
+      // trip and dump the timeline while the evidence is fresh.
+      const std::uint64_t ran_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - slot->started)
+              .count());
+      obs::FlightRecorder::instance().record(obs::FlightKind::kWatchdogTrip,
+                                             slot->job_id, slot->label,
+                                             ran_ms);
+      obs::FlightRecorder::instance().auto_dump("watchdog_stall");
     }
   }
+}
+
+std::size_t JobScheduler::active_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+std::vector<JobScheduler::WorkerState> JobScheduler::worker_states() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<WorkerState> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    WorkerState state;
+    state.busy = slot->busy;
+    state.stalled = slot->stall_flagged;
+    state.job_id = slot->job_id;
+    state.label = slot->label;
+    if (slot->busy) {
+      state.running_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - slot->started)
+              .count());
+    }
+    out.push_back(std::move(state));
+  }
+  return out;
 }
 
 void JobScheduler::drain() {

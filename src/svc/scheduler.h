@@ -20,9 +20,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace_context.h"
 #include "util/cancel.h"
 
 namespace cipnet::svc {
@@ -65,10 +67,16 @@ class JobScheduler {
   /// Enqueue `job`. Never blocks: a full queue or a stopped scheduler
   /// rejects (accepted=false) and `job` is destroyed unrun. `cancel` is the
   /// job's cancellation token; the watchdog trips it when the job stalls
-  /// past `stall_timeout_ms`.
+  /// past `stall_timeout_ms`. `label` names the worker span wrapping the
+  /// job (`svc.job.<op>` from the service; empty = the generic
+  /// `svc.job`), so per-op duration histograms stay separable. `ctx` is
+  /// the request's TraceContext; the worker installs it around the span
+  /// and the job body, so every span/heartbeat/flight event the job emits
+  /// carries its job id.
   SubmitStatus submit(std::function<void()> job,
                       Priority priority = Priority::kNormal,
-                      CancelToken cancel = {});
+                      CancelToken cancel = {}, std::string label = {},
+                      obs::TraceContext ctx = {});
 
   /// The current backoff estimate (same number a rejection would carry),
   /// for callers that shed load before reaching the queue.
@@ -83,12 +91,27 @@ class JobScheduler {
 
   [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
   [[nodiscard]] std::size_t queue_depth() const;
+  /// Jobs currently executing on a worker.
+  [[nodiscard]] std::size_t active_count() const;
+  [[nodiscard]] std::size_t max_queue() const { return options_.max_queue; }
+
+  /// Point-in-time view of one worker for the `health` op.
+  struct WorkerState {
+    bool busy = false;
+    bool stalled = false;          ///< flagged by the watchdog
+    std::uint64_t job_id = 0;      ///< TraceContext id of the running job
+    std::string label;             ///< span label of the running job
+    std::uint64_t running_ms = 0;  ///< how long the current job has run
+  };
+  [[nodiscard]] std::vector<WorkerState> worker_states() const;
 
  private:
   struct Job {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
     CancelToken cancel;
+    std::string label;
+    obs::TraceContext ctx;
   };
 
   /// Per-worker heartbeat slot the watchdog scans. Own mutex (not the
@@ -99,6 +122,8 @@ class JobScheduler {
     bool stall_flagged = false;
     std::chrono::steady_clock::time_point started;
     CancelToken cancel;
+    std::uint64_t job_id = 0;
+    std::string label;
   };
 
   void worker_loop(WorkerSlot& slot);

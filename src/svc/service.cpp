@@ -15,10 +15,13 @@
 #include "io/astg.h"
 #include "io/net_format.h"
 #include "obs/buildinfo.h"
+#include "obs/flight_recorder.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/sink_prom.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "petri/canonical.h"
 #include "reach/coverability.h"
 #include "reach/properties.h"
@@ -46,12 +49,40 @@ const obs::Counter c_shed("svc.shed.rss");
 const obs::Counter c_truncated("svc.truncated");
 const obs::Counter c_oversized("svc.frames.oversized");
 const obs::Counter c_dropped("svc.responses.dropped");
+const obs::Counter c_introspect("svc.introspect");
+const obs::Histogram h_phase_queue_wait("svc.phase.queue_wait_us");
+const obs::Histogram h_phase_cache_lookup("svc.phase.cache_lookup_us");
+const obs::Histogram h_phase_exec("svc.phase.exec_us");
+const obs::Histogram h_phase_serialize("svc.phase.serialize_us");
 
 std::uint64_t now_ms_since(std::chrono::steady_clock::time_point start) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+}
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// Per-phase latency breakdown of one request, echoed in the response's
+/// `timings` object and mirrored into the `svc.phase.*` histograms. All
+/// microseconds; a phase the request never entered stays 0.
+struct Timings {
+  std::uint64_t queue_wait_us = 0;
+  std::uint64_t cache_lookup_us = 0;
+  std::uint64_t exec_us = 0;
+  std::uint64_t serialize_us = 0;
+};
+
+/// Ops answered inline on the submitting thread: introspection must work
+/// exactly when the queue is full or the process is shedding load.
+bool is_introspection_op(std::string_view op) {
+  return op == "metrics" || op == "jobs" || op == "health" || op == "dump";
 }
 
 }  // namespace
@@ -74,10 +105,31 @@ struct AnalysisService::Request {
   bool no_cache = false;
   Priority priority = Priority::kNormal;
   CancelToken cancel;
+
+  std::string client;  // optional client tag, echoed into the TraceContext
+  std::string format;  // `metrics` op: "json" (default) or "prom"
+  std::uint64_t job_id = 0;  // minted TraceContext id (0 = not yet minted)
+  std::chrono::steady_clock::time_point enqueued{};  // set on the async path
 };
 
 AnalysisService::AnalysisService(ServiceOptions options)
-    : options_(options), cache_(options.cache), scheduler_(options.scheduler) {}
+    : options_(options), cache_(options.cache), scheduler_(options.scheduler) {
+  // Progress heartbeats double as job liveness: any event attributed to a
+  // job (via its TraceContext) refreshes that row's heartbeat age in the
+  // `jobs` table.
+  progress_listener_ = obs::ProgressBus::instance().add_listener(
+      [this](const obs::ProgressEvent& event) {
+        jobs_.heartbeat(event.job_id);
+      });
+}
+
+AnalysisService::~AnalysisService() {
+  // Workers are still running (scheduler_ is destroyed after this body);
+  // they may publish into the bus until the listener is gone, and the
+  // table outlives the scheduler by declaration order, so this is the
+  // only ordering that needs care.
+  obs::ProgressBus::instance().remove_listener(progress_listener_);
+}
 
 AnalysisService::Request AnalysisService::parse_request(
     const std::string& line) const {
@@ -141,6 +193,8 @@ AnalysisService::Request AnalysisService::parse_request(
       req.labels.push_back(item.as_string());
     }
   }
+  req.client = doc.get_string("client");
+  req.format = doc.get_string("format", "json");
   req.max_states = static_cast<std::size_t>(doc.get_number("max_states", 0));
   req.deadline_ms =
       static_cast<std::uint64_t>(doc.get_number("deadline_ms", 0));
@@ -164,11 +218,30 @@ AnalysisService::Request AnalysisService::parse_request(
 
 namespace {
 
-/// `{"id":...,"op":...,"ok":false,"error":{...}}`
+/// Append the `timings` member. Called last so `serialize_us` — measured
+/// by the response builders over envelope assembly — is already final.
+void write_timings(json::Writer& w, const Timings& timings) {
+  w.key("timings").begin_object();
+  w.member("queue_wait_us", timings.queue_wait_us);
+  w.member("cache_lookup_us", timings.cache_lookup_us);
+  w.member("exec_us", timings.exec_us);
+  w.member("serialize_us", timings.serialize_us);
+  w.end_object();
+}
+
+/// `{"id":...,"op":...,"ok":false,"error":{...},"timings":{...}}`
+/// Callers that never touched the queue or cache (parse rejections, shed
+/// and queue-full turnaways, the ResponseGuard rescue) pass no Timings;
+/// the zero-phase fallback keeps the every-response contract: the object
+/// is always present and serialize_us is always measured.
 std::string error_response(const std::string& id_json, const std::string& op,
                            std::string_view code, std::string_view message,
                            std::uint64_t retry_after_ms = 0,
-                           std::uint64_t elapsed_ms = 0) {
+                           std::uint64_t elapsed_ms = 0,
+                           Timings* timings = nullptr) {
+  const auto serialize_start = std::chrono::steady_clock::now();
+  Timings inline_timings;
+  if (timings == nullptr) timings = &inline_timings;
   json::Writer w;
   w.begin_object();
   if (!id_json.empty()) w.key("id").raw(id_json);
@@ -180,15 +253,21 @@ std::string error_response(const std::string& id_json, const std::string& op,
   if (retry_after_ms != 0) w.member("retry_after_ms", retry_after_ms);
   if (elapsed_ms != 0) w.member("elapsed_ms", elapsed_ms);
   w.end_object();
+  timings->serialize_us = us_since(serialize_start);
+  h_phase_serialize.record(timings->serialize_us);
+  write_timings(w, *timings);
   w.end_object();
   c_errors.add();
   return w.take();
 }
 
-/// `{"id":...,"op":...,"ok":true,"cached":...,"elapsed_ms":...,"result":{...}}`
+/// `{"id":...,"op":...,"ok":true,"cached":...,"elapsed_ms":...,
+///   "result":{...},"timings":{...}}`
 std::string ok_response(const std::string& id_json, const std::string& op,
                         const std::string& payload, bool cached,
-                        std::uint64_t elapsed_ms) {
+                        std::uint64_t elapsed_ms,
+                        Timings* timings = nullptr) {
+  const auto serialize_start = std::chrono::steady_clock::now();
   json::Writer w;
   w.begin_object();
   if (!id_json.empty()) w.key("id").raw(id_json);
@@ -197,6 +276,11 @@ std::string ok_response(const std::string& id_json, const std::string& op,
   w.member("cached", cached);
   w.member("elapsed_ms", elapsed_ms);
   w.key("result").raw(payload);
+  if (timings != nullptr) {
+    timings->serialize_us = us_since(serialize_start);
+    h_phase_serialize.record(timings->serialize_us);
+    write_timings(w, *timings);
+  }
   w.end_object();
   c_ok.add();
   return w.take();
@@ -346,6 +430,142 @@ std::string joined_sorted(std::vector<std::string> items) {
   return out;
 }
 
+/// `metrics` op payload. format=json inlines the registry snapshot plus
+/// the per-site fault breakdown and flight-recorder state; format=prom
+/// wraps the Prometheus text exposition (obs/sink_prom.h) in `body`, with
+/// the fault sites appended as labeled `cipnet_fault_site_*` series.
+std::string run_metrics(const std::string& format) {
+  const obs::Snapshot snapshot = obs::Registry::instance().snapshot();
+  const std::vector<fault::SiteStats> sites = fault::stats();
+  auto& recorder = obs::FlightRecorder::instance();
+  if (format == "prom") {
+    std::string body = obs::render_prometheus(snapshot);
+    if (!sites.empty()) {
+      body += "# TYPE cipnet_fault_site_hits_total counter\n";
+      for (const auto& site : sites) {
+        body += obs::prom_labeled_line("cipnet_fault_site_hits_total",
+                                       "site", site.name, site.hits);
+        body += '\n';
+      }
+      body += "# TYPE cipnet_fault_site_fired_total counter\n";
+      for (const auto& site : sites) {
+        body += obs::prom_labeled_line("cipnet_fault_site_fired_total",
+                                       "site", site.name, site.fired);
+        body += '\n';
+      }
+    }
+    json::Writer w;
+    w.begin_object();
+    w.member("format", "prom");
+    w.member("body", body);
+    w.end_object();
+    return w.take();
+  }
+  json::Writer w;
+  w.begin_object();
+  w.member("format", "json");
+  w.member("enabled", obs::enabled());
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snapshot.counters) w.member(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snapshot.gauges) w.member(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : snapshot.histograms) {
+    w.key(h.name).begin_object();
+    w.member("count", h.count);
+    w.member("sum", h.sum);
+    w.member("max", h.max);
+    w.member("p50", h.percentile(50));
+    w.member("p90", h.percentile(90));
+    w.member("p99", h.percentile(99));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("fault_sites").begin_array();
+  for (const auto& site : sites) {
+    w.begin_object();
+    w.member("site", site.name);
+    w.member("hits", site.hits);
+    w.member("fired", site.fired);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("flight").begin_object();
+  w.member("active", recorder.active());
+  w.member("recorded", recorder.recorded());
+  w.member("capacity", static_cast<std::uint64_t>(obs::kFlightCapacity));
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+void write_job_rows(json::Writer& w, const std::vector<JobInfo>& rows,
+                    std::chrono::steady_clock::time_point now) {
+  w.begin_array();
+  for (const JobInfo& job : rows) {
+    w.begin_object();
+    w.member("job", job.job_id);
+    if (!job.id_json.empty()) w.key("id").raw(job.id_json);
+    w.member("op", job.op);
+    if (!job.client.empty()) w.member("client", job.client);
+    w.member("state", job_state_name(job.state));
+    w.member("phase", job.phase);
+    if (!job.outcome.empty()) w.member("outcome", job.outcome);
+    if (job.cached) w.member("cached", true);
+    w.member("elapsed_ms", job.elapsed_ms(now));
+    w.member("heartbeat_age_ms", job.heartbeat_age_ms(now));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+/// `jobs` op payload: the in-flight table plus the recently-completed ring.
+std::string run_jobs(const JobTable& table) {
+  const auto now = std::chrono::steady_clock::now();
+  json::Writer w;
+  w.begin_object();
+  w.key("in_flight");
+  write_job_rows(w, table.in_flight(), now);
+  w.key("recent");
+  write_job_rows(w, table.recent(), now);
+  w.end_object();
+  return w.take();
+}
+
+/// `dump` op payload: the decoded flight-recorder ring, oldest surviving
+/// event first. The dump itself is recorded (kind `dump`), so repeated
+/// dumps are visible in each other's timelines.
+std::string run_dump() {
+  auto& recorder = obs::FlightRecorder::instance();
+  recorder.record(obs::FlightKind::kDump, 0, "op");
+  const std::vector<obs::FlightEvent> events = recorder.snapshot();
+  const std::uint64_t recorded = recorder.recorded();
+  json::Writer w;
+  w.begin_object();
+  w.member("active", recorder.active());
+  w.member("recorded", recorded);
+  w.member("returned", events.size());
+  w.member("discarded",
+           recorded > events.size() ? recorded - events.size() : 0);
+  w.key("events").begin_array();
+  for (const obs::FlightEvent& event : events) {
+    w.begin_object();
+    w.member("t", event.ticket);
+    w.member("ns", event.ns);
+    if (event.job_id != 0) w.member("job", event.job_id);
+    w.member("kind", flight_kind_name(event.kind));
+    if (!event.detail.empty()) w.member("detail", event.detail);
+    if (event.a != 0) w.member("a", event.a);
+    if (event.b != 0) w.member("b", event.b);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
 /// Exactly-once response delivery for the asynchronous path. The shared
 /// handle travels inside the job closure; whoever responds first wins, and
 /// if nobody does — the worker threw before running the job, or the
@@ -389,6 +609,50 @@ class ResponseGuard {
 
 }  // namespace
 
+/// `health` op payload: one glance at everything that decides whether the
+/// next request gets in — RSS vs the shed watermark, queue depth vs
+/// capacity, and each worker's current job.
+std::string AnalysisService::run_health() const {
+  const std::uint64_t rss = obs::current_rss_bytes();
+  json::Writer w;
+  w.begin_object();
+  w.member("rss_bytes", rss);
+  w.member("max_rss_bytes",
+           static_cast<std::uint64_t>(options_.max_rss_bytes));
+  w.member("shedding",
+           options_.max_rss_bytes != 0 && rss > options_.max_rss_bytes);
+  w.key("queue").begin_object();
+  w.member("depth", scheduler_.queue_depth());
+  w.member("max", scheduler_.max_queue());
+  w.member("active", scheduler_.active_count());
+  w.member("retry_hint_ms", scheduler_.retry_hint_ms());
+  w.end_object();
+  w.key("workers").begin_array();
+  for (const JobScheduler::WorkerState& worker :
+       scheduler_.worker_states()) {
+    w.begin_object();
+    w.member("busy", worker.busy);
+    if (worker.stalled) w.member("stalled", true);
+    if (worker.job_id != 0) w.member("job", worker.job_id);
+    if (!worker.label.empty()) w.member("label", worker.label);
+    if (worker.busy) w.member("running_ms", worker.running_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("cache").begin_object();
+  w.member("entries", cache_.entries());
+  w.member("bytes", cache_.bytes());
+  w.end_object();
+  w.member("jobs_in_flight", jobs_.in_flight_count());
+  auto& recorder = obs::FlightRecorder::instance();
+  w.key("flight").begin_object();
+  w.member("active", recorder.active());
+  w.member("recorded", recorder.recorded());
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
 std::string AnalysisService::execute(const Request& req) {
   c_requests.add();
   if (!req.valid) {
@@ -396,6 +660,51 @@ std::string AnalysisService::execute(const Request& req) {
                           req.error_message);
   }
   const auto started = std::chrono::steady_clock::now();
+  Timings timings;
+  if (req.enqueued != std::chrono::steady_clock::time_point{}) {
+    timings.queue_wait_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            started - req.enqueued)
+            .count());
+    h_phase_queue_wait.record(timings.queue_wait_us);
+  }
+  // Install (or, on the async path where the worker already installed it,
+  // re-install) the request's trace context: the spans, heartbeats, and
+  // flight events below all stamp this job id.
+  obs::ScopedTraceContext trace_scope(
+      obs::TraceContext{req.job_id, req.op, 0, req.client});
+  const bool tracked = req.job_id != 0 && !is_introspection_op(req.op);
+  auto& recorder = obs::FlightRecorder::instance();
+  if (tracked) {
+    recorder.record(obs::FlightKind::kJobStarted, req.job_id, req.op);
+    jobs_.on_started(req.job_id);
+  }
+  // Terminal bookkeeping shared by every return path: the flight recorder
+  // and the job table both see exactly one completion per tracked job.
+  auto succeed = [&](const std::string& payload, bool cached) {
+    std::string response = ok_response(req.id_json, req.op, payload, cached,
+                                       now_ms_since(started), &timings);
+    if (tracked) {
+      recorder.record(obs::FlightKind::kJobCompleted, req.job_id, req.op,
+                      cached ? 1 : 0, trace_scope.context().net_hash);
+      jobs_.on_finished(req.job_id, JobState::kDone, "ok", cached,
+                        req.id_json, req.op, req.client);
+    }
+    return response;
+  };
+  auto fail = [&](std::string_view code, std::string_view message,
+                  std::uint64_t elapsed_ms = 0) {
+    std::string response = error_response(req.id_json, req.op, code, message,
+                                          0, elapsed_ms, &timings);
+    if (tracked) {
+      recorder.record(code == "cancelled" ? obs::FlightKind::kJobCancelled
+                                          : obs::FlightKind::kJobErrored,
+                      req.job_id, code);
+      jobs_.on_finished(req.job_id, JobState::kErrored, code, false,
+                        req.id_json, req.op, req.client);
+    }
+    return response;
+  };
   const std::size_t max_states =
       req.max_states != 0 ? req.max_states : options_.max_states;
   obs::Span span("svc." + req.op);
@@ -405,43 +714,66 @@ std::string AnalysisService::execute(const Request& req) {
   CacheKey key;
   key.op = req.op;
   try {
-    // Uncached, netless ops first.
+    // Introspection — answered from live state, never cached.
+    if (req.op == "metrics") {
+      c_introspect.add();
+      if (req.format != "json" && req.format != "prom") {
+        return fail("bad_request", "unknown format: " + req.format);
+      }
+      return succeed(run_metrics(req.format), false);
+    }
+    if (req.op == "jobs") {
+      c_introspect.add();
+      return succeed(run_jobs(jobs_), false);
+    }
+    if (req.op == "health") {
+      c_introspect.add();
+      return succeed(run_health(), false);
+    }
+    if (req.op == "dump") {
+      c_introspect.add();
+      return succeed(run_dump(), false);
+    }
+    // Uncached, netless ops.
     if (req.op == "ping") {
-      return ok_response(req.id_json, req.op, run_ping(), false,
-                         now_ms_since(started));
+      return succeed(run_ping(), false);
     }
     if (req.op == "version") {
-      return ok_response(req.id_json, req.op, run_version(), false,
-                         now_ms_since(started));
+      return succeed(run_version(), false);
     }
 
     std::string payload;
     bool truncated = false;
     if (req.op == "reach" || req.op == "cover" || req.op == "hide") {
       if (req.net_text.empty()) {
-        return error_response(req.id_json, req.op, "bad_request",
-                              "op '" + req.op +
-                                  "' needs a 'net' member (.cpn text)");
+        return fail("bad_request",
+                    "op '" + req.op + "' needs a 'net' member (.cpn text)");
       }
       PetriNet net = read_net(req.net_text);
       key.net_hash = canonical_hash(net);
+      trace_scope.context().net_hash = key.net_hash;
       if (req.op == "reach") {
         key.params = "max_states=" + std::to_string(max_states);
       } else if (req.op == "cover") {
         key.params = "max_nodes=" + std::to_string(max_states);
       } else {
         if (!req.has_labels) {
-          return error_response(req.id_json, req.op, "bad_request",
-                                "op 'hide' needs a 'labels' array");
+          return fail("bad_request", "op 'hide' needs a 'labels' array");
         }
         key.params = "labels=" + joined_sorted(req.labels);
       }
       if (!req.no_cache) {
-        if (auto hit = cache_.lookup(key)) {
-          return ok_response(req.id_json, req.op, *hit, true,
-                             now_ms_since(started));
+        if (tracked) jobs_.on_phase(req.job_id, "cache_lookup");
+        const auto lookup_start = std::chrono::steady_clock::now();
+        auto hit = cache_.lookup(key);
+        timings.cache_lookup_us = us_since(lookup_start);
+        h_phase_cache_lookup.record(timings.cache_lookup_us);
+        if (hit) {
+          return succeed(*hit, true);
         }
       }
+      if (tracked) jobs_.on_phase(req.job_id, "exec");
+      const auto exec_start = std::chrono::steady_clock::now();
       if (req.op == "reach") {
         payload = run_reach(net, max_states, options_.max_graph_bytes,
                             req.cancel, truncated);
@@ -450,63 +782,75 @@ std::string AnalysisService::execute(const Request& req) {
       } else {
         payload = run_hide(net, req.labels, req.cancel);
       }
+      timings.exec_us = us_since(exec_start);
+      h_phase_exec.record(timings.exec_us);
     } else if (req.op == "synth") {
       if (req.stg_text.empty()) {
-        return error_response(req.id_json, req.op, "bad_request",
-                              "op 'synth' needs an 'stg' member (.g text)");
+        return fail("bad_request",
+                    "op 'synth' needs an 'stg' member (.g text)");
       }
       Stg stg = read_astg(req.stg_text);
       key.net_hash = canonical_hash(stg.net());
+      trace_scope.context().net_hash = key.net_hash;
       key.params =
           "outputs=" + joined_sorted(stg.signal_names(SignalKind::kOutput)) +
           ";internal=" +
           joined_sorted(stg.signal_names(SignalKind::kInternal)) +
           ";max_states=" + std::to_string(max_states);
       if (!req.no_cache) {
-        if (auto hit = cache_.lookup(key)) {
-          return ok_response(req.id_json, req.op, *hit, true,
-                             now_ms_since(started));
+        if (tracked) jobs_.on_phase(req.job_id, "cache_lookup");
+        const auto lookup_start = std::chrono::steady_clock::now();
+        auto hit = cache_.lookup(key);
+        timings.cache_lookup_us = us_since(lookup_start);
+        h_phase_cache_lookup.record(timings.cache_lookup_us);
+        if (hit) {
+          return succeed(*hit, true);
         }
       }
+      if (tracked) jobs_.on_phase(req.job_id, "exec");
+      const auto exec_start = std::chrono::steady_clock::now();
       payload = run_synth(stg, max_states, req.cancel);
+      timings.exec_us = us_since(exec_start);
+      h_phase_exec.record(timings.exec_us);
     } else {
-      return error_response(req.id_json, req.op, "bad_request",
-                            "unknown op: " + req.op);
+      return fail("bad_request", "unknown op: " + req.op);
     }
     // Truncated results are never memoized — they describe how far *this*
     // run got, not a property of the net.
+    if (tracked) jobs_.on_phase(req.job_id, "serialize");
     if (!req.no_cache && !truncated) cache_.insert(key, payload);
     if (truncated) c_truncated.add();
-    return ok_response(req.id_json, req.op, payload, false,
-                       now_ms_since(started));
+    return succeed(payload, false);
   } catch (const FaultInjected& e) {
     c_faults.add();
     cache_.erase(key);
-    return error_response(req.id_json, req.op, "fault", e.what());
+    recorder.record(obs::FlightKind::kFaultFired, req.job_id, e.site());
+    return fail("fault", e.what());
   } catch (const Cancelled& e) {
     c_cancelled.add();
     cache_.erase(key);
-    return error_response(req.id_json, req.op, "cancelled", e.what(), 0,
-                          e.elapsed_ms());
+    return fail("cancelled", e.what(), e.elapsed_ms());
   } catch (const LimitError& e) {
     cache_.erase(key);
-    return error_response(req.id_json, req.op, "limit", e.what(), 0,
-                          now_ms_since(started));
+    return fail("limit", e.what(), now_ms_since(started));
   } catch (const ParseError& e) {
-    return error_response(req.id_json, req.op, "parse", e.what());
+    return fail("parse", e.what());
   } catch (const SemanticError& e) {
-    return error_response(req.id_json, req.op, "semantic", e.what());
+    return fail("semantic", e.what());
   } catch (const Error& e) {
     cache_.erase(key);
-    return error_response(req.id_json, req.op, "internal", e.what());
+    return fail("internal", e.what());
   } catch (const std::exception& e) {
     cache_.erase(key);
-    return error_response(req.id_json, req.op, "internal", e.what());
+    return fail("internal", e.what());
   }
 }
 
 std::string AnalysisService::handle_line(const std::string& line) {
   Request req = parse_request(line);
+  if (req.valid) {
+    req.job_id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  }
   const std::uint64_t deadline =
       req.deadline_ms != 0 ? req.deadline_ms : options_.default_deadline_ms;
   if (deadline != 0) {
@@ -522,6 +866,18 @@ SubmitStatus AnalysisService::submit_line(
     done(execute(req));
     return SubmitStatus{};
   }
+  req.job_id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  // Introspection bypasses shedding and the queue: `metrics`, `jobs`,
+  // `health`, and `dump` exist precisely to diagnose an overloaded
+  // service, so they must answer while everything else is rejected.
+  if (is_introspection_op(req.op)) {
+    req.enqueued = std::chrono::steady_clock::now();
+    done(execute(req));
+    SubmitStatus status;
+    status.accepted = true;
+    status.queue_depth = scheduler_.queue_depth();
+    return status;
+  }
   // Load shedding: above the RSS high watermark, reject before queuing —
   // finishing the jobs already in flight is the only way back under it,
   // and accepting more work just marches the process toward the OOM
@@ -534,6 +890,11 @@ SubmitStatus AnalysisService::submit_line(
       SubmitStatus status;
       status.queue_depth = scheduler_.queue_depth();
       status.retry_after_ms = scheduler_.retry_hint_ms();
+      obs::FlightRecorder::instance().record(
+          obs::FlightKind::kJobShed, req.job_id, req.op, rss,
+          options_.max_rss_bytes);
+      jobs_.on_finished(req.job_id, JobState::kShed, "overloaded", false,
+                        req.id_json, req.op, req.client);
       done(error_response(req.id_json, req.op, "overloaded",
                           "resident set " + std::to_string(rss) +
                               " bytes over the high watermark; shedding load",
@@ -552,16 +913,28 @@ SubmitStatus AnalysisService::submit_line(
     // token or a stalled worker could never be recovered.
     req.cancel = CancelToken::manual();
   }
+  req.enqueued = std::chrono::steady_clock::now();
   const Priority priority = req.priority;
   const CancelToken cancel = req.cancel;
   const std::string id_json = req.id_json;  // survive the move below
   const std::string op = req.op;
+  const std::uint64_t job_id = req.job_id;
+  obs::TraceContext ctx;
+  ctx.job_id = job_id;
+  ctx.op = op;
+  ctx.client = req.client;
+  obs::FlightRecorder::instance().record(obs::FlightKind::kJobSubmitted,
+                                         job_id, op);
+  jobs_.on_submitted(job_id, id_json, op, req.client);
   auto guard = std::make_shared<ResponseGuard>(id_json, op, std::move(done));
   SubmitStatus status = scheduler_.submit(
       [this, req = std::move(req), guard]() { guard->respond(execute(req)); },
-      priority, cancel);
+      priority, cancel, "svc.job." + op, std::move(ctx));
   if (!status.accepted) {
     c_overloaded.add();
+    obs::FlightRecorder::instance().record(obs::FlightKind::kJobRejected,
+                                           job_id, op, status.queue_depth);
+    jobs_.on_finished(job_id, JobState::kRejected, "overloaded", false);
     guard->respond(error_response(
         id_json, op, "overloaded",
         "queue full (" + std::to_string(status.queue_depth) +
@@ -603,6 +976,10 @@ bool bounded_getline(std::istream& in, std::string& line,
 
 std::size_t serve(std::istream& in, std::ostream& out,
                   const ServiceOptions& options) {
+  // The `metrics` op reports the live registry, so serving implies
+  // instrumentation — enabled without resetting (the CLI may have turned
+  // it on already), restored when the loop exits.
+  obs::ScopedEnable metrics_on(/*reset=*/false);
   AnalysisService service(options);
   obs::ProgressReporter progress("svc.serve");
   std::mutex out_mutex;

@@ -8,12 +8,23 @@
 // content-addressed `ResultCache` keyed by the canonical net hash. The
 // protocol — ops, schemas, error codes, backpressure semantics — is
 // specified in docs/SERVICE.md.
+//
+// Observability: every request is minted a `TraceContext` (obs/
+// trace_context.h) at parse, so spans, progress heartbeats, and flight-
+// recorder events downstream carry the owning job id; every response
+// carries a `timings` object (queue_wait/cache_lookup/exec/serialize, in
+// microseconds, mirrored into the `svc.phase.*` histograms); and the
+// introspection ops `metrics` / `jobs` / `health` / `dump` answer inline —
+// bypassing load shedding and the queue — so the service can be inspected
+// precisely when it is overloaded.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <string>
 
+#include "svc/job_table.h"
 #include "svc/result_cache.h"
 #include "svc/scheduler.h"
 
@@ -44,6 +55,10 @@ struct ServiceOptions {
 class AnalysisService {
  public:
   explicit AnalysisService(ServiceOptions options = {});
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
 
   /// Parse and execute one request synchronously on the calling thread.
   /// Always returns exactly one response document (no trailing newline);
@@ -64,6 +79,7 @@ class AnalysisService {
 
   [[nodiscard]] JobScheduler& scheduler() { return scheduler_; }
   [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] JobTable& jobs() { return jobs_; }
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
  private:
@@ -71,9 +87,15 @@ class AnalysisService {
 
   [[nodiscard]] Request parse_request(const std::string& line) const;
   [[nodiscard]] std::string execute(const Request& request);
+  [[nodiscard]] std::string run_health() const;
 
   ServiceOptions options_;
+  /// Monotonic TraceContext ids; 0 is reserved for "no request".
+  std::atomic<std::uint64_t> next_job_id_{1};
+  /// ProgressBus listener mapping heartbeat events onto the job table.
+  int progress_listener_ = 0;
   ResultCache cache_;
+  JobTable jobs_;
   JobScheduler scheduler_;  // declared last: workers die before the cache
 };
 

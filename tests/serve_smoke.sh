@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Smoke test for `cipnet serve`: pipe 24 NDJSON requests through the server
+# Smoke test for `cipnet serve`: pipe 30 NDJSON requests through the server
 # and validate that every response line parses under the strict JSON grammar
-# and carries a boolean "ok" (error responses also need a structured code +
-# message). Exercises the cache (repeated reach requests), every op, error
-# paths (bad op, malformed line, truncated JSON, binary junk, oversized
-# frame), and per-request deadlines.
+# and carries a boolean "ok" (ok responses also need a numeric `timings`
+# object; error responses a structured code + message). Exercises the cache
+# (repeated reach requests), every op — the introspection ops `metrics`
+# (json + prom), `jobs`, `health`, `dump` included — error paths (bad op,
+# malformed line, truncated JSON, binary junk, oversized frame), and
+# per-request deadlines.
 #
 # usage: serve_smoke.sh <cipnet-binary> <ndjson_check-binary>
 set -u -o pipefail
@@ -44,7 +46,17 @@ requests() {
   head -c 8192 /dev/zero | tr '\0' 'x'
   printf '\n'
   printf '{"id":24,"op":"ping"}\n'
+  # Introspection ops: live metrics (JSON and Prometheus text exposition),
+  # the job table, the health summary, and a flight-recorder dump. Each
+  # answers inline and, like every ok response, must carry `timings`.
+  printf '{"id":25,"op":"metrics"}\n'
+  printf '{"id":26,"op":"metrics","format":"prom"}\n'
+  printf '{"id":27,"op":"jobs","client":"smoke"}\n'
+  printf '{"id":28,"op":"health"}\n'
+  printf '{"id":29,"op":"dump"}\n'
+  # Unknown metrics format is a structured bad_request, not a hang.
+  printf '{"id":30,"op":"metrics","format":"xml"}\n'
 }
 
 requests | "$CIPNET" serve --workers 4 --queue 64 --max-line-bytes 4096 \
-  | "$CHECK" 24 bad_request,parse
+  | "$CHECK" 30 bad_request,parse

@@ -1,0 +1,383 @@
+// Flight recorder + trace context: the always-on black box of the serve
+// stack. The interesting properties are concurrency properties — writers
+// never block, a dump taken during a write storm is consistent, a wrapped
+// ring still reassembles into total order — plus the TraceContext plumbing
+// that stamps every span and event with its owning job id.
+//
+// The recorder is a process singleton; every test clears it on entry (and
+// restores the dump path it changes), so tests stay order-independent
+// within this binary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "svc/scheduler.h"
+#include "util/cancel.h"
+#include "util/json.h"
+
+namespace cipnet {
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightKind;
+using obs::FlightRecorder;
+using obs::kFlightCapacity;
+using obs::kFlightDetailBytes;
+
+// ---------------------------------------------------------------------------
+// TraceContext
+
+TEST(TraceContext, NoContextMeansZeroDefaults) {
+  EXPECT_EQ(obs::current_trace_context(), nullptr);
+  EXPECT_EQ(obs::mutable_current_trace_context(), nullptr);
+  EXPECT_EQ(obs::current_job_id(), 0u);
+}
+
+TEST(TraceContext, ScopedInstallAndRestore) {
+  obs::TraceContext ctx;
+  ctx.job_id = 42;
+  ctx.op = "reach";
+  ctx.client = "tester";
+  {
+    obs::ScopedTraceContext scope(ctx);
+    ASSERT_NE(obs::current_trace_context(), nullptr);
+    EXPECT_EQ(obs::current_job_id(), 42u);
+    EXPECT_EQ(obs::current_trace_context()->op, "reach");
+    EXPECT_EQ(obs::current_trace_context()->client, "tester");
+  }
+  EXPECT_EQ(obs::current_job_id(), 0u);
+}
+
+TEST(TraceContext, ScopesNestInnermostWins) {
+  obs::TraceContext outer;
+  outer.job_id = 1;
+  obs::ScopedTraceContext outer_scope(outer);
+  {
+    obs::TraceContext inner;
+    inner.job_id = 2;
+    obs::ScopedTraceContext inner_scope(inner);
+    EXPECT_EQ(obs::current_job_id(), 2u);
+  }
+  EXPECT_EQ(obs::current_job_id(), 1u);
+}
+
+TEST(TraceContext, MutableBackfillIsVisibleThroughAccessors) {
+  obs::TraceContext ctx;
+  ctx.job_id = 7;
+  obs::ScopedTraceContext scope(ctx);
+  ASSERT_NE(obs::mutable_current_trace_context(), nullptr);
+  obs::mutable_current_trace_context()->net_hash = 0xdeadbeef;
+  EXPECT_EQ(obs::current_trace_context()->net_hash, 0xdeadbeefu);
+  // The scope's own view is the same object.
+  EXPECT_EQ(scope.context().net_hash, 0xdeadbeefu);
+}
+
+TEST(TraceContext, ContextIsPerThread) {
+  obs::TraceContext ctx;
+  ctx.job_id = 99;
+  obs::ScopedTraceContext scope(ctx);
+  std::uint64_t seen_on_other_thread = 1;
+  std::thread([&] { seen_on_other_thread = obs::current_job_id(); }).join();
+  EXPECT_EQ(seen_on_other_thread, 0u);
+  EXPECT_EQ(obs::current_job_id(), 99u);
+}
+
+/// Records every completed root span for inspection.
+class RecordingSink : public obs::Sink {
+ public:
+  void on_span(const obs::SpanRecord& root) override {
+    roots.push_back(root);
+  }
+  std::vector<obs::SpanRecord> roots;
+};
+
+TEST(TraceContext, SpansStampTheCurrentJobId) {
+  obs::ScopedEnable enable;
+  auto sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().add_sink(sink);
+  {
+    obs::Span untagged("outside");
+  }
+  {
+    obs::TraceContext ctx;
+    ctx.job_id = 17;
+    obs::ScopedTraceContext scope(ctx);
+    obs::Span tagged("inside");
+    obs::Span child("inside.child");
+  }
+  obs::Tracer::instance().remove_sink(sink);
+  ASSERT_EQ(sink->roots.size(), 2u);
+  EXPECT_EQ(sink->roots[0].job_id, 0u);
+  EXPECT_EQ(sink->roots[1].job_id, 17u);
+  ASSERT_EQ(sink->roots[1].children.size(), 1u);
+  EXPECT_EQ(sink->roots[1].children[0].job_id, 17u);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder: single-threaded semantics
+
+TEST(FlightRecorder, RecordsAndSnapshotsInOrder) {
+  auto& recorder = FlightRecorder::instance();
+  recorder.clear();
+  recorder.record(FlightKind::kJobSubmitted, 1, "reach");
+  recorder.record(FlightKind::kJobStarted, 1, "reach");
+  recorder.record(FlightKind::kJobCompleted, 1, "reach", /*a=*/1, /*b=*/2);
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightKind::kJobSubmitted);
+  EXPECT_EQ(events[1].kind, FlightKind::kJobStarted);
+  EXPECT_EQ(events[2].kind, FlightKind::kJobCompleted);
+  EXPECT_EQ(events[2].a, 1u);
+  EXPECT_EQ(events[2].b, 2u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ticket, i);
+    EXPECT_EQ(events[i].job_id, 1u);
+    EXPECT_EQ(events[i].detail, "reach");
+  }
+  EXPECT_EQ(recorder.recorded(), 3u);
+}
+
+TEST(FlightRecorder, JobIdZeroReadsTheTraceContext) {
+  auto& recorder = FlightRecorder::instance();
+  recorder.clear();
+  obs::TraceContext ctx;
+  ctx.job_id = 123;
+  {
+    obs::ScopedTraceContext scope(ctx);
+    recorder.record(FlightKind::kTruncated, 0, "reach.explore");
+  }
+  recorder.record(FlightKind::kCustom, 0, "no.context");
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].job_id, 123u);
+  EXPECT_EQ(events[1].job_id, 0u);
+}
+
+TEST(FlightRecorder, DetailIsTruncatedNotCorrupted) {
+  auto& recorder = FlightRecorder::instance();
+  recorder.clear();
+  const std::string longish(200, 'x');
+  recorder.record(FlightKind::kCustom, 5, longish);
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].detail, std::string(kFlightDetailBytes, 'x'));
+}
+
+TEST(FlightRecorder, RingWrapKeepsTheNewestCapacityEvents) {
+  auto& recorder = FlightRecorder::instance();
+  recorder.clear();
+  const std::size_t total = kFlightCapacity + 257;
+  for (std::size_t i = 0; i < total; ++i) {
+    recorder.record(FlightKind::kCustom, 1, "wrap", i);
+  }
+  EXPECT_EQ(recorder.recorded(), total);
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), kFlightCapacity);
+  // Oldest surviving first, contiguous tickets, ending at the last write.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ticket, total - kFlightCapacity + i);
+    EXPECT_EQ(events[i].a, events[i].ticket);
+  }
+}
+
+TEST(FlightRecorder, DumpIsParseableJsonlWithHeader) {
+  auto& recorder = FlightRecorder::instance();
+  recorder.clear();
+  recorder.record(FlightKind::kWatchdogTrip, 9, "svc.job.reach", 1500);
+  const std::string dump = recorder.dump_string("unit_test");
+  std::istringstream lines(dump);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    const json::Value doc = json::parse(line);  // throws on malformed
+    if (n == 0) {
+      EXPECT_EQ(doc.get_string("event"), "flight_dump");
+      EXPECT_EQ(doc.get_string("reason"), "unit_test");
+      EXPECT_EQ(doc.get_number("events"), 1.0);
+    } else {
+      EXPECT_EQ(doc.get_string("kind"), "watchdog_trip");
+      EXPECT_EQ(doc.get_number("job"), 9.0);
+      EXPECT_EQ(doc.get_number("a"), 1500.0);
+    }
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(FlightRecorder, AutoDumpWritesToConfiguredPath) {
+  auto& recorder = FlightRecorder::instance();
+  recorder.clear();
+  const std::string path =
+      testing::TempDir() + "/cipnet_flight_autodump.jsonl";
+  std::remove(path.c_str());
+  recorder.set_dump_path(path);
+  recorder.record(FlightKind::kCustom, 3, "before_dump");
+  recorder.auto_dump("test_reason");
+  recorder.set_dump_path("");  // back to stderr for later tests
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const json::Value header = json::parse(line);
+  EXPECT_EQ(header.get_string("reason"), "test_reason");
+  // The dump records itself, so the body holds both events.
+  std::size_t body_lines = 0;
+  bool saw_dump_event = false;
+  while (std::getline(in, line)) {
+    const json::Value doc = json::parse(line);
+    if (doc.get_string("kind") == "dump") saw_dump_event = true;
+    ++body_lines;
+  }
+  EXPECT_EQ(body_lines, 2u);
+  EXPECT_TRUE(saw_dump_event);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder: concurrency
+
+TEST(FlightRecorder, ConcurrentWritersLoseNothingUnderCapacity) {
+  auto& recorder = FlightRecorder::instance();
+  recorder.clear();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 400;  // 3200 << capacity: no wrap
+  static_assert(kThreads * kPerThread < kFlightCapacity);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        recorder.record(FlightKind::kCustom, t + 1, "storm", i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  // Per job (= per writer thread), the surviving events must appear in
+  // the order that thread recorded them: `a` strictly increasing.
+  std::vector<std::uint64_t> last(kThreads + 1, 0);
+  std::vector<std::uint64_t> count(kThreads + 1, 0);
+  for (const FlightEvent& ev : events) {
+    ASSERT_GE(ev.job_id, 1u);
+    ASSERT_LE(ev.job_id, kThreads);
+    if (count[ev.job_id] > 0) EXPECT_GT(ev.a, last[ev.job_id]);
+    last[ev.job_id] = ev.a;
+    ++count[ev.job_id];
+  }
+  for (std::size_t t = 1; t <= kThreads; ++t) {
+    EXPECT_EQ(count[t], kPerThread);
+  }
+}
+
+TEST(FlightRecorder, SnapshotDuringWriteStormStaysConsistent) {
+  auto& recorder = FlightRecorder::instance();
+  recorder.clear();
+  std::atomic<bool> stop{false};
+  constexpr std::size_t kWriters = 4;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        recorder.record(FlightKind::kCustom, t + 1, "dump_race", i++);
+      }
+    });
+  }
+  // Concurrent dumps: every decoded event must be internally consistent —
+  // per-job order preserved, detail never torn across the ring wrap.
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<FlightEvent> events = recorder.snapshot();
+    std::vector<std::uint64_t> last(kWriters + 1, 0);
+    std::vector<bool> seen(kWriters + 1, false);
+    std::uint64_t prev_ticket = 0;
+    bool first = true;
+    for (const FlightEvent& ev : events) {
+      if (!first) EXPECT_GT(ev.ticket, prev_ticket);
+      prev_ticket = ev.ticket;
+      first = false;
+      ASSERT_EQ(ev.detail, "dump_race");
+      ASSERT_GE(ev.job_id, 1u);
+      ASSERT_LE(ev.job_id, kWriters);
+      if (seen[ev.job_id]) EXPECT_GT(ev.a, last[ev.job_id]);
+      last[ev.job_id] = ev.a;
+      seen[ev.job_id] = true;
+    }
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a watchdog-cancelled job leaves a dump behind
+
+TEST(FlightRecorder, WatchdogStallDumpsTheJobTimeline) {
+  auto& recorder = FlightRecorder::instance();
+  recorder.clear();
+  const std::string path =
+      testing::TempDir() + "/cipnet_flight_watchdog.jsonl";
+  std::remove(path.c_str());
+  recorder.set_dump_path(path);
+
+  svc::SchedulerOptions options;
+  options.workers = 1;
+  options.stall_timeout_ms = 50;
+  options.watchdog_interval_ms = 10;
+  {
+    svc::JobScheduler scheduler(options);
+    CancelToken token = CancelToken::manual();
+    obs::TraceContext ctx;
+    ctx.job_id = 321;
+    ctx.op = "spin";
+    recorder.record(FlightKind::kJobSubmitted, 321, "spin");
+    const svc::SubmitStatus status = scheduler.submit(
+        [token] {
+          // Spin until the watchdog trips the token — the cooperative
+          // cancellation the service's exploration loops rely on.
+          while (!token.expired()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        },
+        svc::Priority::kNormal, token, "svc.job.spin", ctx);
+    ASSERT_TRUE(status.accepted);
+    scheduler.drain();
+  }
+  recorder.set_dump_path("");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "watchdog stall produced no dump at " << path;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(json::parse(line).get_string("reason"), "watchdog_stall");
+  bool saw_submitted = false;
+  bool saw_trip_for_job = false;
+  while (std::getline(in, line)) {
+    const json::Value doc = json::parse(line);
+    if (doc.get_string("kind") == "job_submitted" &&
+        doc.get_number("job") == 321.0) {
+      saw_submitted = true;
+    }
+    if (doc.get_string("kind") == "watchdog_trip" &&
+        doc.get_number("job") == 321.0) {
+      saw_trip_for_job = true;
+      EXPECT_EQ(doc.get_string("detail"), "svc.job.spin");
+    }
+  }
+  EXPECT_TRUE(saw_submitted);
+  EXPECT_TRUE(saw_trip_for_job);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cipnet

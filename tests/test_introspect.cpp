@@ -1,0 +1,359 @@
+// Service-level observability: the `metrics` / `jobs` / `health` / `dump`
+// introspection ops, the per-response `timings` breakdown, per-op span
+// labels carrying the minted job id, and the fault-site breakdown — the
+// request-facing half of docs/OBSERVABILITY.md.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/net_format.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "petri/net.h"
+#include "svc/service.h"
+#include "util/fault.h"
+#include "util/json.h"
+#include "util/json_writer.h"
+
+namespace cipnet {
+namespace {
+
+std::string toggle_net_text(std::size_t k) {
+  PetriNet net;
+  for (std::size_t i = 0; i < k; ++i) {
+    PlaceId a = net.add_place("a" + std::to_string(i), 1);
+    PlaceId b = net.add_place("b" + std::to_string(i), 0);
+    net.add_transition({a}, "t" + std::to_string(i), {b});
+    net.add_transition({b}, "u" + std::to_string(i), {a});
+  }
+  return write_net(net, "toggles");
+}
+
+std::string reach_request(int id, const std::string& net_text,
+                          const std::string& client = "") {
+  json::Writer w;
+  w.begin_object();
+  w.member("id", id);
+  w.member("op", "reach");
+  w.member("net", net_text);
+  if (!client.empty()) w.member("client", client);
+  w.end_object();
+  return w.take();
+}
+
+/// Run one request through the asynchronous path and wait for its response.
+std::string submit_and_wait(svc::AnalysisService& service,
+                            const std::string& line) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string response;
+  bool done = false;
+  (void)service.submit_line(line, [&](const std::string& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    response = r;
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return response;
+}
+
+void expect_numeric_timings(const json::Value& rsp) {
+  const json::Value* timings = rsp.find("timings");
+  ASSERT_NE(timings, nullptr) << "response lacks timings";
+  ASSERT_TRUE(timings->is_object());
+  for (const char* phase :
+       {"queue_wait_us", "cache_lookup_us", "exec_us", "serialize_us"}) {
+    const json::Value* v = timings->find(phase);
+    ASSERT_NE(v, nullptr) << "timings." << phase << " missing";
+    EXPECT_EQ(v->type(), json::Value::Type::kNumber) << phase;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// timings
+
+TEST(Introspect, EveryOkResponseCarriesTheFourPhaseTimings) {
+  svc::AnalysisService service;
+  for (const std::string& line :
+       {std::string("{\"id\":1,\"op\":\"ping\"}"),
+        std::string("{\"id\":2,\"op\":\"version\"}"),
+        reach_request(3, toggle_net_text(3)),
+        std::string("{\"id\":4,\"op\":\"metrics\"}"),
+        std::string("{\"id\":5,\"op\":\"health\"}")}) {
+    const json::Value rsp = json::parse(service.handle_line(line));
+    ASSERT_TRUE(rsp.find("ok")->as_bool()) << line;
+    expect_numeric_timings(rsp);
+  }
+}
+
+TEST(Introspect, ErrorResponsesCarryTimingsToo) {
+  svc::AnalysisService service;
+  const json::Value rsp =
+      json::parse(service.handle_line("{\"id\":1,\"op\":\"frobnicate\"}"));
+  ASSERT_FALSE(rsp.find("ok")->as_bool());
+  expect_numeric_timings(rsp);
+  // Even a frame rejected before a job exists (parse error: no queue, no
+  // cache, no exec) keeps the every-response contract.
+  const json::Value parse_rsp = json::parse(service.handle_line("not json"));
+  ASSERT_FALSE(parse_rsp.find("ok")->as_bool());
+  EXPECT_EQ(parse_rsp.find("error")->get_string("code"), "parse");
+  expect_numeric_timings(parse_rsp);
+}
+
+TEST(Introspect, QueuedRequestsReportNonTrivialQueueWait) {
+  svc::AnalysisService service;
+  const json::Value rsp =
+      json::parse(submit_and_wait(service, reach_request(1, toggle_net_text(6))));
+  ASSERT_TRUE(rsp.find("ok")->as_bool());
+  // Queue wait is measured from enqueue to worker pickup; it exists (is a
+  // number) even when near zero. exec covers the reach itself.
+  expect_numeric_timings(rsp);
+}
+
+// ---------------------------------------------------------------------------
+// metrics op
+
+TEST(Introspect, MetricsJsonSnapshotsTheRegistry) {
+  obs::ScopedEnable metrics_on;
+  svc::AnalysisService service;
+  ASSERT_TRUE(json::parse(service.handle_line(reach_request(1, toggle_net_text(4))))
+                  .find("ok")
+                  ->as_bool());
+  const json::Value rsp =
+      json::parse(service.handle_line("{\"id\":2,\"op\":\"metrics\"}"));
+  ASSERT_TRUE(rsp.find("ok")->as_bool());
+  const json::Value* result = rsp.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->get_string("format"), "json");
+  EXPECT_TRUE(result->find("enabled")->as_bool());
+  const json::Value* counters = result->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->get_number("svc.requests"), 1.0);
+  // The reach above ran through the phase histograms.
+  const json::Value* histograms = result->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* exec = histograms->find("svc.phase.exec_us");
+  ASSERT_NE(exec, nullptr) << "svc.phase.exec_us histogram missing";
+  EXPECT_GE(exec->get_number("count"), 1.0);
+  // Fault sites and flight-recorder state ride along.
+  ASSERT_NE(result->find("fault_sites"), nullptr);
+  EXPECT_TRUE(result->find("fault_sites")->is_array());
+  const json::Value* flight = result->find("flight");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_GT(flight->get_number("capacity"), 0.0);
+}
+
+TEST(Introspect, MetricsPromWrapsTheTextExposition) {
+  obs::ScopedEnable metrics_on;
+  svc::AnalysisService service;
+  const json::Value rsp = json::parse(
+      service.handle_line("{\"id\":1,\"op\":\"metrics\",\"format\":\"prom\"}"));
+  ASSERT_TRUE(rsp.find("ok")->as_bool());
+  const json::Value* result = rsp.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->get_string("format"), "prom");
+  const std::string body = result->get_string("body");
+  EXPECT_NE(body.find("# TYPE cipnet_svc_requests_total counter\n"),
+            std::string::npos)
+      << body;
+  // Per-site fault breakdown as labeled series.
+  EXPECT_NE(body.find("# TYPE cipnet_fault_site_hits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("cipnet_fault_site_hits_total{site=\""),
+            std::string::npos);
+}
+
+TEST(Introspect, MetricsUnknownFormatIsBadRequest) {
+  svc::AnalysisService service;
+  const json::Value rsp = json::parse(
+      service.handle_line("{\"id\":1,\"op\":\"metrics\",\"format\":\"xml\"}"));
+  ASSERT_FALSE(rsp.find("ok")->as_bool());
+  EXPECT_EQ(rsp.find("error")->get_string("code"), "bad_request");
+  expect_numeric_timings(rsp);
+}
+
+TEST(Introspect, FaultSiteHitsSurfaceInMetrics) {
+  // A rule that never fires (Nth-hit with a huge N) still counts hits.
+  fault::configure("seed=7;svc.cache.insert=n1000000");
+  svc::AnalysisService service;
+  ASSERT_TRUE(json::parse(service.handle_line(reach_request(1, toggle_net_text(3))))
+                  .find("ok")
+                  ->as_bool());
+  const json::Value rsp =
+      json::parse(service.handle_line("{\"id\":2,\"op\":\"metrics\"}"));
+  fault::clear();
+  ASSERT_TRUE(rsp.find("ok")->as_bool());
+  bool found = false;
+  for (const json::Value& site : rsp.find("result")->find("fault_sites")->items()) {
+    if (site.get_string("site") == "svc.cache.insert") {
+      found = true;
+      EXPECT_GE(site.get_number("hits"), 1.0);
+      EXPECT_EQ(site.get_number("fired"), 0.0);
+    }
+  }
+  EXPECT_TRUE(found) << "svc.cache.insert missing from fault_sites";
+}
+
+// ---------------------------------------------------------------------------
+// jobs op
+
+TEST(Introspect, JobsTableShowsCompletedWorkWithClientTags) {
+  svc::AnalysisService service;
+  const json::Value reach = json::parse(submit_and_wait(
+      service, reach_request(1, toggle_net_text(3), "introspect-test")));
+  ASSERT_TRUE(reach.find("ok")->as_bool());
+  service.drain();
+  const json::Value rsp =
+      json::parse(service.handle_line("{\"id\":2,\"op\":\"jobs\"}"));
+  ASSERT_TRUE(rsp.find("ok")->as_bool());
+  const json::Value* result = rsp.find("result");
+  ASSERT_NE(result, nullptr);
+  ASSERT_TRUE(result->find("in_flight")->is_array());
+  const json::Value* recent = result->find("recent");
+  ASSERT_NE(recent, nullptr);
+  bool found = false;
+  for (const json::Value& row : recent->items()) {
+    if (row.get_string("op") != "reach") continue;
+    found = true;
+    EXPECT_GT(row.get_number("job"), 0.0);
+    EXPECT_EQ(row.get_string("client"), "introspect-test");
+    EXPECT_EQ(row.get_string("state"), "done");
+    EXPECT_EQ(row.get_string("outcome"), "ok");
+    EXPECT_GE(row.get_number("elapsed_ms"), 0.0);
+    EXPECT_GE(row.get_number("heartbeat_age_ms"), 0.0);
+  }
+  EXPECT_TRUE(found) << "completed reach job missing from recent table";
+}
+
+TEST(Introspect, IntrospectionOpsStayOutOfTheJobTable) {
+  svc::AnalysisService service;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(json::parse(service.handle_line("{\"id\":1,\"op\":\"health\"}"))
+                    .find("ok")
+                    ->as_bool());
+  }
+  const json::Value rsp =
+      json::parse(service.handle_line("{\"id\":2,\"op\":\"jobs\"}"));
+  for (const char* table : {"in_flight", "recent"}) {
+    for (const json::Value& row : rsp.find("result")->find(table)->items()) {
+      EXPECT_NE(row.get_string("op"), "health") << "health polluted " << table;
+      EXPECT_NE(row.get_string("op"), "jobs") << "jobs polluted " << table;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// health op
+
+TEST(Introspect, HealthReportsQueueWorkersCacheAndFlight) {
+  svc::ServiceOptions options;
+  options.scheduler.workers = 3;
+  options.scheduler.max_queue = 17;
+  svc::AnalysisService service(options);
+  const json::Value rsp =
+      json::parse(service.handle_line("{\"id\":1,\"op\":\"health\"}"));
+  ASSERT_TRUE(rsp.find("ok")->as_bool());
+  const json::Value* result = rsp.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->get_number("rss_bytes"), 0.0);
+  EXPECT_EQ(result->get_number("max_rss_bytes"), 0.0);
+  EXPECT_FALSE(result->find("shedding")->as_bool());
+  const json::Value* queue = result->find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->get_number("max"), 17.0);
+  EXPECT_EQ(queue->get_number("depth"), 0.0);
+  const json::Value* workers = result->find("workers");
+  ASSERT_NE(workers, nullptr);
+  EXPECT_EQ(workers->items().size(), 3u);
+  for (const json::Value& worker : workers->items()) {
+    ASSERT_NE(worker.find("busy"), nullptr);
+  }
+  ASSERT_NE(result->find("cache"), nullptr);
+  ASSERT_NE(result->find("flight"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// dump op
+
+TEST(Introspect, DumpShowsTheJobLifecycle) {
+  obs::FlightRecorder::instance().clear();
+  svc::AnalysisService service;
+  const json::Value reach = json::parse(
+      submit_and_wait(service, reach_request(1, toggle_net_text(3))));
+  ASSERT_TRUE(reach.find("ok")->as_bool());
+  service.drain();
+  const json::Value rsp =
+      json::parse(service.handle_line("{\"id\":2,\"op\":\"dump\"}"));
+  ASSERT_TRUE(rsp.find("ok")->as_bool());
+  const json::Value* result = rsp.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GE(result->get_number("recorded"), 3.0);
+  double job_id = 0;
+  bool submitted = false, started = false, completed = false;
+  for (const json::Value& event : result->find("events")->items()) {
+    const std::string kind = event.get_string("kind");
+    if (kind == "job_submitted") {
+      submitted = true;
+      job_id = event.get_number("job");
+      EXPECT_EQ(event.get_string("detail"), "reach");
+    } else if (kind == "job_started") {
+      started = true;
+      EXPECT_EQ(event.get_number("job"), job_id);
+    } else if (kind == "job_completed") {
+      completed = true;
+      EXPECT_EQ(event.get_number("job"), job_id);
+    }
+  }
+  EXPECT_TRUE(submitted);
+  EXPECT_TRUE(started);
+  EXPECT_TRUE(completed);
+  EXPECT_GT(job_id, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// span labels
+
+TEST(Introspect, WorkerSpansCarryPerOpLabelsAndTheJobId) {
+  class RecordingSink : public obs::Sink {
+   public:
+    void on_span(const obs::SpanRecord& root) override {
+      std::lock_guard<std::mutex> lock(mu);
+      roots.push_back(root);
+    }
+    std::mutex mu;
+    std::vector<obs::SpanRecord> roots;
+  };
+
+  obs::ScopedEnable metrics_on;
+  auto sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().add_sink(sink);
+  {
+    svc::AnalysisService service;
+    ASSERT_TRUE(json::parse(submit_and_wait(
+                                service, reach_request(1, toggle_net_text(3))))
+                    .find("ok")
+                    ->as_bool());
+    service.drain();
+  }
+  obs::Tracer::instance().remove_sink(sink);
+
+  bool found = false;
+  std::lock_guard<std::mutex> lock(sink->mu);
+  for (const obs::SpanRecord& root : sink->roots) {
+    if (root.name != "svc.job.reach") continue;
+    found = true;
+    EXPECT_NE(root.job_id, 0u) << "worker span missing its job id";
+  }
+  EXPECT_TRUE(found) << "no svc.job.reach root span was recorded";
+}
+
+}  // namespace
+}  // namespace cipnet

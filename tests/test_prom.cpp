@@ -1,0 +1,217 @@
+// Prometheus text-exposition sink (obs/sink_prom.h): name sanitization,
+// label escaping, and a strict line-format validator that the rendered
+// registry snapshot must pass in full — every line is either a `# TYPE`
+// declaration or a sample whose name matches the declared family, with an
+// unsigned integer value. This is the contract the `metrics` op's
+// `format=prom` body is held to.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sink_prom.h"
+
+namespace cipnet {
+namespace {
+
+bool is_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool is_name_byte(char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9');
+}
+
+/// Strict validation of one exposition document. Returns an empty string
+/// when valid, else a description of the first offending line. Enforces:
+///   * every line is `# TYPE <name> <counter|gauge|summary>` or
+///     `<name>[{key="value"...}] <uint>`;
+///   * sample names match the grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+///   * every sample belongs to the most recently declared family — the
+///     family name itself or family + `_sum`/`_count` for summaries;
+///   * counter families end in `_total`;
+///   * label values use only the `\\` `\"` `\n` escapes.
+std::string validate_prometheus(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  std::string family;
+  std::string family_type;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& why) {
+    return "line " + std::to_string(line_no) + ": " + why + ": " + line;
+  };
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty()) return fail("empty line");
+    if (line[0] == '#') {
+      std::istringstream parts(line);
+      std::string hash, kw, name, type, extra;
+      parts >> hash >> kw >> name >> type;
+      if (hash != "#" || kw != "TYPE") return fail("unknown comment form");
+      if (parts >> extra) return fail("trailing tokens after TYPE");
+      if (name.empty() || !is_name_start(name[0])) return fail("bad name");
+      for (char c : name) {
+        if (!is_name_byte(c)) return fail("bad name byte");
+      }
+      if (type != "counter" && type != "gauge" && type != "summary") {
+        return fail("unknown type '" + type + "'");
+      }
+      if (type == "counter" &&
+          (name.size() < 6 ||
+           name.compare(name.size() - 6, 6, "_total") != 0)) {
+        return fail("counter family without _total suffix");
+      }
+      family = name;
+      family_type = type;
+      continue;
+    }
+    // Sample line: name [{labels}] SP value.
+    std::size_t i = 0;
+    if (i >= line.size() || !is_name_start(line[i])) {
+      return fail("sample must start with a name");
+    }
+    while (i < line.size() && is_name_byte(line[i])) ++i;
+    const std::string name = line.substr(0, i);
+    if (family.empty()) return fail("sample before any TYPE");
+    const bool family_match =
+        name == family ||
+        (family_type == "summary" &&
+         (name == family + "_sum" || name == family + "_count"));
+    if (!family_match) {
+      return fail("sample '" + name + "' outside family '" + family + "'");
+    }
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        // key="value" [, ...]
+        if (!is_name_start(line[i])) return fail("bad label key");
+        while (i < line.size() && is_name_byte(line[i])) ++i;
+        if (i >= line.size() || line[i] != '=') return fail("label needs =");
+        ++i;
+        if (i >= line.size() || line[i] != '"') return fail("unquoted label");
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            ++i;
+            if (i >= line.size() ||
+                (line[i] != '\\' && line[i] != '"' && line[i] != 'n')) {
+              return fail("bad label escape");
+            }
+          }
+          ++i;
+        }
+        if (i >= line.size()) return fail("unterminated label value");
+        ++i;  // closing quote
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size() || line[i] != '}') return fail("unclosed labels");
+      ++i;
+    }
+    if (i >= line.size() || line[i] != ' ') return fail("missing value");
+    ++i;
+    if (i >= line.size()) return fail("empty value");
+    for (; i < line.size(); ++i) {
+      if (line[i] < '0' || line[i] > '9') return fail("non-integer value");
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Name sanitization and labeled lines
+
+TEST(Prom, MetricNameIsPrefixedAndSanitized) {
+  EXPECT_EQ(obs::prom_metric_name("reach.states"), "cipnet_reach_states");
+  EXPECT_EQ(obs::prom_metric_name("svc.phase.exec_us"),
+            "cipnet_svc_phase_exec_us");
+  EXPECT_EQ(obs::prom_metric_name("weird-name/0"), "cipnet_weird_name_0");
+}
+
+TEST(Prom, LabeledLineEscapesValue) {
+  const std::string line = obs::prom_labeled_line(
+      "cipnet_fault_site_hits_total", "site", "a\"b\\c\nd", 5);
+  EXPECT_EQ(line,
+            "cipnet_fault_site_hits_total{site=\"a\\\"b\\\\c\\nd\"} 5");
+}
+
+TEST(Prom, LabeledLinePassesValidator) {
+  const std::string doc =
+      "# TYPE cipnet_fault_site_hits_total counter\n" +
+      obs::prom_labeled_line("cipnet_fault_site_hits_total", "site",
+                             "svc.cache.insert", 3) +
+      "\n";
+  EXPECT_EQ(validate_prometheus(doc), "");
+}
+
+// ---------------------------------------------------------------------------
+// Validator self-checks (it must actually reject malformed documents)
+
+TEST(Prom, ValidatorRejectsMalformedLines) {
+  EXPECT_NE(validate_prometheus("cipnet_x 1\n"), "");  // sample before TYPE
+  EXPECT_NE(validate_prometheus("# TYPE cipnet_x counter\ncipnet_x 1\n"),
+            "");  // counter family without _total
+  EXPECT_NE(
+      validate_prometheus("# TYPE cipnet_x_total counter\ncipnet_y_total 1\n"),
+      "");  // sample outside family
+  EXPECT_NE(validate_prometheus("# TYPE cipnet_x gauge\ncipnet_x 1.5\n"),
+            "");  // non-integer value
+  EXPECT_NE(validate_prometheus("# TYPE cipnet_x gauge\ncipnet_x  1\n"),
+            "");  // double space
+  EXPECT_NE(validate_prometheus("# TYPE cipnet_x oddtype\ncipnet_x 1\n"),
+            "");  // unknown type
+}
+
+// ---------------------------------------------------------------------------
+// Round trip: live registry -> exposition -> strict validation
+
+TEST(Prom, RenderedSnapshotPassesStrictValidation) {
+  obs::ScopedEnable enable;
+  obs::Counter counter("promtest.requests");
+  obs::Gauge gauge("promtest.depth");
+  obs::Histogram histogram("promtest.latency_us");
+  counter.add(41);
+  counter.add();
+  gauge.set(17);
+  for (std::uint64_t v : {1u, 2u, 3u, 100u, 1000u}) histogram.record(v);
+
+  const obs::Snapshot snapshot = obs::Registry::instance().snapshot();
+  const std::string text = obs::render_prometheus(snapshot);
+  EXPECT_EQ(validate_prometheus(text), "") << text;
+
+  // Spot-check the three family shapes with exact sample lines.
+  EXPECT_NE(text.find("# TYPE cipnet_promtest_requests_total counter\n"
+                      "cipnet_promtest_requests_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cipnet_promtest_depth gauge\n"
+                      "cipnet_promtest_depth 17\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cipnet_promtest_latency_us summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cipnet_promtest_latency_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("cipnet_promtest_latency_us_sum 1106\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cipnet_promtest_latency_us_count 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cipnet_promtest_latency_us_max gauge\n"
+                      "cipnet_promtest_latency_us_max 1000\n"),
+            std::string::npos);
+}
+
+TEST(Prom, ZeroValuedSeriesAreStillExposed) {
+  obs::ScopedEnable enable;  // resets all values to zero
+  obs::Counter counter("promtest.zero");
+  (void)counter;
+  const std::string text =
+      obs::render_prometheus(obs::Registry::instance().snapshot());
+  EXPECT_EQ(validate_prometheus(text), "") << text;
+  EXPECT_NE(text.find("cipnet_promtest_zero_total 0\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cipnet

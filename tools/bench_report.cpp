@@ -6,12 +6,21 @@
 //     build provenance) to `-o`, default `BENCH_<experiment>.json`.
 //
 //   bench_report diff <baseline.json> <current.json> [--threshold 0.10]
+//                     [--min-ms 1] [--geomean]
 //     Compare two trajectory files row by row; exit 1 when any shared row's
-//     median wall time regressed by more than the threshold.
+//     median wall time regressed by more than the threshold. Rows whose
+//     baseline median is at or below --min-ms are timer noise and never
+//     regress (tight-threshold overhead checks raise the floor to gate
+//     only rows big enough to resolve the band). With --geomean the gate
+//     moves from per-row to the geometric mean of the gated rows' ratios:
+//     per-row noise is symmetric and cancels across rows while a uniform
+//     overhead does not, so a mean gate resolves bands far tighter than
+//     any single row can.
 //
 // The `bench-check` CMake target chains the two against the committed
 // baseline in bench/baselines/.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -31,7 +40,7 @@ int usage() {
       stderr,
       "usage: bench_report aggregate <experiment> [-o out.json] [file...]\n"
       "       bench_report diff <baseline.json> <current.json>"
-      " [--threshold 0.10]\n");
+      " [--threshold 0.10] [--min-ms 1] [--geomean]\n");
   return 2;
 }
 
@@ -79,10 +88,16 @@ int cmd_aggregate(const std::vector<std::string>& args) {
 
 int cmd_diff(const std::vector<std::string>& args) {
   double threshold = 0.10;
+  double min_ms = 1.0;
+  bool geomean = false;
   std::vector<std::string> files;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--threshold" && i + 1 < args.size()) {
       threshold = std::strtod(args[++i].c_str(), nullptr);
+    } else if (args[i] == "--min-ms" && i + 1 < args.size()) {
+      min_ms = std::strtod(args[++i].c_str(), nullptr);
+    } else if (args[i] == "--geomean") {
+      geomean = true;
     } else {
       files.push_back(args[i]);
     }
@@ -91,10 +106,33 @@ int cmd_diff(const std::vector<std::string>& args) {
   const obs::BenchAggregate base = obs::bench_from_json(read_file(files[0]));
   const obs::BenchAggregate current =
       obs::bench_from_json(read_file(files[1]));
-  const obs::BenchDiff diff = obs::bench_diff(base, current);
-  std::printf("%s vs %s (threshold +%.0f%%):\n", files[0].c_str(),
-              files[1].c_str(), threshold * 100.0);
+  const obs::BenchDiff diff =
+      obs::bench_diff(base, current, min_ms / 1000.0);
+  std::printf("%s vs %s (threshold +%.0f%%%s):\n", files[0].c_str(),
+              files[1].c_str(), threshold * 100.0,
+              geomean ? ", geomean gate" : "");
   std::printf("%s", obs::bench_diff_report(diff, threshold).c_str());
+  if (geomean) {
+    // Mean log-ratio over the rows above the noise floor; sub-floor rows
+    // have their ratio pinned to 1.0 by bench_diff and would dilute it.
+    double log_sum = 0.0;
+    std::size_t gated = 0;
+    for (const obs::BenchRowDiff& row : diff.rows) {
+      if (!row.in_base || !row.in_current) continue;
+      if (row.base_wall_s <= min_ms / 1000.0) continue;
+      log_sum += std::log(row.ratio);
+      ++gated;
+    }
+    const double mean = gated == 0 ? 1.0 : std::exp(log_sum / double(gated));
+    std::printf("  geomean over %zu row(s): %+.2f%%\n", gated,
+                (mean - 1.0) * 100.0);
+    if (mean > 1.0 + threshold) {
+      std::fprintf(stderr,
+                   "bench_report: geomean wall-time regression detected\n");
+      return 1;
+    }
+    return 0;
+  }
   if (diff.regressed(threshold)) {
     std::fprintf(stderr, "bench_report: wall-time regression detected\n");
     return 1;

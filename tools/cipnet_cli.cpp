@@ -22,6 +22,7 @@
 #include "io/files.h"
 #include "obs/benchdata.h"
 #include "obs/buildinfo.h"
+#include "obs/flight_recorder.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -332,7 +333,9 @@ int cmd_serve(const std::vector<std::string>& args) {
       return true;
     };
     std::uint64_t v = 0;
-    if (args[i] == "--workers" && numeric(v)) {
+    if (args[i] == "--flight-dump" && i + 1 < args.size()) {
+      obs::FlightRecorder::instance().set_dump_path(args[++i]);
+    } else if (args[i] == "--workers" && numeric(v)) {
       options.scheduler.workers = static_cast<std::size_t>(v);
     } else if (args[i] == "--queue" && numeric(v)) {
       options.scheduler.max_queue = static_cast<std::size_t>(v);
@@ -356,6 +359,9 @@ int cmd_serve(const std::vector<std::string>& args) {
       return usage();
     }
   }
+  // Long-lived process: a fatal signal should leave the flight-recorder
+  // timeline behind (at --flight-dump, or stderr), not just a core.
+  obs::FlightRecorder::instance().install_crash_handler();
   const std::size_t served = svc::serve(std::cin, std::cout, options);
   std::fprintf(stderr, "served %zu requests\n", served);
   return 0;
@@ -389,8 +395,8 @@ constexpr Command kCommands[] = {
      cmd_profile},
     {"bench", "<file> [reps]", "time explore over reps (BENCH_ROW lines)",
      cmd_bench},
-    {"serve", "[--workers N] [--queue N] ...", "NDJSON analysis service on "
-     "stdin/stdout (docs/SERVICE.md)",
+    {"serve", "[--workers N] [--queue N] [--flight-dump F] ...",
+     "NDJSON analysis service on stdin/stdout (docs/SERVICE.md)",
      cmd_serve},
 };
 

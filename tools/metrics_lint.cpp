@@ -1,0 +1,195 @@
+// Doc/source parity check for the metric catalogue. The table in
+// docs/OBSERVABILITY.md is the public name surface of the obs registry;
+// this linter cross-checks it against the Counter/Gauge/Histogram
+// constructor literals in the source tree, in both directions:
+//
+//   * every metric constructed in src/ or tools/ must appear in the doc
+//     table (no silently-added metrics);
+//   * every metric the doc lists must exist in the source (no stale rows
+//     surviving a rename).
+//
+// Doc rows may pack alternatives into one cell two ways — separate
+// backticked names (`fault.hits` / `fault.injected`) and last-segment
+// alternation inside one name (`svc.cache.hit/miss/eviction/expired`);
+// both are expanded. Rows whose name contains `<` are templates
+// (`span.<name>`) and are skipped. Runs as the MetricsLint ctest:
+//
+//   metrics_lint <docs/OBSERVABILITY.md> <source-dir>...
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_name_byte(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
+         c == '_';
+}
+
+bool is_ident_byte(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Collect metric names from one source line: the string literal opening a
+/// Counter/Gauge/Histogram construction, in either form —
+///   const obs::Counter c_hits("fault.hits");
+///   obs::Gauge("mem.peak_rss_bytes").set(...)
+void scan_source_line(const std::string& line, std::set<std::string>& out) {
+  for (const char* ctor : {"Counter", "Gauge", "Histogram"}) {
+    const std::size_t ctor_len = std::string(ctor).size();
+    std::size_t pos = 0;
+    while ((pos = line.find(ctor, pos)) != std::string::npos) {
+      const std::size_t token = pos;
+      pos += ctor_len;
+      // Whole-token match only (rejects e.g. "HistogramSnapshot").
+      if (token > 0 && is_ident_byte(line[token - 1])) continue;
+      if (pos < line.size() && is_ident_byte(line[pos])) continue;
+      // Optional variable name between the type and the argument list.
+      std::size_t i = pos;
+      while (i < line.size() && line[i] == ' ') ++i;
+      while (i < line.size() && is_ident_byte(line[i])) ++i;
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i + 1 >= line.size() || line[i] != '(' || line[i + 1] != '"') {
+        continue;
+      }
+      i += 2;
+      const std::size_t end = line.find('"', i);
+      if (end == std::string::npos) continue;
+      const std::string name = line.substr(i, end - i);
+      bool clean = !name.empty();
+      for (char c : name) clean = clean && is_name_byte(c);
+      if (clean) out.insert(name);
+    }
+  }
+}
+
+std::set<std::string> scan_sources(const std::vector<fs::path>& roots) {
+  std::set<std::string> names;
+  for (const fs::path& root : roots) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".h") continue;
+      std::ifstream in(entry.path());
+      std::string line;
+      while (std::getline(in, line)) scan_source_line(line, names);
+    }
+  }
+  return names;
+}
+
+/// Expand `svc.cache.hit/miss/eviction/expired` into four names: the first
+/// alternative is the full name, later ones replace its last segment.
+void expand_alternation(const std::string& name, std::set<std::string>& out) {
+  std::istringstream alts(name);
+  std::string alt;
+  std::string first;
+  while (std::getline(alts, alt, '/')) {
+    if (alt.empty()) continue;
+    if (first.empty()) {
+      first = alt;
+      out.insert(alt);
+      continue;
+    }
+    const std::size_t dot = first.rfind('.');
+    out.insert(dot == std::string::npos ? alt
+                                        : first.substr(0, dot + 1) + alt);
+  }
+}
+
+std::set<std::string> scan_doc(const fs::path& doc) {
+  std::set<std::string> names;
+  std::ifstream in(doc);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Metric rows look like: | `name` [/ `name`] | counter|gauge|histogram | ...
+    if (line.empty() || line[0] != '|') continue;
+    const std::size_t second = line.find('|', 1);
+    const std::size_t third =
+        second == std::string::npos ? second : line.find('|', second + 1);
+    if (third == std::string::npos) continue;
+    const std::string kind = line.substr(second + 1, third - second - 1);
+    if (kind.find("counter") == std::string::npos &&
+        kind.find("gauge") == std::string::npos &&
+        kind.find("histogram") == std::string::npos) {
+      continue;
+    }
+    const std::string cell = line.substr(0, second);
+    std::size_t pos = 0;
+    while ((pos = cell.find('`', pos)) != std::string::npos) {
+      const std::size_t end = cell.find('`', pos + 1);
+      if (end == std::string::npos) break;
+      const std::string name = cell.substr(pos + 1, end - pos - 1);
+      if (name.find('<') == std::string::npos) expand_alternation(name, names);
+      pos = end + 1;
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: metrics_lint <catalogue.md> <src-dir>...\n");
+    return 2;
+  }
+  const fs::path doc = argv[1];
+  if (!fs::exists(doc)) {
+    std::fprintf(stderr, "metrics_lint: no such catalogue: %s\n", argv[1]);
+    return 2;
+  }
+  std::vector<fs::path> roots;
+  for (int i = 2; i < argc; ++i) {
+    if (!fs::is_directory(argv[i])) {
+      std::fprintf(stderr, "metrics_lint: no such directory: %s\n", argv[i]);
+      return 2;
+    }
+    roots.emplace_back(argv[i]);
+  }
+
+  const std::set<std::string> in_source = scan_sources(roots);
+  const std::set<std::string> in_doc = scan_doc(doc);
+  if (in_source.empty() || in_doc.empty()) {
+    std::fprintf(stderr,
+                 "metrics_lint: suspiciously empty scan (source=%zu doc=%zu) "
+                 "— the extraction patterns no longer match\n",
+                 in_source.size(), in_doc.size());
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& name : in_source) {
+    if (in_doc.count(name) == 0) {
+      std::fprintf(stderr,
+                   "metrics_lint: `%s` is constructed in the source but "
+                   "missing from %s\n",
+                   name.c_str(), doc.string().c_str());
+      ++failures;
+    }
+  }
+  for (const std::string& name : in_doc) {
+    if (in_source.count(name) == 0) {
+      std::fprintf(stderr,
+                   "metrics_lint: `%s` is documented in %s but no longer "
+                   "constructed anywhere in the source\n",
+                   name.c_str(), doc.string().c_str());
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "metrics_lint: %d mismatch(es)\n", failures);
+    return 1;
+  }
+  std::fprintf(stderr, "metrics_lint: %zu metrics, doc and source agree\n",
+               in_source.size());
+  return 0;
+}

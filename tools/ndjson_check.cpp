@@ -1,10 +1,13 @@
 // Validates an NDJSON response stream from `cipnet serve`: every line must
-// parse under the strict JSON grammar and carry a boolean "ok" member, every
-// error response must carry a structured error object (non-empty string
-// "code" and "message"), and the line count must match argv[1]. An optional
-// argv[2] lists comma-separated error codes that must each appear at least
-// once — the smoke test uses it to prove the malformed/oversized frames
-// actually exercised the rejection paths. Used by the ServeSmoke ctest
+// parse under the strict JSON grammar, carry a boolean "ok" member, and
+// carry a "timings" object whose members are all numbers (the per-phase
+// latency breakdown of docs/SERVICE.md — ok and error responses alike);
+// every error response must additionally carry a structured error object
+// (non-empty string "code" and "message"); and the line count must match
+// argv[1]. An optional argv[2]
+// lists comma-separated error codes that must each appear at least once —
+// the smoke test uses it to prove the malformed/oversized frames actually
+// exercised the rejection paths. Used by the ServeSmoke ctest
 // (tests/serve_smoke.sh).
 
 #include <cstdio>
@@ -45,6 +48,25 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "line %ld: missing boolean \"ok\": %s\n", lines,
                      line.c_str());
         return 1;
+      }
+      const cipnet::json::Value* timings = doc.find("timings");
+      if (timings == nullptr || !timings->is_object()) {
+        std::fprintf(stderr, "line %ld: response without timings object: %s\n",
+                     lines, line.c_str());
+        return 1;
+      }
+      if (timings->members().empty()) {
+        std::fprintf(stderr, "line %ld: empty timings object: %s\n", lines,
+                     line.c_str());
+        return 1;
+      }
+      for (const auto& [name, value] : timings->members()) {
+        if (value.type() != cipnet::json::Value::Type::kNumber) {
+          std::fprintf(stderr,
+                       "line %ld: timings.%s is not a number: %s\n", lines,
+                       name.c_str(), line.c_str());
+          return 1;
+        }
       }
       if (flag->as_bool()) {
         ++ok;
