@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/benchdata.h"
+#include "obs/timeseries.h"
 #include "petri/net.h"
 
 namespace cipnet::benchutil {
@@ -87,10 +88,15 @@ inline void machine_row(const std::string& name, std::size_t states,
 }
 
 inline int run_benchmarks(int argc, char** argv) {
+  // CIPNET_SAMPLE_MS turns the time-series sampler on for the whole run —
+  // the toggle `sampler-overhead-check` flips to price a live sampler
+  // against the same binary with it off (bench/sampler_overhead.cmake).
+  const bool sampling = obs::start_sampler_from_env();
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  if (sampling) obs::TimeSeriesSampler::instance().stop();
   return 0;
 }
 

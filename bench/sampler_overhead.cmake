@@ -1,0 +1,81 @@
+# Script mode driver behind the `sampler-overhead-check` target: prove a
+# live time-series sampler (CIPNET_SAMPLE_MS=100, the documented default
+# interval) costs within OVERHEAD of the sampler-off configuration on the
+# bench_scalability rows. Same experimental design as flight_overhead.cmake:
+# each rep runs the report once with the sampler on and once off,
+# **interleaved with alternating order** so slow machine drift (CPU
+# frequency, container throttling) lands on both sides equally; medians per
+# side are aggregated with bench_report and diffed BOTH directions — a
+# two-sided ±OVERHEAD band gated on the GEOMEAN of the rows with medians
+# above 50 ms (--min-ms 50 --geomean), because symmetric per-row noise
+# cancels across rows while a uniform background-sampler cost does not.
+#
+# Expected -D inputs: BENCH_BIN, REPORT_BIN, OUT_DIR, REPS, OVERHEAD.
+
+set(outputs_off "")
+set(outputs_on "")
+foreach(rep RANGE 1 ${REPS})
+  # Alternate which side runs first so residual drift within a rep also
+  # averages out across reps.
+  math(EXPR parity "${rep} % 2")
+  if(parity EQUAL 1)
+    set(order off on)
+  else()
+    set(order on off)
+  endif()
+  foreach(side ${order})
+    set(out ${OUT_DIR}/sampler_${side}_run_${rep}.txt)
+    if(side STREQUAL "on")
+      execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env CIPNET_SAMPLE_MS=100
+                ${BENCH_BIN} --benchmark_filter=^$
+        OUTPUT_FILE ${out}
+        RESULT_VARIABLE rc)
+    else()
+      execute_process(
+        COMMAND ${BENCH_BIN} --benchmark_filter=^$
+        OUTPUT_FILE ${out}
+        RESULT_VARIABLE rc)
+    endif()
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "sampler-overhead: ${BENCH_BIN} failed (${side}, rep ${rep}, rc=${rc})")
+    endif()
+    list(APPEND outputs_${side} ${out})
+  endforeach()
+endforeach()
+
+foreach(side off on)
+  execute_process(
+    COMMAND ${REPORT_BIN} aggregate scalability
+            -o ${OUT_DIR}/BENCH_sampler_${side}.json ${outputs_${side}}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sampler-overhead: aggregation failed (${side})")
+  endif()
+endforeach()
+
+# Two one-sided regression diffs make the two-sided band.
+execute_process(
+  COMMAND ${REPORT_BIN} diff ${OUT_DIR}/BENCH_sampler_off.json
+          ${OUT_DIR}/BENCH_sampler_on.json --threshold ${OVERHEAD}
+          --min-ms 50 --geomean
+  RESULT_VARIABLE rc_on)
+if(NOT rc_on EQUAL 0)
+  message(FATAL_ERROR
+    "sampler-overhead: a live 100ms sampler costs more than ${OVERHEAD} "
+    "over the sampler-off run — shrink the per-sample critical sections")
+endif()
+execute_process(
+  COMMAND ${REPORT_BIN} diff ${OUT_DIR}/BENCH_sampler_on.json
+          ${OUT_DIR}/BENCH_sampler_off.json --threshold ${OVERHEAD}
+          --min-ms 50 --geomean
+  RESULT_VARIABLE rc_off)
+if(NOT rc_off EQUAL 0)
+  message(FATAL_ERROR
+    "sampler-overhead: the sampler-off run is more than ${OVERHEAD} slower "
+    "than sampler-on — the measurement is too noisy to trust; rerun on an "
+    "idle machine")
+endif()
+message(STATUS
+  "sampler-overhead: sampler on vs off geomean within ±${OVERHEAD}")

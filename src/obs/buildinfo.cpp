@@ -11,11 +11,24 @@
 #ifndef CIPNET_BUILD_TYPE
 #define CIPNET_BUILD_TYPE "unknown"
 #endif
+#ifndef CIPNET_SANITIZER
+#define CIPNET_SANITIZER "none"
+#endif
 
 namespace cipnet::obs {
 
 const char* build_git_sha() { return CIPNET_GIT_SHA; }
 const char* build_compiler() { return CIPNET_COMPILER; }
 const char* build_type() { return CIPNET_BUILD_TYPE; }
+
+const char* build_features() {
+#ifdef CIPNET_FAULT_ENABLED
+  return "fault,flight,sampler";
+#else
+  return "flight,sampler";
+#endif
+}
+
+const char* build_sanitizer() { return CIPNET_SANITIZER; }
 
 }  // namespace cipnet::obs

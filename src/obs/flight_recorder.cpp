@@ -10,6 +10,7 @@
 #include <ostream>
 #include <sstream>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "obs/trace.h"
@@ -25,6 +26,13 @@ constexpr std::string_view kKindNames[] = {
     "job_cancelled", "job_shed",    "job_rejected",  "watchdog_trip",
     "fault_fired",   "truncated",   "dump",          "custom",
 };
+
+// Fixed-size mirror of the dump path for the signal handler: std::string
+// access is off-limits mid-crash, a pre-copied char buffer is not. Written
+// under path_mutex_ by set_dump_path, read lock-free by the handler (a
+// torn read risks at worst a garbled filename, never UB — the handler
+// falls back to fd 2 when the open fails).
+char g_crash_dump_path[512] = {0};
 
 }  // namespace
 
@@ -193,6 +201,10 @@ void FlightRecorder::set_dump_path(std::string path) {
   std::lock_guard<std::mutex> lock(path_mutex_);
   dump_path_ = std::move(path);
   path_truncated_ = false;
+  const std::size_t n =
+      std::min(dump_path_.size(), sizeof(g_crash_dump_path) - 1);
+  std::memcpy(g_crash_dump_path, dump_path_.data(), n);
+  g_crash_dump_path[n] = '\0';
 }
 
 std::string FlightRecorder::dump_path() const {
@@ -241,7 +253,17 @@ void write_crash_dump(int fd, int signo) {
 }
 
 void crash_handler(int signo) {
-  write_crash_dump(2, signo);
+  // Honor the --flight-dump routing when a path is configured: append so a
+  // crash after earlier auto_dumps extends the same black box. Fall back
+  // to stderr when the open fails (read-only fs, bad path, ...).
+  int fd = 2;
+  if (g_crash_dump_path[0] != '\0') {
+    const int file_fd =
+        open(g_crash_dump_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (file_fd >= 0) fd = file_fd;
+  }
+  write_crash_dump(fd, signo);
+  if (fd != 2) close(fd);
   std::signal(signo, SIG_DFL);
   std::raise(signo);
 }

@@ -115,8 +115,9 @@ class FlightRecorder {
   [[nodiscard]] bool active() const { return active_; }
 
   /// Install SIGSEGV/SIGABRT/SIGBUS handlers that write a best-effort
-  /// dump to the configured path (or stderr) before re-raising. Only the
-  /// long-lived server installs this; idempotent.
+  /// dump to the configured path (or stderr) before re-raising. Installed
+  /// by the server and by every CLI command (the global `--flight-dump`
+  /// flag routes the output); idempotent.
   void install_crash_handler();
 
  private:

@@ -7,24 +7,36 @@
 #include <sys/resource.h>
 #endif
 
+#include "obs/metrics.h"
+
 namespace cipnet::obs {
 
 namespace {
 
-/// Read a "VmXXX:  1234 kB" line from /proc/self/status; 0 if absent.
+// A flat-zero RSS curve is indistinguishable from "sampling broke"; this
+// counter disambiguates (docs/OBSERVABILITY.md).
+const Counter c_sample_errors("obs.memory.sample_errors");
+
+/// Read a "VmXXX:  1234 kB" line from /proc/self/status; 0 if absent,
+/// counting the failure in obs.memory.sample_errors.
 std::uint64_t proc_status_kb(const char* key) {
   std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (!f) return 0;
+  if (!f) {
+    c_sample_errors.add();
+    return 0;
+  }
   const std::size_t key_len = std::strlen(key);
   char line[256];
   unsigned long long kb = 0;
+  bool found = false;
   while (std::fgets(line, sizeof(line), f)) {
     if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
-      std::sscanf(line + key_len + 1, "%llu", &kb);
+      found = std::sscanf(line + key_len + 1, "%llu", &kb) == 1;
       break;
     }
   }
   std::fclose(f);
+  if (!found) c_sample_errors.add();
   return kb;
 }
 

@@ -54,19 +54,28 @@ ProgressReporter::ProgressReporter(std::string_view phase)
     : phase_(phase), start_ns_(steady_now_ns()), last_emit_ns_(start_ns_) {}
 
 ProgressReporter::~ProgressReporter() {
-  if (any_update_ && ProgressBus::instance().active()) publish(true);
+  if (any_update_.load(std::memory_order_relaxed) &&
+      ProgressBus::instance().active()) {
+    publish(true);
+  }
 }
 
 void ProgressReporter::update_throttled(std::uint64_t items,
                                         std::uint64_t frontier) {
-  items_ = items;
-  frontier_ = frontier;
-  any_update_ = true;
+  items_.store(items, std::memory_order_relaxed);
+  frontier_.store(frontier, std::memory_order_relaxed);
+  any_update_.store(true, std::memory_order_relaxed);
   const std::uint64_t now = steady_now_ns();
   const std::uint64_t interval_ns =
       ProgressBus::instance().interval_ms() * 1'000'000;
-  if (now - last_emit_ns_ < interval_ns) return;
-  last_emit_ns_ = now;
+  // CAS gate: among racing workers, exactly one advances the emit clock
+  // and publishes this interval's heartbeat; the rest return.
+  std::uint64_t last = last_emit_ns_.load(std::memory_order_relaxed);
+  if (now - last < interval_ns) return;
+  if (!last_emit_ns_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+    return;
+  }
   publish(false);
 }
 
@@ -76,14 +85,21 @@ void ProgressReporter::publish(bool final_event) {
   ProgressEvent event;
   event.phase = phase_;
   event.job_id = current_job_id();
-  event.items = items_;
-  event.frontier = frontier_;
+  event.items = items_.load(std::memory_order_relaxed);
+  event.frontier = frontier_.load(std::memory_order_relaxed);
   event.elapsed_ms = elapsed_ns / 1'000'000;
   event.items_per_sec =
       elapsed_ns == 0 ? 0.0
-                      : static_cast<double>(items_) * 1e9 /
+                      : static_cast<double>(event.items) * 1e9 /
                             static_cast<double>(elapsed_ns);
   event.peak_rss_bytes = peak_rss_bytes();
+  event.target = target_.load(std::memory_order_relaxed);
+  if (event.target > event.items && event.items_per_sec > 0.0) {
+    event.eta_ms = static_cast<std::uint64_t>(
+        static_cast<double>(event.target - event.items) * 1000.0 /
+        event.items_per_sec);
+  }
+  if (shard_supplier_) event.shard_items = shard_supplier_();
   event.final_event = final_event;
   ProgressBus::instance().publish(event);
 }

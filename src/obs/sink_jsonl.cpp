@@ -89,6 +89,15 @@ void JsonlSink::write_progress(const ProgressEvent& event) {
   w.member("items_per_sec", event.items_per_sec);
   w.member("elapsed_ms", event.elapsed_ms);
   w.member("peak_rss_bytes", event.peak_rss_bytes);
+  if (event.target != 0) {
+    w.member("target", event.target);
+    w.member("eta_ms", event.eta_ms);
+  }
+  if (!event.shard_items.empty()) {
+    w.key("shards").begin_array();
+    for (const std::uint64_t items : event.shard_items) w.value(items);
+    w.end_array();
+  }
   w.member("final", event.final_event);
   w.end_object();
   out_ << w.str() << '\n';

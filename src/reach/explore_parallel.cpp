@@ -61,6 +61,10 @@ const obs::Gauge g_par_workers("reach.par.workers");
 const obs::Counter c_par_handoffs("reach.par.handoffs");
 const obs::Counter c_par_idle_waits("reach.par.idle_waits");
 const obs::Counter c_par_renumbered("reach.par.renumbered");
+const obs::Gauge g_par_queue_depth("reach.par.queue_depth");
+const obs::Gauge g_par_pending("reach.par.pending");
+const obs::Gauge g_par_shard_max("reach.par.shard_states_max");
+const obs::Gauge g_par_imbalance("reach.par.imbalance_x1000");
 
 /// Power of two; the shard index is the top 6 bits of the row hash.
 constexpr std::size_t kShardCount = 64;
@@ -103,6 +107,9 @@ class ParallelExplorer {
   ReachabilityGraph run() {
     obs::Span span("reach.explore");
     obs::ProgressReporter progress("reach.explore");
+    progress.set_target(options_.max_states);
+    progress.set_shard_supplier([this] { return shard_snapshot(); });
+    progress_ = &progress;
     const std::size_t workers =
         std::min<std::size_t>(options_.threads, kShardCount);
     g_par_workers.set(workers);
@@ -120,6 +127,7 @@ class ParallelExplorer {
 
     ReachabilityGraph rg = assemble(outputs);
     rg.truncated_ = truncated_.load(std::memory_order_relaxed);
+    if (obs::enabled()) shard_snapshot();  // final imbalance gauges
     progress.update(rg.state_count(), 0);
     if (obs::enabled()) {
       g_graph_bytes.set(rg.estimated_graph_bytes());
@@ -163,6 +171,7 @@ class ParallelExplorer {
                                                 shards_[shard].store);
     c_hash_lookups.add();
     c_states.add();
+    shard_counts_[shard].store(1, std::memory_order_relaxed);
     state_count_.store(1, std::memory_order_relaxed);
     WorkItem item;
     item.id = make_tmp(shard, r.id);
@@ -212,6 +221,7 @@ class ParallelExplorer {
           break;
         }
       }
+      std::size_t queue_depth = 0;
       {
         std::lock_guard<std::mutex> lk(queue_mu_);
         pending_ -= batch.size();
@@ -221,6 +231,9 @@ class ParallelExplorer {
           c_par_handoffs.add(fresh.size());
           g_frontier_peak.set_max(queue_.size());
         }
+        queue_depth = queue_.size();
+        g_par_queue_depth.set(queue_depth);
+        g_par_pending.set(pending_);
         if (!ok || pending_ == 0 || stop_ || fresh.size() > 1) {
           queue_cv_.notify_all();
         } else if (!fresh.empty()) {
@@ -228,7 +241,32 @@ class ParallelExplorer {
         }
       }
       if (!ok) return;
+      // Live heartbeat from the workers themselves (previously the only
+      // update came after the join): throttled by the ProgressBus
+      // interval, a no-op with no listeners.
+      progress_->update(state_count_.load(std::memory_order_relaxed),
+                        queue_depth);
     }
+  }
+
+  /// Per-shard interned-state counts (the heartbeat shard payload), also
+  /// refreshing the load-imbalance gauges: `reach.par.shard_states_max`
+  /// and `reach.par.imbalance_x1000` (max/mean scaled by 1000; 1000 =
+  /// perfectly balanced).
+  std::vector<std::uint64_t> shard_snapshot() const {
+    std::vector<std::uint64_t> counts(kShardCount);
+    std::uint64_t max = 0;
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      counts[s] = shard_counts_[s].load(std::memory_order_relaxed);
+      max = std::max(max, counts[s]);
+      total += counts[s];
+    }
+    g_par_shard_max.set(max);
+    if (total > 0) {
+      g_par_imbalance.set(max * kShardCount * 1000 / total);
+    }
+    return counts;
   }
 
   /// Approximate live footprint from the two atomic counters: arena row +
@@ -303,6 +341,7 @@ class ParallelExplorer {
         const std::uint64_t n =
             state_count_.fetch_add(1, std::memory_order_relaxed) + 1;
         c_states.add();
+        shard_counts_[shard_idx].fetch_add(1, std::memory_order_relaxed);
         if (n > options_.max_states) {
           if (options_.truncate_on_limit) {
             request_truncate();
@@ -425,6 +464,8 @@ class ParallelExplorer {
   std::exception_ptr error_;
   std::atomic<std::uint64_t> state_count_{0};
   std::atomic<std::uint64_t> edge_count_{0};
+  std::array<std::atomic<std::uint32_t>, kShardCount> shard_counts_{};
+  obs::ProgressReporter* progress_ = nullptr;
   TmpId initial_tmp_ = 0;
 };
 

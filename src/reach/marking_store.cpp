@@ -3,6 +3,7 @@
 #include <cstring>
 #include <new>
 
+#include "obs/metrics.h"
 #include "util/fault.h"
 
 namespace cipnet {
@@ -12,6 +13,11 @@ namespace {
 /// Simulated allocation failure on arena/table growth — fires as a real
 /// `std::bad_alloc` so callers exercise their genuine out-of-memory paths.
 CIPNET_FAULT_SITE(f_grow, "reach.store.grow");
+
+/// Slots inspected per intern (1 = direct hit on an empty or matching
+/// slot). The p99 of this distribution is the early-warning signal for
+/// clustering — it degrades before throughput visibly does.
+const obs::Histogram h_probe("reach.interner.probe");
 
 /// Max load factor 7/8 before growing: linear probing stays short and the
 /// table is still 12 bytes/state — far below the ~56 bytes/node of the
@@ -60,13 +66,17 @@ MarkingInterner::Result MarkingInterner::intern_hashed(std::uint64_t hash,
   }
   const std::size_t mask = slots_.size() - 1;
   std::size_t i = static_cast<std::size_t>(hash) & mask;
+  std::uint64_t probes = 1;
   while (slots_[i].id != kNoId) {
     if (slots_[i].hash == hash &&
         rows_equal(store.row(slots_[i].id), row, store.width())) {
+      h_probe.record(probes);
       return Result{slots_[i].id, false};
     }
     i = (i + 1) & mask;
+    ++probes;
   }
+  h_probe.record(probes);
   if (store.size() >= limit) return Result{kNoId, true};
   const auto id = static_cast<std::uint32_t>(store.push_back(row));
   slots_[i] = Slot{hash, id};

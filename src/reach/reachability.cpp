@@ -98,6 +98,7 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
   if (options.threads > 1) return reach_detail::explore_parallel(net, options);
   obs::Span span("reach.explore");
   obs::ProgressReporter progress("reach.explore");
+  progress.set_target(options.max_states);
   ReachabilityGraph rg;
   const std::size_t places = net.place_count();
   rg.store_.reset(places);

@@ -20,6 +20,7 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/sink_prom.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
 #include "petri/canonical.h"
@@ -82,7 +83,8 @@ struct Timings {
 /// Ops answered inline on the submitting thread: introspection must work
 /// exactly when the queue is full or the process is shedding load.
 bool is_introspection_op(std::string_view op) {
-  return op == "metrics" || op == "jobs" || op == "health" || op == "dump";
+  return op == "metrics" || op == "jobs" || op == "health" ||
+         op == "dump" || op == "history";
 }
 
 }  // namespace
@@ -108,6 +110,8 @@ struct AnalysisService::Request {
 
   std::string client;  // optional client tag, echoed into the TraceContext
   std::string format;  // `metrics` op: "json" (default) or "prom"
+  std::uint64_t cursor = 0;       // `history` op: highest seq already seen
+  std::size_t max_samples = 0;    // `history` op: page size (0 = all)
   std::uint64_t job_id = 0;  // minted TraceContext id (0 = not yet minted)
   std::chrono::steady_clock::time_point enqueued{};  // set on the async path
 };
@@ -195,6 +199,8 @@ AnalysisService::Request AnalysisService::parse_request(
   }
   req.client = doc.get_string("client");
   req.format = doc.get_string("format", "json");
+  req.cursor = static_cast<std::uint64_t>(doc.get_number("cursor", 0));
+  req.max_samples = static_cast<std::size_t>(doc.get_number("max", 0));
   req.max_states = static_cast<std::size_t>(doc.get_number("max_states", 0));
   req.deadline_ms =
       static_cast<std::uint64_t>(doc.get_number("deadline_ms", 0));
@@ -294,6 +300,33 @@ std::string run_version() {
   w.member("git_sha", obs::build_git_sha());
   w.member("compiler", obs::build_compiler());
   w.member("build_type", obs::build_type());
+  w.member("features", obs::build_features());
+  w.member("sanitizer", obs::build_sanitizer());
+  w.member("flight_active", obs::FlightRecorder::instance().active());
+  w.end_object();
+  return w.take();
+}
+
+/// `history` op payload: the sampler ring windowed by `cursor` (highest
+/// `seq` the client has already seen; 0 = from the oldest surviving
+/// sample) and `max` (page size, 0 = the rest). `next_cursor` echoes the
+/// last returned seq — feed it back to poll incrementally; `dropped`
+/// rising between polls means the ring evicted samples the client never
+/// saw (poll faster or enlarge the interval).
+std::string run_history(std::uint64_t cursor, std::size_t max) {
+  auto& sampler = obs::TimeSeriesSampler::instance();
+  const std::vector<obs::TimeSample> samples = sampler.since(cursor, max);
+  json::Writer w;
+  w.begin_object();
+  w.member("running", sampler.running());
+  w.member("interval_ms", sampler.interval_ms());
+  w.member("dropped", sampler.dropped());
+  w.member("next_cursor", samples.empty() ? cursor : samples.back().seq);
+  w.key("samples").begin_array();
+  for (const obs::TimeSample& sample : samples) {
+    obs::write_sample_json(w, sample);
+  }
+  w.end_array();
   w.end_object();
   return w.take();
 }
@@ -733,6 +766,10 @@ std::string AnalysisService::execute(const Request& req) {
     if (req.op == "dump") {
       c_introspect.add();
       return succeed(run_dump(), false);
+    }
+    if (req.op == "history") {
+      c_introspect.add();
+      return succeed(run_history(req.cursor, req.max_samples), false);
     }
     // Uncached, netless ops.
     if (req.op == "ping") {

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke for `cipnet report`: generate a real artifact bundle the
+# way an operator would — a chaos-soaked `cipnet serve` run leaving a
+# flight dump and a sample stream, plus a traced+sampled `reach` run — and
+# round-trip the bundle through all three report formats. Guards the whole
+# chain: global flag parsing, sampler export, serve-exit flight dump,
+# format auto-detection, and every renderer.
+#
+# usage: report_smoke.sh <cipnet-binary>
+set -u -o pipefail
+
+CIPNET="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+fail() { echo "report_smoke: FAIL: $*" >&2; exit 1; }
+
+NET='.net ab\n.place p0 1\n.place p1\n.trans a : p0 -> p1\n.trans b : p1 -> p0\n.end'
+
+# --- artifact 1+2: chaos-soaked serve run -> flight dump + sample stream.
+# The fault spec fires on parse and cache-insert paths; garbage frames and
+# an unknown op guarantee errored jobs land in the flight ring. The spec is
+# best-effort: the soak must not depend on CIPNET_FAULT being compiled in.
+requests() {
+  for i in $(seq 1 24); do
+    case $((i % 4)) in
+      0) printf '{"id":%d,"op":"ping"}\n' "$i" ;;
+      1) printf '{"id":%d,"op":"reach","net":"%s"}\n' "$i" "$NET" ;;
+      2) printf '{"id":%d,"op":"frobnicate"}\n' "$i" ;;
+      *) printf 'not json (%d)\n' "$i" ;;
+    esac
+  done
+  printf '{"id":99,"op":"history"}\n'
+}
+FAULT_ARGS=()
+if "$CIPNET" --version | grep -q 'features: .*fault'; then
+  FAULT_ARGS=(--fault-spec 'seed=7;svc.parse=p0.1;svc.cache.insert=p0.2')
+fi
+requests | "$CIPNET" serve --workers 2 \
+    --sample-ms 1 --samples-out "$DIR/samples.jsonl" \
+    --flight-dump "$DIR/flight.jsonl" \
+    ${FAULT_ARGS[@]+"${FAULT_ARGS[@]}"} \
+    > "$DIR/responses.jsonl" 2> "$DIR/serve.err" \
+  || fail "serve run exited nonzero"
+
+[ -s "$DIR/flight.jsonl" ] || fail "serve left no flight dump"
+[ -s "$DIR/samples.jsonl" ] || fail "sampler exported no samples"
+grep -q '"event":"flight_dump"' "$DIR/flight.jsonl" \
+  || fail "flight dump lacks its header line"
+grep -q '"event":"sample"' "$DIR/samples.jsonl" \
+  || fail "sample stream lacks sample lines"
+
+# --- artifact 3+4: traced reach run -> span JSONL + Chrome trace.
+"$CIPNET" expr "a.b.c || d.e || f.g" -o "$DIR/net.cpn" > /dev/null \
+  || fail "expr failed"
+"$CIPNET" reach "$DIR/net.cpn" --trace-out "$DIR/trace.jsonl" \
+    --sample-ms 1 > /dev/null 2>&1 || fail "traced reach failed"
+"$CIPNET" reach "$DIR/net.cpn" --trace-out "$DIR/trace.json" \
+    > /dev/null 2>&1 || fail "chrome-traced reach failed"
+
+BUNDLE="$DIR/trace.jsonl $DIR/trace.json $DIR/samples.jsonl $DIR/flight.jsonl"
+
+# --- text: every expected section present.
+"$CIPNET" report $BUNDLE -o "$DIR/report.txt" 2> /dev/null \
+  || fail "text report exited nonzero"
+for section in "Phase breakdown" "Top spans" "RSS curve" "Flight recorder"; do
+  grep -q "$section" "$DIR/report.txt" \
+    || fail "text report lacks section: $section"
+done
+grep -q "reach.explore" "$DIR/report.txt" \
+  || fail "text report never mentions reach.explore"
+
+# --- markdown: tables.
+"$CIPNET" report $BUNDLE --format md -o "$DIR/report.md" 2> /dev/null \
+  || fail "markdown report exited nonzero"
+grep -q '^# Post-mortem report' "$DIR/report.md" \
+  || fail "markdown report lacks its title"
+grep -q '| phase | count | total | mean | max |' "$DIR/report.md" \
+  || fail "markdown report lacks the phase table"
+
+# --- json: machine-readable, and the report re-ingests its own ingest
+# stats (cheap structural check without a JSON parser: key presence).
+"$CIPNET" report $BUNDLE --format json -o "$DIR/report.json" 2> /dev/null \
+  || fail "json report exited nonzero"
+for key in '"ingested"' '"phases"' '"samples"' '"flight"' '"final_counters"'; do
+  grep -q "$key" "$DIR/report.json" || fail "json report lacks key $key"
+done
+
+# --- unknown format is a clean structured failure, not a crash.
+if "$CIPNET" report $BUNDLE --format xml > /dev/null 2> "$DIR/badfmt.err"; then
+  fail "unknown format was accepted"
+fi
+grep -q "unknown report format" "$DIR/badfmt.err" \
+  || fail "unknown format error lacks its message"
+
+echo "report_smoke: OK"

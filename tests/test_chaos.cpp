@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "io/net_format.h"
+#include "obs/timeseries.h"
 #include "svc/service.h"
 #include "util/fault.h"
 #include "util/json.h"
@@ -154,6 +155,76 @@ TEST_F(ChaosSoak, EveryConcurrentRequestTerminatesWellFormed) {
   fault::clear();
   EXPECT_TRUE(json::parse(service.handle_line(request_line(9999, "ping", "")))
                   .find("ok")->as_bool());
+}
+
+TEST_F(ChaosSoak, HistoryCursorPagesCleanlyDuringTheStorm) {
+  fault::configure(kChaosSpec);
+  auto& sampler = obs::TimeSeriesSampler::instance();
+  sampler.stop();
+  sampler.clear();
+  obs::SamplerOptions sampler_options;
+  sampler_options.interval_ms = 1;
+  sampler_options.capacity = 32;  // small ring: force wraparound under load
+  ASSERT_TRUE(sampler.start(sampler_options));
+
+  svc::ServiceOptions options;
+  options.scheduler.workers = 4;
+  options.scheduler.max_queue = 256;
+  options.scheduler.stall_timeout_ms = 2000;
+  options.scheduler.watchdog_interval_ms = 100;
+  options.max_states = 5000;
+  options.max_graph_bytes = 8u << 20;
+  svc::AnalysisService service(options);
+
+  const std::vector<std::string> lines = workload(96);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t responses = 0;
+  for (const std::string& line : lines) {
+    service.submit_line(line, [&](const std::string&) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++responses;
+      cv.notify_one();
+    });
+  }
+
+  // Poll `history` like a dashboard would while the storm is in flight:
+  // pages must be strictly ascending in seq with no overlap — even while
+  // the small ring wraps underneath the poller.
+  std::uint64_t cursor = 0;
+  std::uint64_t last_seq = 0;
+  std::size_t collected = 0;
+  bool done = false;
+  while (!done) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      done = cv.wait_for(lock, std::chrono::milliseconds(5),
+                         [&] { return responses == lines.size(); });
+    }
+    const std::string raw = service.handle_line(
+        "{\"id\":1,\"op\":\"history\",\"cursor\":" + std::to_string(cursor) +
+        ",\"max\":8}");
+    check_schema(raw);
+    const json::Value rsp = json::parse(raw);
+    if (!rsp.find("ok")->as_bool()) continue;  // injected fault, retry page
+    const json::Value* result = rsp.find("result");
+    ASSERT_NE(result, nullptr);
+    for (const json::Value& sample : result->find("samples")->items()) {
+      const auto seq =
+          static_cast<std::uint64_t>(sample.get_number("seq", 0));
+      ASSERT_GT(seq, last_seq) << "cursor page overlapped or regressed";
+      last_seq = seq;
+      ++collected;
+    }
+    const auto next =
+        static_cast<std::uint64_t>(result->get_number("next_cursor", 0));
+    ASSERT_GE(next, cursor) << "next_cursor moved backwards";
+    cursor = next;
+  }
+  service.drain();
+  sampler.stop();
+  EXPECT_GT(collected, 0u) << "the poller never saw a sample";
+  sampler.clear();
 }
 
 TEST_F(ChaosSoak, EveryFaultSiteFiresUnderTheSoakSpec) {

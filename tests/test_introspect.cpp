@@ -14,8 +14,10 @@
 #include "io/net_format.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "petri/net.h"
+#include "svc/job_table.h"
 #include "svc/service.h"
 #include "util/fault.h"
 #include "util/json.h"
@@ -248,6 +250,97 @@ TEST(Introspect, IntrospectionOpsStayOutOfTheJobTable) {
       EXPECT_NE(row.get_string("op"), "jobs") << "jobs polluted " << table;
     }
   }
+}
+
+TEST(Introspect, JobTableRecentRingWrapsOldestFirst) {
+  svc::JobTable table(/*recent_capacity=*/4);
+  for (std::uint64_t job = 1; job <= 10; ++job) {
+    table.on_submitted(job, std::to_string(job), "reach", "tester");
+    table.on_started(job);
+    table.on_finished(job, svc::JobState::kDone, "ok", /*cached=*/false);
+  }
+  EXPECT_EQ(table.in_flight_count(), 0u);
+  const std::vector<svc::JobInfo> recent = table.recent();
+  ASSERT_EQ(recent.size(), 4u);  // 1..6 evicted by the bounded ring
+  // Front is the most recently finished; strictly descending from there.
+  EXPECT_EQ(recent.front().job_id, 10u);
+  EXPECT_EQ(recent.back().job_id, 7u);
+  for (std::size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].job_id, recent[i - 1].job_id - 1);
+  }
+  for (const svc::JobInfo& info : recent) {
+    EXPECT_EQ(info.state, svc::JobState::kDone);
+    EXPECT_EQ(info.outcome, "ok");
+  }
+}
+
+TEST(Introspect, JobTableRecordsUnsubmittedRejectionsInTheRing) {
+  svc::JobTable table(/*recent_capacity=*/2);
+  // Shed before submit: on_finished must create the row from its trailing
+  // arguments so rejections remain visible.
+  table.on_finished(1, svc::JobState::kShed, "overloaded", false, "1",
+                    "reach", "tester");
+  const auto recent = table.recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].state, svc::JobState::kShed);
+  EXPECT_EQ(recent[0].op, "reach");
+}
+
+TEST(Introspect, VersionReportsBuildFeatureFlags) {
+  svc::AnalysisService service;
+  const json::Value rsp =
+      json::parse(service.handle_line("{\"id\":1,\"op\":\"version\"}"));
+  ASSERT_TRUE(rsp.find("ok")->as_bool());
+  const json::Value* result = rsp.find("result");
+  ASSERT_NE(result, nullptr);
+  const std::string features = result->get_string("features");
+  EXPECT_NE(features.find("flight"), std::string::npos);
+  EXPECT_NE(features.find("sampler"), std::string::npos);
+#if CIPNET_FAULT_ENABLED
+  EXPECT_NE(features.find("fault"), std::string::npos);
+#else
+  EXPECT_EQ(features.find("fault,"), std::string::npos);
+#endif
+  EXPECT_FALSE(result->get_string("sanitizer").empty());
+  ASSERT_NE(result->find("flight_active"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// history op
+
+TEST(Introspect, HistoryPagesTheSamplerRingWithCursors) {
+  auto& sampler = obs::TimeSeriesSampler::instance();
+  sampler.stop();
+  sampler.clear();
+  for (int i = 0; i < 5; ++i) sampler.sample_once();
+
+  svc::AnalysisService service;
+  const json::Value first = json::parse(
+      service.handle_line("{\"id\":1,\"op\":\"history\",\"max\":2}"));
+  ASSERT_TRUE(first.find("ok")->as_bool());
+  const json::Value* result = first.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_FALSE(result->find("running")->as_bool());
+  const json::Value* samples = result->find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_EQ(samples->items().size(), 2u);
+  EXPECT_EQ(samples->items()[0].get_number("seq"), 1.0);
+  EXPECT_EQ(result->get_number("next_cursor"), 2.0);
+
+  // Feed next_cursor back: the follow-up page starts right after.
+  const json::Value second = json::parse(service.handle_line(
+      "{\"id\":2,\"op\":\"history\",\"cursor\":2,\"max\":10}"));
+  const json::Value* result2 = second.find("result");
+  ASSERT_EQ(result2->find("samples")->items().size(), 3u);
+  EXPECT_EQ(result2->find("samples")->items()[0].get_number("seq"), 3.0);
+  EXPECT_EQ(result2->get_number("next_cursor"), 5.0);
+
+  // Past the end: empty page, cursor echoed back unchanged.
+  const json::Value drained = json::parse(service.handle_line(
+      "{\"id\":3,\"op\":\"history\",\"cursor\":5}"));
+  EXPECT_TRUE(drained.find("result")->find("samples")->items().empty());
+  EXPECT_EQ(drained.find("result")->get_number("next_cursor"), 5.0);
+  sampler.clear();
 }
 
 // ---------------------------------------------------------------------------

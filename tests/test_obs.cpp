@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -516,6 +517,107 @@ TEST(Progress, NoUpdatesMeansNoFinalEvent) {
   EXPECT_TRUE(probe.events.empty());
 }
 
+/// Listener that tolerates publishes from concurrent worker threads.
+class LockedProgressProbe {
+ public:
+  LockedProgressProbe()
+      : id_(obs::ProgressBus::instance().add_listener(
+            [this](const obs::ProgressEvent& ev) {
+              std::lock_guard<std::mutex> lock(mutex_);
+              events_.push_back(ev);
+            })) {}
+  ~LockedProgressProbe() { obs::ProgressBus::instance().remove_listener(id_); }
+
+  std::vector<obs::ProgressEvent> events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<obs::ProgressEvent> events_;
+  int id_;
+};
+
+TEST(Progress, ConcurrentWorkersOnOneReporterPublishOncePerInterval) {
+  LockedProgressProbe probe;
+  obs::ProgressBus::instance().set_interval_ms(10);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    // The parallel explorer's shape: many workers heartbeat one reporter.
+    obs::ProgressReporter reporter("test.mt.shared");
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([&reporter, w] {
+        for (std::uint64_t i = 0; i < 50000; ++i) {
+          reporter.update(i * 4 + static_cast<std::uint64_t>(w), i);
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  obs::ProgressBus::instance().set_interval_ms(500);
+  const auto events = probe.events();
+  ASSERT_FALSE(events.empty());
+  // The CAS gate admits at most one publisher per 10ms window (+ final).
+  EXPECT_LE(events.size(), static_cast<std::size_t>(elapsed_ms / 10) + 2);
+  EXPECT_TRUE(events.back().final_event);
+  for (const obs::ProgressEvent& ev : events) {
+    EXPECT_EQ(ev.phase, "test.mt.shared");
+  }
+}
+
+TEST(Progress, ConcurrentReportersThrottleIndependently) {
+  LockedProgressProbe probe;
+  obs::ProgressBus::instance().set_interval_ms(3'600'000);
+  {
+    std::vector<std::thread> threads;
+    for (int r = 0; r < 3; ++r) {
+      threads.emplace_back([r] {
+        obs::ProgressReporter reporter("test.mt." + std::to_string(r));
+        for (std::uint64_t i = 1; i <= 1000; ++i) reporter.update(i);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  obs::ProgressBus::instance().set_interval_ms(500);
+  // Under the huge interval each reporter publishes exactly its final event,
+  // unperturbed by its two concurrent siblings.
+  const auto events = probe.events();
+  ASSERT_EQ(events.size(), 3u);
+  std::vector<std::string> phases;
+  for (const obs::ProgressEvent& ev : events) {
+    EXPECT_TRUE(ev.final_event);
+    EXPECT_EQ(ev.items, 1000u);
+    phases.push_back(ev.phase);
+  }
+  std::sort(phases.begin(), phases.end());
+  EXPECT_EQ(phases, (std::vector<std::string>{"test.mt.0", "test.mt.1",
+                                              "test.mt.2"}));
+}
+
+TEST(Progress, TargetAndShardSupplierReachTheEvent) {
+  ProgressProbe probe;
+  obs::ProgressBus::instance().set_interval_ms(0);
+  {
+    obs::ProgressReporter reporter("test.target");
+    reporter.set_target(100);
+    reporter.set_shard_supplier(
+        [] { return std::vector<std::uint64_t>{30, 20}; });
+    reporter.update(50);
+  }
+  obs::ProgressBus::instance().set_interval_ms(500);
+  ASSERT_EQ(probe.events.size(), 2u);
+  EXPECT_EQ(probe.events[0].target, 100u);
+  EXPECT_EQ(probe.events[0].shard_items,
+            (std::vector<std::uint64_t>{30, 20}));
+  EXPECT_TRUE(probe.events[1].final_event);
+}
+
 TEST(Progress, LimitErrorStillFlushesSpanAndFinalEvent) {
   obs::ScopedEnable enable;
   auto sink = std::make_shared<RecordingSink>();
@@ -557,6 +659,31 @@ TEST(Sinks, JsonlWritesProgressEvents) {
   const json::Value* final_flag = doc.find("final");
   ASSERT_NE(final_flag, nullptr);
   EXPECT_TRUE(final_flag->as_bool());
+  // No target and no shards set: the optional fields stay absent.
+  EXPECT_EQ(doc.find("target"), nullptr);
+  EXPECT_EQ(doc.find("eta_ms"), nullptr);
+  EXPECT_EQ(doc.find("shards"), nullptr);
+}
+
+TEST(Sinks, JsonlProgressCarriesTargetEtaAndShards) {
+  std::ostringstream out;
+  obs::JsonlSink sink(out);
+  obs::ProgressEvent ev;
+  ev.phase = "test.eta";
+  ev.items = 40;
+  ev.target = 100;
+  ev.eta_ms = 1500;
+  ev.shard_items = {25, 15, 0};
+  sink.write_progress(ev);
+  const json::Value doc = json::parse(out.str());
+  EXPECT_EQ(doc.get_number("target"), 100.0);
+  EXPECT_EQ(doc.get_number("eta_ms"), 1500.0);
+  const json::Value* shards = doc.find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_TRUE(shards->is_array());
+  ASSERT_EQ(shards->items().size(), 3u);
+  EXPECT_EQ(shards->items()[0].as_number(), 25.0);
+  EXPECT_EQ(shards->items()[2].as_number(), 0.0);
 }
 
 TEST(Sinks, JsonlCountersIncludeHistograms) {

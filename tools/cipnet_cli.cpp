@@ -11,6 +11,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,9 +27,11 @@
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/postmortem.h"
 #include "obs/sink_chrome.h"
 #include "obs/sink_jsonl.h"
 #include "obs/sink_text.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "petri/invariants.h"
 #include "petri/siphons.h"
@@ -323,6 +326,48 @@ int cmd_bench(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_report(const std::vector<std::string>& raw) {
+  std::string out_path;
+  std::string format = "text";
+  std::vector<std::string> files;
+  const auto positional = split_output(raw, out_path);
+  for (std::size_t i = 0; i < positional.size(); ++i) {
+    if (positional[i] == "--format" && i + 1 < positional.size()) {
+      format = positional[++i];
+    } else {
+      files.push_back(positional[i]);
+    }
+  }
+  if (files.empty()) return usage();
+  obs::PostMortemBuilder builder;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::size_t recognized = builder.ingest(path, text.str());
+    std::fprintf(stderr, "report: %s: %zu line(s)\n", path.c_str(),
+                 recognized);
+  }
+  const std::string rendered =
+      obs::render_postmortem(builder.finish(), format);
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << rendered;
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_serve(const std::vector<std::string>& args) {
   svc::ServiceOptions options;
   options.scheduler.workers = 8;
@@ -359,11 +404,13 @@ int cmd_serve(const std::vector<std::string>& args) {
       return usage();
     }
   }
-  // Long-lived process: a fatal signal should leave the flight-recorder
-  // timeline behind (at --flight-dump, or stderr), not just a core.
-  obs::FlightRecorder::instance().install_crash_handler();
   const std::size_t served = svc::serve(std::cin, std::cout, options);
   std::fprintf(stderr, "served %zu requests\n", served);
+  // With a dump path configured, leave the final timeline behind on clean
+  // exit too — post-mortems shouldn't require a crash.
+  if (!obs::FlightRecorder::instance().dump_path().empty()) {
+    obs::FlightRecorder::instance().auto_dump("serve-exit");
+  }
   return 0;
 }
 
@@ -395,6 +442,8 @@ constexpr Command kCommands[] = {
      cmd_profile},
     {"bench", "<file> [reps]", "time explore over reps (BENCH_ROW lines)",
      cmd_bench},
+    {"report", "<artifact>... [--format F] [-o out]",
+     "post-mortem from trace/flight/sample artifacts", cmd_report},
     {"serve", "[--workers N] [--queue N] [--flight-dump F] ...",
      "NDJSON analysis service on stdin/stdout (docs/SERVICE.md)",
      cmd_serve},
@@ -418,6 +467,12 @@ int usage() {
                "ui.perfetto.dev)\n"
                "  --progress          heartbeats on stderr during long "
                "explorations\n"
+               "  --sample-ms <n>     sample metrics + RSS every n ms "
+               "(CIPNET_SAMPLE_MS)\n"
+               "  --samples-out <f>   stream samples as JSON lines "
+               "(CIPNET_SAMPLES_OUT)\n"
+               "  --flight-dump <f>   route flight-recorder dumps (crash or "
+               "serve exit) to f\n"
                "  --fault-spec <s>    seeded fault injection, e.g. "
                "'seed=1;reach.cancel=p0.1'\n"
                "                      (docs/RESILIENCE.md; overrides "
@@ -434,6 +489,8 @@ int run(int argc, char** argv) {
     if (arg == "--version") {
       std::printf("cipnet %s (%s, %s)\n", obs::build_git_sha(),
                   obs::build_compiler(), obs::build_type());
+      std::printf("features: %s, sanitizer: %s\n", obs::build_features(),
+                  obs::build_sanitizer());
       return 0;
     }
   }
@@ -444,7 +501,17 @@ int run(int argc, char** argv) {
   std::string trace_out;
   std::string fault_spec;
   bool have_fault_spec = false;
+  std::string sample_ms;
+  std::string samples_out;
+  std::string flight_dump;
   for (std::size_t i = 0; i < args.size();) {
+    auto take_value = [&](std::string& out) {
+      if (i + 1 >= args.size()) return false;
+      out = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return true;
+    };
     if (args[i] == "--stats") {
       stats = true;
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
@@ -452,14 +519,16 @@ int run(int argc, char** argv) {
       progress = true;
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
     } else if (args[i] == "--trace-out" && i + 1 < args.size()) {
-      trace_out = args[i + 1];
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      take_value(trace_out);
+    } else if (args[i] == "--sample-ms" && i + 1 < args.size()) {
+      take_value(sample_ms);
+    } else if (args[i] == "--samples-out" && i + 1 < args.size()) {
+      take_value(samples_out);
+    } else if (args[i] == "--flight-dump" && i + 1 < args.size()) {
+      take_value(flight_dump);
     } else if (args[i] == "--fault-spec" && i + 1 < args.size()) {
-      fault_spec = args[i + 1];
+      take_value(fault_spec);
       have_fault_spec = true;
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     } else {
       ++i;
     }
@@ -470,8 +539,38 @@ int run(int argc, char** argv) {
   // disable injection).
   if (have_fault_spec) fault::configure(fault_spec);
 
+  // Every command gets the fatal-signal flight dump, not just `serve`: a
+  // crashed analysis should leave its timeline at --flight-dump (or stderr).
+  if (!flight_dump.empty()) {
+    obs::FlightRecorder::instance().set_dump_path(flight_dump);
+  }
+  obs::FlightRecorder::instance().install_crash_handler();
+
+  // Time-series sampling: --sample-ms N (fallback CIPNET_SAMPLE_MS) turns
+  // the background sampler on; --samples-out (fallback CIPNET_SAMPLES_OUT)
+  // streams each sample as a JSONL line.
+  obs::SamplerOptions sampler_options;
+  bool sampling = false;
+  if (!sample_ms.empty()) {
+    sampler_options.interval_ms = std::strtoull(sample_ms.c_str(), nullptr, 10);
+    sampling = sampler_options.interval_ms > 0;
+  } else if (const char* env = std::getenv("CIPNET_SAMPLE_MS")) {
+    sampler_options.interval_ms = std::strtoull(env, nullptr, 10);
+    sampling = sampler_options.interval_ms > 0;
+  }
+  if (!samples_out.empty()) {
+    sampler_options.jsonl_path = samples_out;
+  } else if (const char* env = std::getenv("CIPNET_SAMPLES_OUT")) {
+    sampler_options.jsonl_path = env;
+  }
+
   std::optional<obs::ScopedEnable> enable;
-  if (stats || !trace_out.empty()) enable.emplace();
+  if (stats || !trace_out.empty() || sampling) enable.emplace();
+  if (sampling && !obs::TimeSeriesSampler::instance().start(sampler_options)) {
+    std::fprintf(stderr, "error: cannot start sampler (samples-out \"%s\")\n",
+                 sampler_options.jsonl_path.c_str());
+    return 1;
+  }
   // The trace file extension picks the sink: `.jsonl` streams span/counter
   // JSON lines, anything else writes Chrome trace-event JSON for Perfetto.
   std::ofstream trace_file;
@@ -499,12 +598,20 @@ int run(int argc, char** argv) {
   if (progress) {
     progress_listeners.push_back(obs::ProgressBus::instance().add_listener(
         [](const obs::ProgressEvent& ev) {
+          std::string eta;
+          if (ev.target != 0 && ev.eta_ms != 0 && !ev.final_event) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), ", eta %.1fs",
+                          static_cast<double>(ev.eta_ms) / 1000.0);
+            eta = buf;
+          }
           std::fprintf(
               stderr,
-              "[%s] %llu items, frontier %llu, %.0f/s, %.1fs, rss %.1f MiB%s\n",
+              "[%s] %llu items, frontier %llu, %.0f/s, %.1fs%s, rss %.1f "
+              "MiB%s\n",
               ev.phase.c_str(), static_cast<unsigned long long>(ev.items),
               static_cast<unsigned long long>(ev.frontier), ev.items_per_sec,
-              static_cast<double>(ev.elapsed_ms) / 1000.0,
+              static_cast<double>(ev.elapsed_ms) / 1000.0, eta.c_str(),
               static_cast<double>(ev.peak_rss_bytes) / (1024.0 * 1024.0),
               ev.final_event ? " (done)" : "");
         }));
@@ -534,6 +641,9 @@ int run(int argc, char** argv) {
   for (int id : progress_listeners) {
     obs::ProgressBus::instance().remove_listener(id);
   }
+  // Stop sampling before snapshotting so the close-out sample (and the last
+  // exported JSONL line) precedes the final counters report.
+  if (sampling) obs::TimeSeriesSampler::instance().stop();
   // Stamp real process memory into the registry so the reports carry it.
   if (enable) obs::Gauge("mem.peak_rss_bytes").set(obs::peak_rss_bytes());
   if (jsonl) {
