@@ -1,0 +1,137 @@
+#pragma once
+
+// Per-connection state machine of the TCP frontend: owns the socket, the
+// bounded NDJSON frame assembler on the read side, and the pending-response
+// buffer on the write side. A connection is a sequential process — all of
+// its methods run on the server's event-loop thread — composed with its
+// peers only through the shared `JobScheduler` and the server's completion
+// queue, mirroring the paper's modules-communicating-over-channels shape.
+//
+// Framing reuses the `serve` stdio contract (docs/SERVICE.md): frames are
+// newline-delimited, a frame longer than `max_line_bytes` is discarded
+// *without buffering it* and surfaces as one oversized marker so the server
+// can answer `bad_request` while the stream stays line-synced.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cipnet::net {
+
+/// One extracted request frame. `oversized` frames carry no text — the
+/// bytes were discarded as they arrived.
+struct Frame {
+  std::string line;
+  bool oversized = false;
+};
+
+/// Cross-thread byte totals the owning server exposes through
+/// `net::listener_info()`. Relaxed atomics: monotonic accounting only.
+struct ByteTotals {
+  std::atomic<std::uint64_t> in{0};
+  std::atomic<std::uint64_t> out{0};
+};
+
+/// Outcome of one readable-event service.
+enum class ReadResult {
+  kOk,     ///< drained what was available (possibly zero frames)
+  kEof,    ///< orderly half-close: finish in-flight, flush, then reap
+  kError,  ///< reset/failure: the connection is unusable, drop it
+};
+
+/// Per-client quota limits, enforced by the server when frames arrive.
+struct ConnectionQuota {
+  /// Frames accepted but not yet answered (queued + executing + response
+  /// in the completion queue). Further frames are rejected `overloaded`.
+  std::size_t max_inflight_jobs = 16;
+  /// Pending (unflushed) response bytes. A client that stops reading while
+  /// issuing work gets `overloaded` once this backs up.
+  std::size_t max_pending_bytes = 8u << 20;
+};
+
+class Connection {
+ public:
+  /// `totals` (optional) receives every byte read/written, for the
+  /// server's introspection snapshot.
+  Connection(int fd, std::uint64_t id, std::string peer,
+             ByteTotals* totals = nullptr);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  /// "ip:port" of the peer — the default client tag for jobs on this
+  /// connection (jobs/health introspection show which socket a job came
+  /// from).
+  [[nodiscard]] const std::string& peer() const { return peer_; }
+
+  /// Read whatever the socket has and extract complete frames (bounded by
+  /// `max_line_bytes`). kOk covers the recoverable cases (EAGAIN included);
+  /// kEof marks an orderly half-close (the connection still owes its
+  /// in-flight responses); kError means drop the connection.
+  ReadResult read_frames(std::size_t max_line_bytes, std::vector<Frame>& out);
+
+  /// Frame assembler, exposed for direct testing: feed `n` raw bytes,
+  /// append completed frames to `out`. Empty lines vanish (same as stdio
+  /// serve); an over-limit line is discarded as it arrives and emits one
+  /// oversized Frame at its terminating newline.
+  void ingest(const char* data, std::size_t n, std::size_t max_line_bytes,
+              std::vector<Frame>& out);
+
+  /// Queue one response line (newline appended here) for the peer.
+  void queue_response(const std::string& response);
+
+  /// Push pending bytes into the socket. Returns false on a fatal write
+  /// error; true otherwise (even if bytes remain — the caller re-arms
+  /// write interest via `wants_write`).
+  bool flush();
+
+  [[nodiscard]] bool wants_write() const { return !wbuf_.empty(); }
+  [[nodiscard]] std::size_t pending_bytes() const { return wbuf_.size(); }
+
+  /// Frames accepted whose response has not yet been queued to the socket
+  /// buffer. Maintained by the server around submit/completion.
+  [[nodiscard]] std::size_t inflight() const { return inflight_; }
+  void add_inflight() { ++inflight_; }
+  void sub_inflight() {
+    if (inflight_ > 0) --inflight_;
+  }
+
+  /// The peer half-closed (EOF) or the server is draining: no more frames
+  /// will be read, but in-flight responses still flush before close.
+  [[nodiscard]] bool read_closed() const { return read_closed_; }
+  void close_read() { read_closed_ = true; }
+
+  /// Ready to reap: nothing owed to the peer and nothing more coming.
+  [[nodiscard]] bool drained() const {
+    return read_closed_ && inflight_ == 0 && wbuf_.empty();
+  }
+
+  [[nodiscard]] std::chrono::steady_clock::time_point last_activity() const {
+    return last_activity_;
+  }
+  void touch() { last_activity_ = std::chrono::steady_clock::now(); }
+
+ private:
+  int fd_;
+  std::uint64_t id_;
+  std::string peer_;
+  ByteTotals* totals_;
+
+  std::string rbuf_;        // the partial (unterminated) frame, bounded
+  bool discarding_ = false; // inside an over-limit line, dropping bytes
+
+  std::string wbuf_;        // pending response bytes
+  std::size_t woff_ = 0;    // flushed prefix of wbuf_
+
+  std::size_t inflight_ = 0;
+  bool read_closed_ = false;
+  std::chrono::steady_clock::time_point last_activity_;
+};
+
+}  // namespace cipnet::net

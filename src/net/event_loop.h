@@ -1,0 +1,71 @@
+#pragma once
+
+// Thin epoll wrapper behind the TCP frontend (net/server.h): one loop
+// thread multiplexes the listening socket, every live connection, and a
+// cross-thread wakeup. The paper's view of a system — many independent
+// sequential agents composed over shared channels — is exactly the shape
+// here: each connection is a sequential state machine (net/connection.h),
+// the loop is the composition, and scheduler workers communicate back into
+// it through the completion queue + `notify()`.
+//
+// The loop is level-triggered: handlers may leave data unread or bytes
+// unwritten and will simply be called again, which keeps the per-connection
+// state machines simple (no drain-until-EAGAIN obligation on every path).
+// `notify()` is the only member callable from other threads (and from
+// signal handlers — it is one `write` on an eventfd, which is
+// async-signal-safe); everything else belongs to the loop thread.
+
+#include <cstdint>
+#include <vector>
+
+namespace cipnet::net {
+
+/// One ready file descriptor, reported with the opaque tag it was
+/// registered under. `readable`/`writable` map EPOLLIN/EPOLLOUT; `error`
+/// folds EPOLLERR and EPOLLHUP (a peer reset shows up here, or as a
+/// 0-byte read — both paths close the connection).
+struct LoopEvent {
+  void* tag = nullptr;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when epoll/eventfd creation failed at construction; a server
+  /// that sees this must not run.
+  [[nodiscard]] bool valid() const { return epoll_fd_ >= 0; }
+
+  /// Register `fd` with the given interest set. `tag` comes back verbatim
+  /// in every LoopEvent for this fd; it must stay valid until `remove`.
+  /// Both flags false is legal — only errors/hangups are reported then
+  /// (a drained connection waiting on in-flight jobs sits in this state).
+  bool add(int fd, void* tag, bool want_read = true, bool want_write = false);
+  /// Re-arm `fd` with a new interest set (level-triggered, so this is how
+  /// read interest drops at half-close and write interest toggles as
+  /// output buffers fill and drain).
+  bool modify(int fd, void* tag, bool want_read, bool want_write);
+  void remove(int fd);
+
+  /// Block up to `timeout_ms` (-1 = forever) for events. Returns false on
+  /// a hard epoll failure (the loop should stop); wakeups via `notify()`
+  /// count as success with possibly zero events.
+  bool wait(std::vector<LoopEvent>& out, int timeout_ms);
+
+  /// Wake a blocked `wait` from any thread or signal handler. One eventfd
+  /// write; coalesces (N notifies before the next wait produce one wakeup).
+  void notify();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+};
+
+}  // namespace cipnet::net

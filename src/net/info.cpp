@@ -1,0 +1,26 @@
+#include "net/info.h"
+
+#include <mutex>
+#include <utility>
+
+namespace cipnet::net {
+
+namespace {
+
+std::mutex g_mutex;
+std::function<ListenerInfo()> g_supplier;
+
+}  // namespace
+
+void set_listener_supplier(std::function<ListenerInfo()> supplier) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_supplier = std::move(supplier);
+}
+
+ListenerInfo listener_info() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_supplier) return ListenerInfo{};
+  return g_supplier();
+}
+
+}  // namespace cipnet::net

@@ -1,0 +1,38 @@
+#pragma once
+
+// Introspection bridge between the TCP frontend and the analysis service.
+// `net::Server` depends on `svc::AnalysisService` (it dispatches frames
+// into it), yet the service's `version` / `health` introspection ops need
+// to report the listener's state. This header breaks the cycle: it has no
+// dependencies in either direction — the server publishes a snapshot
+// supplier at start, the service reads `listener_info()` when asked, and a
+// process with no listener gets the zero/"not listening" defaults.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cipnet::net {
+
+/// Point-in-time view of the (single) TCP listener, for introspection.
+struct ListenerInfo {
+  bool listening = false;
+  bool draining = false;
+  std::string address;                ///< actual "host:port" after bind
+  std::uint64_t conns_active = 0;
+  std::uint64_t conns_accepted = 0;
+  std::uint64_t frames = 0;           ///< frames accepted across all conns
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// Install the live snapshot supplier (the running server) or clear it
+/// (empty function). The supplier is invoked under the same lock that
+/// guards installation, so clearing blocks until in-flight reads finish —
+/// the server may safely tear down right after `set_listener_supplier({})`.
+void set_listener_supplier(std::function<ListenerInfo()> supplier);
+
+/// Snapshot of the live listener, or defaults when none is running.
+[[nodiscard]] ListenerInfo listener_info();
+
+}  // namespace cipnet::net

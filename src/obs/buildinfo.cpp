@@ -23,9 +23,9 @@ const char* build_type() { return CIPNET_BUILD_TYPE; }
 
 const char* build_features() {
 #ifdef CIPNET_FAULT_ENABLED
-  return "fault,flight,sampler";
+  return "fault,flight,net,sampler";
 #else
-  return "flight,sampler";
+  return "flight,net,sampler";
 #endif
 }
 

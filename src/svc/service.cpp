@@ -14,6 +14,7 @@
 #include "algebra/hide.h"
 #include "io/astg.h"
 #include "io/net_format.h"
+#include "net/info.h"
 #include "obs/buildinfo.h"
 #include "obs/flight_recorder.h"
 #include "obs/memory.h"
@@ -295,6 +296,7 @@ std::string ok_response(const std::string& id_json, const std::string& op,
 std::string run_ping() { return "{}"; }
 
 std::string run_version() {
+  const net::ListenerInfo listener = net::listener_info();
   json::Writer w;
   w.begin_object();
   w.member("git_sha", obs::build_git_sha());
@@ -303,6 +305,11 @@ std::string run_version() {
   w.member("features", obs::build_features());
   w.member("sanitizer", obs::build_sanitizer());
   w.member("flight_active", obs::FlightRecorder::instance().active());
+  w.key("net").begin_object();
+  w.member("listening", listener.listening);
+  if (!listener.address.empty()) w.member("address", listener.address);
+  w.member("active_connections", listener.conns_active);
+  w.end_object();
   w.end_object();
   return w.take();
 }
@@ -682,6 +689,17 @@ std::string AnalysisService::run_health() const {
   w.member("active", recorder.active());
   w.member("recorded", recorder.recorded());
   w.end_object();
+  const net::ListenerInfo listener = net::listener_info();
+  w.key("net").begin_object();
+  w.member("listening", listener.listening);
+  w.member("draining", listener.draining);
+  if (!listener.address.empty()) w.member("address", listener.address);
+  w.member("active_connections", listener.conns_active);
+  w.member("accepted_connections", listener.conns_accepted);
+  w.member("frames", listener.frames);
+  w.member("bytes_in", listener.bytes_in);
+  w.member("bytes_out", listener.bytes_out);
+  w.end_object();
   w.end_object();
   return w.take();
 }
@@ -883,6 +901,33 @@ std::string AnalysisService::execute(const Request& req) {
   }
 }
 
+std::string AnalysisService::error_line(const std::string& line,
+                                        std::string_view code,
+                                        std::string_view message,
+                                        std::uint64_t retry_after_ms) const {
+  std::string id_json;
+  std::string op;
+  if (!line.empty() && line.size() <= options_.max_line_bytes) {
+    try {
+      const json::Value doc = json::parse(line);
+      if (doc.is_object()) {
+        if (const json::Value* id = doc.find("id")) {
+          if (id->type() == json::Value::Type::kString) {
+            id_json = "\"" + json::escape(id->as_string()) + "\"";
+          } else if (id->type() == json::Value::Type::kNumber) {
+            id_json = json::number_to_string(id->as_number());
+          }
+        }
+        op = doc.get_string("op");
+      }
+    } catch (const ParseError&) {
+      // Best-effort echo only: an unparseable line is still rejected with
+      // the caller's code, just without id/op correlation.
+    }
+  }
+  return error_response(id_json, op, code, message, retry_after_ms);
+}
+
 std::string AnalysisService::handle_line(const std::string& line) {
   Request req = parse_request(line);
   if (req.valid) {
@@ -897,8 +942,10 @@ std::string AnalysisService::handle_line(const std::string& line) {
 }
 
 SubmitStatus AnalysisService::submit_line(
-    const std::string& line, std::function<void(const std::string&)> done) {
+    const std::string& line, std::function<void(const std::string&)> done,
+    const std::string& default_client) {
   Request req = parse_request(line);
+  if (req.client.empty()) req.client = default_client;
   if (!req.valid) {
     done(execute(req));
     return SubmitStatus{};

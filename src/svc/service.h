@@ -23,6 +23,7 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "svc/job_table.h"
 #include "svc/result_cache.h"
@@ -71,8 +72,22 @@ class AnalysisService {
   /// once with the response — on a worker thread normally, or inline on the
   /// calling thread when the request is malformed or the queue is full
   /// (`overloaded` response carrying the scheduler's retry hint).
+  /// `default_client` tags the job (TraceContext, `jobs` table) when the
+  /// request carries no `client` member — the TCP frontend passes the
+  /// peer's "ip:port" so every job is attributable to its socket.
   SubmitStatus submit_line(const std::string& line,
-                           std::function<void(const std::string&)> done);
+                           std::function<void(const std::string&)> done,
+                           const std::string& default_client = {});
+
+  /// Build one schema-correct error response for `line` without executing
+  /// it: `id`/`op` are echoed best-effort (unparseable lines get neither)
+  /// and the response carries the mandatory `timings` object. This is how
+  /// transport layers reject frames they never submit — the TCP frontend's
+  /// per-connection quota uses it for `overloaded` turnaways.
+  [[nodiscard]] std::string error_line(const std::string& line,
+                                       std::string_view code,
+                                       std::string_view message,
+                                       std::uint64_t retry_after_ms = 0) const;
 
   /// Wait until every accepted request has produced its response.
   void drain() { scheduler_.drain(); }

@@ -21,6 +21,8 @@ const obs::Counter c_injected("fault.injected");
 /// each entry and what failure it simulates.
 constexpr const char* kCatalogue[] = {
     "algebra.hide.cancel",   // spurious Cancelled inside hide contraction
+    "net.accept",            // accepted TCP connection dropped at accept
+    "net.read",              // TCP read treated as a hard socket error
     "reach.cancel",          // spurious Cancelled inside explore/coverability
     "reach.store.grow",      // bad_alloc while interning into the arena
     "svc.cache.insert",      // ResultCache insert failure

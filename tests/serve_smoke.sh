@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Smoke test for `cipnet serve`: pipe 30 NDJSON requests through the server
-# and validate that every response line parses under the strict JSON grammar
+# Smoke test for `cipnet serve` in both transports.
+#
+# stdio mode (default): pipe 30 NDJSON requests through the server and
+# validate that every response line parses under the strict JSON grammar
 # and carries a boolean "ok" (ok responses also need a numeric `timings`
 # object; error responses a structured code + message). Exercises the cache
 # (repeated reach requests), every op — the introspection ops `metrics`
@@ -8,11 +10,18 @@
 # malformed line, truncated JSON, binary junk, oversized frame), and
 # per-request deadlines.
 #
-# usage: serve_smoke.sh <cipnet-binary> <ndjson_check-binary>
+# tcp mode: the same request stream carried over real sockets against
+# `serve --listen 127.0.0.1:0` — several concurrent ndjson_check --connect
+# clients (hostile frames included), a deterministic per-connection quota
+# violation (required `overloaded`), and a SIGTERM graceful drain that must
+# answer the in-flight request and exit 0.
+#
+# usage: serve_smoke.sh <cipnet-binary> <ndjson_check-binary> [stdio|tcp]
 set -u -o pipefail
 
 CIPNET="$1"
 CHECK="$2"
+MODE="${3:-stdio}"
 
 NET='.net ab\n.place p0 1\n.place p1\n.trans a : p0 -> p1\n.trans b : p1 -> p0\n.end'
 STG='.model hs\n.inputs req\n.outputs ack\n.graph\nreq+ ack+\nack+ req-\nreq- ack-\nack- req+\n.marking { <ack-,req+> }\n.end'
@@ -58,5 +67,122 @@ requests() {
   printf '{"id":30,"op":"metrics","format":"xml"}\n'
 }
 
-requests | "$CIPNET" serve --workers 4 --queue 64 --max-line-bytes 4096 \
-  | "$CHECK" 30 bad_request,parse
+if [ "$MODE" = "stdio" ]; then
+  requests | "$CIPNET" serve --workers 4 --queue 64 --max-line-bytes 4096 \
+    | "$CHECK" 30 bad_request,parse
+  exit $?
+fi
+
+if [ "$MODE" != "tcp" ]; then
+  echo "unknown mode: $MODE" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"; kill "$SERVER_PID" "$QUOTA_PID" 2>/dev/null' EXIT
+SERVER_PID=""
+QUOTA_PID=""
+
+# Wait for "listening on HOST:PORT" on the given stderr file; print ADDR.
+wait_listen() {
+  local errfile="$1" addr="" i
+  for i in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$errfile" | head -n1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "server never reported its listen address" >&2
+    cat "$errfile" >&2
+    exit 1
+  fi
+  echo "$addr"
+}
+
+# --- phase 1: N concurrent clients, hostile frames included -----------------
+"$CIPNET" serve --listen 127.0.0.1:0 --workers 4 --queue 64 \
+  --max-line-bytes 4096 2>"$WORK/server.err" &
+SERVER_PID=$!
+ADDR="$(wait_listen "$WORK/server.err")"
+echo "tcp smoke: server at $ADDR" >&2
+
+CLIENTS=6
+for c in $(seq 1 "$CLIENTS"); do
+  requests | "$CHECK" --connect "$ADDR" 30 bad_request,parse \
+    2>"$WORK/client$c.err" &
+  eval "CLIENT_PID_$c=$!"
+done
+FAIL=0
+for c in $(seq 1 "$CLIENTS"); do
+  eval "pid=\$CLIENT_PID_$c"
+  if ! wait "$pid"; then
+    echo "client $c failed:" >&2
+    cat "$WORK/client$c.err" >&2
+    FAIL=1
+  fi
+done
+[ "$FAIL" -eq 0 ] || exit 1
+echo "tcp smoke: $CLIENTS concurrent clients ok" >&2
+
+# --- phase 2: graceful drain on SIGTERM with a request in flight ------------
+# A slow reach (2^18 states, truncated at the default max_states) is in
+# flight when SIGTERM lands; the drain must still answer it, close the
+# connection cleanly (the client sees orderly EOF), and exit 0.
+BIG='.net big'
+for i in $(seq 0 17); do
+  BIG="$BIG"'\n.place a'"$i"' 1\n.place b'"$i"'\n.trans t'"$i"' : a'"$i"' -> b'"$i"'\n.trans u'"$i"' : b'"$i"' -> a'"$i"
+done
+BIG="$BIG"'\n.end'
+
+printf '{"id":100,"op":"reach","net":"%s","no_cache":true}\n' "$BIG" \
+  | "$CHECK" --connect "$ADDR" 1 2>"$WORK/drain.err" &
+DRAIN_PID=$!
+sleep 0.5
+kill -TERM "$SERVER_PID"
+if ! wait "$DRAIN_PID"; then
+  echo "drain client failed:" >&2
+  cat "$WORK/drain.err" >&2
+  exit 1
+fi
+wait "$SERVER_PID"
+SERVER_EXIT=$?
+SERVER_PID=""
+if [ "$SERVER_EXIT" -ne 0 ]; then
+  echo "server exited $SERVER_EXIT after SIGTERM:" >&2
+  cat "$WORK/server.err" >&2
+  exit 1
+fi
+grep -q '^drained:' "$WORK/server.err" || {
+  echo "server never reported the drain summary" >&2
+  cat "$WORK/server.err" >&2
+  exit 1
+}
+echo "tcp smoke: SIGTERM drain ok" >&2
+
+# --- phase 3: deterministic per-connection quota violation ------------------
+# One worker, quota of one in-flight job: the pipelined slow reach holds the
+# worker, so every ping behind it in the same connection must be turned away
+# `overloaded` (6 responses total, `overloaded` required among them).
+"$CIPNET" serve --listen 127.0.0.1:0 --workers 1 --max-conn-jobs 1 \
+  2>"$WORK/quota.err" &
+QUOTA_PID=$!
+QADDR="$(wait_listen "$WORK/quota.err")"
+{
+  printf '{"id":200,"op":"reach","net":"%s","no_cache":true}\n' "$BIG"
+  for i in 201 202 203 204 205; do
+    printf '{"id":%d,"op":"ping"}\n' "$i"
+  done
+} | "$CHECK" --connect "$QADDR" 6 overloaded 2>"$WORK/quota_client.err"
+QUOTA_CLIENT_EXIT=$?
+if [ "$QUOTA_CLIENT_EXIT" -ne 0 ]; then
+  echo "quota client failed:" >&2
+  cat "$WORK/quota_client.err" >&2
+  exit 1
+fi
+kill -TERM "$QUOTA_PID"
+wait "$QUOTA_PID"
+QUOTA_EXIT=$?
+QUOTA_PID=""
+[ "$QUOTA_EXIT" -eq 0 ] || { echo "quota server exited $QUOTA_EXIT" >&2; exit 1; }
+echo "tcp smoke: quota violation ok" >&2
+exit 0

@@ -295,6 +295,7 @@ TEST(Introspect, VersionReportsBuildFeatureFlags) {
   ASSERT_NE(result, nullptr);
   const std::string features = result->get_string("features");
   EXPECT_NE(features.find("flight"), std::string::npos);
+  EXPECT_NE(features.find("net"), std::string::npos);
   EXPECT_NE(features.find("sampler"), std::string::npos);
 #if CIPNET_FAULT_ENABLED
   EXPECT_NE(features.find("fault"), std::string::npos);
@@ -303,6 +304,11 @@ TEST(Introspect, VersionReportsBuildFeatureFlags) {
 #endif
   EXPECT_FALSE(result->get_string("sanitizer").empty());
   ASSERT_NE(result->find("flight_active"), nullptr);
+  // No listener in this process: the version op still reports the net
+  // block, with listening=false (src/net/info.h defaults).
+  const json::Value* net_block = result->find("net");
+  ASSERT_NE(net_block, nullptr);
+  EXPECT_FALSE(net_block->find("listening")->as_bool());
 }
 
 // ---------------------------------------------------------------------------

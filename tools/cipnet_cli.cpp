@@ -4,6 +4,9 @@
 // Files: `.g`/`.astg` are petrify-style STGs, everything else the native
 // `.cpn` format.
 
+#include <csignal>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +24,7 @@
 #include "circuit/receptive.h"
 #include "io/dot.h"
 #include "io/files.h"
+#include "net/server.h"
 #include "obs/benchdata.h"
 #include "obs/buildinfo.h"
 #include "obs/flight_recorder.h"
@@ -368,9 +372,21 @@ int cmd_report(const std::vector<std::string>& raw) {
   return 0;
 }
 
+/// The running TCP server, for the SIGTERM/SIGINT graceful-drain handler.
+/// `request_drain` is async-signal-safe (atomic store + eventfd write).
+std::atomic<net::Server*> g_serve_server{nullptr};
+
+void serve_drain_signal(int) {
+  if (net::Server* server = g_serve_server.load(std::memory_order_relaxed)) {
+    server->request_drain();
+  }
+}
+
 int cmd_serve(const std::vector<std::string>& args) {
-  svc::ServiceOptions options;
+  net::ServerOptions server_options;
+  svc::ServiceOptions& options = server_options.service;
   options.scheduler.workers = 8;
+  bool tcp = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto numeric = [&](std::uint64_t& out) {
       if (i + 1 >= args.size()) return false;
@@ -380,6 +396,16 @@ int cmd_serve(const std::vector<std::string>& args) {
     std::uint64_t v = 0;
     if (args[i] == "--flight-dump" && i + 1 < args.size()) {
       obs::FlightRecorder::instance().set_dump_path(args[++i]);
+    } else if (args[i] == "--listen" && i + 1 < args.size()) {
+      std::string error;
+      if (!net::parse_hostport(args[++i], server_options.host,
+                               server_options.port, error)) {
+        std::fprintf(stderr, "error: --listen: %s\n", error.c_str());
+        return 2;
+      }
+      tcp = true;
+    } else if (args[i] == "--stdio") {
+      tcp = false;
     } else if (args[i] == "--workers" && numeric(v)) {
       options.scheduler.workers = static_cast<std::size_t>(v);
     } else if (args[i] == "--queue" && numeric(v)) {
@@ -400,12 +426,42 @@ int cmd_serve(const std::vector<std::string>& args) {
       options.scheduler.stall_timeout_ms = v;
     } else if (args[i] == "--max-line-bytes" && numeric(v)) {
       options.max_line_bytes = static_cast<std::size_t>(v);
+    } else if (args[i] == "--max-conn-jobs" && numeric(v)) {
+      server_options.quota.max_inflight_jobs = static_cast<std::size_t>(v);
+    } else if (args[i] == "--max-conn-bytes" && numeric(v)) {
+      server_options.quota.max_pending_bytes = static_cast<std::size_t>(v);
+    } else if (args[i] == "--idle-ms" && numeric(v)) {
+      server_options.idle_timeout_ms = v;
+    } else if (args[i] == "--max-conns" && numeric(v)) {
+      server_options.max_connections = static_cast<std::size_t>(v);
     } else {
       return usage();
     }
   }
-  const std::size_t served = svc::serve(std::cin, std::cout, options);
-  std::fprintf(stderr, "served %zu requests\n", served);
+  if (tcp) {
+    net::Server server(std::move(server_options));
+    if (!server.start()) {
+      std::fprintf(stderr, "error: %s\n", server.error().c_str());
+      return 1;
+    }
+    // Line-buffered and flushed before run(): harnesses block on this line
+    // to learn the ephemeral port.
+    std::fprintf(stderr, "listening on %s\n", server.address().c_str());
+    std::fflush(stderr);
+    g_serve_server.store(&server, std::memory_order_relaxed);
+    struct sigaction sa {};
+    sa.sa_handler = serve_drain_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    server.run();
+    g_serve_server.store(nullptr, std::memory_order_relaxed);
+    std::fprintf(stderr, "drained: served %llu frames over %llu connections\n",
+                 static_cast<unsigned long long>(server.frames_accepted()),
+                 static_cast<unsigned long long>(server.conns_accepted()));
+  } else {
+    const std::size_t served = svc::serve(std::cin, std::cout, options);
+    std::fprintf(stderr, "served %zu requests\n", served);
+  }
   // With a dump path configured, leave the final timeline behind on clean
   // exit too — post-mortems shouldn't require a crash.
   if (!obs::FlightRecorder::instance().dump_path().empty()) {
@@ -444,8 +500,8 @@ constexpr Command kCommands[] = {
      cmd_bench},
     {"report", "<artifact>... [--format F] [-o out]",
      "post-mortem from trace/flight/sample artifacts", cmd_report},
-    {"serve", "[--workers N] [--queue N] [--flight-dump F] ...",
-     "NDJSON analysis service on stdin/stdout (docs/SERVICE.md)",
+    {"serve", "[--listen HOST:PORT] [--workers N] [--queue N] ...",
+     "NDJSON analysis service, stdio or TCP (docs/SERVICE.md)",
      cmd_serve},
 };
 

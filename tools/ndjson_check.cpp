@@ -4,97 +4,213 @@
 // latency breakdown of docs/SERVICE.md — ok and error responses alike);
 // every error response must additionally carry a structured error object
 // (non-empty string "code" and "message"); and the line count must match
-// argv[1]. An optional argv[2]
-// lists comma-separated error codes that must each appear at least once —
-// the smoke test uses it to prove the malformed/oversized frames actually
-// exercised the rejection paths. Used by the ServeSmoke ctest
-// (tests/serve_smoke.sh).
+// the expected count argument. An optional codes argument lists
+// comma-separated error codes that must each appear at least once — the
+// smoke test uses it to prove the malformed/oversized frames actually
+// exercised the rejection paths.
+//
+// Two transports:
+//   ndjson_check <count> [codes]                  validate stdin (a pipe
+//                                                 from the stdio server)
+//   ndjson_check --connect HOST:PORT <count> [codes]
+//     act as one TCP client: send every stdin line to the server, half-close
+//     the write side, and validate the response stream read back until the
+//     server's orderly EOF. The TCP smoke runs many of these concurrently.
+//
+// Used by the ServeSmoke and NetSmoke ctests (tests/serve_smoke.sh).
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "util/json.h"
 
-int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr,
-                 "usage: ndjson_check <expected-line-count> "
-                 "[required-error-codes,comma,separated]\n");
-    return 2;
-  }
-  const long expected = std::strtol(argv[1], nullptr, 10);
-  std::map<std::string, long> required;  // code -> times seen
-  if (argc == 3) {
-    std::istringstream codes(argv[2]);
-    std::string code;
-    while (std::getline(codes, code, ',')) {
-      if (!code.empty()) required[code] = 0;
-    }
-  }
-  long lines = 0;
-  long ok = 0;
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    ++lines;
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ndjson_check [--connect HOST:PORT] "
+               "<expected-line-count> [required-error-codes,comma,separated]\n");
+  return 2;
+}
+
+/// Validates one response line; returns false (after diagnosing to stderr)
+/// on the first violation.
+class Validator {
+ public:
+  explicit Validator(std::map<std::string, long>* required)
+      : required_(required) {}
+
+  bool check(const std::string& line) {
+    ++lines_;
     try {
       const cipnet::json::Value doc = cipnet::json::parse(line);
       const cipnet::json::Value* flag = doc.find("ok");
-      if (flag == nullptr || flag->type() != cipnet::json::Value::Type::kBool) {
-        std::fprintf(stderr, "line %ld: missing boolean \"ok\": %s\n", lines,
+      if (flag == nullptr ||
+          flag->type() != cipnet::json::Value::Type::kBool) {
+        std::fprintf(stderr, "line %ld: missing boolean \"ok\": %s\n", lines_,
                      line.c_str());
-        return 1;
+        return false;
       }
       const cipnet::json::Value* timings = doc.find("timings");
       if (timings == nullptr || !timings->is_object()) {
         std::fprintf(stderr, "line %ld: response without timings object: %s\n",
-                     lines, line.c_str());
-        return 1;
+                     lines_, line.c_str());
+        return false;
       }
       if (timings->members().empty()) {
-        std::fprintf(stderr, "line %ld: empty timings object: %s\n", lines,
+        std::fprintf(stderr, "line %ld: empty timings object: %s\n", lines_,
                      line.c_str());
-        return 1;
+        return false;
       }
       for (const auto& [name, value] : timings->members()) {
         if (value.type() != cipnet::json::Value::Type::kNumber) {
-          std::fprintf(stderr,
-                       "line %ld: timings.%s is not a number: %s\n", lines,
-                       name.c_str(), line.c_str());
-          return 1;
+          std::fprintf(stderr, "line %ld: timings.%s is not a number: %s\n",
+                       lines_, name.c_str(), line.c_str());
+          return false;
         }
       }
       if (flag->as_bool()) {
-        ++ok;
+        ++ok_;
       } else {
         const cipnet::json::Value* error = doc.find("error");
         if (error == nullptr || !error->is_object()) {
-          std::fprintf(stderr, "line %ld: error response without error "
-                               "object: %s\n", lines, line.c_str());
-          return 1;
+          std::fprintf(stderr,
+                       "line %ld: error response without error object: %s\n",
+                       lines_, line.c_str());
+          return false;
         }
         const std::string code = error->get_string("code");
         if (code.empty() || error->get_string("message").empty()) {
           std::fprintf(stderr, "line %ld: error without code/message: %s\n",
-                       lines, line.c_str());
-          return 1;
+                       lines_, line.c_str());
+          return false;
         }
-        auto it = required.find(code);
-        if (it != required.end()) ++it->second;
+        auto it = required_->find(code);
+        if (it != required_->end()) ++it->second;
       }
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "line %ld: %s\n  %s\n", lines, e.what(),
+      std::fprintf(stderr, "line %ld: %s\n  %s\n", lines_, e.what(),
                    line.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] long lines() const { return lines_; }
+  [[nodiscard]] long ok() const { return ok_; }
+
+ private:
+  std::map<std::string, long>* required_;
+  long lines_ = 0;
+  long ok_ = 0;
+};
+
+/// One TCP exchange: write every stdin line to HOST:PORT, shutdown the
+/// write side, then validate responses until the server's EOF.
+int run_connect(const std::string& hostport, long expected,
+                std::map<std::string, long>& required) {
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect expects HOST:PORT, got '%s'\n",
+                 hostport.c_str());
+    return 2;
+  }
+  std::string host = hostport.substr(0, colon);
+  if (host.empty() || host == "localhost" || host == "0.0.0.0") {
+    host = "127.0.0.1";
+  }
+  const int port = std::atoi(hostport.c_str() + colon + 1);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "bad host: %s\n", host.c_str());
+    return 2;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "connect %s: %s\n", hostport.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  // A hung server must fail the harness, not wedge it.
+  timeval timeout{60, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  {
+    std::ostringstream all;
+    all << std::cin.rdbuf();
+    request = all.str();
+  }
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "send: %s\n", std::strerror(errno));
+      ::close(fd);
       return 1;
     }
+    off += static_cast<std::size_t>(n);
   }
-  if (lines != expected) {
+  // Half-close: the server reads EOF, finishes everything in flight, and
+  // closes once every response is flushed (per-connection graceful drain).
+  ::shutdown(fd, SHUT_WR);
+
+  Validator validator(&required);
+  std::string buffer;
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "recv: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && !validator.check(line)) {
+        ::close(fd);
+        return 1;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  if (!buffer.empty()) {
+    std::fprintf(stderr, "stream ended inside an unterminated line: %s\n",
+                 buffer.c_str());
+    return 1;
+  }
+  if (validator.lines() != expected) {
     std::fprintf(stderr, "expected %ld response lines, got %ld\n", expected,
-                 lines);
+                 validator.lines());
     return 1;
   }
   for (const auto& [code, seen] : required) {
@@ -104,6 +220,52 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::fprintf(stderr, "ndjson_check: %ld lines, %ld ok\n", lines, ok);
+  std::fprintf(stderr, "ndjson_check: %ld lines, %ld ok (tcp)\n",
+               validator.lines(), validator.ok());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string connect_to;
+  if (!args.empty() && args[0] == "--connect") {
+    if (args.size() < 2) return usage();
+    connect_to = args[1];
+    args.erase(args.begin(), args.begin() + 2);
+  }
+  if (args.empty() || args.size() > 2) return usage();
+  const long expected = std::strtol(args[0].c_str(), nullptr, 10);
+  std::map<std::string, long> required;  // code -> times seen
+  if (args.size() == 2) {
+    std::istringstream codes(args[1]);
+    std::string code;
+    while (std::getline(codes, code, ',')) {
+      if (!code.empty()) required[code] = 0;
+    }
+  }
+  if (!connect_to.empty()) return run_connect(connect_to, expected, required);
+
+  Validator validator(&required);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!validator.check(line)) return 1;
+  }
+  if (validator.lines() != expected) {
+    std::fprintf(stderr, "expected %ld response lines, got %ld\n", expected,
+                 validator.lines());
+    return 1;
+  }
+  for (const auto& [code, seen] : required) {
+    if (seen == 0) {
+      std::fprintf(stderr, "required error code never appeared: %s\n",
+                   code.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "ndjson_check: %ld lines, %ld ok\n", validator.lines(),
+               validator.ok());
   return 0;
 }
