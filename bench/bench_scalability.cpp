@@ -64,21 +64,30 @@ void report() {
       "paper's net-level argument.\n");
 
   // Explore-core focus: the arena/interner hot loop, single- vs
-  // multi-threaded, on the largest cycle family (2^16 states). states/sec
-  // is the number the flat store + single-probe intern are optimizing.
+  // multi-threaded and dense vs packed, on the largest cycle family
+  // (2^16 states). states/sec is the number the flat store + single-probe
+  // intern are optimizing; the packed rows run the same BFS over
+  // one-bit-per-place markings (the family is 1-safe, so auto would pick
+  // packed too — both engines are pinned here to keep the rows comparable).
   std::printf("\nexplore core on independent_cycles/16 (2^16 states)\n");
-  std::printf("%-10s %-10s %-12s %-14s\n", "threads", "states", "wall (s)",
-              "states/sec");
+  std::printf("%-8s %-10s %-10s %-12s %-14s\n", "engine", "threads", "states",
+              "wall (s)", "states/sec");
   PetriNet big = independent_cycles(16);
-  for (std::size_t threads : {1u, 2u, 4u}) {
-    ReachOptions options;
-    options.threads = threads;
-    std::size_t states = 0;
-    double t = seconds([&] { states = explore(big, options).state_count(); });
-    std::printf("%-10zu %-10zu %-12.6f %-14.0f\n", threads, states, t,
-                t > 0 ? states / t : 0.0);
-    benchutil::machine_row(
-        "explore_mt" + std::to_string(threads) + "/16", states, t);
+  for (ReachEngine engine : {ReachEngine::kDense, ReachEngine::kPacked}) {
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      ReachOptions options;
+      options.threads = threads;
+      options.engine = engine;
+      std::size_t states = 0;
+      double t =
+          seconds([&] { states = explore(big, options).state_count(); });
+      std::printf("%-8s %-10zu %-10zu %-12.6f %-14.0f\n", to_string(engine),
+                  threads, states, t, t > 0 ? states / t : 0.0);
+      const std::string row = engine == ReachEngine::kPacked
+                                  ? "explore_packed" + std::to_string(threads)
+                                  : "explore_mt" + std::to_string(threads);
+      benchutil::machine_row(row + "/16", states, t);
+    }
   }
 
   std::printf("\nmarked-graph checks: structural (Murata) vs reachability\n");

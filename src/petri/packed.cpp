@@ -1,0 +1,43 @@
+#include "petri/packed.h"
+
+#include "util/sorted_set.h"
+
+namespace cipnet {
+
+PackedNet::PackedNet(const PetriNet& net)
+    : places_(net.place_count()),
+      transitions_(net.transition_count()),
+      words_(packed::word_count(net.place_count())) {
+  pre_.assign(transitions_ * words_, 0);
+  consume_.assign(transitions_ * words_, 0);
+  produce_.assign(transitions_ * words_, 0);
+  auto set_bit = [this](std::vector<std::uint64_t>& table, std::size_t t,
+                        PlaceId p) {
+    table[t * words_ + p.index() / packed::kBitsPerWord] |=
+        std::uint64_t{1} << (p.index() % packed::kBitsPerWord);
+  };
+  for (std::size_t i = 0; i < transitions_; ++i) {
+    const auto& tr = net.transition(TransitionId(
+        static_cast<std::uint32_t>(i)));
+    for (PlaceId p : tr.preset) {
+      set_bit(pre_, i, p);
+      // Self-loops (read arcs) test the token without moving it: they are
+      // in `pre` but in neither `consume` nor `produce`.
+      if (!sorted_set::contains(tr.postset, p)) set_bit(consume_, i, p);
+    }
+    for (PlaceId p : tr.postset) {
+      if (!sorted_set::contains(tr.preset, p)) set_bit(produce_, i, p);
+    }
+  }
+}
+
+void PackedNet::enabled_transitions(const std::uint64_t* m,
+                                    std::vector<TransitionId>& out) const {
+  out.clear();
+  for (std::size_t i = 0; i < transitions_; ++i) {
+    TransitionId t(static_cast<std::uint32_t>(i));
+    if (is_enabled(m, t)) out.push_back(t);
+  }
+}
+
+}  // namespace cipnet

@@ -1,0 +1,128 @@
+#pragma once
+
+// Word-parallel dynamics for 1-safe nets. Every net the source paper works
+// with — STG translations of asynchronous modules, the Fig. 1-9 algebra
+// examples, CIP channel encodings — is 1-safe by construction, so a marking
+// is a *set* of places and fits one bit per place. `PackedNet` precomputes,
+// per transition, three word masks over that bitvector:
+//
+//   pre      — the preset (all places that must hold a token),
+//   consume  — preset \ postset (places whose token is removed),
+//   produce  — postset \ preset (places that gain a token),
+//
+// after which the Definition 2.2 firing rule collapses to a handful of
+// bitwise ops per 64 places:
+//
+//   enabled(M, t)  ⇔  (M & pre) == pre
+//   fire(M, t)     =   (M & ~consume) | produce
+//
+// This is strictly a *1-safe* semantics: if a produced place already holds
+// a token, the dense rule would put two tokens there while the OR silently
+// saturates at one. `fire_into` therefore reports that case to the caller
+// (the reachability engine treats it as "this net is not 1-safe after all"
+// and falls back to the dense engine).
+
+#include <cstdint>
+#include <vector>
+
+#include "petri/net.h"
+
+namespace cipnet {
+
+namespace packed {
+
+inline constexpr std::size_t kBitsPerWord = 64;
+
+/// Words needed for one packed marking over `places` places.
+[[nodiscard]] constexpr std::size_t word_count(std::size_t places) {
+  return (places + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+/// Pack a dense token row into `out` (`word_count(places)` words, fully
+/// overwritten). Returns false — with `out` unspecified — if any place
+/// holds more than one token, i.e. the marking has no 1-safe encoding.
+[[nodiscard]] inline bool pack_row(const Token* tokens, std::size_t places,
+                                   std::uint64_t* out) {
+  for (std::size_t w = 0; w < word_count(places); ++w) out[w] = 0;
+  for (std::size_t p = 0; p < places; ++p) {
+    if (tokens[p] > 1) return false;
+    out[p / kBitsPerWord] |=
+        static_cast<std::uint64_t>(tokens[p]) << (p % kBitsPerWord);
+  }
+  return true;
+}
+
+/// Unpack a packed marking back into a dense 0/1 token row.
+inline void unpack_row(const std::uint64_t* words, std::size_t places,
+                       Token* out) {
+  for (std::size_t p = 0; p < places; ++p) {
+    out[p] = static_cast<Token>((words[p / kBitsPerWord] >>
+                                 (p % kBitsPerWord)) &
+                                1u);
+  }
+}
+
+}  // namespace packed
+
+/// Per-transition word masks of a net, precomputed once per exploration.
+/// Rows of all three mask tables are flat (`transition t` owns words
+/// `[t*words, (t+1)*words)`), so the inner loops touch contiguous memory.
+class PackedNet {
+ public:
+  explicit PackedNet(const PetriNet& net);
+
+  [[nodiscard]] std::size_t place_count() const { return places_; }
+  [[nodiscard]] std::size_t transition_count() const { return transitions_; }
+  /// Words per packed marking row.
+  [[nodiscard]] std::size_t words() const { return words_; }
+
+  [[nodiscard]] const std::uint64_t* pre(TransitionId t) const {
+    return pre_.data() + t.index() * words_;
+  }
+  [[nodiscard]] const std::uint64_t* consume(TransitionId t) const {
+    return consume_.data() + t.index() * words_;
+  }
+  [[nodiscard]] const std::uint64_t* produce(TransitionId t) const {
+    return produce_.data() + t.index() * words_;
+  }
+
+  /// `(m & pre) == pre`, word-parallel.
+  [[nodiscard]] bool is_enabled(const std::uint64_t* m, TransitionId t) const {
+    const std::uint64_t* p = pre(t);
+    for (std::size_t w = 0; w < words_; ++w) {
+      if ((m[w] & p[w]) != p[w]) return false;
+    }
+    return true;
+  }
+
+  /// `out = (m & ~consume) | produce` (precondition: enabled). Returns
+  /// false when a produced place already held a token — the dense rule
+  /// would yield two tokens there, so the 1-safe encoding is unsound for
+  /// this firing and the caller must fall back to the dense engine.
+  [[nodiscard]] bool fire_into(const std::uint64_t* m, TransitionId t,
+                               std::uint64_t* out) const {
+    const std::uint64_t* con = consume(t);
+    const std::uint64_t* pro = produce(t);
+    std::uint64_t clash = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      clash |= m[w] & pro[w];
+      out[w] = (m[w] & ~con[w]) | pro[w];
+    }
+    return clash == 0;
+  }
+
+  /// All enabled transitions, ascending — the packed counterpart of
+  /// `PetriNet::enabled_transitions`.
+  void enabled_transitions(const std::uint64_t* m,
+                           std::vector<TransitionId>& out) const;
+
+ private:
+  std::size_t places_ = 0;
+  std::size_t transitions_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> pre_;
+  std::vector<std::uint64_t> consume_;
+  std::vector<std::uint64_t> produce_;
+};
+
+}  // namespace cipnet

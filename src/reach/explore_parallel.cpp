@@ -2,11 +2,11 @@
 //
 // Architecture:
 //  * The marking set is sharded: `kShardCount` independent
-//    `MarkingStore`+`MarkingInterner` pairs, each behind its own mutex. The
-//    shard of a marking is a function of its `row_hash` (top bits — the
-//    interner probes with the low bits, so shard membership does not skew
-//    the probe sequence). Workers only contend when two of them intern into
-//    the same shard at the same instant.
+//    store+interner pairs, each behind its own mutex. The shard of a
+//    marking is a function of its row hash (top bits — the interner probes
+//    with the low bits, so shard membership does not skew the probe
+//    sequence). Workers only contend when two of them intern into the same
+//    shard at the same instant.
 //  * Work distribution: a shared FIFO of `WorkItem`s (one discovered,
 //    unexpanded state plus its delta-maintained enabled set). Workers pop
 //    one item, expand it against worker-local scratch buffers, and hand the
@@ -25,6 +25,11 @@
 //    `ReachabilityGraph`. The result is bit-identical to `threads == 1`
 //    regardless of schedule, so golden tests and downstream consumers never
 //    see nondeterministic state ids.
+//  * The whole explorer is a template over the marking domain
+//    (reach/engine.h): dense `Token` rows or packed one-bit-per-place
+//    words. A packed worker that hits a 1-safety violation throws
+//    `PackedUnsafe` through the regular error machinery; the `explore`
+//    dispatcher reruns dense.
 
 #include <algorithm>
 #include <array>
@@ -40,6 +45,7 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "reach/engine.h"
 #include "reach/reachability.h"
 #include "util/error.h"
 #include "util/fault.h"
@@ -87,18 +93,22 @@ constexpr std::uint32_t tmp_local(TmpId id) {
   return static_cast<std::uint32_t>(id);
 }
 
-}  // namespace
+template <class Domain>
+class ParallelExplorerT {
+  using Cell = typename Domain::Cell;
+  using Store = BasicMarkingStore<Cell>;
+  using Interner = BasicMarkingInterner<Cell>;
 
-class ParallelExplorer {
  public:
-  ParallelExplorer(const PetriNet& net, const ReachOptions& options)
-      : net_(net), options_(options), places_(net.place_count()) {
+  ParallelExplorerT(const Domain& dom, const PetriNet& net,
+                    const ReachOptions& options)
+      : dom_(dom), net_(net), options_(options), width_(dom.width) {
     const std::size_t hint = std::min(options.max_states,
                                       reach_detail::kReserveCap) /
                                  kShardCount +
                              1;
     for (Shard& shard : shards_) {
-      shard.store.reset(places_);
+      shard.store.reset(width_);
       shard.store.reserve(hint);
       shard.index.reserve(hint);
     }
@@ -126,7 +136,8 @@ class ParallelExplorer {
     if (error_) std::rethrow_exception(error_);
 
     ReachabilityGraph rg = assemble(outputs);
-    rg.truncated_ = truncated_.load(std::memory_order_relaxed);
+    reach_detail::GraphAccess::set_truncated(
+        rg, truncated_.load(std::memory_order_relaxed));
     if (obs::enabled()) shard_snapshot();  // final imbalance gauges
     progress.update(rg.state_count(), 0);
     if (obs::enabled()) {
@@ -139,8 +150,8 @@ class ParallelExplorer {
  private:
   struct Shard {
     std::mutex mu;
-    MarkingStore store;
-    MarkingInterner index;
+    Store store;
+    Interner index;
   };
 
   struct WorkItem {
@@ -160,14 +171,15 @@ class ParallelExplorer {
   };
 
   void seed_initial() {
-    const Marking& m0 = net_.initial_marking();
     if (options_.max_states == 0) {
       throw LimitError("reachability exploration exceeded 0 states",
                        LimitContext{0, 0, 0});
     }
-    const std::uint64_t hash = row_hash(m0.tokens().data(), places_);
+    std::vector<Cell> m0;
+    dom_.initial_row(m0);
+    const std::uint64_t hash = row_hash_cells(m0.data(), width_);
     const std::size_t shard = static_cast<std::size_t>(hash >> kShardShift);
-    auto r = shards_[shard].index.intern_hashed(hash, m0.tokens().data(),
+    auto r = shards_[shard].index.intern_hashed(hash, m0.data(),
                                                 shards_[shard].store);
     c_hash_lookups.add();
     c_states.add();
@@ -175,15 +187,15 @@ class ParallelExplorer {
     state_count_.store(1, std::memory_order_relaxed);
     WorkItem item;
     item.id = make_tmp(shard, r.id);
-    item.enabled = net_.enabled_transitions(m0);
+    item.enabled = net_.enabled_transitions(net_.initial_marking());
     initial_tmp_ = item.id;
     queue_.push_back(std::move(item));
     pending_ = 1;
   }
 
   void worker(WorkerOutput& out, std::size_t workers) {
-    std::vector<Token> current;
-    std::vector<Token> scratch;
+    std::vector<Cell> current;
+    std::vector<Cell> scratch;
     std::vector<TransitionId> candidates;
     std::vector<WorkItem> batch;
     std::vector<WorkItem> fresh;
@@ -277,7 +289,7 @@ class ParallelExplorer {
         state_count_.load(std::memory_order_relaxed);
     const std::uint64_t edges = edge_count_.load(std::memory_order_relaxed);
     return static_cast<std::size_t>(
-        states * (places_ * sizeof(Token) + 16 +
+        states * (width_ * sizeof(Cell) + 16 +
                   sizeof(std::vector<ReachabilityGraph::Edge>)) +
         edges * (sizeof(TmpEdge) + sizeof(ReachabilityGraph::Edge)));
   }
@@ -292,13 +304,14 @@ class ParallelExplorer {
   }
 
   void expand(const WorkItem& item, WorkerOutput& out,
-              std::vector<Token>& current, std::vector<Token>& scratch,
+              std::vector<Cell>& current, std::vector<Cell>& scratch,
               std::vector<TransitionId>& candidates,
               std::vector<WorkItem>& fresh) {
     options_.cancel.check("reach.explore");
     if (CIPNET_FAULT_FIRES(f_cancel)) {
       throw Cancelled("reach.explore", options_.cancel.elapsed_ms(), false);
     }
+    dom_.state_check();
     if (options_.max_graph_bytes != 0 &&
         approx_bytes() > options_.max_graph_bytes) {
       if (options_.truncate_on_limit) {
@@ -317,17 +330,16 @@ class ParallelExplorer {
       // into this shard may grow the arena under us.
       Shard& shard = shards_[tmp_shard(item.id)];
       std::lock_guard<std::mutex> lk(shard.mu);
-      const Token* row = shard.store.row(tmp_local(item.id));
-      current.assign(row, row + places_);
+      const Cell* row = shard.store.row(tmp_local(item.id));
+      current.assign(row, row + width_);
     }
     h_enabled.record(item.enabled.size());
-    const MarkingView cur(current.data(), places_);
     for (TransitionId t : item.enabled) {
-      net_.fire_into(cur, t, scratch);
-      const std::uint64_t hash = row_hash(scratch.data(), places_);
+      dom_.fire(current.data(), t, scratch);
+      const std::uint64_t hash = row_hash_cells(scratch.data(), width_);
       const std::size_t shard_idx =
           static_cast<std::size_t>(hash >> kShardShift);
-      MarkingInterner::Result r;
+      typename Interner::Result r;
       {
         Shard& shard = shards_[shard_idx];
         std::lock_guard<std::mutex> lk(shard.mu);
@@ -354,9 +366,8 @@ class ParallelExplorer {
         }
         WorkItem wi;
         wi.id = target;
-        reach_detail::delta_enabled(net_, item.enabled, t,
-                                    MarkingView(scratch.data(), places_),
-                                    wi.enabled, candidates);
+        reach_detail::delta_enabled_t(dom_, item.enabled, t, scratch.data(),
+                                      wi.enabled, candidates);
         fresh.push_back(std::move(wi));
       }
     }
@@ -404,11 +415,15 @@ class ParallelExplorer {
     }
 
     ReachabilityGraph rg;
-    rg.store_.reset(places_);
+    Store& store = Domain::store(rg);
+    Interner& index = Domain::index(rg);
+    std::vector<std::vector<ReachabilityGraph::Edge>>& edges =
+        reach_detail::GraphAccess::edges(rg);
+    store.reset(width_);
     const std::size_t total =
         static_cast<std::size_t>(state_count_.load(std::memory_order_relaxed));
-    rg.store_.reserve(total);
-    rg.edges_.reserve(total);
+    store.reserve(total);
+    edges.reserve(total);
 
     constexpr std::uint32_t kUnassigned = 0xffffffffu;
     std::array<std::vector<std::uint32_t>, kShardCount> canon;
@@ -418,9 +433,9 @@ class ParallelExplorer {
     auto assign = [&](TmpId id) -> std::uint32_t {
       std::uint32_t& slot = canon[tmp_shard(id)][tmp_local(id)];
       if (slot == kUnassigned) {
-        slot = static_cast<std::uint32_t>(rg.store_.push_back(
+        slot = static_cast<std::uint32_t>(store.push_back(
             shards_[tmp_shard(id)].store.row(tmp_local(id))));
-        rg.edges_.emplace_back();
+        edges.emplace_back();
         c_par_renumbered.add();
       }
       return slot;
@@ -434,24 +449,26 @@ class ParallelExplorer {
       const std::size_t us = tmp_shard(u);
       const std::uint32_t ul = tmp_local(u);
       const std::uint32_t cu = canon[us][ul];
-      rg.edges_[cu].reserve(offsets[us][ul + 1] - offsets[us][ul]);
+      edges[cu].reserve(offsets[us][ul + 1] - offsets[us][ul]);
       for (std::uint32_t i = offsets[us][ul]; i < offsets[us][ul + 1]; ++i) {
         const LocalEdge& e = adj[us][i];
         const bool seen =
             canon[tmp_shard(e.to)][tmp_local(e.to)] != kUnassigned;
         const std::uint32_t cv = assign(e.to);
-        rg.edges_[cu].push_back(
+        edges[cu].push_back(
             ReachabilityGraph::Edge{e.transition, StateId(cv)});
         if (!seen) order.push_back(e.to);
       }
     }
-    rg.index_.rebuild(rg.store_);
+    index.rebuild(store);
+    dom_.bind(rg);
     return rg;
   }
 
+  const Domain& dom_;
   const PetriNet& net_;
   const ReachOptions& options_;
-  const std::size_t places_;
+  const std::size_t width_;
 
   std::array<Shard, kShardCount> shards_;
 
@@ -469,11 +486,18 @@ class ParallelExplorer {
   TmpId initial_tmp_ = 0;
 };
 
+}  // namespace
+
 namespace reach_detail {
 
 ReachabilityGraph explore_parallel(const PetriNet& net,
-                                   const ReachOptions& options) {
-  return ParallelExplorer(net, options).run();
+                                   const ReachOptions& options, bool packed) {
+  if (packed) {
+    const PackedDomain dom(net);
+    return ParallelExplorerT<PackedDomain>(dom, net, options).run();
+  }
+  const DenseDomain dom(net);
+  return ParallelExplorerT<DenseDomain>(dom, net, options).run();
 }
 
 }  // namespace reach_detail

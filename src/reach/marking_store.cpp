@@ -1,12 +1,11 @@
 #include "reach/marking_store.h"
 
-#include <cstring>
 #include <new>
 
 #include "obs/metrics.h"
 #include "util/fault.h"
 
-namespace cipnet {
+namespace cipnet::marking_detail {
 
 namespace {
 
@@ -19,118 +18,12 @@ CIPNET_FAULT_SITE(f_grow, "reach.store.grow");
 /// clustering — it degrades before throughput visibly does.
 const obs::Histogram h_probe("reach.interner.probe");
 
-/// Max load factor 7/8 before growing: linear probing stays short and the
-/// table is still 12 bytes/state — far below the ~56 bytes/node of the
-/// `unordered_map<Marking, StateId>` it replaces.
-constexpr std::size_t kMinSlots = 16;
-
-bool over_loaded(std::size_t count, std::size_t slots) {
-  return (count + 1) * 8 > slots * 7;
-}
-
-std::size_t next_pow2(std::size_t n) {
-  std::size_t p = kMinSlots;
-  while (p < n) p <<= 1;
-  return p;
-}
-
-bool rows_equal(const Token* a, const Token* b, std::size_t width) {
-  return width == 0 || std::memcmp(a, b, width * sizeof(Token)) == 0;
-}
-
 }  // namespace
 
-std::uint64_t row_hash(const Token* row, std::size_t width) {
-  // FNV-1a over the tokens, widened per element, then an xmx avalanche so
-  // both the low bits (table index) and the high bits (shard selector of
-  // the parallel explorer) are well mixed.
-  std::uint64_t h = 0xcbf29ce484222325ULL ^ (width * 0x9e3779b97f4a7c15ULL);
-  for (std::size_t i = 0; i < width; ++i) {
-    h ^= row[i];
-    h *= 0x100000001b3ULL;
-  }
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  h *= 0xc4ceb9fe1a85ec53ULL;
-  h ^= h >> 33;
-  return h;
-}
+void record_probe(std::uint64_t probes) { h_probe.record(probes); }
 
-MarkingInterner::Result MarkingInterner::intern_hashed(std::uint64_t hash,
-                                                       const Token* row,
-                                                       MarkingStore& store,
-                                                       std::size_t limit) {
-  if (slots_.empty() || over_loaded(count_, slots_.size())) {
-    grow(next_pow2((count_ + 1) * 8 / 7 + 1));
-  }
-  const std::size_t mask = slots_.size() - 1;
-  std::size_t i = static_cast<std::size_t>(hash) & mask;
-  std::uint64_t probes = 1;
-  while (slots_[i].id != kNoId) {
-    if (slots_[i].hash == hash &&
-        rows_equal(store.row(slots_[i].id), row, store.width())) {
-      h_probe.record(probes);
-      return Result{slots_[i].id, false};
-    }
-    i = (i + 1) & mask;
-    ++probes;
-  }
-  h_probe.record(probes);
-  if (store.size() >= limit) return Result{kNoId, true};
-  const auto id = static_cast<std::uint32_t>(store.push_back(row));
-  slots_[i] = Slot{hash, id};
-  ++count_;
-  return Result{id, true};
-}
-
-std::optional<std::uint32_t> MarkingInterner::find(
-    const Token* row, const MarkingStore& store) const {
-  if (slots_.empty()) return std::nullopt;
-  const std::uint64_t hash = row_hash(row, store.width());
-  const std::size_t mask = slots_.size() - 1;
-  std::size_t i = static_cast<std::size_t>(hash) & mask;
-  while (slots_[i].id != kNoId) {
-    if (slots_[i].hash == hash &&
-        rows_equal(store.row(slots_[i].id), row, store.width())) {
-      return slots_[i].id;
-    }
-    i = (i + 1) & mask;
-  }
-  return std::nullopt;
-}
-
-void MarkingInterner::rebuild(const MarkingStore& store) {
-  slots_.clear();
-  count_ = store.size();
-  slots_.assign(next_pow2(count_ * 8 / 7 + 1), Slot{});
-  const std::size_t mask = slots_.size() - 1;
-  for (std::size_t id = 0; id < store.size(); ++id) {
-    const std::uint64_t hash = row_hash(store.row(id), store.width());
-    std::size_t i = static_cast<std::size_t>(hash) & mask;
-    while (slots_[i].id != kNoId) i = (i + 1) & mask;
-    slots_[i] = Slot{hash, static_cast<std::uint32_t>(id)};
-  }
-}
-
-void MarkingInterner::reserve(std::size_t expected) {
-  const std::size_t want = next_pow2(expected * 8 / 7 + 1);
-  if (want > slots_.size()) grow(want);
-}
-
-void MarkingInterner::grow(std::size_t min_slots) {
-  // Every growth event — the `reserve()` pre-size and load-factor doublings
-  // alike — is one hit at the allocation fault point.
+void grow_fault_check() {
   if (CIPNET_FAULT_FIRES(f_grow)) throw std::bad_alloc();
-  std::vector<Slot> old = std::move(slots_);
-  slots_.assign(next_pow2(min_slots), Slot{});
-  const std::size_t mask = slots_.size() - 1;
-  for (const Slot& s : old) {
-    if (s.id == kNoId) continue;
-    std::size_t i = static_cast<std::size_t>(s.hash) & mask;
-    while (slots_[i].id != kNoId) i = (i + 1) & mask;
-    slots_[i] = s;
-  }
 }
 
-}  // namespace cipnet
+}  // namespace cipnet::marking_detail

@@ -7,24 +7,48 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "petri/structure.h"
+#include "reach/engine.h"
 #include "util/error.h"
 #include "util/fault.h"
-#include "util/sorted_set.h"
 
 namespace cipnet {
 
 namespace {
 CIPNET_FAULT_SITE(f_cancel, "reach.cancel");
+CIPNET_FAULT_SITE(f_packed_fallback, "reach.packed.fallback");
 const obs::Counter c_states("reach.states");
 const obs::Counter c_edges("reach.edges");
 const obs::Counter c_hash_lookups("reach.hash_lookups");
 const obs::Counter c_delta_updates("reach.delta_enabled");
+const obs::Counter c_packed_selected("reach.packed.selected");
+const obs::Counter c_packed_fallbacks("reach.packed.fallbacks");
+const obs::Gauge g_packed_words("reach.packed.words_per_state");
 const obs::Gauge g_frontier_peak("reach.frontier_peak");
 const obs::Gauge g_graph_bytes("reach.graph_bytes");
 const obs::Gauge g_index_bytes("reach.index_bytes");
 const obs::Histogram h_frontier("reach.frontier_size");
 const obs::Histogram h_enabled("reach.enabled_per_state");
 }  // namespace
+
+const char* to_string(ReachEngine engine) {
+  switch (engine) {
+    case ReachEngine::kAuto:
+      return "auto";
+    case ReachEngine::kDense:
+      return "dense";
+    case ReachEngine::kPacked:
+      return "packed";
+  }
+  return "auto";
+}
+
+std::optional<ReachEngine> parse_reach_engine(std::string_view name) {
+  if (name == "auto") return ReachEngine::kAuto;
+  if (name == "dense") return ReachEngine::kDense;
+  if (name == "packed") return ReachEngine::kPacked;
+  return std::nullopt;
+}
 
 std::size_t ReachabilityGraph::edge_count() const {
   std::size_t n = 0;
@@ -33,19 +57,33 @@ std::size_t ReachabilityGraph::edge_count() const {
 }
 
 std::size_t ReachabilityGraph::estimated_graph_bytes() const {
-  return store_.arena_bytes() +
-         edges_.size() * sizeof(std::vector<Edge>) +
+  const std::size_t arena =
+      packed_ ? packed_store_.arena_bytes() : store_.arena_bytes();
+  return arena + edges_.size() * sizeof(std::vector<Edge>) +
          edge_count() * sizeof(Edge);
 }
 
 std::size_t ReachabilityGraph::estimated_index_bytes() const {
-  return index_.table_bytes();
+  return packed_ ? packed_index_.table_bytes() : index_.table_bytes();
+}
+
+bool ReachabilityGraph::contains(const Marking& m) const {
+  if (!packed_) {
+    return m.size() == store_.width() &&
+           index_.find(m.tokens().data(), store_).has_value();
+  }
+  if (m.size() != places_) return false;
+  // A marking with two tokens anywhere has no packed encoding and is
+  // certainly not in a packed (hence 1-safe) graph.
+  std::vector<std::uint64_t> row(packed_store_.width());
+  if (!packed::pack_row(m.tokens().data(), places_, row.data())) return false;
+  return packed_index_.find(row.data(), packed_store_).has_value();
 }
 
 std::vector<StateId> ReachabilityGraph::all_states() const {
   std::vector<StateId> out;
-  out.reserve(store_.size());
-  for (std::size_t i = 0; i < store_.size(); ++i) {
+  out.reserve(state_count());
+  for (std::size_t i = 0; i < state_count(); ++i) {
     out.push_back(StateId(static_cast<std::uint32_t>(i)));
   }
   return out;
@@ -53,86 +91,75 @@ std::vector<StateId> ReachabilityGraph::all_states() const {
 
 namespace reach_detail {
 
+void count_delta_update() { c_delta_updates.add(); }
+
+void packed_fault_check() {
+  if (CIPNET_FAULT_FIRES(f_packed_fallback)) throw PackedUnsafe{};
+}
+
 void delta_enabled(const PetriNet& net,
                    const std::vector<TransitionId>& parent_enabled,
                    TransitionId fired, MarkingView next,
                    std::vector<TransitionId>& out,
                    std::vector<TransitionId>& candidates) {
-  c_delta_updates.add();
-  out.clear();
-  candidates.clear();
-  // Only consumers of places that gained a token can newly become enabled;
-  // everything else enabled in `next` was already enabled in the parent.
-  const auto& tr = net.transition(fired);
-  for (PlaceId p : tr.postset) {
-    if (sorted_set::contains(tr.preset, p)) continue;  // self-loop: no change
-    const auto& consumers = net.consumers_of(p);
-    candidates.insert(candidates.end(), consumers.begin(), consumers.end());
-  }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-  // Ascending merge of (parent set) ∪ (candidates), rechecking enabledness
-  // against `next` — presets are tiny, so this is O(small) per successor
-  // where the full rescan is O(|T|).
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < parent_enabled.size() || j < candidates.size()) {
-    TransitionId t;
-    if (j >= candidates.size() ||
-        (i < parent_enabled.size() && parent_enabled[i] <= candidates[j])) {
-      t = parent_enabled[i];
-      if (j < candidates.size() && candidates[j] == t) ++j;
-      ++i;
-    } else {
-      t = candidates[j];
-      ++j;
-    }
-    if (net.is_enabled(next, t)) out.push_back(t);
-  }
+  const DenseDomain dom(net);
+  delta_enabled_t(dom, parent_enabled, fired, next.data(), out, candidates);
 }
 
 }  // namespace reach_detail
 
-ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
-  if (options.threads > 1) return reach_detail::explore_parallel(net, options);
+namespace {
+
+/// The sequential BFS, generic over the marking domain. Everything that
+/// determines the result — discovery order, ascending enabled sets, intern
+/// order — is domain-independent, which is what makes packed graphs
+/// bit-identical to dense ones.
+template <class Domain>
+ReachabilityGraph explore_seq(const Domain& dom, const PetriNet& net,
+                              const ReachOptions& options) {
+  using Cell = typename Domain::Cell;
+  using Access = reach_detail::GraphAccess;
+  constexpr std::uint32_t kNoId = BasicMarkingInterner<Cell>::kNoId;
   obs::Span span("reach.explore");
   obs::ProgressReporter progress("reach.explore");
   progress.set_target(options.max_states);
   ReachabilityGraph rg;
-  const std::size_t places = net.place_count();
-  rg.store_.reset(places);
+  BasicMarkingStore<Cell>& store = Domain::store(rg);
+  BasicMarkingInterner<Cell>& index = Domain::index(rg);
+  std::vector<std::vector<ReachabilityGraph::Edge>>& edges = Access::edges(rg);
+  store.reset(dom.width);
   const std::size_t hint =
       std::min(options.max_states, reach_detail::kReserveCap);
-  rg.store_.reserve(hint);
-  rg.index_.reserve(hint);
-  rg.edges_.reserve(hint);
+  store.reserve(hint);
+  index.reserve(hint);
+  edges.reserve(hint);
 
   std::size_t edges_added = 0;
+  bool truncated = false;
   // O(1) live estimate of the graph + marking-index footprint, refreshed
   // from the running counts (edge_count() would rescan every state).
   auto sample_memory = [&] {
     if (!obs::enabled()) return;
-    g_graph_bytes.set(rg.store_.arena_bytes() +
-                      rg.edges_.size() * sizeof(std::vector<
+    g_graph_bytes.set(store.arena_bytes() +
+                      edges.size() * sizeof(std::vector<
                                             ReachabilityGraph::Edge>) +
                       edges_added * sizeof(ReachabilityGraph::Edge));
-    g_index_bytes.set(rg.index_.table_bytes());
+    g_index_bytes.set(index.table_bytes());
   };
   auto limit_error = [&] {
     sample_memory();
     return LimitError(
         "reachability exploration exceeded " +
             std::to_string(options.max_states) + " states",
-        LimitContext{rg.store_.size(), edges_added, options.max_states});
+        LimitContext{store.size(), edges_added, options.max_states});
   };
   // O(1) footprint estimate for the memory-budget guard (same quantities
   // the gauges report, plus the index table).
   auto approx_bytes = [&] {
-    return rg.store_.arena_bytes() +
-           rg.edges_.size() * sizeof(std::vector<ReachabilityGraph::Edge>) +
+    return store.arena_bytes() +
+           edges.size() * sizeof(std::vector<ReachabilityGraph::Edge>) +
            edges_added * sizeof(ReachabilityGraph::Edge) +
-           rg.index_.table_bytes();
+           index.table_bytes();
   };
 
   // Enabled sets of discovered-but-unexpanded states, maintained
@@ -141,81 +168,121 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
   pending_enabled.reserve(hint);
 
   {
-    const Marking& m0 = net.initial_marking();
+    std::vector<Cell> m0;
+    dom.initial_row(m0);
     c_hash_lookups.add();
-    auto r0 = rg.index_.intern(m0.tokens().data(), rg.store_,
-                               options.max_states);
-    if (r0.id == MarkingInterner::kNoId) throw limit_error();
-    rg.edges_.emplace_back();
-    pending_enabled.push_back(net.enabled_transitions(m0));
+    auto r0 = index.intern(m0.data(), store, options.max_states);
+    if (r0.id == kNoId) throw limit_error();
+    edges.emplace_back();
+    pending_enabled.push_back(net.enabled_transitions(net.initial_marking()));
     c_states.add();
   }
 
   std::deque<StateId> frontier{rg.initial()};
-  std::vector<Token> scratch;
+  std::vector<Cell> scratch;
   std::vector<TransitionId> candidates;
-  while (!frontier.empty() && !rg.truncated_) {
+  while (!frontier.empty() && !truncated) {
     g_frontier_peak.set_max(frontier.size());
     h_frontier.record(frontier.size());
     StateId s = frontier.front();
     frontier.pop_front();
-    progress.update(rg.store_.size(), frontier.size());
+    progress.update(store.size(), frontier.size());
     options.cancel.check("reach.explore");
     if (CIPNET_FAULT_FIRES(f_cancel)) {
       throw Cancelled("reach.explore", options.cancel.elapsed_ms(), false);
     }
+    dom.state_check();
     if (options.max_graph_bytes != 0 &&
         approx_bytes() > options.max_graph_bytes) {
       if (options.truncate_on_limit) {
-        rg.truncated_ = true;
+        truncated = true;
         obs::FlightRecorder::instance().record(
             obs::FlightKind::kTruncated, 0, "reach.explore.bytes",
-            rg.store_.size(), approx_bytes());
+            store.size(), approx_bytes());
         break;
       }
       sample_memory();
       throw LimitError(
           "reachability exploration exceeded memory budget of " +
               std::to_string(options.max_graph_bytes) + " bytes",
-          LimitContext{rg.store_.size(), edges_added,
-                       options.max_graph_bytes});
+          LimitContext{store.size(), edges_added, options.max_graph_bytes});
     }
     const std::vector<TransitionId> enabled =
         std::move(pending_enabled[s.index()]);
     h_enabled.record(enabled.size());
     for (TransitionId t : enabled) {
-      // Re-view per edge: interning a fresh successor may grow the arena.
-      net.fire_into(rg.store_.view(s.index()), t, scratch);
+      // Re-fetch the row per edge: interning a fresh successor may grow
+      // the arena under the pointer.
+      dom.fire(store.row(s.index()), t, scratch);
       c_hash_lookups.add();
-      auto r = rg.index_.intern(scratch.data(), rg.store_, options.max_states);
-      if (r.id == MarkingInterner::kNoId) {
+      auto r = index.intern(scratch.data(), store, options.max_states);
+      if (r.id == kNoId) {
         if (options.truncate_on_limit) {
-          rg.truncated_ = true;
+          truncated = true;
           obs::FlightRecorder::instance().record(
               obs::FlightKind::kTruncated, 0, "reach.explore.states",
-              rg.store_.size(), options.max_states);
+              store.size(), options.max_states);
           break;
         }
         throw limit_error();
       }
       StateId target(r.id);
-      rg.edges_[s.index()].push_back(ReachabilityGraph::Edge{t, target});
+      edges[s.index()].push_back(ReachabilityGraph::Edge{t, target});
       ++edges_added;
       c_edges.add();
       if (r.fresh) {
-        rg.edges_.emplace_back();
+        edges.emplace_back();
         pending_enabled.emplace_back();
-        reach_detail::delta_enabled(net, enabled, t,
-                                    rg.store_.view(r.id),
-                                    pending_enabled.back(), candidates);
+        reach_detail::delta_enabled_t(dom, enabled, t, store.row(r.id),
+                                      pending_enabled.back(), candidates);
         c_states.add();
         frontier.push_back(target);
       }
     }
-    if ((rg.store_.size() & 0x3ff) == 0) sample_memory();
+    if ((store.size() & 0x3ff) == 0) sample_memory();
   }
   sample_memory();
+  Access::set_truncated(rg, truncated);
+  dom.bind(rg);
   return rg;
+}
+
+}  // namespace
+
+ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
+  bool use_packed = false;
+  switch (options.engine) {
+    case ReachEngine::kDense:
+      break;
+    case ReachEngine::kPacked:
+      use_packed = true;
+      break;
+    case ReachEngine::kAuto:
+      // Select packed only on a structural *proof* of 1-safety, so the
+      // dynamic guard cannot trip and auto never pays a fallback rerun.
+      use_packed = is_structurally_safe(net);
+      break;
+  }
+  if (use_packed) {
+    c_packed_selected.add();
+    g_packed_words.set(packed::word_count(net.place_count()));
+    try {
+      if (options.threads > 1) {
+        return reach_detail::explore_parallel(net, options, true);
+      }
+      const reach_detail::PackedDomain dom(net);
+      return explore_seq(dom, net, options);
+    } catch (const reach_detail::PackedUnsafe&) {
+      // The net is not 1-safe after all (forced packed engine), or the
+      // reach.packed.fallback fault fired: rerun on the dense engine.
+      c_packed_fallbacks.add();
+    }
+  }
+  if (options.threads > 1) {
+    return reach_detail::explore_parallel(net, options, false);
+  }
+  const reach_detail::DenseDomain dom(net);
+  return explore_seq(dom, net, options);
 }
 
 }  // namespace cipnet

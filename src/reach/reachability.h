@@ -1,13 +1,37 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "petri/net.h"
+#include "petri/packed.h"
 #include "reach/marking_store.h"
 #include "util/cancel.h"
 
 namespace cipnet {
+
+/// Marking representation used by the explorer.
+///
+///  * `kDense`  — one `Token` per place; works for every net.
+///  * `kPacked` — one *bit* per place (petri/packed.h); sound only for
+///    1-safe nets, 8-32x smaller per state and word-parallel on the firing
+///    rule. If a firing would put a second token on a place, the packed run
+///    aborts and the exploration silently reruns dense (counted by
+///    `reach.packed.fallbacks`).
+///  * `kAuto`   — packed iff `is_structurally_safe(net)` proves 1-safety
+///    up front, dense otherwise. The default: structurally safe nets never
+///    trip the dynamic guard, so auto never pays a fallback rerun.
+///
+/// Engine choice never changes the result: packed graphs are bit-identical
+/// to dense ones (same states, same ids, same edge order).
+enum class ReachEngine { kAuto, kDense, kPacked };
+
+/// Wire names: "auto" / "dense" / "packed".
+[[nodiscard]] const char* to_string(ReachEngine engine);
+[[nodiscard]] std::optional<ReachEngine> parse_reach_engine(
+    std::string_view name);
 
 /// Exploration limits. General Petri nets can have huge or infinite state
 /// spaces, so every exploration is bounded and overflow raises `LimitError`.
@@ -33,16 +57,27 @@ struct ReachOptions {
   /// `reach.graph_bytes` / `reach.index_bytes` gauges. Honors
   /// `truncate_on_limit`.
   std::size_t max_graph_bytes = 0;
+  /// Marking representation (see `ReachEngine`). Orthogonal to `threads`.
+  ReachEngine engine = ReachEngine::kAuto;
 };
+
+namespace reach_detail {
+struct GraphAccess;
+}  // namespace reach_detail
 
 /// The reachability graph RG(N) (Section 2.1): nodes are reachable markings,
 /// edges are transition firings labeled by the fired transition (and hence by
 /// its action). State 0 is the initial marking.
 ///
-/// Markings live contiguously in a `MarkingStore` arena (state `i` is the
-/// token slice `[i*places, (i+1)*places)`) and are deduplicated by an
-/// open-addressing `MarkingInterner` — `marking()` hands out non-owning
-/// views into the arena, valid for the graph's lifetime.
+/// Markings live contiguously in an arena — dense graphs store one `Token`
+/// per place, packed graphs one bit per place — deduplicated by an
+/// open-addressing interner. `marking()` always hands out a dense
+/// `MarkingView` either way; on a packed graph the row is unpacked into a
+/// per-graph scratch buffer, so the view is only valid until the next
+/// `marking()` call on the same graph (dense views live as long as the
+/// graph). No consumer in-tree holds two views of one graph at once, and
+/// reading a packed graph from several threads concurrently is not
+/// supported.
 class ReachabilityGraph {
  public:
   struct Edge {
@@ -50,7 +85,9 @@ class ReachabilityGraph {
     StateId to;
   };
 
-  [[nodiscard]] std::size_t state_count() const { return store_.size(); }
+  [[nodiscard]] std::size_t state_count() const {
+    return packed_ ? packed_store_.size() : store_.size();
+  }
   [[nodiscard]] std::size_t edge_count() const;
 
   /// Rough heap footprint of the graph (marking arena + adjacency) and of
@@ -60,17 +97,18 @@ class ReachabilityGraph {
   [[nodiscard]] std::size_t estimated_index_bytes() const;
 
   [[nodiscard]] MarkingView marking(StateId s) const {
-    return store_.view(s.index());
+    if (!packed_) return store_.view(s.index());
+    unpack_scratch_.resize(places_);
+    packed::unpack_row(packed_store_.row(s.index()), places_,
+                       unpack_scratch_.data());
+    return MarkingView(unpack_scratch_.data(), places_);
   }
   [[nodiscard]] const std::vector<Edge>& successors(StateId s) const {
     return edges_[s.index()];
   }
   [[nodiscard]] StateId initial() const { return StateId(0); }
 
-  [[nodiscard]] bool contains(const Marking& m) const {
-    return m.size() == store_.width() &&
-           index_.find(m.tokens().data(), store_).has_value();
-  }
+  [[nodiscard]] bool contains(const Marking& m) const;
 
   /// All states, ascending.
   [[nodiscard]] std::vector<StateId> all_states() const;
@@ -80,25 +118,62 @@ class ReachabilityGraph {
   /// of the full reachability graph, not all of it.
   [[nodiscard]] bool truncated() const { return truncated_; }
 
- private:
-  friend ReachabilityGraph explore(const PetriNet& net,
-                                   const ReachOptions& options);
-  friend class ParallelExplorer;
+  /// The engine that actually built this graph (`kDense` or `kPacked`,
+  /// never `kAuto`) — what auto-selection resolved to, after any fallback.
+  [[nodiscard]] ReachEngine engine() const {
+    return packed_ ? ReachEngine::kPacked : ReachEngine::kDense;
+  }
 
+ private:
+  friend struct reach_detail::GraphAccess;
+
+  // Exactly one of the two stores is populated, per `packed_`.
   MarkingStore store_;
   MarkingInterner index_;
+  PackedMarkingStore packed_store_;
+  PackedMarkingInterner packed_index_;
   std::vector<std::vector<Edge>> edges_;
+  bool packed_ = false;
+  std::size_t places_ = 0;  // dense width of packed rows
+  mutable std::vector<Token> unpack_scratch_;
   bool truncated_ = false;
 };
 
 /// Breadth-first construction of RG(N). Throws `LimitError` if more than
 /// `options.max_states` markings are reachable. With `options.threads > 1`
 /// the construction is parallel but the returned graph is identical to the
-/// sequential one.
+/// sequential one; the same holds for `options.engine` (see `ReachEngine`).
 [[nodiscard]] ReachabilityGraph explore(const PetriNet& net,
                                         const ReachOptions& options = {});
 
 namespace reach_detail {
+
+/// Private-member access for the explorers (reachability.cpp and
+/// explore_parallel.cpp) — one named back door instead of a friend list
+/// that grows with every explorer variant.
+struct GraphAccess {
+  static MarkingStore& dense_store(ReachabilityGraph& g) { return g.store_; }
+  static MarkingInterner& dense_index(ReachabilityGraph& g) {
+    return g.index_;
+  }
+  static PackedMarkingStore& packed_store(ReachabilityGraph& g) {
+    return g.packed_store_;
+  }
+  static PackedMarkingInterner& packed_index(ReachabilityGraph& g) {
+    return g.packed_index_;
+  }
+  static std::vector<std::vector<ReachabilityGraph::Edge>>& edges(
+      ReachabilityGraph& g) {
+    return g.edges_;
+  }
+  static void set_truncated(ReachabilityGraph& g, bool v) {
+    g.truncated_ = v;
+  }
+  static void mark_packed(ReachabilityGraph& g, std::size_t places) {
+    g.packed_ = true;
+    g.places_ = places;
+  }
+};
 
 /// Incremental enabled-set maintenance: given the enabled set of a parent
 /// marking and the transition fired to reach `next`, produce `next`'s
@@ -112,9 +187,13 @@ void delta_enabled(const PetriNet& net,
                    std::vector<TransitionId>& candidates);
 
 /// Entry point of the multi-threaded explorer (explore_parallel.cpp);
-/// `explore` dispatches here when `options.threads > 1`.
+/// `explore` dispatches here when `options.threads > 1`, after resolving
+/// `options.engine` (`packed` is the resolved choice, never auto). A packed
+/// run throws `PackedUnsafe` (engine.h) on a 1-safety violation; the
+/// dispatcher turns that into a dense rerun.
 [[nodiscard]] ReachabilityGraph explore_parallel(const PetriNet& net,
-                                                 const ReachOptions& options);
+                                                 const ReachOptions& options,
+                                                 bool packed);
 
 /// Cap on the rows/slots pre-reserved from the `max_states` hint. Arena and
 /// table growth are amortized-linear doublings, so reserving buys only the

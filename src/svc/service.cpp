@@ -25,6 +25,7 @@
 #include "obs/trace.h"
 #include "obs/trace_context.h"
 #include "petri/canonical.h"
+#include "petri/structure.h"
 #include "reach/coverability.h"
 #include "reach/properties.h"
 #include "reach/reachability.h"
@@ -104,6 +105,7 @@ struct AnalysisService::Request {
   std::vector<std::string> labels;
   bool has_labels = false;
   std::size_t max_states = 0;       // 0 = service default
+  std::string engine;               // `reach` op: auto|dense|packed
   std::uint64_t deadline_ms = 0;    // 0 = service default
   bool no_cache = false;
   Priority priority = Priority::kNormal;
@@ -203,6 +205,7 @@ AnalysisService::Request AnalysisService::parse_request(
   req.cursor = static_cast<std::uint64_t>(doc.get_number("cursor", 0));
   req.max_samples = static_cast<std::size_t>(doc.get_number("max", 0));
   req.max_states = static_cast<std::size_t>(doc.get_number("max_states", 0));
+  req.engine = doc.get_string("engine", "auto");
   req.deadline_ms =
       static_cast<std::uint64_t>(doc.get_number("deadline_ms", 0));
   if (const json::Value* no_cache = doc.find("no_cache")) {
@@ -339,11 +342,12 @@ std::string run_history(std::uint64_t cursor, std::size_t max) {
 }
 
 std::string run_reach(const PetriNet& net, std::size_t max_states,
-                      std::size_t max_graph_bytes, const CancelToken& cancel,
-                      bool& truncated) {
+                      std::size_t max_graph_bytes, ReachEngine engine,
+                      const CancelToken& cancel, bool& truncated) {
   ReachOptions options;
   options.max_states = max_states;
   options.max_graph_bytes = max_graph_bytes;
+  options.engine = engine;
   // Graceful degradation: a limit/memory trip yields the statistics of the
   // explored prefix, marked `"truncated": true`, instead of a bare error.
   options.truncate_on_limit = true;
@@ -353,6 +357,10 @@ std::string run_reach(const PetriNet& net, std::size_t max_states,
   json::Writer w;
   w.begin_object();
   if (truncated) w.member("truncated", true);
+  // The representation that actually built the graph ("dense"/"packed") and
+  // the structural 1-safety verdict that drives auto-selection.
+  w.member("engine", to_string(rg.engine()));
+  w.member("structurally_safe", is_structurally_safe(net));
   w.member("states", rg.state_count());
   w.member("edges", rg.edge_count());
   w.member("deadlock_states", deadlock_states(rg).size());
@@ -376,6 +384,7 @@ std::string run_cover(const PetriNet& net, std::size_t max_nodes,
   json::Writer w;
   w.begin_object();
   if (truncated) w.member("truncated", true);
+  w.member("structurally_safe", is_structurally_safe(net));
   w.member("bounded", result.bounded());
   w.member("tree_nodes", result.tree_nodes);
   w.key("bounds").begin_array();
@@ -808,7 +817,13 @@ std::string AnalysisService::execute(const Request& req) {
       key.net_hash = canonical_hash(net);
       trace_scope.context().net_hash = key.net_hash;
       if (req.op == "reach") {
-        key.params = "max_states=" + std::to_string(max_states);
+        if (!parse_reach_engine(req.engine)) {
+          return fail("bad_request", "unknown engine: " + req.engine);
+        }
+        // Part of the key: engine choice changes the response's `engine`
+        // member, so a forced-dense result must not answer an auto request.
+        key.params = "max_states=" + std::to_string(max_states) +
+                     ";engine=" + req.engine;
       } else if (req.op == "cover") {
         key.params = "max_nodes=" + std::to_string(max_states);
       } else {
@@ -831,7 +846,8 @@ std::string AnalysisService::execute(const Request& req) {
       const auto exec_start = std::chrono::steady_clock::now();
       if (req.op == "reach") {
         payload = run_reach(net, max_states, options_.max_graph_bytes,
-                            req.cancel, truncated);
+                            *parse_reach_engine(req.engine), req.cancel,
+                            truncated);
       } else if (req.op == "cover") {
         payload = run_cover(net, max_states, req.cancel, truncated);
       } else {

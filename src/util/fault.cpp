@@ -24,6 +24,7 @@ constexpr const char* kCatalogue[] = {
     "net.accept",            // accepted TCP connection dropped at accept
     "net.read",              // TCP read treated as a hard socket error
     "reach.cancel",          // spurious Cancelled inside explore/coverability
+    "reach.packed.fallback", // packed engine aborts to the dense rerun path
     "reach.store.grow",      // bad_alloc while interning into the arena
     "svc.cache.insert",      // ResultCache insert failure
     "svc.parse",             // NDJSON frame rejected as unparseable

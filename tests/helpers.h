@@ -7,9 +7,44 @@
 
 #include "lang/ops.h"
 #include "petri/net.h"
+#include "reach/reachability.h"
 #include "reach/trace_enum.h"
 
 namespace cipnet::testutil {
+
+/// Exact (bit-identical) graph equality: same state count, same marking at
+/// every state id, same edge list (order included) at every state. This is
+/// the contract both the parallel explorer (vs sequential) and the packed
+/// engine (vs dense) are held to.
+inline ::testing::AssertionResult graphs_identical(const ReachabilityGraph& a,
+                                                   const ReachabilityGraph& b) {
+  if (a.state_count() != b.state_count()) {
+    return ::testing::AssertionFailure()
+           << "state counts differ: " << a.state_count() << " vs "
+           << b.state_count();
+  }
+  for (StateId s : a.all_states()) {
+    if (!(a.marking(s) == b.marking(s))) {
+      return ::testing::AssertionFailure()
+             << "markings differ at state " << s.value() << ": "
+             << a.marking(s).to_string() << " vs " << b.marking(s).to_string();
+    }
+    const auto& ea = a.successors(s);
+    const auto& eb = b.successors(s);
+    if (ea.size() != eb.size()) {
+      return ::testing::AssertionFailure()
+             << "edge counts differ at state " << s.value() << ": "
+             << ea.size() << " vs " << eb.size();
+    }
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].transition != eb[i].transition || ea[i].to != eb[i].to) {
+        return ::testing::AssertionFailure()
+               << "edge " << i << " differs at state " << s.value();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
 
 /// Assert that two canonical DFAs denote the same language; on failure the
 /// message carries a shortest distinguishing word.

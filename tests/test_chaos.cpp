@@ -41,6 +41,7 @@ const char* kChaosSpec =
     "net.accept=p0.25;"
     "net.read=p0.2;"
     "reach.cancel=p0.03;"
+    "reach.packed.fallback=p0.05;"
     "reach.store.grow=p0.02;"
     "svc.cache.insert=p0.25;"
     "svc.parse=p0.02;"
@@ -323,6 +324,16 @@ TEST_F(ChaosSoak, EveryFaultSiteFiresUnderTheSoakSpec) {
                  site == "svc.scheduler.worker") {
         async_ping(++id);
         ++submitted;
+      } else if (site == "reach.packed.fallback") {
+        // This site only exists inside a *packed* exploration, so the net
+        // must stay structurally 1-safe — the generic branch below pads
+        // with round+1 tokens, which forces the dense engine from round 1
+        // on. A uniquely *named* single-token pad keeps the hash fresh per
+        // round (no cache short-circuit) without breaking safety.
+        PetriNet unique = toggle_net(4);
+        unique.add_place("pad" + std::to_string(round), 1);
+        (void)service.handle_line(
+            request_line(++id, "reach", write_net(unique, "u")));
       } else {
         // reach drives svc.parse, svc.cache.insert, reach.cancel, and
         // reach.store.grow in one pass. A fresh net hash per round keeps

@@ -569,6 +569,64 @@ TEST(Service, StateBudgetDegradesToTruncatedPartialResult) {
   EXPECT_EQ(service.cache().entries(), 0u);
 }
 
+std::string reach_request_engine(int id, const std::string& net_text,
+                                 const std::string& engine) {
+  json::Writer w;
+  w.begin_object();
+  w.member("id", id);
+  w.member("op", "reach");
+  w.member("net", net_text);
+  w.member("engine", engine);
+  w.end_object();
+  return w.take();
+}
+
+TEST(Service, ReachEngineMemberSelectsEngineAndReportsIt) {
+  svc::AnalysisService service;
+  const std::string net = toggle_net_text(4);
+  const json::Value dense =
+      json::parse(service.handle_line(reach_request_engine(1, net, "dense")));
+  ASSERT_TRUE(dense.find("ok")->as_bool());
+  EXPECT_EQ(dense.find("result")->get_string("engine"), "dense");
+  EXPECT_TRUE(dense.find("result")->find("structurally_safe")->as_bool());
+
+  const json::Value packed =
+      json::parse(service.handle_line(reach_request_engine(2, net, "packed")));
+  ASSERT_TRUE(packed.find("ok")->as_bool());
+  EXPECT_EQ(packed.find("result")->get_string("engine"), "packed");
+  EXPECT_EQ(packed.find("result")->get_number("states"),
+            dense.find("result")->get_number("states"));
+
+  // toggle nets are semiflow-covered, so the default (auto) goes packed.
+  const json::Value deflt =
+      json::parse(service.handle_line(reach_request(3, net)));
+  ASSERT_TRUE(deflt.find("ok")->as_bool());
+  EXPECT_EQ(deflt.find("result")->get_string("engine"), "packed");
+}
+
+TEST(Service, ReachUnknownEngineIsBadRequest) {
+  svc::AnalysisService service;
+  const json::Value rsp = json::parse(
+      service.handle_line(reach_request_engine(7, toggle_net_text(2), "qbit")));
+  EXPECT_FALSE(rsp.find("ok")->as_bool());
+  EXPECT_EQ(rsp.find("error")->get_string("code"), "bad_request");
+}
+
+TEST(Service, ReachEngineIsPartOfTheCacheKey) {
+  svc::AnalysisService service;
+  const std::string net = toggle_net_text(3);
+  EXPECT_FALSE(json::parse(service.handle_line(
+                   reach_request_engine(1, net, "dense")))
+                   .find("cached")->as_bool());
+  // Same net, different engine: must not be served from the dense entry
+  // (the response's "engine" member differs between the two).
+  const json::Value packed =
+      json::parse(service.handle_line(reach_request_engine(2, net, "packed")));
+  EXPECT_FALSE(packed.find("cached")->as_bool());
+  EXPECT_EQ(packed.find("result")->get_string("engine"), "packed");
+  EXPECT_EQ(service.cache().entries(), 2u);
+}
+
 TEST(Service, SixtyFourConcurrentRequestsComplete) {
   svc::ServiceOptions options;
   options.scheduler.workers = 8;

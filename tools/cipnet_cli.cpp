@@ -109,9 +109,22 @@ int cmd_info(const std::vector<std::string>& args) {
 }
 
 int cmd_reach(const std::vector<std::string>& args) {
-  if (args.size() != 1) return usage();
+  if (args.empty() || args.size() > 2) return usage();
   PetriNet net = load_net(args[0]);
-  ReachabilityGraph rg = explore(net, {200000});
+  ReachOptions options;
+  options.max_states = 200000;
+  if (args.size() == 2) {
+    const auto engine = parse_reach_engine(args[1]);
+    if (!engine) {
+      std::fprintf(stderr, "unknown engine '%s' (auto|dense|packed)\n",
+                   args[1].c_str());
+      return 1;
+    }
+    options.engine = *engine;
+  }
+  ReachabilityGraph rg = explore(net, options);
+  std::printf("engine: %s (structurally safe: %s)\n", to_string(rg.engine()),
+              is_structurally_safe(net) ? "yes" : "no");
   std::printf("states: %zu, edges: %zu\n", rg.state_count(), rg.edge_count());
   std::printf("safe: %s, max tokens in a place: %u\n",
               is_safe(rg) ? "yes" : "no", max_tokens_in_any_place(rg));
@@ -481,7 +494,7 @@ struct Command {
 
 constexpr Command kCommands[] = {
     {"info", "<file>", "net summary + structural analysis", cmd_info},
-    {"reach", "<file>", "state space, deadlocks, safety", cmd_reach},
+    {"reach", "<file> [engine]", "state space, deadlocks, safety", cmd_reach},
     {"lang", "<file> [maxlen]", "bounded trace language", cmd_lang},
     {"dot", "<file>", "GraphViz export to stdout", cmd_dot},
     {"compose", "<a> <b> -o <out>", "parallel composition (Def 4.7)",
