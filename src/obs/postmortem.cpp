@@ -437,6 +437,35 @@ void render_human(const PostMortem& pm, bool markdown, std::string& out) {
     out += '\n';
   }
 
+  if (!pm.final_counters.empty()) {
+    section("Final counters");
+    // Highlight the health-of-the-run counters — engine selection
+    // (`reach.packed.*`), durability (`store.*`), cache effectiveness
+    // (`svc.cache.*`) — and fold the rest into one summary line.
+    auto highlighted = [](const std::string& name) {
+      return name.rfind("reach.packed.", 0) == 0 ||
+             name.rfind("store.", 0) == 0 || name.rfind("svc.cache.", 0) == 0;
+    };
+    if (markdown) out += "| counter | value |\n|---|---:|\n";
+    for (const auto& [name, value] : pm.final_counters) {
+      if (!highlighted(name)) continue;
+      if (markdown) {
+        std::snprintf(buf, sizeof(buf), "| %s | %llu |\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+      } else {
+        std::snprintf(buf, sizeof(buf), "  %-28s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+      }
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%s%zu nonzero counter(s) total (full set in the json "
+                  "format)\n",
+                  markdown ? "\n" : "  ", pm.final_counters.size());
+    out += buf;
+    out += '\n';
+  }
+
   if (!pm.fault_sites.empty()) {
     section("Fault sites");
     if (markdown) out += "| site | fired |\n|---|---:|\n";

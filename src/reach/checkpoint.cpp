@@ -1,0 +1,217 @@
+#include "reach/checkpoint.h"
+
+#include <limits>
+
+#include "petri/canonical.h"
+#include "util/atomic_file.h"
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace cipnet::reach_detail {
+
+namespace {
+
+using store::get_str;
+using store::get_u32;
+using store::get_u64;
+using store::put_str;
+using store::put_u32;
+using store::put_u64;
+
+bool fail(std::string& why, const char* what) {
+  why = what;
+  return false;
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const CheckpointImage& image) {
+  std::string body;
+  body.reserve(image.arena.size() + 64);
+  put_u32(body, image.packed ? 1 : 0);
+  put_u64(body, image.net_hash);
+  put_u32(body, image.cell_size);
+  put_u64(body, image.places);
+  put_u64(body, image.width);
+  put_u64(body, image.state_count);
+  put_str(body, image.arena);
+  for (const auto& out : image.edges) {
+    put_u64(body, out.size());
+    for (const ReachabilityGraph::Edge& e : out) {
+      put_u32(body, e.transition.value());
+      put_u32(body, e.to.value());
+    }
+  }
+  put_u64(body, image.frontier.size());
+  for (std::size_t k = 0; k < image.frontier.size(); ++k) {
+    put_u32(body, image.frontier[k]);
+    put_u64(body, image.frontier_enabled[k].size());
+    for (TransitionId t : image.frontier_enabled[k]) {
+      put_u32(body, t.value());
+    }
+  }
+  return body;
+}
+
+bool decode_checkpoint(const std::string& body, CheckpointImage& image,
+                       std::string& why) {
+  std::size_t pos = 0;
+  std::uint32_t packed_flag = 0;
+  if (!get_u32(body, pos, packed_flag) ||
+      !get_u64(body, pos, image.net_hash) ||
+      !get_u32(body, pos, image.cell_size) ||
+      !get_u64(body, pos, image.places) || !get_u64(body, pos, image.width) ||
+      !get_u64(body, pos, image.state_count)) {
+    return fail(why, "truncated header");
+  }
+  if (packed_flag > 1) return fail(why, "bad packed flag");
+  image.packed = packed_flag == 1;
+  if (image.cell_size != 4 && image.cell_size != 8) {
+    return fail(why, "bad cell size");
+  }
+  if (image.state_count == 0) return fail(why, "empty state set");
+  if (image.state_count > std::numeric_limits<std::uint32_t>::max()) {
+    return fail(why, "state count overflows 32-bit ids");
+  }
+  if (!get_str(body, pos, image.arena)) return fail(why, "truncated arena");
+  if (image.arena.size() !=
+      image.state_count * image.width * image.cell_size) {
+    return fail(why, "arena length mismatch");
+  }
+  image.edges.assign(static_cast<std::size_t>(image.state_count), {});
+  for (auto& out : image.edges) {
+    std::uint64_t n = 0;
+    if (!get_u64(body, pos, n)) return fail(why, "truncated edge list");
+    // Every edge costs >= 8 encoded bytes; reject counts the input cannot
+    // possibly hold before allocating for them.
+    if (n > (body.size() - pos) / 8) return fail(why, "edge count too large");
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint32_t t = 0;
+      std::uint32_t to = 0;
+      if (!get_u32(body, pos, t) || !get_u32(body, pos, to)) {
+        return fail(why, "truncated edge");
+      }
+      if (to >= image.state_count) return fail(why, "edge target out of range");
+      out.push_back(
+          ReachabilityGraph::Edge{TransitionId(t), StateId(to)});
+    }
+  }
+  std::uint64_t frontier_size = 0;
+  if (!get_u64(body, pos, frontier_size)) {
+    return fail(why, "truncated frontier");
+  }
+  if (frontier_size > image.state_count) {
+    return fail(why, "frontier larger than state set");
+  }
+  image.frontier.reserve(static_cast<std::size_t>(frontier_size));
+  image.frontier_enabled.assign(static_cast<std::size_t>(frontier_size), {});
+  for (std::uint64_t k = 0; k < frontier_size; ++k) {
+    std::uint32_t id = 0;
+    if (!get_u32(body, pos, id)) return fail(why, "truncated frontier entry");
+    if (id >= image.state_count) {
+      return fail(why, "frontier id out of range");
+    }
+    image.frontier.push_back(id);
+    std::uint64_t n = 0;
+    if (!get_u64(body, pos, n)) return fail(why, "truncated enabled set");
+    if (n > (body.size() - pos) / 4) {
+      return fail(why, "enabled set too large");
+    }
+    auto& enabled = image.frontier_enabled[static_cast<std::size_t>(k)];
+    enabled.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint32_t t = 0;
+      if (!get_u32(body, pos, t)) return fail(why, "truncated enabled set");
+      enabled.push_back(TransitionId(t));
+    }
+  }
+  if (pos != body.size()) return fail(why, "trailing bytes");
+  return true;
+}
+
+void write_checkpoint(const std::string& path, const CheckpointImage& image) {
+  store::write_file_atomic(
+      path, store::seal_blob(kCheckpointMagic, kCheckpointVersion,
+                             encode_checkpoint(image)));
+}
+
+LoadResult load_checkpoint(const std::string& path) {
+  LoadResult result;
+  const std::optional<std::string> bytes = store::read_file(path);
+  if (!bytes.has_value()) return result;  // kMissing
+  std::string body;
+  std::string why;
+  if (!store::open_blob(*bytes, kCheckpointMagic, kCheckpointVersion, body,
+                        why)) {
+    result.status = LoadStatus::kCorrupt;
+    result.why = why;
+    return result;
+  }
+  if (!decode_checkpoint(body, result.image, why)) {
+    result.status = LoadStatus::kCorrupt;
+    result.why = why;
+    return result;
+  }
+  result.status = LoadStatus::kOk;
+  return result;
+}
+
+std::string validate_checkpoint(const CheckpointImage& image,
+                                const PetriNet& net, bool packed_engine) {
+  if (image.net_hash != canonical_hash(net)) {
+    return "checkpoint is for a different net";
+  }
+  if (image.packed != packed_engine) {
+    return std::string("checkpoint engine is ") +
+           (image.packed ? "packed" : "dense") + ", resolved engine is " +
+           (packed_engine ? "packed" : "dense");
+  }
+  if (image.places != net.place_count()) return "place count mismatch";
+  const std::uint64_t want_width =
+      packed_engine ? packed::word_count(net.place_count())
+                    : net.place_count();
+  const std::uint32_t want_cell =
+      packed_engine ? sizeof(std::uint64_t) : sizeof(Token);
+  if (image.width != want_width || image.cell_size != want_cell) {
+    return "marking geometry mismatch";
+  }
+  const std::size_t transitions = net.transition_count();
+  for (const auto& out : image.edges) {
+    for (const ReachabilityGraph::Edge& e : out) {
+      if (e.transition.index() >= transitions) {
+        return "edge transition out of range";
+      }
+    }
+  }
+  for (const auto& enabled : image.frontier_enabled) {
+    for (TransitionId t : enabled) {
+      if (t.index() >= transitions) return "enabled transition out of range";
+    }
+  }
+  return {};
+}
+
+}  // namespace cipnet::reach_detail
+
+namespace cipnet {
+
+std::uint64_t graph_digest(const ReachabilityGraph& graph) {
+  Fnv1a64 h;
+  h.u64(graph.state_count());
+  for (StateId s : graph.all_states()) {
+    const MarkingView m = graph.marking(s);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      h.u64(m.data()[i]);
+    }
+    const auto& out = graph.successors(s);
+    h.u64(out.size());
+    for (const ReachabilityGraph::Edge& e : out) {
+      h.u64(e.transition.value());
+      h.u64(e.to.value());
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace cipnet

@@ -1,0 +1,102 @@
+#pragma once
+
+// Durable snapshots of an in-flight sequential BFS exploration
+// (reachability.cpp). A checkpoint is everything needed to continue the
+// search as if it had never stopped: the marking arena, the per-state
+// adjacency built so far, and the BFS frontier together with each
+// unexpanded state's incrementally-maintained enabled set. Because the
+// snapshot is taken at the loop head — every expanded state's edges
+// complete, every frontier state's enabled set intact — a resumed run
+// replays the exact discovery order and produces a graph bit-identical to
+// an uninterrupted one, for the dense and the packed domain alike.
+//
+// On disk a checkpoint is a `store::seal_blob` envelope (format magic,
+// version, length, FNV-1a content checksum) written with
+// `store::write_file_atomic`, so a crash mid-write leaves the previous
+// checkpoint, never a torn one. Loading is corruption-tolerant: a bad file
+// is reported (`LoadStatus::kCorrupt`), quarantined by the caller, and
+// exploration simply starts fresh (docs/RESILIENCE.md, "Durability &
+// crash recovery").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reach/reachability.h"
+
+namespace cipnet::reach_detail {
+
+/// "CIPNCKP1" little-endian.
+inline constexpr std::uint64_t kCheckpointMagic = 0x31504b434e504943ULL;
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Domain-neutral image of a paused exploration. `arena` holds the raw
+/// marking rows (`state_count * width` cells of `cell_size` bytes,
+/// little-endian as stored in memory); `frontier` lists the
+/// discovered-but-unexpanded state ids in BFS order, `frontier_enabled[k]`
+/// the enabled set of `frontier[k]`.
+struct CheckpointImage {
+  bool packed = false;
+  std::uint64_t net_hash = 0;   ///< canonical_hash of the explored net
+  std::uint32_t cell_size = 0;  ///< sizeof(Cell): 4 dense, 8 packed
+  std::uint64_t places = 0;     ///< dense place count
+  std::uint64_t width = 0;      ///< cells per row
+  std::uint64_t state_count = 0;
+  std::string arena;
+  std::vector<std::vector<ReachabilityGraph::Edge>> edges;
+  std::vector<std::uint32_t> frontier;
+  std::vector<std::vector<TransitionId>> frontier_enabled;
+};
+
+/// Body serialization (the part inside the sealed envelope).
+[[nodiscard]] std::string encode_checkpoint(const CheckpointImage& image);
+
+/// Strict decode: false (with `why` set) on any structural violation —
+/// truncated input, arena length mismatch, frontier id out of range,
+/// trailing garbage. Never throws, never reads past the input.
+[[nodiscard]] bool decode_checkpoint(const std::string& body,
+                                     CheckpointImage& image,
+                                     std::string& why);
+
+/// Seal and atomically replace `path`. Throws on I/O failure (including
+/// the `store.write` / `store.fsync` faults); the explorer counts the
+/// throw under `store.persist.errors` and keeps exploring — a failed
+/// checkpoint loses durability, never progress.
+void write_checkpoint(const std::string& path, const CheckpointImage& image);
+
+enum class LoadStatus {
+  kOk,       ///< image decoded and self-consistent
+  kMissing,  ///< no such file — silently start fresh
+  kCorrupt,  ///< unreadable/unverifiable — quarantine and start fresh
+};
+
+struct LoadResult {
+  LoadStatus status = LoadStatus::kMissing;
+  CheckpointImage image;
+  std::string why;  ///< populated when status == kCorrupt
+};
+
+/// Read + unseal + decode `path`. Never throws on corruption (that is the
+/// `kCorrupt` outcome); an injected `store.load` fault propagates as the
+/// I/O error it simulates.
+[[nodiscard]] LoadResult load_checkpoint(const std::string& path);
+
+/// "" when `image` can seed an exploration of `net` on the given engine;
+/// otherwise the human-readable reason the resume must be rejected (net
+/// hash mismatch, engine/geometry mismatch, transition id out of range).
+[[nodiscard]] std::string validate_checkpoint(const CheckpointImage& image,
+                                              const PetriNet& net,
+                                              bool packed_engine);
+
+}  // namespace cipnet::reach_detail
+
+namespace cipnet {
+
+/// Stable content digest of a finished graph: FNV-1a over every state's
+/// *dense* marking (packed rows are unpacked first, so dense and packed
+/// digests of the same graph agree) and every edge in id order. Two graphs
+/// are bit-identical iff their digests match — this is what
+/// `resume_smoke.sh` diffs across kill/resume runs and engines.
+[[nodiscard]] std::uint64_t graph_digest(const ReachabilityGraph& graph);
+
+}  // namespace cipnet

@@ -1,14 +1,19 @@
 #include "reach/reachability.h"
 
 #include <algorithm>
+#include <csignal>
+#include <cstring>
 #include <deque>
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "petri/canonical.h"
 #include "petri/structure.h"
+#include "reach/checkpoint.h"
 #include "reach/engine.h"
+#include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/fault.h"
 
@@ -29,6 +34,11 @@ const obs::Gauge g_graph_bytes("reach.graph_bytes");
 const obs::Gauge g_index_bytes("reach.index_bytes");
 const obs::Histogram h_frontier("reach.frontier_size");
 const obs::Histogram h_enabled("reach.enabled_per_state");
+const obs::Counter c_ckpt_writes("store.ckpt.writes");
+const obs::Counter c_persist_errors("store.persist.errors");
+const obs::Counter c_resume_loaded("store.resume.loaded");
+const obs::Counter c_resume_rejected("store.resume.rejected");
+const obs::Counter c_corrupt_skipped("store.corrupt.skipped");
 }  // namespace
 
 const char* to_string(ReachEngine engine) {
@@ -116,7 +126,8 @@ namespace {
 /// bit-identical to dense ones.
 template <class Domain>
 ReachabilityGraph explore_seq(const Domain& dom, const PetriNet& net,
-                              const ReachOptions& options) {
+                              const ReachOptions& options,
+                              const reach_detail::CheckpointImage* resume) {
   using Cell = typename Domain::Cell;
   using Access = reach_detail::GraphAccess;
   constexpr std::uint32_t kNoId = BasicMarkingInterner<Cell>::kNoId;
@@ -167,7 +178,27 @@ ReachabilityGraph explore_seq(const Domain& dom, const PetriNet& net,
   std::vector<std::vector<TransitionId>> pending_enabled;
   pending_enabled.reserve(hint);
 
-  {
+  std::deque<StateId> frontier;
+  if (resume != nullptr) {
+    // Seed from the checkpoint: arena rows, adjacency, and the frontier
+    // with its pending enabled sets, exactly as the interrupted run held
+    // them at its loop head. The interner is rebuilt from the rows, so a
+    // resumed run probes the same table an uninterrupted one would.
+    std::vector<Cell> cells(static_cast<std::size_t>(resume->state_count) *
+                            dom.width);
+    std::memcpy(cells.data(), resume->arena.data(), resume->arena.size());
+    for (std::size_t i = 0; i < resume->state_count; ++i) {
+      store.push_back(cells.data() + i * dom.width);
+    }
+    index.rebuild(store);
+    edges = resume->edges;
+    for (const auto& out : edges) edges_added += out.size();
+    pending_enabled.assign(store.size(), {});
+    for (std::size_t k = 0; k < resume->frontier.size(); ++k) {
+      pending_enabled[resume->frontier[k]] = resume->frontier_enabled[k];
+      frontier.push_back(StateId(resume->frontier[k]));
+    }
+  } else {
     std::vector<Cell> m0;
     dom.initial_row(m0);
     c_hash_lookups.add();
@@ -176,12 +207,63 @@ ReachabilityGraph explore_seq(const Domain& dom, const PetriNet& net,
     edges.emplace_back();
     pending_enabled.push_back(net.enabled_transitions(net.initial_marking()));
     c_states.add();
+    frontier.push_back(rg.initial());
   }
 
-  std::deque<StateId> frontier{rg.initial()};
+  const bool checkpointing = !options.checkpoint_path.empty() &&
+                             options.checkpoint_every_states > 0;
+  const std::uint64_t net_hash = checkpointing ? canonical_hash(net) : 0;
+  std::size_t next_checkpoint =
+      checkpointing ? store.size() + options.checkpoint_every_states : 0;
+  std::size_t checkpoints_written = 0;
+  // Snapshot at the loop head: every expanded state's edges are complete
+  // and every frontier state's enabled set is still pending, so a resumed
+  // run replays the identical discovery order.
+  auto maybe_checkpoint = [&] {
+    if (!checkpointing || store.size() < next_checkpoint) return;
+    const std::size_t frontier_size = frontier.size();
+    reach_detail::CheckpointImage image;
+    image.packed = Domain::kIsPacked;
+    image.net_hash = net_hash;
+    image.cell_size = sizeof(Cell);
+    image.places = net.place_count();
+    image.width = dom.width;
+    image.state_count = store.size();
+    image.arena.assign(reinterpret_cast<const char*>(store.row(0)),
+                       store.size() * dom.width * sizeof(Cell));
+    image.edges = edges;
+    image.frontier.reserve(frontier_size);
+    image.frontier_enabled.reserve(frontier_size);
+    for (StateId f : frontier) {
+      image.frontier.push_back(static_cast<std::uint32_t>(f.index()));
+      image.frontier_enabled.push_back(pending_enabled[f.index()]);
+    }
+    next_checkpoint = store.size() + options.checkpoint_every_states;
+    try {
+      reach_detail::write_checkpoint(options.checkpoint_path, image);
+      c_ckpt_writes.add();
+      obs::FlightRecorder::instance().record(obs::FlightKind::kCustom, 0,
+                                             "store.ckpt.write", store.size(),
+                                             frontier_size);
+      ++checkpoints_written;
+      if (options.crash_after_checkpoints != 0 &&
+          checkpoints_written >= options.crash_after_checkpoints) {
+        std::raise(SIGKILL);  // deterministic crash for resume_smoke.sh
+      }
+    } catch (const Error&) {
+      // A failed checkpoint write (real or injected store.write /
+      // store.fsync) costs durability, not progress.
+      c_persist_errors.add();
+      obs::FlightRecorder::instance().record(obs::FlightKind::kCustom, 0,
+                                             "store.persist.error",
+                                             store.size(), frontier_size);
+    }
+  };
+
   std::vector<Cell> scratch;
   std::vector<TransitionId> candidates;
   while (!frontier.empty() && !truncated) {
+    maybe_checkpoint();
     g_frontier_peak.set_max(frontier.size());
     h_frontier.record(frontier.size());
     StateId s = frontier.front();
@@ -263,26 +345,76 @@ ReachabilityGraph explore(const PetriNet& net, const ReachOptions& options) {
       use_packed = is_structurally_safe(net);
       break;
   }
+  // Durable runs stay on the canonical sequential BFS: the checkpoint
+  // format snapshots its loop-head invariant, and the bit-identity
+  // contract already guarantees the parallel explorer would produce the
+  // same graph.
+  const bool durable =
+      !options.checkpoint_path.empty() || !options.resume_path.empty();
+  reach_detail::CheckpointImage resume_image;
+  const reach_detail::CheckpointImage* resume = nullptr;
+  if (!options.resume_path.empty()) {
+    reach_detail::LoadResult loaded;
+    try {
+      loaded = reach_detail::load_checkpoint(options.resume_path);
+    } catch (const Error&) {
+      // Read failure (real I/O trouble or the injected store.load fault):
+      // transient, so the file is left alone — no quarantine — and the
+      // exploration starts cold. Resume is never a correctness dependency.
+      c_corrupt_skipped.add();
+      obs::FlightRecorder::instance().record(
+          obs::FlightKind::kCustom, 0, "store.corrupt.skipped: read failure",
+          0, 0);
+      loaded.status = reach_detail::LoadStatus::kMissing;
+    }
+    if (loaded.status == reach_detail::LoadStatus::kCorrupt) {
+      // Quarantine the evidence and fall back to a fresh exploration —
+      // a bad checkpoint must never take the analysis down with it.
+      c_corrupt_skipped.add();
+      store::quarantine_file(options.resume_path);
+      obs::FlightRecorder::instance().record(
+          obs::FlightKind::kCustom, 0, "store.corrupt.skipped: " + loaded.why,
+          0, 0);
+    } else if (loaded.status == reach_detail::LoadStatus::kOk) {
+      const std::string reject =
+          reach_detail::validate_checkpoint(loaded.image, net, use_packed);
+      if (!reject.empty()) {
+        c_resume_rejected.add();
+        obs::FlightRecorder::instance().record(
+            obs::FlightKind::kCustom, 0, "store.resume.rejected: " + reject,
+            loaded.image.state_count, 0);
+      } else {
+        resume_image = std::move(loaded.image);
+        resume = &resume_image;
+        c_resume_loaded.add();
+        obs::FlightRecorder::instance().record(
+            obs::FlightKind::kCustom, 0, "store.resume.loaded",
+            resume_image.state_count, resume_image.frontier.size());
+      }
+    }
+  }
   if (use_packed) {
     c_packed_selected.add();
     g_packed_words.set(packed::word_count(net.place_count()));
     try {
-      if (options.threads > 1) {
+      if (options.threads > 1 && !durable) {
         return reach_detail::explore_parallel(net, options, true);
       }
       const reach_detail::PackedDomain dom(net);
-      return explore_seq(dom, net, options);
+      return explore_seq(dom, net, options, resume);
     } catch (const reach_detail::PackedUnsafe&) {
       // The net is not 1-safe after all (forced packed engine), or the
       // reach.packed.fallback fault fired: rerun on the dense engine.
       c_packed_fallbacks.add();
     }
   }
-  if (options.threads > 1) {
+  if (options.threads > 1 && !durable) {
     return reach_detail::explore_parallel(net, options, false);
   }
   const reach_detail::DenseDomain dom(net);
-  return explore_seq(dom, net, options);
+  // A checkpoint validated for the packed engine cannot seed the dense
+  // fallback rerun — geometry differs; the rerun starts fresh.
+  return explore_seq(dom, net, options, use_packed ? nullptr : resume);
 }
 
 }  // namespace cipnet

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -59,6 +60,26 @@ struct ReachOptions {
   std::size_t max_graph_bytes = 0;
   /// Marking representation (see `ReachEngine`). Orthogonal to `threads`.
   ReachEngine engine = ReachEngine::kAuto;
+  /// Durability (reach/checkpoint.h). With a non-empty `checkpoint_path`
+  /// and `checkpoint_every_states > 0`, the explorer atomically replaces
+  /// the checkpoint file every time that many further states have been
+  /// discovered. A failed write is counted (`store.persist.errors`) and
+  /// exploration continues — a lost checkpoint loses durability, never
+  /// progress. Durable runs (checkpointing or resuming) always use the
+  /// canonical sequential BFS regardless of `threads`; the bit-identity
+  /// contract makes the result equal to any parallel run anyway.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every_states = 0;
+  /// Continue from a checkpoint written by an earlier run. A missing file
+  /// starts fresh; a corrupt one is quarantined to `.bad` and counted
+  /// (`store.corrupt.skipped`); one for a different net / engine /
+  /// geometry is rejected and counted (`store.resume.rejected`). In every
+  /// fallback case the exploration simply runs from the initial marking —
+  /// resume is an optimization, never a correctness dependency.
+  std::string resume_path;
+  /// Test hook for the kill-and-resume suite: SIGKILL the process after
+  /// this many successful checkpoint writes (0 = never).
+  std::size_t crash_after_checkpoints = 0;
 };
 
 namespace reach_detail {

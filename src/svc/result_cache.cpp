@@ -44,22 +44,31 @@ void ResultCache::erase_locked(const CacheKey& key) {
 
 std::optional<std::string> ResultCache::lookup(const CacheKey& key,
                                                Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    c_misses.add();
-    return std::nullopt;
+  bool expired = false;
+  std::optional<std::string> hit;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      c_misses.add();
+      return std::nullopt;
+    }
+    if (options_.ttl.count() > 0 &&
+        now - it->second.inserted >= options_.ttl) {
+      erase_locked(key);
+      c_expired.add();
+      c_misses.add();
+      update_gauges_locked();
+      expired = true;
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      c_hits.add();
+      hit = it->second.payload;
+    }
   }
-  if (options_.ttl.count() > 0 && now - it->second.inserted >= options_.ttl) {
-    erase_locked(key);
-    c_expired.add();
-    c_misses.add();
-    update_gauges_locked();
-    return std::nullopt;
-  }
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-  c_hits.add();
-  return it->second.payload;
+  // Outside the lock: an expired entry's on-disk twin is stale too.
+  if (expired && listener_.on_erase) listener_.on_erase(key);
+  return hit;
 }
 
 void ResultCache::insert(const CacheKey& key, std::string payload,
@@ -70,36 +79,61 @@ void ResultCache::insert(const CacheKey& key, std::string payload,
     throw FaultInjected("svc.cache.insert");
   }
   const std::size_t cost = entry_bytes(key, payload);
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (cost > options_.max_bytes) return;  // would evict everything else
-  erase_locked(key);
-  lru_.push_front(key);
-  Entry entry;
-  entry.payload = std::move(payload);
-  entry.bytes = cost;
-  entry.inserted = now;
-  entry.lru_it = lru_.begin();
-  map_.emplace(key, std::move(entry));
-  bytes_ += cost;
-  while (bytes_ > options_.max_bytes && !lru_.empty()) {
-    erase_locked(lru_.back());
-    c_evictions.add();
+  // Snapshot for the write-through hook before the move below; victims are
+  // collected under the lock and notified after it.
+  std::string persisted;
+  if (listener_.on_insert) persisted = payload;
+  std::vector<CacheKey> evicted;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cost <= options_.max_bytes) {  // else: would evict everything else
+      erase_locked(key);
+      lru_.push_front(key);
+      Entry entry;
+      entry.payload = std::move(payload);
+      entry.bytes = cost;
+      entry.inserted = now;
+      entry.lru_it = lru_.begin();
+      map_.emplace(key, std::move(entry));
+      bytes_ += cost;
+      inserted = true;
+      // The new entry alone fits the budget (checked above), so eviction
+      // never claws back the key just inserted.
+      while (bytes_ > options_.max_bytes && !lru_.empty()) {
+        evicted.push_back(lru_.back());
+        erase_locked(lru_.back());
+        c_evictions.add();
+      }
+      update_gauges_locked();
+    }
   }
-  update_gauges_locked();
+  if (inserted && listener_.on_insert) listener_.on_insert(key, persisted);
+  if (listener_.on_erase) {
+    for (const CacheKey& victim : evicted) listener_.on_erase(victim);
+  }
 }
 
 void ResultCache::erase(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  erase_locked(key);
-  update_gauges_locked();
+  bool existed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    existed = map_.find(key) != map_.end();
+    erase_locked(key);
+    update_gauges_locked();
+  }
+  if (existed && listener_.on_erase) listener_.on_erase(key);
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  map_.clear();
-  lru_.clear();
-  bytes_ = 0;
-  update_gauges_locked();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    lru_.clear();
+    bytes_ = 0;
+    update_gauges_locked();
+  }
+  if (listener_.on_clear) listener_.on_clear();
 }
 
 std::size_t ResultCache::entries() const {

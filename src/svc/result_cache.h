@@ -16,11 +16,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "util/hash.h"
 
@@ -79,6 +81,21 @@ class ResultCache {
   [[nodiscard]] std::size_t entries() const;
   [[nodiscard]] std::size_t bytes() const;
 
+  /// Write-through persistence hooks (svc/cache_persist.h). All callbacks
+  /// are invoked *outside* the cache lock — an insert first mutates the
+  /// map, then notifies `on_insert` for the new entry and `on_erase` for
+  /// every LRU victim it displaced — so a hook may call back into the
+  /// cache without deadlocking. Attach before the cache is shared across
+  /// threads (the service constructor does); hooks themselves must be
+  /// thread-safe.
+  struct Listener {
+    std::function<void(const CacheKey&, const std::string& payload)>
+        on_insert;
+    std::function<void(const CacheKey&)> on_erase;
+    std::function<void()> on_clear;
+  };
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+
  private:
   struct Entry {
     std::string payload;
@@ -93,6 +110,7 @@ class ResultCache {
   void update_gauges_locked() const;
 
   ResultCacheOptions options_;
+  Listener listener_;
 
   mutable std::mutex mutex_;
   std::list<CacheKey> lru_;  // front = most recently used

@@ -31,6 +31,7 @@
 #include "reach/reachability.h"
 #include "stg/coding.h"
 #include "stg/state_graph.h"
+#include "svc/cache_persist.h"
 #include "synth/synthesize.h"
 #include "util/error.h"
 #include "util/fault.h"
@@ -106,6 +107,9 @@ struct AnalysisService::Request {
   bool has_labels = false;
   std::size_t max_states = 0;       // 0 = service default
   std::string engine;               // `reach` op: auto|dense|packed
+  std::string resume;               // `reach` op: checkpoint to continue from
+  std::string checkpoint;           // `reach` op: checkpoint file to write
+  std::size_t checkpoint_every = 0;  // `reach` op: cadence in states
   std::uint64_t deadline_ms = 0;    // 0 = service default
   bool no_cache = false;
   Priority priority = Priority::kNormal;
@@ -121,6 +125,14 @@ struct AnalysisService::Request {
 
 AnalysisService::AnalysisService(ServiceOptions options)
     : options_(options), cache_(options.cache), scheduler_(options.scheduler) {
+  if (!options_.cache_dir.empty()) {
+    // Load survivors before attaching the write-through hooks — loading
+    // through them would rewrite every file just read.
+    persister_ = std::make_unique<CachePersister>(
+        options_.cache_dir, options_.cache.ttl);
+    persister_->load_into(cache_);
+    persister_->attach(cache_);
+  }
   // Progress heartbeats double as job liveness: any event attributed to a
   // job (via its TraceContext) refreshes that row's heartbeat age in the
   // `jobs` table.
@@ -206,12 +218,21 @@ AnalysisService::Request AnalysisService::parse_request(
   req.max_samples = static_cast<std::size_t>(doc.get_number("max", 0));
   req.max_states = static_cast<std::size_t>(doc.get_number("max_states", 0));
   req.engine = doc.get_string("engine", "auto");
+  req.resume = doc.get_string("resume");
+  req.checkpoint = doc.get_string("checkpoint");
+  req.checkpoint_every =
+      static_cast<std::size_t>(doc.get_number("checkpoint_every", 0));
   req.deadline_ms =
       static_cast<std::uint64_t>(doc.get_number("deadline_ms", 0));
   if (const json::Value* no_cache = doc.find("no_cache")) {
     req.no_cache =
         no_cache->type() == json::Value::Type::kBool && no_cache->as_bool();
   }
+  // Durable exploration implies no_cache in both directions: a request
+  // that writes or resumes a checkpoint must actually run, and its result
+  // (reported from a resumed prefix) must not be memoized as the answer
+  // for plain requests (docs/SERVICE.md).
+  if (!req.resume.empty() || !req.checkpoint.empty()) req.no_cache = true;
   const std::string priority = doc.get_string("priority", "normal");
   if (priority == "high") {
     req.priority = Priority::kHigh;
@@ -343,11 +364,16 @@ std::string run_history(std::uint64_t cursor, std::size_t max) {
 
 std::string run_reach(const PetriNet& net, std::size_t max_states,
                       std::size_t max_graph_bytes, ReachEngine engine,
+                      const std::string& checkpoint,
+                      std::size_t checkpoint_every, const std::string& resume,
                       const CancelToken& cancel, bool& truncated) {
   ReachOptions options;
   options.max_states = max_states;
   options.max_graph_bytes = max_graph_bytes;
   options.engine = engine;
+  options.checkpoint_path = checkpoint;
+  options.checkpoint_every_states = checkpoint_every;
+  options.resume_path = resume;
   // Graceful degradation: a limit/memory trip yields the statistics of the
   // explored prefix, marked `"truncated": true`, instead of a bare error.
   options.truncate_on_limit = true;
@@ -846,7 +872,8 @@ std::string AnalysisService::execute(const Request& req) {
       const auto exec_start = std::chrono::steady_clock::now();
       if (req.op == "reach") {
         payload = run_reach(net, max_states, options_.max_graph_bytes,
-                            *parse_reach_engine(req.engine), req.cancel,
+                            *parse_reach_engine(req.engine), req.checkpoint,
+                            req.checkpoint_every, req.resume, req.cancel,
                             truncated);
       } else if (req.op == "cover") {
         payload = run_cover(net, max_states, req.cancel, truncated);

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -51,7 +52,14 @@ struct ServiceOptions {
   /// Maximum accepted NDJSON frame length; `serve` discards longer lines
   /// and answers `bad_request` instead of buffering without bound.
   std::size_t max_line_bytes = 4u << 20;
+  /// Persistent ResultCache (svc/cache_persist.h): non-empty = load
+  /// surviving entries from this directory at startup (checksum- and
+  /// TTL-validated; corrupt files quarantined) and write entries through
+  /// on insert, so a restarted server answers warm.
+  std::string cache_dir;
 };
+
+class CachePersister;
 
 class AnalysisService {
  public:
@@ -109,6 +117,10 @@ class AnalysisService {
   std::atomic<std::uint64_t> next_job_id_{1};
   /// ProgressBus listener mapping heartbeat events onto the job table.
   int progress_listener_ = 0;
+  /// Declared before cache_: the cache's write-through hooks point here,
+  /// and members destroy in reverse order (workers are long gone by then —
+  /// scheduler_ dies first — but the hooks must not dangle even so).
+  std::unique_ptr<CachePersister> persister_;
   ResultCache cache_;
   JobTable jobs_;
   JobScheduler scheduler_;  // declared last: workers die before the cache

@@ -1,0 +1,222 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+#include "util/fault.h"
+#include "util/hash.h"
+
+namespace cipnet::store {
+
+namespace {
+CIPNET_FAULT_SITE(f_write, "store.write");
+CIPNET_FAULT_SITE(f_fsync, "store.fsync");
+CIPNET_FAULT_SITE(f_load, "store.load");
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw Error("store: " + what + " " + path + ": " +
+              std::strerror(errno));
+}
+
+/// Directory component of `path` ("" when there is none).
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return {};
+  return path.substr(0, slash == 0 ? 1 : slash);
+}
+
+void fsync_dir(const std::string& dir) {
+  if (dir.empty()) return;
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fsync
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u64(out, s.size());
+  out += s;
+}
+
+bool get_u32(const std::string& in, std::size_t& pos, std::uint32_t& v) {
+  if (pos + 4 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 4;
+  return true;
+}
+
+bool get_u64(const std::string& in, std::size_t& pos, std::uint64_t& v) {
+  if (pos + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 8;
+  return true;
+}
+
+bool get_str(const std::string& in, std::size_t& pos, std::string& s) {
+  std::uint64_t n = 0;
+  if (!get_u64(in, pos, n)) return false;
+  if (n > in.size() - pos) return false;
+  s.assign(in, pos, static_cast<std::size_t>(n));
+  pos += static_cast<std::size_t>(n);
+  return true;
+}
+
+std::uint64_t content_checksum(const std::string& bytes) {
+  Fnv1a64 h;
+  h.bytes(bytes.data(), bytes.size());
+  return h.digest();
+}
+
+std::string seal_blob(std::uint64_t magic, std::uint32_t version,
+                      std::string body) {
+  std::string out;
+  out.reserve(body.size() + 28);
+  put_u64(out, magic);
+  put_u32(out, version);
+  put_u64(out, body.size());
+  const std::uint64_t checksum = content_checksum(body);
+  out += body;
+  put_u64(out, checksum);
+  return out;
+}
+
+bool open_blob(const std::string& bytes, std::uint64_t magic,
+               std::uint32_t max_version, std::string& body,
+               std::string& why) {
+  std::size_t pos = 0;
+  std::uint64_t file_magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t length = 0;
+  if (!get_u64(bytes, pos, file_magic) || !get_u32(bytes, pos, version) ||
+      !get_u64(bytes, pos, length)) {
+    why = "short read (header truncated)";
+    return false;
+  }
+  if (file_magic != magic) {
+    why = "bad format magic";
+    return false;
+  }
+  if (version == 0 || version > max_version) {
+    why = "unknown version " + std::to_string(version);
+    return false;
+  }
+  if (length != bytes.size() - pos - 8 || length > bytes.size()) {
+    why = "short read (body truncated)";
+    return false;
+  }
+  body.assign(bytes, pos, static_cast<std::size_t>(length));
+  pos += static_cast<std::size_t>(length);
+  std::uint64_t stored = 0;
+  if (!get_u64(bytes, pos, stored)) {
+    why = "short read (checksum truncated)";
+    return false;
+  }
+  if (stored != content_checksum(body)) {
+    why = "checksum mismatch";
+    return false;
+  }
+  return true;
+}
+
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  if (CIPNET_FAULT_FIRES(f_write)) {
+    throw FaultInjected("store.write");
+  }
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) io_error("cannot open", tmp);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      io_error("write failed on", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (CIPNET_FAULT_FIRES(f_fsync)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw FaultInjected("store.fsync");
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    io_error("fsync failed on", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    io_error("close failed on", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    io_error("rename failed onto", path);
+  }
+  // Make the rename itself durable; without this the file can exist but
+  // the directory entry vanish on power loss.
+  fsync_dir(dir_of(path));
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    io_error("cannot open", path);
+  }
+  if (CIPNET_FAULT_FIRES(f_load)) {
+    ::close(fd);
+    throw FaultInjected("store.load");
+  }
+  std::string out;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      io_error("read failed on", path);
+    }
+    if (n == 0) break;
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::optional<std::string> quarantine_file(const std::string& path) {
+  const std::string bad = path + ".bad";
+  if (::rename(path.c_str(), bad.c_str()) != 0) return std::nullopt;
+  fsync_dir(dir_of(path));
+  return bad;
+}
+
+}  // namespace cipnet::store

@@ -1,0 +1,71 @@
+#pragma once
+
+// Durable file primitives for the store layer (reach/checkpoint.h,
+// svc/cache_persist.h). Three guarantees, one protocol:
+//
+//  * **Atomic replace** — `write_file_atomic` writes `path + ".tmp"`,
+//    fsyncs it, renames it over `path`, then fsyncs the directory. A
+//    crash at any point leaves either the old file or the new one,
+//    never a torn mixture; readers never observe a partial write.
+//  * **Self-verifying envelope** — `seal_blob` frames a body with a
+//    format magic, a version, the body length, and an FNV-1a content
+//    checksum; `open_blob` re-derives all four and reports exactly why
+//    a file is unacceptable (wrong magic, unknown version, short read,
+//    checksum mismatch) instead of handing corrupt bytes to a parser.
+//  * **Quarantine, not deletion** — `quarantine_file` renames a bad
+//    file to `path + ".bad"` so recovery is non-destructive: the
+//    evidence survives for a post-mortem while the load path moves on.
+//
+// Fault sites `store.write`, `store.fsync`, and `store.load` sit on the
+// three failure surfaces (docs/RESILIENCE.md); callers treat every
+// throw from this layer as a counted, non-fatal event.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cipnet::store {
+
+/// Little-endian wire helpers shared by the checkpoint and cache-entry
+/// encoders. `get_*` return false instead of reading past `end` — decode
+/// paths must survive arbitrarily truncated input.
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+void put_str(std::string& out, const std::string& s);
+[[nodiscard]] bool get_u32(const std::string& in, std::size_t& pos,
+                           std::uint32_t& v);
+[[nodiscard]] bool get_u64(const std::string& in, std::size_t& pos,
+                           std::uint64_t& v);
+[[nodiscard]] bool get_str(const std::string& in, std::size_t& pos,
+                           std::string& s);
+
+/// FNV-1a over `bytes` — the content checksum of the blob envelope.
+[[nodiscard]] std::uint64_t content_checksum(const std::string& bytes);
+
+/// Frame `body` as `[magic u64][version u32][length u64][body][fnv u64]`.
+[[nodiscard]] std::string seal_blob(std::uint64_t magic,
+                                    std::uint32_t version, std::string body);
+
+/// Unframe and verify a sealed blob. On success `body` holds the payload
+/// and true is returned; on any violation — wrong magic, version above
+/// `max_version`, short read, length mismatch, checksum mismatch — false
+/// comes back and `why` names the violation.
+[[nodiscard]] bool open_blob(const std::string& bytes, std::uint64_t magic,
+                             std::uint32_t max_version, std::string& body,
+                             std::string& why);
+
+/// Durably replace `path` with `bytes` (temp file + fsync + rename +
+/// directory fsync). Throws `Error` on any I/O failure, including the
+/// injected `store.write` / `store.fsync` faults.
+void write_file_atomic(const std::string& path, const std::string& bytes);
+
+/// Read `path` whole. Returns nullopt if the file does not exist; throws
+/// `Error` on a read failure (including the injected `store.load` fault).
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+/// Rename `path` to `path + ".bad"` (best effort — a failed quarantine is
+/// swallowed; the caller has already decided to skip the file). Returns
+/// the quarantine path if the rename happened.
+std::optional<std::string> quarantine_file(const std::string& path);
+
+}  // namespace cipnet::store

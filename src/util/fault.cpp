@@ -26,6 +26,9 @@ constexpr const char* kCatalogue[] = {
     "reach.cancel",          // spurious Cancelled inside explore/coverability
     "reach.packed.fallback", // packed engine aborts to the dense rerun path
     "reach.store.grow",      // bad_alloc while interning into the arena
+    "store.fsync",           // fsync failure while hardening a durable file
+    "store.load",            // read failure while loading a durable file
+    "store.write",           // write failure before a durable temp file lands
     "svc.cache.insert",      // ResultCache insert failure
     "svc.parse",             // NDJSON frame rejected as unparseable
     "svc.scheduler.enqueue", // queue-full rejection on submit

@@ -108,7 +108,7 @@ echo "tcp smoke: server at $ADDR" >&2
 
 CLIENTS=6
 for c in $(seq 1 "$CLIENTS"); do
-  requests | "$CHECK" --connect "$ADDR" 30 bad_request,parse \
+  requests | "$CHECK" --connect "$ADDR" --timeout-ms 60000 30 bad_request,parse \
     2>"$WORK/client$c.err" &
   eval "CLIENT_PID_$c=$!"
 done
@@ -135,7 +135,7 @@ done
 BIG="$BIG"'\n.end'
 
 printf '{"id":100,"op":"reach","net":"%s","no_cache":true}\n' "$BIG" \
-  | "$CHECK" --connect "$ADDR" 1 2>"$WORK/drain.err" &
+  | "$CHECK" --connect "$ADDR" --timeout-ms 60000 1 2>"$WORK/drain.err" &
 DRAIN_PID=$!
 sleep 0.5
 kill -TERM "$SERVER_PID"
@@ -172,7 +172,7 @@ QADDR="$(wait_listen "$WORK/quota.err")"
   for i in 201 202 203 204 205; do
     printf '{"id":%d,"op":"ping"}\n' "$i"
   done
-} | "$CHECK" --connect "$QADDR" 6 overloaded 2>"$WORK/quota_client.err"
+} | "$CHECK" --connect "$QADDR" --timeout-ms 60000 6 overloaded 2>"$WORK/quota_client.err"
 QUOTA_CLIENT_EXIT=$?
 if [ "$QUOTA_CLIENT_EXIT" -ne 0 ]; then
   echo "quota client failed:" >&2

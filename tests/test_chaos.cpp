@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <condition_variable>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -17,7 +18,10 @@
 #include "io/net_format.h"
 #include "net/server.h"
 #include "obs/timeseries.h"
+#include "reach/checkpoint.h"
+#include "reach/reachability.h"
 #include "svc/service.h"
+#include "util/error.h"
 #include "util/fault.h"
 #include "util/json.h"
 #include "util/json_writer.h"
@@ -43,6 +47,9 @@ const char* kChaosSpec =
     "reach.cancel=p0.03;"
     "reach.packed.fallback=p0.05;"
     "reach.store.grow=p0.02;"
+    "store.fsync=p0.05;"
+    "store.load=p0.1;"
+    "store.write=p0.05;"
     "svc.cache.insert=p0.25;"
     "svc.parse=p0.02;"
     "svc.scheduler.enqueue=p0.08;"
@@ -307,11 +314,44 @@ TEST_F(ChaosSoak, EveryFaultSiteFiresUnderTheSoakSpec) {
     }
     return tcp_server->port();
   };
+  // The store.* sites sit under explore()'s checkpoint writer and resume
+  // loader (reach/checkpoint.h), not under any service op: drive them with
+  // direct durable explorations against a scratch checkpoint file.
+  namespace fs = std::filesystem;
+  const fs::path store_dir =
+      fs::temp_directory_path() / "cipnet_chaos_store";
+  fs::create_directories(store_dir);
+  const std::string ckpt_path = (store_dir / "chaos-ck.bin").string();
+  auto durable_round = [&] {
+    // Any site on the path may fire mid-run (the spec is live): a failed
+    // checkpoint write or resume read is the counted non-fatal kind, but
+    // reach.cancel / reach.store.grow can also land here — absorb both.
+    try {
+      ReachOptions ckpt;
+      ckpt.max_states = 5000;
+      ckpt.checkpoint_path = ckpt_path;
+      ckpt.checkpoint_every_states = 8;
+      (void)explore(toggle_net(5), ckpt);
+    } catch (const Error&) {
+    } catch (const std::bad_alloc&) {
+    }
+    try {
+      ReachOptions resume;
+      resume.max_states = 5000;
+      resume.resume_path = ckpt_path;
+      (void)explore(toggle_net(5), resume);
+    } catch (const Error&) {
+    } catch (const std::bad_alloc&) {
+    }
+  };
   int id = 0;
   std::size_t submitted = 0;
   for (int round = 0; round < 400 && !unfired().empty(); ++round) {
     for (const std::string& site : unfired()) {
-      if (site == "net.accept" || site == "net.read") {
+      if (site == "store.write" || site == "store.fsync" ||
+          site == "store.load") {
+        durable_round();
+      } else if (site == "net.accept" || site == "net.read") {
         const std::uint16_t port = tcp_port();
         ASSERT_NE(port, 0) << "chaos TCP listener failed to start";
         tcp_chaos_round(port, ++id);
@@ -349,6 +389,7 @@ TEST_F(ChaosSoak, EveryFaultSiteFiresUnderTheSoakSpec) {
     tcp_server->request_drain();
     tcp_thread.join();
   }
+  fs::remove_all(store_dir);
   service.drain();
   {
     std::unique_lock<std::mutex> lock(mu);
@@ -436,6 +477,64 @@ TEST_F(ChaosSoak, TcpPathSurvivesAcceptAndReadFaultStorm) {
   }
   EXPECT_TRUE(accept_fired);
   EXPECT_TRUE(read_fired);
+}
+
+TEST_F(ChaosSoak, DurabilityStormNeverCrashesAndTheRestartAnswers) {
+  // A persistent-cache service under the full soak spec: the injected
+  // store.write / store.fsync faults shred the write-through, store.load
+  // shreds the reload scan — and none of it may surface beyond a cold
+  // cache. After a "restart" (a second service over the same directory,
+  // loading whatever survived the storm), the service must still answer.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "cipnet_chaos_cache";
+  fs::remove_all(dir);
+
+  fault::configure(kChaosSpec);
+  svc::ServiceOptions options;
+  options.scheduler.workers = 4;
+  options.scheduler.max_queue = 256;
+  options.max_states = 5000;
+  options.cache_dir = dir.string();
+  {
+    svc::AnalysisService service(options);
+    const std::vector<std::string> lines = workload(64);
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t responses = 0;
+    for (const std::string& line : lines) {
+      service.submit_line(line, [&](const std::string& r) {
+        check_schema(r);
+        std::lock_guard<std::mutex> lock(mu);
+        ++responses;
+        cv.notify_one();
+      });
+    }
+    service.drain();
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return responses == lines.size(); }));
+  }
+
+  // Restart over the possibly-damaged directory: the reload is the
+  // corruption-tolerant path, and the reborn service must answer both a
+  // ping and a real analysis.
+  {
+    svc::AnalysisService reborn(options);
+    const json::Value pong =
+        json::parse(reborn.handle_line(request_line(1, "ping", "")));
+    check_schema(reborn.handle_line(request_line(1, "ping", "")));
+    const std::string small = write_net(toggle_net(4), "small");
+    check_schema(reborn.handle_line(request_line(2, "reach", small)));
+    (void)pong;
+  }
+  fault::clear();
+
+  // And with the storm over, a third boot over the same directory still
+  // works and serves organically.
+  svc::AnalysisService calm(options);
+  EXPECT_TRUE(json::parse(calm.handle_line(request_line(3, "ping", "")))
+                  .find("ok")->as_bool());
+  fs::remove_all(dir);
 }
 
 TEST_F(ChaosSoak, SequentialReplayIsDeterministicPerSeed) {

@@ -20,7 +20,7 @@ const char* kSpanTrace =
     "\n"
     R"({"event":"span","name":"reach.explore","path":"profile/reach.explore","depth":1,"start_ns":700000,"dur_ns":300000,"job":4})"
     "\n"
-    R"({"event":"counters","counters":{"reach.states":320,"reach.edges":976,"idle.zero":0}})"
+    R"({"event":"counters","counters":{"reach.states":320,"reach.edges":976,"idle.zero":0,"reach.packed.selected":1,"reach.packed.fallbacks":0,"store.ckpt.writes":3,"store.corrupt.skipped":1,"svc.cache.hit":2}})"
     "\n";
 
 const char* kProgressAndSamples =
@@ -75,9 +75,10 @@ TEST(Report, SpanJsonlAggregatesPhasesAndTopSpans) {
   EXPECT_EQ(pm.top_spans[0].job, 3u);
 
   // Zero-valued counters are elided from the final snapshot.
-  ASSERT_EQ(pm.final_counters.size(), 2u);
+  ASSERT_EQ(pm.final_counters.size(), 6u);
   for (const auto& [name, value] : pm.final_counters) {
     EXPECT_NE(name, "idle.zero");
+    EXPECT_NE(name, "reach.packed.fallbacks");
   }
 }
 
@@ -174,11 +175,25 @@ TEST(Report, TextRenderingCoversEverySection) {
   const std::string out = obs::render_postmortem(full_postmortem(), "text");
   for (const char* section :
        {"Phase breakdown", "Top spans", "Throughput", "RSS curve",
-        "Shard balance", "Flight recorder", "Fault sites"}) {
+        "Shard balance", "Flight recorder", "Fault sites",
+        "Final counters"}) {
     EXPECT_NE(out.find(section), std::string::npos) << section;
   }
   EXPECT_NE(out.find("reach.explore"), std::string::npos);
   EXPECT_NE(out.find("reach.cancel"), std::string::npos);
+}
+
+TEST(Report, FinalCountersSectionHighlightsEngineAndDurability) {
+  const std::string out = obs::render_postmortem(full_postmortem(), "text");
+  // Engine-selection, durability, and cache counters are surfaced...
+  EXPECT_NE(out.find("reach.packed.selected"), std::string::npos);
+  EXPECT_NE(out.find("store.ckpt.writes"), std::string::npos);
+  EXPECT_NE(out.find("store.corrupt.skipped"), std::string::npos);
+  EXPECT_NE(out.find("svc.cache.hit"), std::string::npos);
+  // ...the bulk statistics are not (json carries the full set)...
+  EXPECT_EQ(out.find("reach.edges"), std::string::npos);
+  // ...and the summary line reports the full count.
+  EXPECT_NE(out.find("6 nonzero counter(s) total"), std::string::npos);
 }
 
 TEST(Report, MarkdownRenderingEmitsTables) {

@@ -40,6 +40,7 @@
 #include "petri/invariants.h"
 #include "petri/siphons.h"
 #include "petri/structure.h"
+#include "reach/checkpoint.h"
 #include "reach/properties.h"
 #include "reach/reachability.h"
 #include "sim/simulator.h"
@@ -109,15 +110,46 @@ int cmd_info(const std::vector<std::string>& args) {
 }
 
 int cmd_reach(const std::vector<std::string>& args) {
-  if (args.empty() || args.size() > 2) return usage();
-  PetriNet net = load_net(args[0]);
   ReachOptions options;
   options.max_states = 200000;
-  if (args.size() == 2) {
-    const auto engine = parse_reach_engine(args[1]);
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto numeric = [&](std::size_t& out) {
+      if (i + 1 >= args.size()) return false;
+      out = static_cast<std::size_t>(
+          std::strtoull(args[++i].c_str(), nullptr, 10));
+      return true;
+    };
+    auto text = [&](std::string& out) {
+      if (i + 1 >= args.size()) return false;
+      out = args[++i];
+      return true;
+    };
+    if (args[i] == "--max-states" && numeric(options.max_states)) {
+    } else if (args[i] == "--threads" && numeric(options.threads)) {
+    } else if (args[i] == "--checkpoint" && text(options.checkpoint_path)) {
+    } else if (args[i] == "--checkpoint-every" &&
+               numeric(options.checkpoint_every_states)) {
+    } else if (args[i] == "--resume" && text(options.resume_path)) {
+    } else if (args[i] == "--crash-after-ckpts" &&
+               numeric(options.crash_after_checkpoints)) {
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage();
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.empty() || positional.size() > 2) return usage();
+  if (!options.checkpoint_path.empty() &&
+      options.checkpoint_every_states == 0) {
+    options.checkpoint_every_states = 4096;
+  }
+  PetriNet net = load_net(positional[0]);
+  if (positional.size() == 2) {
+    const auto engine = parse_reach_engine(positional[1]);
     if (!engine) {
       std::fprintf(stderr, "unknown engine '%s' (auto|dense|packed)\n",
-                   args[1].c_str());
+                   positional[1].c_str());
       return 1;
     }
     options.engine = *engine;
@@ -126,6 +158,11 @@ int cmd_reach(const std::vector<std::string>& args) {
   std::printf("engine: %s (structurally safe: %s)\n", to_string(rg.engine()),
               is_structurally_safe(net) ? "yes" : "no");
   std::printf("states: %zu, edges: %zu\n", rg.state_count(), rg.edge_count());
+  // Content digest of the full graph (markings + edges): two runs built
+  // the same graph iff these lines match — what resume_smoke.sh diffs
+  // across kill/resume runs, engines, and thread counts.
+  std::printf("digest: %016llx\n",
+              static_cast<unsigned long long>(graph_digest(rg)));
   std::printf("safe: %s, max tokens in a place: %u\n",
               is_safe(rg) ? "yes" : "no", max_tokens_in_any_place(rg));
   auto deadlocks = deadlock_states(rg);
@@ -427,6 +464,8 @@ int cmd_serve(const std::vector<std::string>& args) {
       options.cache.max_bytes = static_cast<std::size_t>(v) << 20;
     } else if (args[i] == "--ttl-ms" && numeric(v)) {
       options.cache.ttl = std::chrono::milliseconds(v);
+    } else if (args[i] == "--cache-dir" && i + 1 < args.size()) {
+      options.cache_dir = args[++i];
     } else if (args[i] == "--deadline-ms" && numeric(v)) {
       options.default_deadline_ms = v;
     } else if (args[i] == "--max-states" && numeric(v)) {
@@ -494,7 +533,8 @@ struct Command {
 
 constexpr Command kCommands[] = {
     {"info", "<file>", "net summary + structural analysis", cmd_info},
-    {"reach", "<file> [engine]", "state space, deadlocks, safety", cmd_reach},
+    {"reach", "<file> [engine] [--checkpoint F] [--resume F]",
+     "state space, deadlocks, safety", cmd_reach},
     {"lang", "<file> [maxlen]", "bounded trace language", cmd_lang},
     {"dot", "<file>", "GraphViz export to stdout", cmd_dot},
     {"compose", "<a> <b> -o <out>", "parallel composition (Def 4.7)",

@@ -15,6 +15,13 @@
 // (`span.<name>`) and are skipped. Runs as the MetricsLint ctest:
 //
 //   metrics_lint <docs/OBSERVABILITY.md> <source-dir>...
+//
+// A second mode does the same parity check for the fault-site catalogue —
+// the `kCatalogue` array in src/util/fault.cpp against the site table in
+// docs/RESILIENCE.md (the one headed `| site | surface | fires as |`).
+// Runs as the FaultSiteLint ctest:
+//
+//   metrics_lint --fault-sites <docs/RESILIENCE.md> <src/util/fault.cpp>
 
 #include <cstdio>
 #include <filesystem>
@@ -135,11 +142,138 @@ std::set<std::string> scan_doc(const fs::path& doc) {
   return names;
 }
 
+/// Extract the quoted site names from the `kCatalogue[] = { ... };` array
+/// in util/fault.cpp. Only string literals between the opening brace and
+/// the closing `};` count, so doc-comment examples elsewhere in the file
+/// cannot pollute the scan.
+std::set<std::string> scan_fault_catalogue(const fs::path& source) {
+  std::set<std::string> names;
+  std::ifstream in(source);
+  std::string line;
+  bool inside = false;
+  while (std::getline(in, line)) {
+    if (!inside) {
+      if (line.find("kCatalogue[]") != std::string::npos &&
+          line.find('{') != std::string::npos) {
+        inside = true;
+      }
+      continue;
+    }
+    if (line.find("};") != std::string::npos) break;
+    std::size_t pos = 0;
+    while ((pos = line.find('"', pos)) != std::string::npos) {
+      const std::size_t end = line.find('"', pos + 1);
+      if (end == std::string::npos) break;
+      const std::string name = line.substr(pos + 1, end - pos - 1);
+      bool clean = !name.empty();
+      for (char c : name) clean = clean && is_name_byte(c);
+      if (clean) names.insert(name);
+      pos = end + 1;
+    }
+  }
+  return names;
+}
+
+/// Extract the backticked site names from the first cell of the
+/// RESILIENCE.md catalogue table — the rows following the header
+/// `| site | surface | fires as |`. The table ends at the first
+/// non-table line.
+std::set<std::string> scan_fault_doc(const fs::path& doc) {
+  std::set<std::string> names;
+  std::ifstream in(doc);
+  std::string line;
+  bool inside = false;
+  while (std::getline(in, line)) {
+    if (!inside) {
+      if (line.find("| site ") == 0 && line.find("| surface ") !=
+                                           std::string::npos) {
+        inside = true;
+      }
+      continue;
+    }
+    if (line.empty() || line[0] != '|') break;
+    const std::size_t second = line.find('|', 1);
+    if (second == std::string::npos) continue;
+    const std::string cell = line.substr(0, second);
+    const std::size_t tick = cell.find('`');
+    if (tick == std::string::npos) continue;  // the |---| separator row
+    const std::size_t end = cell.find('`', tick + 1);
+    if (end == std::string::npos) continue;
+    const std::string name = cell.substr(tick + 1, end - tick - 1);
+    bool clean = !name.empty();
+    for (char c : name) clean = clean && is_name_byte(c);
+    if (clean) names.insert(name);
+  }
+  return names;
+}
+
+/// Both-direction diff shared by the two modes. Returns the process exit
+/// code: 0 agree, 1 mismatch, 2 suspiciously empty scan.
+int report_diff(const std::set<std::string>& in_source,
+                const std::set<std::string>& in_doc, const fs::path& doc,
+                const char* what) {
+  if (in_source.empty() || in_doc.empty()) {
+    std::fprintf(stderr,
+                 "metrics_lint: suspiciously empty scan (source=%zu doc=%zu) "
+                 "— the extraction patterns no longer match\n",
+                 in_source.size(), in_doc.size());
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& name : in_source) {
+    if (in_doc.count(name) == 0) {
+      std::fprintf(stderr,
+                   "metrics_lint: `%s` is declared in the source but "
+                   "missing from %s\n",
+                   name.c_str(), doc.string().c_str());
+      ++failures;
+    }
+  }
+  for (const std::string& name : in_doc) {
+    if (in_source.count(name) == 0) {
+      std::fprintf(stderr,
+                   "metrics_lint: `%s` is documented in %s but no longer "
+                   "declared anywhere in the source\n",
+                   name.c_str(), doc.string().c_str());
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "metrics_lint: %d mismatch(es)\n", failures);
+    return 1;
+  }
+  std::fprintf(stderr, "metrics_lint: %zu %s, doc and source agree\n",
+               in_source.size(), what);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--fault-sites") {
+    if (argc != 4) {
+      std::fprintf(stderr,
+                   "usage: metrics_lint --fault-sites <RESILIENCE.md> "
+                   "<fault.cpp>\n");
+      return 2;
+    }
+    const fs::path doc = argv[2];
+    const fs::path source = argv[3];
+    for (const fs::path& p : {doc, source}) {
+      if (!fs::exists(p)) {
+        std::fprintf(stderr, "metrics_lint: no such file: %s\n",
+                     p.string().c_str());
+        return 2;
+      }
+    }
+    return report_diff(scan_fault_catalogue(source), scan_fault_doc(doc), doc,
+                       "fault sites");
+  }
   if (argc < 3) {
-    std::fprintf(stderr, "usage: metrics_lint <catalogue.md> <src-dir>...\n");
+    std::fprintf(stderr,
+                 "usage: metrics_lint <catalogue.md> <src-dir>...\n"
+                 "       metrics_lint --fault-sites <RESILIENCE.md> "
+                 "<fault.cpp>\n");
     return 2;
   }
   const fs::path doc = argv[1];
@@ -156,40 +290,5 @@ int main(int argc, char** argv) {
     roots.emplace_back(argv[i]);
   }
 
-  const std::set<std::string> in_source = scan_sources(roots);
-  const std::set<std::string> in_doc = scan_doc(doc);
-  if (in_source.empty() || in_doc.empty()) {
-    std::fprintf(stderr,
-                 "metrics_lint: suspiciously empty scan (source=%zu doc=%zu) "
-                 "— the extraction patterns no longer match\n",
-                 in_source.size(), in_doc.size());
-    return 2;
-  }
-
-  int failures = 0;
-  for (const std::string& name : in_source) {
-    if (in_doc.count(name) == 0) {
-      std::fprintf(stderr,
-                   "metrics_lint: `%s` is constructed in the source but "
-                   "missing from %s\n",
-                   name.c_str(), doc.string().c_str());
-      ++failures;
-    }
-  }
-  for (const std::string& name : in_doc) {
-    if (in_source.count(name) == 0) {
-      std::fprintf(stderr,
-                   "metrics_lint: `%s` is documented in %s but no longer "
-                   "constructed anywhere in the source\n",
-                   name.c_str(), doc.string().c_str());
-      ++failures;
-    }
-  }
-  if (failures != 0) {
-    std::fprintf(stderr, "metrics_lint: %d mismatch(es)\n", failures);
-    return 1;
-  }
-  std::fprintf(stderr, "metrics_lint: %zu metrics, doc and source agree\n",
-               in_source.size());
-  return 0;
+  return report_diff(scan_sources(roots), scan_doc(doc), doc, "metrics");
 }

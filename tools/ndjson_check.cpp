@@ -12,14 +12,19 @@
 // Two transports:
 //   ndjson_check <count> [codes]                  validate stdin (a pipe
 //                                                 from the stdio server)
-//   ndjson_check --connect HOST:PORT <count> [codes]
+//   ndjson_check --connect HOST:PORT [--timeout-ms N] <count> [codes]
 //     act as one TCP client: send every stdin line to the server, half-close
 //     the write side, and validate the response stream read back until the
 //     server's orderly EOF. The TCP smoke runs many of these concurrently.
+//     `--timeout-ms` (default 60000) bounds the connect attempt and every
+//     individual response read, so a wedged or crashed server fails the
+//     harness promptly instead of hanging it.
 //
 // Used by the ServeSmoke and NetSmoke ctests (tests/serve_smoke.sh).
 
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -41,9 +46,45 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ndjson_check [--connect HOST:PORT] "
+               "usage: ndjson_check [--connect HOST:PORT] [--timeout-ms N] "
                "<expected-line-count> [required-error-codes,comma,separated]\n");
   return 2;
+}
+
+/// Connect with a deadline: non-blocking connect, poll for writability,
+/// then check SO_ERROR. Returns 0 on success, -1 (with a diagnostic) on
+/// refusal or timeout.
+int connect_with_timeout(int fd, const sockaddr_in& addr, long timeout_ms,
+                         const std::string& hostport) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready == 0) {
+      std::fprintf(stderr, "connect %s: timed out after %ld ms\n",
+                   hostport.c_str(), timeout_ms);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (ready < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      std::fprintf(stderr, "connect %s: %s\n", hostport.c_str(),
+                   std::strerror(err != 0 ? err : errno));
+      return -1;
+    }
+    rc = 0;
+  }
+  if (rc != 0) {
+    std::fprintf(stderr, "connect %s: %s\n", hostport.c_str(),
+                 std::strerror(errno));
+    return -1;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return 0;
 }
 
 /// Validates one response line; returns false (after diagnosing to stderr)
@@ -120,7 +161,7 @@ class Validator {
 
 /// One TCP exchange: write every stdin line to HOST:PORT, shutdown the
 /// write side, then validate responses until the server's EOF.
-int run_connect(const std::string& hostport, long expected,
+int run_connect(const std::string& hostport, long timeout_ms, long expected,
                 std::map<std::string, long>& required) {
   const std::size_t colon = hostport.rfind(':');
   if (colon == std::string::npos) {
@@ -145,14 +186,13 @@ int run_connect(const std::string& hostport, long expected,
     std::perror("socket");
     return 1;
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    std::fprintf(stderr, "connect %s: %s\n", hostport.c_str(),
-                 std::strerror(errno));
+  if (connect_with_timeout(fd, addr, timeout_ms, hostport) != 0) {
     ::close(fd);
     return 1;
   }
-  // A hung server must fail the harness, not wedge it.
-  timeval timeout{60, 0};
+  // A hung server must fail the harness, not wedge it: the deadline also
+  // bounds every individual response read.
+  timeval timeout{timeout_ms / 1000, (timeout_ms % 1000) * 1000};
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
 
   std::string request;
@@ -184,7 +224,11 @@ int run_connect(const std::string& hostport, long expected,
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      std::fprintf(stderr, "recv: %s\n", std::strerror(errno));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        std::fprintf(stderr, "recv: no response within %ld ms\n", timeout_ms);
+      } else {
+        std::fprintf(stderr, "recv: %s\n", std::strerror(errno));
+      }
       ::close(fd);
       return 1;
     }
@@ -230,9 +274,16 @@ int run_connect(const std::string& hostport, long expected,
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string connect_to;
-  if (!args.empty() && args[0] == "--connect") {
-    if (args.size() < 2) return usage();
-    connect_to = args[1];
+  long timeout_ms = 60000;
+  while (!args.empty() && args[0].rfind("--", 0) == 0) {
+    if (args[0] == "--connect" && args.size() >= 2) {
+      connect_to = args[1];
+    } else if (args[0] == "--timeout-ms" && args.size() >= 2) {
+      timeout_ms = std::strtol(args[1].c_str(), nullptr, 10);
+      if (timeout_ms <= 0) return usage();
+    } else {
+      return usage();
+    }
     args.erase(args.begin(), args.begin() + 2);
   }
   if (args.empty() || args.size() > 2) return usage();
@@ -245,7 +296,9 @@ int main(int argc, char** argv) {
       if (!code.empty()) required[code] = 0;
     }
   }
-  if (!connect_to.empty()) return run_connect(connect_to, expected, required);
+  if (!connect_to.empty()) {
+    return run_connect(connect_to, timeout_ms, expected, required);
+  }
 
   Validator validator(&required);
   std::string line;
