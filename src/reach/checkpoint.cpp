@@ -106,11 +106,22 @@ bool decode_checkpoint(const std::string& body, CheckpointImage& image,
   }
   image.frontier.reserve(static_cast<std::size_t>(frontier_size));
   image.frontier_enabled.assign(static_cast<std::size_t>(frontier_size), {});
+  std::vector<bool> in_frontier(static_cast<std::size_t>(image.state_count));
   for (std::uint64_t k = 0; k < frontier_size; ++k) {
     std::uint32_t id = 0;
     if (!get_u32(body, pos, id)) return fail(why, "truncated frontier entry");
     if (id >= image.state_count) {
       return fail(why, "frontier id out of range");
+    }
+    // BFS invariants of the loop-head snapshot, which resume relies on:
+    // each state is queued at most once, and a frontier state is by
+    // definition unexpanded (empty edge list). A crafted checksum-valid
+    // file violating either would expand a state twice on resume,
+    // appending duplicate edges and breaking bit-identity.
+    if (in_frontier[id]) return fail(why, "duplicate frontier id");
+    in_frontier[id] = true;
+    if (!image.edges[id].empty()) {
+      return fail(why, "frontier state already has edges");
     }
     image.frontier.push_back(id);
     std::uint64_t n = 0;

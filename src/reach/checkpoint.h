@@ -53,7 +53,9 @@ struct CheckpointImage {
 
 /// Strict decode: false (with `why` set) on any structural violation —
 /// truncated input, arena length mismatch, frontier id out of range,
-/// trailing garbage. Never throws, never reads past the input.
+/// a frontier id repeated or naming an already-expanded state (non-empty
+/// edge list), trailing garbage. Never throws, never reads past the
+/// input.
 [[nodiscard]] bool decode_checkpoint(const std::string& body,
                                      CheckpointImage& image,
                                      std::string& why);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <unordered_set>
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -74,11 +75,14 @@ std::size_t CachePersister::load_into(ResultCache& cache) {
   std::error_code ec;
   const std::uint64_t now_ms = wall_now_ms();
   std::size_t loaded = 0;
-  for (const auto& dirent :
-       std::filesystem::directory_iterator(dir_, ec)) {
-    if (ec) break;
-    if (dirent.path().extension() != ".rc") continue;
-    const std::string path = dirent.path().string();
+  std::filesystem::directory_iterator it(dir_, ec);
+  // increment(ec), not the range-for operator++: that overload throws out
+  // of the scan (and of the AnalysisService constructor), and a wholly
+  // unreadable directory must cost only warmth, never the boot.
+  for (; !ec && it != std::filesystem::directory_iterator();
+       it.increment(ec)) {
+    if (it->path().extension() != ".rc") continue;
+    const std::string path = it->path().string();
     std::optional<std::string> bytes;
     try {
       bytes = store::read_file(path);
@@ -107,7 +111,8 @@ std::size_t CachePersister::load_into(ResultCache& cache) {
     if (ttl_.count() > 0 &&
         age_ms >= static_cast<std::uint64_t>(ttl_.count())) {
       c_dropped.add();
-      std::filesystem::remove(path, ec);
+      std::error_code rm;  // not `ec`: a failed drop must not end the scan
+      std::filesystem::remove(path, rm);
       continue;
     }
     // Backdate the in-memory entry by its wall-clock age so the TTL keeps
@@ -129,24 +134,31 @@ std::size_t CachePersister::load_into(ResultCache& cache) {
 void CachePersister::attach(ResultCache& cache) {
   ResultCache::Listener listener;
   listener.on_insert = [this](const CacheKey& key,
-                              const std::string& payload) {
-    persist(key, payload);
+                              const std::string& payload,
+                              std::uint64_t seq) {
+    persist(key, payload, seq);
   };
-  listener.on_erase = [this](const CacheKey& key) { remove(key); };
-  listener.on_clear = [this] { remove_all(); };
+  listener.on_erase = [this](const CacheKey& key, std::uint64_t seq) {
+    remove(key, seq);
+  };
+  listener.on_clear = [this](std::uint64_t seq) { remove_all(seq); };
   cache.set_listener(std::move(listener));
 }
 
-void CachePersister::persist(const CacheKey& key,
-                             const std::string& payload) {
+void CachePersister::persist(const CacheKey& key, const std::string& payload,
+                             std::uint64_t seq) {
   CacheEntryImage image;
   image.key = key;
   image.wall_ms = wall_now_ms();
   image.payload = payload;
+  const std::string sealed = store::seal_blob(
+      kCacheEntryMagic, kCacheEntryVersion, encode_cache_entry(image));
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  std::uint64_t& last = applied_[key];
+  if (seq <= last || seq <= clear_seq_) return;  // a newer op already won
+  last = seq;
   try {
-    store::write_file_atomic(
-        path_for(key), store::seal_blob(kCacheEntryMagic, kCacheEntryVersion,
-                                        encode_cache_entry(image)));
+    store::write_file_atomic(path_for(key), sealed);
     c_persisted.add();
   } catch (const Error&) {
     // Write-through is best effort (counted): a failed persist (real or
@@ -158,19 +170,42 @@ void CachePersister::persist(const CacheKey& key,
   }
 }
 
-void CachePersister::remove(const CacheKey& key) {
+void CachePersister::remove(const CacheKey& key, std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  std::uint64_t& last = applied_[key];
+  if (seq <= last || seq <= clear_seq_) return;
+  last = seq;
   std::error_code ec;
   std::filesystem::remove(path_for(key), ec);
 }
 
-void CachePersister::remove_all() {
+void CachePersister::remove_all(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  if (seq <= clear_seq_) return;
+  clear_seq_ = seq;
+  // A key whose last applied op outranks this clear was re-inserted
+  // after the cache cleared — its twin survives. Everything older is
+  // pruned; those per-key floors are subsumed by clear_seq_.
+  std::unordered_set<std::string> keep;
+  for (auto entry = applied_.begin(); entry != applied_.end();) {
+    if (entry->second > seq) {
+      keep.insert(
+          std::filesystem::path(path_for(entry->first)).filename().string());
+      ++entry;
+    } else {
+      entry = applied_.erase(entry);
+    }
+  }
   std::error_code ec;
-  for (const auto& dirent :
-       std::filesystem::directory_iterator(dir_, ec)) {
-    if (ec) break;
-    if (dirent.path().extension() != ".rc") continue;
+  std::filesystem::directory_iterator it(dir_, ec);
+  // increment(ec), not the range-for operator++: that overload throws,
+  // and a scan failure mid-directory may cost files, never the process.
+  for (; !ec && it != std::filesystem::directory_iterator();
+       it.increment(ec)) {
+    if (it->path().extension() != ".rc") continue;
+    if (keep.count(it->path().filename().string()) != 0) continue;
     std::error_code rm;
-    std::filesystem::remove(dirent.path(), rm);
+    std::filesystem::remove(it->path(), rm);
   }
 }
 

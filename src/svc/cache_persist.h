@@ -18,7 +18,10 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "svc/result_cache.h"
 
@@ -62,13 +65,27 @@ class CachePersister {
   [[nodiscard]] std::string path_for(const CacheKey& key) const;
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
- private:
-  void persist(const CacheKey& key, const std::string& payload);
-  void remove(const CacheKey& key);
-  void remove_all();
+  /// The listener entry points `attach` wires up. The cache invokes its
+  /// hooks outside its lock, so ops for one key can arrive here in either
+  /// order; `seq` (the cache's mutation counter) restores it — an op
+  /// applies only when its seq exceeds both the key's last applied seq
+  /// and the latest clear. Without this a racing erase could delete the
+  /// twin *before* the stale insert writes it, resurrecting on restart an
+  /// entry memory gave up on.
+  void persist(const CacheKey& key, const std::string& payload,
+               std::uint64_t seq);
+  void remove(const CacheKey& key, std::uint64_t seq);
+  void remove_all(std::uint64_t seq);
 
+ private:
   std::string dir_;
   std::chrono::milliseconds ttl_;
+  /// Serializes the seq check with the file operation it gates; one
+  /// coarse lock is fine at cache-insert rates (entries are whole
+  /// analysis results, not hot-path writes).
+  std::mutex io_mutex_;
+  std::unordered_map<CacheKey, std::uint64_t, CacheKeyHash> applied_;
+  std::uint64_t clear_seq_ = 0;
 };
 
 }  // namespace cipnet::svc

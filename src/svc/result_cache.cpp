@@ -45,6 +45,7 @@ void ResultCache::erase_locked(const CacheKey& key) {
 std::optional<std::string> ResultCache::lookup(const CacheKey& key,
                                                Clock::time_point now) {
   bool expired = false;
+  std::uint64_t seq = 0;
   std::optional<std::string> hit;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -56,6 +57,7 @@ std::optional<std::string> ResultCache::lookup(const CacheKey& key,
     if (options_.ttl.count() > 0 &&
         now - it->second.inserted >= options_.ttl) {
       erase_locked(key);
+      seq = ++seq_;
       c_expired.add();
       c_misses.add();
       update_gauges_locked();
@@ -67,7 +69,7 @@ std::optional<std::string> ResultCache::lookup(const CacheKey& key,
     }
   }
   // Outside the lock: an expired entry's on-disk twin is stale too.
-  if (expired && listener_.on_erase) listener_.on_erase(key);
+  if (expired && listener_.on_erase) listener_.on_erase(key, seq);
   return hit;
 }
 
@@ -85,6 +87,7 @@ void ResultCache::insert(const CacheKey& key, std::string payload,
   if (listener_.on_insert) persisted = payload;
   std::vector<CacheKey> evicted;
   bool inserted = false;
+  std::uint64_t seq = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (cost <= options_.max_bytes) {  // else: would evict everything else
@@ -106,34 +109,43 @@ void ResultCache::insert(const CacheKey& key, std::string payload,
         c_evictions.add();
       }
       update_gauges_locked();
+      // One seq for the whole batch is enough: a key appears at most once
+      // per batch (the fresh insert is never among its own victims).
+      seq = ++seq_;
     }
   }
-  if (inserted && listener_.on_insert) listener_.on_insert(key, persisted);
+  if (inserted && listener_.on_insert) {
+    listener_.on_insert(key, persisted, seq);
+  }
   if (listener_.on_erase) {
-    for (const CacheKey& victim : evicted) listener_.on_erase(victim);
+    for (const CacheKey& victim : evicted) listener_.on_erase(victim, seq);
   }
 }
 
 void ResultCache::erase(const CacheKey& key) {
-  bool existed = false;
+  std::uint64_t seq = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    existed = map_.find(key) != map_.end();
     erase_locked(key);
+    // Stamped and notified even when the key was absent: the erase must
+    // still outrank a racing insert whose callback has not run yet.
+    seq = ++seq_;
     update_gauges_locked();
   }
-  if (existed && listener_.on_erase) listener_.on_erase(key);
+  if (listener_.on_erase) listener_.on_erase(key, seq);
 }
 
 void ResultCache::clear() {
+  std::uint64_t seq = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
     lru_.clear();
     bytes_ = 0;
+    seq = ++seq_;
     update_gauges_locked();
   }
-  if (listener_.on_clear) listener_.on_clear();
+  if (listener_.on_clear) listener_.on_clear(seq);
 }
 
 std::size_t ResultCache::entries() const {

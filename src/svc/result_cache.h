@@ -85,14 +85,20 @@ class ResultCache {
   /// are invoked *outside* the cache lock — an insert first mutates the
   /// map, then notifies `on_insert` for the new entry and `on_erase` for
   /// every LRU victim it displaced — so a hook may call back into the
-  /// cache without deadlocking. Attach before the cache is shared across
-  /// threads (the service constructor does); hooks themselves must be
-  /// thread-safe.
+  /// cache without deadlocking. Because they run unlocked, callbacks for
+  /// the same key can reach the hook in a different order than the cache
+  /// applied them; `seq` is a monotonic mutation counter assigned under
+  /// the cache lock so a hook can re-establish that order (apply an op
+  /// only when its seq exceeds the last one applied for the key — the
+  /// persister does exactly this). Attach before the cache is shared
+  /// across threads (the service constructor does); hooks themselves must
+  /// be thread-safe.
   struct Listener {
-    std::function<void(const CacheKey&, const std::string& payload)>
+    std::function<void(const CacheKey&, const std::string& payload,
+                       std::uint64_t seq)>
         on_insert;
-    std::function<void(const CacheKey&)> on_erase;
-    std::function<void()> on_clear;
+    std::function<void(const CacheKey&, std::uint64_t seq)> on_erase;
+    std::function<void(std::uint64_t seq)> on_clear;
   };
   void set_listener(Listener listener) { listener_ = std::move(listener); }
 
@@ -116,6 +122,8 @@ class ResultCache {
   std::list<CacheKey> lru_;  // front = most recently used
   std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
   std::size_t bytes_ = 0;
+  /// Mutation sequence for listener ordering; advanced under mutex_.
+  std::uint64_t seq_ = 0;
 };
 
 }  // namespace cipnet::svc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <istream>
 #include <memory>
 #include <mutex>
@@ -133,6 +134,12 @@ AnalysisService::AnalysisService(ServiceOptions options)
     persister_->load_into(cache_);
     persister_->attach(cache_);
   }
+  if (!options_.checkpoint_dir.empty()) {
+    // Best effort, like the cache dir: a missing directory surfaces as
+    // counted store.persist.errors on the first checkpoint write.
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+  }
   // Progress heartbeats double as job liveness: any event attributed to a
   // job (via its TraceContext) refreshes that row's heartbeat age in the
   // `jobs` table.
@@ -222,6 +229,38 @@ AnalysisService::Request AnalysisService::parse_request(
   req.checkpoint = doc.get_string("checkpoint");
   req.checkpoint_every =
       static_cast<std::size_t>(doc.get_number("checkpoint_every", 0));
+  if (!req.resume.empty() || !req.checkpoint.empty()) {
+    // These strings reach rename() and the atomic-write protocol on the
+    // server's filesystem, and the TCP frontend feeds this parser — so a
+    // verbatim path would hand any remote client arbitrary-file writes
+    // (checkpoint) and quarantine renames to `<path>.bad` (resume).
+    // Requests name bare files inside the operator-chosen directory.
+    if (options_.checkpoint_dir.empty()) {
+      req.error_code = "bad_request";
+      req.error_message =
+          "'checkpoint'/'resume' need the server started with "
+          "--checkpoint-dir";
+      return req;
+    }
+    auto confine = [this](std::string& name) {
+      if (name.empty()) return true;
+      if (name == "." || name == ".." ||
+          name.find('/') != std::string::npos ||
+          name.find('\\') != std::string::npos) {
+        return false;
+      }
+      name = options_.checkpoint_dir + "/" + name;
+      return true;
+    };
+    if (!confine(req.resume) || !confine(req.checkpoint)) {
+      req.error_code = "bad_request";
+      req.error_message =
+          "'checkpoint'/'resume' must be bare file names (no path "
+          "separators or '..'); they resolve inside the server's "
+          "--checkpoint-dir";
+      return req;
+    }
+  }
   req.deadline_ms =
       static_cast<std::uint64_t>(doc.get_number("deadline_ms", 0));
   if (const json::Value* no_cache = doc.find("no_cache")) {

@@ -57,6 +57,14 @@ struct ServiceOptions {
   /// TTL-validated; corrupt files quarantined) and write entries through
   /// on insert, so a restarted server answers warm.
   std::string cache_dir;
+  /// Directory the `checkpoint`/`resume` request members resolve in
+  /// (created at startup if missing). Requests name bare files — no path
+  /// separators, no ".." — and both members are rejected with
+  /// `bad_request` while this is empty: the strings end up at rename()
+  /// and the atomic-write protocol on the server's filesystem, and the
+  /// TCP frontend must not let remote clients aim them at arbitrary
+  /// paths (docs/SERVICE.md).
+  std::string checkpoint_dir;
 };
 
 class CachePersister;

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -149,9 +150,22 @@ void write_file_atomic(const std::string& path, const std::string& bytes) {
   if (CIPNET_FAULT_FIRES(f_write)) {
     throw FaultInjected("store.write");
   }
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) io_error("cannot open", tmp);
+  // The temp name must be unique per writer: two concurrent writers to
+  // the same destination sharing one temp would interleave writes, unlink
+  // each other mid-write, and could rename a torn file into place. pid +
+  // a process-local counter disambiguates; O_EXCL steps over the stale
+  // leftover of a crashed earlier process that drew the same pair.
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  std::string tmp;
+  int fd = -1;
+  for (;;) {
+    tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+          std::to_string(
+              tmp_counter.fetch_add(1, std::memory_order_relaxed));
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0) break;
+    if (errno != EEXIST) io_error("cannot open", tmp);
+  }
   std::size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);

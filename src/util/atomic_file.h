@@ -3,10 +3,12 @@
 // Durable file primitives for the store layer (reach/checkpoint.h,
 // svc/cache_persist.h). Three guarantees, one protocol:
 //
-//  * **Atomic replace** — `write_file_atomic` writes `path + ".tmp"`,
-//    fsyncs it, renames it over `path`, then fsyncs the directory. A
-//    crash at any point leaves either the old file or the new one,
-//    never a torn mixture; readers never observe a partial write.
+//  * **Atomic replace** — `write_file_atomic` writes a writer-unique
+//    temp (`path + ".tmp.<pid>.<n>"`, so concurrent writers to the same
+//    destination never share one), fsyncs it, renames it over `path`,
+//    then fsyncs the directory. A crash at any point leaves either the
+//    old file or the new one, never a torn mixture; readers never
+//    observe a partial write.
 //  * **Self-verifying envelope** — `seal_blob` frames a body with a
 //    format magic, a version, the body length, and an FNV-1a content
 //    checksum; `open_blob` re-derives all four and reports exactly why

@@ -240,6 +240,32 @@ TEST(StoreCheckpoint, DecodeRejectsInconsistentGeometry) {
   EXPECT_NE(why.find("arena"), std::string::npos) << why;
 }
 
+TEST(StoreCheckpoint, DecodeRejectsDuplicateFrontierIds) {
+  // A crafted checksum-valid checkpoint repeating a frontier id would
+  // expand that state twice on resume, appending duplicate edges.
+  reach_detail::CheckpointImage image = sample_image();
+  image.frontier = {1, 1};
+  image.frontier_enabled = {{TransitionId(1)}, {TransitionId(1)}};
+  reach_detail::CheckpointImage scratch;
+  std::string why;
+  EXPECT_FALSE(reach_detail::decode_checkpoint(
+      reach_detail::encode_checkpoint(image), scratch, why));
+  EXPECT_NE(why.find("duplicate frontier"), std::string::npos) << why;
+}
+
+TEST(StoreCheckpoint, DecodeRejectsExpandedStatesInTheFrontier) {
+  // State 0 carries edges in sample_image, i.e. it was already expanded;
+  // queueing it again would re-append them all.
+  reach_detail::CheckpointImage image = sample_image();
+  image.frontier = {0};
+  image.frontier_enabled = {{TransitionId(0)}};
+  reach_detail::CheckpointImage scratch;
+  std::string why;
+  EXPECT_FALSE(reach_detail::decode_checkpoint(
+      reach_detail::encode_checkpoint(image), scratch, why));
+  EXPECT_NE(why.find("already has edges"), std::string::npos) << why;
+}
+
 TEST(StoreCheckpoint, LoadReportsMissingCorruptAndOk) {
   const fs::path dir = scratch_dir("load");
   const std::string path = (dir / "ck.bin").string();
@@ -502,6 +528,35 @@ TEST(StoreCache, EraseAndClearRemoveTheOnDiskTwin) {
   fs::remove_all(dir);
 }
 
+TEST(StoreCache, PersisterAppliesOpsInCacheOrderNotArrivalOrder) {
+  // The cache's listener hooks run outside its lock, so a racing
+  // erase/insert pair for one key can reach the persister in either
+  // order; the cache-assigned seq restores the true order. The stale
+  // insert here (seq 1) arrives after the erase that outranked it
+  // (seq 2) and must not leave a file memory gave up on — on restart it
+  // would resurrect the dropped entry.
+  const fs::path dir = scratch_dir("stale_ops");
+  svc::CachePersister persister(dir.string(), std::chrono::milliseconds(0));
+  const svc::CacheKey key{9, "reach", ""};
+  persister.remove(key, 2);
+  persister.persist(key, "stale", 1);
+  EXPECT_FALSE(fs::exists(persister.path_for(key)));
+  // A genuinely newer insert still persists.
+  persister.persist(key, "fresh", 3);
+  EXPECT_TRUE(fs::exists(persister.path_for(key)));
+  // clear() is a floor for every key: stale clears are ignored, newer
+  // ones wipe, and only ops after the clear apply again.
+  persister.remove_all(2);
+  EXPECT_TRUE(fs::exists(persister.path_for(key)));
+  persister.remove_all(4);
+  EXPECT_FALSE(fs::exists(persister.path_for(key)));
+  persister.persist(key, "pre-clear straggler", 4);
+  EXPECT_FALSE(fs::exists(persister.path_for(key)));
+  persister.persist(key, "post-clear", 5);
+  EXPECT_TRUE(fs::exists(persister.path_for(key)));
+  fs::remove_all(dir);
+}
+
 TEST(StoreCache, ExpiredEntriesAreDroppedOnReloadNotResurrected) {
   const fs::path dir = scratch_dir("ttl");
   const svc::CacheKey key{7, "reach", ""};
@@ -557,6 +612,51 @@ TEST(StoreCache, ServiceRestartAnswersTheSameRequestWarm) {
   }
   EXPECT_GT(obs::Registry::instance().snapshot().counter("svc.cache.hit"),
             hits_before);
+  fs::remove_all(dir);
+}
+
+TEST(StoreService, CheckpointAndResumeNamesAreConfinedToCheckpointDir) {
+  const fs::path dir = scratch_dir("svc_ckpt");
+  const std::string net_text = write_net(toggle_net(4), "toggles");
+  auto reach_with = [&](const char* member, const std::string& value) {
+    return "{\"op\":\"reach\",\"net\":\"" + json::escape(net_text) +
+           "\",\"" + member + "\":\"" + json::escape(value) + "\"}";
+  };
+
+  // Without --checkpoint-dir the members are rejected outright: these
+  // strings reach rename()/write paths on the server's filesystem, and
+  // the TCP frontend feeds the same parser.
+  {
+    svc::AnalysisService service;
+    const json::Value refused =
+        json::parse(service.handle_line(reach_with("checkpoint", "ck.bin")));
+    ASSERT_FALSE(refused.find("ok")->as_bool());
+    EXPECT_EQ(refused.find("error")->get_string("code"), "bad_request");
+  }
+
+  svc::ServiceOptions options;
+  options.checkpoint_dir = dir.string();
+  svc::AnalysisService service(options);
+  // Traversal attempts never reach the filesystem.
+  for (const std::string evil :
+       {"../escape", "/etc/passwd", "a/b", "..", ".", "sub\\name"}) {
+    const json::Value refused =
+        json::parse(service.handle_line(reach_with("resume", evil)));
+    ASSERT_FALSE(refused.find("ok")->as_bool()) << evil;
+    EXPECT_EQ(refused.find("error")->get_string("code"), "bad_request")
+        << evil;
+  }
+  // A bare name resolves inside the directory — checkpoint there, then
+  // resume from it.
+  const json::Value ok = json::parse(service.handle_line(
+      "{\"op\":\"reach\",\"net\":\"" + json::escape(net_text) +
+      "\",\"checkpoint\":\"ck.bin\",\"checkpoint_every\":4}"));
+  ASSERT_TRUE(ok.find("ok")->as_bool());
+  EXPECT_TRUE(fs::exists(dir / "ck.bin"));
+  const json::Value resumed =
+      json::parse(service.handle_line(reach_with("resume", "ck.bin")));
+  ASSERT_TRUE(resumed.find("ok")->as_bool());
+  EXPECT_EQ(resumed.find("result")->get_number("states"), 16.0);
   fs::remove_all(dir);
 }
 
@@ -628,9 +728,13 @@ TEST_F(StoreFaults, FsyncFaultLeavesThePreviousCheckpointIntact) {
   fault::configure("store.fsync=n1");
   EXPECT_THROW(store::write_file_atomic(path, "doomed"), Error);
   fault::clear();
-  // The old durable file survives; the doomed temp was unlinked.
+  // The old durable file survives; the doomed temp (writer-unique name,
+  // `.tmp.<pid>.<n>`) was unlinked.
   EXPECT_EQ(slurp(path), "previous good bytes");
-  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos)
+        << entry.path() << " leaked";
+  }
   fs::remove_all(dir);
 }
 

@@ -466,6 +466,8 @@ int cmd_serve(const std::vector<std::string>& args) {
       options.cache.ttl = std::chrono::milliseconds(v);
     } else if (args[i] == "--cache-dir" && i + 1 < args.size()) {
       options.cache_dir = args[++i];
+    } else if (args[i] == "--checkpoint-dir" && i + 1 < args.size()) {
+      options.checkpoint_dir = args[++i];
     } else if (args[i] == "--deadline-ms" && numeric(v)) {
       options.default_deadline_ms = v;
     } else if (args[i] == "--max-states" && numeric(v)) {
